@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for the core building blocks: Sequitur
+//! inference, the pruning transform, bottom-up summation, the NVM hash
+//! table, and raw simulated-device access (sequential vs scattered — the
+//! locality effect the whole paper is about).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::rc::Rc;
+
+use ntadoc::dag::prune_rule;
+use ntadoc::summation::upper_bounds;
+use ntadoc_datagen::{generate_compressed, DatasetSpec};
+use ntadoc_grammar::{Sequitur, Symbol};
+use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
+
+fn tokens(n: usize) -> Vec<u32> {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) % 512) as u32
+        })
+        .collect()
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let input = tokens(50_000);
+    let mut g = c.benchmark_group("sequitur");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    g.bench_function("infer_50k_tokens", |b| {
+        b.iter(|| {
+            let mut s = Sequitur::new();
+            for &t in &input {
+                s.push(Symbol::word(t));
+            }
+            s.into_grammar().rule_count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let comp = generate_compressed(&DatasetSpec::a().scaled(0.1));
+    let mut g = c.benchmark_group("pruning");
+    let total: usize = comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
+    g.throughput(Throughput::Elements(total as u64));
+    g.bench_function("prune_all_rules", |b| {
+        b.iter(|| {
+            comp.grammar
+                .rules
+                .iter()
+                .map(|r| prune_rule(&r.symbols).0.len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("bottom_up_summation", |b| {
+        b.iter(|| upper_bounds(&comp.grammar).bounds.len())
+    });
+    g.finish();
+}
+
+fn bench_phash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phash");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_10k_presized", |b| {
+        b.iter_batched(
+            || {
+                let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+                Rc::new(PmemPool::over_whole(dev))
+            },
+            |pool| {
+                let t = PHashTable::with_expected(pool, 10_000, true).unwrap();
+                for k in 0..10_000u64 {
+                    t.add(k, 1).unwrap();
+                }
+                t.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_10k_growable", |b| {
+        b.iter_batched(
+            || {
+                let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 23));
+                Rc::new(PmemPool::over_whole(dev))
+            },
+            |pool| {
+                let t = PHashTable::with_expected(pool, 8, false).unwrap();
+                for k in 0..10_000u64 {
+                    t.add(k, 1).unwrap();
+                }
+                t.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    let n = 1 << 16;
+    g.throughput(Throughput::Bytes(n as u64 * 4));
+    g.bench_function("sequential_read_256k", |b| {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), n * 4 + 4096);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        dev.write_u32_slice(0, &vals);
+        let mut out = vec![0u32; n];
+        b.iter(|| {
+            dev.read_u32_slice(0, &mut out);
+            out[n - 1]
+        })
+    });
+    g.bench_function("scattered_read_16k_lines", |b| {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 26);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..(n as u64 / 4) {
+                acc = acc.wrapping_add(dev.read_u32((i * 4099) % ((1 << 26) - 4)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    use ntadoc_nstruct::PQueue;
+    let mut g = c.benchmark_group("pqueue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 20,
+        ))));
+        let q = PQueue::with_capacity(pool, 1024).unwrap();
+        b.iter(|| {
+            for chunk in 0..10u32 {
+                for i in 0..1000 {
+                    q.push(chunk * 1000 + i);
+                }
+                while q.pop().is_some() {}
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_accessor(c: &mut Criterion) {
+    use ntadoc::Accessor;
+    let comp = generate_compressed(&DatasetSpec::a().scaled(0.2));
+    let accessor = Accessor::new(&comp, DeviceProfile::nvm_optane()).unwrap();
+    let len = accessor.file_len(0);
+    let mut g = c.benchmark_group("random_access");
+    g.bench_function("extract_16_word_window", |b| {
+        let mut at = 0u64;
+        b.iter(|| {
+            at = (at + 4099) % len;
+            accessor.extract_ids(0, at, 16).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use ntadoc::{Engine, EngineConfig, Task};
+    let comp = generate_compressed(&DatasetSpec::a().scaled(0.1));
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("word_count_ntadoc_nvm", |b| {
+        b.iter(|| {
+            let mut e = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+            e.run(Task::WordCount).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sequitur, bench_prune, bench_phash, bench_device, bench_queue,
+        bench_accessor, bench_end_to_end
+);
+criterion_main!(micro);

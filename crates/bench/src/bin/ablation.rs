@@ -1,0 +1,58 @@
+//! Ablation — the three design points of §IV, switched off one at a time
+//! on dataset C:
+//!
+//! * no pruning (raw ordered bodies, per-occurrence traversal, hash-based
+//!   accumulation),
+//! * no adjacent layout (scattered rule placement + per-object allocator),
+//! * no pre-sizing (growable containers; reconstruction storms).
+//!
+//! This experiment is not in the paper as a figure; it quantifies the
+//! DESIGN.md design-choice claims individually.
+
+use ntadoc::{EngineConfig, Task};
+use ntadoc_bench::{dump_json, print_matrix, Device, Harness};
+
+fn main() {
+    let h = Harness::new();
+    let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
+    let comp = h.dataset(&spec);
+
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("full N-TADOC", EngineConfig::ntadoc()),
+        ("no pruning", EngineConfig { pruned: false, ..EngineConfig::ntadoc() }),
+        ("no adjacent layout", EngineConfig { adjacent_layout: false, ..EngineConfig::ntadoc() }),
+        ("no pre-sizing", EngineConfig { presize: false, ..EngineConfig::ntadoc() }),
+        ("none (naive)", EngineConfig::naive()),
+    ];
+
+    let tasks = [Task::WordCount, Task::TermVector, Task::SequenceCount, Task::RankedInvertedIndex];
+    let task_names: Vec<&str> = tasks.iter().map(|t| t.name()).collect();
+    let full: Vec<f64> = tasks
+        .iter()
+        .map(|&t| h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, t).total_secs())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, cfg) in &variants {
+        let mut vals = Vec::new();
+        for (i, &task) in tasks.iter().enumerate() {
+            let rep = h.run_engine(&comp, cfg.clone(), Device::Nvm, task);
+            let slowdown = rep.total_secs() / full[i];
+            json.push(serde_json::json!({
+                "variant": name,
+                "task": task.name(),
+                "secs": rep.total_secs(),
+                "slowdown_vs_full": slowdown,
+            }));
+            vals.push(slowdown);
+        }
+        rows.push((*name, vals));
+    }
+    print_matrix(
+        "Ablation on dataset C — slowdown vs full N-TADOC (1.00 = full system)",
+        &task_names,
+        &rows,
+    );
+    dump_json("ablation", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,68 @@
+//! Figure 5 — N-TADOC speedup over uncompressed text analytics on NVM,
+//! with (a) phase-level and (b) operation-level persistence. Both sides of
+//! each ratio use the *same* persistence strategy, as in the paper.
+//!
+//! Paper: (a) average 2.04×, (b) average 1.40×; B's file-oriented tasks
+//! (term vector, inverted index) are the moderate cases.
+
+use ntadoc::{EngineConfig, Task};
+use ntadoc_bench::{dump_json, print_matrix, Device, Harness};
+
+fn panel(h: &Harness, cfg_nt: EngineConfig, label: &str) -> Vec<serde_json::Value> {
+    let specs = h.specs();
+    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for task in Task::ALL {
+        let mut vals = Vec::new();
+        for spec in &specs {
+            let comp = h.dataset(spec);
+            let nt = h.run_engine(&comp, cfg_nt.clone(), Device::Nvm, task);
+            let base = h.run_baseline(&comp, cfg_nt.clone(), task);
+            let speedup = base.total_secs() / nt.total_secs();
+            json.push(serde_json::json!({
+                "panel": label,
+                "dataset": spec.name,
+                "task": task.name(),
+                "ntadoc_secs": nt.total_secs(),
+                "baseline_secs": base.total_secs(),
+                "speedup": speedup,
+            }));
+            vals.push(speedup);
+        }
+        rows.push((task.name(), vals));
+    }
+    print_matrix(
+        &format!("Figure 5({label}) — N-TADOC speedup over uncompressed on NVM"),
+        &names,
+        &rows,
+    );
+    json
+}
+
+fn main() {
+    let h = Harness::new();
+    let mut json = panel(&h, EngineConfig::ntadoc(), "a: phase-level");
+    json.extend(panel(&h, EngineConfig::ntadoc_oplevel(), "b: operation-level"));
+    println!("\npaper: (a) avg 2.04x, (b) avg 1.40x");
+
+    // Within-engine §IV-E trade-off: operation-level must cost more than
+    // phase-level for BOTH systems on every dataset.
+    println!("\n== §IV-E — operation-level overhead vs phase-level (same engine) ==");
+    println!("{:>8} {:>18} {:>18}", "dataset", "N-TADOC op/phase", "baseline op/phase");
+    for spec in h.specs() {
+        let comp = h.dataset(&spec);
+        let task = Task::WordCount;
+        let nt_p = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
+        let nt_o = h.run_engine(&comp, EngineConfig::ntadoc_oplevel(), Device::Nvm, task);
+        let b_p = h.run_baseline(&comp, EngineConfig::ntadoc(), task);
+        let b_o = h.run_baseline(&comp, EngineConfig::ntadoc_oplevel(), task);
+        println!(
+            "{:>8} {:>17.2}x {:>17.2}x",
+            spec.name,
+            nt_o.total_secs() / nt_p.total_secs(),
+            b_o.total_secs() / b_p.total_secs()
+        );
+    }
+    dump_json("fig5", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,64 @@
+//! §VI-F "Vision for the future" — migrate N-TADOC across NVM
+//! architectures: Intel Optane (3D-XPoint), ReRAM, and PCM, against the
+//! same uncompressed baseline on each device.
+//!
+//! The paper proposes this migration as future work after Optane's
+//! discontinuation; the simulator makes it a one-profile-swap experiment.
+//! Expected shape: N-TADOC's advantage *grows* with write asymmetry and
+//! access granularity (PCM > Optane > ReRAM) because compression avoids
+//! exactly the traffic those devices punish.
+
+use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
+use ntadoc_bench::{dump_json, geomean, Harness};
+use ntadoc_pmem::DeviceProfile;
+
+fn main() {
+    let h = Harness::new();
+    let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
+    let comp = h.dataset(&spec);
+    let archs =
+        [DeviceProfile::nvm_optane(), DeviceProfile::reram(), DeviceProfile::pcm()];
+    println!("== §VI-F — N-TADOC across NVM architectures (dataset C) ==");
+    println!(
+        "{:>8} {:>24} {:>14} {:>14} {:>10}",
+        "device", "task", "N-TADOC s", "uncompressed s", "speedup"
+    );
+    let mut json = Vec::new();
+    for profile in archs {
+        let mut speedups = Vec::new();
+        for task in Task::ALL {
+            let mut nt = Engine::with_profile(
+                &comp,
+                EngineConfig::ntadoc(),
+                profile.clone(),
+                format!("N-TADOC-{}", profile.name),
+            )
+            .expect("engine");
+            nt.run(task).expect("run");
+            let nt_rep = nt.last_report.unwrap();
+            let mut base =
+                UncompressedEngine::new(&comp, EngineConfig::ntadoc(), profile.clone());
+            base.run(task).expect("baseline");
+            let base_rep = base.last_report.unwrap();
+            let speedup = base_rep.total_secs() / nt_rep.total_secs();
+            println!(
+                "{:>8} {:>24} {:>14.4} {:>14.4} {:>9.2}x",
+                profile.name,
+                task.name(),
+                nt_rep.total_secs(),
+                base_rep.total_secs(),
+                speedup
+            );
+            json.push(serde_json::json!({
+                "device": profile.name,
+                "task": task.name(),
+                "ntadoc_secs": nt_rep.total_secs(),
+                "baseline_secs": base_rep.total_secs(),
+                "speedup": speedup,
+            }));
+            speedups.push(speedup);
+        }
+        println!("{:>8} {:>24} {:>44.2}x\n", profile.name, "geomean", geomean(&speedups));
+    }
+    dump_json("nvm_archs", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,131 @@
+//! Aggregate the JSON dumps under `target/experiments/` into one Markdown
+//! summary (`target/experiments/REPORT.md`) — run the individual
+//! experiment binaries first, then this.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn load(name: &str) -> Option<Vec<Value>> {
+    let path = format!("target/experiments/{name}.json");
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice::<Value>(&bytes).ok()?.as_array().cloned()
+}
+
+/// Pull a named ratio column out of a row list and geomean it per task.
+fn per_task_geomean(rows: &[Value], field: &str) -> BTreeMap<String, f64> {
+    let mut by_task: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in rows {
+        if let (Some(task), Some(v)) = (r["task"].as_str(), r[field].as_f64()) {
+            by_task.entry(task.to_string()).or_default().push(v);
+        }
+    }
+    by_task.into_iter().map(|(t, v)| (t, geomean(&v))).collect()
+}
+
+fn all_ratios(rows: &[Value], field: &str) -> Vec<f64> {
+    rows.iter().filter_map(|r| r[field].as_f64()).collect()
+}
+
+fn main() {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Experiment report (auto-generated)\n");
+    let _ = writeln!(
+        md,
+        "Regenerate with the `ntadoc-bench` binaries, then `--bin report`.\n"
+    );
+
+    if let Some(rows) = load("table1") {
+        let _ = writeln!(md, "## Table I — datasets\n");
+        let _ = writeln!(md, "| dataset | files | rules | vocabulary | words | ratio |");
+        let _ = writeln!(md, "|---|---|---|---|---|---|");
+        for r in &rows {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} | {:.2}x |",
+                r["dataset"].as_str().unwrap_or("?"),
+                r["files"],
+                r["rules"],
+                r["vocabulary"],
+                r["words"],
+                r["compression_ratio"].as_f64().unwrap_or(0.0)
+            );
+        }
+        let _ = writeln!(md);
+    }
+
+    for (name, field, title, paper) in [
+        ("fig5", "speedup", "Figure 5 — speedup over uncompressed on NVM", "2.04x (a) / 1.40x (b)"),
+        ("fig6", "slowdown", "Figure 6 — slowdown vs TADOC on DRAM", "1.59x"),
+        ("fig7", "speedup", "Figure 7 — NVM speedup over SSD/HDD", "1.87x / 2.92x"),
+        ("naive_overhead", "overhead", "§III-B — naive port overhead", "13.37x"),
+        ("cross_eval", "speedup", "§VI-F — N-TADOC over TADOC on NVM", "~5x"),
+    ] {
+        if let Some(rows) = load(name) {
+            let _ = writeln!(md, "## {title}\n");
+            let _ = writeln!(md, "Paper: {paper}. Measured per task (geomean over datasets):\n");
+            let _ = writeln!(md, "| task | measured |");
+            let _ = writeln!(md, "|---|---|");
+            for (task, v) in per_task_geomean(&rows, field) {
+                let _ = writeln!(md, "| {task} | {v:.2}x |");
+            }
+            let _ = writeln!(
+                md,
+                "| **overall** | **{:.2}x** |\n",
+                geomean(&all_ratios(&rows, field))
+            );
+        }
+    }
+
+    if let Some(rows) = load("dram_savings") {
+        let _ = writeln!(md, "## §VI-C — DRAM savings (paper: 70.7% avg)\n");
+        let _ = writeln!(md, "| task | measured saving |");
+        let _ = writeln!(md, "|---|---|");
+        let mut by_task: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for r in &rows {
+            if let (Some(t), Some(s)) = (r["task"].as_str(), r["saving"].as_f64()) {
+                by_task.entry(t.to_string()).or_default().push(s);
+            }
+        }
+        let mut all = Vec::new();
+        for (t, v) in by_task {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            all.extend(v);
+            let _ = writeln!(md, "| {t} | {:.1}% |", m * 100.0);
+        }
+        let _ = writeln!(
+            md,
+            "| **overall** | **{:.1}%** |\n",
+            all.iter().sum::<f64>() / all.len().max(1) as f64 * 100.0
+        );
+    }
+
+    if let Some(rows) = load("traversal_opt") {
+        let _ = writeln!(md, "## §VI-E — top-down vs bottom-up on B (paper: ~1000x at 134k files)\n");
+        let _ = writeln!(md, "| files | task | ratio |");
+        let _ = writeln!(md, "|---|---|---|");
+        for r in &rows {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.1}x |",
+                r["files"],
+                r["task"].as_str().unwrap_or("?"),
+                r["ratio"].as_f64().unwrap_or(0.0)
+            );
+        }
+        let _ = writeln!(md);
+    }
+
+    std::fs::create_dir_all("target/experiments").expect("experiments dir");
+    std::fs::write("target/experiments/REPORT.md", &md).expect("write report");
+    println!("{md}");
+    eprintln!("[report] wrote target/experiments/REPORT.md");
+}

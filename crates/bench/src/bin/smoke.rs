@@ -1,0 +1,48 @@
+use std::time::Instant;
+use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
+use ntadoc_datagen::{generate_compressed, DatasetSpec};
+
+fn main() {
+    let spec = DatasetSpec::c().scaled(1.0);
+    let t0 = Instant::now();
+    let comp = generate_compressed(&spec);
+    let stats = comp.grammar.stats();
+    println!("gen+compress: {:?}  rules={} vocab={} words={} files={}",
+        t0.elapsed(), stats.rule_count, stats.vocabulary, stats.expanded_words, stats.files);
+
+    for task in [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex, Task::SequenceCount, Task::RankedInvertedIndex] {
+        let t = Instant::now();
+        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        nt.run(task).unwrap();
+        let nt_rep = nt.last_report.clone().unwrap();
+        let nt_wall = t.elapsed();
+
+        let t = Instant::now();
+        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        base.run(task).unwrap();
+        let base_rep = base.last_report.clone().unwrap();
+        let base_wall = t.elapsed();
+
+        let t = Instant::now();
+        let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+        dram.run(task).unwrap();
+        let dram_rep = dram.last_report.clone().unwrap();
+        let dram_wall = t.elapsed();
+
+        let t = Instant::now();
+        let mut naive = Engine::on_nvm(&comp, EngineConfig::naive()).unwrap();
+        naive.run(task).unwrap();
+        let naive_rep = naive.last_report.clone().unwrap();
+        let naive_wall = t.elapsed();
+
+        println!("{:22} NT={:8.3}s base={:8.3}s dram={:8.3}s naive={:8.3}s | speedup-vs-base={:.2} slowdown-vs-dram={:.2} naive/NT={:.2} | wall NT={:?} base={:?} dram={:?} naive={:?}",
+            task.name(),
+            nt_rep.total_secs(), base_rep.total_secs(), dram_rep.total_secs(), naive_rep.total_secs(),
+            base_rep.total_secs()/nt_rep.total_secs(),
+            nt_rep.total_secs()/dram_rep.total_secs(),
+            naive_rep.total_secs()/nt_rep.total_secs(),
+            nt_wall, base_wall, dram_wall, naive_wall);
+        println!("   dram_peak NT={}KB dram-eng={}KB   init/trav NT={:.3}/{:.3}",
+            nt_rep.dram_peak_bytes/1024, dram_rep.dram_peak_bytes/1024, nt_rep.init_secs(), nt_rep.traversal_secs());
+    }
+}

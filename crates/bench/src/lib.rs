@@ -1,0 +1,200 @@
+//! Shared experiment harness: dataset caching, engine runners, and table
+//! printing for the per-figure/table binaries.
+//!
+//! Every binary accepts the corpus scale through the `NTADOC_SCALE`
+//! environment variable (default `1.0`); results are printed in the
+//! paper's table shapes and also dumped as JSON under
+//! `target/experiments/` for EXPERIMENTS.md.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ntadoc::{Engine, EngineConfig, RunReport, Task, UncompressedEngine};
+use ntadoc_datagen::{generate_compressed, DatasetSpec};
+use ntadoc_grammar::Compressed;
+
+/// Dataset + engine orchestration for one experiment binary.
+pub struct Harness {
+    scale: f64,
+    cache: RefCell<HashMap<String, Rc<Compressed>>>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Read the scale from `NTADOC_SCALE` (default 1.0).
+    pub fn new() -> Self {
+        let scale = std::env::var("NTADOC_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Harness { scale, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Harness at an explicit scale (tests).
+    pub fn at_scale(scale: f64) -> Self {
+        Harness { scale, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The configured scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The four dataset specs at the configured scale.
+    pub fn specs(&self) -> Vec<DatasetSpec> {
+        DatasetSpec::all().into_iter().map(|s| s.scaled(self.scale)).collect()
+    }
+
+    /// Generate (or fetch cached) compressed corpus for `spec`.
+    pub fn dataset(&self, spec: &DatasetSpec) -> Rc<Compressed> {
+        let key = format!("{}-{}-{}", spec.name, spec.files, spec.tokens_per_file);
+        if let Some(c) = self.cache.borrow().get(&key) {
+            return c.clone();
+        }
+        eprintln!(
+            "[gen] dataset {} ({} files × ~{} words)…",
+            spec.name, spec.files, spec.tokens_per_file
+        );
+        let c = Rc::new(generate_compressed(spec));
+        self.cache.borrow_mut().insert(key, c.clone());
+        c
+    }
+
+    /// Run `task` on an N-TADOC-family engine and return the report.
+    pub fn run_engine(
+        &self,
+        comp: &Compressed,
+        cfg: EngineConfig,
+        device: Device,
+        task: Task,
+    ) -> RunReport {
+        let mut engine = match device {
+            Device::Nvm => Engine::on_nvm(comp, cfg),
+            Device::Dram => Engine::on_dram(comp, cfg),
+            Device::Ssd => Engine::on_block_device(comp, cfg, false),
+            Device::Hdd => Engine::on_block_device(comp, cfg, true),
+        }
+        .expect("engine construction");
+        engine.run(task).expect("task run");
+        engine.last_report.expect("report recorded")
+    }
+
+    /// Run `task` on the uncompressed baseline (NVM) and return the report.
+    pub fn run_baseline(&self, comp: &Compressed, cfg: EngineConfig, task: Task) -> RunReport {
+        let mut engine = UncompressedEngine::on_nvm(comp, cfg);
+        engine.run(task).expect("baseline run");
+        engine.last_report.expect("report recorded")
+    }
+}
+
+/// Target device for [`Harness::run_engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Simulated Optane NVM.
+    Nvm,
+    /// Pure DRAM.
+    Dram,
+    /// Optane-class SSD with budgeted page cache.
+    Ssd,
+    /// SAS HDD with budgeted page cache.
+    Hdd,
+}
+
+/// Geometric mean (the right average for speedup ratios).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Print a speedup matrix: rows = tasks, columns = datasets, plus a
+/// geomean row and column.
+pub fn print_matrix(title: &str, datasets: &[&str], rows: &[(&str, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:24}", "");
+    for d in datasets {
+        print!("{d:>10}");
+    }
+    println!("{:>10}", "geomean");
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); datasets.len()];
+    for (name, vals) in rows {
+        print!("{name:24}");
+        for (i, v) in vals.iter().enumerate() {
+            print!("{v:>10.2}");
+            cols[i].push(*v);
+        }
+        println!("{:>10.2}", geomean(vals));
+    }
+    print!("{:24}", "geomean");
+    let mut all = Vec::new();
+    for c in &cols {
+        print!("{:>10.2}", geomean(c));
+        all.extend_from_slice(c);
+    }
+    println!("{:>10.2}", geomean(&all));
+}
+
+/// Write an experiment's JSON dump under `target/experiments/`.
+pub fn dump_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+        .expect("write experiment json");
+    eprintln!("[json] wrote {}", path.display());
+}
+
+/// The six tasks with their display order (paper §VI-A).
+pub fn all_tasks() -> [Task; 6] {
+    Task::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harness_caches_datasets() {
+        let h = Harness::at_scale(0.02);
+        let spec = h.specs()[0].clone();
+        let a = h.dataset(&spec);
+        let b = h.dataset(&spec);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let h = Harness::at_scale(0.01);
+        let spec = h.specs()[0].clone();
+        let comp = h.dataset(&spec);
+        let nt = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, Task::WordCount);
+        let base = h.run_baseline(&comp, EngineConfig::ntadoc(), Task::WordCount);
+        assert!(nt.total_ns() > 0 && base.total_ns() > 0);
+    }
+}

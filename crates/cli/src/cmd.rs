@@ -1,0 +1,477 @@
+//! Subcommand implementations for the `ntadoc` CLI.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ntadoc::{Accessor, Engine, EngineConfig, Persistence, Task, TaskOutput};
+use ntadoc_grammar::{
+    deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder,
+    TokenizerConfig,
+};
+use ntadoc_pmem::DeviceProfile;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  ntadoc compress <file|dir>... -o <corpus.ntdc> [--coarsen N]
+  ntadoc stats <corpus.ntdc>
+  ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
+             [--persistence phase|op] [--naive] [--top N] [--ngram N]
+  ntadoc search <corpus.ntdc> <word>...
+  ntadoc extract <corpus.ntdc> <file#> <offset> <len>
+  ntadoc decompress <corpus.ntdc> [-d <outdir>]
+
+tasks: wordcount | sort | termvector | invertedindex | sequencecount | rankedindex";
+
+type CmdResult = Result<(), String>;
+
+/// Route a raw argument vector to its subcommand.
+pub fn dispatch(args: &[String]) -> CmdResult {
+    match args.first().map(String::as_str) {
+        Some("compress") => compress(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("search") => search(&args[1..]),
+        Some("extract") => extract(&args[1..]),
+        Some("decompress") => decompress(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".into()),
+    }
+}
+
+/// Parse a task name (several aliases accepted).
+pub fn parse_task(name: &str) -> Result<Task, String> {
+    match name.to_lowercase().replace(['-', '_'], "").as_str() {
+        "wordcount" | "wc" => Ok(Task::WordCount),
+        "sort" => Ok(Task::Sort),
+        "termvector" | "tv" => Ok(Task::TermVector),
+        "invertedindex" | "ii" => Ok(Task::InvertedIndex),
+        "sequencecount" | "sc" => Ok(Task::SequenceCount),
+        "rankedindex" | "rankedinvertedindex" | "rii" => Ok(Task::RankedInvertedIndex),
+        other => Err(format!("unknown task `{other}`")),
+    }
+}
+
+/// Parse a device name to its profile.
+pub fn parse_device(name: &str) -> Result<DeviceProfile, String> {
+    match name.to_lowercase().as_str() {
+        "nvm" | "optane" => Ok(DeviceProfile::nvm_optane()),
+        "dram" => Ok(DeviceProfile::dram()),
+        "reram" => Ok(DeviceProfile::reram()),
+        "pcm" => Ok(DeviceProfile::pcm()),
+        "ssd" => Ok(DeviceProfile::ssd_optane(64 << 20)),
+        "hdd" => Ok(DeviceProfile::hdd_sas(64 << 20)),
+        other => Err(format!("unknown device `{other}`")),
+    }
+}
+
+/// Collect input files: plain files directly, directories recursively.
+fn collect_inputs(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_file() {
+            files.push(p.clone());
+        } else if p.is_dir() {
+            let mut stack = vec![p.clone()];
+            while let Some(dir) = stack.pop() {
+                let entries =
+                    fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                for entry in entries {
+                    let path = entry.map_err(|e| e.to_string())?.path();
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else {
+                        files.push(path);
+                    }
+                }
+            }
+        } else {
+            return Err(format!("{}: no such file or directory", p.display()));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn load_corpus(path: &str) -> Result<Compressed, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    deserialize_compressed(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---- compress -----------------------------------------------------------
+
+fn compress(args: &[String]) -> CmdResult {
+    let mut inputs = Vec::new();
+    let mut out = None;
+    let mut coarsen = 12u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                out = Some(args.get(i + 1).ok_or("-o needs a path")?.clone());
+                i += 2;
+            }
+            "--coarsen" => {
+                coarsen = args
+                    .get(i + 1)
+                    .ok_or("--coarsen needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--coarsen: {e}"))?;
+                i += 2;
+            }
+            p => {
+                inputs.push(PathBuf::from(p));
+                i += 1;
+            }
+        }
+    }
+    let out = out.ok_or("missing -o <corpus.ntdc>")?;
+    if inputs.is_empty() {
+        return Err("no input files".into());
+    }
+    let files = collect_inputs(&inputs)?;
+    let mut builder = CorpusBuilder::new(TokenizerConfig::default());
+    let mut raw_bytes = 0u64;
+    for f in &files {
+        let text = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        raw_bytes += text.len() as u64;
+        builder.add_file(f.display().to_string(), &text);
+    }
+    let mut comp = builder.finish();
+    comp.grammar = comp.grammar.coarsened(coarsen);
+    let image = serialize_compressed(&comp);
+    fs::write(&out, &image).map_err(|e| format!("{out}: {e}"))?;
+    let stats = comp.grammar.stats();
+    println!(
+        "compressed {} files / {} words ({} raw bytes) → {} ({} bytes, {:.1}x in symbols)",
+        comp.file_count(),
+        stats.expanded_words,
+        raw_bytes,
+        out,
+        image.len(),
+        comp.grammar.compression_ratio()
+    );
+    Ok(())
+}
+
+// ---- stats ---------------------------------------------------------------
+
+fn stats(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("stats needs a corpus path")?;
+    let comp = load_corpus(path)?;
+    let s = comp.grammar.stats();
+    println!("corpus          {path}");
+    println!("files           {}", comp.file_count());
+    println!("rules           {}", s.rule_count);
+    println!("vocabulary      {}", s.vocabulary);
+    println!("words           {}", s.expanded_words);
+    println!("symbols         {}", s.total_symbols);
+    println!("compression     {:.2}x (words per grammar symbol)", comp.grammar.compression_ratio());
+    Ok(())
+}
+
+// ---- run -----------------------------------------------------------------
+
+fn run(args: &[String]) -> CmdResult {
+    let task = parse_task(args.first().ok_or("run needs a task")?)?;
+    let path = args.get(1).ok_or("run needs a corpus path")?;
+    let mut profile = DeviceProfile::nvm_optane();
+    let mut cfg = EngineConfig::ntadoc();
+    let mut top = 20usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                profile = parse_device(args.get(i + 1).ok_or("--device needs a name")?)?;
+                i += 2;
+            }
+            "--persistence" => {
+                cfg.persistence = match args.get(i + 1).map(String::as_str) {
+                    Some("phase") => Persistence::PhaseLevel,
+                    Some("op") | Some("operation") => Persistence::OperationLevel,
+                    Some("none") => Persistence::None,
+                    other => return Err(format!("bad --persistence {other:?}")),
+                };
+                i += 2;
+            }
+            "--naive" => {
+                let persistence = cfg.persistence;
+                cfg = EngineConfig::naive();
+                cfg.persistence = persistence;
+                i += 1;
+            }
+            "--top" => {
+                top = args
+                    .get(i + 1)
+                    .ok_or("--top needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+                i += 2;
+            }
+            "--ngram" => {
+                cfg.ngram = args
+                    .get(i + 1)
+                    .ok_or("--ngram needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--ngram: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let comp = load_corpus(path)?;
+    let mut engine = Engine::with_profile(&comp, cfg, profile.clone(), "cli")
+        .map_err(|e| e.to_string())?;
+    let out = engine.run(task).map_err(|e| e.to_string())?;
+    print_output(&out, top);
+    let rep = engine.last_report.as_ref().expect("report");
+    eprintln!(
+        "\n[{}] init {:.3} ms + traversal {:.3} ms = {:.3} ms (virtual); \
+         DRAM peak {} KB, {} peak {} KB",
+        profile.name,
+        rep.init_secs() * 1e3,
+        rep.traversal_secs() * 1e3,
+        rep.total_secs() * 1e3,
+        rep.dram_peak_bytes / 1024,
+        profile.name,
+        rep.device_peak_bytes / 1024,
+    );
+    Ok(())
+}
+
+fn print_output(out: &TaskOutput, top: usize) {
+    match out {
+        TaskOutput::WordCount(m) => {
+            let mut rows: Vec<_> = m.iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (w, c) in rows.into_iter().take(top) {
+                println!("{c:>10}  {w}");
+            }
+        }
+        TaskOutput::Sort(rows) => {
+            for (w, c) in rows.iter().take(top) {
+                println!("{w}  {c}");
+            }
+        }
+        TaskOutput::TermVector(files) => {
+            for (f, words) in files.iter().take(top) {
+                let sig: Vec<String> =
+                    words.iter().take(5).map(|(w, c)| format!("{w}:{c}")).collect();
+                println!("{f}: {}", sig.join(" "));
+            }
+        }
+        TaskOutput::InvertedIndex(m) => {
+            for (w, files) in m.iter().take(top) {
+                println!("{w}: {} file(s)", files.len());
+            }
+        }
+        TaskOutput::SequenceCount(m) => {
+            let mut rows: Vec<_> = m.iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (g, c) in rows.into_iter().take(top) {
+                println!("{c:>10}  {}", g.join(" "));
+            }
+        }
+        TaskOutput::RankedInvertedIndex(m) => {
+            for (g, files) in m.iter().take(top) {
+                let ranked: Vec<String> =
+                    files.iter().take(3).map(|(f, c)| format!("{f}({c})")).collect();
+                println!("{}: {}", g.join(" "), ranked.join(" "));
+            }
+        }
+    }
+}
+
+// ---- search ----------------------------------------------------------------
+
+fn search(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("search needs a corpus path")?;
+    let words = &args[1..];
+    if words.is_empty() {
+        return Err("search needs at least one word".into());
+    }
+    let comp = load_corpus(path)?;
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc())
+        .map_err(|e| e.to_string())?;
+    let out = engine.run(Task::InvertedIndex).map_err(|e| e.to_string())?;
+    let index = out.inverted_index().expect("inverted index output");
+    for w in words {
+        let q = w.to_lowercase();
+        match index.get(&q) {
+            Some(files) => {
+                println!("{q}: {} file(s)", files.len());
+                for f in files.iter().take(10) {
+                    println!("  {f}");
+                }
+                if files.len() > 10 {
+                    println!("  … and {} more", files.len() - 10);
+                }
+            }
+            None => println!("{q}: not found"),
+        }
+    }
+    let rep = engine.last_report.as_ref().expect("report");
+    eprintln!(
+        "[NVM] index built directly on compressed data in {:.3} ms (virtual)",
+        rep.total_secs() * 1e3
+    );
+    Ok(())
+}
+
+// ---- extract ---------------------------------------------------------------
+
+fn extract(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("extract needs a corpus path")?;
+    let fid: usize =
+        args.get(1).ok_or("extract needs a file#")?.parse().map_err(|e| format!("file#: {e}"))?;
+    let offset: u64 =
+        args.get(2).ok_or("extract needs an offset")?.parse().map_err(|e| format!("offset: {e}"))?;
+    let len: usize =
+        args.get(3).ok_or("extract needs a length")?.parse().map_err(|e| format!("len: {e}"))?;
+    let comp = load_corpus(path)?;
+    if fid >= comp.file_count() {
+        return Err(format!("file# {fid} out of range ({} files)", comp.file_count()));
+    }
+    let accessor =
+        Accessor::new(&comp, DeviceProfile::nvm_optane()).map_err(|e| e.to_string())?;
+    let words = accessor.extract(fid, offset, len);
+    println!("{}", words.join(" "));
+    eprintln!(
+        "[{}] words {}..{} of {} total",
+        comp.file_names[fid],
+        offset,
+        offset + words.len() as u64,
+        accessor.file_len(fid)
+    );
+    Ok(())
+}
+
+// ---- decompress -------------------------------------------------------------
+
+fn decompress(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("decompress needs a corpus path")?;
+    let mut outdir = PathBuf::from(".");
+    if let Some(pos) = args.iter().position(|a| a == "-d") {
+        outdir = PathBuf::from(args.get(pos + 1).ok_or("-d needs a directory")?);
+    }
+    let comp = load_corpus(path)?;
+    fs::create_dir_all(&outdir).map_err(|e| format!("{}: {e}", outdir.display()))?;
+    let texts = comp.grammar.expand_text(&comp.dict);
+    for (name, text) in comp.file_names.iter().zip(texts) {
+        // Flatten the original path into a single file name.
+        let flat = name.replace(['/', '\\'], "_");
+        let target = outdir.join(flat);
+        fs::write(&target, text).map_err(|e| format!("{}: {e}", target.display()))?;
+    }
+    println!("wrote {} files to {}", comp.file_count(), outdir.display());
+    Ok(())
+}
+
+// ---- helpers for tests ------------------------------------------------------
+
+/// Compress the given named texts into an image (test helper and library
+/// entry for embedding the CLI).
+#[cfg(test)]
+pub fn compress_texts(files: &[(String, String)], coarsen: u64) -> Vec<u8> {
+    let mut b = CorpusBuilder::new(TokenizerConfig::default());
+    for (n, t) in files {
+        b.add_file(n.clone(), t);
+    }
+    let mut comp = b.finish();
+    comp.grammar = comp.grammar.coarsened(coarsen);
+    serialize_compressed(&comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_aliases_parse() {
+        assert_eq!(parse_task("wordcount").unwrap(), Task::WordCount);
+        assert_eq!(parse_task("wc").unwrap(), Task::WordCount);
+        assert_eq!(parse_task("ranked-index").unwrap(), Task::RankedInvertedIndex);
+        assert_eq!(parse_task("SEQUENCE_COUNT").unwrap(), Task::SequenceCount);
+        assert!(parse_task("bogus").is_err());
+    }
+
+    #[test]
+    fn devices_parse() {
+        assert_eq!(parse_device("nvm").unwrap().name, "NVM");
+        assert_eq!(parse_device("PCM").unwrap().name, "PCM");
+        assert!(parse_device("floppy").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn compress_texts_round_trips() {
+        let image = compress_texts(
+            &[("a".into(), "x y x y".into()), ("b".into(), "x y z".into())],
+            4,
+        );
+        let comp = deserialize_compressed(&image).unwrap();
+        assert_eq!(comp.file_count(), 2);
+        assert_eq!(comp.grammar.expand_tokens().len(), 7);
+    }
+
+    #[test]
+    fn end_to_end_compress_stats_run_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("ntadoc-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let f1 = dir.join("one.txt");
+        fs::write(&f1, "alpha beta gamma alpha beta gamma delta").unwrap();
+        let f2 = dir.join("two.txt");
+        fs::write(&f2, "alpha beta gamma epsilon").unwrap();
+        let out = dir.join("corpus.ntdc");
+
+        dispatch(&[
+            "compress".into(),
+            f1.display().to_string(),
+            f2.display().to_string(),
+            "-o".into(),
+            out.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.exists());
+
+        dispatch(&["stats".into(), out.display().to_string()]).unwrap();
+        dispatch(&[
+            "search".into(),
+            out.display().to_string(),
+            "alpha".into(),
+            "nosuchword".into(),
+        ])
+        .unwrap();
+        dispatch(&[
+            "run".into(),
+            "wordcount".into(),
+            out.display().to_string(),
+            "--device".into(),
+            "nvm".into(),
+        ])
+        .unwrap();
+        dispatch(&[
+            "extract".into(),
+            out.display().to_string(),
+            "0".into(),
+            "1".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        let decomp = dir.join("out");
+        dispatch(&[
+            "decompress".into(),
+            out.display().to_string(),
+            "-d".into(),
+            decomp.display().to_string(),
+        ])
+        .unwrap();
+        let restored = fs::read_dir(&decomp).unwrap().count();
+        assert_eq!(restored, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

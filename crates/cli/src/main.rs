@@ -1,0 +1,29 @@
+//! `ntadoc` — compress text files and analyze them without decompression.
+//!
+//! ```text
+//! ntadoc compress <file|dir>... -o corpus.ntdc    build a compressed corpus
+//! ntadoc stats <corpus.ntdc>                      Table-I style statistics
+//! ntadoc run <task> <corpus.ntdc> [options]       run an analytics task
+//! ntadoc extract <corpus.ntdc> <file#> <off> <len>  random access
+//! ntadoc decompress <corpus.ntdc> [-d outdir]     expand back to files
+//! ```
+//!
+//! `run` options: `--device nvm|dram|ssd|hdd|reram|pcm`,
+//! `--persistence phase|op`, `--naive`, `--top N`, `--ngram N`.
+
+mod cmd;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", cmd::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

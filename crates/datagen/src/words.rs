@@ -1,0 +1,89 @@
+//! Word-string synthesis: a core list of common English words followed by
+//! deterministic pseudo-words, so sorted output and term vectors look like
+//! real text-analytics results rather than opaque ids.
+
+/// Common English words used for the lowest (most frequent) ranks.
+pub const COMMON: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was",
+    "for", "on", "are", "as", "with", "his", "they", "i", "at", "be", "this",
+    "have", "from", "or", "one", "had", "by", "word", "but", "not", "what",
+    "all", "were", "we", "when", "your", "can", "said", "there", "use", "an",
+    "each", "which", "she", "do", "how", "their", "if", "will", "up", "other",
+    "about", "out", "many", "then", "them", "these", "so", "some", "her",
+    "would", "make", "like", "him", "into", "time", "has", "look", "two",
+    "more", "write", "go", "see", "number", "no", "way", "could", "people",
+    "my", "than", "first", "water", "been", "call", "who", "oil", "its",
+    "now", "find", "long", "down", "day", "did", "get", "come", "made",
+    "may", "part", "over", "new", "sound", "take", "only", "little", "work",
+    "know", "place", "year", "live", "me", "back", "give", "most", "very",
+    "after", "thing", "our", "just", "name", "good", "sentence", "man",
+    "think", "say", "great", "where", "help", "through", "much", "before",
+    "line", "right", "too", "mean", "old", "any", "same", "tell", "boy",
+    "follow", "came", "want", "show", "also", "around", "form", "three",
+    "small", "set", "put", "end", "does", "another", "well", "large", "must",
+    "big", "even", "such", "because", "turn", "here", "why", "ask", "went",
+    "men", "read", "need", "land", "different", "home", "us", "move", "try",
+    "kind", "hand", "picture", "again", "change", "off", "play", "spell",
+    "air", "away", "animal", "house", "point", "page", "letter", "mother",
+    "answer", "found", "study", "still", "learn", "should", "america",
+    "world", "high", "every", "near", "add", "food", "between", "own",
+    "below", "country", "plant", "last", "school", "father", "keep", "tree",
+    "never", "start", "city", "earth", "eye", "light", "thought", "head",
+    "under", "story", "saw", "left", "don't", "few", "while", "along",
+    "might", "close", "something", "seem", "next", "hard", "open", "example",
+];
+
+/// Deterministic word string for rank `idx`: a common English word for low
+/// ranks, a pronounceable pseudo-word beyond.
+pub fn word_string(idx: usize) -> String {
+    if idx < COMMON.len() {
+        return COMMON[idx].to_string();
+    }
+    // Syllable construction keeps pseudo-words distinct per index.
+    const ONSET: &[&str] = &["b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v"];
+    const NUCLEUS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ee", "ou"];
+    let mut n = idx - COMMON.len();
+    let mut s = String::new();
+    loop {
+        s.push_str(ONSET[n % ONSET.len()]);
+        n /= ONSET.len();
+        s.push_str(NUCLEUS[n % NUCLEUS.len()]);
+        n /= NUCLEUS.len();
+        if n == 0 {
+            break;
+        }
+    }
+    // Suffix the raw index so distinctness is structural, not accidental.
+    s.push_str(&format!("{idx}"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_ranks_are_common_words() {
+        assert_eq!(word_string(0), "the");
+        assert_eq!(word_string(1), "of");
+    }
+
+    #[test]
+    fn words_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50_000 {
+            assert!(seen.insert(word_string(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn pseudo_words_are_lowercase_alnum() {
+        for i in 300..400 {
+            let w = word_string(i);
+            assert!(
+                w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! RePair grammar compression (Larsson & Moffat, DCC 1999) — the classic
+//! *offline* alternative to Sequitur.
+//!
+//! Where Sequitur maintains digram uniqueness incrementally, RePair makes
+//! greedy global passes: repeatedly take the most frequent digram in the
+//! whole sequence and replace every (non-overlapping) occurrence with a
+//! fresh rule. RePair typically compresses slightly better; Sequitur is
+//! online. Both produce the CFG shape the N-TADOC engines consume, so
+//! swapping the substrate is a one-call change — the `compressors` bench
+//! harness compares them.
+//!
+//! Implementation: tombstoned sequence with prev/next skip links, a digram
+//! occurrence index with lazy invalidation, and a lazy max-heap of digram
+//! counts.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::cfg::{Grammar, Rule};
+use crate::symbol::Symbol;
+
+const NIL: usize = usize::MAX;
+
+struct Seq {
+    syms: Vec<Option<Symbol>>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+}
+
+impl Seq {
+    fn new(input: &[Symbol]) -> Self {
+        let n = input.len();
+        Seq {
+            syms: input.iter().copied().map(Some).collect(),
+            prev: (0..n).map(|i| if i == 0 { NIL } else { i - 1 }).collect(),
+            next: (0..n).map(|i| if i + 1 == n { NIL } else { i + 1 }).collect(),
+        }
+    }
+
+    fn live(&self, i: usize) -> Option<Symbol> {
+        self.syms.get(i).copied().flatten()
+    }
+
+    /// Remove position `i`, stitching its neighbours together.
+    fn remove(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            self.next[p] = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        }
+        self.syms[i] = None;
+    }
+}
+
+type Digram = (u32, u32);
+
+fn key(a: Symbol, b: Symbol) -> Digram {
+    (a.raw(), b.raw())
+}
+
+/// Compress `input` (words and separators) with RePair; digrams are
+/// replaced while their frequency is at least `min_freq` (≥ 2).
+///
+/// ```
+/// use ntadoc_grammar::{repair, Symbol};
+///
+/// let input: Vec<Symbol> = [1, 2, 1, 2, 1, 2].iter().map(|&w| Symbol::word(w)).collect();
+/// let g = repair(&input, 2);
+/// assert!(g.rule_count() >= 2); // (1,2) became a rule
+/// assert_eq!(g.expand_symbols(), input);
+/// ```
+pub fn repair(input: &[Symbol], min_freq: usize) -> Grammar {
+    let min_freq = min_freq.max(2);
+    let mut seq = Seq::new(input);
+    // Occurrence lists (positions of the digram's first symbol); lazily
+    // invalidated — entries are re-checked against the live sequence.
+    let mut occs: HashMap<Digram, Vec<usize>> = HashMap::new();
+    let mut counts: HashMap<Digram, usize> = HashMap::new();
+    for i in 0..input.len().saturating_sub(1) {
+        // Separators never participate (file boundaries stay in R0).
+        if input[i].is_sep() || input[i + 1].is_sep() {
+            continue;
+        }
+        let k = key(input[i], input[i + 1]);
+        occs.entry(k).or_default().push(i);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let mut heap: BinaryHeap<(usize, Digram)> =
+        counts.iter().map(|(&k, &c)| (c, k)).collect();
+
+    let mut rules: Vec<Rule> = Vec::new(); // bodies of R1.. (R0 assembled last)
+
+    while let Some((claimed, dig)) = heap.pop() {
+        // Lazy heap: skip stale entries.
+        let current = counts.get(&dig).copied().unwrap_or(0);
+        if current != claimed {
+            continue;
+        }
+        if current < min_freq {
+            break; // max-heap ⇒ nothing else is frequent enough
+        }
+        let (ra, rb) = (Symbol::from_raw(dig.0), Symbol::from_raw(dig.1));
+        // The new rule's symbol; rule index offset by 1 because R0 is 0.
+        let rule_sym = Symbol::rule(rules.len() as u32 + 1);
+        rules.push(Rule { symbols: vec![ra, rb] });
+
+        let positions = occs.remove(&dig).unwrap_or_default();
+        counts.remove(&dig);
+        let mut new_occs: Vec<(Digram, usize)> = Vec::new();
+        for i in positions {
+            // Validate: position must still start this digram.
+            let Some(a) = seq.live(i) else { continue };
+            if a != ra {
+                continue;
+            }
+            let j = seq.next[i];
+            if j == NIL {
+                continue;
+            }
+            let Some(b) = seq.live(j) else { continue };
+            if b != rb {
+                continue;
+            }
+            // Decrement the digrams this replacement destroys.
+            let p = seq.prev[i];
+            if p != NIL {
+                if let Some(ps) = seq.live(p) {
+                    if !ps.is_sep() {
+                        let k = key(ps, a);
+                        if let Some(c) = counts.get_mut(&k) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            let n = seq.next[j];
+            if n != NIL {
+                if let Some(ns) = seq.live(n) {
+                    if !ns.is_sep() {
+                        let k = key(b, ns);
+                        if let Some(c) = counts.get_mut(&k) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            // Replace: i carries the rule symbol, j is removed.
+            seq.syms[i] = Some(rule_sym);
+            seq.remove(j);
+            // Register the freshly created neighbour digrams.
+            if p != NIL {
+                if let Some(ps) = seq.live(p) {
+                    if !ps.is_sep() {
+                        new_occs.push((key(ps, rule_sym), p));
+                    }
+                }
+            }
+            let n = seq.next[i];
+            if n != NIL {
+                if let Some(ns) = seq.live(n) {
+                    if !ns.is_sep() {
+                        new_occs.push((key(rule_sym, ns), i));
+                    }
+                }
+            }
+        }
+        // Install the new digrams and refresh heap entries.
+        let mut touched: Vec<Digram> = Vec::new();
+        for (k, pos) in new_occs {
+            occs.entry(k).or_default().push(pos);
+            *counts.entry(k).or_insert(0) += 1;
+            touched.push(k);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for k in touched {
+            heap.push((counts[&k], k));
+        }
+    }
+
+    // Assemble R0 from the surviving sequence.
+    let mut r0 = Vec::new();
+    let mut i = if input.is_empty() { NIL } else { 0 };
+    // Position 0 may have been removed (as a second element it cannot be,
+    // but guard anyway by scanning to the first live position).
+    while i != NIL && seq.live(i).is_none() {
+        i += 1;
+        if i >= input.len() {
+            i = NIL;
+        }
+    }
+    while i != NIL {
+        if let Some(s) = seq.live(i) {
+            r0.push(s);
+        }
+        i = seq.next[i];
+    }
+    let mut all = Vec::with_capacity(rules.len() + 1);
+    all.push(Rule { symbols: r0 });
+    all.extend(rules);
+    Grammar::new(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(ids: &[u32]) -> Vec<Symbol> {
+        ids.iter().map(|&w| Symbol::word(w)).collect()
+    }
+
+    fn round_trip(ids: &[u32]) -> Grammar {
+        let g = repair(&words(ids), 2);
+        let expanded: Vec<u32> =
+            g.expand_symbols().iter().map(|s| s.payload()).collect();
+        assert_eq!(expanded, ids);
+        g.validate().unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        round_trip(&[]);
+        round_trip(&[7]);
+    }
+
+    #[test]
+    fn classic_repeated_pair() {
+        let g = round_trip(&[1, 2, 1, 2, 1, 2]);
+        assert!(g.rule_count() >= 2, "digram (1,2) must become a rule");
+    }
+
+    #[test]
+    fn overlapping_runs_survive() {
+        round_trip(&[5, 5, 5]);
+        round_trip(&[5, 5, 5, 5]);
+        round_trip(&[5, 5, 5, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn nested_structure_builds_hierarchy() {
+        let ids: Vec<u32> = [1, 2, 3, 4].repeat(16);
+        let g = round_trip(&ids);
+        let total: usize = g.rules.iter().map(|r| r.symbols.len()).sum();
+        assert!(total < ids.len() / 2, "grammar {total} vs input {}", ids.len());
+    }
+
+    #[test]
+    fn separators_stay_in_r0() {
+        let mut input = words(&[1, 2, 1, 2]);
+        input.push(Symbol::file_sep(0));
+        input.extend(words(&[1, 2, 1, 2]));
+        let g = repair(&input, 2);
+        for r in g.rules.iter().skip(1) {
+            assert!(r.symbols.iter().all(|s| !s.is_sep()));
+        }
+        assert_eq!(g.expand_symbols(), input);
+    }
+
+    #[test]
+    fn min_freq_limits_rule_creation() {
+        let ids = [1, 2, 1, 2, 1, 2, 9, 8, 9, 8]; // (1,2)x3, (9,8)x2
+        let strict = repair(&words(&ids), 3);
+        let loose = repair(&words(&ids), 2);
+        assert!(strict.rule_count() < loose.rule_count());
+        assert_eq!(
+            strict.expand_symbols().len(),
+            loose.expand_symbols().len()
+        );
+    }
+
+    #[test]
+    fn pseudo_random_stream_round_trips() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let ids: Vec<u32> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 40) as u32
+            })
+            .collect();
+        round_trip(&ids);
+    }
+
+    #[test]
+    fn compresses_comparably_to_sequitur() {
+        let ids: Vec<u32> = (0..24)
+            .flat_map(|_| [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5])
+            .collect();
+        let rp = repair(&words(&ids), 2);
+        let mut sq = crate::sequitur::Sequitur::new();
+        for &w in &ids {
+            sq.push(Symbol::word(w));
+        }
+        let sq = sq.into_grammar();
+        let size = |g: &Grammar| g.rules.iter().map(|r| r.symbols.len()).sum::<usize>();
+        // RePair's greedy global choice should be within 2x of Sequitur
+        // either way on this structured input.
+        assert!(size(&rp) <= size(&sq) * 2);
+        assert!(size(&sq) <= size(&rp) * 2);
+    }
+}

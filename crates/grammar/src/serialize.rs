@@ -1,0 +1,188 @@
+//! Persistent byte format for a compressed corpus.
+//!
+//! This is the on-device image the N-TADOC initialization phase reads: a
+//! header, the dictionary, the file-name table, and the rule bodies as raw
+//! packed symbols. The layout is deliberately flat and little-endian so an
+//! engine can stream it from a simulated device charging realistic access
+//! costs.
+//!
+//! ```text
+//! magic   8 B   "NTADOC1\0"
+//! words   u32   dictionary size
+//! files   u32   file count
+//! rules   u32   rule count
+//! dict    words × { u32 len, len bytes }
+//! names   files × { u32 len, len bytes }
+//! bodies  rules × { u32 len, len × u32 raw symbols }
+//! ```
+
+use crate::cfg::{Grammar, Rule};
+use crate::dict::Dictionary;
+use crate::symbol::Symbol;
+use crate::Compressed;
+
+/// Image magic ("NTADOC1\0").
+pub const MAGIC: [u8; 8] = *b"NTADOC1\0";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialize a compressed corpus into its persistent image.
+pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, c.dict.len() as u32);
+    put_u32(&mut out, c.file_names.len() as u32);
+    put_u32(&mut out, c.grammar.rule_count() as u32);
+    for (_, w) in c.dict.iter() {
+        put_str(&mut out, w);
+    }
+    for name in &c.file_names {
+        put_str(&mut out, name);
+    }
+    for r in &c.grammar.rules {
+        put_u32(&mut out, r.symbols.len() as u32);
+        for s in &r.symbols {
+            put_u32(&mut out, s.raw());
+        }
+    }
+    out
+}
+
+/// Deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image does not start with [`MAGIC`].
+    BadMagic,
+    /// The image ended before the declared contents.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadMagic => write!(f, "bad image magic"),
+            ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::BadUtf8 => write!(f, "image contains invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.at + n > self.buf.len() {
+            return Err(ImageError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, ImageError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ImageError::BadUtf8)
+    }
+}
+
+/// Parse a persistent image back into a [`Compressed`] corpus.
+pub fn deserialize_compressed(bytes: &[u8]) -> Result<Compressed, ImageError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let words = r.u32()? as usize;
+    let files = r.u32()? as usize;
+    let rules = r.u32()? as usize;
+    let mut dict_words = Vec::with_capacity(words);
+    for _ in 0..words {
+        dict_words.push(r.string()?);
+    }
+    let mut file_names = Vec::with_capacity(files);
+    for _ in 0..files {
+        file_names.push(r.string()?);
+    }
+    let mut rule_vec = Vec::with_capacity(rules);
+    for _ in 0..rules {
+        let len = r.u32()? as usize;
+        let mut symbols = Vec::with_capacity(len);
+        for _ in 0..len {
+            symbols.push(Symbol::from_raw(r.u32()?));
+        }
+        rule_vec.push(Rule { symbols });
+    }
+    Ok(Compressed {
+        grammar: Grammar::new(rule_vec),
+        dict: Dictionary::from_words(dict_words),
+        file_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_corpus, TokenizerConfig};
+
+    fn sample() -> Compressed {
+        let files = vec![
+            ("a.txt".into(), "the cat sat on the mat the cat sat again".into()),
+            ("b.txt".into(), "the cat sat on the mat once more".into()),
+        ];
+        compress_corpus(&files, &TokenizerConfig::default())
+    }
+
+    #[test]
+    fn image_round_trips() {
+        let c = sample();
+        let img = serialize_compressed(&c);
+        let back = deserialize_compressed(&img).unwrap();
+        assert_eq!(back.grammar, c.grammar);
+        assert_eq!(back.file_names, c.file_names);
+        assert_eq!(back.dict.len(), c.dict.len());
+        assert_eq!(back.dict.id_of("cat"), c.dict.id_of("cat"));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut img = serialize_compressed(&sample());
+        img[0] = b'X';
+        assert_eq!(deserialize_compressed(&img).unwrap_err(), ImageError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let img = serialize_compressed(&sample());
+        for cut in [7, 12, img.len() / 2, img.len() - 1] {
+            assert_eq!(
+                deserialize_compressed(&img[..cut]).unwrap_err(),
+                ImageError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_text_survives_round_trip() {
+        let c = sample();
+        let img = serialize_compressed(&c);
+        let back = deserialize_compressed(&img).unwrap();
+        assert_eq!(back.grammar.expand_text(&back.dict), c.grammar.expand_text(&c.dict));
+    }
+}

@@ -1,0 +1,133 @@
+//! Packed grammar symbol encoding.
+//!
+//! A symbol is one `u32`:
+//!
+//! ```text
+//! bit 31 set            → rule reference, payload = rule index
+//! bit 30 set (31 clear) → file separator, payload = boundary index
+//! both clear            → word, payload = dictionary id
+//! ```
+//!
+//! The packed form is what lives in the DAG pool on the simulated NVM, so
+//! keeping it to 4 bytes matters for line-granularity locality.
+
+const RULE_BIT: u32 = 1 << 31;
+const SEP_BIT: u32 = 1 << 30;
+const PAYLOAD: u32 = SEP_BIT - 1;
+
+/// One grammar symbol: a word, a rule reference, or a file separator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// A word symbol for dictionary id `id` (`id < 2^30`).
+    #[inline]
+    pub fn word(id: u32) -> Symbol {
+        debug_assert!(id <= PAYLOAD, "word id overflow");
+        Symbol(id)
+    }
+
+    /// A reference to rule `idx` (`idx < 2^31 - 2^30`).
+    #[inline]
+    pub fn rule(idx: u32) -> Symbol {
+        debug_assert!(idx <= PAYLOAD, "rule index overflow");
+        Symbol(RULE_BIT | idx)
+    }
+
+    /// The separator that ends file `boundary` (boundary `i` sits between
+    /// file `i` and file `i + 1`).
+    #[inline]
+    pub fn file_sep(boundary: u32) -> Symbol {
+        debug_assert!(boundary <= PAYLOAD, "file boundary overflow");
+        Symbol(SEP_BIT | boundary)
+    }
+
+    /// Is this a rule reference?
+    #[inline]
+    pub fn is_rule(self) -> bool {
+        self.0 & RULE_BIT != 0
+    }
+
+    /// Is this a word (not a rule, not a separator)?
+    #[inline]
+    pub fn is_word(self) -> bool {
+        self.0 & (RULE_BIT | SEP_BIT) == 0
+    }
+
+    /// Is this a file separator?
+    #[inline]
+    pub fn is_sep(self) -> bool {
+        self.0 & (RULE_BIT | SEP_BIT) == SEP_BIT
+    }
+
+    /// Payload bits: rule index, word id, or boundary index.
+    #[inline]
+    pub fn payload(self) -> u32 {
+        if self.is_rule() {
+            self.0 & !RULE_BIT
+        } else if self.is_sep() {
+            self.0 & !SEP_BIT
+        } else {
+            self.0
+        }
+    }
+
+    /// Raw packed representation (what is stored on device).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from the packed representation.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_rule() {
+            write!(f, "R{}", self.payload())
+        } else if self.is_sep() {
+            write!(f, "|{}", self.payload())
+        } else {
+            write!(f, "w{}", self.payload())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_exclusive() {
+        for s in [Symbol::word(5), Symbol::rule(5), Symbol::file_sep(5)] {
+            let kinds = [s.is_word(), s.is_rule(), s.is_sep()];
+            assert_eq!(kinds.iter().filter(|k| **k).count(), 1, "{s:?}");
+            assert_eq!(s.payload(), 5);
+        }
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        for s in [Symbol::word(0), Symbol::rule(123), Symbol::file_sep(9)] {
+            assert_eq!(Symbol::from_raw(s.raw()), s);
+        }
+    }
+
+    #[test]
+    fn distinct_kinds_never_collide() {
+        assert_ne!(Symbol::word(7).raw(), Symbol::rule(7).raw());
+        assert_ne!(Symbol::word(7).raw(), Symbol::file_sep(7).raw());
+        assert_ne!(Symbol::rule(7).raw(), Symbol::file_sep(7).raw());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Symbol::rule(2)), "R2");
+        assert_eq!(format!("{:?}", Symbol::word(3)), "w3");
+        assert_eq!(format!("{:?}", Symbol::file_sep(0)), "|0");
+    }
+}

@@ -1,0 +1,85 @@
+//! Word extraction from raw text.
+//!
+//! TADOC's preprocessing performs a "dictionary conversion of the original
+//! data input" — i.e. the unit of compression and of analytics is the word.
+//! This tokenizer matches the behaviour of the reference TADOC pipeline:
+//! split on whitespace, strip surrounding punctuation, optionally lowercase.
+
+/// Tokenizer options.
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Fold tokens to lowercase (the PUMA-style benchmarks are
+    /// case-insensitive).
+    pub lowercase: bool,
+    /// Strip leading/trailing non-alphanumeric characters from each token.
+    pub strip_punct: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig { lowercase: true, strip_punct: true }
+    }
+}
+
+/// Split `text` into word tokens according to `cfg`. Empty tokens (e.g. a
+/// bare punctuation mark) are dropped.
+pub fn tokenize<'a>(text: &'a str, cfg: &TokenizerConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let token = if cfg.strip_punct {
+            raw.trim_matches(|c: char| !c.is_alphanumeric())
+        } else {
+            raw
+        };
+        if token.is_empty() {
+            continue;
+        }
+        if cfg.lowercase {
+            out.push(token.to_lowercase());
+        } else {
+            out.push(token.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        let toks = tokenize("the quick\nbrown\tfox", &TokenizerConfig::default());
+        assert_eq!(toks, vec!["the", "quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        let toks = tokenize("Hello, world! (really)", &TokenizerConfig::default());
+        assert_eq!(toks, vec!["hello", "world", "really"]);
+    }
+
+    #[test]
+    fn keeps_interior_punctuation() {
+        let toks = tokenize("state-of-the-art", &TokenizerConfig::default());
+        assert_eq!(toks, vec!["state-of-the-art"]);
+    }
+
+    #[test]
+    fn lowercase_can_be_disabled() {
+        let cfg = TokenizerConfig { lowercase: false, strip_punct: true };
+        assert_eq!(tokenize("Hello", &cfg), vec!["Hello"]);
+    }
+
+    #[test]
+    fn pure_punctuation_tokens_vanish() {
+        let toks = tokenize("a -- b", &TokenizerConfig::default());
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_tokens() {
+        assert!(tokenize("", &TokenizerConfig::default()).is_empty());
+        assert!(tokenize("   \n\t ", &TokenizerConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-rule head/tail word buffers for sequence analytics (§IV-D).
+//!
+//! Counting a word sequence of length `n` inside compressed data needs the
+//! words that straddle rule boundaries. Expanding whole rules to find them
+//! is the "coarse-grained expansion" the paper criticises; instead, every
+//! rule stores its first and last `n − 1` words. A sequence task then scans
+//! each rule body once, consulting only the head/tail buffers of the
+//! subrules it references.
+//!
+//! The store is laid out as two dense `u32` matrices (`rules × width`) plus
+//! per-rule lengths, all bump-allocated adjacently so a rule's head and
+//! tail live in the same few media lines.
+
+use std::rc::Rc;
+
+use ntadoc_pmem::{Addr, PmemPool, Result};
+
+/// Fixed-width head/tail word store for every rule of a grammar.
+pub struct HeadTailStore {
+    pool: Rc<PmemPool>,
+    /// Words kept at each end of each rule (= n − 1 for n-gram tasks).
+    width: usize,
+    rules: usize,
+    heads: Addr,
+    tails: Addr,
+    head_lens: Addr,
+    tail_lens: Addr,
+}
+
+impl HeadTailStore {
+    /// Allocate buffers for `rules` rules with `width` words per end.
+    pub fn new(pool: Rc<PmemPool>, rules: usize, width: usize) -> Result<Self> {
+        let width = width.max(1);
+        let heads = pool.alloc_array(rules * width, 4)?;
+        let tails = pool.alloc_array(rules * width, 4)?;
+        let head_lens = pool.alloc_array(rules, 4)?;
+        let tail_lens = pool.alloc_array(rules, 4)?;
+        Ok(HeadTailStore { pool, width, rules, heads, tails, head_lens, tail_lens })
+    }
+
+    /// Words kept per end.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rules the store covers.
+    pub fn rules(&self) -> usize {
+        self.rules
+    }
+
+    /// Record rule `r`'s head (its first `≤ width` words).
+    pub fn set_head(&self, r: usize, words: &[u32]) {
+        assert!(r < self.rules && words.len() <= self.width);
+        let dev = self.pool.dev();
+        dev.write_u32_slice(self.heads + (r * self.width * 4) as u64, words);
+        dev.write_u32(self.head_lens + (r * 4) as u64, words.len() as u32);
+    }
+
+    /// Record rule `r`'s tail (its last `≤ width` words).
+    pub fn set_tail(&self, r: usize, words: &[u32]) {
+        assert!(r < self.rules && words.len() <= self.width);
+        let dev = self.pool.dev();
+        dev.write_u32_slice(self.tails + (r * self.width * 4) as u64, words);
+        dev.write_u32(self.tail_lens + (r * 4) as u64, words.len() as u32);
+    }
+
+    /// Rule `r`'s head words.
+    pub fn head(&self, r: usize) -> Vec<u32> {
+        assert!(r < self.rules);
+        let dev = self.pool.dev();
+        let len = dev.read_u32(self.head_lens + (r * 4) as u64) as usize;
+        let mut out = vec![0u32; len];
+        dev.read_u32_slice(self.heads + (r * self.width * 4) as u64, &mut out);
+        out
+    }
+
+    /// Rule `r`'s tail words.
+    pub fn tail(&self, r: usize) -> Vec<u32> {
+        assert!(r < self.rules);
+        let dev = self.pool.dev();
+        let len = dev.read_u32(self.tail_lens + (r * 4) as u64) as usize;
+        let mut out = vec![0u32; len];
+        dev.read_u32_slice(self.tails + (r * self.width * 4) as u64, &mut out);
+        out
+    }
+
+    /// Flush + fence the whole store (phase-level persistence).
+    pub fn persist(&self) {
+        let dev = self.pool.dev();
+        dev.flush(self.heads, self.rules * self.width * 4);
+        dev.flush(self.tails, self.rules * self.width * 4);
+        dev.flush(self.head_lens, self.rules * 4);
+        dev.flush(self.tail_lens, self.rules * 4);
+        dev.fence();
+    }
+}
+
+impl std::fmt::Debug for HeadTailStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeadTailStore")
+            .field("rules", &self.rules)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc_pmem::{DeviceProfile, SimDevice};
+
+    fn store(rules: usize, width: usize) -> HeadTailStore {
+        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 20,
+        ))));
+        HeadTailStore::new(pool, rules, width).unwrap()
+    }
+
+    #[test]
+    fn head_and_tail_round_trip() {
+        let s = store(4, 3);
+        s.set_head(2, &[10, 11, 12]);
+        s.set_tail(2, &[20, 21]);
+        assert_eq!(s.head(2), vec![10, 11, 12]);
+        assert_eq!(s.tail(2), vec![20, 21]);
+    }
+
+    #[test]
+    fn unset_rules_read_empty() {
+        let s = store(4, 3);
+        assert!(s.head(1).is_empty());
+        assert!(s.tail(3).is_empty());
+    }
+
+    #[test]
+    fn short_rules_store_fewer_words() {
+        let s = store(2, 4);
+        s.set_head(0, &[5]);
+        assert_eq!(s.head(0), vec![5]);
+    }
+
+    #[test]
+    fn rules_do_not_interfere() {
+        let s = store(3, 2);
+        s.set_head(0, &[1, 2]);
+        s.set_head(1, &[3, 4]);
+        s.set_head(2, &[5, 6]);
+        assert_eq!(s.head(0), vec![1, 2]);
+        assert_eq!(s.head(1), vec![3, 4]);
+        assert_eq!(s.head(2), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_head_panics() {
+        let s = store(2, 2);
+        s.set_head(0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn persist_survives_crash() {
+        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 20,
+        ))));
+        let s = HeadTailStore::new(pool.clone(), 2, 2).unwrap();
+        s.set_head(0, &[7, 8]);
+        s.persist();
+        pool.dev().crash();
+        assert_eq!(s.head(0), vec![7, 8]);
+    }
+}

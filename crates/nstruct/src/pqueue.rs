@@ -1,0 +1,180 @@
+//! The NVM-resident traversal queue of Figure 3.
+//!
+//! "The NVM pool also contains a traversal queue … take out the rule being
+//! traversed, and add its subrules to the queue." The queue is a flat ring
+//! of `u32` rule ids bump-allocated from the pool; because traversal
+//! enqueues each rule a bounded number of times, the engine sizes it once
+//! from the rule count and it never reallocates.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ntadoc_pmem::{Addr, PmemPool, Result};
+
+/// Fixed-capacity FIFO of `u32` ids on a [`PmemPool`].
+///
+/// ```
+/// use std::rc::Rc;
+/// use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
+/// use ntadoc_nstruct::PQueue;
+///
+/// let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+/// let pool = Rc::new(PmemPool::over_whole(dev));
+/// let q = PQueue::with_capacity(pool, 8).unwrap();
+/// q.push(3);
+/// q.push(9);
+/// assert_eq!(q.pop(), Some(3));
+/// assert_eq!(q.pop(), Some(9));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct PQueue {
+    pool: Rc<PmemPool>,
+    base: Addr,
+    cap: usize,
+    head: Cell<usize>,
+    tail: Cell<usize>,
+    len: Cell<usize>,
+}
+
+impl PQueue {
+    /// Allocate a queue holding up to `cap` ids.
+    pub fn with_capacity(pool: Rc<PmemPool>, cap: usize) -> Result<Self> {
+        let cap = cap.max(1);
+        let base = pool.alloc_array(cap, 4)?;
+        Ok(PQueue {
+            pool,
+            base,
+            cap,
+            head: Cell::new(0),
+            tail: Cell::new(0),
+            len: Cell::new(0),
+        })
+    }
+
+    /// Number of queued ids.
+    pub fn len(&self) -> usize {
+        self.len.get()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Capacity in ids.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueue `id`.
+    ///
+    /// # Panics
+    /// Panics if the queue is full — engines size it from the rule count,
+    /// so overflow is a logic error, mirroring the fixed-capacity
+    /// discipline of the other pool structures.
+    pub fn push(&self, id: u32) {
+        assert!(self.len.get() < self.cap, "traversal queue overflow");
+        let t = self.tail.get();
+        self.pool.dev().write_u32(self.base + (t * 4) as u64, id);
+        self.tail.set((t + 1) % self.cap);
+        self.len.set(self.len.get() + 1);
+    }
+
+    /// Dequeue the oldest id.
+    pub fn pop(&self) -> Option<u32> {
+        if self.len.get() == 0 {
+            return None;
+        }
+        let h = self.head.get();
+        let id = self.pool.dev().read_u32(self.base + (h * 4) as u64);
+        self.head.set((h + 1) % self.cap);
+        self.len.set(self.len.get() - 1);
+        Some(id)
+    }
+}
+
+impl std::fmt::Debug for PQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PQueue")
+            .field("len", &self.len.get())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc_pmem::{DeviceProfile, SimDevice};
+
+    fn queue(cap: usize) -> PQueue {
+        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 16,
+        ))));
+        PQueue::with_capacity(pool, cap).unwrap()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = queue(8);
+        for i in 0..5 {
+            q.push(i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let q = queue(4);
+        for round in 0..10u32 {
+            q.push(round);
+            q.push(round + 100);
+            assert_eq!(q.pop(), Some(round));
+            assert_eq!(q.pop(), Some(round + 100));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_fill_and_drain() {
+        let q = queue(128);
+        let mut expect = std::collections::VecDeque::new();
+        for i in 0..100u32 {
+            q.push(i);
+            expect.push_back(i);
+            if i % 3 == 0 {
+                assert_eq!(q.pop(), expect.pop_front());
+            }
+        }
+        while let Some(e) = expect.pop_front() {
+            assert_eq!(q.pop(), Some(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "traversal queue overflow")]
+    fn overflow_panics() {
+        let q = queue(2);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+    }
+
+    #[test]
+    fn queue_traffic_is_charged() {
+        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 16,
+        ))));
+        let dev = pool.dev().clone();
+        let q = PQueue::with_capacity(pool, 64).unwrap();
+        let before = dev.stats().virtual_ns;
+        q.push(7);
+        q.pop();
+        assert!(dev.stats().virtual_ns > before);
+    }
+}

@@ -1,0 +1,469 @@
+//! The uncompressed baseline of Figure 5: "the text analysis task was
+//! performed on NVM. No specialized compression techniques or methods
+//! designed for NVM were employed, except for the dictionary conversion of
+//! the original text into numerical representations."
+//!
+//! The corpus lives on the device as a flat dictionary-encoded token
+//! stream (one `u32` per word, a sentinel between files); every task is a
+//! full scan. The same persistence strategies as the compressed engines
+//! apply, so Figure 5 compares like with like.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use ntadoc_grammar::Compressed;
+use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::{
+    Addr, AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog,
+};
+
+use crate::config::{EngineConfig, Persistence};
+use crate::engine::{Engine, Interner, TxCounter};
+use crate::report::RunReport;
+use crate::result::{Task, TaskOutput};
+use crate::Result;
+
+/// File separator sentinel in the token stream.
+const SEP: u32 = u32::MAX;
+/// Undo-log region size.
+const LOG_BYTES: usize = 4 << 20;
+/// Operation-level transaction granularity for the scan baseline: one
+/// transaction per I/O block (ranges dedup within it, so hot keys log
+/// once per block).
+const BASE_TX_BATCH: usize = 4096;
+
+/// Uncompressed (dictionary-encoded) scan engine.
+pub struct UncompressedEngine {
+    comp: Rc<Compressed>,
+    cfg: EngineConfig,
+    profile: DeviceProfile,
+    /// Raw text size, charged as the init disk read (uncompressed input
+    /// is read from disk in full).
+    raw_bytes: u64,
+    /// Token stream including separators (host master copy; written to the
+    /// device during init).
+    tokens: Vec<u32>,
+    /// Report of the most recent run.
+    pub last_report: Option<RunReport>,
+}
+
+impl UncompressedEngine {
+    /// Build the baseline for the same corpus a compressed engine uses.
+    pub fn new(comp: &Compressed, cfg: EngineConfig, profile: DeviceProfile) -> Self {
+        let raw_bytes = Engine::uncompressed_bytes(comp);
+        let mut tokens = Vec::new();
+        for s in comp.grammar.expand_symbols() {
+            tokens.push(if s.is_sep() { SEP } else { s.payload() });
+        }
+        UncompressedEngine {
+            comp: Rc::new(comp.clone()),
+            cfg,
+            profile,
+            raw_bytes,
+            tokens,
+            last_report: None,
+        }
+    }
+
+    /// Baseline on the simulated NVM (the Figure 5 comparator).
+    pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Self {
+        Self::new(comp, cfg, DeviceProfile::nvm_optane())
+    }
+
+    /// Number of word tokens (separators excluded).
+    pub fn token_count(&self) -> usize {
+        self.tokens.iter().filter(|&&t| t != SEP).count()
+    }
+
+    /// Run one benchmark end to end (init + scan), with capacity retry.
+    pub fn run(&mut self, task: Task) -> Result<TaskOutput> {
+        let mut capacity = self.estimate_capacity();
+        loop {
+            match self.try_run(task, capacity) {
+                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
+                    capacity *= 2
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn estimate_capacity(&self) -> usize {
+        let tokens = self.tokens.len() as u64;
+        let vocab = self.comp.dict.len() as u64;
+        let bytes = tokens * 4
+            + self.comp.dict.text_bytes() as u64
+            + (vocab + 2) * 8
+            + vocab * 48
+            + tokens * 24 // n-gram counter head-room
+            + (vocab * 136).max(1 << 20) // scratch
+            + LOG_BYTES as u64
+            + (1 << 20);
+        (bytes * 3 / 2).next_power_of_two().max(1 << 22) as usize
+    }
+
+    fn try_run(&mut self, task: Task, capacity: usize) -> Result<TaskOutput> {
+        let ledger = Rc::new(AllocLedger::new());
+        let dev = Rc::new(SimDevice::new(self.profile.clone(), capacity));
+        let scratch_len = (capacity as u64 / 4).max(1 << 20);
+        let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
+        let pool =
+            Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
+        let scratch_base = main_len;
+        let txlog = match self.cfg.persistence {
+            Persistence::OperationLevel => Some(Rc::new(RefCell::new(TxLog::new(
+                dev.clone(),
+                main_len + scratch_len,
+                LOG_BYTES,
+            )))),
+            _ => None,
+        };
+
+        // ---- initialization phase -----------------------------------
+        let cost = self.cfg.cost;
+        if self.profile.kind.is_persistent() {
+            dev.charge_ns(cost.pool_open_ns);
+        }
+        dev.charge_ns(cost.disk_read_ns(self.raw_bytes));
+        dev.charge_ns(self.tokens.len() as u64 * cost.per_item_ns); // dictionary conversion
+        // Dictionary-conversion staging buffer (DRAM for the init phase).
+        let staging = self.tokens.len() as u64 * 4 * 3 / 2;
+        ledger.on_alloc(DeviceKind::Dram, staging);
+        let stream = pool.alloc_array(self.tokens.len().max(1), 4)?;
+        dev.write_u32_slice(stream, &self.tokens);
+        // Dictionary (offsets + bytes) for result materialisation.
+        let vocab = self.comp.dict.len();
+        let dict_offsets = pool.alloc_array(vocab + 1, 8)?;
+        let dict_bytes_addr = pool.alloc(self.comp.dict.text_bytes().max(1), 1)?;
+        let mut at = 0u64;
+        let mut text = Vec::with_capacity(self.comp.dict.text_bytes());
+        for (i, (_, w)) in self.comp.dict.iter().enumerate() {
+            dev.write_u64(dict_offsets + i as u64 * 8, at);
+            text.extend_from_slice(w.as_bytes());
+            at += w.len() as u64;
+        }
+        dev.write_u64(dict_offsets + vocab as u64 * 8, at);
+        dev.write_bytes(dict_bytes_addr, &text);
+        if self.cfg.persistence != Persistence::None {
+            pool.persist_used();
+        }
+        ledger.on_free(DeviceKind::Dram, staging);
+        let init_ns = dev.stats().virtual_ns;
+
+        // ---- scan phase ---------------------------------------------
+        let run = Scan {
+            comp: &self.comp,
+            cfg: &self.cfg,
+            dev: &dev,
+            pool: &pool,
+            scratch_base,
+            scratch_len,
+            txlog: &txlog,
+            stream,
+            n_tokens: self.tokens.len(),
+            dict_offsets,
+            dict_bytes: dict_bytes_addr,
+            interner: RefCell::new(Interner::default()),
+            host_dram: Cell::new(0),
+            ledger: &ledger,
+        };
+        let out = match task {
+            Task::WordCount => run.word_count()?,
+            Task::Sort => run.sort()?,
+            Task::TermVector => run.term_vector()?,
+            Task::InvertedIndex => run.inverted_index()?,
+            Task::SequenceCount => run.sequence_count()?,
+            Task::RankedInvertedIndex => run.ranked_inverted_index()?,
+        };
+        if let Some(tx) = &txlog {
+            let mut tx = tx.borrow_mut();
+            if tx.is_active() {
+                tx.commit()?;
+            }
+        }
+        if self.cfg.persistence != Persistence::None {
+            pool.persist_used();
+        }
+        dev.charge_ns(cost.disk_read_ns(out.approx_bytes()));
+        let total = dev.stats().virtual_ns;
+
+        self.last_report = Some(RunReport {
+            task,
+            engine: "uncompressed".into(),
+            device: self.profile.name.to_string(),
+            init_ns,
+            traversal_ns: total - init_ns,
+            dram_peak_bytes: ledger.peak(DeviceKind::Dram),
+            device_peak_bytes: ledger.peak(self.profile.kind),
+            stats: dev.stats(),
+        });
+        Ok(out)
+    }
+}
+
+/// One scan run's shared state.
+struct Scan<'a> {
+    comp: &'a Compressed,
+    cfg: &'a EngineConfig,
+    dev: &'a Rc<SimDevice>,
+    pool: &'a Rc<PmemPool>,
+    scratch_base: Addr,
+    scratch_len: u64,
+    txlog: &'a Option<Rc<RefCell<TxLog>>>,
+    stream: Addr,
+    n_tokens: usize,
+    dict_offsets: Addr,
+    dict_bytes: Addr,
+    interner: RefCell<Interner>,
+    host_dram: Cell<u64>,
+    ledger: &'a Rc<AllocLedger>,
+}
+
+const BLOCK: usize = 4096;
+
+impl<'a> Scan<'a> {
+    fn charge_items(&self, n: u64) {
+        self.dev.charge_ns(n * self.cfg.cost.per_item_ns);
+    }
+
+    fn charge_sort(&self, n: u64) {
+        if n > 1 {
+            let log = 64 - n.leading_zeros() as u64;
+            self.dev.charge_ns(n * log * self.cfg.cost.per_compare_ns);
+        }
+    }
+
+    fn note_dram(&self, bytes: u64) {
+        self.ledger.on_alloc(DeviceKind::Dram, bytes);
+        self.host_dram.set(self.host_dram.get() + bytes);
+    }
+
+    fn word_str(&self, id: u32) -> String {
+        let start = self.dev.read_u64(self.dict_offsets + id as u64 * 8);
+        let end = self.dev.read_u64(self.dict_offsets + (id as u64 + 1) * 8);
+        let mut bytes = vec![0u8; (end - start) as usize];
+        self.dev.read_bytes(self.dict_bytes + start, &mut bytes);
+        String::from_utf8(bytes).expect("dictionary strings are UTF-8")
+    }
+
+    fn fresh_scratch(&self) -> Rc<PmemPool> {
+        Rc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
+    }
+
+    /// Standard-library-style growable result counter (the baseline has no
+    /// summation to pre-size from).
+    fn counter(&self) -> Result<TxCounter> {
+        let table = PHashTable::with_expected(self.pool.clone(), 8, false)?;
+        Ok(TxCounter::new(table, self.txlog.clone(), BASE_TX_BATCH))
+    }
+
+    /// Per-file scratch counter. Like the compressed engines' scratch
+    /// tables, per-file intermediates are *not* transactional under
+    /// operation-level persistence: they are recomputed on recovery, not
+    /// persisted (only result structures and cached lists are logged).
+    fn file_counter(&self) -> Result<TxCounter> {
+        let table = PHashTable::with_expected(self.fresh_scratch(), 8, false)?;
+        Ok(TxCounter::new(table, None, BASE_TX_BATCH))
+    }
+
+    /// Visit each token in stream order (bulk block reads).
+    fn for_each_token(&self, mut f: impl FnMut(u32) -> Result<()>) -> Result<()> {
+        let mut buf = vec![0u32; BLOCK];
+        let mut at = 0usize;
+        while at < self.n_tokens {
+            let n = BLOCK.min(self.n_tokens - at);
+            self.dev.read_u32_slice(self.stream + (at * 4) as u64, &mut buf[..n]);
+            self.charge_items(n as u64);
+            for &t in &buf[..n] {
+                f(t)?;
+            }
+            at += n;
+        }
+        Ok(())
+    }
+
+    // ---- tasks ------------------------------------------------------
+
+    fn count_all_words(&self) -> Result<Vec<(u32, u64)>> {
+        let counter = self.counter()?;
+        self.for_each_token(|t| if t == SEP { Ok(()) } else { counter.add(t as u64, 1) })?;
+        counter.finish()?;
+        Ok(counter.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect())
+    }
+
+    fn word_count(&self) -> Result<TaskOutput> {
+        let counts = self.count_all_words()?;
+        let mut out = BTreeMap::new();
+        for (wid, c) in counts {
+            out.insert(self.word_str(wid), c);
+        }
+        Ok(TaskOutput::WordCount(out))
+    }
+
+    fn sort(&self) -> Result<TaskOutput> {
+        let counts = self.count_all_words()?;
+        let mut rows: Vec<(String, u64)> =
+            counts.into_iter().map(|(wid, c)| (self.word_str(wid), c)).collect();
+        self.charge_sort(rows.len() as u64);
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(TaskOutput::Sort(rows))
+    }
+
+    /// Per-file word tables via one scan.
+    fn per_file_tables(&self) -> Result<Vec<Vec<(u32, u64)>>> {
+        let mut out = Vec::new();
+        let mut table = Some(self.file_counter()?);
+        self.for_each_token(|t| {
+            if t == SEP {
+                let finished = table.take().expect("active table");
+                finished.finish()?;
+                out.push(
+                    finished
+                        .table
+                        .entries()
+                        .into_iter()
+                        .map(|(k, v)| (k as u32, v))
+                        .collect(),
+                );
+                table = Some(self.file_counter()?);
+                Ok(())
+            } else {
+                table.as_ref().expect("active table").add(t as u64, 1)
+            }
+        })?;
+        let finished = table.take().expect("active table");
+        finished.finish()?;
+        out.push(
+            finished.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect(),
+        );
+        Ok(out)
+    }
+
+    fn term_vector(&self) -> Result<TaskOutput> {
+        let tables = self.per_file_tables()?;
+        let k = self.cfg.top_k;
+        let mut out = Vec::with_capacity(tables.len());
+        for (fid, mut entries) in tables.into_iter().enumerate() {
+            self.charge_sort(entries.len() as u64);
+            entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            entries.truncate(k);
+            let top: Vec<(String, u64)> =
+                entries.into_iter().map(|(w, c)| (self.word_str(w), c)).collect();
+            out.push((self.comp.file_names[fid].clone(), top));
+        }
+        Ok(TaskOutput::TermVector(out))
+    }
+
+    fn inverted_index(&self) -> Result<TaskOutput> {
+        let tables = self.per_file_tables()?;
+        let pairs: ntadoc_nstruct::PVec<(u32, u32)> = ntadoc_nstruct::PVec::with_capacity(
+            self.pool.clone(),
+            tables.iter().map(|t| t.len()).sum::<usize>().max(1),
+        )?;
+        let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (fid, mut entries) in tables.into_iter().enumerate() {
+            entries.sort_unstable_by_key(|e| e.0);
+            self.charge_sort(entries.len() as u64);
+            for (wid, _) in entries {
+                pairs.push((wid, fid as u32))?;
+                out.entry(self.word_str(wid))
+                    .or_default()
+                    .push(self.comp.file_names[fid].clone());
+            }
+        }
+        if self.cfg.persistence != Persistence::None {
+            pairs.persist();
+        }
+        Ok(TaskOutput::InvertedIndex(out))
+    }
+
+    /// Slide an n-window over the stream calling `f(gram_id)` per window;
+    /// windows never cross file separators.
+    fn for_each_ngram(&self, mut f: impl FnMut(u32, usize) -> Result<()>) -> Result<()> {
+        let n = self.cfg.ngram;
+        let mut window: Vec<u32> = Vec::with_capacity(n);
+        let mut fid = 0usize;
+        self.for_each_token(|t| {
+            if t == SEP {
+                window.clear();
+                fid += 1;
+                return Ok(());
+            }
+            window.push(t);
+            if window.len() > n {
+                window.remove(0);
+            }
+            if window.len() == n {
+                let (id, fresh) = self.interner.borrow_mut().intern(&window);
+                if fresh {
+                    self.note_dram(n as u64 * 8 + 64);
+                }
+                f(id, fid)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn sequence_count(&self) -> Result<TaskOutput> {
+        assert!(self.cfg.ngram >= 2);
+        let counter = self.counter()?;
+        self.for_each_ngram(|id, _| counter.add(id as u64, 1))?;
+        counter.finish()?;
+        let interner = self.interner.borrow();
+        let mut out = BTreeMap::new();
+        for (id, c) in counter.table.entries() {
+            let gram: Vec<String> =
+                interner.gram(id as u32).iter().map(|&w| self.word_str(w)).collect();
+            out.insert(gram, c);
+        }
+        Ok(TaskOutput::SequenceCount(out))
+    }
+
+    fn ranked_inverted_index(&self) -> Result<TaskOutput> {
+        assert!(self.cfg.ngram >= 2);
+        // Per-file n-gram tables in one scan.
+        let mut per_file: Vec<TxCounter> = Vec::new();
+        // Per-file tables must coexist (one per file), so they live on the
+        // main pool rather than the shared scratch region.
+        // Transient per-file intermediates: not transactional (see
+        // `file_counter`).
+        let new_table = || -> Result<TxCounter> {
+            Ok(TxCounter::new(
+                PHashTable::with_expected(self.pool.clone(), 8, false)?,
+                None,
+                BASE_TX_BATCH,
+            ))
+        };
+        per_file.push(new_table()?);
+        self.for_each_ngram(|id, fid| {
+            while per_file.len() <= fid {
+                per_file.push(new_table()?);
+            }
+            per_file[fid].add(id as u64, 1)
+        })?;
+        for t in &per_file {
+            t.finish()?;
+        }
+        let interner = self.interner.borrow();
+        let mut acc: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        for (fid, table) in per_file.iter().enumerate() {
+            for (id, c) in table.table.entries() {
+                acc.entry(id as u32).or_default().push((fid as u32, c));
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (sid, mut files) in acc {
+            self.charge_sort(files.len() as u64);
+            files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let gram: Vec<String> =
+                interner.gram(sid).iter().map(|&w| self.word_str(w)).collect();
+            let ranked: Vec<(String, u64)> = files
+                .into_iter()
+                .map(|(fid, c)| (self.comp.file_names[fid as usize].clone(), c))
+                .collect();
+            out.insert(gram, ranked);
+        }
+        Ok(TaskOutput::RankedInvertedIndex(out))
+    }
+}

@@ -1,0 +1,588 @@
+//! The on-device DAG pool (paper §IV-B, Algorithm 1).
+//!
+//! During initialization the compressed grammar is restructured into an
+//! NVM pool:
+//!
+//! * **metadata arrays** (structure-of-arrays): per-rule offsets, counts,
+//!   weights, expansion lengths and word-list bounds, each a dense array so
+//!   traversal metadata shares media lines;
+//! * **pruned views**: per rule, the deduplicated `(subrule, freq)` pairs
+//!   followed by deduplicated `(word, freq)` pairs — Algorithm 1's output,
+//!   written adjacently in traversal order for locality;
+//! * **ordered bodies**: the raw symbol sequences, needed by sequence
+//!   analytics and by the naive baseline;
+//! * **the dictionary**: word strings + offsets, so tasks that materialise
+//!   strings (sort) pay real device reads;
+//! * **head/tail buffers** for sequence support (§IV-D).
+//!
+//! With `adjacent_layout = false` the rule views are instead written in a
+//! pseudo-random order with line-sized gaps, reproducing what a
+//! general-purpose persistent allocator does to locality (§III-B).
+
+use std::rc::Rc;
+
+use ntadoc_grammar::{Compressed, Symbol};
+use ntadoc_nstruct::HeadTailStore;
+use ntadoc_pmem::{Addr, PmemPool, SimDevice};
+
+use crate::summation::HeadTailInfo;
+use crate::Result;
+
+/// Per-rule deduplicated view: `(id, freq)` pairs.
+pub fn prune_rule(symbols: &[Symbol]) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    // Buckets, as in Algorithm 1: count subrules and words separately.
+    let mut subs: Vec<(u32, u32)> = Vec::new();
+    let mut words: Vec<(u32, u32)> = Vec::new();
+    for s in symbols {
+        let list = if s.is_rule() {
+            &mut subs
+        } else if s.is_word() {
+            &mut words
+        } else {
+            continue; // separators carry no frequency payload
+        };
+        let id = s.payload();
+        match list.iter_mut().find(|(i, _)| *i == id) {
+            Some((_, f)) => *f += 1,
+            None => list.push((id, 1)),
+        }
+    }
+    (subs, words)
+}
+
+/// Addresses of the metadata arrays (SoA).
+#[derive(Debug, Clone, Copy)]
+struct MetaBases {
+    indeg: Addr,
+    pruned_off: Addr,
+    body_off: Addr,
+    nsub: Addr,
+    nwords: Addr,
+    body_len: Addr,
+    weight: Addr,
+    exp_len: Addr,
+    wl_bound: Addr,
+    wl_off: Addr,
+    wl_len: Addr,
+}
+
+/// The compressed corpus restructured onto a device pool.
+pub struct DagPool {
+    dev: Rc<SimDevice>,
+    pool: Rc<PmemPool>,
+    nrules: usize,
+    nfiles: usize,
+    meta: MetaBases,
+    dict_offsets: Addr,
+    dict_bytes: Addr,
+    dict_len: usize,
+    /// Head/tail store; `None` unless built for a sequence task.
+    pub headtail: Option<HeadTailStore>,
+    /// Whether pruned views were written.
+    pub has_pruned: bool,
+}
+
+/// Options controlling how the pool is built.
+#[derive(Debug, Clone)]
+pub struct DagBuildOptions {
+    /// Write pruned `(id, freq)` views (Algorithm 1).
+    pub pruned: bool,
+    /// Lay rules out adjacently in traversal order (vs scattered).
+    pub adjacent: bool,
+    /// Store per-rule word-list upper bounds (from the summation).
+    pub bounds: Option<Vec<u64>>,
+    /// Build head/tail buffers of this width (sequence tasks).
+    pub head_tail: Option<usize>,
+    /// Per-object allocator cost charged for every rule allocation when
+    /// the layout is scattered: the naive baseline goes through a
+    /// PMDK-style persistent allocator (§III-B), which costs ~1-2 µs per
+    /// `pmemobj_alloc`; N-TADOC's pool management replaces this with bump
+    /// allocation.
+    pub alloc_overhead_ns: u64,
+}
+
+impl DagPool {
+    /// Build the pool from a compressed corpus. All writes are charged to
+    /// `pool`'s device.
+    pub fn build(
+        pool: Rc<PmemPool>,
+        comp: &Compressed,
+        info: Option<&HeadTailInfo>,
+        opts: &DagBuildOptions,
+    ) -> Result<DagPool> {
+        let dev = pool.dev().clone();
+        let nrules = comp.grammar.rule_count();
+        let nfiles = comp.file_count();
+
+        let meta = MetaBases {
+            indeg: pool.alloc_array(nrules, 4)?,
+            pruned_off: pool.alloc_array(nrules, 8)?,
+            body_off: pool.alloc_array(nrules, 8)?,
+            nsub: pool.alloc_array(nrules, 4)?,
+            nwords: pool.alloc_array(nrules, 4)?,
+            body_len: pool.alloc_array(nrules, 4)?,
+            weight: pool.alloc_array(nrules, 8)?,
+            exp_len: pool.alloc_array(nrules, 8)?,
+            wl_bound: pool.alloc_array(nrules, 8)?,
+            wl_off: pool.alloc_array(nrules, 8)?,
+            wl_len: pool.alloc_array(nrules, 4)?,
+        };
+
+        // Rule write order: adjacent = as-is (rule ids are already close to
+        // traversal order for Sequitur output); scattered = deterministic
+        // pseudo-random permutation with line-sized gaps.
+        let order: Vec<u32> = if opts.adjacent {
+            (0..nrules as u32).collect()
+        } else {
+            let mut v: Vec<u32> = (0..nrules as u32).collect();
+            let mut state = 0x9E37_79B9u64 ^ nrules as u64;
+            for i in (1..v.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        };
+
+        let line = dev.profile().line_size;
+        for &r in &order {
+            let rule = &comp.grammar.rules[r as usize];
+            if !opts.adjacent {
+                // Allocator slop: skip to the next line boundary plus a
+                // pseudo-random gap, destroying adjacency; plus the
+                // per-object cost of the general-purpose persistent
+                // allocator this layout implies.
+                let gap = line + (r as usize * 37) % (2 * line);
+                let _ = pool.alloc(gap, 1)?;
+                dev.charge_ns(2 * opts.alloc_overhead_ns);
+            }
+            // Ordered body (always present; sequence tasks and the R0 file
+            // walk need symbol order).
+            let body_addr = pool.alloc_array(rule.symbols.len().max(1), 4)?;
+            let raw: Vec<u32> = rule.symbols.iter().map(|s| s.raw()).collect();
+            dev.write_u32_slice(body_addr, &raw);
+            dev.write_u64(meta.body_off + r as u64 * 8, body_addr);
+            dev.write_u32(meta.body_len + r as u64 * 4, rule.symbols.len() as u32);
+
+            // Pruned view (Algorithm 1).
+            if opts.pruned {
+                let (subs, words) = prune_rule(&rule.symbols);
+                let total = (subs.len() + words.len()).max(1);
+                let addr = pool.alloc_array(total, 8)?;
+                let mut flat: Vec<u32> = Vec::with_capacity(total * 2);
+                for &(id, f) in subs.iter().chain(words.iter()) {
+                    flat.push(id);
+                    flat.push(f);
+                }
+                dev.write_u32_slice(addr, &flat);
+                dev.write_u64(meta.pruned_off + r as u64 * 8, addr);
+                dev.write_u32(meta.nsub + r as u64 * 4, subs.len() as u32);
+                dev.write_u32(meta.nwords + r as u64 * 4, words.len() as u32);
+            }
+
+            // Weight starts at zero; bounds and expansion metadata below.
+            dev.write_u64(meta.weight + r as u64 * 8, 0);
+        }
+
+        // In-degrees (occurrence-counted), part of the pool metadata the
+        // paper lists ("the out/in degree … for the rule in the compressed
+        // file's DAG representation").
+        let indegs = comp.grammar.in_degrees();
+        dev.write_u32_slice(meta.indeg, &indegs);
+
+        if let Some(bounds) = &opts.bounds {
+            for (r, &b) in bounds.iter().enumerate() {
+                dev.write_u64(meta.wl_bound + r as u64 * 8, b);
+            }
+        }
+        if let Some(info) = info {
+            for (r, &l) in info.exp_len.iter().enumerate() {
+                dev.write_u64(meta.exp_len + r as u64 * 8, l);
+            }
+        }
+
+        // Dictionary: offsets then bytes.
+        let dict_len = comp.dict.len();
+        let dict_offsets = pool.alloc_array(dict_len + 1, 8)?;
+        let total_text = comp.dict.text_bytes();
+        let dict_bytes = pool.alloc(total_text.max(1), 1)?;
+        let mut at = 0u64;
+        let mut offsets = Vec::with_capacity(dict_len + 1);
+        let mut text = Vec::with_capacity(total_text);
+        for (_, w) in comp.dict.iter() {
+            offsets.push(at);
+            text.extend_from_slice(w.as_bytes());
+            at += w.len() as u64;
+        }
+        offsets.push(at);
+        for (i, off) in offsets.iter().enumerate() {
+            dev.write_u64(dict_offsets + i as u64 * 8, *off);
+        }
+        dev.write_bytes(dict_bytes, &text);
+
+        // Head/tail buffers.
+        let headtail = match (opts.head_tail, info) {
+            (Some(width), Some(info)) => {
+                let store = HeadTailStore::new(pool.clone(), nrules, width)?;
+                for r in 0..nrules {
+                    store.set_head(r, &info.heads[r]);
+                    store.set_tail(r, &info.tails[r]);
+                }
+                Some(store)
+            }
+            _ => None,
+        };
+
+        Ok(DagPool {
+            dev,
+            pool,
+            nrules,
+            nfiles,
+            meta,
+            dict_offsets,
+            dict_bytes,
+            dict_len,
+            headtail,
+            has_pruned: opts.pruned,
+        })
+    }
+
+    /// Backing device.
+    pub fn dev(&self) -> &Rc<SimDevice> {
+        &self.dev
+    }
+
+    /// Backing pool (word-list caches bump-allocate from it).
+    pub fn pool(&self) -> &Rc<PmemPool> {
+        &self.pool
+    }
+
+    /// Rule count.
+    pub fn nrules(&self) -> usize {
+        self.nrules
+    }
+
+    /// File count.
+    pub fn nfiles(&self) -> usize {
+        self.nfiles
+    }
+
+    // ---- metadata accessors (each is a charged device access) ----------
+
+    /// Current weight of rule `r`.
+    pub fn weight(&self, r: u32) -> u64 {
+        self.dev.read_u64(self.meta.weight + r as u64 * 8)
+    }
+
+    /// Overwrite rule `r`'s weight.
+    pub fn set_weight(&self, r: u32, w: u64) {
+        self.dev.write_u64(self.meta.weight + r as u64 * 8, w);
+    }
+
+    /// Add to rule `r`'s weight (read-modify-write).
+    pub fn add_weight(&self, r: u32, dw: u64) {
+        let w = self.weight(r);
+        self.set_weight(r, w + dw);
+    }
+
+    /// Zero all weights with one bulk write.
+    pub fn reset_weights(&self) {
+        let zeros = vec![0u8; self.nrules * 8];
+        self.dev.write_bytes(self.meta.weight, &zeros);
+    }
+
+    /// Bulk-read the in-degree array (occurrence-counted).
+    pub fn read_indegs(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.nrules];
+        self.dev.read_u32_slice(self.meta.indeg, &mut out);
+        out
+    }
+
+    /// Expansion length (words) of rule `r`.
+    pub fn exp_len(&self, r: u32) -> u64 {
+        self.dev.read_u64(self.meta.exp_len + r as u64 * 8)
+    }
+
+    /// Word-list upper bound of rule `r` (0 when summation was skipped).
+    pub fn wl_bound(&self, r: u32) -> u64 {
+        self.dev.read_u64(self.meta.wl_bound + r as u64 * 8)
+    }
+
+    /// Pruned `(subrule, freq)` and `(word, freq)` lists of rule `r`.
+    ///
+    /// # Panics
+    /// Panics if the pool was built without pruned views.
+    pub fn pruned_view(&self, r: u32) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+        assert!(self.has_pruned, "pool built without pruned views");
+        let off = self.dev.read_u64(self.meta.pruned_off + r as u64 * 8);
+        let nsub = self.dev.read_u32(self.meta.nsub + r as u64 * 4) as usize;
+        let nwords = self.dev.read_u32(self.meta.nwords + r as u64 * 4) as usize;
+        let mut flat = vec![0u32; (nsub + nwords) * 2];
+        self.dev.read_u32_slice(off, &mut flat);
+        let subs = flat[..nsub * 2].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let words = flat[nsub * 2..].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        (subs, words)
+    }
+
+    /// Only the `(subrule, freq)` half of rule `r`'s pruned view (weight
+    /// propagation reads just this prefix — the pruned layout puts it
+    /// first for exactly that reason).
+    pub fn pruned_subs(&self, r: u32) -> Vec<(u32, u32)> {
+        assert!(self.has_pruned, "pool built without pruned views");
+        let off = self.dev.read_u64(self.meta.pruned_off + r as u64 * 8);
+        let nsub = self.dev.read_u32(self.meta.nsub + r as u64 * 4) as usize;
+        let mut flat = vec![0u32; nsub * 2];
+        self.dev.read_u32_slice(off, &mut flat);
+        flat.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+    }
+
+    /// Only the `(word, freq)` half of rule `r`'s pruned view.
+    pub fn pruned_words(&self, r: u32) -> Vec<(u32, u32)> {
+        assert!(self.has_pruned, "pool built without pruned views");
+        let off = self.dev.read_u64(self.meta.pruned_off + r as u64 * 8);
+        let nsub = self.dev.read_u32(self.meta.nsub + r as u64 * 4) as usize;
+        let nwords = self.dev.read_u32(self.meta.nwords + r as u64 * 4) as usize;
+        let mut flat = vec![0u32; nwords * 2];
+        self.dev.read_u32_slice(off + nsub as u64 * 8, &mut flat);
+        flat.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+    }
+
+    /// Ordered body symbols of rule `r`.
+    pub fn body(&self, r: u32) -> Vec<Symbol> {
+        let off = self.dev.read_u64(self.meta.body_off + r as u64 * 8);
+        let len = self.dev.read_u32(self.meta.body_len + r as u64 * 4) as usize;
+        let mut raw = vec![0u32; len];
+        self.dev.read_u32_slice(off, &mut raw);
+        raw.into_iter().map(Symbol::from_raw).collect()
+    }
+
+    /// Length of rule `r`'s ordered body.
+    pub fn body_len(&self, r: u32) -> usize {
+        self.dev.read_u32(self.meta.body_len + r as u64 * 4) as usize
+    }
+
+    // ---- cached word lists (bottom-up traversal) ------------------------
+
+    /// Store rule `r`'s word list as packed `(word, count)` pairs,
+    /// bump-allocated from the pool. Counts are `u64`. Returns the region
+    /// written so callers can wire persistence to it.
+    pub fn store_wordlist(&self, r: u32, entries: &[(u32, u64)]) -> Result<(Addr, usize)> {
+        let addr = self.pool.alloc(entries.len().max(1) * 12, 4)?;
+        let mut bytes = Vec::with_capacity(entries.len() * 12);
+        for &(w, c) in entries {
+            bytes.extend_from_slice(&w.to_le_bytes());
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        self.dev.write_bytes(addr, &bytes);
+        self.dev.write_u64(self.meta.wl_off + r as u64 * 8, addr);
+        self.dev.write_u32(self.meta.wl_len + r as u64 * 4, entries.len() as u32);
+        Ok((addr, bytes.len()))
+    }
+
+    /// Read back rule `r`'s cached word list.
+    pub fn wordlist(&self, r: u32) -> Vec<(u32, u64)> {
+        let addr = self.dev.read_u64(self.meta.wl_off + r as u64 * 8);
+        let len = self.dev.read_u32(self.meta.wl_len + r as u64 * 4) as usize;
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut bytes = vec![0u8; len * 12];
+        self.dev.read_bytes(addr, &mut bytes);
+        bytes
+            .chunks_exact(12)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[..4].try_into().unwrap()),
+                    u64::from_le_bytes(c[4..].try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    // ---- dictionary ------------------------------------------------------
+
+    /// Number of dictionary words.
+    pub fn dict_len(&self) -> usize {
+        self.dict_len
+    }
+
+    /// Read word `id`'s string from the device (charged).
+    pub fn word_str(&self, id: u32) -> String {
+        let start = self.dev.read_u64(self.dict_offsets + id as u64 * 8);
+        let end = self.dev.read_u64(self.dict_offsets + (id as u64 + 1) * 8);
+        let mut bytes = vec![0u8; (end - start) as usize];
+        self.dev.read_bytes(self.dict_bytes + start, &mut bytes);
+        String::from_utf8(bytes).expect("dictionary strings are UTF-8")
+    }
+
+    /// Persist everything allocated so far (end of the init phase under
+    /// phase-level persistence).
+    pub fn persist_all(&self) {
+        self.pool.persist_used();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summation::{head_tail_info, upper_bounds};
+    use ntadoc_grammar::{compress_corpus, TokenizerConfig};
+    use ntadoc_pmem::DeviceProfile;
+
+    fn sample() -> Compressed {
+        let files = vec![
+            ("a".into(), "x y z x y z x y w q x y".into()),
+            ("b".into(), "x y z w w q x y z".into()),
+        ];
+        compress_corpus(&files, &TokenizerConfig::default())
+    }
+
+    fn build(comp: &Compressed, pruned: bool, adjacent: bool) -> DagPool {
+        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 24));
+        let pool = Rc::new(PmemPool::over_whole(dev));
+        let info = head_tail_info(&comp.grammar, 2);
+        let bounds = upper_bounds(&comp.grammar).bounds;
+        DagPool::build(
+            pool,
+            comp,
+            Some(&info),
+            &DagBuildOptions {
+                pruned,
+                adjacent,
+                bounds: Some(bounds),
+                head_tail: Some(2),
+                alloc_overhead_ns: 3_000,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prune_rule_matches_paper_example() {
+        // "R1 → R2 w3 R4 w4 R3 R2 R4 w4" prunes to
+        // "R2×2 R4×2 R3 | w3 w4×2" (order of first occurrence).
+        let body = vec![
+            Symbol::rule(2),
+            Symbol::word(3),
+            Symbol::rule(4),
+            Symbol::word(4),
+            Symbol::rule(3),
+            Symbol::rule(2),
+            Symbol::rule(4),
+            Symbol::word(4),
+        ];
+        let (subs, words) = prune_rule(&body);
+        assert_eq!(subs, vec![(2, 2), (4, 2), (3, 1)]);
+        assert_eq!(words, vec![(3, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn prune_rule_skips_separators() {
+        let body = vec![Symbol::word(1), Symbol::file_sep(0), Symbol::word(1)];
+        let (subs, words) = prune_rule(&body);
+        assert!(subs.is_empty());
+        assert_eq!(words, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn bodies_round_trip() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        for r in 0..comp.grammar.rule_count() as u32 {
+            assert_eq!(dag.body(r), comp.grammar.rules[r as usize].symbols, "rule {r}");
+        }
+    }
+
+    #[test]
+    fn pruned_views_round_trip() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        for r in 0..comp.grammar.rule_count() as u32 {
+            let expect = prune_rule(&comp.grammar.rules[r as usize].symbols);
+            assert_eq!(dag.pruned_view(r), expect, "rule {r}");
+        }
+    }
+
+    #[test]
+    fn weights_update_and_reset() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        dag.set_weight(0, 1);
+        dag.add_weight(0, 4);
+        assert_eq!(dag.weight(0), 5);
+        dag.reset_weights();
+        assert_eq!(dag.weight(0), 0);
+    }
+
+    #[test]
+    fn dictionary_reads_back_strings() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        for (id, w) in comp.dict.iter() {
+            assert_eq!(dag.word_str(id), w);
+        }
+    }
+
+    #[test]
+    fn wordlists_round_trip() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        let entries = vec![(3u32, 7u64), (9, 1_000_000_000_000)];
+        dag.store_wordlist(1, &entries).unwrap();
+        assert_eq!(dag.wordlist(1), entries);
+        assert!(dag.wordlist(0).is_empty());
+    }
+
+    #[test]
+    fn head_tail_store_is_populated() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        let info = head_tail_info(&comp.grammar, 2);
+        let ht = dag.headtail.as_ref().unwrap();
+        for r in 0..comp.grammar.rule_count() {
+            assert_eq!(ht.head(r), info.heads[r], "head {r}");
+            assert_eq!(ht.tail(r), info.tails[r], "tail {r}");
+        }
+    }
+
+    #[test]
+    fn scattered_layout_costs_more_to_traverse() {
+        let comp = sample();
+        let adj = build(&comp, true, true);
+        let scat = build(&comp, true, false);
+        // Cold the caches (persist keeps contents, crash empties the
+        // cache) so the traversal below pays real media-line fetches.
+        for d in [&adj, &scat] {
+            d.persist_all();
+            d.dev().crash();
+            d.dev().reset_stats();
+        }
+        for r in 0..comp.grammar.rule_count() as u32 {
+            let _ = adj.pruned_view(r);
+            let _ = scat.pruned_view(r);
+        }
+        let a = adj.dev().stats().virtual_ns;
+        let s = scat.dev().stats().virtual_ns;
+        assert!(s > a, "scattered {s} should cost more than adjacent {a}");
+    }
+
+    #[test]
+    fn unpruned_pool_panics_on_pruned_access() {
+        let comp = sample();
+        let dag = build(&comp, false, true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dag.pruned_view(0)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn persisted_pool_survives_crash() {
+        let comp = sample();
+        let dag = build(&comp, true, true);
+        let before = dag.body(0);
+        dag.persist_all();
+        dag.dev().crash();
+        assert_eq!(dag.body(0), before);
+    }
+}

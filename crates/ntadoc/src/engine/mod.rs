@@ -1,0 +1,705 @@
+//! The N-TADOC engine: per-task sessions over a simulated device.
+//!
+//! An [`Engine`] is configured once (corpus + [`EngineConfig`] + device
+//! profile); each [`Engine::run`] executes one benchmark end to end the way
+//! the paper measures it — "from the initialization phase of loading the
+//! dataset to writing the analytics results back to disk" — on a fresh
+//! device, and records a [`RunReport`] with per-phase virtual times and
+//! peak per-device allocation.
+//!
+//! The two phases:
+//!
+//! * **initialization** — stream the compressed image from disk, build the
+//!   DAG pool (§IV-B), run the bottom-up summation (§IV-C), build head/tail
+//!   buffers and, for bottom-up file tasks, the per-rule word/sequence list
+//!   caches; then persist the pool (phase boundary);
+//! * **graph traversal** — run the task over the device-resident DAG and
+//!   persist/write back the results.
+//!
+//! Crash recovery follows §IV-E: under phase-level persistence a crash
+//! during traversal loses only the traversal phase — `Session::traverse`
+//! can simply be re-run against the persisted pool (see the recovery tests
+//! in `tests/`).
+
+mod tasks;
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ntadoc_grammar::{serialize_compressed, Compressed};
+use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::{
+    AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog,
+};
+
+use crate::config::{EngineConfig, Persistence, Traversal};
+use crate::dag::{DagBuildOptions, DagPool};
+use crate::report::RunReport;
+use crate::result::{Task, TaskOutput};
+use crate::summation::{head_tail_info, upper_bounds};
+use crate::Result;
+
+/// How many counter updates share one undo-log transaction under
+/// operation-level persistence. The paper wraps each rule-interpretation
+/// operation; 256 updates approximates one such operation batch (ranges
+/// are deduplicated per transaction, as PMDK's `tx_add_range` does).
+const TX_BATCH: usize = 256;
+
+/// Reusable engine: one corpus, one configuration, one device profile.
+pub struct Engine {
+    comp: Rc<Compressed>,
+    cfg: EngineConfig,
+    profile: DeviceProfile,
+    label: String,
+    /// Serialized image size (charged as the init disk read).
+    image_bytes: u64,
+    /// Host-side grammar statistics used for capacity planning only.
+    plan: CapacityPlan,
+    /// Report of the most recent `run`.
+    pub last_report: Option<RunReport>,
+}
+
+/// Host-side sizing facts (capacity planning, not part of the measured
+/// algorithm).
+#[derive(Debug, Clone)]
+struct CapacityPlan {
+    nrules: usize,
+    total_symbols: usize,
+    vocab: usize,
+    expanded_words: u64,
+    dict_text: usize,
+    sum_bounds: u64,
+    max_exp_nonroot: u64,
+}
+
+impl Engine {
+    /// Create an engine for `comp` with config `cfg` on a device with the
+    /// given profile.
+    pub fn with_profile(
+        comp: &Compressed,
+        cfg: EngineConfig,
+        profile: DeviceProfile,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let stats = comp.grammar.stats();
+        let bounds = upper_bounds(&comp.grammar).bounds;
+        let vocab = comp.dict.len();
+        let info = head_tail_info(&comp.grammar, 1);
+        let max_exp_nonroot =
+            info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
+        let plan = CapacityPlan {
+            nrules: stats.rule_count,
+            total_symbols: stats.total_symbols,
+            vocab,
+            expanded_words: stats.expanded_words,
+            dict_text: comp.dict.text_bytes(),
+            sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
+            max_exp_nonroot,
+        };
+        assert!(
+            !comp.file_names.is_empty(),
+            "engines need a corpus with at least one file"
+        );
+        let image_bytes = serialize_compressed(comp).len() as u64;
+        Ok(Engine {
+            comp: Rc::new(comp.clone()),
+            cfg,
+            profile,
+            label: label.into(),
+            image_bytes,
+            plan,
+            last_report: None,
+        })
+    }
+
+    /// N-TADOC-style engine on the simulated Optane NVM.
+    pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
+        let label = if cfg.pruned { "N-TADOC" } else { "naive-NVM" };
+        Self::with_profile(comp, cfg, DeviceProfile::nvm_optane(), label)
+    }
+
+    /// Engine on pure DRAM (the TADOC upper bound of Figure 6).
+    pub fn on_dram(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
+        Self::with_profile(comp, cfg, DeviceProfile::dram(), "TADOC-DRAM")
+    }
+
+    /// Engine on an SSD/HDD profile with the paper's memory budget (page
+    /// cache capped at 20% of the uncompressed dataset size).
+    pub fn on_block_device(comp: &Compressed, cfg: EngineConfig, hdd: bool) -> Result<Self> {
+        let uncompressed = Self::uncompressed_bytes(comp);
+        let budget = (uncompressed / 5).max(1 << 20) as usize;
+        let profile =
+            if hdd { DeviceProfile::hdd_sas(budget) } else { DeviceProfile::ssd_optane(budget) };
+        let label = if hdd { "N-TADOC-HDD" } else { "N-TADOC-SSD" };
+        Self::with_profile(comp, cfg, profile, label)
+    }
+
+    /// Size of the corpus as uncompressed dictionary-encoded text.
+    pub fn uncompressed_bytes(comp: &Compressed) -> u64 {
+        let mut word_len = vec![0u64; comp.dict.len()];
+        for (id, w) in comp.dict.iter() {
+            word_len[id as usize] = w.len() as u64 + 1;
+        }
+        comp.grammar.expand_tokens().iter().map(|&t| word_len[t as usize]).sum()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The engine's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Run one benchmark end to end; retries with a doubled device if the
+    /// initial capacity estimate was too small.
+    pub fn run(&mut self, task: Task) -> Result<TaskOutput> {
+        let mut capacity = self.estimate_capacity(task);
+        loop {
+            match self.try_run(task, capacity) {
+                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
+                    capacity *= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn try_run(&mut self, task: Task, capacity: usize) -> Result<TaskOutput> {
+        let mut session = self.start_with_capacity(task, capacity)?;
+        let out = session.traverse()?;
+        self.last_report = Some(session.report());
+        Ok(out)
+    }
+
+    /// Run only the initialization phase, returning the live [`Session`]
+    /// (used by recovery tests and by `run`).
+    pub fn start(&self, task: Task) -> Result<Session> {
+        self.start_with_capacity(task, self.estimate_capacity(task))
+    }
+
+    /// Scratch region sizing: the largest transient hash table, times the
+    /// reallocation-generation factor for growable tables.
+    fn scratch_bytes(&self, task: Task) -> u64 {
+        let per_entry = 17u64; // status 1 + key 8 + value 8
+        let mut need = self.plan.vocab as u64 + 16;
+        if task.is_sequence() {
+            // Per-rule sequence lists / per-file n-gram tables can reach
+            // the expansion length of the largest non-root rule or file.
+            need = need
+                .max(self.plan.max_exp_nonroot * self.cfg.ngram as u64)
+                .max(self.plan.expanded_words / self.comp.file_count().max(1) as u64 * 2);
+        }
+        let slots = (need * 8 / 7 + 16).next_power_of_two();
+        per_entry * slots * 6 + (1 << 16)
+    }
+
+    fn estimate_capacity(&self, task: Task) -> usize {
+        let p = &self.plan;
+        let line = self.profile.line_size as u64;
+        let mut bytes = 0u64;
+        bytes += p.total_symbols as u64 * 12 + p.nrules as u64 * 24; // bodies + pruned views
+        bytes += p.nrules as u64 * 80 + 256; // metadata SoA
+        bytes += p.dict_text as u64 + (p.vocab as u64 + 2) * 8;
+        bytes += p.nrules as u64 * (2 * self.cfg.ngram as u64 * 4 + 16); // head/tail
+        if !self.cfg.adjacent_layout {
+            bytes += p.nrules as u64 * 3 * line; // scatter gaps
+        }
+        if task.is_file_oriented() {
+            bytes += p.sum_bounds * 12 + p.nrules as u64 * 12; // word-list caches
+        }
+        if task.is_sequence() {
+            // Junction/sequence caches + the global n-gram counter.
+            bytes += p.expanded_words * 24 + (1 << 20);
+        }
+        bytes += p.vocab as u64 * 40 + (1 << 20); // result structures
+        bytes += self.scratch_bytes(task);
+        bytes += LOG_BYTES as u64;
+        let total = (bytes * 3 / 2).next_power_of_two().max(1 << 22);
+        total as usize
+    }
+
+    fn start_with_capacity(&self, task: Task, capacity: usize) -> Result<Session> {
+        let ledger = Rc::new(AllocLedger::new());
+        let dev = Rc::new(SimDevice::new(self.profile.clone(), capacity));
+        // Scratch scales with the device so capacity-doubling retries also
+        // relieve scratch exhaustion.
+        let scratch_len = self.scratch_bytes(task).max(capacity as u64 / 4);
+        let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
+        let pool = Rc::new(
+            PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()),
+        );
+        let scratch_base = main_len;
+        let log_base = main_len + scratch_len;
+
+        let txlog = match self.cfg.persistence {
+            Persistence::OperationLevel => Some(Rc::new(RefCell::new(TxLog::new(
+                dev.clone(),
+                log_base,
+                LOG_BYTES,
+            )))),
+            _ => None,
+        };
+
+        let mut session = Session {
+            comp: self.comp.clone(),
+            cfg: self.cfg.clone(),
+            task,
+            dev,
+            ledger,
+            pool,
+            scratch_base,
+            scratch_len,
+            txlog,
+            dag: None,
+            topo: Vec::new(),
+            topo_pos: Vec::new(),
+            host_dram: Cell::new(0),
+            init_ns: 0,
+            trav_ns: Cell::new(0),
+            engine_label: self.label.clone(),
+            interner: RefCell::new(Interner::default()),
+            image_bytes: self.image_bytes,
+        };
+        session.init()?;
+        Ok(session)
+    }
+}
+
+/// Undo-log region size for operation-level persistence.
+const LOG_BYTES: usize = 4 << 20;
+
+/// Host-side n-gram interner (CPU-side sequence dictionary; its DRAM
+/// footprint is ledger-tracked, which is why sequence tasks show the
+/// smallest DRAM savings in §VI-C).
+#[derive(Default)]
+pub(crate) struct Interner {
+    map: HashMap<Vec<u32>, u32>,
+    list: Vec<Vec<u32>>,
+}
+
+impl Interner {
+    /// Intern an n-gram, returning its dense id and whether it was new.
+    pub fn intern(&mut self, gram: &[u32]) -> (u32, bool) {
+        if let Some(&id) = self.map.get(gram) {
+            return (id, false);
+        }
+        let id = self.list.len() as u32;
+        self.list.push(gram.to_vec());
+        self.map.insert(gram.to_vec(), id);
+        (id, true)
+    }
+
+    /// The n-gram behind `id`.
+    pub fn gram(&self, id: u32) -> &[u32] {
+        &self.list[id as usize]
+    }
+}
+
+/// A single task run: the device, pools and DAG built by the init phase.
+pub struct Session {
+    pub(crate) comp: Rc<Compressed>,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) task: Task,
+    pub(crate) dev: Rc<SimDevice>,
+    pub(crate) ledger: Rc<AllocLedger>,
+    pub(crate) pool: Rc<PmemPool>,
+    scratch_base: u64,
+    scratch_len: u64,
+    pub(crate) txlog: Option<Rc<RefCell<TxLog>>>,
+    pub(crate) dag: Option<DagPool>,
+    /// Rules in topological order (host-resident, DRAM-ledgered).
+    pub(crate) topo: Vec<u32>,
+    /// `topo_pos[r]` = position of rule `r` in `topo`.
+    pub(crate) topo_pos: Vec<u32>,
+    /// Running total of host-side DRAM bytes (ledgered).
+    host_dram: Cell<u64>,
+    init_ns: u64,
+    trav_ns: Cell<u64>,
+    engine_label: String,
+    pub(crate) interner: RefCell<Interner>,
+    image_bytes: u64,
+}
+
+impl Session {
+    /// The DAG pool (available after init).
+    pub(crate) fn dag(&self) -> &DagPool {
+        self.dag.as_ref().expect("session is initialized")
+    }
+
+    /// Charge modeled CPU work for `n` items.
+    pub(crate) fn charge_items(&self, n: u64) {
+        self.dev.charge_ns(n * self.cfg.cost.per_item_ns);
+    }
+
+    /// Charge modeled CPU work for sorting `n` elements.
+    pub(crate) fn charge_sort(&self, n: u64) {
+        if n > 1 {
+            let log = 64 - n.leading_zeros() as u64;
+            self.dev.charge_ns(n * log * self.cfg.cost.per_compare_ns);
+        }
+    }
+
+    /// Record host-side DRAM allocation (RSS proxy bookkeeping).
+    pub(crate) fn note_dram(&self, bytes: u64) {
+        self.ledger.on_alloc(DeviceKind::Dram, bytes);
+        self.host_dram.set(self.host_dram.get() + bytes);
+    }
+
+    /// Record host-side DRAM release.
+    pub(crate) fn drop_dram(&self, bytes: u64) {
+        self.ledger.on_free(DeviceKind::Dram, bytes);
+        self.host_dram.set(self.host_dram.get().saturating_sub(bytes));
+    }
+
+    /// A fresh scratch pool over the dedicated scratch region (transient
+    /// hash tables; reset wholesale on each call).
+    pub(crate) fn fresh_scratch(&self) -> Rc<PmemPool> {
+        Rc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
+    }
+
+    /// Effective traversal strategy for this task (§VI-E's Auto policy:
+    /// bottom-up for file-oriented tasks over many files).
+    pub(crate) fn strategy(&self) -> Traversal {
+        match self.cfg.traversal {
+            Traversal::Auto => {
+                if self.task.is_file_oriented() && self.dag().nfiles() >= 64 {
+                    Traversal::BottomUp
+                } else {
+                    Traversal::TopDown
+                }
+            }
+            t => t,
+        }
+    }
+
+    /// Whether word-list (or sequence-list) caches are built during init.
+    fn needs_caches(&self) -> bool {
+        match self.task {
+            Task::TermVector | Task::InvertedIndex => {
+                matches!(self.strategy_for_planning(), Traversal::BottomUp)
+            }
+            Task::RankedInvertedIndex => true,
+            _ => false,
+        }
+    }
+
+    /// `strategy()` without requiring the DAG (used during init planning).
+    fn strategy_for_planning(&self) -> Traversal {
+        match self.cfg.traversal {
+            Traversal::Auto => {
+                if self.task.is_file_oriented() && self.comp.file_count() >= 64 {
+                    Traversal::BottomUp
+                } else {
+                    Traversal::TopDown
+                }
+            }
+            t => t,
+        }
+    }
+
+    /// The initialization phase.
+    fn init(&mut self) -> Result<()> {
+        let cost = self.cfg.cost;
+        // 0. Open/map the persistent pool (fixed cost; volatile DRAM runs
+        // skip it — this is part of why the smallest dataset shows the
+        // largest gap to DRAM TADOC in Figure 6).
+        if self.dev.profile().kind.is_persistent() {
+            self.dev.charge_ns(cost.pool_open_ns);
+        }
+        // 1. Stream the compressed image from disk. The staging buffer the
+        // image is parsed out of is DRAM-resident for the duration of the
+        // init phase — it is the bulk of N-TADOC's remaining DRAM
+        // footprint (§VI-C).
+        self.dev.charge_ns(cost.disk_read_ns(self.image_bytes));
+        let staging = self.image_bytes * 3 / 2; // raw image + parse cursor state
+        self.note_dram(staging);
+        // 2. Parse (host CPU).
+        let total_syms: usize =
+            self.comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
+        self.charge_items(total_syms as u64);
+
+        // 3. Bottom-up summation for container pre-sizing (§IV-C).
+        let bounds = if self.cfg.presize {
+            let vocab = self.comp.dict.len() as u64;
+            let b = upper_bounds(&self.comp.grammar);
+            self.charge_items(total_syms as u64);
+            Some(b.bounds.iter().map(|&x| x.min(vocab)).collect::<Vec<u64>>())
+        } else {
+            None
+        };
+
+        // 4. Head/tail preprocessing for sequence tasks (§IV-D).
+        let info = if self.task.is_sequence() {
+            let width = self.cfg.ngram.saturating_sub(1).max(1);
+            let i = head_tail_info(&self.comp.grammar, width);
+            self.charge_items(total_syms as u64);
+            Some(i)
+        } else {
+            None
+        };
+
+        // 5. Build the DAG pool (§IV-B).
+        let opts = DagBuildOptions {
+            pruned: self.cfg.pruned,
+            adjacent: self.cfg.adjacent_layout,
+            bounds,
+            head_tail: if self.task.is_sequence() {
+                Some(self.cfg.ngram.saturating_sub(1).max(1))
+            } else {
+                None
+            },
+            alloc_overhead_ns: if self.dev.profile().kind.is_persistent() {
+                self.cfg.cost.pmdk_alloc_ns
+            } else {
+                self.cfg.cost.malloc_ns
+            },
+        };
+        let dag = DagPool::build(self.pool.clone(), &self.comp, info.as_ref(), &opts)?;
+        self.dag = Some(dag);
+
+        // 6. Host-side topological order (tracked DRAM).
+        self.topo = self.comp.grammar.topo_order();
+        let nrules = self.topo.len();
+        self.topo_pos = vec![0u32; nrules];
+        for (i, &r) in self.topo.iter().enumerate() {
+            self.topo_pos[r as usize] = i as u32;
+        }
+        self.note_dram(nrules as u64 * 8);
+        self.charge_items(nrules as u64);
+
+        // 7. Per-rule caches for bottom-up traversal.
+        if self.needs_caches() {
+            match self.task {
+                Task::TermVector | Task::InvertedIndex => self.build_wordlist_caches()?,
+                Task::RankedInvertedIndex => self.build_seqlist_caches()?,
+                _ => unreachable!(),
+            }
+        }
+
+        // 8. Phase boundary: persist the pool; the staging buffer is
+        // released at the end of the phase.
+        if self.cfg.persistence != Persistence::None {
+            self.dag().persist_all();
+        }
+        self.drop_dram(staging);
+        self.init_ns = self.dev.stats().virtual_ns;
+        Ok(())
+    }
+
+    /// The graph-traversal phase. Re-runnable: under phase-level
+    /// persistence, a crash during traversal recovers by calling this
+    /// again on the persisted pool.
+    pub fn traverse(&mut self) -> Result<TaskOutput> {
+        let out = match self.task {
+            Task::WordCount => self.task_word_count()?,
+            Task::Sort => self.task_sort()?,
+            Task::TermVector => self.task_term_vector()?,
+            Task::InvertedIndex => self.task_inverted_index()?,
+            Task::SequenceCount => self.task_sequence_count()?,
+            Task::RankedInvertedIndex => self.task_ranked_inverted_index()?,
+        };
+        // Close any open operation-level transaction.
+        if let Some(tx) = &self.txlog {
+            let mut tx = tx.borrow_mut();
+            if tx.is_active() {
+                tx.commit()?;
+            }
+        }
+        // Phase boundary: persist results, write them back to disk.
+        if self.cfg.persistence != Persistence::None {
+            self.pool.persist_used();
+        }
+        self.dev.charge_ns(self.cfg.cost.disk_read_ns(out.approx_bytes()));
+        self.trav_ns.set(self.dev.stats().virtual_ns - self.init_ns);
+        Ok(out)
+    }
+
+    /// Measurement report for this session (after `traverse`).
+    pub fn report(&self) -> RunReport {
+        let kind = self.dev.profile().kind;
+        RunReport {
+            task: self.task,
+            engine: self.engine_label.clone(),
+            device: self.dev.profile().name.to_string(),
+            init_ns: self.init_ns,
+            traversal_ns: self.trav_ns.get(),
+            dram_peak_bytes: self.ledger.peak(DeviceKind::Dram),
+            device_peak_bytes: if kind == DeviceKind::Dram {
+                self.ledger.peak(DeviceKind::Dram)
+            } else {
+                self.ledger.peak(kind)
+            },
+            stats: self.dev.stats(),
+        }
+    }
+
+    /// The session's device (stats inspection, fault injection in tests).
+    pub fn device(&self) -> &Rc<SimDevice> {
+        &self.dev
+    }
+
+    /// Simulate a power failure on the session's device.
+    pub fn crash(&self) {
+        self.dev.crash();
+    }
+
+    /// Post-crash recovery: roll back any in-flight operation-level
+    /// transaction. Under phase-level persistence this is a no-op; the
+    /// caller then re-runs `traverse` (restart from the phase checkpoint).
+    pub fn recover(&mut self) -> Result<()> {
+        if let Some(tx) = &self.txlog {
+            tx.borrow_mut().recover()?;
+        }
+        Ok(())
+    }
+
+    // ---- counters with persistence wiring --------------------------------
+
+    /// A result counter table on the main pool, pre-sized when the
+    /// summation is on, wired to the session's persistence strategy.
+    pub(crate) fn result_counter(&self, expected: usize) -> Result<TxCounter> {
+        let table = PHashTable::with_expected(
+            self.pool.clone(),
+            if self.cfg.presize { expected.max(1) } else { 8 },
+            self.cfg.presize,
+        )?;
+        Ok(TxCounter::new(table, self.txlog.clone(), TX_BATCH))
+    }
+
+    /// Operation-level persistence guard for a freshly written region:
+    /// under [`Persistence::OperationLevel`] the region is undo-logged and
+    /// the transaction committed immediately (one transaction per
+    /// operation, as PMDK `libpmemobj` would); otherwise a no-op — the
+    /// phase boundary will flush it wholesale.
+    pub(crate) fn op_guard(&self, addr: u64, len: usize) -> Result<()> {
+        if let Some(tx) = &self.txlog {
+            let mut tx = tx.borrow_mut();
+            if !tx.is_active() {
+                tx.begin()?;
+            }
+            // Log in log-region-sized chunks; commit per operation.
+            let chunk = 64 << 10;
+            let mut at = addr;
+            let mut left = len;
+            while left > 0 {
+                let n = left.min(chunk);
+                if tx.log_range(at, n).is_err() {
+                    // Log full: commit and continue in a fresh transaction.
+                    tx.commit()?;
+                    tx.begin()?;
+                    tx.log_range(at, n)?;
+                }
+                at += n as u64;
+                left -= n;
+            }
+            tx.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Result counter for n-gram spaces: pre-sized generously but always
+    /// growable — the summation's upper bounds cover word lists, not
+    /// n-gram spaces, so a fixed capacity would be unsound.
+    pub(crate) fn ngram_counter(&self, expected: usize) -> Result<TxCounter> {
+        let table = PHashTable::with_expected(
+            self.pool.clone(),
+            if self.cfg.presize { expected.max(1) } else { 8 },
+            false,
+        )?;
+        Ok(TxCounter::new(table, self.txlog.clone(), TX_BATCH))
+    }
+
+    /// A transient scratch counter table (per-rule / per-file merges).
+    /// Scratch tables are never transactional: they are recomputed on
+    /// recovery, not persisted.
+    pub(crate) fn scratch_counter(&self, expected: usize) -> Result<PHashTable> {
+        PHashTable::with_expected(
+            self.fresh_scratch(),
+            if self.cfg.presize { expected.max(1) } else { 8 },
+            self.cfg.presize,
+        )
+    }
+
+    /// Scratch counter for n-gram spaces: pre-sized from a loose bound but
+    /// always growable (a fixed capacity would be unsound for n-grams).
+    pub(crate) fn scratch_counter_soft(&self, expected: usize) -> Result<PHashTable> {
+        PHashTable::with_expected(
+            self.fresh_scratch(),
+            if self.cfg.presize { expected.max(1) } else { 8 },
+            false,
+        )
+    }
+}
+
+/// Counter table wired to the persistence strategy: under operation-level
+/// persistence every update is undo-logged and transactions commit every
+/// [`TX_BATCH`] updates.
+pub(crate) struct TxCounter {
+    pub table: PHashTable,
+    tx: Option<Rc<RefCell<TxLog>>>,
+    pending: Cell<usize>,
+    batch: usize,
+}
+
+impl TxCounter {
+    /// Wrap a table with an optional transaction log (operation-level
+    /// persistence) committing every `batch` updates. The batch is the
+    /// "operation": one rule interpretation for the compressed engines,
+    /// one I/O block for the scan baseline.
+    pub(crate) fn new(
+        table: PHashTable,
+        tx: Option<Rc<RefCell<TxLog>>>,
+        batch: usize,
+    ) -> Self {
+        TxCounter { table, tx, pending: Cell::new(0), batch }
+    }
+
+    /// Add `delta` at `key` under the session's persistence regime.
+    pub fn add(&self, key: u64, delta: u64) -> Result<()> {
+        match &self.tx {
+            None => self.table.add(key, delta),
+            Some(tx) => {
+                let mut tx = tx.borrow_mut();
+                if !tx.is_active() {
+                    tx.begin()?;
+                }
+                match self.table.add_tx(key, delta, &mut tx) {
+                    Err(PmemError::LogExhausted { .. }) => {
+                        // Log full mid-batch: commit what we have and
+                        // retry in a fresh transaction (a fixed-size log
+                        // region flushes on pressure).
+                        tx.commit()?;
+                        tx.begin()?;
+                        self.table.add_tx(key, delta, &mut tx)?;
+                        self.pending.set(1);
+                        return Ok(());
+                    }
+                    other => other?,
+                }
+                let p = self.pending.get() + 1;
+                if p >= self.batch {
+                    tx.commit()?;
+                    self.pending.set(0);
+                } else {
+                    self.pending.set(p);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit any open transaction (end of a traversal loop).
+    pub fn finish(&self) -> Result<()> {
+        if let Some(tx) = &self.tx {
+            let mut tx = tx.borrow_mut();
+            if tx.is_active() {
+                tx.commit()?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-run measurement report.
+
+use ntadoc_pmem::AccessStats;
+use serde::Serialize;
+
+use crate::result::Task;
+
+/// Everything an experiment needs to know about one task run: phase-level
+/// virtual times (Table II), device counters, and per-device-kind peak
+/// allocation (the §VI-C DRAM space-savings metric).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Task that ran.
+    pub task: Task,
+    /// Engine label ("N-TADOC", "TADOC", "naive-NVM", "uncompressed", …).
+    pub engine: String,
+    /// Device the run targeted ("NVM", "DRAM", "SSD", "HDD").
+    pub device: String,
+    /// Virtual nanoseconds spent in the initialization phase.
+    pub init_ns: u64,
+    /// Virtual nanoseconds spent in the graph-traversal phase.
+    pub traversal_ns: u64,
+    /// Peak bytes resident in DRAM during the run (RSS proxy).
+    pub dram_peak_bytes: u64,
+    /// Peak bytes resident on the persistent device during the run.
+    pub device_peak_bytes: u64,
+    /// Raw device counters for the whole run.
+    pub stats: AccessStats,
+}
+
+impl RunReport {
+    /// Total virtual time.
+    pub fn total_ns(&self) -> u64 {
+        self.init_ns + self.traversal_ns
+    }
+
+    /// Total virtual time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns() as f64 / 1e9
+    }
+
+    /// Initialization phase in seconds.
+    pub fn init_secs(&self) -> f64 {
+        self.init_ns as f64 / 1e9
+    }
+
+    /// Traversal phase in seconds.
+    pub fn traversal_secs(&self) -> f64 {
+        self.traversal_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = RunReport {
+            task: Task::WordCount,
+            engine: "test".into(),
+            device: "NVM".into(),
+            init_ns: 1_000_000_000,
+            traversal_ns: 500_000_000,
+            dram_peak_bytes: 10,
+            device_peak_bytes: 20,
+            stats: AccessStats::default(),
+        };
+        assert_eq!(r.total_ns(), 1_500_000_000);
+        assert!((r.total_secs() - 1.5).abs() < 1e-12);
+        assert!((r.init_secs() - 1.0).abs() < 1e-12);
+        assert!((r.traversal_secs() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Task definitions and typed outputs.
+//!
+//! The six benchmarks are the PUMA-derived tasks of the paper's §VI-A.
+//! Outputs use ordered maps keyed by strings so results from different
+//! engines (N-TADOC, naive, DRAM TADOC, uncompressed baseline) compare with
+//! `==` in tests.
+
+use std::collections::BTreeMap;
+
+/// The six text-analytics benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Task {
+    /// Total occurrences of each word across the corpus.
+    WordCount,
+    /// Words with counts, in alphabetical order.
+    Sort,
+    /// Per file, the top-k most frequent words.
+    TermVector,
+    /// Word → documents containing it.
+    InvertedIndex,
+    /// Occurrences of each word n-gram across the corpus.
+    SequenceCount,
+    /// N-gram → documents ranked by occurrence count.
+    RankedInvertedIndex,
+}
+
+impl Task {
+    /// All six, in the paper's order.
+    pub const ALL: [Task; 6] = [
+        Task::WordCount,
+        Task::Sort,
+        Task::TermVector,
+        Task::InvertedIndex,
+        Task::SequenceCount,
+        Task::RankedInvertedIndex,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::WordCount => "word count",
+            Task::Sort => "sort",
+            Task::TermVector => "term vector",
+            Task::InvertedIndex => "inverted index",
+            Task::SequenceCount => "sequence count",
+            Task::RankedInvertedIndex => "ranked inverted index",
+        }
+    }
+
+    /// Whether results are reported per file (these tasks are the ones
+    /// whose traversal strategy matters most, §VI-E).
+    pub fn is_file_oriented(self) -> bool {
+        matches!(
+            self,
+            Task::TermVector | Task::InvertedIndex | Task::RankedInvertedIndex
+        )
+    }
+
+    /// Whether the task consumes word order (needs head/tail support).
+    pub fn is_sequence(self) -> bool {
+        matches!(self, Task::SequenceCount | Task::RankedInvertedIndex)
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed result of a task run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutput {
+    /// `word → count`.
+    WordCount(BTreeMap<String, u64>),
+    /// `(word, count)` in alphabetical word order.
+    Sort(Vec<(String, u64)>),
+    /// Per file (corpus order): `(file, top-k (word, count) by count desc,
+    /// word asc to break ties)`.
+    TermVector(Vec<(String, Vec<(String, u64)>)>),
+    /// `word → files` (corpus order).
+    InvertedIndex(BTreeMap<String, Vec<String>>),
+    /// `n-gram → count`.
+    SequenceCount(BTreeMap<Vec<String>, u64>),
+    /// `n-gram → (file, count) by count desc, file asc to break ties`.
+    RankedInvertedIndex(BTreeMap<Vec<String>, Vec<(String, u64)>>),
+}
+
+impl TaskOutput {
+    /// Which task produced this output.
+    pub fn task(&self) -> Task {
+        match self {
+            TaskOutput::WordCount(_) => Task::WordCount,
+            TaskOutput::Sort(_) => Task::Sort,
+            TaskOutput::TermVector(_) => Task::TermVector,
+            TaskOutput::InvertedIndex(_) => Task::InvertedIndex,
+            TaskOutput::SequenceCount(_) => Task::SequenceCount,
+            TaskOutput::RankedInvertedIndex(_) => Task::RankedInvertedIndex,
+        }
+    }
+
+    /// Borrow as word counts, if that is what this is.
+    pub fn word_counts(&self) -> Option<&BTreeMap<String, u64>> {
+        match self {
+            TaskOutput::WordCount(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as sorted counts.
+    pub fn sorted(&self) -> Option<&[(String, u64)]> {
+        match self {
+            TaskOutput::Sort(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as term vectors.
+    pub fn term_vectors(&self) -> Option<&[(String, Vec<(String, u64)>)]> {
+        match self {
+            TaskOutput::TermVector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an inverted index.
+    pub fn inverted_index(&self) -> Option<&BTreeMap<String, Vec<String>>> {
+        match self {
+            TaskOutput::InvertedIndex(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as sequence counts.
+    pub fn sequence_counts(&self) -> Option<&BTreeMap<Vec<String>, u64>> {
+        match self {
+            TaskOutput::SequenceCount(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a ranked inverted index.
+    pub fn ranked_inverted_index(
+        &self,
+    ) -> Option<&BTreeMap<Vec<String>, Vec<(String, u64)>>> {
+        match self {
+            TaskOutput::RankedInvertedIndex(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Approximate size of the result in bytes when written back to disk
+    /// (used to charge result-output I/O).
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            TaskOutput::WordCount(m) => {
+                m.iter().map(|(w, _)| w.len() as u64 + 8).sum()
+            }
+            TaskOutput::Sort(v) => v.iter().map(|(w, _)| w.len() as u64 + 8).sum(),
+            TaskOutput::TermVector(v) => v
+                .iter()
+                .map(|(f, ws)| {
+                    f.len() as u64
+                        + ws.iter().map(|(w, _)| w.len() as u64 + 8).sum::<u64>()
+                })
+                .sum(),
+            TaskOutput::InvertedIndex(m) => m
+                .iter()
+                .map(|(w, fs)| {
+                    w.len() as u64 + fs.iter().map(|f| f.len() as u64).sum::<u64>()
+                })
+                .sum(),
+            TaskOutput::SequenceCount(m) => m
+                .iter()
+                .map(|(g, _)| g.iter().map(|w| w.len() as u64 + 1).sum::<u64>() + 8)
+                .sum(),
+            TaskOutput::RankedInvertedIndex(m) => m
+                .iter()
+                .map(|(g, fs)| {
+                    g.iter().map(|w| w.len() as u64 + 1).sum::<u64>()
+                        + fs.iter().map(|(f, _)| f.len() as u64 + 8).sum::<u64>()
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_six_tasks() {
+        assert_eq!(Task::ALL.len(), 6);
+        let names: std::collections::HashSet<_> =
+            Task::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(!Task::WordCount.is_file_oriented());
+        assert!(Task::TermVector.is_file_oriented());
+        assert!(Task::RankedInvertedIndex.is_file_oriented());
+        assert!(Task::SequenceCount.is_sequence());
+        assert!(Task::RankedInvertedIndex.is_sequence());
+        assert!(!Task::Sort.is_sequence());
+    }
+
+    #[test]
+    fn output_task_round_trips() {
+        let out = TaskOutput::WordCount(BTreeMap::new());
+        assert_eq!(out.task(), Task::WordCount);
+        assert!(out.word_counts().is_some());
+        assert!(out.sorted().is_none());
+    }
+
+    #[test]
+    fn approx_bytes_counts_strings() {
+        let mut m = BTreeMap::new();
+        m.insert("abc".to_string(), 5u64);
+        assert_eq!(TaskOutput::WordCount(m).approx_bytes(), 11);
+    }
+}

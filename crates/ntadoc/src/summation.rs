@@ -1,0 +1,292 @@
+//! Bottom-up summation (paper §IV-C, Algorithm 2) and the head/tail
+//! preprocessing for sequence support (§IV-D).
+//!
+//! The summation computes, for every rule, an *upper bound* on the length
+//! of its eventual word list (distinct words in its expansion). A rule
+//! without subrules is bounded by its own distinct word count; otherwise
+//! its bound is the sum of its subrules' bounds plus its own word count.
+//! The bound is generally loose (a word occurring in two subrules is
+//! counted twice) but never under-estimates, which is the invariant the
+//! NVM allocation story depends on: containers sized by the bound never
+//! reconstruct.
+//!
+//! Head/tail preprocessing computes each rule's expansion length and its
+//! first/last `width` expanded words in one bottom-up pass.
+
+use ntadoc_grammar::Grammar;
+
+/// Output of the bottom-up summation.
+#[derive(Debug, Clone)]
+pub struct SummationResult {
+    /// Per-rule upper bound on distinct-word-list length.
+    pub bounds: Vec<u64>,
+}
+
+impl SummationResult {
+    /// The largest per-rule bound (sizes the scratch region).
+    pub fn max_bound(&self) -> u64 {
+        self.bounds.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Algorithm 2: bottom-up upper-bound summation, iteratively (the paper
+/// presents it recursively; grammars from big corpora are deep enough to
+/// warrant an explicit stack).
+pub fn upper_bounds(grammar: &Grammar) -> SummationResult {
+    let n = grammar.rule_count();
+    let mut bounds = vec![u64::MAX; n]; // MAX = "not determined"
+    let mut stack: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if bounds[start as usize] != u64::MAX {
+            continue;
+        }
+        stack.push(start);
+        while let Some(&r) = stack.last() {
+            if bounds[r as usize] != u64::MAX {
+                stack.pop();
+                continue;
+            }
+            // First ensure every subrule is determined.
+            let mut ready = true;
+            for s in grammar.rules[r as usize].subrules() {
+                if bounds[s as usize] == u64::MAX {
+                    stack.push(s);
+                    ready = false;
+                }
+            }
+            if !ready {
+                continue;
+            }
+            // Lines 6-8: sum subrule bounds (per occurrence) plus own
+            // distinct word count.
+            let rule = &grammar.rules[r as usize];
+            let mut l: u64 = 0;
+            for s in rule.subrules() {
+                l += bounds[s as usize];
+            }
+            l += distinct_words(grammar, r) as u64;
+            bounds[r as usize] = l;
+            stack.pop();
+        }
+    }
+    SummationResult { bounds }
+}
+
+/// Distinct word ids appearing directly in rule `r`'s body.
+fn distinct_words(grammar: &Grammar, r: u32) -> usize {
+    let mut words: Vec<u32> = grammar.rules[r as usize]
+        .symbols
+        .iter()
+        .filter(|s| s.is_word())
+        .map(|s| s.payload())
+        .collect();
+    words.sort_unstable();
+    words.dedup();
+    words.len()
+}
+
+/// Per-rule expansion metadata used by sequence tasks.
+#[derive(Debug, Clone)]
+pub struct HeadTailInfo {
+    /// Expanded length in words (separators excluded) per rule.
+    pub exp_len: Vec<u64>,
+    /// First `≤ width` expanded words per rule.
+    pub heads: Vec<Vec<u32>>,
+    /// Last `≤ width` expanded words per rule.
+    pub tails: Vec<Vec<u32>>,
+}
+
+/// Compute expansion lengths and head/tail word buffers of width `width`
+/// for every rule, bottom-up (children before parents via reverse
+/// topological order).
+pub fn head_tail_info(grammar: &Grammar, width: usize) -> HeadTailInfo {
+    let n = grammar.rule_count();
+    let order = grammar.topo_order();
+    let mut exp_len = vec![0u64; n];
+    let mut heads: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut tails: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &r in order.iter().rev() {
+        let mut len = 0u64;
+        let mut head: Vec<u32> = Vec::with_capacity(width);
+        for s in &grammar.rules[r as usize].symbols {
+            if s.is_sep() {
+                continue;
+            }
+            if s.is_word() {
+                len += 1;
+                if head.len() < width {
+                    head.push(s.payload());
+                }
+            } else {
+                let c = s.payload() as usize;
+                len += exp_len[c];
+                for &w in &heads[c] {
+                    if head.len() < width {
+                        head.push(w);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Tail: walk backwards.
+        let mut tail_rev: Vec<u32> = Vec::with_capacity(width);
+        for s in grammar.rules[r as usize].symbols.iter().rev() {
+            if tail_rev.len() >= width {
+                break;
+            }
+            if s.is_sep() {
+                continue;
+            }
+            if s.is_word() {
+                tail_rev.push(s.payload());
+            } else {
+                let c = s.payload() as usize;
+                for &w in tails[c].iter().rev() {
+                    if tail_rev.len() < width {
+                        tail_rev.push(w);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        tail_rev.reverse();
+        exp_len[r as usize] = len;
+        heads[r as usize] = head;
+        tails[r as usize] = tail_rev;
+    }
+    HeadTailInfo { exp_len, heads, tails }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc_grammar::{Grammar, Rule, Symbol};
+    use std::collections::HashSet;
+
+    /// The paper's Figure 1 example (single file variant):
+    /// R0 → R1 R1 w6, R1 → R2 w3 w4 R2, R2 → w1 w2.
+    fn fig1() -> Grammar {
+        Grammar::new(vec![
+            Rule {
+                symbols: vec![Symbol::rule(1), Symbol::rule(1), Symbol::word(6)],
+            },
+            Rule {
+                symbols: vec![
+                    Symbol::rule(2),
+                    Symbol::word(3),
+                    Symbol::word(4),
+                    Symbol::rule(2),
+                ],
+            },
+            Rule { symbols: vec![Symbol::word(1), Symbol::word(2)] },
+        ])
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §IV-C example: R2 bound = 2; R1 = 2 + 2 + 2 (two R2 occurrences
+        // plus its two own words)… the paper counts R2 once because its
+        // example rule contains one subrule occurrence; our fig1 R1 has
+        // two. Verify the definition instead: per-occurrence sums.
+        let b = upper_bounds(&fig1());
+        assert_eq!(b.bounds[2], 2);
+        assert_eq!(b.bounds[1], 2 + 2 + 2);
+        assert_eq!(b.bounds[0], b.bounds[1] * 2 + 1);
+    }
+
+    #[test]
+    fn bound_dominates_actual_distinct_words() {
+        fn expand_rule(g: &Grammar, r: u32, out: &mut Vec<u32>) {
+            for s in &g.rules[r as usize].symbols {
+                if s.is_word() {
+                    out.push(s.payload());
+                } else if s.is_rule() {
+                    expand_rule(g, s.payload(), out);
+                }
+            }
+        }
+        let g = fig1();
+        let b = upper_bounds(&g);
+        // Actual distinct words of every rule's expansion.
+        for r in 0..g.rule_count() as u32 {
+            let mut toks = Vec::new();
+            expand_rule(&g, r, &mut toks);
+            let distinct: HashSet<u32> = toks.into_iter().collect();
+            assert!(
+                b.bounds[r as usize] >= distinct.len() as u64,
+                "rule {r}: bound {} < actual {}",
+                b.bounds[r as usize],
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_rule_bound_is_distinct_word_count() {
+        let g = Grammar::new(vec![Rule {
+            symbols: vec![Symbol::word(1), Symbol::word(1), Symbol::word(2)],
+        }]);
+        assert_eq!(upper_bounds(&g).bounds[0], 2);
+    }
+
+    #[test]
+    fn max_bound_is_max() {
+        let b = upper_bounds(&fig1());
+        assert_eq!(b.max_bound(), b.bounds[0]);
+    }
+
+    #[test]
+    fn head_tail_matches_expansion() {
+        let g = fig1();
+        let info = head_tail_info(&g, 2);
+        let full = g.expand_tokens();
+        assert_eq!(info.exp_len[0], full.len() as u64);
+        assert_eq!(info.heads[0], full[..2].to_vec());
+        assert_eq!(info.tails[0], full[full.len() - 2..].to_vec());
+        // R2 expands to exactly [1, 2].
+        assert_eq!(info.heads[2], vec![1, 2]);
+        assert_eq!(info.tails[2], vec![1, 2]);
+        assert_eq!(info.exp_len[2], 2);
+    }
+
+    #[test]
+    fn head_tail_short_rules_are_complete() {
+        let g = fig1();
+        let info = head_tail_info(&g, 4);
+        // R1 expands to 1 2 3 4 1 2 (length 6); width-4 head/tail overlap.
+        assert_eq!(info.exp_len[1], 6);
+        assert_eq!(info.heads[1], vec![1, 2, 3, 4]);
+        assert_eq!(info.tails[1], vec![3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn separators_are_excluded_from_expansion_length() {
+        let g = Grammar::new(vec![Rule {
+            symbols: vec![Symbol::word(1), Symbol::file_sep(0), Symbol::word(2)],
+        }]);
+        let info = head_tail_info(&g, 3);
+        assert_eq!(info.exp_len[0], 2);
+        assert_eq!(info.heads[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 50k-deep rule chain; the iterative versions must survive.
+        let n = 50_000;
+        let mut rules = Vec::with_capacity(n);
+        rules.push(Rule { symbols: vec![Symbol::rule(1), Symbol::word(0)] });
+        for i in 1..n - 1 {
+            rules.push(Rule {
+                symbols: vec![Symbol::rule(i as u32 + 1), Symbol::word(i as u32)],
+            });
+        }
+        rules.push(Rule { symbols: vec![Symbol::word(9)] });
+        let g = Grammar::new(rules);
+        let b = upper_bounds(&g);
+        assert!(b.bounds[0] >= n as u64 - 1);
+        let info = head_tail_info(&g, 2);
+        assert_eq!(info.exp_len[0], n as u64);
+    }
+}

@@ -1,0 +1,286 @@
+//! Cross-engine correctness: every engine configuration must produce
+//! byte-identical results to a host-side oracle computed on the expanded
+//! corpus, for all six tasks.
+
+use std::collections::BTreeMap;
+
+use ntadoc::{Engine, EngineConfig, Task, TaskOutput, Traversal, UncompressedEngine};
+use ntadoc_grammar::{compress_corpus, Compressed, TokenizerConfig};
+
+const NGRAM: usize = 3;
+const TOP_K: usize = 10;
+
+/// A corpus with enough repetition to build a real rule hierarchy, several
+/// files, and some unique words.
+fn corpus() -> Compressed {
+    let phrases = [
+        "the quick brown fox jumps over the lazy dog",
+        "a stitch in time saves nine every time",
+        "the quick brown fox likes the lazy dog",
+        "data analytics directly on compressed data saves time and space",
+        "non volatile memory combines speed and persistence",
+    ];
+    let mut files = Vec::new();
+    for f in 0..6 {
+        let mut text = String::new();
+        for i in 0..12 {
+            text.push_str(phrases[(f + i) % phrases.len()]);
+            text.push(' ');
+            if i % 3 == f % 3 {
+                text.push_str(&format!("unique{f}x{i} "));
+            }
+        }
+        files.push((format!("file{f}.txt"), text));
+    }
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+// ---- host-side oracle ---------------------------------------------------
+
+struct Oracle {
+    files: Vec<Vec<String>>, // words per file
+    names: Vec<String>,
+}
+
+fn oracle(comp: &Compressed) -> Oracle {
+    let files = comp
+        .grammar
+        .expand_files()
+        .into_iter()
+        .map(|f| f.iter().map(|&w| comp.dict.word(w).to_string()).collect())
+        .collect();
+    Oracle { files, names: comp.file_names.clone() }
+}
+
+impl Oracle {
+    fn word_count(&self) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for f in &self.files {
+            for w in f {
+                *m.entry(w.clone()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    fn sort(&self) -> Vec<(String, u64)> {
+        self.word_count().into_iter().collect()
+    }
+
+    fn term_vector(&self, comp: &Compressed) -> Vec<(String, Vec<(String, u64)>)> {
+        let mut out = Vec::new();
+        for (fid, f) in self.files.iter().enumerate() {
+            let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+            for w in f {
+                *m.entry(comp.dict.id_of(w).unwrap()).or_insert(0) += 1;
+            }
+            let mut rows: Vec<(u32, u64)> = m.into_iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            rows.truncate(TOP_K);
+            out.push((
+                self.names[fid].clone(),
+                rows.into_iter()
+                    .map(|(w, c)| (comp.dict.word(w).to_string(), c))
+                    .collect(),
+            ));
+        }
+        out
+    }
+
+    fn inverted_index(&self) -> BTreeMap<String, Vec<String>> {
+        let mut m: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (fid, f) in self.files.iter().enumerate() {
+            let mut seen: Vec<&String> = f.iter().collect();
+            seen.sort();
+            seen.dedup();
+            for w in seen {
+                m.entry(w.clone()).or_default().push(self.names[fid].clone());
+            }
+        }
+        m
+    }
+
+    fn sequence_count(&self) -> BTreeMap<Vec<String>, u64> {
+        let mut m = BTreeMap::new();
+        for f in &self.files {
+            for win in f.windows(NGRAM) {
+                *m.entry(win.to_vec()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    fn ranked_inverted_index(
+        &self,
+        comp: &Compressed,
+    ) -> BTreeMap<Vec<String>, Vec<(String, u64)>> {
+        let mut per_file: Vec<BTreeMap<Vec<u32>, u64>> = Vec::new();
+        for f in &self.files {
+            let ids: Vec<u32> = f.iter().map(|w| comp.dict.id_of(w).unwrap()).collect();
+            let mut m = BTreeMap::new();
+            for win in ids.windows(NGRAM) {
+                *m.entry(win.to_vec()).or_insert(0u64) += 1;
+            }
+            per_file.push(m);
+        }
+        let mut acc: BTreeMap<Vec<u32>, Vec<(u32, u64)>> = BTreeMap::new();
+        for (fid, m) in per_file.iter().enumerate() {
+            for (g, &c) in m {
+                acc.entry(g.clone()).or_default().push((fid as u32, c));
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (g, mut files) in acc {
+            files.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let gram: Vec<String> =
+                g.iter().map(|&w| comp.dict.word(w).to_string()).collect();
+            out.insert(
+                gram,
+                files
+                    .into_iter()
+                    .map(|(fid, c)| (self.names[fid as usize].clone(), c))
+                    .collect(),
+            );
+        }
+        out
+    }
+}
+
+fn check(out: &TaskOutput, comp: &Compressed, task: Task, label: &str) {
+    let o = oracle(comp);
+    match task {
+        Task::WordCount => {
+            assert_eq!(out.word_counts().unwrap(), &o.word_count(), "{label}: word count")
+        }
+        Task::Sort => assert_eq!(out.sorted().unwrap(), o.sort().as_slice(), "{label}: sort"),
+        Task::TermVector => assert_eq!(
+            out.term_vectors().unwrap(),
+            o.term_vector(comp).as_slice(),
+            "{label}: term vector"
+        ),
+        Task::InvertedIndex => assert_eq!(
+            out.inverted_index().unwrap(),
+            &o.inverted_index(),
+            "{label}: inverted index"
+        ),
+        Task::SequenceCount => assert_eq!(
+            out.sequence_counts().unwrap(),
+            &o.sequence_count(),
+            "{label}: sequence count"
+        ),
+        Task::RankedInvertedIndex => assert_eq!(
+            out.ranked_inverted_index().unwrap(),
+            &o.ranked_inverted_index(comp),
+            "{label}: ranked inverted index"
+        ),
+    }
+}
+
+fn cfg_with(mut cfg: EngineConfig) -> EngineConfig {
+    cfg.ngram = NGRAM;
+    cfg.top_k = TOP_K;
+    cfg
+}
+
+fn run_all_tasks(label: &str, mut engine: Engine, comp: &Compressed) {
+    for task in Task::ALL {
+        let out = engine.run(task).unwrap_or_else(|e| panic!("{label}/{task}: {e}"));
+        check(&out, comp, task, label);
+        let rep = engine.last_report.as_ref().unwrap();
+        assert!(rep.init_ns > 0, "{label}/{task}: init time recorded");
+        assert!(rep.traversal_ns > 0, "{label}/{task}: traversal time recorded");
+    }
+}
+
+#[test]
+fn ntadoc_on_nvm_matches_oracle() {
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    run_all_tasks("ntadoc-nvm", engine, &comp);
+}
+
+#[test]
+fn ntadoc_oplevel_matches_oracle() {
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc_oplevel())).unwrap();
+    run_all_tasks("ntadoc-oplevel", engine, &comp);
+}
+
+#[test]
+fn naive_on_nvm_matches_oracle() {
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::naive())).unwrap();
+    run_all_tasks("naive-nvm", engine, &comp);
+}
+
+#[test]
+fn tadoc_on_dram_matches_oracle() {
+    let comp = corpus();
+    let engine = Engine::on_dram(&comp, cfg_with(EngineConfig::tadoc_dram())).unwrap();
+    run_all_tasks("tadoc-dram", engine, &comp);
+}
+
+#[test]
+fn ntadoc_on_ssd_and_hdd_match_oracle() {
+    let comp = corpus();
+    for hdd in [false, true] {
+        let engine =
+            Engine::on_block_device(&comp, cfg_with(EngineConfig::ntadoc()), hdd).unwrap();
+        run_all_tasks(if hdd { "ntadoc-hdd" } else { "ntadoc-ssd" }, engine, &comp);
+    }
+}
+
+#[test]
+fn uncompressed_baseline_matches_oracle() {
+    let comp = corpus();
+    let mut engine = UncompressedEngine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc()));
+    for task in Task::ALL {
+        let out = engine.run(task).unwrap();
+        check(&out, &comp, task, "uncompressed");
+    }
+}
+
+#[test]
+fn forced_topdown_matches_oracle() {
+    let comp = corpus();
+    let mut cfg = cfg_with(EngineConfig::ntadoc());
+    cfg.traversal = Traversal::TopDown;
+    let engine = Engine::on_nvm(&comp, cfg).unwrap();
+    run_all_tasks("ntadoc-topdown", engine, &comp);
+}
+
+#[test]
+fn forced_bottomup_matches_oracle() {
+    let comp = corpus();
+    let mut cfg = cfg_with(EngineConfig::ntadoc());
+    cfg.traversal = Traversal::BottomUp;
+    let engine = Engine::on_nvm(&comp, cfg).unwrap();
+    // Bottom-up applies to the file tasks; others use global weights.
+    run_all_tasks("ntadoc-bottomup", engine, &comp);
+}
+
+#[test]
+fn single_file_corpus_works() {
+    let comp = compress_corpus(
+        &[("only.txt".into(), "alpha beta gamma alpha beta gamma delta".into())],
+        &TokenizerConfig::default(),
+    );
+    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    run_all_tasks("single-file", engine, &comp);
+}
+
+#[test]
+fn tiny_files_corpus_works() {
+    // Files shorter than the n-gram width must not produce sequences.
+    let comp = compress_corpus(
+        &[
+            ("a".into(), "one two".into()),
+            ("b".into(), "one".into()),
+            ("c".into(), "".into()),
+            ("d".into(), "one two three one two three".into()),
+        ],
+        &TokenizerConfig::default(),
+    );
+    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    run_all_tasks("tiny-files", engine, &comp);
+}

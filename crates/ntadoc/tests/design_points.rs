@@ -1,0 +1,105 @@
+//! Device-counter evidence that each §IV design point does what the paper
+//! says it does, measured through `RunReport.stats`.
+
+use ntadoc::{Engine, EngineConfig, Task};
+use ntadoc_grammar::{compress_corpus, Compressed, TokenizerConfig};
+
+fn corpus() -> Compressed {
+    let phrase = "the system reads compressed data directly from memory and never expands it ";
+    let files: Vec<(String, String)> = (0..4)
+        .map(|i| (format!("f{i}"), format!("{}{}", phrase.repeat(120), format!("tail{i} "))))
+        .collect();
+    let comp = compress_corpus(&files, &TokenizerConfig::default());
+    Compressed { grammar: comp.grammar.coarsened(12), ..comp }
+}
+
+fn run(comp: &Compressed, cfg: EngineConfig, task: Task) -> ntadoc::RunReport {
+    let mut e = Engine::on_nvm(comp, cfg).unwrap();
+    e.run(task).unwrap();
+    e.last_report.unwrap()
+}
+
+#[test]
+fn pruning_reduces_bytes_read_for_frequency_tasks() {
+    // §IV-B: the deduplicated (id, freq) views are smaller than raw
+    // ordered bodies and visited once per distinct element.
+    let comp = corpus();
+    let pruned = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    let raw = run(
+        &comp,
+        EngineConfig { pruned: false, ..EngineConfig::ntadoc() },
+        Task::WordCount,
+    );
+    assert!(
+        pruned.stats.bytes_read < raw.stats.bytes_read,
+        "pruned {} vs raw {}",
+        pruned.stats.bytes_read,
+        raw.stats.bytes_read
+    );
+}
+
+#[test]
+fn scattered_layout_increases_line_misses() {
+    // §IV-B pool management: adjacency is what keeps traversal inside few
+    // media lines.
+    let comp = corpus();
+    let adjacent = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    let scattered = run(
+        &comp,
+        EngineConfig { adjacent_layout: false, ..EngineConfig::ntadoc() },
+        Task::WordCount,
+    );
+    assert!(
+        scattered.stats.line_misses > adjacent.stats.line_misses,
+        "scattered {} vs adjacent {}",
+        scattered.stats.line_misses,
+        adjacent.stats.line_misses
+    );
+    assert!(scattered.total_ns() > adjacent.total_ns());
+}
+
+#[test]
+fn operation_level_amplifies_writes() {
+    // §IV-E: undo logging multiplies the written volume.
+    let comp = corpus();
+    let phase = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    let op = run(&comp, EngineConfig::ntadoc_oplevel(), Task::WordCount);
+    assert!(op.stats.log_bytes > 0);
+    assert!(
+        op.stats.bytes_written as f64 > phase.stats.bytes_written as f64 * 1.3,
+        "op {} vs phase {}",
+        op.stats.bytes_written,
+        phase.stats.bytes_written
+    );
+}
+
+#[test]
+fn cache_hit_rate_is_high_for_compressed_traversal() {
+    // The compressed working set largely fits the modeled CPU cache —
+    // that is why DAG traversal is viable on NVM at all.
+    let comp = corpus();
+    let rep = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    assert!(
+        rep.stats.hit_rate() > 0.5,
+        "hit rate {:.2} unexpectedly low",
+        rep.stats.hit_rate()
+    );
+}
+
+#[test]
+fn device_peak_scales_with_task_weight() {
+    // Sequence tasks materialise more NVM state than word count.
+    let comp = corpus();
+    let wc = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    let sc = run(&comp, EngineConfig::ntadoc(), Task::SequenceCount);
+    assert!(sc.device_peak_bytes > wc.device_peak_bytes);
+}
+
+#[test]
+fn reports_label_engines_properly() {
+    let comp = corpus();
+    let nt = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
+    assert_eq!(nt.engine, "N-TADOC");
+    let naive = run(&comp, EngineConfig::naive(), Task::WordCount);
+    assert_eq!(naive.engine, "naive-NVM");
+}

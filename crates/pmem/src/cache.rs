@@ -1,0 +1,212 @@
+//! Set-associative write-back LRU cache in front of the simulated media.
+//!
+//! For byte-addressable devices this stands in for the CPU cache hierarchy;
+//! for block devices it stands in for the OS page cache (whose size the
+//! paper caps at 20% of the uncompressed dataset). The cache only tracks
+//! *which* lines are resident and dirty — data always lives in the device's
+//! backing store — so it is purely a cost/persistence model.
+
+/// Outcome of a cache access, used by the device to charge costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched; if an eviction displaced a dirty line, the
+    /// line index that must be written back is carried here.
+    Miss {
+        /// Dirty line evicted to make room, if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Line index, or `EMPTY`.
+    line: u64,
+    dirty: bool,
+    last_used: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// Set-associative LRU over line indices (not bytes).
+#[derive(Debug)]
+pub struct LineCache {
+    entries: Vec<Entry>,
+    ways: usize,
+    sets: usize,
+    tick: u64,
+}
+
+impl LineCache {
+    /// Build a cache holding up to `capacity_bytes / line_size` lines with
+    /// the given associativity. The set count is rounded down to a power of
+    /// two (minimum one set).
+    pub fn new(capacity_bytes: usize, line_size: usize, ways: usize) -> Self {
+        let ways = ways.max(1);
+        let total_lines = (capacity_bytes / line_size).max(ways);
+        let sets = (total_lines / ways).next_power_of_two() / 2;
+        let sets = sets.max(1);
+        LineCache {
+            entries: vec![Entry { line: EMPTY, dirty: false, last_used: 0 }; sets * ways],
+            ways,
+            sets,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        // Multiplicative hash spreads adjacent lines across sets while
+        // keeping determinism.
+        ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+    }
+
+    /// Touch `line`, optionally marking it dirty, and report hit/miss.
+    pub fn access(&mut self, line: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let slots = &mut self.entries[base..base + self.ways];
+
+        // Hit path.
+        if let Some(e) = slots.iter_mut().find(|e| e.line == line) {
+            e.last_used = self.tick;
+            e.dirty |= write;
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: pick an empty slot or the LRU victim.
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|e| if e.line == EMPTY { 0 } else { e.last_used })
+            .expect("ways >= 1");
+        let evicted_dirty = (victim.line != EMPTY && victim.dirty).then_some(victim.line);
+        *victim = Entry { line, dirty: write, last_used: self.tick };
+        AccessOutcome::Miss { evicted_dirty }
+    }
+
+    /// Clear the dirty bit of `line` if resident; returns whether a
+    /// write-back was needed.
+    pub fn flush_line(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.line == line {
+                let was = e.dirty;
+                e.dirty = false;
+                return was;
+            }
+        }
+        false
+    }
+
+    /// Whether `line` is resident and dirty.
+    pub fn is_dirty(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.entries[base..base + self.ways]
+            .iter()
+            .any(|e| e.line == line && e.dirty)
+    }
+
+    /// Clear every dirty bit, returning how many lines were written back.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.line != EMPTY && e.dirty {
+                e.dirty = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Number of resident lines (for tests and introspection).
+    pub fn resident(&self) -> usize {
+        self.entries.iter().filter(|e| e.line != EMPTY).count()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = LineCache::new(1 << 16, 256, 4);
+        assert!(matches!(c.access(7, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.access(7, false), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_flush_clears() {
+        let mut c = LineCache::new(1 << 16, 256, 4);
+        c.access(3, true);
+        assert!(c.is_dirty(3));
+        assert!(c.flush_line(3));
+        assert!(!c.is_dirty(3));
+        assert!(!c.flush_line(3)); // already clean
+    }
+
+    #[test]
+    fn eviction_reports_dirty_victim() {
+        // One set, one way: every distinct line evicts the previous one.
+        let mut c = LineCache::new(256, 256, 1);
+        assert_eq!(c.capacity_lines(), 1);
+        c.access(1, true);
+        match c.access(2, false) {
+            AccessOutcome::Miss { evicted_dirty } => assert_eq!(evicted_dirty, Some(1)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_reports_no_write_back() {
+        let mut c = LineCache::new(256, 256, 1);
+        c.access(1, false);
+        match c.access(2, false) {
+            AccessOutcome::Miss { evicted_dirty } => assert_eq!(evicted_dirty, None),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single set with 2 ways; touch 1 then 2 then re-touch 1; inserting
+        // 3 must evict 2.
+        let mut c = LineCache::new(512, 256, 2);
+        assert_eq!(c.sets, 1);
+        c.access(1, true);
+        c.access(2, true);
+        c.access(1, false);
+        match c.access(3, false) {
+            AccessOutcome::Miss { evicted_dirty } => assert_eq!(evicted_dirty, Some(2)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(c.access(1, false), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn flush_all_counts_dirty_lines() {
+        let mut c = LineCache::new(1 << 16, 256, 4);
+        c.access(1, true);
+        c.access(2, true);
+        c.access(3, false);
+        assert_eq!(c.flush_all(), 2);
+        assert_eq!(c.flush_all(), 0);
+    }
+
+    #[test]
+    fn resident_counts_lines() {
+        let mut c = LineCache::new(1 << 16, 256, 4);
+        assert_eq!(c.resident(), 0);
+        c.access(10, false);
+        c.access(11, false);
+        assert_eq!(c.resident(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared across the pmem substrate.
+
+use std::fmt;
+
+/// Errors raised by the simulated persistent-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// An access touched bytes beyond the end of the device.
+    OutOfBounds {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access in bytes.
+        len: usize,
+        /// Total capacity of the device in bytes.
+        capacity: u64,
+    },
+    /// A pool allocation did not fit in the remaining pool space.
+    PoolExhausted {
+        /// Bytes requested from the pool.
+        requested: usize,
+        /// Bytes still available in the pool.
+        available: u64,
+    },
+    /// A transaction operation was issued outside an active transaction.
+    NoActiveTransaction,
+    /// A nested `tx_begin` was issued; the undo log is single-level.
+    TransactionAlreadyActive,
+    /// The undo-log region is too small for the ranges logged so far.
+    LogExhausted {
+        /// Bytes the log would need to hold.
+        needed: usize,
+        /// Capacity of the log region.
+        capacity: usize,
+    },
+    /// Recovery found a corrupt or truncated persistent image.
+    CorruptImage(String),
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds { addr, len, capacity } => write!(
+                f,
+                "access of {len} bytes at {addr:#x} exceeds device capacity {capacity:#x}"
+            ),
+            PmemError::PoolExhausted { requested, available } => write!(
+                f,
+                "pool allocation of {requested} bytes exceeds remaining {available} bytes"
+            ),
+            PmemError::NoActiveTransaction => {
+                write!(f, "operation requires an active transaction")
+            }
+            PmemError::TransactionAlreadyActive => {
+                write!(f, "a transaction is already active; the undo log is single-level")
+            }
+            PmemError::LogExhausted { needed, capacity } => write!(
+                f,
+                "undo log needs {needed} bytes but its region holds only {capacity}"
+            ),
+            PmemError::CorruptImage(msg) => write!(f, "corrupt persistent image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}

@@ -1,0 +1,102 @@
+//! Plain-old-data trait for typed device access.
+//!
+//! Values are stored little-endian through safe byte conversions — no
+//! `unsafe` transmutes — so the persistent image format is well defined and
+//! portable.
+
+/// Fixed-size value that can be stored on a simulated device.
+pub trait Pod: Copy + Default {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Write the little-endian encoding into `buf` (`buf.len() == SIZE`).
+    fn store(&self, buf: &mut [u8]);
+
+    /// Read a value from its little-endian encoding.
+    fn load(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn store(&self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn load(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("pod size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Pod for f64 {
+    const SIZE: usize = 8;
+    #[inline]
+    fn store(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn load(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf.try_into().expect("pod size mismatch"))
+    }
+}
+
+/// Pair encoding, used for `(id, freq)` tuples in the DAG pool.
+impl<A: Pod, B: Pod> Pod for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    #[inline]
+    fn store(&self, buf: &mut [u8]) {
+        self.0.store(&mut buf[..A::SIZE]);
+        self.1.store(&mut buf[A::SIZE..]);
+    }
+    #[inline]
+    fn load(buf: &[u8]) -> Self {
+        (A::load(&buf[..A::SIZE]), B::load(&buf[A::SIZE..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.store(&mut buf);
+        assert_eq!(T::load(&buf), v);
+    }
+
+    #[test]
+    fn ints_round_trip() {
+        round_trip(0xABu8);
+        round_trip(0xABCDu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(0x0123_4567_89AB_CDEFu64);
+        round_trip(-42i32);
+        round_trip(i64::MIN);
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        round_trip(3.141592653589793f64);
+        round_trip(-0.0f64);
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        round_trip((7u32, 9u32));
+        round_trip((1u64, 250u32));
+        assert_eq!(<(u32, u32)>::SIZE, 8);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.store(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Access statistics and the virtual clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::SimDevice`].
+///
+/// `virtual_ns` is the model time: the sum of the costs of every access,
+/// miss, write-back, flush and fence the device has served. Experiments
+/// report differences of snapshots of this value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Read operations issued (typed loads and bulk reads each count once).
+    pub reads: u64,
+    /// Write operations issued.
+    pub writes: u64,
+    /// Bytes moved by read operations.
+    pub bytes_read: u64,
+    /// Bytes moved by write operations.
+    pub bytes_written: u64,
+    /// Media lines fetched because of cache read/write misses.
+    pub line_misses: u64,
+    /// Accesses that hit the front cache.
+    pub line_hits: u64,
+    /// Dirty lines written back to media (evictions + flushes).
+    pub write_backs: u64,
+    /// Explicit flush operations.
+    pub flushes: u64,
+    /// Persistence fences.
+    pub fences: u64,
+    /// Bytes copied into undo logs by transactional persistence.
+    pub log_bytes: u64,
+    /// Accumulated model time in nanoseconds.
+    pub virtual_ns: u64,
+}
+
+impl AccessStats {
+    /// `self - earlier`, element-wise. Panics in debug builds if `earlier`
+    /// is not actually an earlier snapshot of the same device.
+    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        debug_assert!(self.virtual_ns >= earlier.virtual_ns);
+        AccessStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            line_misses: self.line_misses - earlier.line_misses,
+            line_hits: self.line_hits - earlier.line_hits,
+            write_backs: self.write_backs - earlier.write_backs,
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+            log_bytes: self.log_bytes - earlier.log_bytes,
+            virtual_ns: self.virtual_ns - earlier.virtual_ns,
+        }
+    }
+
+    /// Fraction of line-granular accesses that hit the front cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.line_hits + self.line_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.line_hits as f64 / total as f64
+    }
+
+    /// Model time in seconds.
+    pub fn virtual_secs(&self) -> f64 {
+        self.virtual_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fields() {
+        let a = AccessStats { reads: 10, virtual_ns: 100, ..Default::default() };
+        let b = AccessStats { reads: 4, virtual_ns: 40, ..Default::default() };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.virtual_ns, 60);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_accesses() {
+        assert_eq!(AccessStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computes_fraction() {
+        let s = AccessStats { line_hits: 3, line_misses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_secs_scales() {
+        let s = AccessStats { virtual_ns: 2_500_000_000, ..Default::default() };
+        assert!((s.virtual_secs() - 2.5).abs() < 1e-12);
+    }
+}

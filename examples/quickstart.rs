@@ -1,0 +1,66 @@
+//! Quickstart: compress a small corpus, run word count on the simulated
+//! NVM directly over the compressed data, and compare against the
+//! uncompressed baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ntadoc_repro::{
+    compress_corpus, Engine, EngineConfig, Task, TokenizerConfig, UncompressedEngine,
+};
+
+fn main() {
+    // 1. A corpus: two "files" with plenty of shared phrasing.
+    let files = vec![
+        (
+            "hamlet.txt".to_string(),
+            "to be or not to be that is the question \
+             whether tis nobler in the mind to suffer"
+                .repeat(200),
+        ),
+        (
+            "macbeth.txt".to_string(),
+            "tomorrow and tomorrow and tomorrow creeps in this petty pace \
+             to be or not to be is not the question here"
+                .repeat(200),
+        ),
+    ];
+
+    // 2. Compress: tokenize, dictionary-encode, Sequitur → CFG/DAG.
+    let comp = compress_corpus(&files, &TokenizerConfig::default());
+    let stats = comp.grammar.stats();
+    println!(
+        "compressed {} words into {} rules / {} symbols ({:.1}x)",
+        stats.expanded_words,
+        stats.rule_count,
+        stats.total_symbols,
+        comp.grammar.compression_ratio()
+    );
+
+    // 3. Word count directly on the compressed data, on simulated NVM.
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
+    let out = engine.run(Task::WordCount).expect("word count");
+    let counts = out.word_counts().expect("word count output");
+    let mut top: Vec<_> = counts.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("\ntop words:");
+    for (w, c) in top.iter().take(8) {
+        println!("  {w:12} {c}");
+    }
+
+    // 4. Compare with scanning the uncompressed token stream on NVM.
+    let nt = engine.last_report.as_ref().expect("report");
+    let mut baseline = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    let base_out = baseline.run(Task::WordCount).expect("baseline");
+    assert_eq!(&base_out, &out, "both engines must agree exactly");
+    let base = baseline.last_report.as_ref().expect("report");
+    println!(
+        "\nN-TADOC {:.3} ms (init {:.3} + traversal {:.3}) vs uncompressed {:.3} ms → {:.2}x speedup",
+        nt.total_secs() * 1e3,
+        nt.init_secs() * 1e3,
+        nt.traversal_secs() * 1e3,
+        base.total_secs() * 1e3,
+        base.total_secs() / nt.total_secs()
+    );
+}

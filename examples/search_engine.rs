@@ -1,0 +1,67 @@
+//! Search-engine scenario (paper §III-C "data mining"): build an inverted
+//! index and a ranked inverted index directly over a compressed document
+//! collection on NVM, then answer lookup queries — the data is never
+//! decompressed.
+//!
+//! ```text
+//! cargo run --release --example search_engine
+//! ```
+
+use ntadoc_repro::{DatasetSpec, Engine, EngineConfig, Task};
+
+fn main() {
+    // A Wikipedia-like corpus from the dataset generator (scaled down so
+    // the example runs in moments).
+    let spec = DatasetSpec::c().scaled(0.05);
+    let comp = ntadoc_repro::generate_compressed(&spec);
+    println!(
+        "corpus: {} documents, {} words, {} rules",
+        comp.file_count(),
+        comp.grammar.stats().expanded_words,
+        comp.grammar.stats().rule_count
+    );
+
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
+
+    // Inverted index: word → documents.
+    let out = engine.run(Task::InvertedIndex).expect("inverted index");
+    let index = out.inverted_index().expect("index output").clone();
+    println!(
+        "inverted index over {} terms built in {:.2} ms (virtual)",
+        index.len(),
+        engine.last_report.as_ref().unwrap().total_secs() * 1e3
+    );
+    for query in ["the", "water", "school"] {
+        match index.get(query) {
+            Some(docs) => println!("  `{query}` appears in {} documents: {:?}", docs.len(),
+                &docs[..docs.len().min(3)]),
+            None => println!("  `{query}` not found"),
+        }
+    }
+
+    // Ranked inverted index: n-gram → documents ranked by frequency.
+    let out = engine.run(Task::RankedInvertedIndex).expect("ranked index");
+    let ranked = out.ranked_inverted_index().expect("ranked output");
+    println!(
+        "\nranked n-gram index over {} sequences built in {:.2} ms (virtual)",
+        ranked.len(),
+        engine.last_report.as_ref().unwrap().total_secs() * 1e3
+    );
+    // Show the most widespread trigram.
+    if let Some((gram, docs)) = ranked.iter().max_by_key(|(_, d)| d.len()) {
+        println!("  most widespread trigram: {:?}", gram.join(" "));
+        for (doc, count) in docs.iter().take(3) {
+            println!("    {doc}: {count} occurrences");
+        }
+    }
+
+    // Term vectors: per-document signature words.
+    let out = engine.run(Task::TermVector).expect("term vector");
+    let tv = out.term_vectors().expect("term vector output");
+    println!("\nterm vectors (top-3 words of the first 2 documents):");
+    for (doc, words) in tv.iter().take(2) {
+        let sig: Vec<String> =
+            words.iter().take(3).map(|(w, c)| format!("{w}:{c}")).collect();
+        println!("  {doc}: {}", sig.join("  "));
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace façade crate: re-exports the N-TADOC reproduction's public
+//! surface so the repository-level examples and integration tests have a
+//! single import root. Library users should depend on the individual
+//! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
+
+pub use ntadoc::{
+    Engine, EngineConfig, Persistence, RunReport, Task, TaskOutput, Traversal,
+    UncompressedEngine,
+};
+pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
+pub use ntadoc_grammar::{
+    compress_corpus, deserialize_compressed, serialize_compressed, Compressed, Dictionary,
+    Grammar, Symbol, TokenizerConfig,
+};
+pub use ntadoc_pmem::{AllocLedger, DeviceKind, DeviceProfile, PmemPool, SimDevice};

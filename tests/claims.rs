@@ -1,0 +1,154 @@
+//! The paper's qualitative claims as test invariants, checked at test
+//! scale (direction, not magnitude — magnitudes live in the bench
+//! harnesses and EXPERIMENTS.md).
+
+use ntadoc_repro::{DatasetSpec, Engine, EngineConfig, Task, Traversal, UncompressedEngine};
+
+fn corpus() -> ntadoc_grammar::Compressed {
+    ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.15))
+}
+
+#[test]
+fn claim_s1_nvm_writes_are_reduced_by_compression() {
+    // §I: "minimizing NVM write operations and enhancing its durability".
+    let comp = corpus();
+    for task in [Task::WordCount, Task::SequenceCount] {
+        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        nt.run(task).unwrap();
+        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        base.run(task).unwrap();
+        let nt_wb = nt.last_report.as_ref().unwrap().stats.write_backs;
+        let base_wb = base.last_report.as_ref().unwrap().stats.write_backs;
+        assert!(
+            nt_wb < base_wb,
+            "{task}: N-TADOC write-backs {nt_wb} must be below baseline {base_wb}"
+        );
+    }
+}
+
+#[test]
+fn claim_s4e_operation_level_costs_more_than_phase_level() {
+    // §IV-E: the trade-off exists for every engine.
+    let comp = corpus();
+    let task = Task::WordCount;
+    let mut nt_p = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    nt_p.run(task).unwrap();
+    let mut nt_o = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+    nt_o.run(task).unwrap();
+    assert!(
+        nt_o.last_report.as_ref().unwrap().total_ns()
+            > nt_p.last_report.as_ref().unwrap().total_ns(),
+        "operation-level must cost more than phase-level for N-TADOC"
+    );
+
+    let mut b_p = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    b_p.run(task).unwrap();
+    let mut b_o = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc_oplevel());
+    b_o.run(task).unwrap();
+    assert!(
+        b_o.last_report.as_ref().unwrap().total_ns()
+            > b_p.last_report.as_ref().unwrap().total_ns(),
+        "operation-level must cost more than phase-level for the baseline"
+    );
+}
+
+#[test]
+fn claim_s4e_operation_level_writes_an_undo_log() {
+    let comp = corpus();
+    let mut op = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+    op.run(Task::WordCount).unwrap();
+    assert!(op.last_report.as_ref().unwrap().stats.log_bytes > 0);
+    let mut ph = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    ph.run(Task::WordCount).unwrap();
+    assert_eq!(ph.last_report.as_ref().unwrap().stats.log_bytes, 0);
+}
+
+#[test]
+fn claim_s6e_topdown_degrades_with_file_count() {
+    // §VI-E: the top-down/bottom-up traversal gap grows with file count.
+    let ratios: Vec<f64> = [0.05, 0.2]
+        .iter()
+        .map(|&scale| {
+            let comp = ntadoc_repro::generate_compressed(&DatasetSpec::b().scaled(scale));
+            let mut td_cfg = EngineConfig::ntadoc();
+            td_cfg.traversal = Traversal::TopDown;
+            let mut bu_cfg = EngineConfig::ntadoc();
+            bu_cfg.traversal = Traversal::BottomUp;
+            let mut td = Engine::on_nvm(&comp, td_cfg).unwrap();
+            td.run(Task::TermVector).unwrap();
+            let mut bu = Engine::on_nvm(&comp, bu_cfg).unwrap();
+            bu.run(Task::TermVector).unwrap();
+            td.last_report.as_ref().unwrap().traversal_ns as f64
+                / bu.last_report.as_ref().unwrap().traversal_ns as f64
+        })
+        .collect();
+    assert!(
+        ratios[1] > ratios[0],
+        "ratio must grow with file count: {ratios:?}"
+    );
+}
+
+#[test]
+fn claim_s3b_naive_port_is_much_slower_than_ntadoc() {
+    // §III-B / §VI-F: the allocator-swap port pays heavily on NVM.
+    let comp = corpus();
+    let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    nt.run(Task::WordCount).unwrap();
+    let mut naive = Engine::on_nvm(&comp, EngineConfig::naive()).unwrap();
+    naive.run(Task::WordCount).unwrap();
+    let ratio = naive.last_report.as_ref().unwrap().total_ns() as f64
+        / nt.last_report.as_ref().unwrap().total_ns() as f64;
+    assert!(ratio > 2.0, "naive/N-TADOC ratio {ratio:.2} should exceed 2x");
+}
+
+#[test]
+fn claim_table1_shape_holds_for_generated_datasets() {
+    let stats: Vec<_> = DatasetSpec::all()
+        .into_iter()
+        .map(|s| {
+            let name = s.name;
+            let comp = ntadoc_repro::generate_compressed(&s.scaled(0.05));
+            (name, comp.file_count(), comp.grammar.stats())
+        })
+        .collect();
+    let by_name = |n: &str| stats.iter().find(|(name, ..)| *name == n).unwrap();
+    // File-count ordering: B has by far the most files; A exactly one.
+    assert_eq!(by_name("A").1, 1);
+    assert!(by_name("B").1 > 10 * by_name("D").1.min(by_name("C").1));
+    // Vocabulary grows from A to D.
+    assert!(by_name("D").2.vocabulary > by_name("A").2.vocabulary);
+    // Everything actually compresses.
+    for (name, _, s) in &stats {
+        assert!(
+            (s.expanded_words as f64) / (s.total_symbols as f64) > 1.5,
+            "{name} compresses poorly"
+        );
+    }
+}
+
+#[test]
+fn claim_nvm_sits_between_dram_and_block_devices() {
+    // The premise of the whole paper (§II): NVM's cost ladder position.
+    let comp = corpus();
+    let task = Task::Sort;
+    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+    dram.run(task).unwrap();
+    let mut nvm = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    nvm.run(task).unwrap();
+    let mut ssd = Engine::on_block_device(&comp, EngineConfig::ntadoc(), false).unwrap();
+    ssd.run(task).unwrap();
+    let t = |e: &Engine| e.last_report.as_ref().unwrap().total_ns();
+    assert!(t(&dram) < t(&nvm));
+    assert!(t(&nvm) < t(&ssd));
+}
+
+#[test]
+fn claim_compressed_image_is_much_smaller_than_raw() {
+    let comp = corpus();
+    let image = ntadoc_repro::serialize_compressed(&comp).len() as u64;
+    let raw = Engine::uncompressed_bytes(&comp);
+    assert!(
+        image * 2 < raw,
+        "compressed image {image} should be well below raw {raw}"
+    );
+}

@@ -1,0 +1,174 @@
+//! Edge-case matrix: configuration extremes, degenerate corpora, and
+//! parameter sweeps that the main correctness suite doesn't reach.
+
+use std::collections::BTreeMap;
+
+use ntadoc_repro::{
+    compress_corpus, Compressed, Engine, EngineConfig, Persistence, Task,
+    TokenizerConfig, UncompressedEngine,
+};
+
+fn small() -> Compressed {
+    compress_corpus(
+        &[
+            ("x".to_string(), "one two three one two three four five".repeat(8)),
+            ("y".to_string(), "one two six one two six".repeat(8)),
+        ],
+        &TokenizerConfig::default(),
+    )
+}
+
+#[test]
+fn ngram_width_sweep_matches_oracle() {
+    let comp = small();
+    let expanded = comp.grammar.expand_files();
+    for n in [2usize, 3, 4, 5, 7] {
+        let mut cfg = EngineConfig::ntadoc();
+        cfg.ngram = n;
+        let mut engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let out = engine.run(Task::SequenceCount).unwrap();
+        let mut oracle: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+        for f in &expanded {
+            for win in f.windows(n) {
+                let gram: Vec<String> =
+                    win.iter().map(|&w| comp.dict.word(w).to_string()).collect();
+                *oracle.entry(gram).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(out.sequence_counts().unwrap(), &oracle, "n = {n}");
+        // Baseline agrees at every width too.
+        let mut base = UncompressedEngine::on_nvm(&comp, cfg);
+        assert_eq!(base.run(Task::SequenceCount).unwrap(), out, "baseline n = {n}");
+    }
+}
+
+#[test]
+fn top_k_sweep_truncates_consistently() {
+    let comp = small();
+    for k in [1usize, 2, 100] {
+        let mut cfg = EngineConfig::ntadoc();
+        cfg.top_k = k;
+        let mut engine = Engine::on_nvm(&comp, cfg).unwrap();
+        let out = engine.run(Task::TermVector).unwrap();
+        for (f, words) in out.term_vectors().unwrap() {
+            assert!(words.len() <= k, "{f} returned {} > {k} words", words.len());
+            // Counts must be non-increasing.
+            for pair in words.windows(2) {
+                assert!(pair[0].1 >= pair[1].1, "{f}: top-k not sorted by count");
+            }
+        }
+    }
+}
+
+#[test]
+fn persistence_none_on_nvm_still_correct() {
+    let comp = small();
+    let mut cfg = EngineConfig::ntadoc();
+    cfg.persistence = Persistence::None;
+    let mut engine = Engine::on_nvm(&comp, cfg).unwrap();
+    let out = engine.run(Task::WordCount).unwrap();
+    let mut reference = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    assert_eq!(out, reference.run(Task::WordCount).unwrap());
+}
+
+#[test]
+fn zero_repetition_corpus_works() {
+    // Every word unique: the grammar cannot compress at all.
+    let text: String = (0..500).map(|i| format!("unique{i} ")).collect();
+    let comp = compress_corpus(&[("u".to_string(), text)], &TokenizerConfig::default());
+    assert_eq!(comp.grammar.stats().vocabulary, 500);
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let out = engine.run(Task::WordCount).unwrap();
+    assert_eq!(out.word_counts().unwrap().len(), 500);
+    assert!(out.word_counts().unwrap().values().all(|&c| c == 1));
+}
+
+#[test]
+fn single_word_repeated_corpus_works() {
+    let comp = compress_corpus(
+        &[("m".to_string(), "echo ".repeat(5000))],
+        &TokenizerConfig::default(),
+    );
+    for task in Task::ALL {
+        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let out = engine.run(task).unwrap();
+        if let Some(wc) = out.word_counts() {
+            assert_eq!(wc.get("echo"), Some(&5000));
+        }
+        if let Some(sc) = out.sequence_counts() {
+            assert_eq!(sc.get(&vec!["echo".to_string(); 3]), Some(&4998));
+        }
+    }
+}
+
+#[test]
+fn unicode_words_survive_the_whole_pipeline() {
+    let comp = compress_corpus(
+        &[
+            ("zh".to_string(), "数据 压缩 分析 数据 压缩 分析 非易失 内存".to_string()),
+            ("mix".to_string(), "naïve café naïve データ 数据".to_string()),
+        ],
+        &TokenizerConfig::default(),
+    );
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let out = engine.run(Task::WordCount).unwrap();
+    let wc = out.word_counts().unwrap();
+    assert_eq!(wc.get("数据"), Some(&3));
+    assert_eq!(wc.get("naïve"), Some(&2));
+    // Serialization keeps UTF-8 intact.
+    let img = ntadoc_repro::serialize_compressed(&comp);
+    let back = ntadoc_repro::deserialize_compressed(&img).unwrap();
+    assert_eq!(back.dict.id_of("数据"), comp.dict.id_of("数据"));
+}
+
+#[test]
+fn very_long_words_round_trip() {
+    let long = "x".repeat(10_000);
+    let text = format!("{long} short {long} short");
+    let comp =
+        compress_corpus(&[("l".to_string(), text)], &TokenizerConfig::default());
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let out = engine.run(Task::WordCount).unwrap();
+    assert_eq!(out.word_counts().unwrap().get(&long), Some(&2));
+}
+
+#[test]
+fn many_empty_files_between_content() {
+    let files: Vec<(String, String)> = (0..20)
+        .map(|i| {
+            let text = if i % 3 == 0 { "data point data".to_string() } else { String::new() };
+            (format!("f{i}"), text)
+        })
+        .collect();
+    let comp = compress_corpus(&files, &TokenizerConfig::default());
+    assert_eq!(comp.file_count(), 20);
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let out = engine.run(Task::InvertedIndex).unwrap();
+    let idx = out.inverted_index().unwrap();
+    assert_eq!(idx.get("data").map(|f| f.len()), Some(7)); // files 0,3,6,9,12,15,18
+}
+
+#[test]
+fn repeated_runs_on_one_engine_are_deterministic() {
+    let comp = small();
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let a = engine.run(Task::Sort).unwrap();
+    let ra = engine.last_report.clone().unwrap();
+    let b = engine.run(Task::Sort).unwrap();
+    let rb = engine.last_report.clone().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(ra.total_ns(), rb.total_ns(), "virtual time must be deterministic");
+    assert_eq!(ra.stats, rb.stats);
+}
+
+#[test]
+fn run_report_serializes_to_json() {
+    let comp = small();
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    engine.run(Task::WordCount).unwrap();
+    let rep = engine.last_report.as_ref().unwrap();
+    let json = serde_json::to_value(rep).unwrap();
+    assert_eq!(json["device"], "NVM");
+    assert!(json["init_ns"].as_u64().unwrap() > 0);
+    assert!(json["stats"]["virtual_ns"].as_u64().unwrap() > 0);
+}

@@ -1,0 +1,132 @@
+//! Full-pipeline integration: datagen → Sequitur → coarsening →
+//! serialization → every engine on every device, agreeing on every task.
+
+use ntadoc_repro::{
+    deserialize_compressed, serialize_compressed, DatasetSpec, Engine, EngineConfig,
+    Task, UncompressedEngine,
+};
+
+#[test]
+fn generated_corpora_survive_serialization() {
+    for spec in DatasetSpec::all() {
+        let spec = spec.scaled(0.02);
+        let comp = ntadoc_repro::generate_compressed(&spec);
+        let img = serialize_compressed(&comp);
+        let back = deserialize_compressed(&img).unwrap();
+        assert_eq!(back.grammar, comp.grammar, "dataset {}", spec.name);
+        assert_eq!(back.file_names, comp.file_names);
+        assert_eq!(
+            back.grammar.expand_text(&back.dict),
+            comp.grammar.expand_text(&comp.dict),
+            "dataset {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_on_dataset_a() {
+    let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.05));
+    for task in Task::ALL {
+        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let reference = nt.run(task).unwrap();
+        for (label, cfg) in [
+            ("op-level", EngineConfig::ntadoc_oplevel()),
+            ("naive", EngineConfig::naive()),
+        ] {
+            let mut e = Engine::on_nvm(&comp, cfg).unwrap();
+            assert_eq!(e.run(task).unwrap(), reference, "{label}/{task}");
+        }
+        let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+        assert_eq!(dram.run(task).unwrap(), reference, "dram/{task}");
+        for hdd in [false, true] {
+            let mut block =
+                Engine::on_block_device(&comp, EngineConfig::ntadoc(), hdd).unwrap();
+            assert_eq!(block.run(task).unwrap(), reference, "block(hdd={hdd})/{task}");
+        }
+        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        assert_eq!(base.run(task).unwrap(), reference, "baseline/{task}");
+    }
+}
+
+#[test]
+fn many_files_dataset_b_agrees_across_strategies() {
+    use ntadoc_repro::Traversal;
+    let comp = ntadoc_repro::generate_compressed(&DatasetSpec::b().scaled(0.05));
+    for task in [Task::TermVector, Task::InvertedIndex, Task::RankedInvertedIndex] {
+        let mut bu_cfg = EngineConfig::ntadoc();
+        bu_cfg.traversal = Traversal::BottomUp;
+        let mut td_cfg = EngineConfig::ntadoc();
+        td_cfg.traversal = Traversal::TopDown;
+        let mut bu = Engine::on_nvm(&comp, bu_cfg).unwrap();
+        let mut td = Engine::on_nvm(&comp, td_cfg).unwrap();
+        assert_eq!(bu.run(task).unwrap(), td.run(task).unwrap(), "{task}");
+    }
+}
+
+#[test]
+fn reports_expose_phase_times_and_peaks() {
+    let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.03));
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    engine.run(Task::WordCount).unwrap();
+    let rep = engine.last_report.as_ref().unwrap();
+    assert!(rep.init_ns > 0);
+    assert!(rep.traversal_ns > 0);
+    assert!(rep.device_peak_bytes > 0, "NVM allocations must be ledgered");
+    assert!(rep.dram_peak_bytes > 0, "host staging must be ledgered");
+    assert!(
+        rep.dram_peak_bytes < rep.device_peak_bytes,
+        "N-TADOC keeps the bulk on the device"
+    );
+    assert_eq!(rep.device, "NVM");
+}
+
+#[test]
+fn dram_savings_direction_holds() {
+    // The headline §VI-C claim, as an invariant: N-TADOC's DRAM peak is
+    // well below TADOC-on-DRAM's for the same task.
+    let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.1));
+    let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    nt.run(Task::WordCount).unwrap();
+    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+    dram.run(Task::WordCount).unwrap();
+    let nt_peak = nt.last_report.as_ref().unwrap().dram_peak_bytes;
+    let dram_peak = dram.last_report.as_ref().unwrap().dram_peak_bytes;
+    assert!(
+        (nt_peak as f64) < 0.6 * dram_peak as f64,
+        "expected ≥40% DRAM savings, got N-TADOC {nt_peak} vs TADOC {dram_peak}"
+    );
+}
+
+#[test]
+fn speedup_directions_hold_on_dataset_a() {
+    // Shape invariants of Figures 5-7 at test scale: N-TADOC beats the
+    // uncompressed baseline and the naive port; DRAM TADOC beats N-TADOC;
+    // NVM beats SSD beats HDD.
+    let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.2));
+    let task = Task::WordCount;
+    let run = |cfg: EngineConfig, dev: u8| -> f64 {
+        let mut e = match dev {
+            0 => Engine::on_nvm(&comp, cfg).unwrap(),
+            1 => Engine::on_dram(&comp, cfg).unwrap(),
+            2 => Engine::on_block_device(&comp, cfg, false).unwrap(),
+            _ => Engine::on_block_device(&comp, cfg, true).unwrap(),
+        };
+        e.run(task).unwrap();
+        e.last_report.unwrap().total_secs()
+    };
+    let nt = run(EngineConfig::ntadoc(), 0);
+    let naive = run(EngineConfig::naive(), 0);
+    let dram = run(EngineConfig::tadoc_dram(), 1);
+    let ssd = run(EngineConfig::ntadoc(), 2);
+    let hdd = run(EngineConfig::ntadoc(), 3);
+    let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    base.run(task).unwrap();
+    let base_t = base.last_report.unwrap().total_secs();
+
+    assert!(nt < base_t, "N-TADOC {nt} must beat uncompressed {base_t}");
+    assert!(nt < naive, "N-TADOC {nt} must beat the naive port {naive}");
+    assert!(dram < nt, "DRAM TADOC {dram} must beat N-TADOC {nt}");
+    assert!(nt < ssd, "NVM {nt} must beat SSD {ssd}");
+    assert!(ssd < hdd, "SSD {ssd} must beat HDD {hdd}");
+}

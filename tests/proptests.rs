@@ -1,0 +1,276 @@
+//! Property-based tests over the whole stack: compression round-trips,
+//! coarsening invariance, summation soundness, engine-vs-oracle count
+//! equivalence, and the NVM hash table against a model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
+use ntadoc_repro::{
+    compress_corpus, Engine, EngineConfig, Grammar, Symbol, Task, TokenizerConfig,
+};
+
+/// Arbitrary small-alphabet token streams compress interestingly.
+fn token_stream() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..12, 0..400)
+}
+
+/// Arbitrary corpora: 1-4 files of small-alphabet words.
+fn corpus_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    vec(vec(0u32..15, 0..120), 1..4).prop_map(|files| {
+        files
+            .into_iter()
+            .enumerate()
+            .map(|(i, words)| {
+                let text =
+                    words.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ");
+                (format!("f{i}"), text)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequitur_round_trips(words in token_stream()) {
+        let mut seq = ntadoc_grammar::Sequitur::new();
+        for &w in &words {
+            seq.push(Symbol::word(w));
+        }
+        let grammar = seq.into_grammar();
+        let expanded: Vec<u32> =
+            grammar.expand_symbols().iter().map(|x| x.payload()).collect();
+        prop_assert_eq!(expanded, words);
+        grammar.validate().unwrap();
+    }
+
+    #[test]
+    fn repair_round_trips(words in token_stream()) {
+        let syms: Vec<Symbol> = words.iter().map(|&w| Symbol::word(w)).collect();
+        let g = ntadoc_grammar::repair(&syms, 2);
+        let expanded: Vec<u32> =
+            g.expand_symbols().iter().map(|x| x.payload()).collect();
+        prop_assert_eq!(expanded, words);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn engines_agree_on_repair_substrate(files in corpus_strategy()) {
+        let comp = ntadoc_grammar::compress_corpus_repair(
+            &files,
+            &TokenizerConfig::default(),
+            2,
+        );
+        if comp.grammar.stats().expanded_words == 0 {
+            return Ok(());
+        }
+        let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
+        for (_, text) in &files {
+            for w in text.split_whitespace() {
+                *oracle.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let out = engine.run(Task::WordCount).unwrap();
+        prop_assert_eq!(out.word_counts().unwrap(), &oracle);
+    }
+
+    #[test]
+    fn coarsening_preserves_expansion(words in token_stream(), min_exp in 0u64..40) {
+        let mut seq = ntadoc_grammar::Sequitur::new();
+        for &w in &words {
+            seq.push(Symbol::word(w));
+        }
+        let g = seq.into_grammar();
+        let c = g.coarsened(min_exp);
+        prop_assert_eq!(c.expand_symbols(), g.expand_symbols());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn summation_bounds_are_sound(words in token_stream()) {
+        let mut seq = ntadoc_grammar::Sequitur::new();
+        for &w in &words {
+            seq.push(Symbol::word(w));
+        }
+        let g = seq.into_grammar().coarsened(4);
+        let bounds = ntadoc::summation::upper_bounds(&g).bounds;
+        // Actual distinct words per rule expansion must never exceed the
+        // bound.
+        fn expand(g: &Grammar, r: u32, out: &mut Vec<u32>) {
+            for s in &g.rules[r as usize].symbols {
+                if s.is_word() {
+                    out.push(s.payload());
+                } else if s.is_rule() {
+                    expand(g, s.payload(), out);
+                }
+            }
+        }
+        for r in 0..g.rule_count() as u32 {
+            let mut toks = Vec::new();
+            expand(&g, r, &mut toks);
+            toks.sort_unstable();
+            toks.dedup();
+            prop_assert!(bounds[r as usize] >= toks.len() as u64,
+                "rule {} bound {} < {}", r, bounds[r as usize], toks.len());
+        }
+    }
+
+    #[test]
+    fn word_count_matches_oracle_on_arbitrary_corpora(files in corpus_strategy()) {
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        if comp.grammar.stats().expanded_words == 0 {
+            return Ok(());
+        }
+        let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
+        for (_, text) in &files {
+            for w in text.split_whitespace() {
+                *oracle.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let out = engine.run(Task::WordCount).unwrap();
+        prop_assert_eq!(out.word_counts().unwrap(), &oracle);
+    }
+
+    #[test]
+    fn sequence_count_matches_oracle(files in corpus_strategy()) {
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        let mut oracle: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+        for (_, text) in &files {
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            for win in toks.windows(3) {
+                *oracle
+                    .entry(win.iter().map(|s| s.to_string()).collect())
+                    .or_insert(0) += 1;
+            }
+        }
+        if comp.grammar.stats().expanded_words == 0 {
+            return Ok(());
+        }
+        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let out = engine.run(Task::SequenceCount).unwrap();
+        prop_assert_eq!(out.sequence_counts().unwrap(), &oracle);
+    }
+
+    #[test]
+    fn random_access_matches_expansion(
+        files in corpus_strategy(),
+        queries in vec((0usize..4, 0u64..200, 0usize..60), 1..12)
+    ) {
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        let expanded = comp.grammar.expand_files();
+        let accessor = ntadoc::Accessor::new(
+            &comp,
+            ntadoc_repro::DeviceProfile::nvm_optane(),
+        ).unwrap();
+        for (fid, offset, len) in queries {
+            let fid = fid % expanded.len();
+            let got = accessor.extract_ids(fid, offset, len);
+            let f = &expanded[fid];
+            let from = (offset as usize).min(f.len());
+            let to = (from + len).min(f.len());
+            prop_assert_eq!(&got, &f[from..to], "file {} @ {}+{}", fid, offset, len);
+        }
+    }
+
+    #[test]
+    fn pvec_behaves_like_a_vec(ops in vec((0u8..3, 0u64..1000), 0..200)) {
+        use ntadoc_nstruct::PVec;
+        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+        let pool = Rc::new(PmemPool::over_whole(dev));
+        let v: PVec<u64> = PVec::with_capacity(pool, 2).unwrap();
+        let mut model: Vec<u64> = Vec::new();
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    v.push(x).unwrap();
+                    model.push(x);
+                }
+                1 if !model.is_empty() => {
+                    let i = (x as usize) % model.len();
+                    v.set(i, x + 1);
+                    model[i] = x + 1;
+                }
+                _ if !model.is_empty() => {
+                    let i = (x as usize) % model.len();
+                    prop_assert_eq!(v.get(i), model[i]);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(v.to_vec(), model);
+    }
+
+    #[test]
+    fn phash_behaves_like_a_map(ops in vec((0u64..64, 1u64..100), 0..300)) {
+        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+        let pool = Rc::new(PmemPool::over_whole(dev));
+        let table = PHashTable::with_expected(pool, 4, false).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in ops {
+            table.add(k, v).unwrap();
+            *model.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(table.get(*k), Some(*v));
+        }
+        prop_assert_eq!(table.len(), model.len());
+        let mut entries = table.entries();
+        entries.sort_unstable();
+        let mut expect: Vec<(u64, u64)> = model.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(entries, expect);
+    }
+
+    #[test]
+    fn device_survives_arbitrary_write_patterns(
+        writes in vec((0u64..4000, 0u8..255), 0..200)
+    ) {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 4096);
+        let mut model = vec![0u8; 4096];
+        for (addr, byte) in writes {
+            dev.write_bytes(addr, &[byte]);
+            model[addr as usize] = byte;
+        }
+        let mut out = vec![0u8; 4096];
+        dev.read_bytes(0, &mut out);
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn crash_preserves_exactly_the_persisted_prefix(
+        vals in vec(0u64..1000, 1..50),
+        persist_upto in 0usize..50
+    ) {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16);
+        let cut = persist_upto.min(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            dev.write_u64(i as u64 * 8, *v);
+            if i + 1 == cut {
+                dev.persist(0, cut * 8);
+            }
+        }
+        dev.crash();
+        for (i, v) in vals.iter().enumerate() {
+            let read = dev.read_u64(i as u64 * 8);
+            if i < cut {
+                // Persisted prefix must survive...
+                prop_assert_eq!(read, *v, "persisted index {}", i);
+            } else {
+                // ...anything after the persist point may or may not have
+                // survived only if it shares a media line with persisted
+                // data; standalone lines must be zero.
+                let line = (i * 8) / 256;
+                if cut == 0 || line > (cut * 8 - 1) / 256 {
+                    prop_assert_eq!(read, 0, "unpersisted index {}", i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Crash/recovery integration tests across the whole stack (§IV-E).
+
+use ntadoc_repro::{
+    compress_corpus, Compressed, Engine, EngineConfig, Task, TokenizerConfig,
+};
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "alpha beta gamma alpha beta delta epsilon".repeat(50)),
+        ("b".to_string(), "alpha beta gamma zeta eta theta".repeat(50)),
+        ("c".to_string(), "iota kappa alpha beta gamma lambda".repeat(50)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+#[test]
+fn phase_level_crash_during_traversal_recovers_by_rerunning() {
+    let comp = corpus();
+    for task in Task::ALL {
+        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut session = engine.start(task).unwrap();
+        // Power failure mid-run: everything not phase-persisted is lost.
+        session.crash();
+        session.recover().unwrap();
+        let recovered = session.traverse().unwrap_or_else(|e| panic!("{task}: {e}"));
+        let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        assert_eq!(recovered, clean, "{task}: post-crash output differs");
+    }
+}
+
+#[test]
+fn traversal_is_rerunnable_even_without_crash() {
+    // Re-running the traversal phase must be idempotent (weights are
+    // reset per run) — this is what recovery relies on.
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::WordCount).unwrap();
+    let first = session.traverse().unwrap();
+    let second = session.traverse().unwrap();
+    assert_eq!(first, second, "second traversal must not double-count");
+}
+
+#[test]
+fn operation_level_crash_recovers() {
+    let comp = corpus();
+    for task in [Task::WordCount, Task::InvertedIndex] {
+        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+        let mut session = engine.start(task).unwrap();
+        session.crash();
+        session.recover().unwrap(); // rolls back any in-flight transaction
+        let recovered = session.traverse().unwrap();
+        let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        assert_eq!(recovered, clean, "{task}: op-level post-crash output differs");
+    }
+}
+
+#[test]
+fn multiple_crashes_in_a_row_still_recover() {
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::Sort).unwrap();
+    for _ in 0..3 {
+        session.crash();
+        session.recover().unwrap();
+    }
+    let out = session.traverse().unwrap();
+    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    assert_eq!(out, clean_engine.run(Task::Sort).unwrap());
+}
+
+#[test]
+fn dram_engine_does_not_survive_crash() {
+    // Sanity check of the volatility model: DRAM loses everything, so the
+    // traversal after a crash must fail or produce garbage — here we just
+    // assert the device contents were wiped.
+    use ntadoc_repro::{DeviceProfile, SimDevice};
+    let dev = SimDevice::new(DeviceProfile::dram(), 4096);
+    dev.write_u64(0, 42);
+    dev.persist(0, 8);
+    dev.crash();
+    assert_eq!(dev.read_u64(0), 0);
+}
