@@ -3,6 +3,11 @@
 //! table, and raw simulated-device access (sequential vs scattered — the
 //! locality effect the whole paper is about).
 
+// `Criterion::default()` is the canonical constructor; whether it is a
+// unit struct depends on the criterion build, so don't let clippy force
+// the unit-struct form.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::rc::Rc;
 
@@ -45,13 +50,7 @@ fn bench_prune(c: &mut Criterion) {
     let total: usize = comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
     g.throughput(Throughput::Elements(total as u64));
     g.bench_function("prune_all_rules", |b| {
-        b.iter(|| {
-            comp.grammar
-                .rules
-                .iter()
-                .map(|r| prune_rule(&r.symbols).0.len())
-                .sum::<usize>()
-        })
+        b.iter(|| comp.grammar.rules.iter().map(|r| prune_rule(&r.symbols).0.len()).sum::<usize>())
     });
     g.bench_function("bottom_up_summation", |b| {
         b.iter(|| upper_bounds(&comp.grammar).bounds.len())

@@ -44,10 +44,7 @@ fn main() {
         }));
     }
 
-    println!(
-        "\n{:>10} {:>24} {:>12} {:>12}",
-        "backend", "task", "total s", "trav s"
-    );
+    println!("\n{:>10} {:>24} {:>12} {:>12}", "backend", "task", "total s", "trav s");
     for (name, comp) in [("Sequitur", &seq), ("RePair", &rp)] {
         for task in [Task::WordCount, Task::TermVector, Task::SequenceCount] {
             let rep = {

@@ -48,7 +48,9 @@ fn main() {
     for (di, spec) in specs.iter().enumerate() {
         println!("  {}: {:.1}%", spec.name, mean(&per_dataset[di]) * 100.0);
     }
-    println!("\nper-task average savings (paper: word count best 79.8%, sequence count worst 60.7%):");
+    println!(
+        "\nper-task average savings (paper: word count best 79.8%, sequence count worst 60.7%):"
+    );
     for (ti, task) in Task::ALL.into_iter().enumerate() {
         println!("  {}: {:.1}%", task.name(), mean(&per_task[ti]) * 100.0);
     }

@@ -25,9 +25,7 @@ fn main() {
             let nt = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
             let base = h.run_baseline(&comp, EngineConfig::ntadoc(), task);
             wb.push(base.stats.write_backs as f64 / nt.stats.write_backs.max(1) as f64);
-            bytes.push(
-                base.stats.bytes_written as f64 / nt.stats.bytes_written.max(1) as f64,
-            );
+            bytes.push(base.stats.bytes_written as f64 / nt.stats.bytes_written.max(1) as f64);
             json.push(serde_json::json!({
                 "dataset": spec.name,
                 "task": task.name(),
@@ -45,11 +43,7 @@ fn main() {
         &names,
         &rows_wb,
     );
-    print_matrix(
-        "Endurance — baseline bytes written ÷ N-TADOC's",
-        &names,
-        &rows_bytes,
-    );
+    print_matrix("Endurance — baseline bytes written ÷ N-TADOC's", &names, &rows_bytes);
     let all: Vec<f64> = rows_wb.iter().flat_map(|(_, v)| v.iter().copied()).collect();
     println!(
         "\nN-TADOC performs {:.1}x fewer NVM line write-backs on average — the\n\

@@ -34,7 +34,9 @@ fn main() {
             rows.push((task.name(), vals));
         }
         print_matrix(
-            &format!("Figure 7 — N-TADOC NVM speedup over N-TADOC on {dev_name} (paper avg {paper}x)"),
+            &format!(
+                "Figure 7 — N-TADOC NVM speedup over N-TADOC on {dev_name} (paper avg {paper}x)"
+            ),
             &names,
             &rows,
         );

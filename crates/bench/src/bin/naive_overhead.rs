@@ -31,11 +31,7 @@ fn main() {
         }
         rows.push((task.name(), vals));
     }
-    print_matrix(
-        "§III-B — naive TADOC-on-NVM overhead vs TADOC on DRAM",
-        &names,
-        &rows,
-    );
+    print_matrix("§III-B — naive TADOC-on-NVM overhead vs TADOC on DRAM", &names, &rows);
     let all: Vec<f64> = rows.iter().flat_map(|(_, v)| v.iter().copied()).collect();
     println!(
         "\nmeasured average overhead: {:.2}x   (paper: 13.37x; the residual gap is\n\

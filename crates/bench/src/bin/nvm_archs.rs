@@ -16,8 +16,7 @@ fn main() {
     let h = Harness::new();
     let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
     let comp = h.dataset(&spec);
-    let archs =
-        [DeviceProfile::nvm_optane(), DeviceProfile::reram(), DeviceProfile::pcm()];
+    let archs = [DeviceProfile::nvm_optane(), DeviceProfile::reram(), DeviceProfile::pcm()];
     println!("== §VI-F — N-TADOC across NVM architectures (dataset C) ==");
     println!(
         "{:>8} {:>24} {:>14} {:>14} {:>10}",
@@ -36,8 +35,7 @@ fn main() {
             .expect("engine");
             nt.run(task).expect("run");
             let nt_rep = nt.last_report.unwrap();
-            let mut base =
-                UncompressedEngine::new(&comp, EngineConfig::ntadoc(), profile.clone());
+            let mut base = UncompressedEngine::new(&comp, EngineConfig::ntadoc(), profile.clone());
             base.run(task).expect("baseline");
             let base_rep = base.last_report.unwrap();
             let speedup = base_rep.total_secs() / nt_rep.total_secs();

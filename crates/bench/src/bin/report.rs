@@ -38,10 +38,7 @@ fn all_ratios(rows: &[Value], field: &str) -> Vec<f64> {
 fn main() {
     let mut md = String::new();
     let _ = writeln!(md, "# Experiment report (auto-generated)\n");
-    let _ = writeln!(
-        md,
-        "Regenerate with the `ntadoc-bench` binaries, then `--bin report`.\n"
-    );
+    let _ = writeln!(md, "Regenerate with the `ntadoc-bench` binaries, then `--bin report`.\n");
 
     if let Some(rows) = load("table1") {
         let _ = writeln!(md, "## Table I — datasets\n");
@@ -77,11 +74,8 @@ fn main() {
             for (task, v) in per_task_geomean(&rows, field) {
                 let _ = writeln!(md, "| {task} | {v:.2}x |");
             }
-            let _ = writeln!(
-                md,
-                "| **overall** | **{:.2}x** |\n",
-                geomean(&all_ratios(&rows, field))
-            );
+            let _ =
+                writeln!(md, "| **overall** | **{:.2}x** |\n", geomean(&all_ratios(&rows, field)));
         }
     }
 
@@ -109,7 +103,8 @@ fn main() {
     }
 
     if let Some(rows) = load("traversal_opt") {
-        let _ = writeln!(md, "## §VI-E — top-down vs bottom-up on B (paper: ~1000x at 134k files)\n");
+        let _ =
+            writeln!(md, "## §VI-E — top-down vs bottom-up on B (paper: ~1000x at 134k files)\n");
         let _ = writeln!(md, "| files | task | ratio |");
         let _ = writeln!(md, "|---|---|---|");
         for r in &rows {

@@ -1,16 +1,29 @@
-use std::time::Instant;
 use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
+use std::time::Instant;
 
 fn main() {
     let spec = DatasetSpec::c().scaled(1.0);
     let t0 = Instant::now();
     let comp = generate_compressed(&spec);
     let stats = comp.grammar.stats();
-    println!("gen+compress: {:?}  rules={} vocab={} words={} files={}",
-        t0.elapsed(), stats.rule_count, stats.vocabulary, stats.expanded_words, stats.files);
+    println!(
+        "gen+compress: {:?}  rules={} vocab={} words={} files={}",
+        t0.elapsed(),
+        stats.rule_count,
+        stats.vocabulary,
+        stats.expanded_words,
+        stats.files
+    );
 
-    for task in [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex, Task::SequenceCount, Task::RankedInvertedIndex] {
+    for task in [
+        Task::WordCount,
+        Task::Sort,
+        Task::TermVector,
+        Task::InvertedIndex,
+        Task::SequenceCount,
+        Task::RankedInvertedIndex,
+    ] {
         let t = Instant::now();
         let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
         nt.run(task).unwrap();
@@ -42,7 +55,12 @@ fn main() {
             nt_rep.total_secs()/dram_rep.total_secs(),
             naive_rep.total_secs()/nt_rep.total_secs(),
             nt_wall, base_wall, dram_wall, naive_wall);
-        println!("   dram_peak NT={}KB dram-eng={}KB   init/trav NT={:.3}/{:.3}",
-            nt_rep.dram_peak_bytes/1024, dram_rep.dram_peak_bytes/1024, nt_rep.init_secs(), nt_rep.traversal_secs());
+        println!(
+            "   dram_peak NT={}KB dram-eng={}KB   init/trav NT={:.3}/{:.3}",
+            nt_rep.dram_peak_bytes / 1024,
+            dram_rep.dram_peak_bytes / 1024,
+            nt_rep.init_secs(),
+            nt_rep.traversal_secs()
+        );
     }
 }

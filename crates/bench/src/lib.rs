@@ -29,10 +29,7 @@ impl Default for Harness {
 impl Harness {
     /// Read the scale from `NTADOC_SCALE` (default 1.0).
     pub fn new() -> Self {
-        let scale = std::env::var("NTADOC_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1.0);
+        let scale = std::env::var("NTADOC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         Harness { scale, cache: RefCell::new(HashMap::new()) }
     }
 

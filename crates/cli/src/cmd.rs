@@ -5,8 +5,7 @@ use std::path::PathBuf;
 
 use ntadoc::{Accessor, Engine, EngineConfig, Persistence, Task, TaskOutput};
 use ntadoc_grammar::{
-    deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder,
-    TokenizerConfig,
+    deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder, TokenizerConfig,
 };
 use ntadoc_pmem::DeviceProfile;
 
@@ -73,8 +72,7 @@ fn collect_inputs(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
         } else if p.is_dir() {
             let mut stack = vec![p.clone()];
             while let Some(dir) = stack.pop() {
-                let entries =
-                    fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                let entries = fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
                 for entry in entries {
                     let path = entry.map_err(|e| e.to_string())?.path();
                     if path.is_dir() {
@@ -219,8 +217,8 @@ fn run(args: &[String]) -> CmdResult {
         }
     }
     let comp = load_corpus(path)?;
-    let mut engine = Engine::with_profile(&comp, cfg, profile.clone(), "cli")
-        .map_err(|e| e.to_string())?;
+    let mut engine =
+        Engine::with_profile(&comp, cfg, profile.clone(), "cli").map_err(|e| e.to_string())?;
     let out = engine.run(task).map_err(|e| e.to_string())?;
     print_output(&out, top);
     let rep = engine.last_report.as_ref().expect("report");
@@ -290,8 +288,7 @@ fn search(args: &[String]) -> CmdResult {
         return Err("search needs at least one word".into());
     }
     let comp = load_corpus(path)?;
-    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc())
-        .map_err(|e| e.to_string())?;
+    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).map_err(|e| e.to_string())?;
     let out = engine.run(Task::InvertedIndex).map_err(|e| e.to_string())?;
     let index = out.inverted_index().expect("inverted index output");
     for w in words {
@@ -323,16 +320,18 @@ fn extract(args: &[String]) -> CmdResult {
     let path = args.first().ok_or("extract needs a corpus path")?;
     let fid: usize =
         args.get(1).ok_or("extract needs a file#")?.parse().map_err(|e| format!("file#: {e}"))?;
-    let offset: u64 =
-        args.get(2).ok_or("extract needs an offset")?.parse().map_err(|e| format!("offset: {e}"))?;
+    let offset: u64 = args
+        .get(2)
+        .ok_or("extract needs an offset")?
+        .parse()
+        .map_err(|e| format!("offset: {e}"))?;
     let len: usize =
         args.get(3).ok_or("extract needs a length")?.parse().map_err(|e| format!("len: {e}"))?;
     let comp = load_corpus(path)?;
     if fid >= comp.file_count() {
         return Err(format!("file# {fid} out of range ({} files)", comp.file_count()));
     }
-    let accessor =
-        Accessor::new(&comp, DeviceProfile::nvm_optane()).map_err(|e| e.to_string())?;
+    let accessor = Accessor::new(&comp, DeviceProfile::nvm_optane()).map_err(|e| e.to_string())?;
     let words = accessor.extract(fid, offset, len);
     println!("{}", words.join(" "));
     eprintln!(
@@ -409,10 +408,8 @@ mod tests {
 
     #[test]
     fn compress_texts_round_trips() {
-        let image = compress_texts(
-            &[("a".into(), "x y x y".into()), ("b".into(), "x y z".into())],
-            4,
-        );
+        let image =
+            compress_texts(&[("a".into(), "x y x y".into()), ("b".into(), "x y z".into())], 4);
         let comp = deserialize_compressed(&image).unwrap();
         assert_eq!(comp.file_count(), 2);
         assert_eq!(comp.grammar.expand_tokens().len(), 7);

@@ -107,8 +107,7 @@ impl DatasetSpec {
         if self.files >= 64 {
             self.files = ((self.files as f64 * factor) as usize).max(64);
         } else {
-            self.tokens_per_file =
-                ((self.tokens_per_file as f64 * factor) as usize).max(64);
+            self.tokens_per_file = ((self.tokens_per_file as f64 * factor) as usize).max(64);
         }
         self
     }

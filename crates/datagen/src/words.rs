@@ -4,33 +4,245 @@
 
 /// Common English words used for the lowest (most frequent) ranks.
 pub const COMMON: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was",
-    "for", "on", "are", "as", "with", "his", "they", "i", "at", "be", "this",
-    "have", "from", "or", "one", "had", "by", "word", "but", "not", "what",
-    "all", "were", "we", "when", "your", "can", "said", "there", "use", "an",
-    "each", "which", "she", "do", "how", "their", "if", "will", "up", "other",
-    "about", "out", "many", "then", "them", "these", "so", "some", "her",
-    "would", "make", "like", "him", "into", "time", "has", "look", "two",
-    "more", "write", "go", "see", "number", "no", "way", "could", "people",
-    "my", "than", "first", "water", "been", "call", "who", "oil", "its",
-    "now", "find", "long", "down", "day", "did", "get", "come", "made",
-    "may", "part", "over", "new", "sound", "take", "only", "little", "work",
-    "know", "place", "year", "live", "me", "back", "give", "most", "very",
-    "after", "thing", "our", "just", "name", "good", "sentence", "man",
-    "think", "say", "great", "where", "help", "through", "much", "before",
-    "line", "right", "too", "mean", "old", "any", "same", "tell", "boy",
-    "follow", "came", "want", "show", "also", "around", "form", "three",
-    "small", "set", "put", "end", "does", "another", "well", "large", "must",
-    "big", "even", "such", "because", "turn", "here", "why", "ask", "went",
-    "men", "read", "need", "land", "different", "home", "us", "move", "try",
-    "kind", "hand", "picture", "again", "change", "off", "play", "spell",
-    "air", "away", "animal", "house", "point", "page", "letter", "mother",
-    "answer", "found", "study", "still", "learn", "should", "america",
-    "world", "high", "every", "near", "add", "food", "between", "own",
-    "below", "country", "plant", "last", "school", "father", "keep", "tree",
-    "never", "start", "city", "earth", "eye", "light", "thought", "head",
-    "under", "story", "saw", "left", "don't", "few", "while", "along",
-    "might", "close", "something", "seem", "next", "hard", "open", "example",
+    "the",
+    "of",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "you",
+    "that",
+    "it",
+    "he",
+    "was",
+    "for",
+    "on",
+    "are",
+    "as",
+    "with",
+    "his",
+    "they",
+    "i",
+    "at",
+    "be",
+    "this",
+    "have",
+    "from",
+    "or",
+    "one",
+    "had",
+    "by",
+    "word",
+    "but",
+    "not",
+    "what",
+    "all",
+    "were",
+    "we",
+    "when",
+    "your",
+    "can",
+    "said",
+    "there",
+    "use",
+    "an",
+    "each",
+    "which",
+    "she",
+    "do",
+    "how",
+    "their",
+    "if",
+    "will",
+    "up",
+    "other",
+    "about",
+    "out",
+    "many",
+    "then",
+    "them",
+    "these",
+    "so",
+    "some",
+    "her",
+    "would",
+    "make",
+    "like",
+    "him",
+    "into",
+    "time",
+    "has",
+    "look",
+    "two",
+    "more",
+    "write",
+    "go",
+    "see",
+    "number",
+    "no",
+    "way",
+    "could",
+    "people",
+    "my",
+    "than",
+    "first",
+    "water",
+    "been",
+    "call",
+    "who",
+    "oil",
+    "its",
+    "now",
+    "find",
+    "long",
+    "down",
+    "day",
+    "did",
+    "get",
+    "come",
+    "made",
+    "may",
+    "part",
+    "over",
+    "new",
+    "sound",
+    "take",
+    "only",
+    "little",
+    "work",
+    "know",
+    "place",
+    "year",
+    "live",
+    "me",
+    "back",
+    "give",
+    "most",
+    "very",
+    "after",
+    "thing",
+    "our",
+    "just",
+    "name",
+    "good",
+    "sentence",
+    "man",
+    "think",
+    "say",
+    "great",
+    "where",
+    "help",
+    "through",
+    "much",
+    "before",
+    "line",
+    "right",
+    "too",
+    "mean",
+    "old",
+    "any",
+    "same",
+    "tell",
+    "boy",
+    "follow",
+    "came",
+    "want",
+    "show",
+    "also",
+    "around",
+    "form",
+    "three",
+    "small",
+    "set",
+    "put",
+    "end",
+    "does",
+    "another",
+    "well",
+    "large",
+    "must",
+    "big",
+    "even",
+    "such",
+    "because",
+    "turn",
+    "here",
+    "why",
+    "ask",
+    "went",
+    "men",
+    "read",
+    "need",
+    "land",
+    "different",
+    "home",
+    "us",
+    "move",
+    "try",
+    "kind",
+    "hand",
+    "picture",
+    "again",
+    "change",
+    "off",
+    "play",
+    "spell",
+    "air",
+    "away",
+    "animal",
+    "house",
+    "point",
+    "page",
+    "letter",
+    "mother",
+    "answer",
+    "found",
+    "study",
+    "still",
+    "learn",
+    "should",
+    "america",
+    "world",
+    "high",
+    "every",
+    "near",
+    "add",
+    "food",
+    "between",
+    "own",
+    "below",
+    "country",
+    "plant",
+    "last",
+    "school",
+    "father",
+    "keep",
+    "tree",
+    "never",
+    "start",
+    "city",
+    "earth",
+    "eye",
+    "light",
+    "thought",
+    "head",
+    "under",
+    "story",
+    "saw",
+    "left",
+    "don't",
+    "few",
+    "while",
+    "along",
+    "might",
+    "close",
+    "something",
+    "seem",
+    "next",
+    "hard",
+    "open",
+    "example",
 ];
 
 /// Deterministic word string for rank `idx`: a common English word for low
@@ -80,10 +292,7 @@ mod tests {
     fn pseudo_words_are_lowercase_alnum() {
         for i in 300..400 {
             let w = word_string(i);
-            assert!(
-                w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
-                "{w}"
-            );
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{w}");
         }
     }
 }

@@ -190,9 +190,7 @@ impl Grammar {
     pub fn expand_text(&self, dict: &Dictionary) -> Vec<String> {
         self.expand_files()
             .into_iter()
-            .map(|f| {
-                f.iter().map(|&w| dict.word(w)).collect::<Vec<_>>().join(" ")
-            })
+            .map(|f| f.iter().map(|&w| dict.word(w)).collect::<Vec<_>>().join(" "))
             .collect()
     }
 
@@ -213,9 +211,8 @@ impl Grammar {
     pub fn topo_order(&self) -> Vec<u32> {
         let mut deg = self.in_degrees();
         let mut order = Vec::with_capacity(self.rules.len());
-        let mut queue: Vec<u32> = (0..self.rules.len() as u32)
-            .filter(|&r| deg[r as usize] == 0)
-            .collect();
+        let mut queue: Vec<u32> =
+            (0..self.rules.len() as u32).filter(|&r| deg[r as usize] == 0).collect();
         while let Some(r) = queue.pop() {
             order.push(r);
             for s in self.rules[r as usize].subrules() {
@@ -287,9 +284,8 @@ impl Grammar {
         // R0 is always kept; other rules survive if they expand to at
         // least `min_exp` words, or are short but heavily reused (short
         // frequent phrases are exactly what makes TADOC compression pay).
-        let keep: Vec<bool> = (0..n)
-            .map(|r| r == 0 || exp[r] >= min_exp || (deg[r] >= 3 && exp[r] >= 4))
-            .collect();
+        let keep: Vec<bool> =
+            (0..n).map(|r| r == 0 || exp[r] >= min_exp || (deg[r] >= 3 && exp[r] >= 4)).collect();
         // Bottom-up body rewriting: inlined children are spliced in, kept
         // children stay as references. A non-kept rule can only reference
         // other non-kept rules (its expansion bounds theirs), so its
@@ -323,13 +319,7 @@ impl Grammar {
             }
             let symbols = flat[r]
                 .iter()
-                .map(|s| {
-                    if s.is_rule() {
-                        Symbol::rule(remap[s.payload() as usize])
-                    } else {
-                        *s
-                    }
-                })
+                .map(|s| if s.is_rule() { Symbol::rule(remap[s.payload() as usize]) } else { *s })
                 .collect();
             rules.push(Rule { symbols });
         }
@@ -362,12 +352,7 @@ mod tests {
                 ],
             },
             Rule {
-                symbols: vec![
-                    Symbol::rule(2),
-                    Symbol::word(3),
-                    Symbol::word(4),
-                    Symbol::rule(2),
-                ],
+                symbols: vec![Symbol::rule(2), Symbol::word(3), Symbol::word(4), Symbol::rule(2)],
             },
             Rule { symbols: vec![Symbol::word(1), Symbol::word(2)] },
         ])
@@ -412,10 +397,7 @@ mod tests {
     #[test]
     fn validate_rejects_dangling_ref() {
         let g = Grammar::new(vec![Rule { symbols: vec![Symbol::rule(7)] }]);
-        assert!(matches!(
-            g.validate(),
-            Err(GrammarError::DanglingRuleRef { referenced: 7, .. })
-        ));
+        assert!(matches!(g.validate(), Err(GrammarError::DanglingRuleRef { referenced: 7, .. })));
     }
 
     #[test]
@@ -475,11 +457,7 @@ mod tests {
         let g = fig1();
         for min_exp in [0, 3, 5, 100] {
             let c = g.coarsened(min_exp);
-            assert_eq!(
-                c.expand_symbols(),
-                g.expand_symbols(),
-                "min_exp = {min_exp}"
-            );
+            assert_eq!(c.expand_symbols(), g.expand_symbols(), "min_exp = {min_exp}");
             c.validate().unwrap();
         }
     }

@@ -60,8 +60,7 @@ impl Dictionary {
 
     /// Rebuild from an id-ordered word list (deserialization path).
     pub fn from_words(words: Vec<String>) -> Self {
-        let by_word =
-            words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+        let by_word = words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
         Dictionary { by_id: words, by_word }
     }
 

@@ -84,12 +84,7 @@ pub struct CorpusBuilder {
 impl CorpusBuilder {
     /// Start an empty corpus.
     pub fn new(cfg: TokenizerConfig) -> Self {
-        CorpusBuilder {
-            dict: Dictionary::new(),
-            seq: Sequitur::new(),
-            file_names: Vec::new(),
-            cfg,
-        }
+        CorpusBuilder { dict: Dictionary::new(), seq: Sequitur::new(), file_names: Vec::new(), cfg }
     }
 
     /// Append one file's text to the corpus.

@@ -86,8 +86,7 @@ pub fn repair(input: &[Symbol], min_freq: usize) -> Grammar {
         occs.entry(k).or_default().push(i);
         *counts.entry(k).or_insert(0) += 1;
     }
-    let mut heap: BinaryHeap<(usize, Digram)> =
-        counts.iter().map(|(&k, &c)| (c, k)).collect();
+    let mut heap: BinaryHeap<(usize, Digram)> = counts.iter().map(|(&k, &c)| (c, k)).collect();
 
     let mut rules: Vec<Rule> = Vec::new(); // bodies of R1.. (R0 assembled last)
 
@@ -212,8 +211,7 @@ mod tests {
 
     fn round_trip(ids: &[u32]) -> Grammar {
         let g = repair(&words(ids), 2);
-        let expanded: Vec<u32> =
-            g.expand_symbols().iter().map(|s| s.payload()).collect();
+        let expanded: Vec<u32> = g.expand_symbols().iter().map(|s| s.payload()).collect();
         assert_eq!(expanded, ids);
         g.validate().unwrap();
         g
@@ -264,10 +262,7 @@ mod tests {
         let strict = repair(&words(&ids), 3);
         let loose = repair(&words(&ids), 2);
         assert!(strict.rule_count() < loose.rule_count());
-        assert_eq!(
-            strict.expand_symbols().len(),
-            loose.expand_symbols().len()
-        );
+        assert_eq!(strict.expand_symbols().len(), loose.expand_symbols().len());
     }
 
     #[test]
@@ -284,9 +279,7 @@ mod tests {
 
     #[test]
     fn compresses_comparably_to_sequitur() {
-        let ids: Vec<u32> = (0..24)
-            .flat_map(|_| [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5])
-            .collect();
+        let ids: Vec<u32> = (0..24).flat_map(|_| [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]).collect();
         let rp = repair(&words(&ids), 2);
         let mut sq = crate::sequitur::Sequitur::new();
         for &w in &ids {

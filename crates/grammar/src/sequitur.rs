@@ -414,8 +414,7 @@ mod tests {
 
     fn round_trip(words: &[u32]) {
         let g = compress(words);
-        let expanded: Vec<u32> =
-            g.expand_symbols().iter().map(|s| s.payload()).collect();
+        let expanded: Vec<u32> = g.expand_symbols().iter().map(|s| s.payload()).collect();
         assert_eq!(expanded, words, "round-trip mismatch");
         g.validate().unwrap();
     }
@@ -513,10 +512,7 @@ mod tests {
         }
         let g = s.into_grammar();
         for (i, r) in g.rules.iter().enumerate().skip(1) {
-            assert!(
-                r.symbols.iter().all(|sym| !sym.is_sep()),
-                "separator escaped into rule {i}"
-            );
+            assert!(r.symbols.iter().all(|sym| !sym.is_sep()), "separator escaped into rule {i}");
         }
         let seps = g.rules[0].symbols.iter().filter(|s| s.is_sep()).count();
         assert_eq!(seps, 3);

@@ -7,22 +7,49 @@
 //! costs.
 //!
 //! ```text
-//! magic   8 B   "NTADOC1\0"
-//! words   u32   dictionary size
-//! files   u32   file count
-//! rules   u32   rule count
-//! dict    words × { u32 len, len bytes }
-//! names   files × { u32 len, len bytes }
-//! bodies  rules × { u32 len, len × u32 raw symbols }
+//! magic   8 B   "NTADOC2\0"
+//! crc     u64   CRC-64 of the payload (everything after paylen)
+//! paylen  u64   payload byte length
+//! payload:
+//!   words   u32   dictionary size
+//!   files   u32   file count
+//!   rules   u32   rule count
+//!   dict    words × { u32 len, len bytes }
+//!   names   files × { u32 len, len bytes }
+//!   bodies  rules × { u32 len, len × u32 raw symbols }
 //! ```
+//!
+//! The checksummed header makes the image self-validating: a torn or
+//! bit-flipped image read back after a crash fails with
+//! [`ImageError::BadChecksum`] instead of being parsed into a silently
+//! wrong grammar. Deserialization never trusts on-media counts — every
+//! length is bounds-checked against the remaining bytes before anything
+//! is allocated, so arbitrary garbage can at worst produce an error.
 
 use crate::cfg::{Grammar, Rule};
 use crate::dict::Dictionary;
 use crate::symbol::Symbol;
 use crate::Compressed;
 
-/// Image magic ("NTADOC1\0").
-pub const MAGIC: [u8; 8] = *b"NTADOC1\0";
+/// Image magic ("NTADOC2\0"; version 2 added the checksummed header).
+pub const MAGIC: [u8; 8] = *b"NTADOC2\0";
+
+/// Bytes before the payload: magic + crc + paylen.
+const HEADER_LEN: usize = 24;
+
+/// CRC-64 (ECMA-182, reflected), matching `ntadoc_pmem::crc64`. Duplicated
+/// here because the grammar crate is device-independent by design.
+fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc ^= b as u64;
+        for _ in 0..8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+    }
+    !crc
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -37,6 +64,7 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&[0u8; 16]); // crc + paylen patched below
     put_u32(&mut out, c.dict.len() as u32);
     put_u32(&mut out, c.file_names.len() as u32);
     put_u32(&mut out, c.grammar.rule_count() as u32);
@@ -52,6 +80,10 @@ pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
             put_u32(&mut out, s.raw());
         }
     }
+    let crc = crc64(&out[HEADER_LEN..]);
+    let paylen = (out.len() - HEADER_LEN) as u64;
+    out[8..16].copy_from_slice(&crc.to_le_bytes());
+    out[16..24].copy_from_slice(&paylen.to_le_bytes());
     out
 }
 
@@ -62,6 +94,9 @@ pub enum ImageError {
     BadMagic,
     /// The image ended before the declared contents.
     Truncated,
+    /// The payload does not match the header checksum (torn write, bit
+    /// rot, or a partially persisted image).
+    BadChecksum,
     /// A string field was not valid UTF-8.
     BadUtf8,
 }
@@ -71,6 +106,7 @@ impl std::fmt::Display for ImageError {
         match self {
             ImageError::BadMagic => write!(f, "bad image magic"),
             ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::BadChecksum => write!(f, "image payload fails checksum"),
             ImageError::BadUtf8 => write!(f, "image contains invalid UTF-8"),
         }
     }
@@ -85,15 +121,21 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
-        if self.at + n > self.buf.len() {
+        if n > self.buf.len() - self.at {
             return Err(ImageError::Truncated);
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
     fn u32(&mut self) -> Result<u32, ImageError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn string(&mut self) -> Result<String, ImageError> {
         let len = self.u32()? as usize;
@@ -102,27 +144,42 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Parse a persistent image back into a [`Compressed`] corpus.
+/// Parse a persistent image back into a [`Compressed`] corpus. Rejects
+/// corruption (checksum mismatch, impossible lengths) with an error —
+/// never panics or over-allocates on untrusted input.
 pub fn deserialize_compressed(bytes: &[u8]) -> Result<Compressed, ImageError> {
     let mut r = Reader { buf: bytes, at: 0 };
     if r.take(8)? != MAGIC {
         return Err(ImageError::BadMagic);
     }
+    let crc = r.u64()?;
+    let paylen = r.u64()? as usize;
+    if paylen > r.remaining() {
+        return Err(ImageError::Truncated);
+    }
+    // Validate the payload as a whole before parsing any of it.
+    if crc64(&bytes[HEADER_LEN..HEADER_LEN + paylen]) != crc {
+        return Err(ImageError::BadChecksum);
+    }
+    let mut r = Reader { buf: &bytes[..HEADER_LEN + paylen], at: HEADER_LEN };
     let words = r.u32()? as usize;
     let files = r.u32()? as usize;
     let rules = r.u32()? as usize;
-    let mut dict_words = Vec::with_capacity(words);
+    // Counts come from media: cap pre-allocations by what could possibly
+    // fit in the remaining bytes (each element costs >= 4 bytes).
+    let cap = |n: usize, r: &Reader| n.min(r.remaining() / 4);
+    let mut dict_words = Vec::with_capacity(cap(words, &r));
     for _ in 0..words {
         dict_words.push(r.string()?);
     }
-    let mut file_names = Vec::with_capacity(files);
+    let mut file_names = Vec::with_capacity(cap(files, &r));
     for _ in 0..files {
         file_names.push(r.string()?);
     }
-    let mut rule_vec = Vec::with_capacity(rules);
+    let mut rule_vec = Vec::with_capacity(cap(rules, &r));
     for _ in 0..rules {
         let len = r.u32()? as usize;
-        let mut symbols = Vec::with_capacity(len);
+        let mut symbols = Vec::with_capacity(cap(len, &r));
         for _ in 0..len {
             symbols.push(Symbol::from_raw(r.u32()?));
         }
@@ -169,13 +226,52 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let img = serialize_compressed(&sample());
-        for cut in [7, 12, img.len() / 2, img.len() - 1] {
+        for cut in [7, 12, 20, img.len() / 2, img.len() - 1] {
             assert_eq!(
                 deserialize_compressed(&img[..cut]).unwrap_err(),
                 ImageError::Truncated,
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_checksum() {
+        let clean = serialize_compressed(&sample());
+        // Flip one bit at a spread of payload positions: every one must be
+        // caught by the checksum, none may parse (or panic).
+        for pos in [24, 30, clean.len() / 2, clean.len() - 1] {
+            let mut img = clean.clone();
+            img[pos] ^= 0x10;
+            assert_eq!(
+                deserialize_compressed(&img).unwrap_err(),
+                ImageError::BadChecksum,
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_crc_flip_fails_checksum() {
+        let mut img = serialize_compressed(&sample());
+        img[9] ^= 0xFF; // inside the stored crc
+        assert_eq!(deserialize_compressed(&img).unwrap_err(), ImageError::BadChecksum);
+    }
+
+    #[test]
+    fn huge_declared_counts_do_not_overallocate() {
+        // Forge an image declaring u32::MAX dictionary words with a valid
+        // checksum: parsing must fail on content, not abort on allocation.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC);
+        img.extend_from_slice(&crc64(&payload).to_le_bytes());
+        img.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        img.extend_from_slice(&payload);
+        assert_eq!(deserialize_compressed(&img).unwrap_err(), ImageError::Truncated);
     }
 
     #[test]

@@ -23,14 +23,11 @@ impl Default for TokenizerConfig {
 
 /// Split `text` into word tokens according to `cfg`. Empty tokens (e.g. a
 /// bare punctuation mark) are dropped.
-pub fn tokenize<'a>(text: &'a str, cfg: &TokenizerConfig) -> Vec<String> {
+pub fn tokenize(text: &str, cfg: &TokenizerConfig) -> Vec<String> {
     let mut out = Vec::new();
     for raw in text.split_whitespace() {
-        let token = if cfg.strip_punct {
-            raw.trim_matches(|c: char| !c.is_alphanumeric())
-        } else {
-            raw
-        };
+        let token =
+            if cfg.strip_punct { raw.trim_matches(|c: char| !c.is_alphanumeric()) } else { raw };
         if token.is_empty() {
             continue;
         }

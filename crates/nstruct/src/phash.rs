@@ -296,10 +296,7 @@ mod tests {
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
     fn pool(bytes: usize) -> Rc<PmemPool> {
-        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
-            DeviceProfile::nvm_optane(),
-            bytes,
-        ))))
+        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), bytes))))
     }
 
     #[test]

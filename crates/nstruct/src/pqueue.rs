@@ -41,14 +41,7 @@ impl PQueue {
     pub fn with_capacity(pool: Rc<PmemPool>, cap: usize) -> Result<Self> {
         let cap = cap.max(1);
         let base = pool.alloc_array(cap, 4)?;
-        Ok(PQueue {
-            pool,
-            base,
-            cap,
-            head: Cell::new(0),
-            tail: Cell::new(0),
-            len: Cell::new(0),
-        })
+        Ok(PQueue { pool, base, cap, head: Cell::new(0), tail: Cell::new(0), len: Cell::new(0) })
     }
 
     /// Number of queued ids.
@@ -95,10 +88,7 @@ impl PQueue {
 
 impl std::fmt::Debug for PQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PQueue")
-            .field("len", &self.len.get())
-            .field("cap", &self.cap)
-            .finish()
+        f.debug_struct("PQueue").field("len", &self.len.get()).field("cap", &self.cap).finish()
     }
 }
 

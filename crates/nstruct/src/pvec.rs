@@ -190,10 +190,7 @@ mod tests {
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
     fn pool() -> Rc<PmemPool> {
-        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
-            DeviceProfile::nvm_optane(),
-            1 << 22,
-        ))))
+        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22))))
     }
 
     #[test]
@@ -292,10 +289,8 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_surfaces_as_error() {
-        let small = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
-            DeviceProfile::nvm_optane(),
-            64,
-        ))));
+        let small =
+            Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 64))));
         let v: PVec<u64> = PVec::with_capacity(small, 4).unwrap();
         for i in 0..4u64 {
             v.push(i).unwrap();

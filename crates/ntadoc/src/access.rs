@@ -125,7 +125,8 @@ impl Accessor {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        self.dev.charge_ns((64 - (seg.len() as u64).leading_zeros() as u64) * self.cost.per_item_ns);
+        self.dev
+            .charge_ns((64 - (seg.len() as u64).leading_zeros() as u64) * self.cost.per_item_ns);
         while i < seg.len() && prefix[i] < end {
             let sym_start = prefix[i];
             let s = seg[i];
@@ -145,10 +146,7 @@ impl Accessor {
 
     /// Extract words of file `fid` as strings (dictionary reads charged).
     pub fn extract(&self, fid: usize, offset: u64, len: usize) -> Vec<String> {
-        self.extract_ids(fid, offset, len)
-            .into_iter()
-            .map(|w| self.dag.word_str(w))
-            .collect()
+        self.extract_ids(fid, offset, len).into_iter().map(|w| self.dag.word_str(w)).collect()
     }
 
     /// Emit the expansion of `rule` restricted to local word range
@@ -187,8 +185,14 @@ mod tests {
 
     fn setup() -> (Compressed, Accessor, Vec<Vec<u32>>) {
         let files = vec![
-            ("a".to_string(), "the quick brown fox jumps over the lazy dog again and again".repeat(40)),
-            ("b".to_string(), "pack my box with five dozen liquor jugs the quick brown fox".repeat(30)),
+            (
+                "a".to_string(),
+                "the quick brown fox jumps over the lazy dog again and again".repeat(40),
+            ),
+            (
+                "b".to_string(),
+                "pack my box with five dozen liquor jugs the quick brown fox".repeat(30),
+            ),
             ("c".to_string(), "sphinx of black quartz judge my vow".to_string()),
         ];
         let comp = compress_corpus(&files, &TokenizerConfig::default());
@@ -210,9 +214,7 @@ mod tests {
     fn extract_matches_expansion_slices() {
         let (_, acc, files) = setup();
         for (fid, f) in files.iter().enumerate() {
-            for &(offset, len) in
-                &[(0u64, 5usize), (7, 13), (100, 64), (f.len() as u64 / 2, 31)]
-            {
+            for &(offset, len) in &[(0u64, 5usize), (7, 13), (100, 64), (f.len() as u64 / 2, 31)] {
                 let got = acc.extract_ids(fid, offset, len);
                 let from = (offset as usize).min(f.len());
                 let to = (from + len).min(f.len());

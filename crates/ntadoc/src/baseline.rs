@@ -81,9 +81,7 @@ impl UncompressedEngine {
         let mut capacity = self.estimate_capacity();
         loop {
             match self.try_run(task, capacity) {
-                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
-                    capacity *= 2
-                }
+                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => capacity *= 2,
                 other => return other,
             }
         }
@@ -108,8 +106,7 @@ impl UncompressedEngine {
         let dev = Rc::new(SimDevice::new(self.profile.clone(), capacity));
         let scratch_len = (capacity as u64 / 4).max(1 << 20);
         let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
-        let pool =
-            Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
+        let pool = Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
         let scratch_base = main_len;
         let txlog = match self.cfg.persistence {
             Persistence::OperationLevel => Some(Rc::new(RefCell::new(TxLog::new(
@@ -127,7 +124,7 @@ impl UncompressedEngine {
         }
         dev.charge_ns(cost.disk_read_ns(self.raw_bytes));
         dev.charge_ns(self.tokens.len() as u64 * cost.per_item_ns); // dictionary conversion
-        // Dictionary-conversion staging buffer (DRAM for the init phase).
+                                                                    // Dictionary-conversion staging buffer (DRAM for the init phase).
         let staging = self.tokens.len() as u64 * 4 * 3 / 2;
         ledger.on_alloc(DeviceKind::Dram, staging);
         let stream = pool.alloc_array(self.tokens.len().max(1), 4)?;
@@ -197,6 +194,7 @@ impl UncompressedEngine {
             dram_peak_bytes: ledger.peak(DeviceKind::Dram),
             device_peak_bytes: ledger.peak(self.profile.kind),
             stats: dev.stats(),
+            wear_top: dev.wear_top(8),
         });
         Ok(out)
     }
@@ -319,12 +317,7 @@ impl<'a> Scan<'a> {
                 let finished = table.take().expect("active table");
                 finished.finish()?;
                 out.push(
-                    finished
-                        .table
-                        .entries()
-                        .into_iter()
-                        .map(|(k, v)| (k as u32, v))
-                        .collect(),
+                    finished.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect(),
                 );
                 table = Some(self.file_counter()?);
                 Ok(())
@@ -334,9 +327,7 @@ impl<'a> Scan<'a> {
         })?;
         let finished = table.take().expect("active table");
         finished.finish()?;
-        out.push(
-            finished.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect(),
-        );
+        out.push(finished.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect());
         Ok(out)
     }
 
@@ -367,9 +358,7 @@ impl<'a> Scan<'a> {
             self.charge_sort(entries.len() as u64);
             for (wid, _) in entries {
                 pairs.push((wid, fid as u32))?;
-                out.entry(self.word_str(wid))
-                    .or_default()
-                    .push(self.comp.file_names[fid].clone());
+                out.entry(self.word_str(wid)).or_default().push(self.comp.file_names[fid].clone());
             }
         }
         if self.cfg.persistence != Persistence::None {
@@ -456,8 +445,7 @@ impl<'a> Scan<'a> {
         for (sid, mut files) in acc {
             self.charge_sort(files.len() as u64);
             files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            let gram: Vec<String> =
-                interner.gram(sid).iter().map(|&w| self.word_str(w)).collect();
+            let gram: Vec<String> = interner.gram(sid).iter().map(|&w| self.word_str(w)).collect();
             let ranked: Vec<(String, u64)> = files
                 .into_iter()
                 .map(|(fid, c)| (self.comp.file_names[fid as usize].clone(), c))

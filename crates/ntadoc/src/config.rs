@@ -144,11 +144,7 @@ impl EngineConfig {
     /// summation) and nothing is persisted. This is the Figure 6
     /// theoretical upper bound.
     pub fn tadoc_dram() -> Self {
-        EngineConfig {
-            presize: false,
-            persistence: Persistence::None,
-            ..Self::ntadoc()
-        }
+        EngineConfig { presize: false, persistence: Persistence::None, ..Self::ntadoc() }
     }
 }
 

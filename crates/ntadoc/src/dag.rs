@@ -28,8 +28,11 @@ use ntadoc_pmem::{Addr, PmemPool, SimDevice};
 use crate::summation::HeadTailInfo;
 use crate::Result;
 
+/// `(id, frequency)` pairs of one pruned bucket (subrules or words).
+pub type FreqPairs = Vec<(u32, u32)>;
+
 /// Per-rule deduplicated view: `(id, freq)` pairs.
-pub fn prune_rule(symbols: &[Symbol]) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+pub fn prune_rule(symbols: &[Symbol]) -> (FreqPairs, FreqPairs) {
     // Buckets, as in Algorithm 1: count subrules and words separately.
     let mut subs: Vec<(u32, u32)> = Vec::new();
     let mut words: Vec<(u32, u32)> = Vec::new();
@@ -312,7 +315,7 @@ impl DagPool {
     ///
     /// # Panics
     /// Panics if the pool was built without pruned views.
-    pub fn pruned_view(&self, r: u32) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    pub fn pruned_view(&self, r: u32) -> (FreqPairs, FreqPairs) {
         assert!(self.has_pruned, "pool built without pruned views");
         let off = self.dev.read_u64(self.meta.pruned_off + r as u64 * 8);
         let nsub = self.dev.read_u32(self.meta.nsub + r as u64 * 4) as usize;
@@ -570,9 +573,7 @@ mod tests {
     fn unpruned_pool_panics_on_pruned_access() {
         let comp = sample();
         let dag = build(&comp, false, true);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dag.pruned_view(0)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dag.pruned_view(0)));
         assert!(result.is_err());
     }
 

@@ -27,11 +27,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ntadoc_grammar::{serialize_compressed, Compressed};
+use ntadoc_grammar::{deserialize_compressed, serialize_compressed, Compressed};
 use ntadoc_nstruct::PHashTable;
-use ntadoc_pmem::{
-    AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog,
-};
+use ntadoc_pmem::{AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog};
 
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
@@ -86,8 +84,7 @@ impl Engine {
         let bounds = upper_bounds(&comp.grammar).bounds;
         let vocab = comp.dict.len();
         let info = head_tail_info(&comp.grammar, 1);
-        let max_exp_nonroot =
-            info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
+        let max_exp_nonroot = info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
         let plan = CapacityPlan {
             nrules: stats.rule_count,
             total_symbols: stats.total_symbols,
@@ -97,10 +94,7 @@ impl Engine {
             sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
             max_exp_nonroot,
         };
-        assert!(
-            !comp.file_names.is_empty(),
-            "engines need a corpus with at least one file"
-        );
+        assert!(!comp.file_names.is_empty(), "engines need a corpus with at least one file");
         let image_bytes = serialize_compressed(comp).len() as u64;
         Ok(Engine {
             comp: Rc::new(comp.clone()),
@@ -117,6 +111,16 @@ impl Engine {
     pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
         let label = if cfg.pruned { "N-TADOC" } else { "naive-NVM" };
         Self::with_profile(comp, cfg, DeviceProfile::nvm_optane(), label)
+    }
+
+    /// N-TADOC engine built straight from a serialized corpus image, as a
+    /// restart after a crash would do. A torn, truncated or bit-flipped
+    /// image is rejected with [`PmemError::CorruptImage`] — the engine
+    /// never comes up over garbage.
+    pub fn on_nvm_image(image: &[u8], cfg: EngineConfig) -> Result<Self> {
+        let comp =
+            deserialize_compressed(image).map_err(|e| PmemError::CorruptImage(e.to_string()))?;
+        Self::on_nvm(&comp, cfg)
     }
 
     /// Engine on pure DRAM (the TADOC upper bound of Figure 6).
@@ -175,6 +179,51 @@ impl Engine {
         Ok(out)
     }
 
+    /// Like [`run`](Self::run), but surviving media faults: when a
+    /// traversal fails with a [`PmemError::MediaError`] that the device's
+    /// own bounded retries could not absorb, fall back to the §IV-E
+    /// recovery path — roll back any open operation-level transaction and
+    /// re-run the phase from the last checkpoint — up to `max_retries`
+    /// times before giving up. Every retry's device traffic is charged to
+    /// the virtual clock like any other access.
+    pub fn run_resilient(&mut self, task: Task, max_retries: u32) -> Result<TaskOutput> {
+        let mut capacity = self.estimate_capacity(task);
+        loop {
+            match self.try_run_resilient(task, capacity, max_retries) {
+                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
+                    capacity *= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn try_run_resilient(
+        &mut self,
+        task: Task,
+        capacity: usize,
+        max_retries: u32,
+    ) -> Result<TaskOutput> {
+        let mut session = self.start_with_capacity(task, capacity)?;
+        let mut attempts = 0u32;
+        let out = loop {
+            match session.traverse() {
+                Ok(out) => break out,
+                Err(PmemError::MediaError { .. }) if attempts < max_retries => {
+                    // Phase re-run: a successful rewrite re-programs the
+                    // faulted cells, so result regions heal; a fault
+                    // pinned on read-only data keeps failing and exhausts
+                    // the attempts.
+                    attempts += 1;
+                    session.recover()?;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.last_report = Some(session.report());
+        Ok(out)
+    }
+
     /// Run only the initialization phase, returning the live [`Session`]
     /// (used by recovery tests and by `run`).
     pub fn start(&self, task: Task) -> Result<Session> {
@@ -229,18 +278,14 @@ impl Engine {
         // relieve scratch exhaustion.
         let scratch_len = self.scratch_bytes(task).max(capacity as u64 / 4);
         let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
-        let pool = Rc::new(
-            PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()),
-        );
+        let pool = Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
         let scratch_base = main_len;
         let log_base = main_len + scratch_len;
 
         let txlog = match self.cfg.persistence {
-            Persistence::OperationLevel => Some(Rc::new(RefCell::new(TxLog::new(
-                dev.clone(),
-                log_base,
-                LOG_BYTES,
-            )))),
+            Persistence::OperationLevel => {
+                Some(Rc::new(RefCell::new(TxLog::new(dev.clone(), log_base, LOG_BYTES))))
+            }
             _ => None,
         };
 
@@ -418,8 +463,7 @@ impl Session {
         let staging = self.image_bytes * 3 / 2; // raw image + parse cursor state
         self.note_dram(staging);
         // 2. Parse (host CPU).
-        let total_syms: usize =
-            self.comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
+        let total_syms: usize = self.comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
         self.charge_items(total_syms as u64);
 
         // 3. Bottom-up summation for container pre-sizing (§IV-C).
@@ -534,6 +578,7 @@ impl Session {
                 self.ledger.peak(kind)
             },
             stats: self.dev.stats(),
+            wear_top: self.dev.wear_top(8),
         }
     }
 
@@ -542,9 +587,17 @@ impl Session {
         &self.dev
     }
 
-    /// Simulate a power failure on the session's device.
+    /// Simulate a power failure on the session's device (under the
+    /// device's configured crash mode).
     pub fn crash(&self) {
         self.dev.crash();
+    }
+
+    /// Simulate a seeded torn-write power failure on the session's device:
+    /// flushed-but-unfenced lines independently survive or revert, and any
+    /// interrupted store lands as an arbitrary subset of its 8-byte words.
+    pub fn crash_torn(&self, seed: u64) {
+        self.dev.crash_torn(seed);
     }
 
     /// Post-crash recovery: roll back any in-flight operation-level
@@ -650,11 +703,7 @@ impl TxCounter {
     /// persistence) committing every `batch` updates. The batch is the
     /// "operation": one rule interpretation for the compressed engines,
     /// one I/O block for the scan baseline.
-    pub(crate) fn new(
-        table: PHashTable,
-        tx: Option<Rc<RefCell<TxLog>>>,
-        batch: usize,
-    ) -> Self {
+    pub(crate) fn new(table: PHashTable, tx: Option<Rc<RefCell<TxLog>>>, batch: usize) -> Self {
         TxCounter { table, tx, pending: Cell::new(0), batch }
     }
 

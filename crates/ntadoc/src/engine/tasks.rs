@@ -174,8 +174,7 @@ impl Session {
         // concatenation (which this implementation uses for simplicity).
         let transient = (lists.len() as u64 + 1) * 64;
         self.note_dram(transient);
-        let mut all: Vec<(u32, u64)> =
-            extra.into_iter().collect();
+        let mut all: Vec<(u32, u64)> = extra.into_iter().collect();
         for (list, mult) in lists {
             all.extend(list.into_iter().map(|(id, c)| (id, c * mult)));
         }
@@ -206,11 +205,8 @@ impl Session {
                 continue;
             }
             let entries: Vec<(u32, u64)> = if self.cfg.pruned {
-                let extra: std::collections::BTreeMap<u32, u64> = self
-                    .words_of(r)
-                    .into_iter()
-                    .map(|(w, f)| (w, f as u64))
-                    .collect();
+                let extra: std::collections::BTreeMap<u32, u64> =
+                    self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
                 let mut lists = Vec::new();
                 for (s, f) in self.subs_of(r) {
                     let sub_list = self.dag().wordlist(s);
@@ -219,8 +215,7 @@ impl Session {
                 }
                 self.merge_counts(lists, extra)
             } else {
-                let expected =
-                    if self.cfg.presize { self.dag().wl_bound(r) as usize } else { 8 };
+                let expected = if self.cfg.presize { self.dag().wl_bound(r) as usize } else { 8 };
                 let table = self.scratch_counter(expected)?;
                 for (w, f) in self.words_of(r) {
                     table.add(w as u64, f as u64)?;
@@ -275,10 +270,8 @@ impl Session {
     pub(crate) fn task_sort(&self) -> Result<TaskOutput> {
         let counts = self.count_words()?;
         // Materialise strings (device reads), then sort alphabetically.
-        let mut rows: Vec<(String, u64)> = counts
-            .into_iter()
-            .map(|(wid, c)| (self.dag().word_str(wid), c))
-            .collect();
+        let mut rows: Vec<(String, u64)> =
+            counts.into_iter().map(|(wid, c)| (self.dag().word_str(wid), c)).collect();
         self.charge_sort(rows.len() as u64);
         rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(TaskOutput::Sort(rows))
@@ -365,9 +358,7 @@ impl Session {
                     }
                 }
             }
-            out.push(
-                table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect(),
-            );
+            out.push(table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect());
         }
         Ok(out)
     }
@@ -381,10 +372,8 @@ impl Session {
             // Count desc, dictionary id asc as the deterministic tiebreak.
             entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             entries.truncate(k);
-            let top: Vec<(String, u64)> = entries
-                .into_iter()
-                .map(|(wid, c)| (self.dag().word_str(wid), c))
-                .collect();
+            let top: Vec<(String, u64)> =
+                entries.into_iter().map(|(wid, c)| (self.dag().word_str(wid), c)).collect();
             out.push((self.comp.file_names[fid].clone(), top));
         }
         Ok(TaskOutput::TermVector(out))
@@ -474,7 +463,11 @@ impl Session {
     /// Slide an `n` window over the stream, yielding the interned id of
     /// every *junction* n-gram: windows that cross at least two segments
     /// and contain no marker/separator.
-    fn scan_junction_windows(&self, stream: &[Item], mut f: impl FnMut(u32) -> Result<()>) -> Result<()> {
+    fn scan_junction_windows(
+        &self,
+        stream: &[Item],
+        mut f: impl FnMut(u32) -> Result<()>,
+    ) -> Result<()> {
         let n = self.cfg.ngram;
         if stream.len() < n {
             return Ok(());
@@ -605,8 +598,7 @@ impl Session {
             counter.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect()
         };
         // Persist the merged result (it is the task output).
-        let result: PVec<(u32, u64)> =
-            PVec::with_capacity(self.pool.clone(), totals.len().max(1))?;
+        let result: PVec<(u32, u64)> = PVec::with_capacity(self.pool.clone(), totals.len().max(1))?;
         result.extend_from_slice(&totals)?;
         self.op_guard(result.base_addr(), totals.len() * 12)?;
         if self.cfg.persistence != crate::config::Persistence::None {
@@ -678,11 +670,8 @@ impl Session {
         for (sid, mut files) in acc {
             self.charge_sort(files.len() as u64);
             files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            let gram: Vec<String> = interner
-                .gram(sid)
-                .iter()
-                .map(|&w| self.dag().word_str(w))
-                .collect();
+            let gram: Vec<String> =
+                interner.gram(sid).iter().map(|&w| self.dag().word_str(w)).collect();
             let ranked: Vec<(String, u64)> = files
                 .into_iter()
                 .map(|(fid, c)| (self.comp.file_names[fid as usize].clone(), c))

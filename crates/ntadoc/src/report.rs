@@ -26,6 +26,10 @@ pub struct RunReport {
     pub device_peak_bytes: u64,
     /// Raw device counters for the whole run.
     pub stats: AccessStats,
+    /// Hottest media lines as `(line index, write count)`, hottest first —
+    /// the endurance breakdown behind `wear_stats`. Empty unless wear
+    /// tracking was enabled on the device.
+    pub wear_top: Vec<(u64, u64)>,
 }
 
 impl RunReport {
@@ -65,6 +69,7 @@ mod tests {
             dram_peak_bytes: 10,
             device_peak_bytes: 20,
             stats: AccessStats::default(),
+            wear_top: Vec::new(),
         };
         assert_eq!(r.total_ns(), 1_500_000_000);
         assert!((r.total_secs() - 1.5).abs() < 1e-12);

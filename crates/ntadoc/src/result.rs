@@ -50,10 +50,7 @@ impl Task {
     /// Whether results are reported per file (these tasks are the ones
     /// whose traversal strategy matters most, §VI-E).
     pub fn is_file_oriented(self) -> bool {
-        matches!(
-            self,
-            Task::TermVector | Task::InvertedIndex | Task::RankedInvertedIndex
-        )
+        matches!(self, Task::TermVector | Task::InvertedIndex | Task::RankedInvertedIndex)
     }
 
     /// Whether the task consumes word order (needs head/tail support).
@@ -67,6 +64,12 @@ impl std::fmt::Display for Task {
         f.write_str(self.name())
     }
 }
+
+/// `(file, top-k (word, count))` rows of a term-vector result.
+pub type FileTermVectors = [(String, Vec<(String, u64)>)];
+
+/// `n-gram → ranked (file, count)` postings of a ranked inverted index.
+pub type RankedPostings = BTreeMap<Vec<String>, Vec<(String, u64)>>;
 
 /// Typed result of a task run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,7 +119,7 @@ impl TaskOutput {
     }
 
     /// Borrow as term vectors.
-    pub fn term_vectors(&self) -> Option<&[(String, Vec<(String, u64)>)]> {
+    pub fn term_vectors(&self) -> Option<&FileTermVectors> {
         match self {
             TaskOutput::TermVector(v) => Some(v),
             _ => None,
@@ -140,9 +143,7 @@ impl TaskOutput {
     }
 
     /// Borrow as a ranked inverted index.
-    pub fn ranked_inverted_index(
-        &self,
-    ) -> Option<&BTreeMap<Vec<String>, Vec<(String, u64)>>> {
+    pub fn ranked_inverted_index(&self) -> Option<&RankedPostings> {
         match self {
             TaskOutput::RankedInvertedIndex(m) => Some(m),
             _ => None,
@@ -153,27 +154,21 @@ impl TaskOutput {
     /// (used to charge result-output I/O).
     pub fn approx_bytes(&self) -> u64 {
         match self {
-            TaskOutput::WordCount(m) => {
-                m.iter().map(|(w, _)| w.len() as u64 + 8).sum()
-            }
+            TaskOutput::WordCount(m) => m.keys().map(|w| w.len() as u64 + 8).sum(),
             TaskOutput::Sort(v) => v.iter().map(|(w, _)| w.len() as u64 + 8).sum(),
             TaskOutput::TermVector(v) => v
                 .iter()
                 .map(|(f, ws)| {
-                    f.len() as u64
-                        + ws.iter().map(|(w, _)| w.len() as u64 + 8).sum::<u64>()
+                    f.len() as u64 + ws.iter().map(|(w, _)| w.len() as u64 + 8).sum::<u64>()
                 })
                 .sum(),
             TaskOutput::InvertedIndex(m) => m
                 .iter()
-                .map(|(w, fs)| {
-                    w.len() as u64 + fs.iter().map(|f| f.len() as u64).sum::<u64>()
-                })
+                .map(|(w, fs)| w.len() as u64 + fs.iter().map(|f| f.len() as u64).sum::<u64>())
                 .sum(),
-            TaskOutput::SequenceCount(m) => m
-                .iter()
-                .map(|(g, _)| g.iter().map(|w| w.len() as u64 + 1).sum::<u64>() + 8)
-                .sum(),
+            TaskOutput::SequenceCount(m) => {
+                m.keys().map(|g| g.iter().map(|w| w.len() as u64 + 1).sum::<u64>() + 8).sum()
+            }
             TaskOutput::RankedInvertedIndex(m) => m
                 .iter()
                 .map(|(g, fs)| {
@@ -192,8 +187,7 @@ mod tests {
     #[test]
     fn all_lists_six_tasks() {
         assert_eq!(Task::ALL.len(), 6);
-        let names: std::collections::HashSet<_> =
-            Task::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<_> = Task::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 6);
     }
 

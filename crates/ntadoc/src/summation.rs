@@ -169,16 +169,9 @@ mod tests {
     /// R0 → R1 R1 w6, R1 → R2 w3 w4 R2, R2 → w1 w2.
     fn fig1() -> Grammar {
         Grammar::new(vec![
+            Rule { symbols: vec![Symbol::rule(1), Symbol::rule(1), Symbol::word(6)] },
             Rule {
-                symbols: vec![Symbol::rule(1), Symbol::rule(1), Symbol::word(6)],
-            },
-            Rule {
-                symbols: vec![
-                    Symbol::rule(2),
-                    Symbol::word(3),
-                    Symbol::word(4),
-                    Symbol::rule(2),
-                ],
+                symbols: vec![Symbol::rule(2), Symbol::word(3), Symbol::word(4), Symbol::rule(2)],
             },
             Rule { symbols: vec![Symbol::word(1), Symbol::word(2)] },
         ])
@@ -278,9 +271,7 @@ mod tests {
         let mut rules = Vec::with_capacity(n);
         rules.push(Rule { symbols: vec![Symbol::rule(1), Symbol::word(0)] });
         for i in 1..n - 1 {
-            rules.push(Rule {
-                symbols: vec![Symbol::rule(i as u32 + 1), Symbol::word(i as u32)],
-            });
+            rules.push(Rule { symbols: vec![Symbol::rule(i as u32 + 1), Symbol::word(i as u32)] });
         }
         rules.push(Rule { symbols: vec![Symbol::word(9)] });
         let g = Grammar::new(rules);

@@ -79,9 +79,7 @@ impl Oracle {
             rows.truncate(TOP_K);
             out.push((
                 self.names[fid].clone(),
-                rows.into_iter()
-                    .map(|(w, c)| (comp.dict.word(w).to_string(), c))
-                    .collect(),
+                rows.into_iter().map(|(w, c)| (comp.dict.word(w).to_string(), c)).collect(),
             ));
         }
         out
@@ -132,14 +130,10 @@ impl Oracle {
         let mut out = BTreeMap::new();
         for (g, mut files) in acc {
             files.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            let gram: Vec<String> =
-                g.iter().map(|&w| comp.dict.word(w).to_string()).collect();
+            let gram: Vec<String> = g.iter().map(|&w| comp.dict.word(w).to_string()).collect();
             out.insert(
                 gram,
-                files
-                    .into_iter()
-                    .map(|(fid, c)| (self.names[fid as usize].clone(), c))
-                    .collect(),
+                files.into_iter().map(|(fid, c)| (self.names[fid as usize].clone(), c)).collect(),
             );
         }
         out
@@ -224,8 +218,7 @@ fn tadoc_on_dram_matches_oracle() {
 fn ntadoc_on_ssd_and_hdd_match_oracle() {
     let comp = corpus();
     for hdd in [false, true] {
-        let engine =
-            Engine::on_block_device(&comp, cfg_with(EngineConfig::ntadoc()), hdd).unwrap();
+        let engine = Engine::on_block_device(&comp, cfg_with(EngineConfig::ntadoc()), hdd).unwrap();
         run_all_tasks(if hdd { "ntadoc-hdd" } else { "ntadoc-ssd" }, engine, &comp);
     }
 }

@@ -6,9 +6,8 @@ use ntadoc_grammar::{compress_corpus, Compressed, TokenizerConfig};
 
 fn corpus() -> Compressed {
     let phrase = "the system reads compressed data directly from memory and never expands it ";
-    let files: Vec<(String, String)> = (0..4)
-        .map(|i| (format!("f{i}"), format!("{}{}", phrase.repeat(120), format!("tail{i} "))))
-        .collect();
+    let files: Vec<(String, String)> =
+        (0..4).map(|i| (format!("f{i}"), format!("{}tail{i} ", phrase.repeat(120)))).collect();
     let comp = compress_corpus(&files, &TokenizerConfig::default());
     Compressed { grammar: comp.grammar.coarsened(12), ..comp }
 }
@@ -25,11 +24,7 @@ fn pruning_reduces_bytes_read_for_frequency_tasks() {
     // ordered bodies and visited once per distinct element.
     let comp = corpus();
     let pruned = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
-    let raw = run(
-        &comp,
-        EngineConfig { pruned: false, ..EngineConfig::ntadoc() },
-        Task::WordCount,
-    );
+    let raw = run(&comp, EngineConfig { pruned: false, ..EngineConfig::ntadoc() }, Task::WordCount);
     assert!(
         pruned.stats.bytes_read < raw.stats.bytes_read,
         "pruned {} vs raw {}",
@@ -79,11 +74,7 @@ fn cache_hit_rate_is_high_for_compressed_traversal() {
     // that is why DAG traversal is viable on NVM at all.
     let comp = corpus();
     let rep = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
-    assert!(
-        rep.stats.hit_rate() > 0.5,
-        "hit rate {:.2} unexpectedly low",
-        rep.stats.hit_rate()
-    );
+    assert!(rep.stats.hit_rate() > 0.5, "hit rate {:.2} unexpectedly low", rep.stats.hit_rate());
 }
 
 #[test]

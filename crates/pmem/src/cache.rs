@@ -104,9 +104,7 @@ impl LineCache {
     pub fn is_dirty(&self, line: u64) -> bool {
         let set = self.set_of(line);
         let base = set * self.ways;
-        self.entries[base..base + self.ways]
-            .iter()
-            .any(|e| e.line == line && e.dirty)
+        self.entries[base..base + self.ways].iter().any(|e| e.line == line && e.dirty)
     }
 
     /// Clear every dirty bit, returning how many lines were written back.

@@ -6,21 +6,74 @@
 //! dirty. Durability is conservative: a store becomes crash-safe only once
 //! the covering line has been explicitly flushed and a fence has been
 //! issued, mirroring how persistent-memory programming actually works
-//! (`clwb`/`sfence`). [`SimDevice::crash`] rewinds every line whose latest
-//! flush has not yet been fenced (or that was never flushed) to its last
-//! durable contents, which lets the persistence strategies of §IV-E be
-//! tested end to end.
+//! (`clwb`/`sfence`).
+//!
+//! # Crash models
+//!
+//! [`SimDevice::crash`] supports two failure semantics:
+//!
+//! * [`CrashMode::Rewind`] (legacy): every line whose latest flush has not
+//!   yet been fenced reverts to its last durable contents — deterministic
+//!   and pessimistic.
+//! * [`CrashMode::Torn`] (default for recovery tests): lines that were
+//!   flushed but not yet fenced *independently* survive or revert under a
+//!   seeded RNG, and the store that was in flight when the crash fired is
+//!   torn at 8-byte granularity — an arbitrary subset of its 8-byte words
+//!   reaches media. This is the adversarial regime real NVM provides: at
+//!   most 8-byte atomicity, no ordering between unfenced lines (ALICE /
+//!   PMDK assumptions).
+//!
+//! # Media faults
+//!
+//! Individual lines can be marked faulty: uncorrectable on read (until
+//! rewritten, as re-programming the cell repairs it) or transiently failing
+//! on write. Writes retry transient faults up to a bounded budget, charging
+//! the virtual clock per attempt; exhaustion and uncorrectable reads
+//! surface as [`PmemError::MediaError`] through the `try_*` entry points.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::cache::{AccessOutcome, LineCache};
+use crate::error::PmemError;
+use crate::faultsim::Prng;
 use crate::pod::Pod;
 use crate::profile::DeviceProfile;
 use crate::stats::AccessStats;
+use crate::Result;
 
 /// Byte offset on a device.
 pub type Addr = u64;
+
+/// Crash semantics applied by [`SimDevice::crash`]. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Deterministic: every unfenced line reverts to its durable image.
+    Rewind,
+    /// Adversarial: flushed-but-unfenced lines independently survive or
+    /// revert (seeded), and the in-flight store is torn at 8-byte
+    /// granularity.
+    Torn {
+        /// RNG seed deciding which lines/words survive.
+        seed: u64,
+    },
+}
+
+/// A media fault injected on a specific line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MediaFault {
+    /// Reads covering the line fail until the line is successfully
+    /// rewritten (re-programming repairs the cell).
+    UncorrectableRead,
+    /// The next `remaining` write attempts covering the line fail, then
+    /// the line heals. Absorbed by the bounded retry budget when
+    /// `remaining` is small enough.
+    TransientWrite { remaining: u32 },
+}
+
+/// Panic message used for injected crash faults; harnesses match on it to
+/// distinguish scheduled crashes from real bugs.
+pub const CRASH_PANIC: &str = "injected device fault";
 
 struct Inner {
     data: Vec<u8>,
@@ -45,6 +98,19 @@ struct Inner {
     /// [`SimDevice::crash`] and exercise recovery from an arbitrary
     /// mid-run point.
     trip_writes: Option<u64>,
+    /// Fault injection on persistence points: panic when this many more
+    /// flush/fence operations have been issued (`None` = disarmed).
+    trip_persists: Option<u64>,
+    /// Crash semantics for the next [`SimDevice::crash`].
+    crash_mode: CrashMode,
+    /// The store that was interrupted by a tripped fault (torn at 8-byte
+    /// granularity when a [`CrashMode::Torn`] crash lands).
+    inflight_write: Option<(Addr, Vec<u8>)>,
+    /// Injected per-line media faults.
+    faults: HashMap<u64, MediaFault>,
+    /// Bounded retry budget for transient write faults (attempts beyond
+    /// the first).
+    retry_limit: u32,
     /// Per-line write counts (endurance analysis); `None` = not tracked.
     wear: Option<HashMap<u64, u64>>,
 }
@@ -75,6 +141,11 @@ impl SimDevice {
                 last_miss_line: u64::MAX - 1,
                 last_wb_line: u64::MAX - 1,
                 trip_writes: None,
+                trip_persists: None,
+                crash_mode: CrashMode::Rewind,
+                inflight_write: None,
+                faults: HashMap::new(),
+                retry_limit: 3,
                 wear: None,
             }),
         }
@@ -110,17 +181,66 @@ impl SimDevice {
         addr / self.profile.line_size as u64
     }
 
+    /// Validate that `[addr, addr+len)` lies inside the device.
+    fn check_bounds(&self, inner: &Inner, addr: Addr, len: usize) -> Result<()> {
+        let capacity = inner.data.len() as u64;
+        match addr.checked_add(len as u64) {
+            Some(end) if end <= capacity => Ok(()),
+            _ => Err(PmemError::OutOfBounds { addr, len, capacity }),
+        }
+    }
+
+    /// Fail a read covering an uncorrectable line.
+    fn check_read_faults(&self, inner: &Inner, addr: Addr, len: usize) -> Result<()> {
+        if inner.faults.is_empty() {
+            return Ok(());
+        }
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + len as u64 - 1);
+        for line in first..=last {
+            if let Some(MediaFault::UncorrectableRead) = inner.faults.get(&line) {
+                return Err(PmemError::MediaError { addr: line * self.profile.line_size as u64 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Retry transient write faults up to the bounded budget, charging each
+    /// failed attempt to the virtual clock; exhaustion is a media error.
+    fn check_write_faults(&self, inner: &mut Inner, addr: Addr, len: usize) -> Result<()> {
+        if inner.faults.is_empty() {
+            return Ok(());
+        }
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + len as u64 - 1);
+        let retry_cost = self.profile.write_back_ns();
+        let mut attempts = 0u32;
+        for line in first..=last {
+            if let Some(MediaFault::TransientWrite { remaining }) = inner.faults.get_mut(&line) {
+                while *remaining > 0 && attempts < inner.retry_limit {
+                    *remaining -= 1;
+                    attempts += 1;
+                    inner.stats.media_retries += 1;
+                    inner.stats.virtual_ns += retry_cost;
+                }
+                if *remaining > 0 {
+                    return Err(PmemError::MediaError {
+                        addr: line * self.profile.line_size as u64,
+                    });
+                }
+                inner.faults.remove(&line);
+            }
+        }
+        Ok(())
+    }
+
     /// Walk the lines covered by `[addr, addr+len)`, updating the cache and
     /// charging costs. For writes, capture pre-images of newly-dirtied
-    /// durable lines.
+    /// durable lines. Bounds must have been checked by the caller.
     fn touch(&self, inner: &mut Inner, addr: Addr, len: usize, write: bool) {
         debug_assert!(len > 0);
         let end = addr + len as u64;
-        assert!(
-            end <= inner.data.len() as u64,
-            "access of {len} bytes at {addr:#x} exceeds device capacity {:#x}",
-            inner.data.len()
-        );
+        debug_assert!(end <= inner.data.len() as u64);
         let first = self.line_of(addr);
         let last = self.line_of(end - 1);
         let line_size = self.profile.line_size;
@@ -133,9 +253,7 @@ impl SimDevice {
             if write && !inner.undurable.contains_key(&line) {
                 let start = (line as usize) * line_size;
                 let stop = (start + line_size).min(inner.data.len());
-                inner
-                    .undurable
-                    .insert(line, inner.data[start..stop].to_vec().into_boxed_slice());
+                inner.undurable.insert(line, inner.data[start..stop].to_vec().into_boxed_slice());
             }
             match inner.cache.access(line, write) {
                 AccessOutcome::Hit => {
@@ -145,24 +263,22 @@ impl SimDevice {
                 AccessOutcome::Miss { evicted_dirty } => {
                     inner.stats.line_misses += 1;
                     // Sequential streaming pays bandwidth, not latency.
-                    inner.stats.virtual_ns +=
-                        if line == inner.last_miss_line.wrapping_add(1) {
-                            read_seq
-                        } else {
-                            read_miss
-                        };
+                    inner.stats.virtual_ns += if line == inner.last_miss_line.wrapping_add(1) {
+                        read_seq
+                    } else {
+                        read_miss
+                    };
                     inner.last_miss_line = line;
                     if let Some(victim) = evicted_dirty {
                         // Write-back of the evicted victim costs media time
                         // but does NOT make the victim durable (no ordering
                         // guarantee without an explicit flush + fence).
                         inner.stats.write_backs += 1;
-                        inner.stats.virtual_ns +=
-                            if victim == inner.last_wb_line.wrapping_add(1) {
-                                write_seq
-                            } else {
-                                write_back
-                            };
+                        inner.stats.virtual_ns += if victim == inner.last_wb_line.wrapping_add(1) {
+                            write_seq
+                        } else {
+                            write_back
+                        };
                         inner.last_wb_line = victim;
                     }
                 }
@@ -170,37 +286,61 @@ impl SimDevice {
         }
     }
 
-    /// Read `buf.len()` bytes starting at `addr`.
-    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+    /// Fallible read of `buf.len()` bytes starting at `addr`. Returns
+    /// [`PmemError::OutOfBounds`] past the end of the device and
+    /// [`PmemError::MediaError`] when an uncorrectable line is covered.
+    pub fn try_read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<()> {
         if buf.is_empty() {
-            return;
+            return Ok(());
         }
         let mut inner = self.inner.borrow_mut();
+        self.check_bounds(&inner, addr, buf.len())?;
+        self.check_read_faults(&inner, addr, buf.len())?;
         self.touch(&mut inner, addr, buf.len(), false);
         inner.stats.reads += 1;
         inner.stats.bytes_read += buf.len() as u64;
         let a = addr as usize;
         buf.copy_from_slice(&inner.data[a..a + buf.len()]);
+        Ok(())
     }
 
-    /// Write `buf` starting at `addr`.
+    /// Read `buf.len()` bytes starting at `addr`.
     ///
     /// # Panics
-    /// Panics with `"injected device fault"` when an armed
-    /// [`trip_after_writes`](Self::trip_after_writes) counter expires.
-    pub fn write_bytes(&self, addr: Addr, buf: &[u8]) {
+    /// Panics on out-of-bounds accesses and uncorrectable media errors;
+    /// use [`try_read_bytes`](Self::try_read_bytes) to handle those.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        if let Err(e) = self.try_read_bytes(addr, buf) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible write of `buf` starting at `addr`. Transient write faults
+    /// are retried up to the bounded budget (each attempt charged to the
+    /// virtual clock); exhaustion returns [`PmemError::MediaError`].
+    ///
+    /// # Panics
+    /// Panics with [`CRASH_PANIC`] when an armed
+    /// [`trip_after_writes`](Self::trip_after_writes) counter expires —
+    /// injected crashes model power failures, which do not return.
+    pub fn try_write_bytes(&self, addr: Addr, buf: &[u8]) -> Result<()> {
         if buf.is_empty() {
-            return;
+            return Ok(());
         }
         let mut inner = self.inner.borrow_mut();
+        self.check_bounds(&inner, addr, buf.len())?;
         if let Some(left) = inner.trip_writes.as_mut() {
             if *left == 0 {
                 inner.trip_writes = None;
+                // Remember the interrupted store so a torn crash can
+                // partially apply it at 8-byte granularity.
+                inner.inflight_write = Some((addr, buf.to_vec()));
                 drop(inner);
-                panic!("injected device fault");
+                panic!("{}", CRASH_PANIC);
             }
             *left -= 1;
         }
+        self.check_write_faults(&mut inner, addr, buf.len())?;
         if inner.wear.is_some() {
             let first = self.line_of(addr);
             let last = self.line_of(addr + buf.len() as u64 - 1);
@@ -214,6 +354,31 @@ impl SimDevice {
         inner.stats.bytes_written += buf.len() as u64;
         let a = addr as usize;
         inner.data[a..a + buf.len()].copy_from_slice(buf);
+        // A successful overwrite re-programs the cells, healing any
+        // uncorrectable-read fault on the covered lines.
+        if !inner.faults.is_empty() {
+            let first = self.line_of(addr);
+            let last = self.line_of(addr + buf.len() as u64 - 1);
+            for line in first..=last {
+                if let Some(MediaFault::UncorrectableRead) = inner.faults.get(&line) {
+                    inner.faults.remove(&line);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds accesses and media errors that survive the
+    /// retry budget (use [`try_write_bytes`](Self::try_write_bytes) to
+    /// handle those), and with [`CRASH_PANIC`] when an armed
+    /// [`trip_after_writes`](Self::trip_after_writes) counter expires.
+    pub fn write_bytes(&self, addr: Addr, buf: &[u8]) {
+        if let Err(e) = self.try_write_bytes(addr, buf) {
+            panic!("{e}");
+        }
     }
 
     /// Typed load.
@@ -225,6 +390,15 @@ impl SimDevice {
         T::load(buf)
     }
 
+    /// Fallible typed load (see [`try_read_bytes`](Self::try_read_bytes)).
+    #[inline]
+    pub fn try_read_pod<T: Pod>(&self, addr: Addr) -> Result<T> {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        self.try_read_bytes(addr, buf)?;
+        Ok(T::load(buf))
+    }
+
     /// Typed store.
     #[inline]
     pub fn write_pod<T: Pod>(&self, addr: Addr, value: T) {
@@ -232,6 +406,15 @@ impl SimDevice {
         let buf = &mut buf[..T::SIZE];
         value.store(buf);
         self.write_bytes(addr, buf);
+    }
+
+    /// Fallible typed store (see [`try_write_bytes`](Self::try_write_bytes)).
+    #[inline]
+    pub fn try_write_pod<T: Pod>(&self, addr: Addr, value: T) -> Result<()> {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        value.store(buf);
+        self.try_write_bytes(addr, buf)
     }
 
     /// Load a `u32` (the workhorse of the DAG pool).
@@ -256,6 +439,18 @@ impl SimDevice {
     #[inline]
     pub fn write_u64(&self, addr: Addr, v: u64) {
         self.write_pod(addr, v)
+    }
+
+    /// Fallible `u64` load.
+    #[inline]
+    pub fn try_read_u64(&self, addr: Addr) -> Result<u64> {
+        self.try_read_pod(addr)
+    }
+
+    /// Fallible `u64` store.
+    #[inline]
+    pub fn try_write_u64(&self, addr: Addr, v: u64) -> Result<()> {
+        self.try_write_pod(addr, v)
     }
 
     /// Bulk load of `out.len()` `u32`s; charges one access spanning the
@@ -293,6 +488,14 @@ impl SimDevice {
             return;
         }
         let mut inner = self.inner.borrow_mut();
+        if let Some(left) = inner.trip_persists.as_mut() {
+            if *left == 0 {
+                inner.trip_persists = None;
+                drop(inner);
+                panic!("{}", CRASH_PANIC);
+            }
+            *left -= 1;
+        }
         let first = self.line_of(addr);
         let last = self.line_of(addr + len as u64 - 1);
         let write_back = self.profile.write_back_ns();
@@ -301,11 +504,8 @@ impl SimDevice {
         for line in first..=last {
             if inner.cache.flush_line(line) {
                 inner.stats.write_backs += 1;
-                inner.stats.virtual_ns += if line == inner.last_wb_line.wrapping_add(1) {
-                    write_seq
-                } else {
-                    write_back
-                };
+                inner.stats.virtual_ns +=
+                    if line == inner.last_wb_line.wrapping_add(1) { write_seq } else { write_back };
                 inner.last_wb_line = line;
             }
             if inner.undurable.contains_key(&line) {
@@ -318,6 +518,14 @@ impl SimDevice {
     /// durable (its pre-image is dropped).
     pub fn fence(&self) {
         let mut inner = self.inner.borrow_mut();
+        if let Some(left) = inner.trip_persists.as_mut() {
+            if *left == 0 {
+                inner.trip_persists = None;
+                drop(inner);
+                panic!("{}", CRASH_PANIC);
+            }
+            *left -= 1;
+        }
         inner.stats.fences += 1;
         inner.stats.virtual_ns += self.profile.fence_ns;
         let pending = std::mem::take(&mut inner.flushed_pending_fence);
@@ -337,25 +545,84 @@ impl SimDevice {
         self.inner.borrow_mut().stats.log_bytes += n;
     }
 
-    /// Simulate a power failure: every line that is not durable reverts to
-    /// its last durable contents, and the cache empties. Volatile devices
-    /// lose everything (the whole store zeroes).
+    /// Simulate a power failure under the configured [`CrashMode`], then
+    /// empty the cache. Volatile devices lose everything (the whole store
+    /// zeroes).
     pub fn crash(&self) {
+        let mode = self.inner.borrow().crash_mode;
+        self.crash_with(mode);
+    }
+
+    /// Simulate a torn-write power failure with an explicit seed,
+    /// regardless of the configured [`CrashMode`].
+    pub fn crash_torn(&self, seed: u64) {
+        self.crash_with(CrashMode::Torn { seed });
+    }
+
+    fn crash_with(&self, mode: CrashMode) {
         let mut inner = self.inner.borrow_mut();
         if !self.profile.kind.is_persistent() {
             inner.data.fill(0);
         } else {
             let line_size = self.profile.line_size;
             let undurable = std::mem::take(&mut inner.undurable);
-            for (line, pre) in undurable {
-                let start = (line as usize) * line_size;
-                inner.data[start..start + pre.len()].copy_from_slice(&pre);
+            match mode {
+                CrashMode::Rewind => {
+                    for (line, pre) in undurable {
+                        let start = (line as usize) * line_size;
+                        inner.data[start..start + pre.len()].copy_from_slice(&pre);
+                    }
+                }
+                CrashMode::Torn { seed } => {
+                    let mut rng = Prng::new(seed);
+                    let pending: std::collections::HashSet<u64> =
+                        inner.flushed_pending_fence.iter().copied().collect();
+                    // Sort so the seed alone decides the outcome, not the
+                    // HashMap's iteration order.
+                    let mut lines: Vec<(u64, Box<[u8]>)> = undurable.into_iter().collect();
+                    lines.sort_by_key(|(line, _)| *line);
+                    for (line, pre) in lines {
+                        // A flushed-but-unfenced line independently survives
+                        // or reverts; an unflushed line always reverts.
+                        let survives = pending.contains(&line) && rng.next_u64() & 1 == 1;
+                        if !survives {
+                            let start = (line as usize) * line_size;
+                            inner.data[start..start + pre.len()].copy_from_slice(&pre);
+                        }
+                    }
+                    // The store interrupted by the crash reaches media as an
+                    // arbitrary subset of its 8-byte words (PMDK's atomicity
+                    // floor) on top of whatever the lines reverted to.
+                    if let Some((addr, buf)) = inner.inflight_write.take() {
+                        let end = addr as usize + buf.len();
+                        if end <= inner.data.len() {
+                            for (i, chunk) in buf.chunks(8).enumerate() {
+                                if rng.next_u64() & 1 == 1 {
+                                    let off = addr as usize + i * 8;
+                                    inner.data[off..off + chunk.len()].copy_from_slice(chunk);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         inner.undurable.clear();
         inner.flushed_pending_fence.clear();
+        inner.inflight_write = None;
         let profile = &self.profile;
         inner.cache = LineCache::new(profile.cache_bytes, profile.line_size, profile.cache_ways);
+    }
+
+    /// Set the semantics applied by subsequent [`crash`](Self::crash)
+    /// calls.
+    pub fn set_crash_mode(&self, mode: CrashMode) {
+        self.inner.borrow_mut().crash_mode = mode;
+    }
+
+    /// The crash semantics currently configured.
+    pub fn crash_mode(&self) -> CrashMode {
+        self.inner.borrow().crash_mode
     }
 
     /// Arm fault injection: the device panics on the `n`-th write
@@ -365,9 +632,51 @@ impl SimDevice {
         self.inner.borrow_mut().trip_writes = Some(n);
     }
 
-    /// Disarm fault injection.
+    /// Arm fault injection on persistence points: the device panics on the
+    /// `n`-th flush-or-fence operation from now. Sweeping `n` over every
+    /// persist point a workload issues enumerates all its crash states
+    /// (ALICE-style).
+    pub fn trip_after_persists(&self, n: u64) {
+        self.inner.borrow_mut().trip_persists = Some(n);
+    }
+
+    /// Disarm all armed crash trips and forget any interrupted store.
     pub fn clear_trip(&self) {
-        self.inner.borrow_mut().trip_writes = None;
+        let mut inner = self.inner.borrow_mut();
+        inner.trip_writes = None;
+        inner.trip_persists = None;
+        inner.inflight_write = None;
+    }
+
+    /// Mark the line containing `addr` uncorrectable: reads covering it
+    /// fail with [`PmemError::MediaError`] until it is successfully
+    /// rewritten.
+    pub fn inject_read_fault(&self, addr: Addr) {
+        let line = self.line_of(addr);
+        self.inner.borrow_mut().faults.insert(line, MediaFault::UncorrectableRead);
+    }
+
+    /// Make the next `failures` write attempts covering the line at `addr`
+    /// fail before the line heals. Failures within the bounded retry
+    /// budget are absorbed transparently (costing virtual time and
+    /// [`AccessStats::media_retries`]).
+    pub fn inject_transient_write_fault(&self, addr: Addr, failures: u32) {
+        let line = self.line_of(addr);
+        self.inner
+            .borrow_mut()
+            .faults
+            .insert(line, MediaFault::TransientWrite { remaining: failures });
+    }
+
+    /// Remove every injected media fault.
+    pub fn clear_faults(&self) {
+        self.inner.borrow_mut().faults.clear();
+    }
+
+    /// Bound the number of retries a write spends on transient media
+    /// faults before giving up with [`PmemError::MediaError`].
+    pub fn set_retry_limit(&self, retries: u32) {
+        self.inner.borrow_mut().retry_limit = retries;
     }
 
     /// Start counting per-line write operations (endurance analysis).
@@ -385,6 +694,22 @@ impl SimDevice {
         match &inner.wear {
             Some(w) => (w.values().copied().max().unwrap_or(0), w.len()),
             None => (0, 0),
+        }
+    }
+
+    /// The `n` hottest lines as `(line index, write count)`, hottest first
+    /// (ties broken by line index for determinism). Empty when wear
+    /// tracking is off.
+    pub fn wear_top(&self, n: usize) -> Vec<(u64, u64)> {
+        let inner = self.inner.borrow();
+        match &inner.wear {
+            Some(w) => {
+                let mut entries: Vec<(u64, u64)> = w.iter().map(|(&l, &c)| (l, c)).collect();
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                entries.truncate(n);
+                entries
+            }
+            None => Vec::new(),
         }
     }
 
@@ -462,10 +787,7 @@ mod tests {
             scat.read_u32(i * 256);
         }
         let scat_ns = scat.stats().virtual_ns;
-        assert!(
-            scat_ns > seq_ns * 10,
-            "scattered {scat_ns} should dwarf sequential {seq_ns}"
-        );
+        assert!(scat_ns > seq_ns * 10, "scattered {scat_ns} should dwarf sequential {seq_ns}");
     }
 
     #[test]
@@ -569,10 +891,7 @@ mod tests {
         }
         let strided_ns = strided.stats().virtual_ns;
         assert_eq!(fwd.stats().line_misses, strided.stats().line_misses);
-        assert!(
-            strided_ns > fwd_ns * 3,
-            "strided {strided_ns} should dwarf sequential {fwd_ns}"
-        );
+        assert!(strided_ns > fwd_ns * 3, "strided {strided_ns} should dwarf sequential {fwd_ns}");
     }
 
     #[test]
@@ -595,5 +914,201 @@ mod tests {
         let d = nvm(4096);
         d.write_pod(128, (7u32, 250u32));
         assert_eq!(d.read_pod::<(u32, u32)>(128), (7, 250));
+    }
+
+    #[test]
+    fn try_read_out_of_bounds_returns_error() {
+        let d = nvm(128);
+        let mut buf = [0u8; 8];
+        match d.try_read_bytes(124, &mut buf) {
+            Err(PmemError::OutOfBounds { addr: 124, len: 8, capacity: 128 }) => {}
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        // An address past u64 overflow must not wrap around.
+        assert!(d.try_read_bytes(u64::MAX - 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn torn_crash_unflushed_lines_always_revert() {
+        // Without a flush, torn semantics are as pessimistic as rewind.
+        for seed in 0..16u64 {
+            let d = nvm(4096);
+            d.write_u32(0, 7);
+            d.persist(0, 4);
+            d.write_u32(0, 99); // dirty, never flushed
+            d.crash_torn(seed);
+            assert_eq!(d.read_u32(0), 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn torn_crash_flushed_unfenced_lines_can_go_either_way() {
+        // Two distant lines flushed but not fenced: across seeds we must
+        // observe both survival and reversion (independent coin flips).
+        let mut survived = 0;
+        let mut reverted = 0;
+        for seed in 0..64u64 {
+            let d = nvm(8192);
+            d.write_u32(0, 1);
+            d.write_u32(4096, 1);
+            d.flush(0, 4);
+            d.flush(4096, 4); // no fence
+            d.crash_torn(seed);
+            for addr in [0u64, 4096] {
+                if d.read_u32(addr) == 1 {
+                    survived += 1;
+                } else {
+                    reverted += 1;
+                }
+            }
+        }
+        assert!(survived > 0, "some flushed lines must survive");
+        assert!(reverted > 0, "some flushed lines must revert");
+    }
+
+    #[test]
+    fn torn_crash_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let d = nvm(1 << 16);
+            for i in 0..32u64 {
+                d.write_u64(i * 256, i + 1);
+            }
+            for i in 0..16u64 {
+                d.flush(i * 256, 8);
+            }
+            d.crash_torn(seed);
+            (0..32u64).map(|i| d.read_u64(i * 256)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(1), run(2), "different seeds should differ on 16 coin flips");
+    }
+
+    #[test]
+    fn torn_crash_tears_inflight_write_at_word_granularity() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // A 32-byte store interrupted by a crash must land as a subset of
+        // its 8-byte words; across seeds we must see a *partial* subset.
+        let mut partial_seen = false;
+        for seed in 0..32u64 {
+            let d = nvm(4096);
+            let old = [0x11u8; 32];
+            d.write_bytes(0, &old);
+            d.persist(0, 32);
+            d.trip_after_writes(0);
+            let new = [0xEEu8; 32];
+            let err = catch_unwind(AssertUnwindSafe(|| d.write_bytes(0, &new))).unwrap_err();
+            let msg = err.downcast_ref::<String>().map(String::as_str).unwrap_or("");
+            assert!(msg.contains(CRASH_PANIC), "unexpected panic: {msg}");
+            d.crash_torn(seed);
+            let got = d.peek(0, 32);
+            let mut kept_old = 0;
+            let mut took_new = 0;
+            for word in got.chunks(8) {
+                if word == &old[..8] {
+                    kept_old += 1;
+                } else if word == &new[..8] {
+                    took_new += 1;
+                } else {
+                    panic!("word is neither old nor new image: {word:?}");
+                }
+            }
+            assert_eq!(kept_old + took_new, 4);
+            if kept_old > 0 && took_new > 0 {
+                partial_seen = true;
+            }
+        }
+        assert!(partial_seen, "some seed must tear the store partially");
+    }
+
+    #[test]
+    fn rewind_mode_discards_inflight_write_entirely() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let d = nvm(4096);
+        d.write_u64(0, 7);
+        d.persist(0, 8);
+        d.trip_after_writes(0);
+        let _ = catch_unwind(AssertUnwindSafe(|| d.write_u64(0, 99)));
+        d.crash(); // default CrashMode::Rewind
+        assert_eq!(d.read_u64(0), 7);
+    }
+
+    #[test]
+    fn trip_after_persists_fires_on_flush_and_fence() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let d = nvm(4096);
+        d.trip_after_persists(1);
+        d.write_u32(0, 1);
+        d.flush(0, 4); // persist point 0: survives
+        let err = catch_unwind(AssertUnwindSafe(|| d.fence())).unwrap_err();
+        let msg = err.downcast_ref::<String>().map(String::as_str).unwrap_or("");
+        assert!(msg.contains(CRASH_PANIC));
+        d.crash();
+        // The fence never landed, so the flushed line is not durable under
+        // rewind semantics.
+        assert_eq!(d.read_u32(0), 0);
+    }
+
+    #[test]
+    fn uncorrectable_read_fault_surfaces_and_heals_on_rewrite() {
+        let d = nvm(4096);
+        d.write_u32(512, 5);
+        d.inject_read_fault(512);
+        let mut buf = [0u8; 4];
+        match d.try_read_bytes(512, &mut buf) {
+            Err(PmemError::MediaError { addr: 512 }) => {}
+            other => panic!("expected MediaError, got {other:?}"),
+        }
+        // Unrelated lines still read fine.
+        assert_eq!(d.read_u32(0), 0);
+        // Re-programming the line repairs it.
+        d.write_u32(512, 6);
+        assert_eq!(d.read_u32(512), 6);
+    }
+
+    #[test]
+    fn transient_write_fault_absorbed_by_retry_budget() {
+        let d = nvm(4096);
+        d.inject_transient_write_fault(0, 2); // budget is 3 by default
+        d.write_u32(0, 9);
+        assert_eq!(d.read_u32(0), 9);
+        assert_eq!(d.stats().media_retries, 2);
+        // Retries cost media time beyond a clean write of the same size.
+        let clean = nvm(4096);
+        clean.write_u32(0, 9);
+        assert!(d.stats().virtual_ns > clean.stats().virtual_ns);
+    }
+
+    #[test]
+    fn transient_write_fault_beyond_budget_errors() {
+        let d = nvm(4096);
+        d.set_retry_limit(2);
+        d.inject_transient_write_fault(0, 10);
+        match d.try_write_bytes(0, &[1, 2, 3, 4]) {
+            Err(PmemError::MediaError { addr: 0 }) => {}
+            other => panic!("expected MediaError, got {other:?}"),
+        }
+        assert_eq!(d.stats().media_retries, 2);
+        // The remaining fault count was consumed by the retries; two more
+        // failed attempts and the line heals.
+        d.clear_faults();
+        d.write_u32(0, 3);
+        assert_eq!(d.read_u32(0), 3);
+    }
+
+    #[test]
+    fn wear_top_ranks_hottest_lines() {
+        let d = nvm(1 << 16);
+        d.enable_wear_tracking();
+        for _ in 0..10 {
+            d.write_u32(0, 1); // line 0
+        }
+        for _ in 0..5 {
+            d.write_u32(256, 1); // line 1
+        }
+        d.write_u32(512, 1); // line 2
+        let top = d.wear_top(2);
+        assert_eq!(top, vec![(0, 10), (1, 5)]);
+        assert_eq!(d.wear_top(10).len(), 3);
+        assert!(nvm(4096).wear_top(4).is_empty());
     }
 }

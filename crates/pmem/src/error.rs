@@ -34,6 +34,12 @@ pub enum PmemError {
     },
     /// Recovery found a corrupt or truncated persistent image.
     CorruptImage(String),
+    /// The media raised an uncorrectable error (or exhausted the bounded
+    /// retry budget for a transient fault) on the line containing `addr`.
+    MediaError {
+        /// First byte of the faulted media line.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for PmemError {
@@ -53,11 +59,13 @@ impl fmt::Display for PmemError {
             PmemError::TransactionAlreadyActive => {
                 write!(f, "a transaction is already active; the undo log is single-level")
             }
-            PmemError::LogExhausted { needed, capacity } => write!(
-                f,
-                "undo log needs {needed} bytes but its region holds only {capacity}"
-            ),
+            PmemError::LogExhausted { needed, capacity } => {
+                write!(f, "undo log needs {needed} bytes but its region holds only {capacity}")
+            }
             PmemError::CorruptImage(msg) => write!(f, "corrupt persistent image: {msg}"),
+            PmemError::MediaError { addr } => {
+                write!(f, "uncorrectable media error at {addr:#x}")
+            }
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Crash-point sweep harness: ALICE-style enumeration of crash states.
+//!
+//! A recovery protocol is only as good as the worst crash point it was
+//! tested at. This module provides the pieces a sweep needs:
+//!
+//! * [`Prng`] — a tiny deterministic splitmix64 generator (no external
+//!   dependency) used both by the torn-write crash model in
+//!   [`crate::SimDevice`] and by harnesses picking random mid-write crash
+//!   points,
+//! * [`CrashPoint`] — where to schedule the injected failure: a persist
+//!   point (flush/fence boundary) or a raw write operation,
+//! * [`run_with_crash_at`] — run a workload with a crash armed at a given
+//!   point, catching the injected panic and reporting whether the crash
+//!   actually fired,
+//! * [`SweepOutcome`] — aggregate bookkeeping for a whole sweep.
+//!
+//! The intended shape of a sweep (see `tests/crash_sweep.rs` at the
+//! workspace root for the real thing):
+//!
+//! 1. run the workload once with no faults armed and record
+//!    [`crate::AccessStats::persist_points`] (and/or `writes`),
+//! 2. for every point `k` in that range, re-run with a crash armed at `k`
+//!    under the torn-write model,
+//! 3. recover, then assert the result equals the crash-free run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::device::CRASH_PANIC;
+
+/// Deterministic splitmix64 PRNG. Small, fast, and good enough for coin
+/// flips and point selection; never use for anything cryptographic.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seeded construction; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Where in a workload's operation stream to inject the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash at the `n`-th flush-or-fence from the start of the run
+    /// (see [`crate::SimDevice::trip_after_persists`]).
+    Persist(u64),
+    /// Crash at the `n`-th write operation from the start of the run
+    /// (see [`crate::SimDevice::trip_after_writes`]) — this is the point
+    /// that exercises sub-line tearing, because the interrupted store
+    /// itself is torn at 8-byte granularity.
+    Write(u64),
+}
+
+/// What [`run_with_crash_at`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRun {
+    /// The armed crash fired; the device is in a post-crash state and the
+    /// caller should recover and verify.
+    Crashed,
+    /// The workload finished before reaching the armed point; the sweep
+    /// has gone past the end of the operation stream.
+    Completed,
+}
+
+/// Run `workload` with a crash armed at `point` on `arm`'s device (the
+/// closure receives nothing — capture what you need). The injected panic
+/// is caught and classified; any *other* panic is propagated, so genuine
+/// bugs in the workload still fail the test.
+///
+/// `arm` and `disarm` let the harness stay decoupled from the device type
+/// here; in practice they call `trip_after_persists`/`trip_after_writes`
+/// and `clear_trip` on a [`crate::SimDevice`].
+pub fn run_with_crash_at<W: FnOnce()>(
+    point: CrashPoint,
+    arm: impl FnOnce(CrashPoint),
+    disarm: impl FnOnce(),
+    workload: W,
+) -> CrashRun {
+    arm(point);
+    let result = catch_unwind(AssertUnwindSafe(workload));
+    disarm();
+    match result {
+        Ok(()) => CrashRun::Completed,
+        Err(payload) => {
+            // `&*payload` reborrows the payload contents; a plain `&payload`
+            // would unsize the Box itself into `&dyn Any` and the downcast
+            // would never match.
+            if panic_is_injected_crash(&*payload) {
+                CrashRun::Crashed
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// True when a caught panic payload is the device's injected-crash marker
+/// rather than a real failure.
+pub fn panic_is_injected_crash(payload: &(dyn std::any::Any + Send)) -> bool {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("");
+    msg.contains(CRASH_PANIC)
+}
+
+/// Aggregate results of a sweep, for reporting and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Crash points where the crash fired and recovery converged.
+    pub converged: u64,
+    /// Crash points where the workload finished before the armed point.
+    pub completed_early: u64,
+}
+
+impl SweepOutcome {
+    /// Record one [`CrashRun`] whose recovery was verified by the caller.
+    pub fn record(&mut self, run: CrashRun) {
+        match run {
+            CrashRun::Crashed => self.converged += 1,
+            CrashRun::Completed => self.completed_early += 1,
+        }
+    }
+
+    /// Total points examined.
+    pub fn total(&self) -> u64 {
+        self.converged + self.completed_early
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_varied() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut distinct = xs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), xs.len(), "8 draws should not collide");
+        let mut c = Prng::new(8);
+        assert_ne!(c.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut p = Prng::new(99);
+        for _ in 0..1000 {
+            assert!(p.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn injected_crash_is_classified_as_crashed() {
+        let run =
+            run_with_crash_at(CrashPoint::Write(0), |_| {}, || {}, || panic!("{}", CRASH_PANIC));
+        assert_eq!(run, CrashRun::Crashed);
+    }
+
+    #[test]
+    fn workload_finishing_early_is_classified_as_completed() {
+        let run = run_with_crash_at(CrashPoint::Persist(1_000_000), |_| {}, || {}, || {});
+        assert_eq!(run, CrashRun::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "genuine bug")]
+    fn real_panics_propagate() {
+        let _ = run_with_crash_at(CrashPoint::Write(0), |_| {}, || {}, || panic!("genuine bug"));
+    }
+
+    #[test]
+    fn sweep_outcome_tallies() {
+        let mut s = SweepOutcome::default();
+        s.record(CrashRun::Crashed);
+        s.record(CrashRun::Crashed);
+        s.record(CrashRun::Completed);
+        assert_eq!(s.converged, 2);
+        assert_eq!(s.completed_early, 1);
+        assert_eq!(s.total(), 3);
+    }
+}

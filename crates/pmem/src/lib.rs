@@ -42,6 +42,7 @@ pub mod alloc;
 pub mod cache;
 pub mod device;
 pub mod error;
+pub mod faultsim;
 pub mod ledger;
 pub mod persist;
 pub mod pod;
@@ -49,10 +50,13 @@ pub mod profile;
 pub mod stats;
 
 pub use alloc::PmemPool;
-pub use device::{Addr, SimDevice};
+pub use device::{Addr, CrashMode, SimDevice, CRASH_PANIC};
 pub use error::PmemError;
+pub use faultsim::{
+    panic_is_injected_crash, run_with_crash_at, CrashPoint, CrashRun, Prng, SweepOutcome,
+};
 pub use ledger::AllocLedger;
-pub use persist::{PhasePersist, TxLog};
+pub use persist::{crc64, PhasePersist, TxLog};
 pub use pod::Pod;
 pub use profile::{DeviceKind, DeviceProfile};
 pub use stats::AccessStats;

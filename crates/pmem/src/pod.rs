@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn floats_round_trip() {
-        round_trip(3.141592653589793f64);
+        round_trip(std::f64::consts::PI);
         round_trip(-0.0f64);
     }
 

@@ -111,7 +111,7 @@ impl DeviceProfile {
             line_size: 256,
             read_latency_ns: 320,
             write_latency_ns: 900,
-            read_bw_bytes_per_us: 6_000, // ~6 GB/s per DIMM set
+            read_bw_bytes_per_us: 6_000,  // ~6 GB/s per DIMM set
             write_bw_bytes_per_us: 2_000, // ~2 GB/s
             hit_ns: 2,
             fence_ns: 50,

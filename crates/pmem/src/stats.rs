@@ -29,6 +29,10 @@ pub struct AccessStats {
     pub fences: u64,
     /// Bytes copied into undo logs by transactional persistence.
     pub log_bytes: u64,
+    /// Write attempts re-issued against transiently faulted lines before
+    /// the bounded retry budget succeeded (endurance-relevant: retries are
+    /// extra media writes).
+    pub media_retries: u64,
     /// Accumulated model time in nanoseconds.
     pub virtual_ns: u64,
 }
@@ -49,6 +53,7 @@ impl AccessStats {
             flushes: self.flushes - earlier.flushes,
             fences: self.fences - earlier.fences,
             log_bytes: self.log_bytes - earlier.log_bytes,
+            media_retries: self.media_retries - earlier.media_retries,
             virtual_ns: self.virtual_ns - earlier.virtual_ns,
         }
     }
@@ -65,6 +70,13 @@ impl AccessStats {
     /// Model time in seconds.
     pub fn virtual_secs(&self) -> f64 {
         self.virtual_ns as f64 / 1e9
+    }
+
+    /// Number of persistence-ordering points reached so far: every flush
+    /// and every fence is a distinct point a crash-sweep harness can
+    /// schedule a failure at (see [`crate::faultsim`]).
+    pub fn persist_points(&self) -> u64 {
+        self.flushes + self.fences
     }
 }
 

@@ -16,10 +16,14 @@ use ntadoc_repro::{compress_corpus, Engine, EngineConfig, Task, TokenizerConfig}
 
 fn main() {
     let files = vec![
-        ("sensor-a.log".to_string(),
-         "temp ok temp ok temp high fan on temp ok temp ok temp high fan on alarm".repeat(120)),
-        ("sensor-b.log".to_string(),
-         "temp ok humidity ok temp high fan on humidity high vent open temp ok".repeat(120)),
+        (
+            "sensor-a.log".to_string(),
+            "temp ok temp ok temp high fan on temp ok temp ok temp high fan on alarm".repeat(120),
+        ),
+        (
+            "sensor-b.log".to_string(),
+            "temp ok humidity ok temp high fan on humidity high vent open temp ok".repeat(120),
+        ),
     ];
     let comp = compress_corpus(&files, &TokenizerConfig::default());
     println!(
@@ -53,8 +57,7 @@ fn main() {
     println!("[phase-level] results identical to a run that never crashed ✓");
 
     // ---- operation-level persistence ----------------------------------
-    let mut op_engine =
-        Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).expect("engine");
+    let mut op_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).expect("engine");
     let op_out = op_engine.run(Task::WordCount).expect("operation-level run");
     assert_eq!(op_out, clean);
     let rep = op_engine.last_report.as_ref().unwrap();

@@ -22,15 +22,10 @@ fn main() {
         "configuration", "init ms", "traversal ms", "total ms", "vs DRAM"
     );
     let mut dram_total = None;
-    let runs: Vec<(&str, Box<dyn Fn() -> Engine>)> = vec![
-        (
-            "TADOC on DRAM",
-            Box::new(|| Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap()),
-        ),
-        (
-            "N-TADOC on NVM",
-            Box::new(|| Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap()),
-        ),
+    type EngineMaker<'a> = Box<dyn Fn() -> Engine + 'a>;
+    let runs: Vec<(&str, EngineMaker)> = vec![
+        ("TADOC on DRAM", Box::new(|| Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap())),
+        ("N-TADOC on NVM", Box::new(|| Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap())),
         (
             "N-TADOC on NVM (op-level)",
             Box::new(|| Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap()),

@@ -18,8 +18,7 @@ fn main() {
         stats.rule_count
     );
 
-    let accessor =
-        ntadoc::Accessor::new(&comp, DeviceProfile::nvm_optane()).expect("accessor");
+    let accessor = ntadoc::Accessor::new(&comp, DeviceProfile::nvm_optane()).expect("accessor");
 
     // Pull a few windows from the middle of each document.
     for fid in 0..comp.file_count().min(3) {

@@ -33,8 +33,11 @@ fn main() {
     );
     for query in ["the", "water", "school"] {
         match index.get(query) {
-            Some(docs) => println!("  `{query}` appears in {} documents: {:?}", docs.len(),
-                &docs[..docs.len().min(3)]),
+            Some(docs) => println!(
+                "  `{query}` appears in {} documents: {:?}",
+                docs.len(),
+                &docs[..docs.len().min(3)]
+            ),
             None => println!("  `{query}` not found"),
         }
     }
@@ -60,8 +63,7 @@ fn main() {
     let tv = out.term_vectors().expect("term vector output");
     println!("\nterm vectors (top-3 words of the first 2 documents):");
     for (doc, words) in tv.iter().take(2) {
-        let sig: Vec<String> =
-            words.iter().take(3).map(|(w, c)| format!("{w}:{c}")).collect();
+        let sig: Vec<String> = words.iter().take(3).map(|(w, c)| format!("{w}:{c}")).collect();
         println!("  {doc}: {}", sig.join("  "));
     }
 }

@@ -4,12 +4,15 @@
 //! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
 
 pub use ntadoc::{
-    Engine, EngineConfig, Persistence, RunReport, Task, TaskOutput, Traversal,
-    UncompressedEngine,
+    Engine, EngineConfig, Persistence, RunReport, Task, TaskOutput, Traversal, UncompressedEngine,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
-    compress_corpus, deserialize_compressed, serialize_compressed, Compressed, Dictionary,
-    Grammar, Symbol, TokenizerConfig,
+    compress_corpus, deserialize_compressed, serialize_compressed, Compressed, Dictionary, Grammar,
+    Symbol, TokenizerConfig,
 };
-pub use ntadoc_pmem::{AllocLedger, DeviceKind, DeviceProfile, PmemPool, SimDevice};
+pub use ntadoc_pmem::{
+    crc64, panic_is_injected_crash, run_with_crash_at, AllocLedger, CrashMode, CrashPoint,
+    CrashRun, DeviceKind, DeviceProfile, PhasePersist, PmemError, PmemPool, Prng, SimDevice,
+    SweepOutcome, TxLog, CRASH_PANIC,
+};

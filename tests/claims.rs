@@ -46,8 +46,7 @@ fn claim_s4e_operation_level_costs_more_than_phase_level() {
     let mut b_o = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc_oplevel());
     b_o.run(task).unwrap();
     assert!(
-        b_o.last_report.as_ref().unwrap().total_ns()
-            > b_p.last_report.as_ref().unwrap().total_ns(),
+        b_o.last_report.as_ref().unwrap().total_ns() > b_p.last_report.as_ref().unwrap().total_ns(),
         "operation-level must cost more than phase-level for the baseline"
     );
 }
@@ -82,10 +81,7 @@ fn claim_s6e_topdown_degrades_with_file_count() {
                 / bu.last_report.as_ref().unwrap().traversal_ns as f64
         })
         .collect();
-    assert!(
-        ratios[1] > ratios[0],
-        "ratio must grow with file count: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "ratio must grow with file count: {ratios:?}");
 }
 
 #[test]
@@ -147,8 +143,5 @@ fn claim_compressed_image_is_much_smaller_than_raw() {
     let comp = corpus();
     let image = ntadoc_repro::serialize_compressed(&comp).len() as u64;
     let raw = Engine::uncompressed_bytes(&comp);
-    assert!(
-        image * 2 < raw,
-        "compressed image {image} should be well below raw {raw}"
-    );
+    assert!(image * 2 < raw, "compressed image {image} should be well below raw {raw}");
 }

@@ -1,0 +1,218 @@
+//! Exhaustive crash-point sweep (ALICE-style crash-state enumeration).
+//!
+//! The recovery tests elsewhere crash at a handful of hand-picked points;
+//! this harness enumerates *every* persistence-ordering point a workload
+//! issues (each flush and each fence), crashes there under the torn-write
+//! model, recovers, and asserts the result converges to the crash-free
+//! run — for both §IV-E persistence strategies. A second sweep crashes at
+//! random raw-write points, which additionally tears the interrupted
+//! store at 8-byte granularity.
+//!
+//! Seeds default to `[1, 7, 42]` and can be overridden with
+//! `NTADOC_SWEEP_SEEDS=3,5,8` (the CI crash-sweep job pins one seed per
+//! matrix entry). `NTADOC_SWEEP_STRIDE=n` sweeps every n-th point for a
+//! cheaper smoke pass; the default sweeps all of them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ntadoc_repro::{
+    compress_corpus, panic_is_injected_crash, Compressed, Engine, EngineConfig, Prng, SweepOutcome,
+    Task, TaskOutput, TokenizerConfig,
+};
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "one two three one two four five one".repeat(20)),
+        ("b".to_string(), "one two three six seven two".repeat(20)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+fn sweep_seeds() -> Vec<u64> {
+    let parsed: Vec<u64> = std::env::var("NTADOC_SWEEP_SEEDS")
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    // An unset or unparseable override must not silently sweep nothing.
+    if parsed.is_empty() {
+        vec![1, 7, 42]
+    } else {
+        parsed
+    }
+}
+
+fn sweep_stride() -> u64 {
+    std::env::var("NTADOC_SWEEP_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Count the persist points (flushes + fences) one traversal issues.
+fn count_traversal_persist_points(comp: &Compressed, cfg: &EngineConfig, task: Task) -> u64 {
+    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
+    let mut session = engine.start(task).unwrap();
+    let before = session.device().stats();
+    session.traverse().unwrap();
+    session.device().stats().since(&before).persist_points()
+}
+
+/// Crash at the `point`-th traversal persist point under a torn model,
+/// recover, re-traverse, and return the converged output (None if the
+/// workload finished before the armed point fired).
+fn crash_recover_at_persist_point(
+    comp: &Compressed,
+    cfg: &EngineConfig,
+    task: Task,
+    point: u64,
+    seed: u64,
+) -> Option<TaskOutput> {
+    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
+    let mut session = engine.start(task).unwrap();
+    session.device().trip_after_persists(point);
+    let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+    session.device().clear_trip();
+    match attempt {
+        Ok(Ok(_)) => return None, // finished before the armed point
+        Ok(Err(e)) => panic!("point {point}: unexpected engine error {e}"),
+        Err(payload) => {
+            assert!(
+                panic_is_injected_crash(&*payload),
+                "point {point}: a non-injected panic escaped"
+            );
+        }
+    }
+    session.crash_torn(seed ^ point);
+    session.recover().unwrap_or_else(|e| panic!("point {point}: recovery failed: {e}"));
+    Some(session.traverse().unwrap_or_else(|e| panic!("point {point}: re-run failed: {e}")))
+}
+
+/// The full sweep for one persistence strategy.
+fn sweep_strategy(cfg: &EngineConfig, label: &str) {
+    let comp = corpus();
+    let task = Task::WordCount;
+    let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+    let clean = clean_engine.run(task).unwrap();
+
+    let total = count_traversal_persist_points(&comp, cfg, task);
+    assert!(total > 0, "{label}: traversal must issue persist points");
+    let stride = sweep_stride();
+    for seed in sweep_seeds() {
+        let mut outcome = SweepOutcome::default();
+        let mut point = 0;
+        while point < total {
+            match crash_recover_at_persist_point(&comp, cfg, task, point, seed) {
+                Some(out) => {
+                    assert_eq!(
+                        out, clean,
+                        "{label}: seed {seed} point {point}/{total} diverged after recovery"
+                    );
+                    outcome.converged += 1;
+                }
+                None => outcome.completed_early += 1,
+            }
+            point += stride;
+        }
+        assert!(
+            outcome.converged > 0,
+            "{label}: seed {seed}: no crash actually fired across {total} points"
+        );
+    }
+}
+
+#[test]
+fn every_persist_point_converges_phase_level() {
+    sweep_strategy(&EngineConfig::ntadoc(), "phase-level");
+}
+
+#[test]
+fn every_persist_point_converges_operation_level() {
+    sweep_strategy(&EngineConfig::ntadoc_oplevel(), "operation-level");
+}
+
+#[test]
+fn random_mid_write_crash_points_converge_with_torn_stores() {
+    // Persist points never interrupt a store; raw write points do, and the
+    // torn model then applies an arbitrary subset of the store's 8-byte
+    // words. Sample write points across the whole traversal.
+    let comp = corpus();
+    let task = Task::WordCount;
+    for cfg in [EngineConfig::ntadoc(), EngineConfig::ntadoc_oplevel()] {
+        let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        // Count the traversal's write operations once.
+        let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let mut session = engine.start(task).unwrap();
+        let before = session.device().stats();
+        session.traverse().unwrap();
+        let writes = session.device().stats().since(&before).writes;
+        assert!(writes > 0);
+
+        for seed in sweep_seeds() {
+            let mut rng = Prng::new(seed);
+            let mut fired = 0u32;
+            for _ in 0..40 {
+                let trip = rng.next_below(writes);
+                let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+                let mut session = engine.start(task).unwrap();
+                session.device().trip_after_writes(trip);
+                let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+                session.device().clear_trip();
+                match attempt {
+                    Ok(Ok(out)) => {
+                        assert_eq!(out, clean, "write trip {trip}: completed run differs");
+                        continue;
+                    }
+                    Ok(Err(e)) => panic!("write trip {trip}: unexpected engine error {e}"),
+                    Err(payload) => assert!(panic_is_injected_crash(&*payload)),
+                }
+                fired += 1;
+                session.crash_torn(seed.wrapping_add(trip));
+                session.recover().unwrap();
+                let recovered = session.traverse().unwrap();
+                assert_eq!(recovered, clean, "seed {seed} write trip {trip} diverged");
+            }
+            assert!(fired > 0, "seed {seed}: no mid-write crash fired");
+        }
+    }
+}
+
+#[test]
+fn repeated_crashes_at_the_same_point_still_converge() {
+    // Recovery must itself be crash-safe: crash at point k, recover,
+    // crash at point k again during the re-run (different torn seed),
+    // recover again, and still converge. This catches recovery paths
+    // that only work from a "clean crash" state.
+    let comp = corpus();
+    for cfg in [EngineConfig::ntadoc(), EngineConfig::ntadoc_oplevel()] {
+        let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let clean = clean_engine.run(Task::WordCount).unwrap();
+        let total = count_traversal_persist_points(&comp, &cfg, Task::WordCount);
+        // A handful of points spread across the stream is enough here; the
+        // exhaustive single-crash sweep above covers every point.
+        for point in [0, total / 4, total / 2, total - 1] {
+            let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+            let mut session = engine.start(Task::WordCount).unwrap();
+            let mut crashes = 0u32;
+            for round in 0..2u64 {
+                session.device().trip_after_persists(point);
+                let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+                session.device().clear_trip();
+                match attempt {
+                    Ok(Ok(_)) => break, // finished before the point this round
+                    Ok(Err(e)) => panic!("point {point} round {round}: {e}"),
+                    Err(payload) => assert!(panic_is_injected_crash(&*payload)),
+                }
+                crashes += 1;
+                session.crash_torn(0xBAD5EED ^ point ^ (round << 32));
+                session.recover().unwrap();
+            }
+            assert!(crashes > 0, "point {point}: no crash fired");
+            assert_eq!(
+                session.traverse().unwrap(),
+                clean,
+                "point {point}: diverged after {crashes} crash(es)"
+            );
+        }
+    }
+}

@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 use ntadoc_repro::{
-    compress_corpus, Compressed, Engine, EngineConfig, Persistence, Task,
-    TokenizerConfig, UncompressedEngine,
+    compress_corpus, Compressed, Engine, EngineConfig, Persistence, Task, TokenizerConfig,
+    UncompressedEngine,
 };
 
 fn small() -> Compressed {
@@ -85,10 +85,8 @@ fn zero_repetition_corpus_works() {
 
 #[test]
 fn single_word_repeated_corpus_works() {
-    let comp = compress_corpus(
-        &[("m".to_string(), "echo ".repeat(5000))],
-        &TokenizerConfig::default(),
-    );
+    let comp =
+        compress_corpus(&[("m".to_string(), "echo ".repeat(5000))], &TokenizerConfig::default());
     for task in Task::ALL {
         let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
         let out = engine.run(task).unwrap();
@@ -125,8 +123,7 @@ fn unicode_words_survive_the_whole_pipeline() {
 fn very_long_words_round_trip() {
     let long = "x".repeat(10_000);
     let text = format!("{long} short {long} short");
-    let comp =
-        compress_corpus(&[("l".to_string(), text)], &TokenizerConfig::default());
+    let comp = compress_corpus(&[("l".to_string(), text)], &TokenizerConfig::default());
     let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
     let out = engine.run(Task::WordCount).unwrap();
     assert_eq!(out.word_counts().unwrap().get(&long), Some(&2));

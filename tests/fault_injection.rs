@@ -38,9 +38,10 @@ fn crash_at_many_points_inside_traversal_recovers() {
             Ok(Err(e)) => panic!("trip={trip}: unexpected engine error {e}"),
             Err(_) => { /* the injected fault fired mid-run */ }
         }
-        // Power failure at the fault point, then §IV-E recovery: the init
-        // checkpoint survives, the traversal phase re-runs.
-        session.crash();
+        // Torn power failure at the fault point — the interrupted store
+        // lands as an arbitrary subset of its 8-byte words — then §IV-E
+        // recovery: the init checkpoint survives, the traversal re-runs.
+        session.crash_torn(trip.wrapping_mul(0x9E37_79B9));
         session.recover().unwrap();
         let recovered = session.traverse().unwrap();
         assert_eq!(recovered, clean, "trip={trip}: recovered result differs");
@@ -63,7 +64,7 @@ fn crash_inside_file_task_traversal_recovers() {
             assert_eq!(out, clean);
             continue;
         }
-        session.crash();
+        session.crash_torn(trip);
         session.recover().unwrap();
         assert_eq!(session.traverse().unwrap(), clean, "trip={trip}");
     }
@@ -84,4 +85,30 @@ fn wear_tracking_reports_hotspots() {
     let (max_wear, lines) = dev.wear_stats();
     assert_eq!(max_wear, 50);
     assert_eq!(lines, 5);
+    // The top-N breakdown names the hammered line first and ranks the rest.
+    let top = dev.wear_top(3);
+    assert_eq!(top[0], (0, 50));
+    assert_eq!(top.len(), 3);
+    assert!(top[1].1 <= top[0].1 && top[2].1 <= top[1].1);
+}
+
+#[test]
+fn wear_top_surfaces_in_run_reports() {
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::WordCount).unwrap();
+    session.device().enable_wear_tracking();
+    session.traverse().unwrap();
+    let report = session.report();
+    assert!(!report.wear_top.is_empty(), "wear breakdown must reach the report");
+    assert!(report.wear_top.len() <= 8);
+    // Hottest-first ordering.
+    for pair in report.wear_top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+    // Without tracking the breakdown stays empty.
+    let engine2 = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session2 = engine2.start(Task::WordCount).unwrap();
+    session2.traverse().unwrap();
+    assert!(session2.report().wear_top.is_empty());
 }

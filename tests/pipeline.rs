@@ -2,8 +2,8 @@
 //! serialization → every engine on every device, agreeing on every task.
 
 use ntadoc_repro::{
-    deserialize_compressed, serialize_compressed, DatasetSpec, Engine, EngineConfig,
-    Task, UncompressedEngine,
+    deserialize_compressed, serialize_compressed, DatasetSpec, Engine, EngineConfig, Task,
+    UncompressedEngine,
 };
 
 #[test]
@@ -30,18 +30,16 @@ fn all_engines_agree_on_dataset_a() {
     for task in Task::ALL {
         let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
         let reference = nt.run(task).unwrap();
-        for (label, cfg) in [
-            ("op-level", EngineConfig::ntadoc_oplevel()),
-            ("naive", EngineConfig::naive()),
-        ] {
+        for (label, cfg) in
+            [("op-level", EngineConfig::ntadoc_oplevel()), ("naive", EngineConfig::naive())]
+        {
             let mut e = Engine::on_nvm(&comp, cfg).unwrap();
             assert_eq!(e.run(task).unwrap(), reference, "{label}/{task}");
         }
         let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
         assert_eq!(dram.run(task).unwrap(), reference, "dram/{task}");
         for hdd in [false, true] {
-            let mut block =
-                Engine::on_block_device(&comp, EngineConfig::ntadoc(), hdd).unwrap();
+            let mut block = Engine::on_block_device(&comp, EngineConfig::ntadoc(), hdd).unwrap();
             assert_eq!(block.run(task).unwrap(), reference, "block(hdd={hdd})/{task}");
         }
         let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
@@ -74,10 +72,7 @@ fn reports_expose_phase_times_and_peaks() {
     assert!(rep.traversal_ns > 0);
     assert!(rep.device_peak_bytes > 0, "NVM allocations must be ledgered");
     assert!(rep.dram_peak_bytes > 0, "host staging must be ledgered");
-    assert!(
-        rep.dram_peak_bytes < rep.device_peak_bytes,
-        "N-TADOC keeps the bulk on the device"
-    );
+    assert!(rep.dram_peak_bytes < rep.device_peak_bytes, "N-TADOC keeps the bulk on the device");
     assert_eq!(rep.device, "NVM");
 }
 

@@ -9,9 +9,7 @@ use std::rc::Rc;
 
 use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
-use ntadoc_repro::{
-    compress_corpus, Engine, EngineConfig, Grammar, Symbol, Task, TokenizerConfig,
-};
+use ntadoc_repro::{compress_corpus, Engine, EngineConfig, Grammar, Symbol, Task, TokenizerConfig};
 
 /// Arbitrary small-alphabet token streams compress interestingly.
 fn token_stream() -> impl Strategy<Value = Vec<u32>> {
@@ -25,8 +23,7 @@ fn corpus_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
             .into_iter()
             .enumerate()
             .map(|(i, words)| {
-                let text =
-                    words.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ");
+                let text = words.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ");
                 (format!("f{i}"), text)
             })
             .collect()
@@ -241,6 +238,77 @@ proptest! {
         let mut out = vec![0u8; 4096];
         dev.read_bytes(0, &mut out);
         prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn arbitrary_log_region_bytes_never_panic_recovery(
+        garbage in vec(0u8..255, 0..512),
+        at in 0u64..3500
+    ) {
+        use ntadoc_pmem::TxLog;
+        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+        let log_at = 4096u64;
+        dev.write_bytes(log_at + at, &garbage);
+        let mut log = TxLog::new(Rc::clone(&dev), log_at, 4096);
+        // Any verdict is fine; panicking or corrupting unrelated memory
+        // is not. A post-recovery transaction must also work.
+        let _ = log.recover();
+        log.begin().unwrap();
+        log.log_range(0, 32).unwrap();
+        log.commit().unwrap();
+    }
+
+    #[test]
+    fn arbitrary_image_bytes_never_panic_deserialization(
+        garbage in vec(0u8..255, 0..600)
+    ) {
+        let _ = ntadoc_repro::deserialize_compressed(&garbage);
+    }
+
+    #[test]
+    fn mutated_real_images_are_rejected_or_identical(
+        files in corpus_strategy(),
+        flip_at in 0usize..10000,
+        flip_bit in 0u8..8
+    ) {
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        let mut image = ntadoc_repro::serialize_compressed(&comp);
+        let at = flip_at % image.len();
+        image[at] ^= 1 << flip_bit;
+        // Every single-bit flip lands inside the checksummed envelope, so
+        // deserialization must reject it — never panic, never return a
+        // silently different grammar.
+        prop_assert!(ntadoc_repro::deserialize_compressed(&image).is_err(),
+            "bit {} of byte {} flipped undetected", flip_bit, at);
+    }
+
+    #[test]
+    fn torn_crash_always_preserves_fenced_data(
+        vals in vec(1u64..1000, 1..40),
+        seed in 0u64..10000
+    ) {
+        use ntadoc_repro::CrashMode;
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16);
+        for (i, v) in vals.iter().enumerate() {
+            dev.write_u64(i as u64 * 8, *v);
+        }
+        dev.persist(0, vals.len() * 8);
+        // More unfenced writes after the persist…
+        for i in 0..vals.len() {
+            dev.write_u64((100 + i as u64) * 8, 7);
+            dev.flush((100 + i as u64) * 8, 8);
+            // …flushed but NOT fenced: each independently survives or not.
+        }
+        dev.set_crash_mode(CrashMode::Torn { seed });
+        dev.crash();
+        // Whatever the seed did to the unfenced lines, fenced data is intact.
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(dev.read_u64(i as u64 * 8), *v, "fenced index {}", i);
+        }
+        for i in 0..vals.len() {
+            let got = dev.read_u64((100 + i as u64) * 8);
+            prop_assert!(got == 7 || got == 0, "torn line must be old or new, got {}", got);
+        }
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Crash/recovery integration tests across the whole stack (§IV-E).
+//!
+//! Recovery here runs under the *torn-write* crash model by default:
+//! flushed-but-unfenced lines independently survive or revert under a
+//! seeded RNG, which is strictly more adversarial than the deterministic
+//! rewind model (real NVM guarantees only 8-byte atomicity and no
+//! ordering between unfenced lines).
 
 use ntadoc_repro::{
-    compress_corpus, Compressed, Engine, EngineConfig, Task, TokenizerConfig,
+    compress_corpus, Compressed, CrashMode, Engine, EngineConfig, Task, TokenizerConfig,
 };
 
 fn corpus() -> Compressed {
@@ -19,8 +25,9 @@ fn phase_level_crash_during_traversal_recovers_by_rerunning() {
     for task in Task::ALL {
         let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
         let mut session = engine.start(task).unwrap();
-        // Power failure mid-run: everything not phase-persisted is lost.
-        session.crash();
+        // Torn power failure mid-run: everything not phase-persisted is
+        // lost or arbitrarily shredded across unfenced lines.
+        session.crash_torn(0xD15EA5E);
         session.recover().unwrap();
         let recovered = session.traverse().unwrap_or_else(|e| panic!("{task}: {e}"));
         let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
@@ -47,7 +54,7 @@ fn operation_level_crash_recovers() {
     for task in [Task::WordCount, Task::InvertedIndex] {
         let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
         let mut session = engine.start(task).unwrap();
-        session.crash();
+        session.crash_torn(0xF00D);
         session.recover().unwrap(); // rolls back any in-flight transaction
         let recovered = session.traverse().unwrap();
         let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
@@ -57,17 +64,97 @@ fn operation_level_crash_recovers() {
 }
 
 #[test]
-fn multiple_crashes_in_a_row_still_recover() {
+fn multiple_torn_crashes_in_a_row_still_recover() {
     let comp = corpus();
     let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
     let mut session = engine.start(Task::Sort).unwrap();
-    for _ in 0..3 {
-        session.crash();
+    for seed in 0..3u64 {
+        session.crash_torn(seed);
         session.recover().unwrap();
     }
     let out = session.traverse().unwrap();
     let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
     assert_eq!(out, clean_engine.run(Task::Sort).unwrap());
+}
+
+#[test]
+fn configured_torn_mode_applies_to_plain_crash() {
+    // Setting the mode once makes every subsequent `crash()` torn — the
+    // recovery contract must hold either way.
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::WordCount).unwrap();
+    session.device().set_crash_mode(CrashMode::Torn { seed: 31337 });
+    session.crash();
+    session.recover().unwrap();
+    let out = session.traverse().unwrap();
+    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    assert_eq!(out, clean_engine.run(Task::WordCount).unwrap());
+}
+
+#[test]
+fn transient_write_faults_are_absorbed_and_charged() {
+    // Faults within the device's bounded retry budget are invisible to the
+    // engine apart from the virtual-time and retry-counter cost.
+    let comp = corpus();
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::WordCount).unwrap();
+    let cap = session.device().capacity();
+    for i in 1..8u64 {
+        session.device().inject_transient_write_fault(cap / 8 * i, 2);
+    }
+    let out = session.traverse().unwrap();
+    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    assert_eq!(out, clean_engine.run(Task::WordCount).unwrap());
+    let stats = session.device().stats();
+    assert!(stats.media_retries > 0, "at least one injected fault must have been hit");
+}
+
+#[test]
+fn run_resilient_matches_run_when_healthy() {
+    // The resilient path must be a pure superset of `run` on a healthy
+    // device: same output, and a report is produced.
+    let comp = corpus();
+    let mut a = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut b = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let clean = a.run(Task::WordCount).unwrap();
+    let resilient = b.run_resilient(Task::WordCount, 3).unwrap();
+    assert_eq!(clean, resilient);
+    assert!(b.last_report.is_some());
+}
+
+#[test]
+fn uncorrectable_faults_recover_by_phase_rerun_or_fail_cleanly() {
+    // An uncorrectable read fault heals when the line is rewritten, so the
+    // engine-level fallback (recover + phase re-run) must converge when the
+    // fault sits in a region the traversal rewrites.
+    let comp = corpus();
+    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let clean = clean_engine.run(Task::WordCount).unwrap();
+
+    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut session = engine.start(Task::WordCount).unwrap();
+    // Sprinkle read faults over the upper (result/scratch) half; lines the
+    // traversal never rewrites simply keep their fault and are not read.
+    let cap = session.device().capacity();
+    for i in 0..16u64 {
+        session.device().inject_read_fault(cap / 2 + (cap / 32) * i);
+    }
+    let mut out = session.traverse();
+    let mut attempts = 0;
+    while out.is_err() && attempts < 8 {
+        session.recover().unwrap();
+        out = session.traverse();
+        attempts += 1;
+    }
+    session.device().clear_faults();
+    match out {
+        Ok(out) => assert_eq!(out, clean),
+        // A fault may sit on a line the traversal reads but never
+        // rewrites (e.g. scratch metadata); then the error must be a
+        // clean MediaError, never a panic or a wrong result.
+        Err(e) => assert!(matches!(e, ntadoc_repro::PmemError::MediaError { .. }), "{e}"),
+    }
 }
 
 #[test]
