@@ -9,7 +9,7 @@
 #![allow(clippy::default_constructed_unit_structs)]
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc::dag::prune_rule;
 use ntadoc::summation::upper_bounds;
@@ -64,8 +64,8 @@ fn bench_phash(c: &mut Criterion) {
     g.bench_function("insert_10k_presized", |b| {
         b.iter_batched(
             || {
-                let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
-                Rc::new(PmemPool::over_whole(dev))
+                let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+                Arc::new(PmemPool::over_whole(dev))
             },
             |pool| {
                 let t = PHashTable::with_expected(pool, 10_000, true).unwrap();
@@ -80,8 +80,8 @@ fn bench_phash(c: &mut Criterion) {
     g.bench_function("insert_10k_growable", |b| {
         b.iter_batched(
             || {
-                let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 23));
-                Rc::new(PmemPool::over_whole(dev))
+                let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 23));
+                Arc::new(PmemPool::over_whole(dev))
             },
             |pool| {
                 let t = PHashTable::with_expected(pool, 8, false).unwrap();
@@ -128,7 +128,7 @@ fn bench_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("pqueue");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("push_pop_10k", |b| {
-        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
             DeviceProfile::nvm_optane(),
             1 << 20,
         ))));
@@ -167,7 +167,8 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.bench_function("word_count_ntadoc_nvm", |b| {
         b.iter(|| {
-            let mut e = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+            let mut e =
+                Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
             e.run(Task::WordCount).unwrap()
         })
     });

@@ -48,7 +48,10 @@ fn main() {
     for (name, comp) in [("Sequitur", &seq), ("RePair", &rp)] {
         for task in [Task::WordCount, Task::TermVector, Task::SequenceCount] {
             let rep = {
-                let mut e = Engine::on_nvm(comp, EngineConfig::ntadoc()).expect("engine");
+                let mut e = Engine::builder(comp.clone())
+                    .config(EngineConfig::ntadoc())
+                    .build()
+                    .expect("engine");
                 e.run(task).expect("run");
                 e.last_report.unwrap()
             };
@@ -68,8 +71,8 @@ fn main() {
         }
     }
     // Correctness guard: the two substrates must agree.
-    let mut a = Engine::on_nvm(&seq, EngineConfig::ntadoc()).unwrap();
-    let mut b = Engine::on_nvm(&rp, EngineConfig::ntadoc()).unwrap();
+    let mut a = Engine::builder(seq.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut b = Engine::builder(rp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(
         a.run(Task::WordCount).unwrap(),
         b.run(Task::WordCount).unwrap(),

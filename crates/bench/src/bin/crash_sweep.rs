@@ -48,13 +48,13 @@ fn seeds() -> Vec<u64> {
 
 fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> StrategySweep {
     let task = Task::WordCount;
-    let mut clean_engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
+    let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let clean = clean_engine.run(task).unwrap();
     let clean_ns = clean_engine.last_report.as_ref().unwrap().total_ns();
 
     // Count the traversal's persist points once.
-    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-    let mut session = engine.start(task).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+    let mut session = engine.session(task).unwrap();
     let before = session.device().stats();
     session.traverse().unwrap();
     let total = session.device().stats().since(&before).persist_points();
@@ -68,8 +68,8 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> Strategy
     let mut recovery_ns = Vec::new();
     for seed in seeds() {
         for point in (0..total).step_by(stride as usize) {
-            let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-            let mut session = engine.start(task).unwrap();
+            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+            let mut session = engine.session(task).unwrap();
             session.device().trip_after_persists(point);
             let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
             session.device().clear_trip();
@@ -106,10 +106,10 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> Strategy
 
 fn mid_write_sample(comp: &Compressed, cfg: &EngineConfig, samples: u64) -> (u64, u64) {
     let task = Task::WordCount;
-    let mut clean_engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
+    let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let clean = clean_engine.run(task).unwrap();
-    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-    let mut session = engine.start(task).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+    let mut session = engine.session(task).unwrap();
     let before = session.device().stats();
     session.traverse().unwrap();
     let writes = session.device().stats().since(&before).writes;
@@ -120,8 +120,8 @@ fn mid_write_sample(comp: &Compressed, cfg: &EngineConfig, samples: u64) -> (u64
         let mut rng = Prng::new(seed);
         for _ in 0..samples {
             let trip = rng.next_below(writes);
-            let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-            let mut session = engine.start(task).unwrap();
+            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+            let mut session = engine.session(task).unwrap();
             session.device().trip_after_writes(trip);
             let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
             session.device().clear_trip();

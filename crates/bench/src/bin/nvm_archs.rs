@@ -26,16 +26,18 @@ fn main() {
     for profile in archs {
         let mut speedups = Vec::new();
         for task in Task::ALL {
-            let mut nt = Engine::with_profile(
-                &comp,
-                EngineConfig::ntadoc(),
-                profile.clone(),
-                format!("N-TADOC-{}", profile.name),
-            )
-            .expect("engine");
+            let mut nt = Engine::builder(comp.clone())
+                .config(EngineConfig::ntadoc())
+                .profile(profile.clone())
+                .label(format!("N-TADOC-{}", profile.name))
+                .build()
+                .expect("engine");
             nt.run(task).expect("run");
             let nt_rep = nt.last_report.unwrap();
-            let mut base = UncompressedEngine::new(&comp, EngineConfig::ntadoc(), profile.clone());
+            let mut base = UncompressedEngine::builder(comp.clone())
+                .config(EngineConfig::ntadoc())
+                .profile(profile.clone())
+                .build();
             base.run(task).expect("baseline");
             let base_rep = base.last_report.unwrap();
             let speedup = base_rep.total_secs() / nt_rep.total_secs();

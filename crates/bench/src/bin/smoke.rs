@@ -1,5 +1,6 @@
 use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
+use ntadoc_pmem::DeviceProfile;
 use std::time::Instant;
 
 fn main() {
@@ -25,25 +26,31 @@ fn main() {
         Task::RankedInvertedIndex,
     ] {
         let t = Instant::now();
-        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         nt.run(task).unwrap();
         let nt_rep = nt.last_report.clone().unwrap();
         let nt_wall = t.elapsed();
 
         let t = Instant::now();
-        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        let mut base =
+            UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
         base.run(task).unwrap();
         let base_rep = base.last_report.clone().unwrap();
         let base_wall = t.elapsed();
 
         let t = Instant::now();
-        let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+        let mut dram = Engine::builder(comp.clone())
+            .config(EngineConfig::tadoc_dram())
+            .profile(DeviceProfile::dram())
+            .build()
+            .unwrap();
         dram.run(task).unwrap();
         let dram_rep = dram.last_report.clone().unwrap();
         let dram_wall = t.elapsed();
 
         let t = Instant::now();
-        let mut naive = Engine::on_nvm(&comp, EngineConfig::naive()).unwrap();
+        let mut naive =
+            Engine::builder(comp.clone()).config(EngineConfig::naive()).build().unwrap();
         naive.run(task).unwrap();
         let naive_rep = naive.last_report.clone().unwrap();
         let naive_wall = t.elapsed();

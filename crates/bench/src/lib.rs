@@ -8,16 +8,17 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc::{Engine, EngineConfig, RunReport, Task, UncompressedEngine};
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
 use ntadoc_grammar::Compressed;
+use ntadoc_pmem::DeviceProfile;
 
 /// Dataset + engine orchestration for one experiment binary.
 pub struct Harness {
     scale: f64,
-    cache: RefCell<HashMap<String, Rc<Compressed>>>,
+    cache: RefCell<HashMap<String, Arc<Compressed>>>,
 }
 
 impl Default for Harness {
@@ -49,7 +50,7 @@ impl Harness {
     }
 
     /// Generate (or fetch cached) compressed corpus for `spec`.
-    pub fn dataset(&self, spec: &DatasetSpec) -> Rc<Compressed> {
+    pub fn dataset(&self, spec: &DatasetSpec) -> Arc<Compressed> {
         let key = format!("{}-{}-{}", spec.name, spec.files, spec.tokens_per_file);
         if let Some(c) = self.cache.borrow().get(&key) {
             return c.clone();
@@ -58,7 +59,7 @@ impl Harness {
             "[gen] dataset {} ({} files × ~{} words)…",
             spec.name, spec.files, spec.tokens_per_file
         );
-        let c = Rc::new(generate_compressed(spec));
+        let c = Arc::new(generate_compressed(spec));
         self.cache.borrow_mut().insert(key, c.clone());
         c
     }
@@ -72,10 +73,12 @@ impl Harness {
         task: Task,
     ) -> RunReport {
         let mut engine = match device {
-            Device::Nvm => Engine::on_nvm(comp, cfg),
-            Device::Dram => Engine::on_dram(comp, cfg),
-            Device::Ssd => Engine::on_block_device(comp, cfg, false),
-            Device::Hdd => Engine::on_block_device(comp, cfg, true),
+            Device::Nvm => Engine::builder(comp.clone()).config(cfg).build(),
+            Device::Dram => {
+                Engine::builder(comp.clone()).config(cfg).profile(DeviceProfile::dram()).build()
+            }
+            Device::Ssd => Engine::builder(comp.clone()).config(cfg).ssd().build(),
+            Device::Hdd => Engine::builder(comp.clone()).config(cfg).hdd().build(),
         }
         .expect("engine construction");
         engine.run(task).expect("task run");
@@ -84,7 +87,7 @@ impl Harness {
 
     /// Run `task` on the uncompressed baseline (NVM) and return the report.
     pub fn run_baseline(&self, comp: &Compressed, cfg: EngineConfig, task: Task) -> RunReport {
-        let mut engine = UncompressedEngine::on_nvm(comp, cfg);
+        let mut engine = UncompressedEngine::builder(comp.clone()).config(cfg).build();
         engine.run(task).expect("baseline run");
         engine.last_report.expect("report recorded")
     }
@@ -182,7 +185,7 @@ mod tests {
         let spec = h.specs()[0].clone();
         let a = h.dataset(&spec);
         let b = h.dataset(&spec);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -217,8 +217,12 @@ fn run(args: &[String]) -> CmdResult {
         }
     }
     let comp = load_corpus(path)?;
-    let mut engine =
-        Engine::with_profile(&comp, cfg, profile.clone(), "cli").map_err(|e| e.to_string())?;
+    let mut engine = Engine::builder(comp.clone())
+        .config(cfg)
+        .profile(profile.clone())
+        .label("cli")
+        .build()
+        .map_err(|e| e.to_string())?;
     let out = engine.run(task).map_err(|e| e.to_string())?;
     print_output(&out, top);
     let rep = engine.last_report.as_ref().expect("report");
@@ -288,7 +292,10 @@ fn search(args: &[String]) -> CmdResult {
         return Err("search needs at least one word".into());
     }
     let comp = load_corpus(path)?;
-    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).map_err(|e| e.to_string())?;
+    let mut engine = Engine::builder(comp.clone())
+        .config(EngineConfig::ntadoc())
+        .build()
+        .map_err(|e| e.to_string())?;
     let out = engine.run(Task::InvertedIndex).map_err(|e| e.to_string())?;
     let index = out.inverted_index().expect("inverted index output");
     for w in words {

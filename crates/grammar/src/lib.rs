@@ -46,7 +46,7 @@ pub use cfg::{Grammar, GrammarStats, Rule};
 pub use dict::Dictionary;
 pub use repair::repair;
 pub use sequitur::Sequitur;
-pub use serialize::{deserialize_compressed, serialize_compressed};
+pub use serialize::{deserialize_compressed, serialize_compressed, serialized_len};
 pub use symbol::Symbol;
 pub use tokenizer::{tokenize, TokenizerConfig};
 

@@ -87,6 +87,17 @@ pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
     out
 }
 
+/// Byte length [`serialize_compressed`] would produce for `c`, computed
+/// without materializing the image. Lets engines account for image size
+/// (init-phase disk traffic, capacity planning) without an allocation
+/// proportional to the corpus.
+pub fn serialized_len(c: &Compressed) -> usize {
+    let dict: usize = c.dict.iter().map(|(_, w)| 4 + w.len()).sum();
+    let names: usize = c.file_names.iter().map(|n| 4 + n.len()).sum();
+    let bodies: usize = c.grammar.rules.iter().map(|r| 4 + 4 * r.symbols.len()).sum();
+    HEADER_LEN + 12 + dict + names + bodies
+}
+
 /// Deserialization errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ImageError {
@@ -214,6 +225,12 @@ mod tests {
         assert_eq!(back.file_names, c.file_names);
         assert_eq!(back.dict.len(), c.dict.len());
         assert_eq!(back.dict.id_of("cat"), c.dict.id_of("cat"));
+    }
+
+    #[test]
+    fn serialized_len_matches_actual_image() {
+        let c = sample();
+        assert_eq!(serialized_len(&c), serialize_compressed(&c).len());
     }
 
     #[test]

@@ -11,13 +11,13 @@
 //! per-rule lengths, all bump-allocated adjacently so a rule's head and
 //! tail live in the same few media lines.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_pmem::{Addr, PmemPool, Result};
 
 /// Fixed-width head/tail word store for every rule of a grammar.
 pub struct HeadTailStore {
-    pool: Rc<PmemPool>,
+    pool: Arc<PmemPool>,
     /// Words kept at each end of each rule (= n − 1 for n-gram tasks).
     width: usize,
     rules: usize,
@@ -29,7 +29,7 @@ pub struct HeadTailStore {
 
 impl HeadTailStore {
     /// Allocate buffers for `rules` rules with `width` words per end.
-    pub fn new(pool: Rc<PmemPool>, rules: usize, width: usize) -> Result<Self> {
+    pub fn new(pool: Arc<PmemPool>, rules: usize, width: usize) -> Result<Self> {
         let width = width.max(1);
         let heads = pool.alloc_array(rules * width, 4)?;
         let tails = pool.alloc_array(rules * width, 4)?;
@@ -110,7 +110,7 @@ mod tests {
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
     fn store(rules: usize, width: usize) -> HeadTailStore {
-        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
             DeviceProfile::nvm_optane(),
             1 << 20,
         ))));
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn persist_survives_crash() {
-        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
             DeviceProfile::nvm_optane(),
             1 << 20,
         ))));

@@ -20,7 +20,7 @@
 //! charged reconstruction.
 
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_pmem::{Addr, PmemPool, Result};
 
@@ -30,19 +30,19 @@ const LOAD_DEN: usize = 8;
 /// Open-addressing `u64 → u64` hash table on a [`PmemPool`].
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
 /// use ntadoc_nstruct::PHashTable;
 ///
-/// let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20));
-/// let pool = Rc::new(PmemPool::over_whole(dev));
+/// let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20));
+/// let pool = Arc::new(PmemPool::over_whole(dev));
 /// let table = PHashTable::with_expected(pool, 100, true).unwrap();
 /// table.add(42, 7).unwrap();
 /// table.add(42, 3).unwrap();
 /// assert_eq!(table.get(42), Some(10));
 /// ```
 pub struct PHashTable {
-    pool: Rc<PmemPool>,
+    pool: Arc<PmemPool>,
     status_base: Cell<Addr>,
     key_base: Cell<Addr>,
     value_base: Cell<Addr>,
@@ -65,7 +65,7 @@ impl PHashTable {
     /// `fixed = true` marks the capacity as a trusted upper bound (the
     /// summation path): exceeding it is a logic error and panics rather
     /// than silently rehashing.
-    pub fn with_expected(pool: Rc<PmemPool>, expected: usize, fixed: bool) -> Result<Self> {
+    pub fn with_expected(pool: Arc<PmemPool>, expected: usize, fixed: bool) -> Result<Self> {
         // Size so `expected` stays under the load factor, then round up to
         // a power of two.
         let min_cap = (expected.max(1) * LOAD_DEN).div_ceil(LOAD_NUM);
@@ -83,7 +83,7 @@ impl PHashTable {
         })
     }
 
-    fn alloc_buffers(pool: &Rc<PmemPool>, cap: usize) -> Result<(Addr, Addr, Addr)> {
+    fn alloc_buffers(pool: &Arc<PmemPool>, cap: usize) -> Result<(Addr, Addr, Addr)> {
         let status = pool.alloc_array(cap, 1)?;
         let keys = pool.alloc_array(cap, 8)?;
         let values = pool.alloc_array(cap, 8)?;
@@ -295,8 +295,8 @@ mod tests {
     use super::*;
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
-    fn pool(bytes: usize) -> Rc<PmemPool> {
-        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), bytes))))
+    fn pool(bytes: usize) -> Arc<PmemPool> {
+        Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), bytes))))
     }
 
     #[test]

@@ -7,19 +7,19 @@
 //! from the rule count and it never reallocates.
 
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_pmem::{Addr, PmemPool, Result};
 
 /// Fixed-capacity FIFO of `u32` ids on a [`PmemPool`].
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
 /// use ntadoc_nstruct::PQueue;
 ///
-/// let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
-/// let pool = Rc::new(PmemPool::over_whole(dev));
+/// let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+/// let pool = Arc::new(PmemPool::over_whole(dev));
 /// let q = PQueue::with_capacity(pool, 8).unwrap();
 /// q.push(3);
 /// q.push(9);
@@ -28,7 +28,7 @@ use ntadoc_pmem::{Addr, PmemPool, Result};
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct PQueue {
-    pool: Rc<PmemPool>,
+    pool: Arc<PmemPool>,
     base: Addr,
     cap: usize,
     head: Cell<usize>,
@@ -38,7 +38,7 @@ pub struct PQueue {
 
 impl PQueue {
     /// Allocate a queue holding up to `cap` ids.
-    pub fn with_capacity(pool: Rc<PmemPool>, cap: usize) -> Result<Self> {
+    pub fn with_capacity(pool: Arc<PmemPool>, cap: usize) -> Result<Self> {
         let cap = cap.max(1);
         let base = pool.alloc_array(cap, 4)?;
         Ok(PQueue { pool, base, cap, head: Cell::new(0), tail: Cell::new(0), len: Cell::new(0) })
@@ -98,7 +98,7 @@ mod tests {
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
     fn queue(cap: usize) -> PQueue {
-        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
             DeviceProfile::nvm_optane(),
             1 << 16,
         ))));
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn queue_traffic_is_charged() {
-        let pool = Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
             DeviceProfile::nvm_optane(),
             1 << 16,
         ))));

@@ -2,19 +2,19 @@
 
 use std::cell::Cell;
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_pmem::{Addr, PmemPool, Pod, Result};
 
 /// A vector whose elements live in a [`PmemPool`].
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
 /// use ntadoc_nstruct::PVec;
 ///
-/// let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20));
-/// let pool = Rc::new(PmemPool::over_whole(dev));
+/// let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20));
+/// let pool = Arc::new(PmemPool::over_whole(dev));
 /// let v: PVec<u64> = PVec::with_capacity(pool, 4).unwrap();
 /// v.push(11).unwrap();
 /// v.push(22).unwrap();
@@ -30,7 +30,7 @@ use ntadoc_pmem::{Addr, PmemPool, Pod, Result};
 /// avoid, and [`reconstructions`](PVec::reconstructions) exposes the count
 /// so experiments can show the difference.
 pub struct PVec<T: Pod> {
-    pool: Rc<PmemPool>,
+    pool: Arc<PmemPool>,
     base: Cell<Addr>,
     len: Cell<usize>,
     cap: Cell<usize>,
@@ -40,7 +40,7 @@ pub struct PVec<T: Pod> {
 
 impl<T: Pod> PVec<T> {
     /// Allocate a vector with room for `cap` elements.
-    pub fn with_capacity(pool: Rc<PmemPool>, cap: usize) -> Result<Self> {
+    pub fn with_capacity(pool: Arc<PmemPool>, cap: usize) -> Result<Self> {
         let cap = cap.max(1);
         let base = pool.alloc_array(cap, T::SIZE)?;
         Ok(PVec {
@@ -189,8 +189,11 @@ mod tests {
     use super::*;
     use ntadoc_pmem::{DeviceProfile, SimDevice};
 
-    fn pool() -> Rc<PmemPool> {
-        Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22))))
+    fn pool() -> Arc<PmemPool> {
+        Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 22,
+        ))))
     }
 
     #[test]
@@ -289,8 +292,10 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_surfaces_as_error() {
-        let small =
-            Rc::new(PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 64))));
+        let small = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            64,
+        ))));
         let v: PVec<u64> = PVec::with_capacity(small, 4).unwrap();
         for i in 0..4u64 {
             v.push(i).unwrap();

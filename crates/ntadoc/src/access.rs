@@ -9,7 +9,7 @@
 //! top-level prefix sums, then descend only into the rules that overlap
 //! the requested window. The data is never decompressed as a whole.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_grammar::{Compressed, Symbol};
 use ntadoc_pmem::{AllocLedger, DeviceProfile, PmemPool, SimDevice};
@@ -34,7 +34,7 @@ use crate::Result;
 /// assert_eq!(acc.extract(0, 1, 2), vec!["beta", "gamma"]);
 /// ```
 pub struct Accessor {
-    dev: Rc<SimDevice>,
+    dev: Arc<SimDevice>,
     dag: DagPool,
     /// Per file: top-level symbols of its `R0` segment.
     segments: Vec<Vec<Symbol>>,
@@ -53,9 +53,9 @@ impl Accessor {
             + (comp.grammar.rule_count() + comp.dict.len()) * 128
             + (1 << 20))
             .next_power_of_two();
-        let dev = Rc::new(SimDevice::new(profile, capacity));
-        let ledger = Rc::new(AllocLedger::new());
-        let pool = Rc::new(PmemPool::over_whole(dev.clone()).with_ledger(ledger));
+        let dev = Arc::new(SimDevice::new(profile, capacity));
+        let ledger = Arc::new(AllocLedger::new());
+        let pool = Arc::new(PmemPool::over_whole(dev.clone()).with_ledger(ledger));
         let info = head_tail_info(&comp.grammar, 1);
         let dag = DagPool::build(
             pool,
@@ -106,7 +106,7 @@ impl Accessor {
     }
 
     /// The device the accessor runs on (stats inspection).
-    pub fn dev(&self) -> &Rc<SimDevice> {
+    pub fn dev(&self) -> &Arc<SimDevice> {
         &self.dev
     }
 

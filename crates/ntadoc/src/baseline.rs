@@ -8,9 +8,10 @@
 //! full scan. The same persistence strategies as the compressed engines
 //! apply, so Figure 5 compares like with like.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use ntadoc_grammar::Compressed;
 use ntadoc_nstruct::PHashTable;
@@ -35,7 +36,7 @@ const BASE_TX_BATCH: usize = 4096;
 
 /// Uncompressed (dictionary-encoded) scan engine.
 pub struct UncompressedEngine {
-    comp: Rc<Compressed>,
+    comp: Arc<Compressed>,
     cfg: EngineConfig,
     profile: DeviceProfile,
     /// Raw text size, charged as the init disk read (uncompressed input
@@ -48,27 +49,65 @@ pub struct UncompressedEngine {
     pub last_report: Option<RunReport>,
 }
 
-impl UncompressedEngine {
-    /// Build the baseline for the same corpus a compressed engine uses.
-    pub fn new(comp: &Compressed, cfg: EngineConfig, profile: DeviceProfile) -> Self {
-        let raw_bytes = Engine::uncompressed_bytes(comp);
+/// Builder for [`UncompressedEngine`], mirroring [`Engine::builder`].
+pub struct UncompressedEngineBuilder {
+    comp: Arc<Compressed>,
+    cfg: EngineConfig,
+    profile: DeviceProfile,
+}
+
+impl UncompressedEngineBuilder {
+    /// Set the engine configuration (default: [`EngineConfig::ntadoc`]).
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the device profile (default: Optane NVM, the Figure 5 setup).
+    pub fn profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Build the baseline engine.
+    pub fn build(self) -> UncompressedEngine {
+        let raw_bytes = Engine::uncompressed_bytes(&self.comp);
         let mut tokens = Vec::new();
-        for s in comp.grammar.expand_symbols() {
+        for s in self.comp.grammar.expand_symbols() {
             tokens.push(if s.is_sep() { SEP } else { s.payload() });
         }
         UncompressedEngine {
-            comp: Rc::new(comp.clone()),
-            cfg,
-            profile,
+            comp: self.comp,
+            cfg: self.cfg,
+            profile: self.profile,
             raw_bytes,
             tokens,
             last_report: None,
         }
     }
+}
+
+impl UncompressedEngine {
+    /// Start building a baseline for the same corpus a compressed engine
+    /// uses. Accepts an owned [`Compressed`] or a shared `Arc<Compressed>`.
+    pub fn builder(comp: impl Into<Arc<Compressed>>) -> UncompressedEngineBuilder {
+        UncompressedEngineBuilder {
+            comp: comp.into(),
+            cfg: EngineConfig::ntadoc(),
+            profile: DeviceProfile::nvm_optane(),
+        }
+    }
+
+    /// Build the baseline for the same corpus a compressed engine uses.
+    #[deprecated(note = "use `UncompressedEngine::builder(comp).config(cfg).profile(p).build()`")]
+    pub fn new(comp: &Compressed, cfg: EngineConfig, profile: DeviceProfile) -> Self {
+        Self::builder(comp.clone()).config(cfg).profile(profile).build()
+    }
 
     /// Baseline on the simulated NVM (the Figure 5 comparator).
+    #[deprecated(note = "use `UncompressedEngine::builder(comp).config(cfg).build()`")]
     pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Self {
-        Self::new(comp, cfg, DeviceProfile::nvm_optane())
+        Self::builder(comp.clone()).config(cfg).build()
     }
 
     /// Number of word tokens (separators excluded).
@@ -102,14 +141,14 @@ impl UncompressedEngine {
     }
 
     fn try_run(&mut self, task: Task, capacity: usize) -> Result<TaskOutput> {
-        let ledger = Rc::new(AllocLedger::new());
-        let dev = Rc::new(SimDevice::new(self.profile.clone(), capacity));
+        let ledger = Arc::new(AllocLedger::new());
+        let dev = Arc::new(SimDevice::new(self.profile.clone(), capacity));
         let scratch_len = (capacity as u64 / 4).max(1 << 20);
         let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
-        let pool = Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
+        let pool = Arc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
         let scratch_base = main_len;
         let txlog = match self.cfg.persistence {
-            Persistence::OperationLevel => Some(Rc::new(RefCell::new(TxLog::new(
+            Persistence::OperationLevel => Some(Arc::new(Mutex::new(TxLog::new(
                 dev.clone(),
                 main_len + scratch_len,
                 LOG_BYTES,
@@ -161,7 +200,7 @@ impl UncompressedEngine {
             n_tokens: self.tokens.len(),
             dict_offsets,
             dict_bytes: dict_bytes_addr,
-            interner: RefCell::new(Interner::default()),
+            interner: Mutex::new(Interner::default()),
             host_dram: Cell::new(0),
             ledger: &ledger,
         };
@@ -174,7 +213,7 @@ impl UncompressedEngine {
             Task::RankedInvertedIndex => run.ranked_inverted_index()?,
         };
         if let Some(tx) = &txlog {
-            let mut tx = tx.borrow_mut();
+            let mut tx = crate::engine::lock(tx);
             if tx.is_active() {
                 tx.commit()?;
             }
@@ -204,18 +243,18 @@ impl UncompressedEngine {
 struct Scan<'a> {
     comp: &'a Compressed,
     cfg: &'a EngineConfig,
-    dev: &'a Rc<SimDevice>,
-    pool: &'a Rc<PmemPool>,
+    dev: &'a Arc<SimDevice>,
+    pool: &'a Arc<PmemPool>,
     scratch_base: Addr,
     scratch_len: u64,
-    txlog: &'a Option<Rc<RefCell<TxLog>>>,
+    txlog: &'a Option<Arc<Mutex<TxLog>>>,
     stream: Addr,
     n_tokens: usize,
     dict_offsets: Addr,
     dict_bytes: Addr,
-    interner: RefCell<Interner>,
+    interner: Mutex<Interner>,
     host_dram: Cell<u64>,
-    ledger: &'a Rc<AllocLedger>,
+    ledger: &'a Arc<AllocLedger>,
 }
 
 const BLOCK: usize = 4096;
@@ -245,8 +284,8 @@ impl<'a> Scan<'a> {
         String::from_utf8(bytes).expect("dictionary strings are UTF-8")
     }
 
-    fn fresh_scratch(&self) -> Rc<PmemPool> {
-        Rc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
+    fn fresh_scratch(&self) -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
     }
 
     /// Standard-library-style growable result counter (the baseline has no
@@ -384,7 +423,7 @@ impl<'a> Scan<'a> {
                 window.remove(0);
             }
             if window.len() == n {
-                let (id, fresh) = self.interner.borrow_mut().intern(&window);
+                let (id, fresh) = crate::engine::lock(&self.interner).intern(&window);
                 if fresh {
                     self.note_dram(n as u64 * 8 + 64);
                 }
@@ -399,7 +438,7 @@ impl<'a> Scan<'a> {
         let counter = self.counter()?;
         self.for_each_ngram(|id, _| counter.add(id as u64, 1))?;
         counter.finish()?;
-        let interner = self.interner.borrow();
+        let interner = crate::engine::lock(&self.interner);
         let mut out = BTreeMap::new();
         for (id, c) in counter.table.entries() {
             let gram: Vec<String> =
@@ -434,7 +473,7 @@ impl<'a> Scan<'a> {
         for t in &per_file {
             t.finish()?;
         }
-        let interner = self.interner.borrow();
+        let interner = crate::engine::lock(&self.interner);
         let mut acc: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
         for (fid, table) in per_file.iter().enumerate() {
             for (id, c) in table.table.entries() {

@@ -19,7 +19,7 @@
 //! pseudo-random order with line-sized gaps, reproducing what a
 //! general-purpose persistent allocator does to locality (§III-B).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_grammar::{Compressed, Symbol};
 use ntadoc_nstruct::HeadTailStore;
@@ -71,8 +71,8 @@ struct MetaBases {
 
 /// The compressed corpus restructured onto a device pool.
 pub struct DagPool {
-    dev: Rc<SimDevice>,
-    pool: Rc<PmemPool>,
+    dev: Arc<SimDevice>,
+    pool: Arc<PmemPool>,
     nrules: usize,
     nfiles: usize,
     meta: MetaBases,
@@ -108,7 +108,7 @@ impl DagPool {
     /// Build the pool from a compressed corpus. All writes are charged to
     /// `pool`'s device.
     pub fn build(
-        pool: Rc<PmemPool>,
+        pool: Arc<PmemPool>,
         comp: &Compressed,
         info: Option<&HeadTailInfo>,
         opts: &DagBuildOptions,
@@ -251,12 +251,12 @@ impl DagPool {
     }
 
     /// Backing device.
-    pub fn dev(&self) -> &Rc<SimDevice> {
+    pub fn dev(&self) -> &Arc<SimDevice> {
         &self.dev
     }
 
     /// Backing pool (word-list caches bump-allocate from it).
-    pub fn pool(&self) -> &Rc<PmemPool> {
+    pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool
     }
 
@@ -418,6 +418,29 @@ impl DagPool {
         String::from_utf8(bytes).expect("dictionary strings are UTF-8")
     }
 
+    /// Read the entire dictionary in two bulk sequential accesses
+    /// (offsets + text) and decode every word string. Serve-mode tasks use
+    /// this instead of [`word_str`](Self::word_str) per word, which would
+    /// issue thousands of tiny device reads under the shared device lock.
+    pub fn all_word_strs(&self) -> Vec<String> {
+        if self.dict_len == 0 {
+            return Vec::new();
+        }
+        let mut offsets = vec![0u8; (self.dict_len + 1) * 8];
+        self.dev.read_bytes(self.dict_offsets, &mut offsets);
+        let offsets: Vec<u64> =
+            offsets.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let total = offsets[self.dict_len] as usize;
+        let mut text = vec![0u8; total.max(1)];
+        self.dev.read_bytes(self.dict_bytes, &mut text[..total.max(1)]);
+        (0..self.dict_len)
+            .map(|i| {
+                let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+                String::from_utf8(text[s..e].to_vec()).expect("dictionary strings are UTF-8")
+            })
+            .collect()
+    }
+
     /// Persist everything allocated so far (end of the init phase under
     /// phase-level persistence).
     pub fn persist_all(&self) {
@@ -441,8 +464,8 @@ mod tests {
     }
 
     fn build(comp: &Compressed, pruned: bool, adjacent: bool) -> DagPool {
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 24));
-        let pool = Rc::new(PmemPool::over_whole(dev));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 24));
+        let pool = Arc::new(PmemPool::over_whole(dev));
         let info = head_tail_info(&comp.grammar, 2);
         let bounds = upper_bounds(&comp.grammar).bounds;
         DagPool::build(

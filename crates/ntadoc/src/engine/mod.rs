@@ -1,11 +1,11 @@
 //! The N-TADOC engine: per-task sessions over a simulated device.
 //!
-//! An [`Engine`] is configured once (corpus + [`EngineConfig`] + device
-//! profile); each [`Engine::run`] executes one benchmark end to end the way
-//! the paper measures it — "from the initialization phase of loading the
-//! dataset to writing the analytics results back to disk" — on a fresh
-//! device, and records a [`RunReport`] with per-phase virtual times and
-//! peak per-device allocation.
+//! An [`Engine`] is configured once through [`Engine::builder`] (corpus +
+//! [`EngineConfig`] + device profile); each [`Engine::run`] executes one
+//! benchmark end to end the way the paper measures it — "from the
+//! initialization phase of loading the dataset to writing the analytics
+//! results back to disk" — on a fresh device, and records a [`RunReport`]
+//! with per-phase virtual times and peak per-device allocation.
 //!
 //! The two phases:
 //!
@@ -19,16 +19,24 @@
 //! Crash recovery follows §IV-E: under phase-level persistence a crash
 //! during traversal loses only the traversal phase — `Session::traverse`
 //! can simply be re-run against the persisted pool (see the recovery tests
-//! in `tests/`).
+//! in `tests/`). [`RetryPolicy`] wires that recovery into the normal run
+//! path for unabsorbed media errors.
+//!
+//! Beyond one-shot runs, [`Engine::serve`] initializes once and keeps the
+//! DAG pool resident; [`ServeSession::run_tasks`] then executes batches of
+//! read-only analytics tasks concurrently against it, joining their device
+//! time deterministically (see `ntadoc_pmem::par`).
 
 mod tasks;
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use ntadoc_grammar::{deserialize_compressed, serialize_compressed, Compressed};
+use ntadoc_grammar::{deserialize_compressed, serialized_len, Compressed};
 use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::par::{lanes_makespan, par_map_timed, virtual_lanes};
 use ntadoc_pmem::{AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog};
 
 use crate::config::{EngineConfig, Persistence, Traversal};
@@ -44,12 +52,148 @@ use crate::Result;
 /// are deduplicated per transaction, as PMDK's `tx_add_range` does).
 const TX_BATCH: usize = 256;
 
+/// Undo-log region size for operation-level persistence.
+const LOG_BYTES: usize = 4 << 20;
+
+/// Lock a mutex, riding through poisoning: engine state is guarded by the
+/// torn-write crash model, not by unwinding writers, so a poisoned lock
+/// carries no extra information here.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What [`Engine::run`] does when a traversal fails with an unabsorbed
+/// [`PmemError::MediaError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryPolicy {
+    /// Surface the error to the caller (default).
+    #[default]
+    Fail,
+    /// §IV-E recovery: roll back any open operation-level transaction and
+    /// re-run the traversal phase from the last checkpoint, up to this
+    /// many times. Every retry's device traffic is charged to the virtual
+    /// clock like any other access.
+    MediaRetries(u32),
+}
+
+/// Fluent constructor for [`Engine`]. Obtain one with [`Engine::builder`].
+///
+/// ```
+/// use ntadoc::{Engine, EngineConfig};
+/// use ntadoc_grammar::{compress_corpus, TokenizerConfig};
+///
+/// let files = vec![("a.txt".into(), "hello persistent world".into())];
+/// let comp = compress_corpus(&files, &TokenizerConfig::default());
+/// let engine = Engine::builder(comp).config(EngineConfig::ntadoc()).build().unwrap();
+/// assert_eq!(engine.label(), "N-TADOC");
+/// ```
+pub struct EngineBuilder {
+    comp: Arc<Compressed>,
+    cfg: EngineConfig,
+    profile: Option<DeviceProfile>,
+    label: Option<String>,
+    retry: RetryPolicy,
+}
+
+impl EngineBuilder {
+    /// Device profile to simulate. Defaults to Optane NVM.
+    pub fn profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Engine configuration. Defaults to [`EngineConfig::ntadoc`].
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Display label for reports. Defaults per device kind and config
+    /// ("N-TADOC", "naive-NVM", "TADOC-DRAM", "N-TADOC-SSD", "N-TADOC-HDD").
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Media-error retry policy honoured by [`Engine::run`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// SSD profile with the paper's memory budget (page cache capped at
+    /// 20% of the uncompressed dataset size).
+    pub fn ssd(self) -> Self {
+        self.block_device(false)
+    }
+
+    /// HDD profile with the paper's memory budget.
+    pub fn hdd(self) -> Self {
+        self.block_device(true)
+    }
+
+    fn block_device(mut self, hdd: bool) -> Self {
+        let budget = (Engine::uncompressed_bytes(&self.comp) / 5).max(1 << 20) as usize;
+        self.profile = Some(if hdd {
+            DeviceProfile::hdd_sas(budget)
+        } else {
+            DeviceProfile::ssd_optane(budget)
+        });
+        self
+    }
+
+    /// Finish construction. Fails on an empty corpus.
+    pub fn build(self) -> Result<Engine> {
+        let EngineBuilder { comp, cfg, profile, label, retry } = self;
+        if comp.file_names.is_empty() {
+            return Err(PmemError::Unsupported(
+                "engines need a corpus with at least one file".into(),
+            ));
+        }
+        let profile = profile.unwrap_or_else(DeviceProfile::nvm_optane);
+        let label = label.unwrap_or_else(|| {
+            match profile.kind {
+                DeviceKind::Dram => "TADOC-DRAM",
+                DeviceKind::Nvm => {
+                    if cfg.pruned {
+                        "N-TADOC"
+                    } else {
+                        "naive-NVM"
+                    }
+                }
+                DeviceKind::Ssd => "N-TADOC-SSD",
+                DeviceKind::Hdd => "N-TADOC-HDD",
+            }
+            .to_string()
+        });
+        let stats = comp.grammar.stats();
+        let bounds = upper_bounds(&comp.grammar).bounds;
+        let vocab = comp.dict.len();
+        let info = head_tail_info(&comp.grammar, 1);
+        let max_exp_nonroot = info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
+        let plan = CapacityPlan {
+            nrules: stats.rule_count,
+            total_symbols: stats.total_symbols,
+            vocab,
+            expanded_words: stats.expanded_words,
+            dict_text: comp.dict.text_bytes(),
+            sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
+            max_exp_nonroot,
+        };
+        // Accounted without materializing the image (it is streamed from
+        // disk at init; the engine only needs its size).
+        let image_bytes = serialized_len(&comp) as u64;
+        Ok(Engine { comp, cfg, profile, label, retry, image_bytes, plan, last_report: None })
+    }
+}
+
 /// Reusable engine: one corpus, one configuration, one device profile.
 pub struct Engine {
-    comp: Rc<Compressed>,
+    comp: Arc<Compressed>,
     cfg: EngineConfig,
     profile: DeviceProfile,
     label: String,
+    retry: RetryPolicy,
     /// Serialized image size (charged as the init disk read).
     image_bytes: u64,
     /// Host-side grammar statistics used for capacity planning only.
@@ -72,71 +216,63 @@ struct CapacityPlan {
 }
 
 impl Engine {
+    /// Start building an engine for `comp` (an owned corpus or a shared
+    /// `Arc<Compressed>` — engines never clone the corpus).
+    pub fn builder(comp: impl Into<Arc<Compressed>>) -> EngineBuilder {
+        EngineBuilder {
+            comp: comp.into(),
+            cfg: EngineConfig::ntadoc(),
+            profile: None,
+            label: None,
+            retry: RetryPolicy::Fail,
+        }
+    }
+
+    /// Start building an engine straight from a serialized corpus image,
+    /// as a restart after a crash would do. A torn, truncated or
+    /// bit-flipped image is rejected with [`PmemError::CorruptImage`] —
+    /// the engine never comes up over garbage.
+    pub fn builder_from_image(image: &[u8]) -> Result<EngineBuilder> {
+        let comp =
+            deserialize_compressed(image).map_err(|e| PmemError::CorruptImage(e.to_string()))?;
+        Ok(Self::builder(comp))
+    }
+
     /// Create an engine for `comp` with config `cfg` on a device with the
     /// given profile.
+    #[deprecated(note = "use Engine::builder(comp).config(cfg).profile(profile).label(..)")]
     pub fn with_profile(
         comp: &Compressed,
         cfg: EngineConfig,
         profile: DeviceProfile,
         label: impl Into<String>,
     ) -> Result<Self> {
-        let stats = comp.grammar.stats();
-        let bounds = upper_bounds(&comp.grammar).bounds;
-        let vocab = comp.dict.len();
-        let info = head_tail_info(&comp.grammar, 1);
-        let max_exp_nonroot = info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
-        let plan = CapacityPlan {
-            nrules: stats.rule_count,
-            total_symbols: stats.total_symbols,
-            vocab,
-            expanded_words: stats.expanded_words,
-            dict_text: comp.dict.text_bytes(),
-            sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
-            max_exp_nonroot,
-        };
-        assert!(!comp.file_names.is_empty(), "engines need a corpus with at least one file");
-        let image_bytes = serialize_compressed(comp).len() as u64;
-        Ok(Engine {
-            comp: Rc::new(comp.clone()),
-            cfg,
-            profile,
-            label: label.into(),
-            image_bytes,
-            plan,
-            last_report: None,
-        })
+        Self::builder(comp.clone()).config(cfg).profile(profile).label(label).build()
     }
 
     /// N-TADOC-style engine on the simulated Optane NVM.
+    #[deprecated(note = "use Engine::builder(comp).config(cfg).build()")]
     pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
-        let label = if cfg.pruned { "N-TADOC" } else { "naive-NVM" };
-        Self::with_profile(comp, cfg, DeviceProfile::nvm_optane(), label)
+        Self::builder(comp.clone()).config(cfg).build()
     }
 
-    /// N-TADOC engine built straight from a serialized corpus image, as a
-    /// restart after a crash would do. A torn, truncated or bit-flipped
-    /// image is rejected with [`PmemError::CorruptImage`] — the engine
-    /// never comes up over garbage.
+    /// N-TADOC engine built straight from a serialized corpus image.
+    #[deprecated(note = "use Engine::builder_from_image(image)?.config(cfg).build()")]
     pub fn on_nvm_image(image: &[u8], cfg: EngineConfig) -> Result<Self> {
-        let comp =
-            deserialize_compressed(image).map_err(|e| PmemError::CorruptImage(e.to_string()))?;
-        Self::on_nvm(&comp, cfg)
+        Self::builder_from_image(image)?.config(cfg).build()
     }
 
     /// Engine on pure DRAM (the TADOC upper bound of Figure 6).
+    #[deprecated(note = "use Engine::builder(comp).config(cfg).profile(DeviceProfile::dram())")]
     pub fn on_dram(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
-        Self::with_profile(comp, cfg, DeviceProfile::dram(), "TADOC-DRAM")
+        Self::builder(comp.clone()).config(cfg).profile(DeviceProfile::dram()).build()
     }
 
-    /// Engine on an SSD/HDD profile with the paper's memory budget (page
-    /// cache capped at 20% of the uncompressed dataset size).
+    /// Engine on an SSD/HDD profile with the paper's memory budget.
+    #[deprecated(note = "use Engine::builder(comp).config(cfg).ssd() (or .hdd())")]
     pub fn on_block_device(comp: &Compressed, cfg: EngineConfig, hdd: bool) -> Result<Self> {
-        let uncompressed = Self::uncompressed_bytes(comp);
-        let budget = (uncompressed / 5).max(1 << 20) as usize;
-        let profile =
-            if hdd { DeviceProfile::hdd_sas(budget) } else { DeviceProfile::ssd_optane(budget) };
-        let label = if hdd { "N-TADOC-HDD" } else { "N-TADOC-SSD" };
-        Self::with_profile(comp, cfg, profile, label)
+        let b = Self::builder(comp.clone()).config(cfg);
+        if hdd { b.hdd() } else { b.ssd() }.build()
     }
 
     /// Size of the corpus as uncompressed dictionary-encoded text.
@@ -158,8 +294,14 @@ impl Engine {
         &self.label
     }
 
-    /// Run one benchmark end to end; retries with a doubled device if the
-    /// initial capacity estimate was too small.
+    /// The engine's media-error retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Run one benchmark end to end under the engine's [`RetryPolicy`];
+    /// retries with a doubled device if the initial capacity estimate was
+    /// too small.
     pub fn run(&mut self, task: Task) -> Result<TaskOutput> {
         let mut capacity = self.estimate_capacity(task);
         loop {
@@ -173,61 +315,65 @@ impl Engine {
     }
 
     fn try_run(&mut self, task: Task, capacity: usize) -> Result<TaskOutput> {
-        let mut session = self.start_with_capacity(task, capacity)?;
-        let out = session.traverse()?;
+        let mut session = self.session_with_capacity(task, capacity, false)?;
+        let out = session.execute()?;
         self.last_report = Some(session.report());
         Ok(out)
     }
 
-    /// Like [`run`](Self::run), but surviving media faults: when a
-    /// traversal fails with a [`PmemError::MediaError`] that the device's
-    /// own bounded retries could not absorb, fall back to the §IV-E
-    /// recovery path — roll back any open operation-level transaction and
-    /// re-run the phase from the last checkpoint — up to `max_retries`
-    /// times before giving up. Every retry's device traffic is charged to
-    /// the virtual clock like any other access.
+    /// Like [`run`](Self::run) with [`RetryPolicy::MediaRetries`].
+    #[deprecated(note = "set RetryPolicy::MediaRetries on the builder and call Engine::run")]
     pub fn run_resilient(&mut self, task: Task, max_retries: u32) -> Result<TaskOutput> {
+        let prev = self.retry;
+        self.retry = RetryPolicy::MediaRetries(max_retries);
+        let out = self.run(task);
+        self.retry = prev;
+        out
+    }
+
+    /// Run only the initialization phase, returning the live [`Session`].
+    /// [`Session::execute`] then runs the traversal phase under the
+    /// engine's retry policy (crash tests drive [`Session::traverse`] and
+    /// [`Session::recover`] directly instead).
+    pub fn session(&self, task: Task) -> Result<Session> {
+        self.session_with_capacity(task, self.estimate_capacity(task), false)
+    }
+
+    /// Deprecated alias of [`session`](Self::session).
+    #[deprecated(note = "use Engine::session")]
+    pub fn start(&self, task: Task) -> Result<Session> {
+        self.session(task)
+    }
+
+    /// Build-once/serve-many mode: run the initialization phase once,
+    /// keeping the DAG pool and its per-rule word-list caches resident,
+    /// and return a handle that executes batches of read-only tasks
+    /// concurrently against them ([`ServeSession::run_tasks`]).
+    ///
+    /// Serving requires the pruned configuration: the read-only task paths
+    /// are merges over the §IV-B per-rule word-list caches. Sequence tasks
+    /// are not servable — their caches share storage with the word lists
+    /// and are rebuilt per run — so a serve session answers word count,
+    /// sort, term vector and inverted index.
+    pub fn serve(&self) -> Result<ServeSession> {
+        if !self.cfg.pruned {
+            return Err(PmemError::Unsupported(
+                "serve mode requires the pruned configuration (per-rule word-list caches)".into(),
+            ));
+        }
+        // Plan for the widest servable task so the word-list caches and
+        // file-oriented structures all fit.
+        let task = Task::InvertedIndex;
         let mut capacity = self.estimate_capacity(task);
         loop {
-            match self.try_run_resilient(task, capacity, max_retries) {
+            match self.session_with_capacity(task, capacity, true) {
                 Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
                     capacity *= 2;
                 }
-                other => return other,
-            }
-        }
-    }
-
-    fn try_run_resilient(
-        &mut self,
-        task: Task,
-        capacity: usize,
-        max_retries: u32,
-    ) -> Result<TaskOutput> {
-        let mut session = self.start_with_capacity(task, capacity)?;
-        let mut attempts = 0u32;
-        let out = loop {
-            match session.traverse() {
-                Ok(out) => break out,
-                Err(PmemError::MediaError { .. }) if attempts < max_retries => {
-                    // Phase re-run: a successful rewrite re-programs the
-                    // faulted cells, so result regions heal; a fault
-                    // pinned on read-only data keeps failing and exhausts
-                    // the attempts.
-                    attempts += 1;
-                    session.recover()?;
-                }
+                Ok(session) => return Ok(ServeSession { session }),
                 Err(e) => return Err(e),
             }
-        };
-        self.last_report = Some(session.report());
-        Ok(out)
-    }
-
-    /// Run only the initialization phase, returning the live [`Session`]
-    /// (used by recovery tests and by `run`).
-    pub fn start(&self, task: Task) -> Result<Session> {
-        self.start_with_capacity(task, self.estimate_capacity(task))
+        }
     }
 
     /// Scratch region sizing: the largest transient hash table, times the
@@ -271,20 +417,25 @@ impl Engine {
         total as usize
     }
 
-    fn start_with_capacity(&self, task: Task, capacity: usize) -> Result<Session> {
-        let ledger = Rc::new(AllocLedger::new());
-        let dev = Rc::new(SimDevice::new(self.profile.clone(), capacity));
+    fn session_with_capacity(
+        &self,
+        task: Task,
+        capacity: usize,
+        serve_mode: bool,
+    ) -> Result<Session> {
+        let ledger = Arc::new(AllocLedger::new());
+        let dev = Arc::new(SimDevice::new(self.profile.clone(), capacity));
         // Scratch scales with the device so capacity-doubling retries also
         // relieve scratch exhaustion.
         let scratch_len = self.scratch_bytes(task).max(capacity as u64 / 4);
         let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
-        let pool = Rc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
+        let pool = Arc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
         let scratch_base = main_len;
         let log_base = main_len + scratch_len;
 
         let txlog = match self.cfg.persistence {
             Persistence::OperationLevel => {
-                Some(Rc::new(RefCell::new(TxLog::new(dev.clone(), log_base, LOG_BYTES))))
+                Some(Arc::new(Mutex::new(TxLog::new(dev.clone(), log_base, LOG_BYTES))))
             }
             _ => None,
         };
@@ -302,20 +453,19 @@ impl Engine {
             dag: None,
             topo: Vec::new(),
             topo_pos: Vec::new(),
-            host_dram: Cell::new(0),
+            host_dram: AtomicU64::new(0),
             init_ns: 0,
-            trav_ns: Cell::new(0),
+            trav_ns: AtomicU64::new(0),
             engine_label: self.label.clone(),
-            interner: RefCell::new(Interner::default()),
+            interner: Mutex::new(Interner::default()),
             image_bytes: self.image_bytes,
+            retry: self.retry,
+            serve_mode,
         };
         session.init()?;
         Ok(session)
     }
 }
-
-/// Undo-log region size for operation-level persistence.
-const LOG_BYTES: usize = 4 << 20;
 
 /// Host-side n-gram interner (CPU-side sequence dictionary; its DRAM
 /// footprint is ledger-tracked, which is why sequence tasks show the
@@ -346,27 +496,31 @@ impl Interner {
 
 /// A single task run: the device, pools and DAG built by the init phase.
 pub struct Session {
-    pub(crate) comp: Rc<Compressed>,
+    pub(crate) comp: Arc<Compressed>,
     pub(crate) cfg: EngineConfig,
     pub(crate) task: Task,
-    pub(crate) dev: Rc<SimDevice>,
-    pub(crate) ledger: Rc<AllocLedger>,
-    pub(crate) pool: Rc<PmemPool>,
+    pub(crate) dev: Arc<SimDevice>,
+    pub(crate) ledger: Arc<AllocLedger>,
+    pub(crate) pool: Arc<PmemPool>,
     scratch_base: u64,
     scratch_len: u64,
-    pub(crate) txlog: Option<Rc<RefCell<TxLog>>>,
+    pub(crate) txlog: Option<Arc<Mutex<TxLog>>>,
     pub(crate) dag: Option<DagPool>,
     /// Rules in topological order (host-resident, DRAM-ledgered).
     pub(crate) topo: Vec<u32>,
     /// `topo_pos[r]` = position of rule `r` in `topo`.
     pub(crate) topo_pos: Vec<u32>,
     /// Running total of host-side DRAM bytes (ledgered).
-    host_dram: Cell<u64>,
+    host_dram: AtomicU64,
     init_ns: u64,
-    trav_ns: Cell<u64>,
+    trav_ns: AtomicU64,
     engine_label: String,
-    pub(crate) interner: RefCell<Interner>,
+    pub(crate) interner: Mutex<Interner>,
     image_bytes: u64,
+    retry: RetryPolicy,
+    /// Serve sessions build word-list caches unconditionally and restrict
+    /// traversal to the read-only cache-backed paths.
+    pub(crate) serve_mode: bool,
 }
 
 impl Session {
@@ -391,24 +545,30 @@ impl Session {
     /// Record host-side DRAM allocation (RSS proxy bookkeeping).
     pub(crate) fn note_dram(&self, bytes: u64) {
         self.ledger.on_alloc(DeviceKind::Dram, bytes);
-        self.host_dram.set(self.host_dram.get() + bytes);
+        self.host_dram.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record host-side DRAM release.
     pub(crate) fn drop_dram(&self, bytes: u64) {
         self.ledger.on_free(DeviceKind::Dram, bytes);
-        self.host_dram.set(self.host_dram.get().saturating_sub(bytes));
+        let _ = self
+            .host_dram
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
     }
 
     /// A fresh scratch pool over the dedicated scratch region (transient
     /// hash tables; reset wholesale on each call).
-    pub(crate) fn fresh_scratch(&self) -> Rc<PmemPool> {
-        Rc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
+    pub(crate) fn fresh_scratch(&self) -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
     }
 
     /// Effective traversal strategy for this task (§VI-E's Auto policy:
-    /// bottom-up for file-oriented tasks over many files).
+    /// bottom-up for file-oriented tasks over many files). Serve sessions
+    /// are always bottom-up: the read-only paths are cache merges.
     pub(crate) fn strategy(&self) -> Traversal {
+        if self.serve_mode {
+            return Traversal::BottomUp;
+        }
         match self.cfg.traversal {
             Traversal::Auto => {
                 if self.task.is_file_oriented() && self.dag().nfiles() >= 64 {
@@ -423,6 +583,9 @@ impl Session {
 
     /// Whether word-list (or sequence-list) caches are built during init.
     fn needs_caches(&self) -> bool {
+        if self.serve_mode {
+            return true;
+        }
         match self.task {
             Task::TermVector | Task::InvertedIndex => {
                 matches!(self.strategy_for_planning(), Traversal::BottomUp)
@@ -434,6 +597,9 @@ impl Session {
 
     /// `strategy()` without requiring the DAG (used during init planning).
     fn strategy_for_planning(&self) -> Traversal {
+        if self.serve_mode {
+            return Traversal::BottomUp;
+        }
         match self.cfg.traversal {
             Traversal::Auto => {
                 if self.task.is_file_oriented() && self.comp.file_count() >= 64 {
@@ -466,7 +632,8 @@ impl Session {
         let total_syms: usize = self.comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
         self.charge_items(total_syms as u64);
 
-        // 3. Bottom-up summation for container pre-sizing (§IV-C).
+        // 3. Bottom-up summation for container pre-sizing (§IV-C),
+        // parallel per dependency level (see `summation`).
         let bounds = if self.cfg.presize {
             let vocab = self.comp.dict.len() as u64;
             let b = upper_bounds(&self.comp.grammar);
@@ -518,9 +685,8 @@ impl Session {
         // 7. Per-rule caches for bottom-up traversal.
         if self.needs_caches() {
             match self.task {
-                Task::TermVector | Task::InvertedIndex => self.build_wordlist_caches()?,
                 Task::RankedInvertedIndex => self.build_seqlist_caches()?,
-                _ => unreachable!(),
+                _ => self.build_wordlist_caches()?,
             }
         }
 
@@ -534,9 +700,32 @@ impl Session {
         Ok(())
     }
 
-    /// The graph-traversal phase. Re-runnable: under phase-level
-    /// persistence, a crash during traversal recovers by calling this
-    /// again on the persisted pool.
+    /// The graph-traversal phase under the engine's [`RetryPolicy`]: the
+    /// unified entry point for an initialized session.
+    pub fn execute(&mut self) -> Result<TaskOutput> {
+        let max = match self.retry {
+            RetryPolicy::Fail => 0,
+            RetryPolicy::MediaRetries(n) => n,
+        };
+        let mut attempts = 0u32;
+        loop {
+            match self.traverse() {
+                Err(PmemError::MediaError { .. }) if attempts < max => {
+                    // Phase re-run: a successful rewrite re-programs the
+                    // faulted cells, so result regions heal; a fault
+                    // pinned on read-only data keeps failing and exhausts
+                    // the attempts.
+                    attempts += 1;
+                    self.recover()?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The graph-traversal phase, one attempt. Re-runnable: under
+    /// phase-level persistence, a crash during traversal recovers by
+    /// calling this again on the persisted pool.
     pub fn traverse(&mut self) -> Result<TaskOutput> {
         let out = match self.task {
             Task::WordCount => self.task_word_count()?,
@@ -548,7 +737,7 @@ impl Session {
         };
         // Close any open operation-level transaction.
         if let Some(tx) = &self.txlog {
-            let mut tx = tx.borrow_mut();
+            let mut tx = lock(tx);
             if tx.is_active() {
                 tx.commit()?;
             }
@@ -558,11 +747,11 @@ impl Session {
             self.pool.persist_used();
         }
         self.dev.charge_ns(self.cfg.cost.disk_read_ns(out.approx_bytes()));
-        self.trav_ns.set(self.dev.stats().virtual_ns - self.init_ns);
+        self.trav_ns.store(self.dev.stats().virtual_ns - self.init_ns, Ordering::Relaxed);
         Ok(out)
     }
 
-    /// Measurement report for this session (after `traverse`).
+    /// Measurement report for this session (after `execute`/`traverse`).
     pub fn report(&self) -> RunReport {
         let kind = self.dev.profile().kind;
         RunReport {
@@ -570,7 +759,7 @@ impl Session {
             engine: self.engine_label.clone(),
             device: self.dev.profile().name.to_string(),
             init_ns: self.init_ns,
-            traversal_ns: self.trav_ns.get(),
+            traversal_ns: self.trav_ns.load(Ordering::Relaxed),
             dram_peak_bytes: self.ledger.peak(DeviceKind::Dram),
             device_peak_bytes: if kind == DeviceKind::Dram {
                 self.ledger.peak(DeviceKind::Dram)
@@ -583,7 +772,7 @@ impl Session {
     }
 
     /// The session's device (stats inspection, fault injection in tests).
-    pub fn device(&self) -> &Rc<SimDevice> {
+    pub fn device(&self) -> &Arc<SimDevice> {
         &self.dev
     }
 
@@ -605,7 +794,7 @@ impl Session {
     /// caller then re-runs `traverse` (restart from the phase checkpoint).
     pub fn recover(&mut self) -> Result<()> {
         if let Some(tx) = &self.txlog {
-            tx.borrow_mut().recover()?;
+            lock(tx).recover()?;
         }
         Ok(())
     }
@@ -630,7 +819,7 @@ impl Session {
     /// phase boundary will flush it wholesale.
     pub(crate) fn op_guard(&self, addr: u64, len: usize) -> Result<()> {
         if let Some(tx) = &self.txlog {
-            let mut tx = tx.borrow_mut();
+            let mut tx = lock(tx);
             if !tx.is_active() {
                 tx.begin()?;
             }
@@ -688,12 +877,49 @@ impl Session {
     }
 }
 
+/// A build-once/serve-many session: the init phase has run, the DAG pool
+/// and word-list caches are resident, and batches of read-only tasks run
+/// concurrently against them. Created by [`Engine::serve`].
+///
+/// Each task in a batch executes on its own worker with deferred device
+/// accounting; the batch's virtual time advances by the deterministic
+/// virtual-lane makespan, so reported time is identical for any
+/// `RAYON_NUM_THREADS` (see `ntadoc_pmem::par`).
+pub struct ServeSession {
+    session: Session,
+}
+
+impl ServeSession {
+    /// Execute a batch of read-only tasks concurrently, returning outputs
+    /// in task order. Servable tasks: word count, sort, term vector,
+    /// inverted index; anything else fails with
+    /// [`PmemError::Unsupported`].
+    pub fn run_tasks(&self, tasks: &[Task]) -> Result<Vec<TaskOutput>> {
+        let (results, item_ns) = par_map_timed(tasks, |_, &t| self.session.serve_task(t));
+        self.session.dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
+        self.session
+            .trav_ns
+            .store(self.session.dev.stats().virtual_ns - self.session.init_ns, Ordering::Relaxed);
+        results.into_iter().collect()
+    }
+
+    /// Measurement report (init time plus all batches served so far).
+    pub fn report(&self) -> RunReport {
+        self.session.report()
+    }
+
+    /// The underlying device (stats inspection in tests and benches).
+    pub fn device(&self) -> &Arc<SimDevice> {
+        self.session.device()
+    }
+}
+
 /// Counter table wired to the persistence strategy: under operation-level
 /// persistence every update is undo-logged and transactions commit every
 /// [`TX_BATCH`] updates.
 pub(crate) struct TxCounter {
     pub table: PHashTable,
-    tx: Option<Rc<RefCell<TxLog>>>,
+    tx: Option<Arc<Mutex<TxLog>>>,
     pending: Cell<usize>,
     batch: usize,
 }
@@ -703,7 +929,7 @@ impl TxCounter {
     /// persistence) committing every `batch` updates. The batch is the
     /// "operation": one rule interpretation for the compressed engines,
     /// one I/O block for the scan baseline.
-    pub(crate) fn new(table: PHashTable, tx: Option<Rc<RefCell<TxLog>>>, batch: usize) -> Self {
+    pub(crate) fn new(table: PHashTable, tx: Option<Arc<Mutex<TxLog>>>, batch: usize) -> Self {
         TxCounter { table, tx, pending: Cell::new(0), batch }
     }
 
@@ -712,7 +938,7 @@ impl TxCounter {
         match &self.tx {
             None => self.table.add(key, delta),
             Some(tx) => {
-                let mut tx = tx.borrow_mut();
+                let mut tx = lock(tx);
                 if !tx.is_active() {
                     tx.begin()?;
                 }
@@ -744,7 +970,7 @@ impl TxCounter {
     /// Commit any open transaction (end of a traversal loop).
     pub fn finish(&self) -> Result<()> {
         if let Some(tx) = &self.tx {
-            let mut tx = tx.borrow_mut();
+            let mut tx = lock(tx);
             if tx.is_active() {
                 tx.commit()?;
             }

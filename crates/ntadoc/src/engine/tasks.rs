@@ -8,12 +8,13 @@
 
 use ntadoc_grammar::Symbol;
 use ntadoc_nstruct::PVec;
+use ntadoc_pmem::{par, PmemError};
 
 use crate::config::Traversal;
 use crate::result::{Task, TaskOutput};
 use crate::Result;
 
-use super::Session;
+use super::{lock, Session};
 
 /// One element of the stitched "junction stream" a rule is scanned as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,47 +192,85 @@ impl Session {
         out
     }
 
+    /// Non-root rules grouped into bottom-up dependency levels: a rule's
+    /// subrules always sit in strictly earlier levels, so the rules of one
+    /// level can be processed concurrently once the previous levels are
+    /// done. Within a level, rules keep their reverse-topological order.
+    pub(crate) fn bottomup_levels(&self) -> Vec<Vec<u32>> {
+        let n = self.topo.len();
+        let mut depth = vec![0u32; n];
+        for &r in self.topo.iter().rev() {
+            let mut d = 0u32;
+            for s in self.comp.grammar.rules[r as usize].subrules() {
+                d = d.max(depth[s as usize] + 1);
+            }
+            depth[r as usize] = d;
+        }
+        let maxd = depth.iter().copied().max().unwrap_or(0) as usize;
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); maxd + 1];
+        for &r in self.topo.iter().rev() {
+            if r != 0 {
+                levels[depth[r as usize] as usize].push(r);
+            }
+        }
+        levels
+    }
+
     /// Build per-rule word-list caches bottom-up (the preprocessing the
     /// paper describes for dataset B): every rule's full `(word, count)`
     /// list, stored id-sorted and packed in the pool.
     ///
     /// The pruned (N-TADOC) configuration accumulates by sorted-list
-    /// merging with pool regions pre-sized from the §IV-C bounds; the
-    /// naive configuration accumulates through growable hash tables
-    /// ("methods unchanged"), paying reconstruction storms.
+    /// merging with pool regions pre-sized from the §IV-C bounds, fanning
+    /// each dependency level out across workers (levels are barriers;
+    /// every rule's merge lands in a private buffer, and the level's
+    /// device time joins as the deterministic virtual-lane makespan). The
+    /// stores stay sequential in level order, so pool layout and results
+    /// are identical for any worker count. The naive configuration
+    /// accumulates through growable hash tables ("methods unchanged") in
+    /// the shared scratch region, paying reconstruction storms — it stays
+    /// sequential by construction.
     pub(crate) fn build_wordlist_caches(&self) -> Result<()> {
+        if self.cfg.pruned {
+            for level in self.bottomup_levels() {
+                let (merged, item_ns) = par::par_map_timed(&level, |_, &r| {
+                    let extra: std::collections::BTreeMap<u32, u64> =
+                        self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
+                    let mut lists = Vec::new();
+                    for (s, f) in self.subs_of(r) {
+                        let sub_list = self.dag().wordlist(s);
+                        self.charge_items(sub_list.len() as u64);
+                        lists.push((sub_list, f as u64));
+                    }
+                    self.merge_counts(lists, extra)
+                });
+                self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
+                for (&r, entries) in level.iter().zip(&merged) {
+                    let (addr, len) = self.dag().store_wordlist(r, entries)?;
+                    self.op_guard(addr, len)?;
+                }
+            }
+            return Ok(());
+        }
         for &r in self.topo.iter().rev() {
             if r == 0 {
                 continue;
             }
-            let entries: Vec<(u32, u64)> = if self.cfg.pruned {
-                let extra: std::collections::BTreeMap<u32, u64> =
-                    self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
-                let mut lists = Vec::new();
-                for (s, f) in self.subs_of(r) {
-                    let sub_list = self.dag().wordlist(s);
-                    self.charge_items(sub_list.len() as u64);
-                    lists.push((sub_list, f as u64));
+            let expected = if self.cfg.presize { self.dag().wl_bound(r) as usize } else { 8 };
+            let table = self.scratch_counter(expected)?;
+            for (w, f) in self.words_of(r) {
+                table.add(w as u64, f as u64)?;
+            }
+            for (s, f) in self.subs_of(r) {
+                let sub_list = self.dag().wordlist(s);
+                self.charge_items(sub_list.len() as u64);
+                for (wid, c) in sub_list {
+                    table.add(wid as u64, c * f as u64)?;
                 }
-                self.merge_counts(lists, extra)
-            } else {
-                let expected = if self.cfg.presize { self.dag().wl_bound(r) as usize } else { 8 };
-                let table = self.scratch_counter(expected)?;
-                for (w, f) in self.words_of(r) {
-                    table.add(w as u64, f as u64)?;
-                }
-                for (s, f) in self.subs_of(r) {
-                    let sub_list = self.dag().wordlist(s);
-                    self.charge_items(sub_list.len() as u64);
-                    for (wid, c) in sub_list {
-                        table.add(wid as u64, c * f as u64)?;
-                    }
-                }
-                let mut e: Vec<(u32, u64)> =
-                    table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect();
-                e.sort_unstable_by_key(|x| x.0);
-                e
-            };
+            }
+            let mut entries: Vec<(u32, u64)> =
+                table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect();
+            entries.sort_unstable_by_key(|x| x.0);
             let (addr, len) = self.dag().store_wordlist(r, &entries)?;
             self.op_guard(addr, len)?;
         }
@@ -496,7 +535,7 @@ impl Session {
                 }
             }
             if valid && crosses {
-                let (id, fresh) = self.interner.borrow_mut().intern(&words);
+                let (id, fresh) = lock(&self.interner).intern(&words);
                 if fresh {
                     self.note_dram(words.len() as u64 * 8 + 64);
                 }
@@ -509,29 +548,49 @@ impl Session {
     /// Build per-rule *sequence-list* caches (the bottom-up analogue of
     /// word lists, used by ranked inverted index): each rule's complete
     /// `(n-gram id, count)` table for its expansion.
+    ///
+    /// The pruned path fans out per dependency level like
+    /// [`build_wordlist_caches`]; n-gram ids come from the shared
+    /// interner, whose assignment order may vary with scheduling, but
+    /// every downstream consumer keys results on the interned *strings*,
+    /// and per-rule costs are id-independent, so outputs and virtual time
+    /// stay deterministic.
     pub(crate) fn build_seqlist_caches(&self) -> Result<()> {
+        if self.cfg.pruned {
+            for level in self.bottomup_levels() {
+                let (merged, item_ns) = par::par_map_timed(&level, |_, &r| -> Result<_> {
+                    let body = self.dag().body(r);
+                    let stream = self.junction_stream(&body);
+                    // Junction windows into a small working map, children
+                    // via sorted-list merge.
+                    let mut extra = std::collections::BTreeMap::new();
+                    self.scan_junction_windows(&stream, |id| {
+                        *extra.entry(id).or_insert(0u64) += 1;
+                        Ok(())
+                    })?;
+                    let mut lists = Vec::new();
+                    for (s, f) in self.subs_of(r) {
+                        let list = self.dag().wordlist(s); // reused as seq list
+                        self.charge_items(list.len() as u64);
+                        lists.push((list, f as u64));
+                    }
+                    Ok(self.merge_counts(lists, extra))
+                });
+                self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
+                for (&r, entries) in level.iter().zip(merged) {
+                    let (addr, len) = self.dag().store_wordlist(r, &entries?)?;
+                    self.op_guard(addr, len)?;
+                }
+            }
+            return Ok(());
+        }
         for &r in self.topo.iter().rev() {
             if r == 0 {
                 continue;
             }
             let body = self.dag().body(r);
             let stream = self.junction_stream(&body);
-            let entries: Vec<(u32, u64)> = if self.cfg.pruned {
-                // N-TADOC: junction windows into a small working map,
-                // children via sorted-list merge.
-                let mut extra = std::collections::BTreeMap::new();
-                self.scan_junction_windows(&stream, |id| {
-                    *extra.entry(id).or_insert(0u64) += 1;
-                    Ok(())
-                })?;
-                let mut lists = Vec::new();
-                for (s, f) in self.subs_of(r) {
-                    let list = self.dag().wordlist(s); // reused as seq list
-                    self.charge_items(list.len() as u64);
-                    lists.push((list, f as u64));
-                }
-                self.merge_counts(lists, extra)
-            } else {
+            let entries: Vec<(u32, u64)> = {
                 // Naive: everything through a growable hash table.
                 let table = self.scratch_counter_soft(8)?;
                 self.scan_junction_windows(&stream, |id| table.add(id as u64, 1))?;
@@ -604,7 +663,7 @@ impl Session {
         if self.cfg.persistence != crate::config::Persistence::None {
             result.persist();
         }
-        let interner = self.interner.borrow();
+        let interner = lock(&self.interner);
         let mut out = std::collections::BTreeMap::new();
         for (id, c) in totals {
             let gram: Vec<String> =
@@ -665,7 +724,7 @@ impl Session {
         if self.cfg.persistence != crate::config::Persistence::None {
             triples.persist();
         }
-        let interner = self.interner.borrow();
+        let interner = lock(&self.interner);
         let mut out = std::collections::BTreeMap::new();
         for (sid, mut files) in acc {
             self.charge_sort(files.len() as u64);
@@ -679,6 +738,87 @@ impl Session {
             out.insert(gram, ranked);
         }
         Ok(TaskOutput::RankedInvertedIndex(out))
+    }
+
+    // ====================================================================
+    // serve mode (read-only, cache-backed)
+    // ====================================================================
+
+    /// Execute one read-only task against the resident DAG pool and its
+    /// word-list caches. No device state is mutated — no weight
+    /// propagation, no result-structure allocation — so any number of
+    /// serve tasks can run concurrently; outputs go straight back to the
+    /// caller (a query-server response, not a persisted result).
+    pub(crate) fn serve_task(&self, task: Task) -> Result<TaskOutput> {
+        debug_assert!(self.serve_mode, "serve_task is only valid on serve sessions");
+        match task {
+            Task::WordCount => self.serve_word_count(),
+            Task::Sort => self.serve_sort(),
+            Task::TermVector => self.serve_term_vector(),
+            Task::InvertedIndex => self.serve_inverted_index(),
+            t => Err(PmemError::Unsupported(format!(
+                "task '{t}' is not servable: sequence-list caches share storage with \
+                 word lists and are rebuilt per run"
+            ))),
+        }
+    }
+
+    /// Corpus-wide `(word id, count)` via the read-only bottom-up path:
+    /// merge every file segment's cached word lists.
+    fn serve_counts(&self) -> Result<Vec<(u32, u64)>> {
+        let tables = self.per_file_word_tables()?;
+        let lists = tables.into_iter().map(|t| (t, 1u64)).collect();
+        Ok(self.merge_counts(lists, std::collections::BTreeMap::new()))
+    }
+
+    fn serve_word_count(&self) -> Result<TaskOutput> {
+        let counts = self.serve_counts()?;
+        let words = self.dag().all_word_strs();
+        let out = counts.into_iter().map(|(wid, c)| (words[wid as usize].clone(), c)).collect();
+        Ok(TaskOutput::WordCount(out))
+    }
+
+    fn serve_sort(&self) -> Result<TaskOutput> {
+        let counts = self.serve_counts()?;
+        let words = self.dag().all_word_strs();
+        let mut rows: Vec<(String, u64)> =
+            counts.into_iter().map(|(wid, c)| (words[wid as usize].clone(), c)).collect();
+        self.charge_sort(rows.len() as u64);
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(TaskOutput::Sort(rows))
+    }
+
+    fn serve_term_vector(&self) -> Result<TaskOutput> {
+        let tables = self.per_file_word_tables()?;
+        let words = self.dag().all_word_strs();
+        let k = self.cfg.top_k;
+        let mut out = Vec::with_capacity(tables.len());
+        for (fid, mut entries) in tables.into_iter().enumerate() {
+            self.charge_sort(entries.len() as u64);
+            entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            entries.truncate(k);
+            let top: Vec<(String, u64)> =
+                entries.into_iter().map(|(wid, c)| (words[wid as usize].clone(), c)).collect();
+            out.push((self.comp.file_names[fid].clone(), top));
+        }
+        Ok(TaskOutput::TermVector(out))
+    }
+
+    fn serve_inverted_index(&self) -> Result<TaskOutput> {
+        let tables = self.per_file_word_tables()?;
+        let words = self.dag().all_word_strs();
+        let mut out: std::collections::BTreeMap<String, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for (fid, mut entries) in tables.into_iter().enumerate() {
+            entries.sort_unstable_by_key(|e| e.0);
+            self.charge_sort(entries.len() as u64);
+            for (wid, _) in entries {
+                out.entry(words[wid as usize].clone())
+                    .or_default()
+                    .push(self.comp.file_names[fid].clone());
+            }
+        }
+        Ok(TaskOutput::InvertedIndex(out))
     }
 
     /// Expose the task for integration tests.

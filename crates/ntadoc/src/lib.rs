@@ -38,10 +38,15 @@
 //!     ("b.txt".into(), "to be or not to be whether tis nobler".into()),
 //! ];
 //! let comp = compress_corpus(&files, &TokenizerConfig::default());
-//! let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+//! let mut engine = Engine::builder(comp).config(EngineConfig::ntadoc()).build().unwrap();
 //! let out = engine.run(Task::WordCount).unwrap();
 //! assert_eq!(out.word_counts().unwrap().get("be"), Some(&4));
 //! ```
+//!
+//! For repeated analytics over one corpus, build once and serve many:
+//! [`Engine::serve`] keeps the initialized DAG pool resident and
+//! [`engine::ServeSession::run_tasks`] executes batches of read-only tasks
+//! concurrently (wall-clock parallel, virtual time deterministic).
 
 pub mod access;
 pub mod baseline;
@@ -53,12 +58,12 @@ pub mod result;
 pub mod summation;
 
 pub use access::Accessor;
-pub use baseline::UncompressedEngine;
+pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
-pub use engine::Engine;
+pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession};
 pub use report::RunReport;
-pub use result::{Task, TaskOutput};
-pub use summation::{head_tail_info, upper_bounds, SummationResult};
+pub use result::{OutputMismatch, Task, TaskOutput};
+pub use summation::{head_tail_info, topo_levels, upper_bounds, SummationResult};
 
 /// Crate-level result alias; all fallible paths surface `ntadoc-pmem`
 /// errors (pool exhaustion, transaction misuse).

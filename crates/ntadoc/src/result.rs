@@ -68,6 +68,24 @@ impl std::fmt::Display for Task {
 /// `(file, top-k (word, count))` rows of a term-vector result.
 pub type FileTermVectors = [(String, Vec<(String, u64)>)];
 
+/// Error returned by [`TaskOutput`]'s typed accessors when the output
+/// belongs to a different task than the accessor asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputMismatch {
+    /// The task whose output the accessor expected.
+    pub expected: Task,
+    /// The task that actually produced this output.
+    pub got: Task,
+}
+
+impl std::fmt::Display for OutputMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected a '{}' output but this run produced '{}'", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for OutputMismatch {}
+
 /// `n-gram → ranked (file, count)` postings of a ranked inverted index.
 pub type RankedPostings = BTreeMap<Vec<String>, Vec<(String, u64)>>;
 
@@ -102,51 +120,55 @@ impl TaskOutput {
         }
     }
 
-    /// Borrow as word counts, if that is what this is.
-    pub fn word_counts(&self) -> Option<&BTreeMap<String, u64>> {
+    fn mismatch(&self, expected: Task) -> OutputMismatch {
+        OutputMismatch { expected, got: self.task() }
+    }
+
+    /// Borrow as word counts; a descriptive [`OutputMismatch`] otherwise.
+    pub fn word_counts(&self) -> Result<&BTreeMap<String, u64>, OutputMismatch> {
         match self {
-            TaskOutput::WordCount(m) => Some(m),
-            _ => None,
+            TaskOutput::WordCount(m) => Ok(m),
+            other => Err(other.mismatch(Task::WordCount)),
         }
     }
 
     /// Borrow as sorted counts.
-    pub fn sorted(&self) -> Option<&[(String, u64)]> {
+    pub fn sorted(&self) -> Result<&[(String, u64)], OutputMismatch> {
         match self {
-            TaskOutput::Sort(v) => Some(v),
-            _ => None,
+            TaskOutput::Sort(v) => Ok(v),
+            other => Err(other.mismatch(Task::Sort)),
         }
     }
 
     /// Borrow as term vectors.
-    pub fn term_vectors(&self) -> Option<&FileTermVectors> {
+    pub fn term_vectors(&self) -> Result<&FileTermVectors, OutputMismatch> {
         match self {
-            TaskOutput::TermVector(v) => Some(v),
-            _ => None,
+            TaskOutput::TermVector(v) => Ok(v),
+            other => Err(other.mismatch(Task::TermVector)),
         }
     }
 
     /// Borrow as an inverted index.
-    pub fn inverted_index(&self) -> Option<&BTreeMap<String, Vec<String>>> {
+    pub fn inverted_index(&self) -> Result<&BTreeMap<String, Vec<String>>, OutputMismatch> {
         match self {
-            TaskOutput::InvertedIndex(m) => Some(m),
-            _ => None,
+            TaskOutput::InvertedIndex(m) => Ok(m),
+            other => Err(other.mismatch(Task::InvertedIndex)),
         }
     }
 
     /// Borrow as sequence counts.
-    pub fn sequence_counts(&self) -> Option<&BTreeMap<Vec<String>, u64>> {
+    pub fn sequence_counts(&self) -> Result<&BTreeMap<Vec<String>, u64>, OutputMismatch> {
         match self {
-            TaskOutput::SequenceCount(m) => Some(m),
-            _ => None,
+            TaskOutput::SequenceCount(m) => Ok(m),
+            other => Err(other.mismatch(Task::SequenceCount)),
         }
     }
 
     /// Borrow as a ranked inverted index.
-    pub fn ranked_inverted_index(&self) -> Option<&RankedPostings> {
+    pub fn ranked_inverted_index(&self) -> Result<&RankedPostings, OutputMismatch> {
         match self {
-            TaskOutput::RankedInvertedIndex(m) => Some(m),
-            _ => None,
+            TaskOutput::RankedInvertedIndex(m) => Ok(m),
+            other => Err(other.mismatch(Task::RankedInvertedIndex)),
         }
     }
 
@@ -205,8 +227,10 @@ mod tests {
     fn output_task_round_trips() {
         let out = TaskOutput::WordCount(BTreeMap::new());
         assert_eq!(out.task(), Task::WordCount);
-        assert!(out.word_counts().is_some());
-        assert!(out.sorted().is_none());
+        assert!(out.word_counts().is_ok());
+        let err = out.sorted().unwrap_err();
+        assert_eq!(err, OutputMismatch { expected: Task::Sort, got: Task::WordCount });
+        assert_eq!(err.to_string(), "expected a 'sort' output but this run produced 'word count'");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! first/last `width` expanded words in one bottom-up pass.
 
 use ntadoc_grammar::Grammar;
+use ntadoc_pmem::par;
 
 /// Output of the bottom-up summation.
 #[derive(Debug, Clone)]
@@ -29,44 +30,50 @@ impl SummationResult {
     }
 }
 
-/// Algorithm 2: bottom-up upper-bound summation, iteratively (the paper
+/// Rules grouped into bottom-up dependency levels: level 0 holds leaf
+/// rules; a rule sits one level above its deepest subrule. Every rule's
+/// subrules live in strictly earlier levels, so the rules of one level are
+/// independent and can be processed concurrently, with levels as barriers.
+/// Within a level, rules keep reverse-topological order.
+pub fn topo_levels(grammar: &Grammar) -> Vec<Vec<u32>> {
+    let order = grammar.topo_order();
+    let n = grammar.rule_count();
+    let mut depth = vec![0u32; n];
+    for &r in order.iter().rev() {
+        let mut d = 0u32;
+        for s in grammar.rules[r as usize].subrules() {
+            d = d.max(depth[s as usize] + 1);
+        }
+        depth[r as usize] = d;
+    }
+    let maxd = depth.iter().copied().max().unwrap_or(0) as usize;
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); maxd + 1];
+    for &r in order.iter().rev() {
+        levels[depth[r as usize] as usize].push(r);
+    }
+    levels
+}
+
+/// Algorithm 2: bottom-up upper-bound summation, level by level (the paper
 /// presents it recursively; grammars from big corpora are deep enough to
-/// warrant an explicit stack).
+/// warrant the iterative form, and the rules of one level fan out across
+/// workers — each reads only earlier levels' bounds, so the result is
+/// identical for any worker count).
 pub fn upper_bounds(grammar: &Grammar) -> SummationResult {
     let n = grammar.rule_count();
-    let mut bounds = vec![u64::MAX; n]; // MAX = "not determined"
-    let mut stack: Vec<u32> = Vec::new();
-    for start in 0..n as u32 {
-        if bounds[start as usize] != u64::MAX {
-            continue;
-        }
-        stack.push(start);
-        while let Some(&r) = stack.last() {
-            if bounds[r as usize] != u64::MAX {
-                stack.pop();
-                continue;
-            }
-            // First ensure every subrule is determined.
-            let mut ready = true;
-            for s in grammar.rules[r as usize].subrules() {
-                if bounds[s as usize] == u64::MAX {
-                    stack.push(s);
-                    ready = false;
-                }
-            }
-            if !ready {
-                continue;
-            }
-            // Lines 6-8: sum subrule bounds (per occurrence) plus own
-            // distinct word count.
-            let rule = &grammar.rules[r as usize];
+    let mut bounds = vec![0u64; n];
+    for level in topo_levels(grammar) {
+        // Lines 6-8: sum subrule bounds (per occurrence) plus own
+        // distinct word count.
+        let level_bounds = par::par_map(&level, |_, &r| {
             let mut l: u64 = 0;
-            for s in rule.subrules() {
+            for s in grammar.rules[r as usize].subrules() {
                 l += bounds[s as usize];
             }
-            l += distinct_words(grammar, r) as u64;
-            bounds[r as usize] = l;
-            stack.pop();
+            l + distinct_words(grammar, r) as u64
+        });
+        for (&r, b) in level.iter().zip(level_bounds) {
+            bounds[r as usize] = b;
         }
     }
     SummationResult { bounds }
@@ -97,64 +104,70 @@ pub struct HeadTailInfo {
 }
 
 /// Compute expansion lengths and head/tail word buffers of width `width`
-/// for every rule, bottom-up (children before parents via reverse
-/// topological order).
+/// for every rule, bottom-up (children before parents, one dependency
+/// level at a time; the rules of a level fan out across workers reading
+/// only earlier levels' buffers, so the result is identical for any
+/// worker count).
 pub fn head_tail_info(grammar: &Grammar, width: usize) -> HeadTailInfo {
     let n = grammar.rule_count();
-    let order = grammar.topo_order();
     let mut exp_len = vec![0u64; n];
     let mut heads: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut tails: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for &r in order.iter().rev() {
-        let mut len = 0u64;
-        let mut head: Vec<u32> = Vec::with_capacity(width);
-        for s in &grammar.rules[r as usize].symbols {
-            if s.is_sep() {
-                continue;
-            }
-            if s.is_word() {
-                len += 1;
-                if head.len() < width {
-                    head.push(s.payload());
+    for level in topo_levels(grammar) {
+        let computed = par::par_map(&level, |_, &r| {
+            let mut len = 0u64;
+            let mut head: Vec<u32> = Vec::with_capacity(width);
+            for s in &grammar.rules[r as usize].symbols {
+                if s.is_sep() {
+                    continue;
                 }
-            } else {
-                let c = s.payload() as usize;
-                len += exp_len[c];
-                for &w in &heads[c] {
+                if s.is_word() {
+                    len += 1;
                     if head.len() < width {
-                        head.push(w);
-                    } else {
-                        break;
+                        head.push(s.payload());
+                    }
+                } else {
+                    let c = s.payload() as usize;
+                    len += exp_len[c];
+                    for &w in &heads[c] {
+                        if head.len() < width {
+                            head.push(w);
+                        } else {
+                            break;
+                        }
                     }
                 }
             }
-        }
-        // Tail: walk backwards.
-        let mut tail_rev: Vec<u32> = Vec::with_capacity(width);
-        for s in grammar.rules[r as usize].symbols.iter().rev() {
-            if tail_rev.len() >= width {
-                break;
-            }
-            if s.is_sep() {
-                continue;
-            }
-            if s.is_word() {
-                tail_rev.push(s.payload());
-            } else {
-                let c = s.payload() as usize;
-                for &w in tails[c].iter().rev() {
-                    if tail_rev.len() < width {
-                        tail_rev.push(w);
-                    } else {
-                        break;
+            // Tail: walk backwards.
+            let mut tail_rev: Vec<u32> = Vec::with_capacity(width);
+            for s in grammar.rules[r as usize].symbols.iter().rev() {
+                if tail_rev.len() >= width {
+                    break;
+                }
+                if s.is_sep() {
+                    continue;
+                }
+                if s.is_word() {
+                    tail_rev.push(s.payload());
+                } else {
+                    let c = s.payload() as usize;
+                    for &w in tails[c].iter().rev() {
+                        if tail_rev.len() < width {
+                            tail_rev.push(w);
+                        } else {
+                            break;
+                        }
                     }
                 }
             }
+            tail_rev.reverse();
+            (len, head, tail_rev)
+        });
+        for (&r, (len, head, tail)) in level.iter().zip(computed) {
+            exp_len[r as usize] = len;
+            heads[r as usize] = head;
+            tails[r as usize] = tail;
         }
-        tail_rev.reverse();
-        exp_len[r as usize] = len;
-        heads[r as usize] = head;
-        tails[r as usize] = tail_rev;
     }
     HeadTailInfo { exp_len, heads, tails }
 }
@@ -262,6 +275,41 @@ mod tests {
         let info = head_tail_info(&g, 3);
         assert_eq!(info.exp_len[0], 2);
         assert_eq!(info.heads[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn topo_levels_put_children_strictly_earlier() {
+        let g = fig1();
+        let levels = topo_levels(&g);
+        let mut level_of = vec![0usize; g.rule_count()];
+        for (d, level) in levels.iter().enumerate() {
+            for &r in level {
+                level_of[r as usize] = d;
+            }
+        }
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, g.rule_count());
+        for r in 0..g.rule_count() as u32 {
+            for s in g.rules[r as usize].subrules() {
+                assert!(level_of[s as usize] < level_of[r as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn level_parallel_results_match_any_worker_count() {
+        let g = fig1();
+        let base_b = upper_bounds(&g).bounds.clone();
+        let base_i = head_tail_info(&g, 3);
+        for t in [1, 2, 8] {
+            ntadoc_pmem::par::with_threads(t, || {
+                assert_eq!(upper_bounds(&g).bounds, base_b);
+                let i = head_tail_info(&g, 3);
+                assert_eq!(i.exp_len, base_i.exp_len);
+                assert_eq!(i.heads, base_i.heads);
+                assert_eq!(i.tails, base_i.tails);
+            });
+        }
     }
 
     #[test]

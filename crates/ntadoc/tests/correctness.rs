@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 
 use ntadoc::{Engine, EngineConfig, Task, TaskOutput, Traversal, UncompressedEngine};
 use ntadoc_grammar::{compress_corpus, Compressed, TokenizerConfig};
+use ntadoc_pmem::DeviceProfile;
 
 const NGRAM: usize = 3;
 const TOP_K: usize = 10;
@@ -189,28 +190,37 @@ fn run_all_tasks(label: &str, mut engine: Engine, comp: &Compressed) {
 #[test]
 fn ntadoc_on_nvm_matches_oracle() {
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    let engine =
+        Engine::builder(comp.clone()).config(cfg_with(EngineConfig::ntadoc())).build().unwrap();
     run_all_tasks("ntadoc-nvm", engine, &comp);
 }
 
 #[test]
 fn ntadoc_oplevel_matches_oracle() {
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc_oplevel())).unwrap();
+    let engine = Engine::builder(comp.clone())
+        .config(cfg_with(EngineConfig::ntadoc_oplevel()))
+        .build()
+        .unwrap();
     run_all_tasks("ntadoc-oplevel", engine, &comp);
 }
 
 #[test]
 fn naive_on_nvm_matches_oracle() {
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::naive())).unwrap();
+    let engine =
+        Engine::builder(comp.clone()).config(cfg_with(EngineConfig::naive())).build().unwrap();
     run_all_tasks("naive-nvm", engine, &comp);
 }
 
 #[test]
 fn tadoc_on_dram_matches_oracle() {
     let comp = corpus();
-    let engine = Engine::on_dram(&comp, cfg_with(EngineConfig::tadoc_dram())).unwrap();
+    let engine = Engine::builder(comp.clone())
+        .config(cfg_with(EngineConfig::tadoc_dram()))
+        .profile(DeviceProfile::dram())
+        .build()
+        .unwrap();
     run_all_tasks("tadoc-dram", engine, &comp);
 }
 
@@ -218,7 +228,8 @@ fn tadoc_on_dram_matches_oracle() {
 fn ntadoc_on_ssd_and_hdd_match_oracle() {
     let comp = corpus();
     for hdd in [false, true] {
-        let engine = Engine::on_block_device(&comp, cfg_with(EngineConfig::ntadoc()), hdd).unwrap();
+        let b = Engine::builder(comp.clone()).config(cfg_with(EngineConfig::ntadoc()));
+        let engine = if hdd { b.hdd() } else { b.ssd() }.build().unwrap();
         run_all_tasks(if hdd { "ntadoc-hdd" } else { "ntadoc-ssd" }, engine, &comp);
     }
 }
@@ -226,7 +237,8 @@ fn ntadoc_on_ssd_and_hdd_match_oracle() {
 #[test]
 fn uncompressed_baseline_matches_oracle() {
     let comp = corpus();
-    let mut engine = UncompressedEngine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc()));
+    let mut engine =
+        UncompressedEngine::builder(comp.clone()).config(cfg_with(EngineConfig::ntadoc())).build();
     for task in Task::ALL {
         let out = engine.run(task).unwrap();
         check(&out, &comp, task, "uncompressed");
@@ -238,7 +250,7 @@ fn forced_topdown_matches_oracle() {
     let comp = corpus();
     let mut cfg = cfg_with(EngineConfig::ntadoc());
     cfg.traversal = Traversal::TopDown;
-    let engine = Engine::on_nvm(&comp, cfg).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg).build().unwrap();
     run_all_tasks("ntadoc-topdown", engine, &comp);
 }
 
@@ -247,7 +259,7 @@ fn forced_bottomup_matches_oracle() {
     let comp = corpus();
     let mut cfg = cfg_with(EngineConfig::ntadoc());
     cfg.traversal = Traversal::BottomUp;
-    let engine = Engine::on_nvm(&comp, cfg).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg).build().unwrap();
     // Bottom-up applies to the file tasks; others use global weights.
     run_all_tasks("ntadoc-bottomup", engine, &comp);
 }
@@ -258,7 +270,8 @@ fn single_file_corpus_works() {
         &[("only.txt".into(), "alpha beta gamma alpha beta gamma delta".into())],
         &TokenizerConfig::default(),
     );
-    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    let engine =
+        Engine::builder(comp.clone()).config(cfg_with(EngineConfig::ntadoc())).build().unwrap();
     run_all_tasks("single-file", engine, &comp);
 }
 
@@ -274,6 +287,7 @@ fn tiny_files_corpus_works() {
         ],
         &TokenizerConfig::default(),
     );
-    let engine = Engine::on_nvm(&comp, cfg_with(EngineConfig::ntadoc())).unwrap();
+    let engine =
+        Engine::builder(comp.clone()).config(cfg_with(EngineConfig::ntadoc())).build().unwrap();
     run_all_tasks("tiny-files", engine, &comp);
 }

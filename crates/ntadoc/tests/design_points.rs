@@ -13,7 +13,7 @@ fn corpus() -> Compressed {
 }
 
 fn run(comp: &Compressed, cfg: EngineConfig, task: Task) -> ntadoc::RunReport {
-    let mut e = Engine::on_nvm(comp, cfg).unwrap();
+    let mut e = Engine::builder(comp.clone()).config(cfg).build().unwrap();
     e.run(task).unwrap();
     e.last_report.unwrap()
 }

@@ -7,8 +7,8 @@
 //! of growing. A bump allocator is therefore not a simplification — it is
 //! the allocation discipline the system is designed around.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::device::{Addr, SimDevice};
 use crate::error::PmemError;
@@ -17,12 +17,16 @@ use crate::profile::DeviceKind;
 use crate::Result;
 
 /// A contiguous region of a device handed out in bump-allocated chunks.
+///
+/// The bump pointer is atomic, so a pool shared through an `Arc` can be
+/// allocated from by concurrent workers (the compare-and-swap loop keeps
+/// chunks disjoint).
 pub struct PmemPool {
-    dev: Rc<SimDevice>,
+    dev: Arc<SimDevice>,
     base: Addr,
     end: Addr,
-    top: Cell<Addr>,
-    ledger: Option<Rc<AllocLedger>>,
+    top: AtomicU64,
+    ledger: Option<Arc<AllocLedger>>,
 }
 
 impl PmemPool {
@@ -30,31 +34,31 @@ impl PmemPool {
     ///
     /// # Panics
     /// Panics if the region exceeds the device capacity.
-    pub fn new(dev: Rc<SimDevice>, base: Addr, len: u64) -> Self {
+    pub fn new(dev: Arc<SimDevice>, base: Addr, len: u64) -> Self {
         assert!(
             base + len <= dev.capacity(),
             "pool [{base:#x}, {:#x}) exceeds device capacity {:#x}",
             base + len,
             dev.capacity()
         );
-        PmemPool { dev, base, end: base + len, top: Cell::new(base), ledger: None }
+        PmemPool { dev, base, end: base + len, top: AtomicU64::new(base), ledger: None }
     }
 
     /// Create a pool spanning an entire freshly created device.
-    pub fn over_whole(dev: Rc<SimDevice>) -> Self {
+    pub fn over_whole(dev: Arc<SimDevice>) -> Self {
         let cap = dev.capacity();
         Self::new(dev, 0, cap)
     }
 
     /// Attach an allocation ledger; every subsequent `alloc` is recorded
     /// under the device's kind.
-    pub fn with_ledger(mut self, ledger: Rc<AllocLedger>) -> Self {
+    pub fn with_ledger(mut self, ledger: Arc<AllocLedger>) -> Self {
         self.ledger = Some(ledger);
         self
     }
 
     /// The device backing this pool.
-    pub fn dev(&self) -> &Rc<SimDevice> {
+    pub fn dev(&self) -> &Arc<SimDevice> {
         &self.dev
     }
 
@@ -66,19 +70,27 @@ impl PmemPool {
     /// Allocate `size` bytes aligned to `align` (a power of two).
     pub fn alloc(&self, size: usize, align: u64) -> Result<Addr> {
         debug_assert!(align.is_power_of_two());
-        let aligned = (self.top.get() + align - 1) & !(align - 1);
-        let new_top = aligned + size as u64;
-        if new_top > self.end {
-            return Err(PmemError::PoolExhausted {
-                requested: size,
-                available: self.end.saturating_sub(self.top.get()),
-            });
+        let mut top = self.top.load(Ordering::Relaxed);
+        loop {
+            let aligned = (top + align - 1) & !(align - 1);
+            let new_top = aligned + size as u64;
+            if new_top > self.end {
+                return Err(PmemError::PoolExhausted {
+                    requested: size,
+                    available: self.end.saturating_sub(top),
+                });
+            }
+            match self.top.compare_exchange_weak(top, new_top, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    if let Some(ledger) = &self.ledger {
+                        ledger.on_alloc(self.kind(), size as u64);
+                    }
+                    return Ok(aligned);
+                }
+                Err(actual) => top = actual,
+            }
         }
-        self.top.set(new_top);
-        if let Some(ledger) = &self.ledger {
-            ledger.on_alloc(self.kind(), size as u64);
-        }
-        Ok(aligned)
     }
 
     /// Allocate room for `n` values of `ITEM_SIZE` bytes, aligned to the
@@ -94,17 +106,17 @@ impl PmemPool {
 
     /// Current bump pointer.
     pub fn top(&self) -> Addr {
-        self.top.get()
+        self.top.load(Ordering::Relaxed)
     }
 
     /// Bytes handed out so far (including alignment padding).
     pub fn used(&self) -> u64 {
-        self.top.get() - self.base
+        self.top() - self.base
     }
 
     /// Bytes still available.
     pub fn remaining(&self) -> u64 {
-        self.end - self.top.get()
+        self.end - self.top()
     }
 
     /// Release everything (the pool forgets its allocations; contents stay).
@@ -112,7 +124,7 @@ impl PmemPool {
         if let Some(ledger) = &self.ledger {
             ledger.on_free(self.kind(), self.used());
         }
-        self.top.set(self.base);
+        self.top.store(self.base, Ordering::Relaxed);
     }
 
     /// Flush + fence the entire used region (phase-level persistence of a
@@ -129,7 +141,7 @@ impl std::fmt::Debug for PmemPool {
         f.debug_struct("PmemPool")
             .field("base", &self.base)
             .field("end", &self.end)
-            .field("top", &self.top.get())
+            .field("top", &self.top())
             .finish()
     }
 }
@@ -140,7 +152,7 @@ mod tests {
     use crate::profile::DeviceProfile;
 
     fn pool(cap: usize) -> PmemPool {
-        PmemPool::over_whole(Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), cap)))
+        PmemPool::over_whole(Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), cap)))
     }
 
     #[test]
@@ -186,8 +198,8 @@ mod tests {
 
     #[test]
     fn ledger_records_peak() {
-        let ledger = Rc::new(AllocLedger::new());
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1024));
+        let ledger = Arc::new(AllocLedger::new());
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1024));
         let p = PmemPool::over_whole(dev).with_ledger(ledger.clone());
         p.alloc(100, 1).unwrap();
         p.alloc(100, 1).unwrap();

@@ -31,8 +31,10 @@
 //! the virtual clock per attempt; exhaustion and uncorrectable reads
 //! surface as [`PmemError::MediaError`] through the `try_*` entry points.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::cache::{AccessOutcome, LineCache};
 use crate::error::PmemError;
@@ -74,6 +76,61 @@ enum MediaFault {
 /// Panic message used for injected crash faults; harnesses match on it to
 /// distinguish scheduled crashes from real bugs.
 pub const CRASH_PANIC: &str = "injected device fault";
+
+thread_local! {
+    /// When set, virtual-time charges from this thread are routed to the
+    /// pointed-at sink instead of the device's global clock (see
+    /// [`with_deferred_charges`]).
+    static DEFERRED_SINK: Cell<*const AtomicU64> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Run `f` with every virtual-time charge issued by *this thread* routed
+/// into `sink` instead of the global device clock.
+///
+/// This is the device half of the deterministic parallel-time model: a
+/// parallel runner executes each work item inside `with_deferred_charges`
+/// so the item's cost is captured independently of scheduling, then joins
+/// the per-item costs into one clock advance at the barrier (the makespan
+/// over a fixed number of virtual lanes — see [`crate::par`]). While a
+/// sink is installed, accesses are charged under a *streaming* cost model
+/// (first line at full latency, subsequent lines of the same access at
+/// sequential bandwidth) and bypass the line cache, like non-temporal
+/// loads/stores; this keeps both the cost and the cache state independent
+/// of thread interleaving, so the reported virtual time is identical for
+/// any worker count.
+pub fn with_deferred_charges<R>(sink: &AtomicU64, f: impl FnOnce() -> R) -> R {
+    struct Restore(*const AtomicU64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEFERRED_SINK.with(|c| c.set(self.0));
+        }
+    }
+    let prev = DEFERRED_SINK.with(|c| c.replace(sink as *const AtomicU64));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Route `ns` to the thread's deferred sink if one is installed.
+/// Returns `false` when no sink is active (charge globally instead).
+fn deferred_charge(ns: u64) -> bool {
+    DEFERRED_SINK.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            false
+        } else {
+            // SAFETY: the pointer was installed by `with_deferred_charges`,
+            // whose sink reference outlives the closure (and therefore this
+            // call); the guard restores the previous value on exit/unwind.
+            unsafe { (*p).fetch_add(ns, Ordering::Relaxed) };
+            true
+        }
+    })
+}
+
+/// Whether this thread is inside a [`with_deferred_charges`] region.
+fn deferred_active() -> bool {
+    DEFERRED_SINK.with(|c| !c.get().is_null())
+}
 
 struct Inner {
     data: Vec<u8>,
@@ -117,12 +174,27 @@ struct Inner {
 
 /// A simulated storage device. See the module docs for the model.
 ///
-/// All methods take `&self`; the mutable state is behind a `RefCell`, which
-/// keeps the device shareable between pools, engines and persistence
-/// helpers in single-threaded experiment code.
+/// All methods take `&self`; the mutable state sits behind a `Mutex`, so
+/// the device is `Send + Sync` and can be shared between pools, engines,
+/// persistence helpers, and worker threads. Injected crash panics release
+/// the lock before unwinding, and the lock recovers from poisoning (a
+/// panicking test thread must not wedge the device for the harness that
+/// catches the unwind).
 pub struct SimDevice {
     profile: DeviceProfile,
-    inner: RefCell<Inner>,
+    inner: RwLock<Inner>,
+    /// Read counters accumulated by the shared-lock deferred read path;
+    /// drained into [`AccessStats`] whenever the stats are observed.
+    deferred_reads: DeferredReadCounters,
+}
+
+/// Counters for reads served under the shared lock (deferred regions):
+/// those paths cannot mutate [`Inner::stats`], so they accumulate here.
+#[derive(Default)]
+struct DeferredReadCounters {
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    line_misses: AtomicU64,
 }
 
 impl SimDevice {
@@ -132,7 +204,8 @@ impl SimDevice {
         let cache = LineCache::new(profile.cache_bytes, profile.line_size, profile.cache_ways);
         SimDevice {
             profile,
-            inner: RefCell::new(Inner {
+            deferred_reads: DeferredReadCounters::default(),
+            inner: RwLock::new(Inner {
                 data: vec![0; capacity],
                 cache,
                 stats: AccessStats::default(),
@@ -151,6 +224,26 @@ impl SimDevice {
         }
     }
 
+    /// Acquire the state lock, recovering from poisoning: an injected
+    /// crash panic that unwound through a caller must leave the device
+    /// usable for the recovery path that catches the unwind.
+    fn lock(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire the state lock shared, recovering from poisoning. Used by
+    /// the deferred read path, which never mutates device state.
+    fn read_lock(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fold the shared-path read counters into the exclusive stats.
+    fn drain_deferred_reads(&self, inner: &mut Inner) {
+        inner.stats.reads += self.deferred_reads.reads.swap(0, Ordering::Relaxed);
+        inner.stats.bytes_read += self.deferred_reads.bytes_read.swap(0, Ordering::Relaxed);
+        inner.stats.line_misses += self.deferred_reads.line_misses.swap(0, Ordering::Relaxed);
+    }
+
     /// The cost profile this device was built with.
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
@@ -158,22 +251,38 @@ impl SimDevice {
 
     /// Device capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.borrow().data.len() as u64
+        self.lock().data.len() as u64
     }
 
     /// Snapshot of the accumulated counters.
     pub fn stats(&self) -> AccessStats {
-        self.inner.borrow().stats
+        let mut inner = self.lock();
+        self.drain_deferred_reads(&mut inner);
+        inner.stats
     }
 
     /// Reset the counters (not the contents).
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().stats = AccessStats::default();
+        let mut inner = self.lock();
+        self.drain_deferred_reads(&mut inner);
+        inner.stats = AccessStats::default();
     }
 
     /// Charge extra model time, e.g. CPU work modeled by higher layers.
+    /// Inside a [`with_deferred_charges`] region the time lands in the
+    /// thread's sink instead of the global clock.
     pub fn charge_ns(&self, ns: u64) {
-        self.inner.borrow_mut().stats.virtual_ns += ns;
+        if !deferred_charge(ns) {
+            self.lock().stats.virtual_ns += ns;
+        }
+    }
+
+    /// Charge `ns` while already holding the state lock, honouring a
+    /// deferred sink when one is installed on this thread.
+    fn charge(inner: &mut Inner, ns: u64) {
+        if !deferred_charge(ns) {
+            inner.stats.virtual_ns += ns;
+        }
     }
 
     #[inline]
@@ -216,18 +325,29 @@ impl SimDevice {
         let retry_cost = self.profile.write_back_ns();
         let mut attempts = 0u32;
         for line in first..=last {
+            let mut retries_here = 0u64;
+            let mut exhausted = false;
+            let mut healed = false;
             if let Some(MediaFault::TransientWrite { remaining }) = inner.faults.get_mut(&line) {
                 while *remaining > 0 && attempts < inner.retry_limit {
                     *remaining -= 1;
                     attempts += 1;
-                    inner.stats.media_retries += 1;
-                    inner.stats.virtual_ns += retry_cost;
+                    retries_here += 1;
                 }
                 if *remaining > 0 {
-                    return Err(PmemError::MediaError {
-                        addr: line * self.profile.line_size as u64,
-                    });
+                    exhausted = true;
+                } else {
+                    healed = true;
                 }
+            }
+            if retries_here > 0 {
+                inner.stats.media_retries += retries_here;
+                Self::charge(inner, retry_cost * retries_here);
+            }
+            if exhausted {
+                return Err(PmemError::MediaError { addr: line * self.profile.line_size as u64 });
+            }
+            if healed {
                 inner.faults.remove(&line);
             }
         }
@@ -249,6 +369,31 @@ impl SimDevice {
         let write_back = self.profile.write_back_ns();
         let write_seq = self.profile.write_seq_ns();
         let hit = self.profile.hit_ns;
+        if deferred_active() {
+            // Parallel-region accesses use a streaming (non-temporal) cost
+            // model: the first line pays full latency, the rest of the
+            // access streams at bandwidth, and the line cache is bypassed
+            // entirely. Cost and cache state therefore do not depend on
+            // how worker threads interleave.
+            let nlines = last - first + 1;
+            if write {
+                for line in first..=last {
+                    if !inner.undurable.contains_key(&line) {
+                        let start = (line as usize) * line_size;
+                        let stop = (start + line_size).min(inner.data.len());
+                        inner
+                            .undurable
+                            .insert(line, inner.data[start..stop].to_vec().into_boxed_slice());
+                    }
+                }
+                inner.stats.write_backs += nlines;
+                Self::charge(inner, write_back + (nlines - 1) * write_seq);
+            } else {
+                inner.stats.line_misses += nlines;
+                Self::charge(inner, read_miss + (nlines - 1) * read_seq);
+            }
+            return;
+        }
         for line in first..=last {
             if write && !inner.undurable.contains_key(&line) {
                 let start = (line as usize) * line_size;
@@ -293,7 +438,26 @@ impl SimDevice {
         if buf.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.borrow_mut();
+        if deferred_active() {
+            // Shared-lock fast path: deferred reads bypass the line cache
+            // and charge their cost to the thread's sink, so they mutate
+            // nothing under the lock — concurrent serve tasks stream reads
+            // side by side instead of serialising on the device.
+            let inner = self.read_lock();
+            self.check_bounds(&inner, addr, buf.len())?;
+            self.check_read_faults(&inner, addr, buf.len())?;
+            let nlines = self.line_of(addr + buf.len() as u64 - 1) - self.line_of(addr) + 1;
+            deferred_charge(
+                self.profile.read_miss_ns() + (nlines - 1) * self.profile.read_seq_ns(),
+            );
+            self.deferred_reads.reads.fetch_add(1, Ordering::Relaxed);
+            self.deferred_reads.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.deferred_reads.line_misses.fetch_add(nlines, Ordering::Relaxed);
+            let a = addr as usize;
+            buf.copy_from_slice(&inner.data[a..a + buf.len()]);
+            return Ok(());
+        }
+        let mut inner = self.lock();
         self.check_bounds(&inner, addr, buf.len())?;
         self.check_read_faults(&inner, addr, buf.len())?;
         self.touch(&mut inner, addr, buf.len(), false);
@@ -327,7 +491,7 @@ impl SimDevice {
         if buf.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         self.check_bounds(&inner, addr, buf.len())?;
         if let Some(left) = inner.trip_writes.as_mut() {
             if *left == 0 {
@@ -487,7 +651,7 @@ impl SimDevice {
         if len == 0 {
             return;
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(left) = inner.trip_persists.as_mut() {
             if *left == 0 {
                 inner.trip_persists = None;
@@ -517,7 +681,7 @@ impl SimDevice {
     /// Persistence fence: everything flushed before this point becomes
     /// durable (its pre-image is dropped).
     pub fn fence(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if let Some(left) = inner.trip_persists.as_mut() {
             if *left == 0 {
                 inner.trip_persists = None;
@@ -542,14 +706,14 @@ impl SimDevice {
 
     /// Account undo-log traffic (used by [`crate::TxLog`]).
     pub(crate) fn note_log_bytes(&self, n: u64) {
-        self.inner.borrow_mut().stats.log_bytes += n;
+        self.lock().stats.log_bytes += n;
     }
 
     /// Simulate a power failure under the configured [`CrashMode`], then
     /// empty the cache. Volatile devices lose everything (the whole store
     /// zeroes).
     pub fn crash(&self) {
-        let mode = self.inner.borrow().crash_mode;
+        let mode = self.lock().crash_mode;
         self.crash_with(mode);
     }
 
@@ -560,7 +724,7 @@ impl SimDevice {
     }
 
     fn crash_with(&self, mode: CrashMode) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if !self.profile.kind.is_persistent() {
             inner.data.fill(0);
         } else {
@@ -617,19 +781,19 @@ impl SimDevice {
     /// Set the semantics applied by subsequent [`crash`](Self::crash)
     /// calls.
     pub fn set_crash_mode(&self, mode: CrashMode) {
-        self.inner.borrow_mut().crash_mode = mode;
+        self.lock().crash_mode = mode;
     }
 
     /// The crash semantics currently configured.
     pub fn crash_mode(&self) -> CrashMode {
-        self.inner.borrow().crash_mode
+        self.lock().crash_mode
     }
 
     /// Arm fault injection: the device panics on the `n`-th write
     /// operation from now (test harnesses catch the unwind and exercise
     /// crash recovery from arbitrary mid-run points).
     pub fn trip_after_writes(&self, n: u64) {
-        self.inner.borrow_mut().trip_writes = Some(n);
+        self.lock().trip_writes = Some(n);
     }
 
     /// Arm fault injection on persistence points: the device panics on the
@@ -637,12 +801,12 @@ impl SimDevice {
     /// persist point a workload issues enumerates all its crash states
     /// (ALICE-style).
     pub fn trip_after_persists(&self, n: u64) {
-        self.inner.borrow_mut().trip_persists = Some(n);
+        self.lock().trip_persists = Some(n);
     }
 
     /// Disarm all armed crash trips and forget any interrupted store.
     pub fn clear_trip(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.trip_writes = None;
         inner.trip_persists = None;
         inner.inflight_write = None;
@@ -653,7 +817,7 @@ impl SimDevice {
     /// rewritten.
     pub fn inject_read_fault(&self, addr: Addr) {
         let line = self.line_of(addr);
-        self.inner.borrow_mut().faults.insert(line, MediaFault::UncorrectableRead);
+        self.lock().faults.insert(line, MediaFault::UncorrectableRead);
     }
 
     /// Make the next `failures` write attempts covering the line at `addr`
@@ -662,26 +826,23 @@ impl SimDevice {
     /// [`AccessStats::media_retries`]).
     pub fn inject_transient_write_fault(&self, addr: Addr, failures: u32) {
         let line = self.line_of(addr);
-        self.inner
-            .borrow_mut()
-            .faults
-            .insert(line, MediaFault::TransientWrite { remaining: failures });
+        self.lock().faults.insert(line, MediaFault::TransientWrite { remaining: failures });
     }
 
     /// Remove every injected media fault.
     pub fn clear_faults(&self) {
-        self.inner.borrow_mut().faults.clear();
+        self.lock().faults.clear();
     }
 
     /// Bound the number of retries a write spends on transient media
     /// faults before giving up with [`PmemError::MediaError`].
     pub fn set_retry_limit(&self, retries: u32) {
-        self.inner.borrow_mut().retry_limit = retries;
+        self.lock().retry_limit = retries;
     }
 
     /// Start counting per-line write operations (endurance analysis).
     pub fn enable_wear_tracking(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if inner.wear.is_none() {
             inner.wear = Some(HashMap::new());
         }
@@ -690,7 +851,7 @@ impl SimDevice {
     /// `(hottest line write count, distinct lines written)` since wear
     /// tracking was enabled. Zeroes when tracking is off.
     pub fn wear_stats(&self) -> (u64, usize) {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         match &inner.wear {
             Some(w) => (w.values().copied().max().unwrap_or(0), w.len()),
             None => (0, 0),
@@ -701,7 +862,7 @@ impl SimDevice {
     /// (ties broken by line index for determinism). Empty when wear
     /// tracking is off.
     pub fn wear_top(&self, n: usize) -> Vec<(u64, u64)> {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         match &inner.wear {
             Some(w) => {
                 let mut entries: Vec<(u64, u64)> = w.iter().map(|(&l, &c)| (l, c)).collect();
@@ -715,14 +876,14 @@ impl SimDevice {
 
     /// Test/debug read that bypasses the cost model entirely.
     pub fn peek(&self, addr: Addr, len: usize) -> Vec<u8> {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         inner.data[addr as usize..addr as usize + len].to_vec()
     }
 
     /// Test/debug write that bypasses the cost model and durability
     /// tracking (the written data is considered durable).
     pub fn poke(&self, addr: Addr, bytes: &[u8]) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let a = addr as usize;
         inner.data[a..a + bytes.len()].copy_from_slice(bytes);
     }
@@ -730,7 +891,7 @@ impl SimDevice {
 
 impl std::fmt::Debug for SimDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         f.debug_struct("SimDevice")
             .field("profile", &self.profile.name)
             .field("capacity", &inner.data.len())
@@ -746,6 +907,35 @@ mod tests {
 
     fn nvm(cap: usize) -> SimDevice {
         SimDevice::new(DeviceProfile::nvm_optane(), cap)
+    }
+
+    #[test]
+    fn device_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimDevice>();
+        assert_send_sync::<crate::PmemPool>();
+        assert_send_sync::<crate::AllocLedger>();
+    }
+
+    #[test]
+    fn concurrent_writers_see_consistent_data() {
+        use std::sync::Arc;
+        let d = Arc::new(nvm(1 << 20));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..256u64 {
+                        d.write_u64(t * 4096 + i * 8, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            for i in 0..256u64 {
+                assert_eq!(d.read_u64(t * 4096 + i * 8), t * 1000 + i);
+            }
+        }
     }
 
     #[test]

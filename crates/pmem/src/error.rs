@@ -40,6 +40,10 @@ pub enum PmemError {
         /// First byte of the faulted media line.
         addr: u64,
     },
+    /// The requested operation is not available in the current mode or
+    /// configuration (the message says what was asked and why it cannot
+    /// be served).
+    Unsupported(String),
 }
 
 impl fmt::Display for PmemError {
@@ -66,6 +70,7 @@ impl fmt::Display for PmemError {
             PmemError::MediaError { addr } => {
                 write!(f, "uncorrectable media error at {addr:#x}")
             }
+            PmemError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

@@ -6,8 +6,8 @@
 //! peak number of bytes allocated on each device kind, which this ledger
 //! tracks exactly.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::profile::DeviceKind;
 
@@ -20,7 +20,7 @@ struct Usage {
 /// Tracks current and peak allocated bytes per [`DeviceKind`].
 #[derive(Debug, Default)]
 pub struct AllocLedger {
-    usage: RefCell<HashMap<DeviceKind, Usage>>,
+    usage: Mutex<HashMap<DeviceKind, Usage>>,
 }
 
 impl AllocLedger {
@@ -31,7 +31,7 @@ impl AllocLedger {
 
     /// Record an allocation of `bytes` on `kind`.
     pub fn on_alloc(&self, kind: DeviceKind, bytes: u64) {
-        let mut usage = self.usage.borrow_mut();
+        let mut usage = self.usage.lock().unwrap_or_else(|e| e.into_inner());
         let u = usage.entry(kind).or_default();
         u.current += bytes;
         u.peak = u.peak.max(u.current);
@@ -39,24 +39,24 @@ impl AllocLedger {
 
     /// Record a release of `bytes` on `kind`.
     pub fn on_free(&self, kind: DeviceKind, bytes: u64) {
-        let mut usage = self.usage.borrow_mut();
+        let mut usage = self.usage.lock().unwrap_or_else(|e| e.into_inner());
         let u = usage.entry(kind).or_default();
         u.current = u.current.saturating_sub(bytes);
     }
 
     /// Bytes currently resident on `kind`.
     pub fn current(&self, kind: DeviceKind) -> u64 {
-        self.usage.borrow().get(&kind).map_or(0, |u| u.current)
+        self.usage.lock().unwrap_or_else(|e| e.into_inner()).get(&kind).map_or(0, |u| u.current)
     }
 
     /// Peak bytes ever resident on `kind` (the RSS proxy).
     pub fn peak(&self, kind: DeviceKind) -> u64 {
-        self.usage.borrow().get(&kind).map_or(0, |u| u.peak)
+        self.usage.lock().unwrap_or_else(|e| e.into_inner()).get(&kind).map_or(0, |u| u.peak)
     }
 
     /// Forget everything.
     pub fn reset(&self) {
-        self.usage.borrow_mut().clear();
+        self.usage.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 

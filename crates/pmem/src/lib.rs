@@ -44,13 +44,14 @@ pub mod device;
 pub mod error;
 pub mod faultsim;
 pub mod ledger;
+pub mod par;
 pub mod persist;
 pub mod pod;
 pub mod profile;
 pub mod stats;
 
 pub use alloc::PmemPool;
-pub use device::{Addr, CrashMode, SimDevice, CRASH_PANIC};
+pub use device::{with_deferred_charges, Addr, CrashMode, SimDevice, CRASH_PANIC};
 pub use error::PmemError;
 pub use faultsim::{
     panic_is_injected_crash, run_with_crash_at, CrashPoint, CrashRun, Prng, SweepOutcome,

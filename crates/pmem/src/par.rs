@@ -1,0 +1,233 @@
+//! Deterministic parallel runner for device-attached workloads.
+//!
+//! The crate avoids a thread-pool dependency: work is fanned out over
+//! `std::thread::scope` workers. The worker count honours the
+//! `RAYON_NUM_THREADS` environment variable (the conventional knob for
+//! data-parallel Rust code) and can be overridden per-scope in tests with
+//! [`with_threads`].
+//!
+//! # Deterministic parallel virtual time
+//!
+//! Wall-clock speed comes from however many OS threads happen to run, but
+//! the *virtual* clock must not depend on that number — a sweep run on a
+//! laptop and on a 64-core server has to report the same simulated time.
+//! The model therefore separates execution from accounting:
+//!
+//! 1. every work item runs inside [`with_deferred_charges`], so its device
+//!    time is captured in a per-item sink instead of the global clock
+//!    (accesses use a schedule-independent streaming cost model — see
+//!    [`with_deferred_charges`]);
+//! 2. at the barrier, the per-item costs are assigned in item order to a
+//!    fixed number of *virtual lanes* ([`virtual_lanes`], default 8,
+//!    `NTADOC_VIRTUAL_LANES` to override) — each item goes to the
+//!    currently least-loaded lane — and the clock advances by the
+//!    resulting makespan ([`lanes_makespan`]).
+//!
+//! Per-item costs are deterministic, the lane assignment is deterministic,
+//! so the join is identical for any `RAYON_NUM_THREADS`. The reported time
+//! models the workload running on `virtual_lanes()` parallel memory
+//! channels rather than serializing it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::device::with_deferred_charges;
+
+/// Virtual lanes used by the makespan join when `NTADOC_VIRTUAL_LANES` is
+/// not set. Models the parallelism of the simulated hardware, decoupled
+/// from how many OS threads execute the work.
+pub const DEFAULT_VIRTUAL_LANES: usize = 8;
+
+thread_local! {
+    /// Per-thread worker-count override (0 = none); see [`with_threads`].
+    static THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread, regardless
+/// of `RAYON_NUM_THREADS`. Used by determinism tests, which cannot mutate
+/// process-global environment variables safely.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREADS_OVERRIDE.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Worker threads to use: the [`with_threads`] override if active, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn thread_count() -> usize {
+    let over = THREADS_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Virtual lanes for the makespan join (`NTADOC_VIRTUAL_LANES`, default
+/// [`DEFAULT_VIRTUAL_LANES`]).
+pub fn virtual_lanes() -> usize {
+    std::env::var("NTADOC_VIRTUAL_LANES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_VIRTUAL_LANES)
+}
+
+/// Map `f` over `items` on [`thread_count`] workers, returning results in
+/// item order. Items are claimed from a shared atomic counter, so the
+/// *schedule* is nondeterministic — only use this for work whose
+/// side-effects commute (or none). A panicking item propagates its panic
+/// to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] with each item executed under [`with_deferred_charges`]:
+/// returns the results plus each item's captured virtual-time cost. The
+/// single-worker path uses the same deferred accounting, so costs are
+/// identical for any worker count.
+pub fn par_map_timed<T, R, F>(items: &[T], f: F) -> (Vec<R>, Vec<u64>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let sinks: Vec<AtomicU64> = items.iter().map(|_| AtomicU64::new(0)).collect();
+    let results = par_map(items, |i, t| with_deferred_charges(&sinks[i], || f(i, t)));
+    let item_ns = sinks.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+    (results, item_ns)
+}
+
+/// Deterministic makespan of `item_ns` over `lanes` virtual lanes: items
+/// are assigned in index order, each to the currently least-loaded lane
+/// (ties broken by lane index); the makespan is the heaviest lane's total.
+pub fn lanes_makespan(item_ns: &[u64], lanes: usize) -> u64 {
+    let lanes = lanes.max(1);
+    let mut load = vec![0u64; lanes];
+    for &c in item_ns {
+        let lightest = (0..lanes).min_by_key(|&i| (load[i], i)).expect("lanes >= 1");
+        load[lightest] += c;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+    use crate::profile::DeviceProfile;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 8] {
+            let out = with_threads(threads, || par_map(&items, |_, &x| x * 2));
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_timed_costs_independent_of_workers() {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20);
+        let items: Vec<u64> = (0..64).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let (_, ns) = par_map_timed(&items, |_, &i| {
+                    let mut buf = vec![0u8; 1024];
+                    dev.read_bytes(i * 4096, &mut buf);
+                    dev.charge_ns(10 * (i + 1));
+                });
+                ns
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert!(one.iter().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn deferred_items_do_not_advance_global_clock() {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20);
+        let items: Vec<u64> = (0..8).collect();
+        let (_, ns) = par_map_timed(&items, |_, &i| dev.write_u64(i * 256, i));
+        assert_eq!(dev.stats().virtual_ns, 0, "cost must be deferred to sinks");
+        let makespan = lanes_makespan(&ns, 4);
+        dev.charge_ns(makespan);
+        assert_eq!(dev.stats().virtual_ns, makespan);
+    }
+
+    #[test]
+    fn makespan_matches_hand_schedule() {
+        // Greedy in-order assignment on 2 lanes: 5→lane0, 4→lane1,
+        // 3→lane1 (load 4<5? no: lane1 has 4 < lane0's 5) → lane1=7,
+        // 2→lane0=7, 1→lane0 (tie at 7,7 → lane0) = 8.
+        assert_eq!(lanes_makespan(&[5, 4, 3, 2, 1], 2), 8);
+        assert_eq!(lanes_makespan(&[5, 4, 3, 2, 1], 1), 15);
+        assert_eq!(lanes_makespan(&[], 4), 0);
+        assert_eq!(lanes_makespan(&[7], 4), 7);
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let items: Vec<u32> = (0..32).collect();
+        let res = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |_, &x| {
+                    if x == 17 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(res.is_err());
+    }
+}

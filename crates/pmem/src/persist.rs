@@ -30,7 +30,7 @@
 //! back zero entries.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::device::{Addr, SimDevice};
 use crate::error::PmemError;
@@ -85,7 +85,7 @@ fn entry_crc(tx_id: u64, addr: u64, len: u64, pre: &[u8]) -> u64 {
 
 /// Undo-log transactions for operation-level persistence.
 pub struct TxLog {
-    dev: Rc<SimDevice>,
+    dev: Arc<SimDevice>,
     log_base: Addr,
     log_capacity: usize,
     /// Write offset within the log region (valid while active).
@@ -107,7 +107,7 @@ pub struct TxLog {
 impl TxLog {
     /// Create a transaction log over `[log_base, log_base+log_capacity)`.
     /// The region must not overlap application data.
-    pub fn new(dev: Rc<SimDevice>, log_base: Addr, log_capacity: usize) -> Self {
+    pub fn new(dev: Arc<SimDevice>, log_base: Addr, log_capacity: usize) -> Self {
         assert!(log_capacity >= LOG_HEADER as usize + ENTRY_OVERHEAD, "log region too small");
         TxLog {
             dev,
@@ -306,14 +306,14 @@ impl TxLog {
 /// Phase-level persistence: plain stores during a phase, wholesale flush at
 /// the phase boundary.
 pub struct PhasePersist {
-    dev: Rc<SimDevice>,
+    dev: Arc<SimDevice>,
     /// Regions registered for end-of-phase flushing.
     regions: Vec<(Addr, usize)>,
 }
 
 impl PhasePersist {
     /// New phase-level persister for `dev`.
-    pub fn new(dev: Rc<SimDevice>) -> Self {
+    pub fn new(dev: Arc<SimDevice>) -> Self {
         PhasePersist { dev, regions: Vec::new() }
     }
 
@@ -362,8 +362,8 @@ mod tests {
     use super::*;
     use crate::profile::DeviceProfile;
 
-    fn dev() -> Rc<SimDevice> {
-        Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20))
+    fn dev() -> Arc<SimDevice> {
+        Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20))
     }
 
     const LOG_AT: Addr = 1 << 19;

@@ -33,8 +33,9 @@ fn main() {
     );
 
     // ---- phase-level persistence: crash during traversal --------------
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
-    let mut session = engine.start(Task::WordCount).expect("init phase");
+    let engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().expect("engine");
+    let mut session = engine.session(Task::WordCount).expect("init phase");
     println!("\n[phase-level] initialization phase complete and persisted");
 
     // Power failure strikes before the traversal phase finishes.
@@ -51,13 +52,17 @@ fn main() {
     );
 
     // Verify against a never-crashed run.
-    let mut fresh = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
+    let mut fresh =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().expect("engine");
     let clean = fresh.run(Task::WordCount).expect("clean run");
     assert_eq!(clean, out, "post-crash results must equal a clean run");
     println!("[phase-level] results identical to a run that never crashed ✓");
 
     // ---- operation-level persistence ----------------------------------
-    let mut op_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).expect("engine");
+    let mut op_engine = Engine::builder(comp.clone())
+        .config(EngineConfig::ntadoc_oplevel())
+        .build()
+        .expect("engine");
     let op_out = op_engine.run(Task::WordCount).expect("operation-level run");
     assert_eq!(op_out, clean);
     let rep = op_engine.last_report.as_ref().unwrap();

@@ -6,7 +6,7 @@
 //! cargo run --release --example device_comparison
 //! ```
 
-use ntadoc_repro::{DatasetSpec, Engine, EngineConfig, Task};
+use ntadoc_repro::{DatasetSpec, DeviceProfile, Engine, EngineConfig, Task};
 
 fn main() {
     let spec = DatasetSpec::a().scaled(0.3);
@@ -24,19 +24,42 @@ fn main() {
     let mut dram_total = None;
     type EngineMaker<'a> = Box<dyn Fn() -> Engine + 'a>;
     let runs: Vec<(&str, EngineMaker)> = vec![
-        ("TADOC on DRAM", Box::new(|| Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap())),
-        ("N-TADOC on NVM", Box::new(|| Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap())),
+        (
+            "TADOC on DRAM",
+            Box::new(|| {
+                Engine::builder(comp.clone())
+                    .config(EngineConfig::tadoc_dram())
+                    .profile(DeviceProfile::dram())
+                    .build()
+                    .unwrap()
+            }),
+        ),
+        (
+            "N-TADOC on NVM",
+            Box::new(|| {
+                Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap()
+            }),
+        ),
         (
             "N-TADOC on NVM (op-level)",
-            Box::new(|| Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap()),
+            Box::new(|| {
+                Engine::builder(comp.clone())
+                    .config(EngineConfig::ntadoc_oplevel())
+                    .build()
+                    .unwrap()
+            }),
         ),
         (
             "N-TADOC on SSD",
-            Box::new(|| Engine::on_block_device(&comp, EngineConfig::ntadoc(), false).unwrap()),
+            Box::new(|| {
+                Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).ssd().build().unwrap()
+            }),
         ),
         (
             "N-TADOC on HDD",
-            Box::new(|| Engine::on_block_device(&comp, EngineConfig::ntadoc(), true).unwrap()),
+            Box::new(|| {
+                Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).hdd().build().unwrap()
+            }),
         ),
     ];
     for (name, make) in runs {

@@ -39,7 +39,8 @@ fn main() {
     );
 
     // 3. Word count directly on the compressed data, on simulated NVM.
-    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
+    let mut engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().expect("engine");
     let out = engine.run(Task::WordCount).expect("word count");
     let counts = out.word_counts().expect("word count output");
     let mut top: Vec<_> = counts.iter().collect();
@@ -51,7 +52,8 @@ fn main() {
 
     // 4. Compare with scanning the uncompressed token stream on NVM.
     let nt = engine.last_report.as_ref().expect("report");
-    let mut baseline = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    let mut baseline =
+        UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
     let base_out = baseline.run(Task::WordCount).expect("baseline");
     assert_eq!(&base_out, &out, "both engines must agree exactly");
     let base = baseline.last_report.as_ref().expect("report");

@@ -21,7 +21,8 @@ fn main() {
         comp.grammar.stats().rule_count
     );
 
-    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).expect("engine");
+    let mut engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().expect("engine");
 
     // Inverted index: word → documents.
     let out = engine.run(Task::InvertedIndex).expect("inverted index");

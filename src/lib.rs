@@ -4,12 +4,13 @@
 //! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
 
 pub use ntadoc::{
-    Engine, EngineConfig, Persistence, RunReport, Task, TaskOutput, Traversal, UncompressedEngine,
+    Engine, EngineBuilder, EngineConfig, OutputMismatch, Persistence, RetryPolicy, RunReport,
+    ServeSession, Task, TaskOutput, Traversal, UncompressedEngine, UncompressedEngineBuilder,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
-    compress_corpus, deserialize_compressed, serialize_compressed, Compressed, Dictionary, Grammar,
-    Symbol, TokenizerConfig,
+    compress_corpus, deserialize_compressed, serialize_compressed, serialized_len, Compressed,
+    Dictionary, Grammar, Symbol, TokenizerConfig,
 };
 pub use ntadoc_pmem::{
     crc64, panic_is_injected_crash, run_with_crash_at, AllocLedger, CrashMode, CrashPoint,

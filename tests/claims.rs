@@ -2,7 +2,9 @@
 //! scale (direction, not magnitude — magnitudes live in the bench
 //! harnesses and EXPERIMENTS.md).
 
-use ntadoc_repro::{DatasetSpec, Engine, EngineConfig, Task, Traversal, UncompressedEngine};
+use ntadoc_repro::{
+    DatasetSpec, DeviceProfile, Engine, EngineConfig, Task, Traversal, UncompressedEngine,
+};
 
 fn corpus() -> ntadoc_grammar::Compressed {
     ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.15))
@@ -13,9 +15,10 @@ fn claim_s1_nvm_writes_are_reduced_by_compression() {
     // §I: "minimizing NVM write operations and enhancing its durability".
     let comp = corpus();
     for task in [Task::WordCount, Task::SequenceCount] {
-        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         nt.run(task).unwrap();
-        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        let mut base =
+            UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
         base.run(task).unwrap();
         let nt_wb = nt.last_report.as_ref().unwrap().stats.write_backs;
         let base_wb = base.last_report.as_ref().unwrap().stats.write_backs;
@@ -31,9 +34,10 @@ fn claim_s4e_operation_level_costs_more_than_phase_level() {
     // §IV-E: the trade-off exists for every engine.
     let comp = corpus();
     let task = Task::WordCount;
-    let mut nt_p = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut nt_p = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     nt_p.run(task).unwrap();
-    let mut nt_o = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+    let mut nt_o =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc_oplevel()).build().unwrap();
     nt_o.run(task).unwrap();
     assert!(
         nt_o.last_report.as_ref().unwrap().total_ns()
@@ -41,9 +45,10 @@ fn claim_s4e_operation_level_costs_more_than_phase_level() {
         "operation-level must cost more than phase-level for N-TADOC"
     );
 
-    let mut b_p = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    let mut b_p = UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
     b_p.run(task).unwrap();
-    let mut b_o = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc_oplevel());
+    let mut b_o =
+        UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc_oplevel()).build();
     b_o.run(task).unwrap();
     assert!(
         b_o.last_report.as_ref().unwrap().total_ns() > b_p.last_report.as_ref().unwrap().total_ns(),
@@ -54,10 +59,11 @@ fn claim_s4e_operation_level_costs_more_than_phase_level() {
 #[test]
 fn claim_s4e_operation_level_writes_an_undo_log() {
     let comp = corpus();
-    let mut op = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+    let mut op =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc_oplevel()).build().unwrap();
     op.run(Task::WordCount).unwrap();
     assert!(op.last_report.as_ref().unwrap().stats.log_bytes > 0);
-    let mut ph = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut ph = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     ph.run(Task::WordCount).unwrap();
     assert_eq!(ph.last_report.as_ref().unwrap().stats.log_bytes, 0);
 }
@@ -73,9 +79,9 @@ fn claim_s6e_topdown_degrades_with_file_count() {
             td_cfg.traversal = Traversal::TopDown;
             let mut bu_cfg = EngineConfig::ntadoc();
             bu_cfg.traversal = Traversal::BottomUp;
-            let mut td = Engine::on_nvm(&comp, td_cfg).unwrap();
+            let mut td = Engine::builder(comp.clone()).config(td_cfg).build().unwrap();
             td.run(Task::TermVector).unwrap();
-            let mut bu = Engine::on_nvm(&comp, bu_cfg).unwrap();
+            let mut bu = Engine::builder(comp.clone()).config(bu_cfg).build().unwrap();
             bu.run(Task::TermVector).unwrap();
             td.last_report.as_ref().unwrap().traversal_ns as f64
                 / bu.last_report.as_ref().unwrap().traversal_ns as f64
@@ -88,9 +94,9 @@ fn claim_s6e_topdown_degrades_with_file_count() {
 fn claim_s3b_naive_port_is_much_slower_than_ntadoc() {
     // §III-B / §VI-F: the allocator-swap port pays heavily on NVM.
     let comp = corpus();
-    let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     nt.run(Task::WordCount).unwrap();
-    let mut naive = Engine::on_nvm(&comp, EngineConfig::naive()).unwrap();
+    let mut naive = Engine::builder(comp.clone()).config(EngineConfig::naive()).build().unwrap();
     naive.run(Task::WordCount).unwrap();
     let ratio = naive.last_report.as_ref().unwrap().total_ns() as f64
         / nt.last_report.as_ref().unwrap().total_ns() as f64;
@@ -127,11 +133,16 @@ fn claim_nvm_sits_between_dram_and_block_devices() {
     // The premise of the whole paper (§II): NVM's cost ladder position.
     let comp = corpus();
     let task = Task::Sort;
-    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+    let mut dram = Engine::builder(comp.clone())
+        .config(EngineConfig::tadoc_dram())
+        .profile(DeviceProfile::dram())
+        .build()
+        .unwrap();
     dram.run(task).unwrap();
-    let mut nvm = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut nvm = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     nvm.run(task).unwrap();
-    let mut ssd = Engine::on_block_device(&comp, EngineConfig::ntadoc(), false).unwrap();
+    let mut ssd =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).ssd().build().unwrap();
     ssd.run(task).unwrap();
     let t = |e: &Engine| e.last_report.as_ref().unwrap().total_ns();
     assert!(t(&dram) < t(&nvm));

@@ -6,7 +6,7 @@
 //! failures replay exactly; `tests/proptests.rs` carries the
 //! shrinking-enabled variants of the same properties.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_repro::{
     compress_corpus, deserialize_compressed, serialize_compressed, DeviceProfile, Engine,
@@ -39,9 +39,9 @@ fn scribble_log(dev: &SimDevice, rng: &mut Prng) {
 fn garbage_in_the_log_region_never_panics_recovery() {
     for seed in 0..64u64 {
         let mut rng = Prng::new(seed);
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
         scribble_log(&dev, &mut rng);
-        let mut log = TxLog::new(Rc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
         // Recovery over garbage must be a clean verdict: either "nothing
         // to do" / rolled-back, or a typed corruption error.
         match log.recover() {
@@ -62,11 +62,11 @@ fn garbage_after_a_real_entry_truncates_not_corrupts() {
     // recovery must roll back the valid prefix and stop at the garbage.
     for seed in 0..32u64 {
         let mut rng = Prng::new(seed.wrapping_mul(0x9E37_79B9));
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
         dev.write_u64(128, 0xAAAA_BBBB_CCCC_DDDD);
         dev.persist(128, 8);
 
-        let mut log = TxLog::new(Rc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
         log.begin().unwrap();
         log.log_range(128, 8).unwrap();
         // Mutate the data the entry covers, then scribble over the tail of
@@ -81,7 +81,7 @@ fn garbage_after_a_real_entry_truncates_not_corrupts() {
         }
         dev.write_bytes(tail, &garbage);
 
-        let mut log2 = TxLog::new(Rc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log2 = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
         let rolled_back = log2.recover().unwrap();
         assert!(rolled_back, "seed {seed}: the valid entry must roll back");
         assert_eq!(dev.read_u64(128), 0xAAAA_BBBB_CCCC_DDDD, "seed {seed}");
@@ -134,8 +134,11 @@ fn engine_rejects_corrupt_images_with_a_typed_error() {
     let clean = serialize_compressed(&comp);
 
     // The pristine image round-trips into a working engine.
-    let mut engine = Engine::on_nvm_image(&clean, EngineConfig::ntadoc()).unwrap();
-    let mut ref_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut engine = Engine::builder_from_image(&clean)
+        .and_then(|b| b.config(EngineConfig::ntadoc()).build())
+        .unwrap();
+    let mut ref_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(engine.run(Task::WordCount).unwrap(), ref_engine.run(Task::WordCount).unwrap());
 
     // Any payload bit flip must be caught by the checksum before the
@@ -145,7 +148,9 @@ fn engine_rejects_corrupt_images_with_a_typed_error() {
         let mut image = clean.clone();
         let at = 24 + rng.next_below((image.len() - 24) as u64) as usize;
         image[at] ^= 0x40;
-        match Engine::on_nvm_image(&image, EngineConfig::ntadoc()) {
+        match Engine::builder_from_image(&image)
+            .and_then(|b| b.config(EngineConfig::ntadoc()).build())
+        {
             Err(PmemError::CorruptImage(_)) => {}
             Err(e) => panic!("flip at {at}: wrong error class {e}"),
             Ok(_) => panic!("flip at {at}: corrupt image accepted"),

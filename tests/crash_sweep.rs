@@ -50,8 +50,8 @@ fn sweep_stride() -> u64 {
 
 /// Count the persist points (flushes + fences) one traversal issues.
 fn count_traversal_persist_points(comp: &Compressed, cfg: &EngineConfig, task: Task) -> u64 {
-    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-    let mut session = engine.start(task).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+    let mut session = engine.session(task).unwrap();
     let before = session.device().stats();
     session.traverse().unwrap();
     session.device().stats().since(&before).persist_points()
@@ -67,8 +67,8 @@ fn crash_recover_at_persist_point(
     point: u64,
     seed: u64,
 ) -> Option<TaskOutput> {
-    let engine = Engine::on_nvm(comp, cfg.clone()).unwrap();
-    let mut session = engine.start(task).unwrap();
+    let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+    let mut session = engine.session(task).unwrap();
     session.device().trip_after_persists(point);
     let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
     session.device().clear_trip();
@@ -91,7 +91,7 @@ fn crash_recover_at_persist_point(
 fn sweep_strategy(cfg: &EngineConfig, label: &str) {
     let comp = corpus();
     let task = Task::WordCount;
-    let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+    let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let clean = clean_engine.run(task).unwrap();
 
     let total = count_traversal_persist_points(&comp, cfg, task);
@@ -138,11 +138,11 @@ fn random_mid_write_crash_points_converge_with_torn_stores() {
     let comp = corpus();
     let task = Task::WordCount;
     for cfg in [EngineConfig::ntadoc(), EngineConfig::ntadoc_oplevel()] {
-        let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
         let clean = clean_engine.run(task).unwrap();
         // Count the traversal's write operations once.
-        let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
-        let mut session = engine.start(task).unwrap();
+        let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+        let mut session = engine.session(task).unwrap();
         let before = session.device().stats();
         session.traverse().unwrap();
         let writes = session.device().stats().since(&before).writes;
@@ -153,8 +153,8 @@ fn random_mid_write_crash_points_converge_with_torn_stores() {
             let mut fired = 0u32;
             for _ in 0..40 {
                 let trip = rng.next_below(writes);
-                let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
-                let mut session = engine.start(task).unwrap();
+                let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+                let mut session = engine.session(task).unwrap();
                 session.device().trip_after_writes(trip);
                 let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
                 session.device().clear_trip();
@@ -185,14 +185,14 @@ fn repeated_crashes_at_the_same_point_still_converge() {
     // that only work from a "clean crash" state.
     let comp = corpus();
     for cfg in [EngineConfig::ntadoc(), EngineConfig::ntadoc_oplevel()] {
-        let mut clean_engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
+        let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
         let clean = clean_engine.run(Task::WordCount).unwrap();
         let total = count_traversal_persist_points(&comp, &cfg, Task::WordCount);
         // A handful of points spread across the stream is enough here; the
         // exhaustive single-crash sweep above covers every point.
         for point in [0, total / 4, total / 2, total - 1] {
-            let engine = Engine::on_nvm(&comp, cfg.clone()).unwrap();
-            let mut session = engine.start(Task::WordCount).unwrap();
+            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+            let mut session = engine.session(Task::WordCount).unwrap();
             let mut crashes = 0u32;
             for round in 0..2u64 {
                 session.device().trip_after_persists(point);

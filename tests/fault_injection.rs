@@ -18,12 +18,13 @@ fn corpus() -> ntadoc_grammar::Compressed {
 #[test]
 fn crash_at_many_points_inside_traversal_recovers() {
     let comp = corpus();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let clean = clean_engine.run(Task::WordCount).unwrap();
 
     for &trip in &[1u64, 5, 23, 100, 400, 1500] {
-        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-        let mut session = engine.start(Task::WordCount).unwrap();
+        let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+        let mut session = engine.session(Task::WordCount).unwrap();
         // Arm the fault: the Nth write during traversal panics.
         session.device().trip_after_writes(trip);
         let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
@@ -51,12 +52,13 @@ fn crash_at_many_points_inside_traversal_recovers() {
 #[test]
 fn crash_inside_file_task_traversal_recovers() {
     let comp = corpus();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let clean = clean_engine.run(Task::InvertedIndex).unwrap();
 
     for &trip in &[3u64, 50, 700] {
-        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-        let mut session = engine.start(Task::InvertedIndex).unwrap();
+        let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+        let mut session = engine.session(Task::InvertedIndex).unwrap();
         session.device().trip_after_writes(trip);
         let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
         session.device().clear_trip();
@@ -95,8 +97,8 @@ fn wear_tracking_reports_hotspots() {
 #[test]
 fn wear_top_surfaces_in_run_reports() {
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::WordCount).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::WordCount).unwrap();
     session.device().enable_wear_tracking();
     session.traverse().unwrap();
     let report = session.report();
@@ -107,8 +109,8 @@ fn wear_top_surfaces_in_run_reports() {
         assert!(pair[0].1 >= pair[1].1);
     }
     // Without tracking the breakdown stays empty.
-    let engine2 = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session2 = engine2.start(Task::WordCount).unwrap();
+    let engine2 = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session2 = engine2.session(Task::WordCount).unwrap();
     session2.traverse().unwrap();
     assert!(session2.report().wear_top.is_empty());
 }

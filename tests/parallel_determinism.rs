@@ -1,0 +1,122 @@
+//! Parallelism must never change results: task outputs and the virtual
+//! clock are bit-identical for any worker count, both for classic
+//! engine runs and for concurrent serve-mode batches.
+
+use ntadoc_pmem::par;
+use ntadoc_repro::{
+    compress_corpus, Compressed, Engine, EngineConfig, PmemError, Task, TaskOutput, TokenizerConfig,
+};
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "the quick brown fox jumps over the lazy dog the end".repeat(40)),
+        ("b".to_string(), "pack my box with five dozen liquor jugs the fox".repeat(40)),
+        ("c".to_string(), "sphinx of black quartz judge my vow the quick judge".repeat(40)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+/// Run `task` under `threads` workers, returning output and total virtual
+/// time.
+fn run_with(comp: &Compressed, cfg: EngineConfig, task: Task, threads: usize) -> (TaskOutput, u64) {
+    par::with_threads(threads, || {
+        let mut e = Engine::builder(comp.clone()).config(cfg).build().unwrap();
+        let out = e.run(task).unwrap();
+        (out, e.last_report.as_ref().unwrap().total_ns())
+    })
+}
+
+#[test]
+fn engine_runs_are_identical_for_any_worker_count() {
+    let comp = corpus();
+    for cfg in [EngineConfig::ntadoc(), EngineConfig::naive()] {
+        for task in Task::ALL {
+            let (base_out, base_ns) = run_with(&comp, cfg.clone(), task, 1);
+            for threads in [2, 8] {
+                let (out, ns) = run_with(&comp, cfg.clone(), task, threads);
+                assert_eq!(out, base_out, "{task} output diverged at {threads} threads");
+                assert_eq!(ns, base_ns, "{task} virtual time diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_outputs_match_classic_runs() {
+    let comp = corpus();
+    let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let servable = [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex];
+    let classic: Vec<TaskOutput> = servable.iter().map(|&t| engine.run(t).unwrap()).collect();
+    let serve = engine.serve().unwrap();
+    let outs = serve.run_tasks(&servable).unwrap();
+    assert_eq!(outs, classic);
+}
+
+#[test]
+fn serve_batches_are_deterministic_across_worker_counts() {
+    let comp = corpus();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let serve = engine.serve().unwrap();
+    let batch: Vec<Task> = (0..24)
+        .map(|i| [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex][i % 4])
+        .collect();
+    let mut reference: Option<(Vec<TaskOutput>, u64)> = None;
+    for threads in [1, 2, 8, 1] {
+        let v0 = serve.device().stats().virtual_ns;
+        let outs = par::with_threads(threads, || serve.run_tasks(&batch).unwrap());
+        let delta = serve.device().stats().virtual_ns - v0;
+        match &reference {
+            None => reference = Some((outs, delta)),
+            Some((ref_outs, ref_delta)) => {
+                assert_eq!(&outs, ref_outs, "batch outputs diverged at {threads} threads");
+                assert_eq!(delta, *ref_delta, "batch virtual time diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_rejects_sequence_tasks() {
+    let comp = corpus();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let serve = engine.serve().unwrap();
+    let err = match serve.run_tasks(&[Task::WordCount, Task::SequenceCount]) {
+        Err(e) => e,
+        Ok(_) => panic!("sequence task must not be servable"),
+    };
+    assert!(matches!(err, PmemError::Unsupported(_)), "got {err:?}");
+}
+
+#[test]
+fn serve_requires_pruned_config() {
+    let comp = corpus();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::naive()).build().unwrap();
+    let err = match engine.serve() {
+        Err(e) => e,
+        Ok(_) => panic!("serve must require the pruned configuration"),
+    };
+    assert!(matches!(err, PmemError::Unsupported(_)), "got {err:?}");
+}
+
+#[test]
+fn empty_corpus_is_a_clean_builder_error() {
+    let comp = compress_corpus(&[], &TokenizerConfig::default());
+    let err = match Engine::builder(comp).config(EngineConfig::ntadoc()).build() {
+        Err(e) => e,
+        Ok(_) => panic!("empty corpus must be rejected"),
+    };
+    assert!(matches!(err, PmemError::Unsupported(_)), "got {err:?}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructor_shims_still_work() {
+    let comp = corpus();
+    let mut modern = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let want = modern.run(Task::WordCount).unwrap();
+    let mut shimmed = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    assert_eq!(shimmed.run(Task::WordCount).unwrap(), want);
+    assert_eq!(shimmed.run_resilient(Task::WordCount, 2).unwrap(), want);
+    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+    assert_eq!(dram.run(Task::WordCount).unwrap(), want);
+}

@@ -2,8 +2,8 @@
 //! serialization → every engine on every device, agreeing on every task.
 
 use ntadoc_repro::{
-    deserialize_compressed, serialize_compressed, DatasetSpec, Engine, EngineConfig, Task,
-    UncompressedEngine,
+    deserialize_compressed, serialize_compressed, DatasetSpec, DeviceProfile, Engine, EngineConfig,
+    Task, UncompressedEngine,
 };
 
 #[test]
@@ -28,21 +28,27 @@ fn generated_corpora_survive_serialization() {
 fn all_engines_agree_on_dataset_a() {
     let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.05));
     for task in Task::ALL {
-        let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let reference = nt.run(task).unwrap();
         for (label, cfg) in
             [("op-level", EngineConfig::ntadoc_oplevel()), ("naive", EngineConfig::naive())]
         {
-            let mut e = Engine::on_nvm(&comp, cfg).unwrap();
+            let mut e = Engine::builder(comp.clone()).config(cfg).build().unwrap();
             assert_eq!(e.run(task).unwrap(), reference, "{label}/{task}");
         }
-        let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+        let mut dram = Engine::builder(comp.clone())
+            .config(EngineConfig::tadoc_dram())
+            .profile(DeviceProfile::dram())
+            .build()
+            .unwrap();
         assert_eq!(dram.run(task).unwrap(), reference, "dram/{task}");
         for hdd in [false, true] {
-            let mut block = Engine::on_block_device(&comp, EngineConfig::ntadoc(), hdd).unwrap();
+            let b = Engine::builder(comp.clone()).config(EngineConfig::ntadoc());
+            let mut block = if hdd { b.hdd() } else { b.ssd() }.build().unwrap();
             assert_eq!(block.run(task).unwrap(), reference, "block(hdd={hdd})/{task}");
         }
-        let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+        let mut base =
+            UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
         assert_eq!(base.run(task).unwrap(), reference, "baseline/{task}");
     }
 }
@@ -56,8 +62,8 @@ fn many_files_dataset_b_agrees_across_strategies() {
         bu_cfg.traversal = Traversal::BottomUp;
         let mut td_cfg = EngineConfig::ntadoc();
         td_cfg.traversal = Traversal::TopDown;
-        let mut bu = Engine::on_nvm(&comp, bu_cfg).unwrap();
-        let mut td = Engine::on_nvm(&comp, td_cfg).unwrap();
+        let mut bu = Engine::builder(comp.clone()).config(bu_cfg).build().unwrap();
+        let mut td = Engine::builder(comp.clone()).config(td_cfg).build().unwrap();
         assert_eq!(bu.run(task).unwrap(), td.run(task).unwrap(), "{task}");
     }
 }
@@ -65,7 +71,7 @@ fn many_files_dataset_b_agrees_across_strategies() {
 #[test]
 fn reports_expose_phase_times_and_peaks() {
     let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.03));
-    let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     engine.run(Task::WordCount).unwrap();
     let rep = engine.last_report.as_ref().unwrap();
     assert!(rep.init_ns > 0);
@@ -81,9 +87,13 @@ fn dram_savings_direction_holds() {
     // The headline §VI-C claim, as an invariant: N-TADOC's DRAM peak is
     // well below TADOC-on-DRAM's for the same task.
     let comp = ntadoc_repro::generate_compressed(&DatasetSpec::a().scaled(0.1));
-    let mut nt = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     nt.run(Task::WordCount).unwrap();
-    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
+    let mut dram = Engine::builder(comp.clone())
+        .config(EngineConfig::tadoc_dram())
+        .profile(DeviceProfile::dram())
+        .build()
+        .unwrap();
     dram.run(Task::WordCount).unwrap();
     let nt_peak = nt.last_report.as_ref().unwrap().dram_peak_bytes;
     let dram_peak = dram.last_report.as_ref().unwrap().dram_peak_bytes;
@@ -102,10 +112,14 @@ fn speedup_directions_hold_on_dataset_a() {
     let task = Task::WordCount;
     let run = |cfg: EngineConfig, dev: u8| -> f64 {
         let mut e = match dev {
-            0 => Engine::on_nvm(&comp, cfg).unwrap(),
-            1 => Engine::on_dram(&comp, cfg).unwrap(),
-            2 => Engine::on_block_device(&comp, cfg, false).unwrap(),
-            _ => Engine::on_block_device(&comp, cfg, true).unwrap(),
+            0 => Engine::builder(comp.clone()).config(cfg).build().unwrap(),
+            1 => Engine::builder(comp.clone())
+                .config(cfg)
+                .profile(DeviceProfile::dram())
+                .build()
+                .unwrap(),
+            2 => Engine::builder(comp.clone()).config(cfg).ssd().build().unwrap(),
+            _ => Engine::builder(comp.clone()).config(cfg).hdd().build().unwrap(),
         };
         e.run(task).unwrap();
         e.last_report.unwrap().total_secs()
@@ -115,7 +129,7 @@ fn speedup_directions_hold_on_dataset_a() {
     let dram = run(EngineConfig::tadoc_dram(), 1);
     let ssd = run(EngineConfig::ntadoc(), 2);
     let hdd = run(EngineConfig::ntadoc(), 3);
-    let mut base = UncompressedEngine::on_nvm(&comp, EngineConfig::ntadoc());
+    let mut base = UncompressedEngine::builder(comp.clone()).config(EngineConfig::ntadoc()).build();
     base.run(task).unwrap();
     let base_t = base.last_report.unwrap().total_secs();
 

@@ -5,7 +5,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::{DeviceProfile, PmemPool, SimDevice};
@@ -72,7 +72,7 @@ proptest! {
                 *oracle.entry(w.to_string()).or_insert(0) += 1;
             }
         }
-        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::WordCount).unwrap();
         prop_assert_eq!(out.word_counts().unwrap(), &oracle);
     }
@@ -130,7 +130,7 @@ proptest! {
                 *oracle.entry(w.to_string()).or_insert(0) += 1;
             }
         }
-        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::WordCount).unwrap();
         prop_assert_eq!(out.word_counts().unwrap(), &oracle);
     }
@@ -150,7 +150,7 @@ proptest! {
         if comp.grammar.stats().expanded_words == 0 {
             return Ok(());
         }
-        let mut engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::SequenceCount).unwrap();
         prop_assert_eq!(out.sequence_counts().unwrap(), &oracle);
     }
@@ -179,8 +179,8 @@ proptest! {
     #[test]
     fn pvec_behaves_like_a_vec(ops in vec((0u8..3, 0u64..1000), 0..200)) {
         use ntadoc_nstruct::PVec;
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
-        let pool = Rc::new(PmemPool::over_whole(dev));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+        let pool = Arc::new(PmemPool::over_whole(dev));
         let v: PVec<u64> = PVec::with_capacity(pool, 2).unwrap();
         let mut model: Vec<u64> = Vec::new();
         for (op, x) in ops {
@@ -206,8 +206,8 @@ proptest! {
 
     #[test]
     fn phash_behaves_like_a_map(ops in vec((0u64..64, 1u64..100), 0..300)) {
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
-        let pool = Rc::new(PmemPool::over_whole(dev));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 22));
+        let pool = Arc::new(PmemPool::over_whole(dev));
         let table = PHashTable::with_expected(pool, 4, false).unwrap();
         let mut model: HashMap<u64, u64> = HashMap::new();
         for (k, v) in ops {
@@ -246,10 +246,10 @@ proptest! {
         at in 0u64..3500
     ) {
         use ntadoc_pmem::TxLog;
-        let dev = Rc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
         let log_at = 4096u64;
         dev.write_bytes(log_at + at, &garbage);
-        let mut log = TxLog::new(Rc::clone(&dev), log_at, 4096);
+        let mut log = TxLog::new(Arc::clone(&dev), log_at, 4096);
         // Any verdict is fine; panicking or corrupting unrelated memory
         // is not. A post-recovery transaction must also work.
         let _ = log.recover();

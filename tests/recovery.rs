@@ -7,7 +7,8 @@
 //! ordering between unfenced lines).
 
 use ntadoc_repro::{
-    compress_corpus, Compressed, CrashMode, Engine, EngineConfig, Task, TokenizerConfig,
+    compress_corpus, Compressed, CrashMode, Engine, EngineConfig, RetryPolicy, Task,
+    TokenizerConfig,
 };
 
 fn corpus() -> Compressed {
@@ -23,14 +24,15 @@ fn corpus() -> Compressed {
 fn phase_level_crash_during_traversal_recovers_by_rerunning() {
     let comp = corpus();
     for task in Task::ALL {
-        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-        let mut session = engine.start(task).unwrap();
+        let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+        let mut session = engine.session(task).unwrap();
         // Torn power failure mid-run: everything not phase-persisted is
         // lost or arbitrarily shredded across unfenced lines.
         session.crash_torn(0xD15EA5E);
         session.recover().unwrap();
         let recovered = session.traverse().unwrap_or_else(|e| panic!("{task}: {e}"));
-        let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+        let mut clean_engine =
+            Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let clean = clean_engine.run(task).unwrap();
         assert_eq!(recovered, clean, "{task}: post-crash output differs");
     }
@@ -41,8 +43,8 @@ fn traversal_is_rerunnable_even_without_crash() {
     // Re-running the traversal phase must be idempotent (weights are
     // reset per run) — this is what recovery relies on.
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::WordCount).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::WordCount).unwrap();
     let first = session.traverse().unwrap();
     let second = session.traverse().unwrap();
     assert_eq!(first, second, "second traversal must not double-count");
@@ -52,12 +54,14 @@ fn traversal_is_rerunnable_even_without_crash() {
 fn operation_level_crash_recovers() {
     let comp = corpus();
     for task in [Task::WordCount, Task::InvertedIndex] {
-        let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
-        let mut session = engine.start(task).unwrap();
+        let engine =
+            Engine::builder(comp.clone()).config(EngineConfig::ntadoc_oplevel()).build().unwrap();
+        let mut session = engine.session(task).unwrap();
         session.crash_torn(0xF00D);
         session.recover().unwrap(); // rolls back any in-flight transaction
         let recovered = session.traverse().unwrap();
-        let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc_oplevel()).unwrap();
+        let mut clean_engine =
+            Engine::builder(comp.clone()).config(EngineConfig::ntadoc_oplevel()).build().unwrap();
         let clean = clean_engine.run(task).unwrap();
         assert_eq!(recovered, clean, "{task}: op-level post-crash output differs");
     }
@@ -66,14 +70,15 @@ fn operation_level_crash_recovers() {
 #[test]
 fn multiple_torn_crashes_in_a_row_still_recover() {
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::Sort).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::Sort).unwrap();
     for seed in 0..3u64 {
         session.crash_torn(seed);
         session.recover().unwrap();
     }
     let out = session.traverse().unwrap();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(out, clean_engine.run(Task::Sort).unwrap());
 }
 
@@ -82,13 +87,14 @@ fn configured_torn_mode_applies_to_plain_crash() {
     // Setting the mode once makes every subsequent `crash()` torn — the
     // recovery contract must hold either way.
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::WordCount).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::WordCount).unwrap();
     session.device().set_crash_mode(CrashMode::Torn { seed: 31337 });
     session.crash();
     session.recover().unwrap();
     let out = session.traverse().unwrap();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(out, clean_engine.run(Task::WordCount).unwrap());
 }
 
@@ -97,28 +103,33 @@ fn transient_write_faults_are_absorbed_and_charged() {
     // Faults within the device's bounded retry budget are invisible to the
     // engine apart from the virtual-time and retry-counter cost.
     let comp = corpus();
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::WordCount).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::WordCount).unwrap();
     let cap = session.device().capacity();
     for i in 1..8u64 {
         session.device().inject_transient_write_fault(cap / 8 * i, 2);
     }
     let out = session.traverse().unwrap();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(out, clean_engine.run(Task::WordCount).unwrap());
     let stats = session.device().stats();
     assert!(stats.media_retries > 0, "at least one injected fault must have been hit");
 }
 
 #[test]
-fn run_resilient_matches_run_when_healthy() {
-    // The resilient path must be a pure superset of `run` on a healthy
+fn retrying_engine_matches_run_when_healthy() {
+    // A retry policy must be a pure superset of the default on a healthy
     // device: same output, and a report is produced.
     let comp = corpus();
-    let mut a = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut b = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut a = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut b = Engine::builder(comp.clone())
+        .config(EngineConfig::ntadoc())
+        .retry(RetryPolicy::MediaRetries(3))
+        .build()
+        .unwrap();
     let clean = a.run(Task::WordCount).unwrap();
-    let resilient = b.run_resilient(Task::WordCount, 3).unwrap();
+    let resilient = b.run(Task::WordCount).unwrap();
     assert_eq!(clean, resilient);
     assert!(b.last_report.is_some());
 }
@@ -129,11 +140,12 @@ fn uncorrectable_faults_recover_by_phase_rerun_or_fail_cleanly() {
     // engine-level fallback (recover + phase re-run) must converge when the
     // fault sits in a region the traversal rewrites.
     let comp = corpus();
-    let mut clean_engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
+    let mut clean_engine =
+        Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let clean = clean_engine.run(Task::WordCount).unwrap();
 
-    let engine = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    let mut session = engine.start(Task::WordCount).unwrap();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut session = engine.session(Task::WordCount).unwrap();
     // Sprinkle read faults over the upper (result/scratch) half; lines the
     // traversal never rewrites simply keep their fault and are not read.
     let cap = session.device().capacity();
