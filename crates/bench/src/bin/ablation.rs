@@ -10,10 +10,12 @@
 //! DESIGN.md design-choice claims individually.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, print_matrix, Device, Harness};
+use ntadoc_bench::{geomean, print_matrix, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("ablation");
     let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
     let comp = h.dataset(&spec);
 
@@ -33,20 +35,20 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
-    let mut json = Vec::new();
     for (name, cfg) in &variants {
         let mut vals = Vec::new();
         for (i, &task) in tasks.iter().enumerate() {
             let rep = h.run_engine(&comp, cfg.clone(), Device::Nvm, task);
             let slowdown = rep.total_secs() / full[i];
-            json.push(serde_json::json!({
-                "variant": name,
-                "task": task.name(),
-                "secs": rep.total_secs(),
-                "slowdown_vs_full": slowdown,
-            }));
+            em.row([
+                ("variant", Json::from(*name)),
+                ("task", Json::from(task.name())),
+                ("secs", Json::F64(rep.total_secs())),
+                ("slowdown_vs_full", Json::F64(slowdown)),
+            ]);
             vals.push(slowdown);
         }
+        em.headline(&format!("{}_slowdown_geomean", name.replace(' ', "_")), geomean(&vals));
         rows.push((*name, vals));
     }
     print_matrix(
@@ -54,5 +56,5 @@ fn main() {
         &task_names,
         &rows,
     );
-    dump_json("ablation", &serde_json::Value::Array(json));
+    em.finish();
 }

@@ -3,12 +3,14 @@
 //! C: compression quality, rule structure, and end-to-end analytics time.
 
 use ntadoc::{Engine, EngineConfig, Task};
-use ntadoc_bench::{dump_json, Device, Harness};
+use ntadoc_bench::{Device, Emitter, Harness};
 use ntadoc_datagen::{generate, COARSEN_MIN_EXP};
 use ntadoc_grammar::{compress_corpus, compress_corpus_repair, TokenizerConfig};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("compressors");
     let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
     let files = generate(&spec);
     let tok = TokenizerConfig::default();
@@ -23,7 +25,6 @@ fn main() {
         "{:>10} {:>10} {:>12} {:>12} {:>12}",
         "backend", "rules", "symbols", "ratio", "image KB"
     );
-    let mut json = Vec::new();
     for (name, comp) in [("Sequitur", &seq), ("RePair", &rp)] {
         let s = comp.grammar.stats();
         let image = ntadoc_grammar::serialize_compressed(comp).len();
@@ -35,13 +36,14 @@ fn main() {
             comp.grammar.compression_ratio(),
             image / 1024
         );
-        json.push(serde_json::json!({
-            "backend": name,
-            "rules": s.rule_count,
-            "symbols": s.total_symbols,
-            "ratio": comp.grammar.compression_ratio(),
-            "image_bytes": image,
-        }));
+        em.row([
+            ("backend", Json::from(name)),
+            ("rules", Json::U64(s.rule_count as u64)),
+            ("symbols", Json::U64(s.total_symbols as u64)),
+            ("ratio", Json::F64(comp.grammar.compression_ratio())),
+            ("image_bytes", Json::U64(image as u64)),
+        ]);
+        em.headline(&format!("{}_ratio", name.to_lowercase()), comp.grammar.compression_ratio());
     }
 
     println!("\n{:>10} {:>24} {:>12} {:>12}", "backend", "task", "total s", "trav s");
@@ -62,12 +64,12 @@ fn main() {
                 rep.total_secs(),
                 rep.traversal_secs()
             );
-            json.push(serde_json::json!({
-                "backend": name,
-                "task": task.name(),
-                "total_secs": rep.total_secs(),
-                "traversal_secs": rep.traversal_secs(),
-            }));
+            em.row([
+                ("backend", Json::from(name)),
+                ("task", Json::from(task.name())),
+                ("total_secs", Json::F64(rep.total_secs())),
+                ("traversal_secs", Json::F64(rep.traversal_secs())),
+            ]);
         }
     }
     // Correctness guard: the two substrates must agree.
@@ -80,5 +82,5 @@ fn main() {
     );
     println!("\nboth substrates produce identical analytics results ✓");
     let _ = Device::Nvm;
-    dump_json("compressors", &serde_json::Value::Array(json));
+    em.finish();
 }

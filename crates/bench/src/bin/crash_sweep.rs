@@ -15,9 +15,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ntadoc::{Engine, EngineConfig, Task};
-use ntadoc_bench::{dump_json, Harness};
+use ntadoc_bench::{Emitter, Harness};
 use ntadoc_grammar::Compressed;
-use ntadoc_pmem::{panic_is_injected_crash, Prng};
+use ntadoc_pmem::{panic_is_injected_crash, Json, Prng};
 
 struct StrategySweep {
     label: &'static str,
@@ -165,7 +165,8 @@ fn main() {
 
     println!("== Crash-point sweep: every persist point, torn-write model ==");
     println!("corpus: {} | seeds: {:?}\n", spec.name, seeds());
-    let mut json = Vec::new();
+    let mut em = Emitter::new("crash_sweep");
+    let mut total_converged = 0u64;
     for (cfg, label) in [
         (EngineConfig::ntadoc(), "phase-level"),
         (EngineConfig::ntadoc_oplevel(), "operation-level"),
@@ -190,22 +191,24 @@ fn main() {
             s.mean_recovery_ns / s.clean_ns as f64,
         );
         assert_eq!(fired, mid_converged, "{label}: a mid-write crash diverged");
-        json.push(serde_json::json!({
-            "strategy": s.label,
-            "persist_points": s.persist_points,
-            "stride": s.stride,
-            "seeds": seeds(),
-            "converged": s.converged,
-            "completed_early": s.completed_early,
-            "mid_write_fired": fired,
-            "mid_write_converged": mid_converged,
-            "clean_ns": s.clean_ns,
-            "mean_recovery_ns": s.mean_recovery_ns,
-        }));
+        em.row([
+            ("strategy", Json::from(s.label)),
+            ("persist_points", Json::U64(s.persist_points)),
+            ("stride", Json::U64(s.stride)),
+            ("seeds", Json::Arr(seeds().into_iter().map(Json::U64).collect())),
+            ("converged", Json::U64(s.converged)),
+            ("completed_early", Json::U64(s.completed_early)),
+            ("mid_write_fired", Json::U64(fired)),
+            ("mid_write_converged", Json::U64(mid_converged)),
+            ("clean_ns", Json::U64(s.clean_ns)),
+            ("mean_recovery_ns", Json::F64(s.mean_recovery_ns)),
+        ]);
+        total_converged += s.converged + mid_converged;
     }
     println!(
         "Every enumerated crash state recovered to the crash-free result —\n\
          the §IV-E recovery protocols hold at ALICE-style exhaustiveness."
     );
-    dump_json("crash_sweep", &serde_json::Value::Array(json));
+    em.headline_u64("crashes_converged", total_converged);
+    em.finish();
 }

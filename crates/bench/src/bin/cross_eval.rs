@@ -2,34 +2,31 @@
 //! environment: "N-TADOC on NVM achieves a 5× speedup over TADOC on NVM."
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, geomean, print_matrix, Device, Harness};
+use ntadoc_bench::{Cell, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
-    let specs = h.specs();
-    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for task in Task::ALL {
-        let mut vals = Vec::new();
-        for spec in &specs {
+    let mut em = Emitter::new("cross_eval");
+    let avg = h.run_and_emit(
+        &mut em,
+        "§VI-F — N-TADOC speedup over TADOC on NVM",
+        "speedup",
+        "speedup_geomean",
+        &Task::ALL,
+        |spec, task| {
             let comp = h.dataset(spec);
             let nt = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
             let naive = h.run_engine(&comp, EngineConfig::naive(), Device::Nvm, task);
-            let speedup = naive.total_secs() / nt.total_secs();
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "ntadoc_secs": nt.total_secs(),
-                "tadoc_on_nvm_secs": naive.total_secs(),
-                "speedup": speedup,
-            }));
-            vals.push(speedup);
-        }
-        rows.push((task.name(), vals));
-    }
-    print_matrix("§VI-F — N-TADOC speedup over TADOC on NVM", &names, &rows);
-    let all: Vec<f64> = rows.iter().flat_map(|(_, v)| v.iter().copied()).collect();
-    println!("\nmeasured average: {:.2}x   (paper: ~5x)", geomean(&all));
-    dump_json("cross_eval", &serde_json::Value::Array(json));
+            Cell {
+                value: naive.total_secs() / nt.total_secs(),
+                fields: vec![
+                    ("ntadoc_secs", Json::F64(nt.total_secs())),
+                    ("tadoc_on_nvm_secs", Json::F64(naive.total_secs())),
+                ],
+            }
+        },
+    );
+    println!("\nmeasured average: {avg:.2}x   (paper: ~5x)");
+    em.finish();
 }

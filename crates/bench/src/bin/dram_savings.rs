@@ -1,22 +1,24 @@
 //! §VI-C — DRAM space savings: peak DRAM residency of N-TADOC vs TADOC
 //! (the RSS measurement in the paper, stood in for by the allocation
-//! ledger's per-device peaks).
+//! ledger's per-device peak gauges in each report's metric snapshot).
 //!
 //! Paper: average saving 70.7% (A 65.6%, B 70.7%, C 72.2%, D 74.3%);
 //! word count saves the most (79.8%), sequence count the least (60.7%).
 
-use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, mean, Device, Harness};
+use ntadoc::{EngineConfig, RunReport, Task, METRIC_DRAM_PEAK};
+use ntadoc_bench::{mean, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("dram_savings");
     let specs = h.specs();
     println!("== §VI-C — DRAM space savings of N-TADOC vs TADOC ==");
     println!(
         "{:24} {:>6} {:>14} {:>14} {:>10}",
         "Benchmark", "DS", "TADOC KB", "N-TADOC KB", "saving"
     );
-    let mut json = Vec::new();
+    let dram_peak = |rep: &RunReport| rep.metric_f64(METRIC_DRAM_PEAK).expect("dram peak gauge");
     let mut per_dataset: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
     let mut per_task: Vec<Vec<f64>> = vec![Vec::new(); Task::ALL.len()];
     for (ti, task) in Task::ALL.into_iter().enumerate() {
@@ -24,22 +26,22 @@ fn main() {
             let comp = h.dataset(spec);
             let nt = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
             let dram = h.run_engine(&comp, EngineConfig::tadoc_dram(), Device::Dram, task);
-            let saving = 1.0 - nt.dram_peak_bytes as f64 / dram.dram_peak_bytes as f64;
+            let saving = 1.0 - dram_peak(&nt) / dram_peak(&dram);
             println!(
                 "{:24} {:>6} {:>14} {:>14} {:>9.1}%",
                 task.name(),
                 spec.name,
-                dram.dram_peak_bytes / 1024,
-                nt.dram_peak_bytes / 1024,
+                dram_peak(&dram) as u64 / 1024,
+                dram_peak(&nt) as u64 / 1024,
                 saving * 100.0
             );
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "tadoc_dram_peak": dram.dram_peak_bytes,
-                "ntadoc_dram_peak": nt.dram_peak_bytes,
-                "saving": saving,
-            }));
+            em.row([
+                ("dataset", Json::from(spec.name)),
+                ("task", Json::from(task.name())),
+                ("tadoc_dram_peak", Json::F64(dram_peak(&dram))),
+                ("ntadoc_dram_peak", Json::F64(dram_peak(&nt))),
+                ("saving", Json::F64(saving)),
+            ]);
             per_dataset[di].push(saving);
             per_task[ti].push(saving);
         }
@@ -56,5 +58,6 @@ fn main() {
     }
     let all: Vec<f64> = per_dataset.iter().flatten().copied().collect();
     println!("\noverall average saving: {:.1}%  (paper: 70.7%)", mean(&all) * 100.0);
-    dump_json("dram_savings", &serde_json::Value::Array(json));
+    em.headline("saving_mean", mean(&all));
+    em.finish();
 }

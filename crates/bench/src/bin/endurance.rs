@@ -8,15 +8,16 @@
 //! persistence).
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, geomean, print_matrix, Device, Harness};
+use ntadoc_bench::{geomean, print_matrix, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("endurance");
     let specs = h.specs();
     let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
     let mut rows_wb = Vec::new();
     let mut rows_bytes = Vec::new();
-    let mut json = Vec::new();
     for task in Task::ALL {
         let mut wb = Vec::new();
         let mut bytes = Vec::new();
@@ -26,14 +27,14 @@ fn main() {
             let base = h.run_baseline(&comp, EngineConfig::ntadoc(), task);
             wb.push(base.stats.write_backs as f64 / nt.stats.write_backs.max(1) as f64);
             bytes.push(base.stats.bytes_written as f64 / nt.stats.bytes_written.max(1) as f64);
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "ntadoc_write_backs": nt.stats.write_backs,
-                "baseline_write_backs": base.stats.write_backs,
-                "ntadoc_bytes_written": nt.stats.bytes_written,
-                "baseline_bytes_written": base.stats.bytes_written,
-            }));
+            em.row([
+                ("dataset", Json::from(spec.name)),
+                ("task", Json::from(task.name())),
+                ("ntadoc_write_backs", Json::U64(nt.stats.write_backs)),
+                ("baseline_write_backs", Json::U64(base.stats.write_backs)),
+                ("ntadoc_bytes_written", Json::U64(nt.stats.bytes_written)),
+                ("baseline_bytes_written", Json::U64(base.stats.bytes_written)),
+            ]);
         }
         rows_wb.push((task.name(), wb));
         rows_bytes.push((task.name(), bytes));
@@ -50,5 +51,8 @@ fn main() {
          §I durability argument quantified.",
         geomean(&all)
     );
-    dump_json("endurance", &serde_json::Value::Array(json));
+    em.headline("write_back_reduction_geomean", geomean(&all));
+    let all_bytes: Vec<f64> = rows_bytes.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    em.headline("bytes_written_reduction_geomean", geomean(&all_bytes));
+    em.finish();
 }

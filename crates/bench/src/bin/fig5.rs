@@ -6,48 +6,49 @@
 //! (term vector, inverted index) are the moderate cases.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, print_matrix, Device, Harness};
+use ntadoc_bench::{Cell, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
-fn panel(h: &Harness, cfg_nt: EngineConfig, label: &str) -> Vec<serde_json::Value> {
-    let specs = h.specs();
-    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for task in Task::ALL {
-        let mut vals = Vec::new();
-        for spec in &specs {
+fn panel(
+    h: &Harness,
+    em: &mut Emitter,
+    cfg_nt: EngineConfig,
+    label: &'static str,
+    headline_key: &str,
+) -> f64 {
+    h.run_and_emit(
+        em,
+        &format!("Figure 5({label}) — N-TADOC speedup over uncompressed on NVM"),
+        "speedup",
+        headline_key,
+        &Task::ALL,
+        |spec, task| {
             let comp = h.dataset(spec);
             let nt = h.run_engine(&comp, cfg_nt.clone(), Device::Nvm, task);
             let base = h.run_baseline(&comp, cfg_nt.clone(), task);
-            let speedup = base.total_secs() / nt.total_secs();
-            json.push(serde_json::json!({
-                "panel": label,
-                "dataset": spec.name,
-                "task": task.name(),
-                "ntadoc_secs": nt.total_secs(),
-                "baseline_secs": base.total_secs(),
-                "speedup": speedup,
-            }));
-            vals.push(speedup);
-        }
-        rows.push((task.name(), vals));
-    }
-    print_matrix(
-        &format!("Figure 5({label}) — N-TADOC speedup over uncompressed on NVM"),
-        &names,
-        &rows,
-    );
-    json
+            Cell {
+                value: base.total_secs() / nt.total_secs(),
+                fields: vec![
+                    ("panel", Json::from(label)),
+                    ("ntadoc_secs", Json::F64(nt.total_secs())),
+                    ("baseline_secs", Json::F64(base.total_secs())),
+                ],
+            }
+        },
+    )
 }
 
 fn main() {
     let h = Harness::new();
-    let mut json = panel(&h, EngineConfig::ntadoc(), "a: phase-level");
-    json.extend(panel(&h, EngineConfig::ntadoc_oplevel(), "b: operation-level"));
+    let mut em = Emitter::new("fig5");
+    panel(&h, &mut em, EngineConfig::ntadoc(), "a: phase-level", "speedup_geomean_phase");
+    panel(&h, &mut em, EngineConfig::ntadoc_oplevel(), "b: operation-level", "speedup_geomean_op");
     println!("\npaper: (a) avg 2.04x, (b) avg 1.40x");
 
     // Within-engine §IV-E trade-off: operation-level must cost more than
-    // phase-level for BOTH systems on every dataset.
+    // phase-level for BOTH systems on every dataset. Attach the N-TADOC
+    // phase-level report so the span tree behind the headline is in the
+    // document.
     println!("\n== §IV-E — operation-level overhead vs phase-level (same engine) ==");
     println!("{:>8} {:>18} {:>18}", "dataset", "N-TADOC op/phase", "baseline op/phase");
     for spec in h.specs() {
@@ -63,6 +64,7 @@ fn main() {
             nt_o.total_secs() / nt_p.total_secs(),
             b_o.total_secs() / b_p.total_secs()
         );
+        em.attach_report(&format!("ntadoc/phase-level/{}/word count", spec.name), &nt_p);
     }
-    dump_json("fig5", &serde_json::Value::Array(json));
+    em.finish();
 }

@@ -3,43 +3,35 @@
 //!
 //! Paper: N-TADOC is 1.59× slower on average; word count is the worst
 //! task (2.26×), the smallest dataset A shows the largest gap (1.55×
-//! average), and the gap narrows as datasets grow.
+//! average), and the gap narrows as datasets grow — read it off the
+//! matrix's per-dataset geomean row.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, geomean, print_matrix, Device, Harness};
+use ntadoc_bench::{Cell, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
-    let specs = h.specs();
-    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for task in Task::ALL {
-        let mut vals = Vec::new();
-        for spec in &specs {
+    let mut em = Emitter::new("fig6");
+    let avg = h.run_and_emit(
+        &mut em,
+        "Figure 6 — N-TADOC slowdown vs TADOC on DRAM",
+        "slowdown",
+        "slowdown_geomean",
+        &Task::ALL,
+        |spec, task| {
             let comp = h.dataset(spec);
             let nt = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
             let dram = h.run_engine(&comp, EngineConfig::tadoc_dram(), Device::Dram, task);
-            let slowdown = nt.total_secs() / dram.total_secs();
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "ntadoc_secs": nt.total_secs(),
-                "tadoc_dram_secs": dram.total_secs(),
-                "slowdown": slowdown,
-            }));
-            vals.push(slowdown);
-        }
-        rows.push((task.name(), vals));
-    }
-    print_matrix("Figure 6 — N-TADOC slowdown vs TADOC on DRAM", &names, &rows);
-
-    // Per-dataset averages to check the size trend (A worst, narrowing).
-    println!("\nper-dataset slowdown trend (paper: A worst at 1.55x, narrowing with size):");
-    for (i, name) in names.iter().enumerate() {
-        let col: Vec<f64> = rows.iter().map(|(_, v)| v[i]).collect();
-        println!("  {name}: {:.2}x", geomean(&col));
-    }
-    println!("\npaper: avg 1.59x; word count worst at 2.26x");
-    dump_json("fig6", &serde_json::Value::Array(json));
+            Cell {
+                value: nt.total_secs() / dram.total_secs(),
+                fields: vec![
+                    ("ntadoc_secs", Json::F64(nt.total_secs())),
+                    ("tadoc_dram_secs", Json::F64(dram.total_secs())),
+                ],
+            }
+        },
+    );
+    println!("\nmeasured average: {avg:.2}x   (paper: avg 1.59x; word count worst at 2.26x)");
+    em.finish();
 }

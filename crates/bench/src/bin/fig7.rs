@@ -5,41 +5,38 @@
 //! Paper: average speedup 1.87× over SSD and 2.92× over HDD.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, print_matrix, Device, Harness};
+use ntadoc_bench::{Cell, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
-    let specs = h.specs();
-    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-    let mut json = Vec::new();
-    for (dev, dev_name, paper) in [(Device::Ssd, "SSD", 1.87), (Device::Hdd, "HDD", 2.92)] {
-        let mut rows = Vec::new();
-        for task in Task::ALL {
-            let mut vals = Vec::new();
-            for spec in &specs {
-                let comp = h.dataset(spec);
-                let nvm = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
-                let block = h.run_engine(&comp, EngineConfig::ntadoc(), dev, task);
-                let speedup = block.total_secs() / nvm.total_secs();
-                json.push(serde_json::json!({
-                    "device": dev_name,
-                    "dataset": spec.name,
-                    "task": task.name(),
-                    "nvm_secs": nvm.total_secs(),
-                    "block_secs": block.total_secs(),
-                    "speedup": speedup,
-                }));
-                vals.push(speedup);
-            }
-            rows.push((task.name(), vals));
-        }
-        print_matrix(
+    let mut em = Emitter::new("fig7");
+    for (dev, dev_name, paper, key) in [
+        (Device::Ssd, "SSD", 1.87, "ssd_speedup_geomean"),
+        (Device::Hdd, "HDD", 2.92, "hdd_speedup_geomean"),
+    ] {
+        h.run_and_emit(
+            &mut em,
             &format!(
                 "Figure 7 — N-TADOC NVM speedup over N-TADOC on {dev_name} (paper avg {paper}x)"
             ),
-            &names,
-            &rows,
+            "speedup",
+            key,
+            &Task::ALL,
+            |spec, task| {
+                let comp = h.dataset(spec);
+                let nvm = h.run_engine(&comp, EngineConfig::ntadoc(), Device::Nvm, task);
+                let block = h.run_engine(&comp, EngineConfig::ntadoc(), dev, task);
+                Cell {
+                    value: block.total_secs() / nvm.total_secs(),
+                    fields: vec![
+                        ("device", Json::from(dev_name)),
+                        ("nvm_secs", Json::F64(nvm.total_secs())),
+                        ("block_secs", Json::F64(block.total_secs())),
+                    ],
+                }
+            },
         );
     }
-    dump_json("fig7", &serde_json::Value::Array(json));
+    em.finish();
 }

@@ -5,38 +5,34 @@
 //! original TADOC on DRAM.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, geomean, print_matrix, Device, Harness};
+use ntadoc_bench::{Cell, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
-    let specs = h.specs();
-    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for task in Task::ALL {
-        let mut vals = Vec::new();
-        for spec in &specs {
+    let mut em = Emitter::new("naive_overhead");
+    let avg = h.run_and_emit(
+        &mut em,
+        "§III-B — naive TADOC-on-NVM overhead vs TADOC on DRAM",
+        "overhead",
+        "overhead_geomean",
+        &Task::ALL,
+        |spec, task| {
             let comp = h.dataset(spec);
             let naive = h.run_engine(&comp, EngineConfig::naive(), Device::Nvm, task);
             let dram = h.run_engine(&comp, EngineConfig::tadoc_dram(), Device::Dram, task);
-            let overhead = naive.total_secs() / dram.total_secs();
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "naive_nvm_secs": naive.total_secs(),
-                "tadoc_dram_secs": dram.total_secs(),
-                "overhead": overhead,
-            }));
-            vals.push(overhead);
-        }
-        rows.push((task.name(), vals));
-    }
-    print_matrix("§III-B — naive TADOC-on-NVM overhead vs TADOC on DRAM", &names, &rows);
-    let all: Vec<f64> = rows.iter().flat_map(|(_, v)| v.iter().copied()).collect();
-    println!(
-        "\nmeasured average overhead: {:.2}x   (paper: 13.37x; the residual gap is\n\
-         PMDK-internal bookkeeping our allocator-cost model does not fully include)",
-        geomean(&all)
+            Cell {
+                value: naive.total_secs() / dram.total_secs(),
+                fields: vec![
+                    ("naive_nvm_secs", Json::F64(naive.total_secs())),
+                    ("tadoc_dram_secs", Json::F64(dram.total_secs())),
+                ],
+            }
+        },
     );
-    dump_json("naive_overhead", &serde_json::Value::Array(json));
+    println!(
+        "\nmeasured average overhead: {avg:.2}x   (paper: 13.37x; the residual gap is\n\
+         PMDK-internal bookkeeping our allocator-cost model does not fully include)"
+    );
+    em.finish();
 }

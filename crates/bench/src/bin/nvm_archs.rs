@@ -9,11 +9,12 @@
 //! exactly the traffic those devices punish.
 
 use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
-use ntadoc_bench::{dump_json, geomean, Harness};
-use ntadoc_pmem::DeviceProfile;
+use ntadoc_bench::{geomean, Emitter, Harness};
+use ntadoc_pmem::{DeviceProfile, Json};
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("nvm_archs");
     let spec = h.specs().into_iter().find(|s| s.name == "C").expect("dataset C");
     let comp = h.dataset(&spec);
     let archs = [DeviceProfile::nvm_optane(), DeviceProfile::reram(), DeviceProfile::pcm()];
@@ -22,7 +23,6 @@ fn main() {
         "{:>8} {:>24} {:>14} {:>14} {:>10}",
         "device", "task", "N-TADOC s", "uncompressed s", "speedup"
     );
-    let mut json = Vec::new();
     for profile in archs {
         let mut speedups = Vec::new();
         for task in Task::ALL {
@@ -49,16 +49,20 @@ fn main() {
                 base_rep.total_secs(),
                 speedup
             );
-            json.push(serde_json::json!({
-                "device": profile.name,
-                "task": task.name(),
-                "ntadoc_secs": nt_rep.total_secs(),
-                "baseline_secs": base_rep.total_secs(),
-                "speedup": speedup,
-            }));
+            em.row([
+                ("device", Json::from(profile.name)),
+                ("task", Json::from(task.name())),
+                ("ntadoc_secs", Json::F64(nt_rep.total_secs())),
+                ("baseline_secs", Json::F64(base_rep.total_secs())),
+                ("speedup", Json::F64(speedup)),
+            ]);
             speedups.push(speedup);
         }
         println!("{:>8} {:>24} {:>44.2}x\n", profile.name, "geomean", geomean(&speedups));
+        em.headline(
+            &format!("{}_speedup_geomean", profile.name.to_lowercase()),
+            geomean(&speedups),
+        );
     }
-    dump_json("nvm_archs", &serde_json::Value::Array(json));
+    em.finish();
 }

@@ -1,59 +1,117 @@
-//! Aggregate the JSON dumps under `target/experiments/` into one Markdown
-//! summary (`target/experiments/REPORT.md`) — run the individual
-//! experiment binaries first, then this.
+//! Validate and aggregate the documents under `target/experiments/`:
+//! every `*.json` there must satisfy the version-1 experiment schema
+//! (the process exits nonzero on the first violation — CI runs this as
+//! the schema gate), then the rows are folded into one Markdown summary
+//! (`target/experiments/REPORT.md`) and the headline numbers are
+//! regenerated into `BENCH_summary.json` at the repository root. Run the
+//! individual experiment binaries first, then this.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use serde_json::Value;
+use ntadoc_bench::{geomean, validate_document, EXPERIMENTS_DIR, SCHEMA_VERSION, SUMMARY_PATH};
+use ntadoc_pmem::Json;
 
-fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+/// Load, parse, and schema-validate every emitted document.
+///
+/// Returns `experiment name → document`, or the list of violations.
+fn load_all() -> Result<BTreeMap<String, Json>, Vec<String>> {
+    let mut docs = BTreeMap::new();
+    let mut violations = Vec::new();
+    let entries = match std::fs::read_dir(EXPERIMENTS_DIR) {
+        Ok(e) => e,
+        Err(_) => return Ok(docs), // nothing emitted yet
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                violations.push(format!("{}: not JSON: {e}", path.display()));
+                continue;
+            }
+        };
+        if let Err(e) = validate_document(&doc) {
+            violations.push(format!("{}: schema violation: {e}", path.display()));
+            continue;
+        }
+        let name = doc.get("experiment").and_then(Json::as_str).unwrap_or_default().to_string();
+        docs.insert(name, doc);
     }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    if violations.is_empty() {
+        Ok(docs)
+    } else {
+        Err(violations)
+    }
 }
 
-fn load(name: &str) -> Option<Vec<Value>> {
-    let path = format!("target/experiments/{name}.json");
-    let bytes = std::fs::read(path).ok()?;
-    serde_json::from_slice::<Value>(&bytes).ok()?.as_array().cloned()
+fn rows(doc: &Json) -> &[Json] {
+    doc.get("rows").and_then(Json::as_arr).unwrap_or_default()
 }
 
 /// Pull a named ratio column out of a row list and geomean it per task.
-fn per_task_geomean(rows: &[Value], field: &str) -> BTreeMap<String, f64> {
+fn per_task_geomean(rows: &[Json], field: &str) -> BTreeMap<String, f64> {
     let mut by_task: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for r in rows {
-        if let (Some(task), Some(v)) = (r["task"].as_str(), r[field].as_f64()) {
+        if let (Some(task), Some(v)) =
+            (r.get("task").and_then(Json::as_str), r.get(field).and_then(Json::as_f64))
+        {
             by_task.entry(task.to_string()).or_default().push(v);
         }
     }
     by_task.into_iter().map(|(t, v)| (t, geomean(&v))).collect()
 }
 
-fn all_ratios(rows: &[Value], field: &str) -> Vec<f64> {
-    rows.iter().filter_map(|r| r[field].as_f64()).collect()
+fn all_ratios(rows: &[Json], field: &str) -> Vec<f64> {
+    rows.iter().filter_map(|r| r.get(field).and_then(Json::as_f64)).collect()
 }
 
 fn main() {
+    let docs = match load_all() {
+        Ok(d) => d,
+        Err(violations) => {
+            eprintln!("[report] schema validation FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "[report] {} document(s) under {EXPERIMENTS_DIR} validate against schema v{SCHEMA_VERSION}",
+        docs.len()
+    );
+
     let mut md = String::new();
     let _ = writeln!(md, "# Experiment report (auto-generated)\n");
     let _ = writeln!(md, "Regenerate with the `ntadoc-bench` binaries, then `--bin report`.\n");
 
-    if let Some(rows) = load("table1") {
+    if let Some(doc) = docs.get("table1") {
         let _ = writeln!(md, "## Table I — datasets\n");
         let _ = writeln!(md, "| dataset | files | rules | vocabulary | words | ratio |");
         let _ = writeln!(md, "|---|---|---|---|---|---|");
-        for r in &rows {
+        for r in rows(doc) {
+            let cell = |k: &str| r.get(k).map(|v| v.compact()).unwrap_or_else(|| "?".to_string());
             let _ = writeln!(
                 md,
                 "| {} | {} | {} | {} | {} | {:.2}x |",
-                r["dataset"].as_str().unwrap_or("?"),
-                r["files"],
-                r["rules"],
-                r["vocabulary"],
-                r["words"],
-                r["compression_ratio"].as_f64().unwrap_or(0.0)
+                r.get("dataset").and_then(Json::as_str).unwrap_or("?"),
+                cell("files"),
+                cell("rules"),
+                cell("vocabulary"),
+                cell("words"),
+                r.get("compression_ratio").and_then(Json::as_f64).unwrap_or(0.0)
             );
         }
         let _ = writeln!(md);
@@ -66,26 +124,29 @@ fn main() {
         ("naive_overhead", "overhead", "§III-B — naive port overhead", "13.37x"),
         ("cross_eval", "speedup", "§VI-F — N-TADOC over TADOC on NVM", "~5x"),
     ] {
-        if let Some(rows) = load(name) {
+        if let Some(doc) = docs.get(name) {
+            let rows = rows(doc);
             let _ = writeln!(md, "## {title}\n");
             let _ = writeln!(md, "Paper: {paper}. Measured per task (geomean over datasets):\n");
             let _ = writeln!(md, "| task | measured |");
             let _ = writeln!(md, "|---|---|");
-            for (task, v) in per_task_geomean(&rows, field) {
+            for (task, v) in per_task_geomean(rows, field) {
                 let _ = writeln!(md, "| {task} | {v:.2}x |");
             }
             let _ =
-                writeln!(md, "| **overall** | **{:.2}x** |\n", geomean(&all_ratios(&rows, field)));
+                writeln!(md, "| **overall** | **{:.2}x** |\n", geomean(&all_ratios(rows, field)));
         }
     }
 
-    if let Some(rows) = load("dram_savings") {
+    if let Some(doc) = docs.get("dram_savings") {
         let _ = writeln!(md, "## §VI-C — DRAM savings (paper: 70.7% avg)\n");
         let _ = writeln!(md, "| task | measured saving |");
         let _ = writeln!(md, "|---|---|");
         let mut by_task: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-        for r in &rows {
-            if let (Some(t), Some(s)) = (r["task"].as_str(), r["saving"].as_f64()) {
+        for r in rows(doc) {
+            if let (Some(t), Some(s)) =
+                (r.get("task").and_then(Json::as_str), r.get("saving").and_then(Json::as_f64))
+            {
                 by_task.entry(t.to_string()).or_default().push(s);
             }
         }
@@ -102,25 +163,44 @@ fn main() {
         );
     }
 
-    if let Some(rows) = load("traversal_opt") {
+    if let Some(doc) = docs.get("traversal_opt") {
         let _ =
             writeln!(md, "## §VI-E — top-down vs bottom-up on B (paper: ~1000x at 134k files)\n");
         let _ = writeln!(md, "| files | task | ratio |");
         let _ = writeln!(md, "|---|---|---|");
-        for r in &rows {
+        for r in rows(doc) {
             let _ = writeln!(
                 md,
                 "| {} | {} | {:.1}x |",
-                r["files"],
-                r["task"].as_str().unwrap_or("?"),
-                r["ratio"].as_f64().unwrap_or(0.0)
+                r.get("files").and_then(Json::as_u64).unwrap_or(0),
+                r.get("task").and_then(Json::as_str).unwrap_or("?"),
+                r.get("ratio").and_then(Json::as_f64).unwrap_or(0.0)
             );
         }
         let _ = writeln!(md);
     }
 
-    std::fs::create_dir_all("target/experiments").expect("experiments dir");
-    std::fs::write("target/experiments/REPORT.md", &md).expect("write report");
+    std::fs::create_dir_all(EXPERIMENTS_DIR).expect("experiments dir");
+    std::fs::write(format!("{EXPERIMENTS_DIR}/REPORT.md"), &md).expect("write report");
     println!("{md}");
-    eprintln!("[report] wrote target/experiments/REPORT.md");
+    eprintln!("[report] wrote {EXPERIMENTS_DIR}/REPORT.md");
+
+    // Regenerate the summary from scratch out of the validated documents
+    // (the incremental merges in each binary's `finish` produce the same
+    // content; this makes the summary reproducible from the documents
+    // alone).
+    let mut experiments = BTreeMap::new();
+    for (name, doc) in &docs {
+        let mut entry = doc.get("headline").and_then(Json::as_obj).cloned().unwrap_or_default();
+        if let Some(scale) = doc.get("meta").and_then(|m| m.get("scale")) {
+            entry.insert("scale".to_string(), scale.clone());
+        }
+        experiments.insert(name.clone(), Json::Obj(entry));
+    }
+    let summary = Json::object([
+        ("schema_version", Json::U64(SCHEMA_VERSION as u64)),
+        ("experiments", Json::Obj(experiments)),
+    ]);
+    std::fs::write(SUMMARY_PATH, summary.pretty()).expect("write summary");
+    eprintln!("[report] wrote {SUMMARY_PATH}");
 }

@@ -16,16 +16,18 @@
 use std::time::Instant;
 
 use ntadoc::{Engine, EngineConfig, Task, TaskOutput};
-use ntadoc_bench::dump_json;
+use ntadoc_bench::Emitter;
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
-use ntadoc_pmem::par;
+use ntadoc_pmem::{par, Json};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const BATCH: usize = 64;
 
 fn main() {
+    let mut em = Emitter::new("serve_bench");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!("[env] {cores} hardware thread(s) available");
+    em.meta("cores", Json::U64(cores as u64));
     let scale = std::env::var("NTADOC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let spec = DatasetSpec::c().scaled(scale);
     eprintln!(
@@ -49,7 +51,6 @@ fn main() {
         .map(|i| [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex][i % 4])
         .collect();
 
-    let mut json_rows = Vec::new();
     let mut wc_speedup_at_8 = 0.0f64;
     for (label, batch) in [("word-count", &wc_batch), ("mixed", &mixed_batch)] {
         println!("\n== serve throughput: {label} ×{BATCH} ==");
@@ -89,13 +90,13 @@ fn main() {
                 wc_speedup_at_8 = tps / base_tps;
             }
             println!("{threads:>8} {tps:>12.1} {:>9.2}x {virtual_ns:>14}", tps / base_tps);
-            json_rows.push(serde_json::json!({
-                "batch": label,
-                "threads": threads,
-                "tasks_per_sec": tps,
-                "speedup": tps / base_tps,
-                "virtual_ns": virtual_ns,
-            }));
+            em.row([
+                ("batch", Json::from(label)),
+                ("threads", Json::U64(threads as u64)),
+                ("tasks_per_sec", Json::F64(tps)),
+                ("speedup", Json::F64(tps / base_tps)),
+                ("virtual_ns", Json::U64(virtual_ns)),
+            ]);
         }
     }
     println!(
@@ -110,8 +111,6 @@ fn main() {
     } else {
         eprintln!("[env] fewer than 8 cores; skipping the ≥2x speedup check");
     }
-    dump_json(
-        "serve_bench",
-        &serde_json::json!({ "scale": scale, "cores": cores, "rows": json_rows }),
-    );
+    em.headline("word_count_speedup_at_8", wc_speedup_at_8);
+    em.finish();
 }

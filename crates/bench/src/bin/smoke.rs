@@ -1,9 +1,16 @@
-use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine};
+//! Smoke run — all six tasks on dataset C across the four engines
+//! (N-TADOC, uncompressed baseline, TADOC-on-DRAM, naive port), printing
+//! virtual and wall-clock times, and attaching every N-TADOC report —
+//! span tree included — to the emitted document.
+
+use ntadoc::{Engine, EngineConfig, Task, UncompressedEngine, METRIC_DRAM_PEAK};
+use ntadoc_bench::Emitter;
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
-use ntadoc_pmem::DeviceProfile;
+use ntadoc_pmem::{DeviceProfile, Json};
 use std::time::Instant;
 
 fn main() {
+    let mut em = Emitter::new("smoke");
     let spec = DatasetSpec::c().scaled(1.0);
     let t0 = Instant::now();
     let comp = generate_compressed(&spec);
@@ -17,14 +24,8 @@ fn main() {
         stats.files
     );
 
-    for task in [
-        Task::WordCount,
-        Task::Sort,
-        Task::TermVector,
-        Task::InvertedIndex,
-        Task::SequenceCount,
-        Task::RankedInvertedIndex,
-    ] {
+    let mut speedups = Vec::new();
+    for task in Task::ALL {
         let t = Instant::now();
         let mut nt = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         nt.run(task).unwrap();
@@ -62,12 +63,26 @@ fn main() {
             nt_rep.total_secs()/dram_rep.total_secs(),
             naive_rep.total_secs()/nt_rep.total_secs(),
             nt_wall, base_wall, dram_wall, naive_wall);
+        let peak_kb =
+            |rep: &ntadoc::RunReport| rep.metric_f64(METRIC_DRAM_PEAK).unwrap_or(0.0) as u64 / 1024;
         println!(
             "   dram_peak NT={}KB dram-eng={}KB   init/trav NT={:.3}/{:.3}",
-            nt_rep.dram_peak_bytes / 1024,
-            dram_rep.dram_peak_bytes / 1024,
+            peak_kb(&nt_rep),
+            peak_kb(&dram_rep),
             nt_rep.init_secs(),
             nt_rep.traversal_secs()
         );
+        em.row([
+            ("task", Json::from(task.name())),
+            ("ntadoc_secs", Json::F64(nt_rep.total_secs())),
+            ("baseline_secs", Json::F64(base_rep.total_secs())),
+            ("tadoc_dram_secs", Json::F64(dram_rep.total_secs())),
+            ("naive_secs", Json::F64(naive_rep.total_secs())),
+            ("speedup_vs_baseline", Json::F64(base_rep.total_secs() / nt_rep.total_secs())),
+        ]);
+        speedups.push(base_rep.total_secs() / nt_rep.total_secs());
+        em.attach_report(&format!("ntadoc/{}", task.name()), &nt_rep);
     }
+    em.headline("speedup_vs_baseline_geomean", ntadoc_bench::geomean(&speedups));
+    em.finish();
 }

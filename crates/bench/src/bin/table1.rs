@@ -6,16 +6,18 @@
 //! file-count ordering (B ≫ D > C > A), rule and vocabulary growth with
 //! corpus size — matches.
 
-use ntadoc_bench::{dump_json, Harness};
+use ntadoc_bench::{geomean, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("table1");
     println!("Table I — datasets (scale {})", h.scale());
     println!(
         "{:>8} {:>10} {:>12} {:>16} {:>14} {:>12}",
         "Dataset", "File#", "Rule#", "Vocabulary Size", "Words", "Compression"
     );
-    let mut json = Vec::new();
+    let mut ratios = Vec::new();
     for spec in h.specs() {
         let comp = h.dataset(&spec);
         let stats = comp.grammar.stats();
@@ -28,17 +30,19 @@ fn main() {
             stats.expanded_words,
             comp.grammar.compression_ratio(),
         );
-        json.push(serde_json::json!({
-            "dataset": spec.name,
-            "files": comp.file_count(),
-            "rules": stats.rule_count,
-            "vocabulary": stats.vocabulary,
-            "words": stats.expanded_words,
-            "compression_ratio": comp.grammar.compression_ratio(),
-        }));
+        em.row([
+            ("dataset", Json::from(spec.name)),
+            ("files", Json::U64(comp.file_count() as u64)),
+            ("rules", Json::U64(stats.rule_count as u64)),
+            ("vocabulary", Json::U64(stats.vocabulary as u64)),
+            ("words", Json::U64(stats.expanded_words)),
+            ("compression_ratio", Json::F64(comp.grammar.compression_ratio())),
+        ]);
+        ratios.push(comp.grammar.compression_ratio());
     }
+    em.headline("compression_ratio_geomean", geomean(&ratios));
     println!("\npaper (Table I): A: 1 file / 36,882 rules / 240,552 vocab;");
     println!("                 B: 134,631 / 2,771,880 / 1,864,902;");
     println!("                 C: 4 / 2,095,573 / 6,370,437;  D: 109 / 57,394,616 / 99,239,057");
-    dump_json("table1", &serde_json::Value::Array(json));
+    em.finish();
 }

@@ -7,13 +7,21 @@
 //! and persistence); sort and the sequence tasks are traversal-heavy
 //! relative to word count. Phase speedups (paper): C 1.96×/2.53×,
 //! D 1.23×/2.87× (init/traversal).
+//!
+//! The phase split is read off each report's span tree, and the N-TADOC
+//! reports — span tree, metrics, access stats — are attached to the
+//! emitted document: this experiment *is* the observability layer's
+//! breakdown, rendered as the paper's table.
 
 use ntadoc::{EngineConfig, Task};
-use ntadoc_bench::{dump_json, geomean, Device, Harness};
+use ntadoc_bench::{geomean, Device, Emitter, Harness};
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
-    let mut json = Vec::new();
+    let mut em = Emitter::new("table2");
+    let mut init_all = Vec::new();
+    let mut trav_all = Vec::new();
     for spec in h.specs() {
         if spec.name != "C" && spec.name != "D" {
             continue;
@@ -42,23 +50,28 @@ fn main() {
                 init_spd,
                 trav_spd,
             );
-            json.push(serde_json::json!({
-                "dataset": spec.name,
-                "task": task.name(),
-                "init_secs": nt.init_secs(),
-                "traversal_secs": nt.traversal_secs(),
-                "init_speedup": init_spd,
-                "traversal_speedup": trav_spd,
-            }));
+            em.row([
+                ("dataset", Json::from(spec.name)),
+                ("task", Json::from(task.name())),
+                ("init_secs", Json::F64(nt.init_secs())),
+                ("traversal_secs", Json::F64(nt.traversal_secs())),
+                ("init_speedup", Json::F64(init_spd)),
+                ("traversal_speedup", Json::F64(trav_spd)),
+            ]);
+            em.attach_report(&format!("ntadoc/{}/{}", spec.name, task.name()), &nt);
         }
         println!(
             "phase speedups over uncompressed: init {:.2}x, traversal {:.2}x",
             geomean(&init_spds),
             geomean(&trav_spds)
         );
+        init_all.extend(init_spds);
+        trav_all.extend(trav_spds);
     }
+    em.headline("init_speedup_geomean", geomean(&init_all));
+    em.headline("traversal_speedup_geomean", geomean(&trav_all));
     println!("\npaper (Table II, s): C word count 2.70/1.36 … ranked inv. index 7.45/19.49;");
     println!("  D word count 225/24 … seq count 1107/308, ranked 1188/545.");
     println!("paper phase speedups: C 1.96x/2.53x, D 1.23x/2.87x (init/traversal)");
-    dump_json("table2", &serde_json::Value::Array(json));
+    em.finish();
 }

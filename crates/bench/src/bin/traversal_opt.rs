@@ -10,18 +10,20 @@
 //! magnitude.
 
 use ntadoc::{EngineConfig, Task, Traversal};
-use ntadoc_bench::{dump_json, Device, Harness};
+use ntadoc_bench::{geomean, Device, Emitter, Harness};
 use ntadoc_datagen::DatasetSpec;
+use ntadoc_pmem::Json;
 
 fn main() {
     let h = Harness::new();
+    let mut em = Emitter::new("traversal_opt");
     let base_files = DatasetSpec::b().scaled(h.scale()).files as f64;
     println!("== §VI-E — top-down vs bottom-up traversal on dataset B ==");
     println!(
         "{:>8} {:>22} {:>16} {:>16} {:>10}",
         "files", "task", "top-down trav s", "bottom-up trav s", "ratio"
     );
-    let mut json = Vec::new();
+    let mut ratios = Vec::new();
     for frac in [0.5, 1.0, 2.0, 4.0] {
         let spec = DatasetSpec::b().scaled(h.scale() * frac);
         let comp = h.dataset(&spec);
@@ -41,13 +43,14 @@ fn main() {
                 bu.traversal_secs(),
                 ratio
             );
-            json.push(serde_json::json!({
-                "files": comp.file_count(),
-                "task": task.name(),
-                "topdown_traversal_secs": td.traversal_secs(),
-                "bottomup_traversal_secs": bu.traversal_secs(),
-                "ratio": ratio,
-            }));
+            em.row([
+                ("files", Json::U64(comp.file_count() as u64)),
+                ("task", Json::from(task.name())),
+                ("topdown_traversal_secs", Json::F64(td.traversal_secs())),
+                ("bottomup_traversal_secs", Json::F64(bu.traversal_secs())),
+                ("ratio", Json::F64(ratio)),
+            ]);
+            ratios.push(ratio);
         }
     }
     println!(
@@ -56,5 +59,6 @@ fn main() {
          the paper reports.",
         (134_631.0 / base_files).round()
     );
-    dump_json("traversal_opt", &serde_json::Value::Array(json));
+    em.headline("ratio_geomean", geomean(&ratios));
+    em.finish();
 }

@@ -1,10 +1,12 @@
-//! Shared experiment harness: dataset caching, engine runners, and table
-//! printing for the per-figure/table binaries.
+//! Shared experiment harness: dataset caching, engine runners, table
+//! printing, and the single machine-readable emission path for the
+//! per-figure/table binaries.
 //!
 //! Every binary accepts the corpus scale through the `NTADOC_SCALE`
 //! environment variable (default `1.0`); results are printed in the
-//! paper's table shapes and also dumped as JSON under
-//! `target/experiments/` for EXPERIMENTS.md.
+//! paper's table shapes and emitted through [`Emitter`] as versioned
+//! JSON under `target/experiments/`, with headline numbers folded into
+//! `BENCH_summary.json` at the repository root.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -13,7 +15,11 @@ use std::sync::Arc;
 use ntadoc::{Engine, EngineConfig, RunReport, Task, UncompressedEngine};
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
 use ntadoc_grammar::Compressed;
-use ntadoc_pmem::DeviceProfile;
+use ntadoc_pmem::{DeviceProfile, Json};
+
+mod emitter;
+
+pub use emitter::{validate_document, Emitter, EXPERIMENTS_DIR, SCHEMA_VERSION, SUMMARY_PATH};
 
 /// Dataset + engine orchestration for one experiment binary.
 pub struct Harness {
@@ -91,6 +97,56 @@ impl Harness {
         engine.run(task).expect("baseline run");
         engine.last_report.expect("report recorded")
     }
+
+    /// The shared tasks × datasets experiment shape: compute one
+    /// [`Cell`] per `(dataset, task)` pair, print the matrix with
+    /// per-row/column geomeans, record one [`Emitter`] row per cell, set
+    /// the headline geomean under `headline_key`, and return it.
+    ///
+    /// `value_name` is the cell ratio's field name in the emitted rows
+    /// (`"speedup"`, `"slowdown"`, …).
+    pub fn run_and_emit(
+        &self,
+        em: &mut Emitter,
+        title: &str,
+        value_name: &str,
+        headline_key: &str,
+        tasks: &[Task],
+        mut cell: impl FnMut(&DatasetSpec, Task) -> Cell,
+    ) -> f64 {
+        let specs = self.specs();
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        let mut rows = Vec::new();
+        for &task in tasks {
+            let mut vals = Vec::new();
+            for spec in &specs {
+                let c = cell(spec, task);
+                let mut fields: Vec<(String, Json)> = vec![
+                    ("dataset".to_string(), Json::from(spec.name)),
+                    ("task".to_string(), Json::from(task.name())),
+                    (value_name.to_string(), Json::F64(c.value)),
+                ];
+                fields.extend(c.fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+                em.row(fields);
+                vals.push(c.value);
+            }
+            rows.push((task.name(), vals));
+        }
+        print_matrix(title, &names, &rows);
+        let all: Vec<f64> = rows.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let g = geomean(&all);
+        em.headline(headline_key, g);
+        g
+    }
+}
+
+/// One matrix cell produced by a [`Harness::run_and_emit`] closure: the
+/// ratio that lands in the printed table plus any extra row fields.
+pub struct Cell {
+    /// The printed/aggregated ratio.
+    pub value: f64,
+    /// Additional fields for the emitted row (raw timings, labels, …).
+    pub fields: Vec<(&'static str, Json)>,
 }
 
 /// Target device for [`Harness::run_engine`].
@@ -147,16 +203,6 @@ pub fn print_matrix(title: &str, datasets: &[&str], rows: &[(&str, Vec<f64>)]) {
         all.extend_from_slice(c);
     }
     println!("{:>10.2}", geomean(&all));
-}
-
-/// Write an experiment's JSON dump under `target/experiments/`.
-pub fn dump_json(name: &str, value: &serde_json::Value) {
-    let dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(dir).expect("create experiments dir");
-    let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
-        .expect("write experiment json");
-    eprintln!("[json] wrote {}", path.display());
 }
 
 /// The six tasks with their display order (paper §VI-A).

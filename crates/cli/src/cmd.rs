@@ -3,7 +3,10 @@
 use std::fs;
 use std::path::PathBuf;
 
-use ntadoc::{Accessor, Engine, EngineConfig, Persistence, Task, TaskOutput};
+use ntadoc::{
+    Accessor, Engine, EngineConfig, Persistence, Task, TaskOutput, METRIC_DEVICE_PEAK,
+    METRIC_DRAM_PEAK,
+};
 use ntadoc_grammar::{
     deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder, TokenizerConfig,
 };
@@ -15,6 +18,7 @@ pub const USAGE: &str = "usage:
   ntadoc stats <corpus.ntdc>
   ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
              [--persistence phase|op] [--naive] [--top N] [--ngram N]
+             [--trace-out <report.json>]
   ntadoc search <corpus.ntdc> <word>...
   ntadoc extract <corpus.ntdc> <file#> <offset> <len>
   ntadoc decompress <corpus.ntdc> [-d <outdir>]
@@ -175,6 +179,7 @@ fn run(args: &[String]) -> CmdResult {
     let mut profile = DeviceProfile::nvm_optane();
     let mut cfg = EngineConfig::ntadoc();
     let mut top = 20usize;
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -213,6 +218,10 @@ fn run(args: &[String]) -> CmdResult {
                     .map_err(|e| format!("--ngram: {e}"))?;
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.get(i + 1).ok_or("--trace-out needs a path")?));
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -233,10 +242,16 @@ fn run(args: &[String]) -> CmdResult {
         rep.init_secs() * 1e3,
         rep.traversal_secs() * 1e3,
         rep.total_secs() * 1e3,
-        rep.dram_peak_bytes / 1024,
+        rep.metric_f64(METRIC_DRAM_PEAK).unwrap_or(0.0) as u64 / 1024,
         profile.name,
-        rep.device_peak_bytes / 1024,
+        rep.metric_f64(METRIC_DEVICE_PEAK).unwrap_or(0.0) as u64 / 1024,
     );
+    if let Some(path) = trace_out {
+        fs::write(&path, rep.to_json().pretty())
+            .map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+        eprintln!("span tree:\n{}", rep.spans.render());
+        eprintln!("[trace] wrote report v{} to {}", rep.version, path.display());
+    }
     Ok(())
 }
 

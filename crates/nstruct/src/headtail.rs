@@ -84,6 +84,14 @@ impl HeadTailStore {
         out
     }
 
+    /// Record this store's footprint into `metrics` under `label`
+    /// (`{label}.capacity_bytes` peak gauge — both matrices plus the two
+    /// length arrays). Idempotent: safe to call at every snapshot point.
+    pub fn observe(&self, metrics: &ntadoc_pmem::MetricRegistry, label: &str) {
+        let bytes = 2 * self.rules * self.width * 4 + 2 * self.rules * 4;
+        metrics.gauge_max(&format!("{label}.capacity_bytes"), bytes as f64);
+    }
+
     /// Flush + fence the whole store (phase-level persistence).
     pub fn persist(&self) {
         let dev = self.pool.dev();

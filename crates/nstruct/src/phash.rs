@@ -113,6 +113,16 @@ impl PHashTable {
         self.reconstructions.get()
     }
 
+    /// Record this table's footprint and rehash count into `metrics`
+    /// under `label` (`{label}.capacity_bytes` peak gauge — status + key +
+    /// value buffers — and `{label}.reconstructions` monotonic counter).
+    /// Idempotent: safe to call at every snapshot point.
+    pub fn observe(&self, metrics: &ntadoc_pmem::MetricRegistry, label: &str) {
+        let bytes = self.cap.get() * (1 + 8 + 8);
+        metrics.gauge_max(&format!("{label}.capacity_bytes"), bytes as f64);
+        metrics.counter_max(&format!("{label}.reconstructions"), self.reconstructions.get() as u64);
+    }
+
     /// Find the slot holding `key`, or the empty slot where it would go.
     /// Returns `(slot, occupied)`.
     fn probe(&self, key: u64) -> (usize, bool) {

@@ -74,6 +74,15 @@ impl<T: Pod> PVec<T> {
         self.reconstructions.get()
     }
 
+    /// Record this vector's footprint and reconstruction count into
+    /// `metrics` under `label` (`{label}.capacity_bytes` peak gauge,
+    /// `{label}.reconstructions` monotonic counter). Idempotent: safe to
+    /// call at every snapshot point.
+    pub fn observe(&self, metrics: &ntadoc_pmem::MetricRegistry, label: &str) {
+        metrics.gauge_max(&format!("{label}.capacity_bytes"), (self.cap.get() * T::SIZE) as f64);
+        metrics.counter_max(&format!("{label}.reconstructions"), self.reconstructions.get() as u64);
+    }
+
     /// Device address of element `i`.
     #[inline]
     pub fn addr_of(&self, i: usize) -> Addr {
@@ -223,6 +232,20 @@ mod tests {
             v.push(i).unwrap();
         }
         assert_eq!(v.reconstructions(), 0);
+    }
+
+    #[test]
+    fn observe_records_footprint_gauges() {
+        let v: PVec<u64> = PVec::with_capacity(pool(), 2).unwrap();
+        for i in 0..10u64 {
+            v.push(i).unwrap();
+        }
+        let m = ntadoc_pmem::MetricRegistry::new();
+        v.observe(&m, "wordlist");
+        v.observe(&m, "wordlist"); // idempotent
+        let snap = m.snapshot();
+        assert_eq!(snap["wordlist.capacity_bytes"].as_gauge(), Some((v.capacity() * 8) as f64));
+        assert_eq!(snap["wordlist.reconstructions"].as_counter(), Some(v.reconstructions() as u64));
     }
 
     #[test]

@@ -15,13 +15,16 @@ use std::sync::Mutex;
 
 use ntadoc_grammar::Compressed;
 use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::obs::MetricValue;
 use ntadoc_pmem::{
-    Addr, AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog,
+    Addr, AllocLedger, DeviceKind, DeviceProfile, Obs, PmemError, PmemPool, SimDevice, TxLog,
 };
 
 use crate::config::{EngineConfig, Persistence};
 use crate::engine::{Engine, Interner, TxCounter};
-use crate::report::RunReport;
+use crate::report::{
+    RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, REPORT_VERSION,
+};
 use crate::result::{Task, TaskOutput};
 use crate::Result;
 
@@ -45,6 +48,7 @@ pub struct UncompressedEngine {
     /// Token stream including separators (host master copy; written to the
     /// device during init).
     tokens: Vec<u32>,
+    trace: bool,
     /// Report of the most recent run.
     pub last_report: Option<RunReport>,
 }
@@ -54,6 +58,7 @@ pub struct UncompressedEngineBuilder {
     comp: Arc<Compressed>,
     cfg: EngineConfig,
     profile: DeviceProfile,
+    trace: bool,
 }
 
 impl UncompressedEngineBuilder {
@@ -66,6 +71,13 @@ impl UncompressedEngineBuilder {
     /// Set the device profile (default: Optane NVM, the Figure 5 setup).
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Whether runs record observability spans and metrics (default
+    /// `true`), mirroring [`crate::EngineBuilder::trace`].
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -82,6 +94,7 @@ impl UncompressedEngineBuilder {
             profile: self.profile,
             raw_bytes,
             tokens,
+            trace: self.trace,
             last_report: None,
         }
     }
@@ -95,19 +108,8 @@ impl UncompressedEngine {
             comp: comp.into(),
             cfg: EngineConfig::ntadoc(),
             profile: DeviceProfile::nvm_optane(),
+            trace: true,
         }
-    }
-
-    /// Build the baseline for the same corpus a compressed engine uses.
-    #[deprecated(note = "use `UncompressedEngine::builder(comp).config(cfg).profile(p).build()`")]
-    pub fn new(comp: &Compressed, cfg: EngineConfig, profile: DeviceProfile) -> Self {
-        Self::builder(comp.clone()).config(cfg).profile(profile).build()
-    }
-
-    /// Baseline on the simulated NVM (the Figure 5 comparator).
-    #[deprecated(note = "use `UncompressedEngine::builder(comp).config(cfg).build()`")]
-    pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Self {
-        Self::builder(comp.clone()).config(cfg).build()
     }
 
     /// Number of word tokens (separators excluded).
@@ -156,35 +158,53 @@ impl UncompressedEngine {
             _ => None,
         };
 
-        // ---- initialization phase -----------------------------------
+        // ---- initialization phase (recorded as the "init" span) -----
+        let obs = if self.trace { Obs::new() } else { Obs::disabled() };
         let cost = self.cfg.cost;
-        if self.profile.kind.is_persistent() {
-            dev.charge_ns(cost.pool_open_ns);
-        }
-        dev.charge_ns(cost.disk_read_ns(self.raw_bytes));
-        dev.charge_ns(self.tokens.len() as u64 * cost.per_item_ns); // dictionary conversion
-                                                                    // Dictionary-conversion staging buffer (DRAM for the init phase).
-        let staging = self.tokens.len() as u64 * 4 * 3 / 2;
-        ledger.on_alloc(DeviceKind::Dram, staging);
-        let stream = pool.alloc_array(self.tokens.len().max(1), 4)?;
-        dev.write_u32_slice(stream, &self.tokens);
-        // Dictionary (offsets + bytes) for result materialisation.
-        let vocab = self.comp.dict.len();
-        let dict_offsets = pool.alloc_array(vocab + 1, 8)?;
-        let dict_bytes_addr = pool.alloc(self.comp.dict.text_bytes().max(1), 1)?;
-        let mut at = 0u64;
-        let mut text = Vec::with_capacity(self.comp.dict.text_bytes());
-        for (i, (_, w)) in self.comp.dict.iter().enumerate() {
-            dev.write_u64(dict_offsets + i as u64 * 8, at);
-            text.extend_from_slice(w.as_bytes());
-            at += w.len() as u64;
-        }
-        dev.write_u64(dict_offsets + vocab as u64 * 8, at);
-        dev.write_bytes(dict_bytes_addr, &text);
-        if self.cfg.persistence != Persistence::None {
-            pool.persist_used();
-        }
-        ledger.on_free(DeviceKind::Dram, staging);
+        let (stream, dict_offsets, dict_bytes_addr) =
+            obs.span("init", &dev, || -> Result<(Addr, Addr, Addr)> {
+                if self.profile.kind.is_persistent() {
+                    obs.span("pool-open", &dev, || dev.charge_ns(cost.pool_open_ns));
+                }
+                // Dictionary-conversion staging buffer (DRAM for the init
+                // phase).
+                let staging = self.tokens.len() as u64 * 4 * 3 / 2;
+                obs.span("image-stream", &dev, || {
+                    dev.charge_ns(cost.disk_read_ns(self.raw_bytes));
+                    // Dictionary conversion of the raw text.
+                    dev.charge_ns(self.tokens.len() as u64 * cost.per_item_ns);
+                    ledger.on_alloc(DeviceKind::Dram, staging);
+                });
+                let stream = obs.span("stream-write", &dev, || -> Result<Addr> {
+                    let stream = pool.alloc_array(self.tokens.len().max(1), 4)?;
+                    dev.write_u32_slice(stream, &self.tokens);
+                    Ok(stream)
+                })?;
+                // Dictionary (offsets + bytes) for result materialisation.
+                let (dict_offsets, dict_bytes_addr) =
+                    obs.span("dict-write", &dev, || -> Result<(Addr, Addr)> {
+                        let vocab = self.comp.dict.len();
+                        let dict_offsets = pool.alloc_array(vocab + 1, 8)?;
+                        let dict_bytes_addr = pool.alloc(self.comp.dict.text_bytes().max(1), 1)?;
+                        let mut at = 0u64;
+                        let mut text = Vec::with_capacity(self.comp.dict.text_bytes());
+                        for (i, (_, w)) in self.comp.dict.iter().enumerate() {
+                            dev.write_u64(dict_offsets + i as u64 * 8, at);
+                            text.extend_from_slice(w.as_bytes());
+                            at += w.len() as u64;
+                        }
+                        dev.write_u64(dict_offsets + vocab as u64 * 8, at);
+                        dev.write_bytes(dict_bytes_addr, &text);
+                        Ok((dict_offsets, dict_bytes_addr))
+                    })?;
+                obs.span("persist", &dev, || {
+                    if self.cfg.persistence != Persistence::None {
+                        pool.persist_used();
+                    }
+                    ledger.on_free(DeviceKind::Dram, staging);
+                });
+                Ok((stream, dict_offsets, dict_bytes_addr))
+            })?;
         let init_ns = dev.stats().virtual_ns;
 
         // ---- scan phase ---------------------------------------------
@@ -204,35 +224,70 @@ impl UncompressedEngine {
             host_dram: Cell::new(0),
             ledger: &ledger,
         };
-        let out = match task {
-            Task::WordCount => run.word_count()?,
-            Task::Sort => run.sort()?,
-            Task::TermVector => run.term_vector()?,
-            Task::InvertedIndex => run.inverted_index()?,
-            Task::SequenceCount => run.sequence_count()?,
-            Task::RankedInvertedIndex => run.ranked_inverted_index()?,
-        };
-        if let Some(tx) = &txlog {
-            let mut tx = crate::engine::lock(tx);
-            if tx.is_active() {
-                tx.commit()?;
-            }
-        }
-        if self.cfg.persistence != Persistence::None {
-            pool.persist_used();
-        }
-        dev.charge_ns(cost.disk_read_ns(out.approx_bytes()));
-        let total = dev.stats().virtual_ns;
+        let out = obs.span("traversal", &dev, || -> Result<TaskOutput> {
+            let out = match task {
+                Task::WordCount => run.word_count()?,
+                Task::Sort => run.sort()?,
+                Task::TermVector => run.term_vector()?,
+                Task::InvertedIndex => run.inverted_index()?,
+                Task::SequenceCount => run.sequence_count()?,
+                Task::RankedInvertedIndex => run.ranked_inverted_index()?,
+            };
+            obs.span("writeback", &dev, || -> Result<()> {
+                if let Some(tx) = &txlog {
+                    let mut tx = crate::engine::lock(tx);
+                    if tx.is_active() {
+                        tx.commit()?;
+                    }
+                }
+                if self.cfg.persistence != Persistence::None {
+                    pool.persist_used();
+                }
+                dev.charge_ns(cost.disk_read_ns(out.approx_bytes()));
+                Ok(())
+            })?;
+            Ok(out)
+        })?;
 
+        let stats = dev.stats();
+        let mut metrics = obs.metrics.snapshot();
+        metrics.insert(
+            METRIC_DRAM_PEAK.to_string(),
+            MetricValue::Gauge(ledger.peak(DeviceKind::Dram) as f64),
+        );
+        metrics.insert(
+            METRIC_DEVICE_PEAK.to_string(),
+            MetricValue::Gauge(ledger.peak(self.profile.kind) as f64),
+        );
+        metrics.insert(METRIC_HIT_RATE.to_string(), MetricValue::Gauge(stats.hit_rate()));
+        let mut spans = obs.tree("run");
+        if !obs.enabled() {
+            // Tracing off: synthesize the two-phase breakdown (mirrors
+            // `Session::report`).
+            spans.children = vec![
+                ntadoc_pmem::SpanNode::leaf(
+                    "init",
+                    ntadoc_pmem::AccessStats { virtual_ns: init_ns, ..Default::default() },
+                ),
+                ntadoc_pmem::SpanNode::leaf(
+                    "traversal",
+                    ntadoc_pmem::AccessStats {
+                        virtual_ns: stats.virtual_ns - init_ns,
+                        ..Default::default()
+                    },
+                ),
+            ];
+        }
+        spans.stats = stats;
+        spans.virtual_ns = stats.virtual_ns;
         self.last_report = Some(RunReport {
+            version: REPORT_VERSION,
             task,
             engine: "uncompressed".into(),
             device: self.profile.name.to_string(),
-            init_ns,
-            traversal_ns: total - init_ns,
-            dram_peak_bytes: ledger.peak(DeviceKind::Dram),
-            device_peak_bytes: ledger.peak(self.profile.kind),
-            stats: dev.stats(),
+            spans,
+            metrics,
+            stats,
             wear_top: dev.wear_top(8),
         });
         Ok(out)

@@ -36,12 +36,19 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use ntadoc_grammar::{deserialize_compressed, serialized_len, Compressed};
 use ntadoc_nstruct::PHashTable;
+use ntadoc_pmem::obs::MetricValue;
 use ntadoc_pmem::par::{lanes_makespan, par_map_timed, virtual_lanes};
-use ntadoc_pmem::{AllocLedger, DeviceKind, DeviceProfile, PmemError, PmemPool, SimDevice, TxLog};
+use ntadoc_pmem::{
+    AccessStats, AllocLedger, DeviceKind, DeviceProfile, Obs, PmemError, PmemPool, SimDevice,
+    SpanNode, TxLog,
+};
 
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
-use crate::report::RunReport;
+use crate::report::{
+    RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
+    METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
+};
 use crate::result::{Task, TaskOutput};
 use crate::summation::{head_tail_info, upper_bounds};
 use crate::Result;
@@ -93,12 +100,21 @@ pub struct EngineBuilder {
     profile: Option<DeviceProfile>,
     label: Option<String>,
     retry: RetryPolicy,
+    trace: bool,
 }
 
 impl EngineBuilder {
     /// Device profile to simulate. Defaults to Optane NVM.
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Whether sessions record observability spans and metrics (default
+    /// `true`). When off, span closures run directly and reports carry a
+    /// synthesized two-phase span tree instead of the recorded one.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -144,7 +160,7 @@ impl EngineBuilder {
 
     /// Finish construction. Fails on an empty corpus.
     pub fn build(self) -> Result<Engine> {
-        let EngineBuilder { comp, cfg, profile, label, retry } = self;
+        let EngineBuilder { comp, cfg, profile, label, retry, trace } = self;
         if comp.file_names.is_empty() {
             return Err(PmemError::Unsupported(
                 "engines need a corpus with at least one file".into(),
@@ -183,7 +199,7 @@ impl EngineBuilder {
         // Accounted without materializing the image (it is streamed from
         // disk at init; the engine only needs its size).
         let image_bytes = serialized_len(&comp) as u64;
-        Ok(Engine { comp, cfg, profile, label, retry, image_bytes, plan, last_report: None })
+        Ok(Engine { comp, cfg, profile, label, retry, trace, image_bytes, plan, last_report: None })
     }
 }
 
@@ -194,6 +210,7 @@ pub struct Engine {
     profile: DeviceProfile,
     label: String,
     retry: RetryPolicy,
+    trace: bool,
     /// Serialized image size (charged as the init disk read).
     image_bytes: u64,
     /// Host-side grammar statistics used for capacity planning only.
@@ -225,6 +242,7 @@ impl Engine {
             profile: None,
             label: None,
             retry: RetryPolicy::Fail,
+            trace: true,
         }
     }
 
@@ -236,43 +254,6 @@ impl Engine {
         let comp =
             deserialize_compressed(image).map_err(|e| PmemError::CorruptImage(e.to_string()))?;
         Ok(Self::builder(comp))
-    }
-
-    /// Create an engine for `comp` with config `cfg` on a device with the
-    /// given profile.
-    #[deprecated(note = "use Engine::builder(comp).config(cfg).profile(profile).label(..)")]
-    pub fn with_profile(
-        comp: &Compressed,
-        cfg: EngineConfig,
-        profile: DeviceProfile,
-        label: impl Into<String>,
-    ) -> Result<Self> {
-        Self::builder(comp.clone()).config(cfg).profile(profile).label(label).build()
-    }
-
-    /// N-TADOC-style engine on the simulated Optane NVM.
-    #[deprecated(note = "use Engine::builder(comp).config(cfg).build()")]
-    pub fn on_nvm(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
-        Self::builder(comp.clone()).config(cfg).build()
-    }
-
-    /// N-TADOC engine built straight from a serialized corpus image.
-    #[deprecated(note = "use Engine::builder_from_image(image)?.config(cfg).build()")]
-    pub fn on_nvm_image(image: &[u8], cfg: EngineConfig) -> Result<Self> {
-        Self::builder_from_image(image)?.config(cfg).build()
-    }
-
-    /// Engine on pure DRAM (the TADOC upper bound of Figure 6).
-    #[deprecated(note = "use Engine::builder(comp).config(cfg).profile(DeviceProfile::dram())")]
-    pub fn on_dram(comp: &Compressed, cfg: EngineConfig) -> Result<Self> {
-        Self::builder(comp.clone()).config(cfg).profile(DeviceProfile::dram()).build()
-    }
-
-    /// Engine on an SSD/HDD profile with the paper's memory budget.
-    #[deprecated(note = "use Engine::builder(comp).config(cfg).ssd() (or .hdd())")]
-    pub fn on_block_device(comp: &Compressed, cfg: EngineConfig, hdd: bool) -> Result<Self> {
-        let b = Self::builder(comp.clone()).config(cfg);
-        if hdd { b.hdd() } else { b.ssd() }.build()
     }
 
     /// Size of the corpus as uncompressed dictionary-encoded text.
@@ -321,28 +302,12 @@ impl Engine {
         Ok(out)
     }
 
-    /// Like [`run`](Self::run) with [`RetryPolicy::MediaRetries`].
-    #[deprecated(note = "set RetryPolicy::MediaRetries on the builder and call Engine::run")]
-    pub fn run_resilient(&mut self, task: Task, max_retries: u32) -> Result<TaskOutput> {
-        let prev = self.retry;
-        self.retry = RetryPolicy::MediaRetries(max_retries);
-        let out = self.run(task);
-        self.retry = prev;
-        out
-    }
-
     /// Run only the initialization phase, returning the live [`Session`].
     /// [`Session::execute`] then runs the traversal phase under the
     /// engine's retry policy (crash tests drive [`Session::traverse`] and
     /// [`Session::recover`] directly instead).
     pub fn session(&self, task: Task) -> Result<Session> {
         self.session_with_capacity(task, self.estimate_capacity(task), false)
-    }
-
-    /// Deprecated alias of [`session`](Self::session).
-    #[deprecated(note = "use Engine::session")]
-    pub fn start(&self, task: Task) -> Result<Session> {
-        self.session(task)
     }
 
     /// Build-once/serve-many mode: run the initialization phase once,
@@ -460,6 +425,7 @@ impl Engine {
             interner: Mutex::new(Interner::default()),
             image_bytes: self.image_bytes,
             retry: self.retry,
+            obs: Arc::new(if self.trace { Obs::new() } else { Obs::disabled() }),
             serve_mode,
         };
         session.init()?;
@@ -518,6 +484,9 @@ pub struct Session {
     pub(crate) interner: Mutex<Interner>,
     image_bytes: u64,
     retry: RetryPolicy,
+    /// Span recorder + metric registry for this run. Spans are opened on
+    /// the session's controlling thread only (see `ntadoc_pmem::obs`).
+    pub(crate) obs: Arc<Obs>,
     /// Serve sessions build word-list caches unconditionally and restrict
     /// traversal to the read-only cache-backed paths.
     pub(crate) serve_mode: bool,
@@ -612,91 +581,115 @@ impl Session {
         }
     }
 
-    /// The initialization phase.
+    /// The initialization phase, recorded as the `"init"` span with one
+    /// child span per numbered step.
     fn init(&mut self) -> Result<()> {
+        let obs = self.obs.clone();
+        let dev = self.dev.clone();
+        obs.span("init", &dev, || self.init_steps(&obs, &dev))?;
+        self.init_ns = self.dev.stats().virtual_ns;
+        Ok(())
+    }
+
+    fn init_steps(&mut self, obs: &Obs, dev: &SimDevice) -> Result<()> {
         let cost = self.cfg.cost;
         // 0. Open/map the persistent pool (fixed cost; volatile DRAM runs
         // skip it — this is part of why the smallest dataset shows the
         // largest gap to DRAM TADOC in Figure 6).
         if self.dev.profile().kind.is_persistent() {
-            self.dev.charge_ns(cost.pool_open_ns);
+            obs.span("pool-open", dev, || self.dev.charge_ns(cost.pool_open_ns));
         }
         // 1. Stream the compressed image from disk. The staging buffer the
         // image is parsed out of is DRAM-resident for the duration of the
         // init phase — it is the bulk of N-TADOC's remaining DRAM
         // footprint (§VI-C).
-        self.dev.charge_ns(cost.disk_read_ns(self.image_bytes));
         let staging = self.image_bytes * 3 / 2; // raw image + parse cursor state
-        self.note_dram(staging);
+        obs.span("image-stream", dev, || {
+            self.dev.charge_ns(cost.disk_read_ns(self.image_bytes));
+            self.note_dram(staging);
+        });
         // 2. Parse (host CPU).
         let total_syms: usize = self.comp.grammar.rules.iter().map(|r| r.symbols.len()).sum();
-        self.charge_items(total_syms as u64);
+        obs.span("parse", dev, || self.charge_items(total_syms as u64));
 
         // 3. Bottom-up summation for container pre-sizing (§IV-C),
         // parallel per dependency level (see `summation`).
         let bounds = if self.cfg.presize {
-            let vocab = self.comp.dict.len() as u64;
-            let b = upper_bounds(&self.comp.grammar);
-            self.charge_items(total_syms as u64);
-            Some(b.bounds.iter().map(|&x| x.min(vocab)).collect::<Vec<u64>>())
+            obs.span("summation", dev, || {
+                let vocab = self.comp.dict.len() as u64;
+                let b = upper_bounds(&self.comp.grammar);
+                self.charge_items(total_syms as u64);
+                Some(b.bounds.iter().map(|&x| x.min(vocab)).collect::<Vec<u64>>())
+            })
         } else {
             None
         };
 
         // 4. Head/tail preprocessing for sequence tasks (§IV-D).
         let info = if self.task.is_sequence() {
-            let width = self.cfg.ngram.saturating_sub(1).max(1);
-            let i = head_tail_info(&self.comp.grammar, width);
-            self.charge_items(total_syms as u64);
-            Some(i)
+            obs.span("head-tail", dev, || {
+                let width = self.cfg.ngram.saturating_sub(1).max(1);
+                let i = head_tail_info(&self.comp.grammar, width);
+                self.charge_items(total_syms as u64);
+                Some(i)
+            })
         } else {
             None
         };
 
         // 5. Build the DAG pool (§IV-B).
-        let opts = DagBuildOptions {
-            pruned: self.cfg.pruned,
-            adjacent: self.cfg.adjacent_layout,
-            bounds,
-            head_tail: if self.task.is_sequence() {
-                Some(self.cfg.ngram.saturating_sub(1).max(1))
-            } else {
-                None
-            },
-            alloc_overhead_ns: if self.dev.profile().kind.is_persistent() {
-                self.cfg.cost.pmdk_alloc_ns
-            } else {
-                self.cfg.cost.malloc_ns
-            },
-        };
-        let dag = DagPool::build(self.pool.clone(), &self.comp, info.as_ref(), &opts)?;
-        self.dag = Some(dag);
+        obs.span("dag-build", dev, || -> Result<()> {
+            let opts = DagBuildOptions {
+                pruned: self.cfg.pruned,
+                adjacent: self.cfg.adjacent_layout,
+                bounds,
+                head_tail: if self.task.is_sequence() {
+                    Some(self.cfg.ngram.saturating_sub(1).max(1))
+                } else {
+                    None
+                },
+                alloc_overhead_ns: if self.dev.profile().kind.is_persistent() {
+                    self.cfg.cost.pmdk_alloc_ns
+                } else {
+                    self.cfg.cost.malloc_ns
+                },
+            };
+            let dag = DagPool::build(self.pool.clone(), &self.comp, info.as_ref(), &opts)?;
+            self.dag = Some(dag);
+            Ok(())
+        })?;
 
         // 6. Host-side topological order (tracked DRAM).
-        self.topo = self.comp.grammar.topo_order();
-        let nrules = self.topo.len();
-        self.topo_pos = vec![0u32; nrules];
-        for (i, &r) in self.topo.iter().enumerate() {
-            self.topo_pos[r as usize] = i as u32;
-        }
-        self.note_dram(nrules as u64 * 8);
-        self.charge_items(nrules as u64);
+        obs.span("topo-order", dev, || {
+            self.topo = self.comp.grammar.topo_order();
+            let nrules = self.topo.len();
+            self.topo_pos = vec![0u32; nrules];
+            for (i, &r) in self.topo.iter().enumerate() {
+                self.topo_pos[r as usize] = i as u32;
+            }
+            self.note_dram(nrules as u64 * 8);
+            self.charge_items(nrules as u64);
+        });
 
-        // 7. Per-rule caches for bottom-up traversal.
+        // 7. Per-rule caches for bottom-up traversal (span recorded inside,
+        // one child per dependency level in the pruned configuration).
         if self.needs_caches() {
             match self.task {
-                Task::RankedInvertedIndex => self.build_seqlist_caches()?,
-                _ => self.build_wordlist_caches()?,
+                Task::RankedInvertedIndex => {
+                    obs.span("seqlist-cache", dev, || self.build_seqlist_caches())?
+                }
+                _ => obs.span("wordlist-cache", dev, || self.build_wordlist_caches())?,
             }
         }
 
         // 8. Phase boundary: persist the pool; the staging buffer is
         // released at the end of the phase.
-        if self.cfg.persistence != Persistence::None {
-            self.dag().persist_all();
-        }
-        self.drop_dram(staging);
-        self.init_ns = self.dev.stats().virtual_ns;
+        obs.span("persist", dev, || {
+            if self.cfg.persistence != Persistence::None {
+                self.dag().persist_all();
+            }
+            self.drop_dram(staging);
+        });
         Ok(())
     }
 
@@ -716,6 +709,7 @@ impl Session {
                     // pinned on read-only data keeps failing and exhausts
                     // the attempts.
                     attempts += 1;
+                    self.obs.metrics.counter_add(METRIC_MEDIA_RETRIES, 1);
                     self.recover()?;
                 }
                 other => return other,
@@ -723,50 +717,98 @@ impl Session {
         }
     }
 
-    /// The graph-traversal phase, one attempt. Re-runnable: under
+    /// The graph-traversal phase, one attempt, recorded as a
+    /// `"traversal"` span (each retry records its own). Re-runnable: under
     /// phase-level persistence, a crash during traversal recovers by
     /// calling this again on the persisted pool.
     pub fn traverse(&mut self) -> Result<TaskOutput> {
-        let out = match self.task {
-            Task::WordCount => self.task_word_count()?,
-            Task::Sort => self.task_sort()?,
-            Task::TermVector => self.task_term_vector()?,
-            Task::InvertedIndex => self.task_inverted_index()?,
-            Task::SequenceCount => self.task_sequence_count()?,
-            Task::RankedInvertedIndex => self.task_ranked_inverted_index()?,
-        };
-        // Close any open operation-level transaction.
-        if let Some(tx) = &self.txlog {
-            let mut tx = lock(tx);
-            if tx.is_active() {
-                tx.commit()?;
-            }
-        }
-        // Phase boundary: persist results, write them back to disk.
-        if self.cfg.persistence != Persistence::None {
-            self.pool.persist_used();
-        }
-        self.dev.charge_ns(self.cfg.cost.disk_read_ns(out.approx_bytes()));
+        let obs = self.obs.clone();
+        let dev = self.dev.clone();
+        let out = obs.span("traversal", &dev, || -> Result<TaskOutput> {
+            let out = match self.task {
+                Task::WordCount => self.task_word_count()?,
+                Task::Sort => self.task_sort()?,
+                Task::TermVector => self.task_term_vector()?,
+                Task::InvertedIndex => self.task_inverted_index()?,
+                Task::SequenceCount => self.task_sequence_count()?,
+                Task::RankedInvertedIndex => self.task_ranked_inverted_index()?,
+            };
+            obs.span("writeback", &dev, || -> Result<()> {
+                // Close any open operation-level transaction.
+                if let Some(tx) = &self.txlog {
+                    let mut tx = lock(tx);
+                    if tx.is_active() {
+                        tx.commit()?;
+                    }
+                }
+                // Phase boundary: persist results, write them back to disk.
+                if self.cfg.persistence != Persistence::None {
+                    self.pool.persist_used();
+                }
+                self.dev.charge_ns(self.cfg.cost.disk_read_ns(out.approx_bytes()));
+                Ok(())
+            })?;
+            Ok(out)
+        })?;
         self.trav_ns.store(self.dev.stats().virtual_ns - self.init_ns, Ordering::Relaxed);
         Ok(out)
     }
 
     /// Measurement report for this session (after `execute`/`traverse`).
+    /// Report-time scalars (allocation peaks, cache hit rate) are folded
+    /// into the metric snapshot whether or not tracing is enabled; with
+    /// tracing off the span tree is synthesized from the phase totals.
     pub fn report(&self) -> RunReport {
+        let stats = self.dev.stats();
         let kind = self.dev.profile().kind;
-        RunReport {
-            task: self.task,
-            engine: self.engine_label.clone(),
-            device: self.dev.profile().name.to_string(),
-            init_ns: self.init_ns,
-            traversal_ns: self.trav_ns.load(Ordering::Relaxed),
-            dram_peak_bytes: self.ledger.peak(DeviceKind::Dram),
-            device_peak_bytes: if kind == DeviceKind::Dram {
+        let mut metrics = self.obs.metrics.snapshot();
+        metrics.insert(
+            METRIC_DRAM_PEAK.to_string(),
+            MetricValue::Gauge(self.ledger.peak(DeviceKind::Dram) as f64),
+        );
+        metrics.insert(
+            METRIC_DEVICE_PEAK.to_string(),
+            MetricValue::Gauge(if kind == DeviceKind::Dram {
                 self.ledger.peak(DeviceKind::Dram)
             } else {
                 self.ledger.peak(kind)
-            },
-            stats: self.dev.stats(),
+            } as f64),
+        );
+        metrics.insert(METRIC_HIT_RATE.to_string(), MetricValue::Gauge(stats.hit_rate()));
+        let mut spans = if self.obs.enabled() {
+            self.obs.tree("run")
+        } else {
+            SpanNode {
+                name: "run".to_string(),
+                virtual_ns: 0,
+                stats: AccessStats::default(),
+                children: vec![
+                    SpanNode::leaf(
+                        "init",
+                        AccessStats { virtual_ns: self.init_ns, ..Default::default() },
+                    ),
+                    SpanNode::leaf(
+                        "traversal",
+                        AccessStats {
+                            virtual_ns: self.trav_ns.load(Ordering::Relaxed),
+                            ..Default::default()
+                        },
+                    ),
+                ],
+            }
+        };
+        // The root always describes the whole run, including any traffic
+        // that fell outside recorded spans.
+        spans.stats = stats;
+        spans.virtual_ns = stats.virtual_ns;
+        RunReport {
+            version: REPORT_VERSION,
+            task: self.task,
+            engine: self.engine_label.clone(),
+            device: self.dev.profile().name.to_string(),
+            spans,
+            metrics,
+            stats,
             wear_top: self.dev.wear_top(8),
         }
     }
@@ -895,12 +937,30 @@ impl ServeSession {
     /// inverted index; anything else fails with
     /// [`PmemError::Unsupported`].
     pub fn run_tasks(&self, tasks: &[Task]) -> Result<Vec<TaskOutput>> {
-        let (results, item_ns) = par_map_timed(tasks, |_, &t| self.session.serve_task(t));
-        self.session.dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
-        self.session
-            .trav_ns
-            .store(self.session.dev.stats().virtual_ns - self.session.init_ns, Ordering::Relaxed);
-        results.into_iter().collect()
+        let s = &self.session;
+        let obs = s.obs.clone();
+        let out: Result<Vec<TaskOutput>> = obs.span("serve-batch", &s.dev, || {
+            let (results, item_ns) = par_map_timed(tasks, |_, &t| s.serve_task(t));
+            s.dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
+            results.into_iter().collect()
+        });
+        let out = out?;
+        s.trav_ns.store(s.dev.stats().virtual_ns - s.init_ns, Ordering::Relaxed);
+        // Serve throughput: tasks served so far per post-init virtual
+        // second (deterministic — both terms derive from the virtual
+        // clock, not the wall clock).
+        obs.metrics.counter_add(METRIC_SERVE_TASKS, tasks.len() as u64);
+        let served_ns = s.trav_ns.load(Ordering::Relaxed);
+        if obs.enabled() && served_ns > 0 {
+            let total = obs
+                .metrics
+                .snapshot()
+                .get(METRIC_SERVE_TASKS)
+                .and_then(MetricValue::as_counter)
+                .unwrap_or(0);
+            obs.metrics.gauge_set(METRIC_SERVE_RATE, total as f64 / (served_ns as f64 / 1e9));
+        }
+        Ok(out)
     }
 
     /// Measurement report (init time plus all batches served so far).

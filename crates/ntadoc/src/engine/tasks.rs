@@ -232,23 +232,30 @@ impl Session {
     /// sequential by construction.
     pub(crate) fn build_wordlist_caches(&self) -> Result<()> {
         if self.cfg.pruned {
-            for level in self.bottomup_levels() {
-                let (merged, item_ns) = par::par_map_timed(&level, |_, &r| {
-                    let extra: std::collections::BTreeMap<u32, u64> =
-                        self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
-                    let mut lists = Vec::new();
-                    for (s, f) in self.subs_of(r) {
-                        let sub_list = self.dag().wordlist(s);
-                        self.charge_items(sub_list.len() as u64);
-                        lists.push((sub_list, f as u64));
+            let obs = self.obs.clone();
+            for (depth, level) in self.bottomup_levels().into_iter().enumerate() {
+                // One span per dependency level, opened on the controlling
+                // thread; the level's parallel work joins the clock as the
+                // deterministic lane makespan before the span closes.
+                obs.span(&format!("wordlist-level-{depth}"), &self.dev, || -> Result<()> {
+                    let (merged, item_ns) = par::par_map_timed(&level, |_, &r| {
+                        let extra: std::collections::BTreeMap<u32, u64> =
+                            self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
+                        let mut lists = Vec::new();
+                        for (s, f) in self.subs_of(r) {
+                            let sub_list = self.dag().wordlist(s);
+                            self.charge_items(sub_list.len() as u64);
+                            lists.push((sub_list, f as u64));
+                        }
+                        self.merge_counts(lists, extra)
+                    });
+                    self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
+                    for (&r, entries) in level.iter().zip(&merged) {
+                        let (addr, len) = self.dag().store_wordlist(r, entries)?;
+                        self.op_guard(addr, len)?;
                     }
-                    self.merge_counts(lists, extra)
-                });
-                self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
-                for (&r, entries) in level.iter().zip(&merged) {
-                    let (addr, len) = self.dag().store_wordlist(r, entries)?;
-                    self.op_guard(addr, len)?;
-                }
+                    Ok(())
+                })?;
             }
             return Ok(());
         }
@@ -273,6 +280,14 @@ impl Session {
             entries.sort_unstable_by_key(|x| x.0);
             let (addr, len) = self.dag().store_wordlist(r, &entries)?;
             self.op_guard(addr, len)?;
+            // Each per-rule scratch table is observed exactly once, so the
+            // counter totals the naive path's reconstruction storm.
+            self.obs
+                .metrics
+                .counter_add("wordlist-scratch.reconstructions", table.reconstructions() as u64);
+            self.obs
+                .metrics
+                .gauge_max("wordlist-scratch.capacity_bytes", (table.capacity() * 17) as f64);
         }
         Ok(())
     }
@@ -294,6 +309,7 @@ impl Session {
             Ok(())
         })?;
         counter.finish()?;
+        counter.table.observe(&self.obs.metrics, "result-table");
         Ok(counter.table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect())
     }
 

@@ -61,7 +61,10 @@ pub use access::Accessor;
 pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
 pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession};
-pub use report::RunReport;
+pub use report::{
+    RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
+    METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
+};
 pub use result::{OutputMismatch, Task, TaskOutput};
 pub use summation::{head_tail_info, topo_levels, upper_bounds, SummationResult};
 

@@ -47,6 +47,11 @@ impl Task {
         }
     }
 
+    /// Inverse of [`name`](Self::name) (report deserialization).
+    pub fn from_name(name: &str) -> Option<Task> {
+        Task::ALL.into_iter().find(|t| t.name() == name)
+    }
+
     /// Whether results are reported per file (these tasks are the ones
     /// whose traversal strategy matters most, §VI-E).
     pub fn is_file_oriented(self) -> bool {

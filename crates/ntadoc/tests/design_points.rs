@@ -83,7 +83,8 @@ fn device_peak_scales_with_task_weight() {
     let comp = corpus();
     let wc = run(&comp, EngineConfig::ntadoc(), Task::WordCount);
     let sc = run(&comp, EngineConfig::ntadoc(), Task::SequenceCount);
-    assert!(sc.device_peak_bytes > wc.device_peak_bytes);
+    let peak = |rep: &ntadoc::RunReport| rep.metric_f64(ntadoc::METRIC_DEVICE_PEAK).unwrap();
+    assert!(peak(&sc) > peak(&wc));
 }
 
 #[test]

@@ -43,7 +43,9 @@ pub mod cache;
 pub mod device;
 pub mod error;
 pub mod faultsim;
+pub mod json;
 pub mod ledger;
+pub mod obs;
 pub mod par;
 pub mod persist;
 pub mod pod;
@@ -56,7 +58,9 @@ pub use error::PmemError;
 pub use faultsim::{
     panic_is_injected_crash, run_with_crash_at, CrashPoint, CrashRun, Prng, SweepOutcome,
 };
+pub use json::{Json, JsonError};
 pub use ledger::AllocLedger;
+pub use obs::{MetricRegistry, MetricValue, MetricsSnapshot, Obs, SpanNode};
 pub use persist::{crc64, PhasePersist, TxLog};
 pub use pod::Pod;
 pub use profile::{DeviceKind, DeviceProfile};

@@ -6,6 +6,8 @@
 pub use ntadoc::{
     Engine, EngineBuilder, EngineConfig, OutputMismatch, Persistence, RetryPolicy, RunReport,
     ServeSession, Task, TaskOutput, Traversal, UncompressedEngine, UncompressedEngineBuilder,
+    METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE,
+    METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
@@ -14,6 +16,7 @@ pub use ntadoc_grammar::{
 };
 pub use ntadoc_pmem::{
     crc64, panic_is_injected_crash, run_with_crash_at, AllocLedger, CrashMode, CrashPoint,
-    CrashRun, DeviceKind, DeviceProfile, PhasePersist, PmemError, PmemPool, Prng, SimDevice,
+    CrashRun, DeviceKind, DeviceProfile, Json, JsonError, MetricRegistry, MetricValue,
+    MetricsSnapshot, Obs, PhasePersist, PmemError, PmemPool, Prng, SimDevice, SpanNode,
     SweepOutcome, TxLog, CRASH_PANIC,
 };

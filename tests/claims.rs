@@ -83,8 +83,8 @@ fn claim_s6e_topdown_degrades_with_file_count() {
             td.run(Task::TermVector).unwrap();
             let mut bu = Engine::builder(comp.clone()).config(bu_cfg).build().unwrap();
             bu.run(Task::TermVector).unwrap();
-            td.last_report.as_ref().unwrap().traversal_ns as f64
-                / bu.last_report.as_ref().unwrap().traversal_ns as f64
+            td.last_report.as_ref().unwrap().traversal_ns() as f64
+                / bu.last_report.as_ref().unwrap().traversal_ns() as f64
         })
         .collect();
     assert!(ratios[1] > ratios[0], "ratio must grow with file count: {ratios:?}");

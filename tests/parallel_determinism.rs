@@ -1,10 +1,12 @@
-//! Parallelism must never change results: task outputs and the virtual
-//! clock are bit-identical for any worker count, both for classic
+//! Parallelism must never change results: task outputs, the virtual
+//! clock, and the full observability output (span tree + metric
+//! snapshot) are bit-identical for any worker count, both for classic
 //! engine runs and for concurrent serve-mode batches.
 
 use ntadoc_pmem::par;
 use ntadoc_repro::{
-    compress_corpus, Compressed, Engine, EngineConfig, PmemError, Task, TaskOutput, TokenizerConfig,
+    compress_corpus, Compressed, Engine, EngineConfig, PmemError, RunReport, Task, TaskOutput,
+    TokenizerConfig,
 };
 
 fn corpus() -> Compressed {
@@ -108,15 +110,60 @@ fn empty_corpus_is_a_clean_builder_error() {
     assert!(matches!(err, PmemError::Unsupported(_)), "got {err:?}");
 }
 
+/// Run `task` under `threads` workers and return the full report.
+fn report_with(comp: &Compressed, cfg: EngineConfig, task: Task, threads: usize) -> RunReport {
+    par::with_threads(threads, || {
+        let mut e = Engine::builder(comp.clone()).config(cfg).build().unwrap();
+        e.run(task).unwrap();
+        e.last_report.take().unwrap()
+    })
+}
+
 #[test]
-#[allow(deprecated)]
-fn deprecated_constructor_shims_still_work() {
+fn span_trees_and_metrics_are_identical_for_any_worker_count() {
+    // The determinism rule of the obs layer: spans open and close on the
+    // controlling thread, parallel work joins the virtual clock as a
+    // lane-folded makespan, so the *entire serialized report* — span
+    // tree, metric snapshot, access stats — must be byte-identical no
+    // matter how many workers ran the traversal.
     let comp = corpus();
-    let mut modern = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
-    let want = modern.run(Task::WordCount).unwrap();
-    let mut shimmed = Engine::on_nvm(&comp, EngineConfig::ntadoc()).unwrap();
-    assert_eq!(shimmed.run(Task::WordCount).unwrap(), want);
-    assert_eq!(shimmed.run_resilient(Task::WordCount, 2).unwrap(), want);
-    let mut dram = Engine::on_dram(&comp, EngineConfig::tadoc_dram()).unwrap();
-    assert_eq!(dram.run(Task::WordCount).unwrap(), want);
+    for task in [Task::WordCount, Task::TermVector, Task::SequenceCount] {
+        let base = report_with(&comp, EngineConfig::ntadoc(), task, 1);
+        assert!(base.spans.span_count() > 3, "{task}: expected a nested span tree");
+        for threads in [4, 8] {
+            let rep = report_with(&comp, EngineConfig::ntadoc(), task, threads);
+            assert_eq!(rep.spans, base.spans, "{task} span tree diverged at {threads} threads");
+            assert_eq!(rep.metrics, base.metrics, "{task} metrics diverged at {threads} threads");
+            assert_eq!(
+                rep.to_json().pretty(),
+                base.to_json().pretty(),
+                "{task} serialized report diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_session_reports_are_identical_for_any_worker_count() {
+    let comp = corpus();
+    let batch: Vec<Task> = (0..16)
+        .map(|i| [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex][i % 4])
+        .collect();
+    let serve_report = |threads: usize| {
+        let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+        let serve = engine.serve().unwrap();
+        par::with_threads(threads, || serve.run_tasks(&batch).unwrap());
+        serve.report()
+    };
+    let base = serve_report(1);
+    for threads in [4, 8] {
+        let rep = serve_report(threads);
+        assert_eq!(rep.spans, base.spans, "serve span tree diverged at {threads} threads");
+        assert_eq!(rep.metrics, base.metrics, "serve metrics diverged at {threads} threads");
+        assert_eq!(
+            rep.to_json().pretty(),
+            base.to_json().pretty(),
+            "serve serialized report diverged at {threads} threads"
+        );
+    }
 }

@@ -74,11 +74,13 @@ fn reports_expose_phase_times_and_peaks() {
     let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     engine.run(Task::WordCount).unwrap();
     let rep = engine.last_report.as_ref().unwrap();
-    assert!(rep.init_ns > 0);
-    assert!(rep.traversal_ns > 0);
-    assert!(rep.device_peak_bytes > 0, "NVM allocations must be ledgered");
-    assert!(rep.dram_peak_bytes > 0, "host staging must be ledgered");
-    assert!(rep.dram_peak_bytes < rep.device_peak_bytes, "N-TADOC keeps the bulk on the device");
+    assert!(rep.init_ns() > 0);
+    assert!(rep.traversal_ns() > 0);
+    let device_peak = rep.metric_f64(ntadoc_repro::METRIC_DEVICE_PEAK).unwrap();
+    let dram_peak = rep.metric_f64(ntadoc_repro::METRIC_DRAM_PEAK).unwrap();
+    assert!(device_peak > 0.0, "NVM allocations must be ledgered");
+    assert!(dram_peak > 0.0, "host staging must be ledgered");
+    assert!(dram_peak < device_peak, "N-TADOC keeps the bulk on the device");
     assert_eq!(rep.device, "NVM");
 }
 
@@ -95,10 +97,12 @@ fn dram_savings_direction_holds() {
         .build()
         .unwrap();
     dram.run(Task::WordCount).unwrap();
-    let nt_peak = nt.last_report.as_ref().unwrap().dram_peak_bytes;
-    let dram_peak = dram.last_report.as_ref().unwrap().dram_peak_bytes;
+    let peak = |e: &Engine| {
+        e.last_report.as_ref().unwrap().metric_f64(ntadoc_repro::METRIC_DRAM_PEAK).unwrap()
+    };
+    let (nt_peak, dram_peak) = (peak(&nt), peak(&dram));
     assert!(
-        (nt_peak as f64) < 0.6 * dram_peak as f64,
+        nt_peak < 0.6 * dram_peak,
         "expected ≥40% DRAM savings, got N-TADOC {nt_peak} vs TADOC {dram_peak}"
     );
 }
