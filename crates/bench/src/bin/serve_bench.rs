@@ -103,13 +103,19 @@ fn main() {
         "\nall {} concurrent outputs matched the classic runs",
         2 * BATCH * THREAD_COUNTS.len()
     );
-    if cores >= 8 {
+    // The ≥2x gate only means something with 8 real cores under it. On
+    // smaller hosts the check is skipped — and the skip is recorded in
+    // the emitted document, so BENCH_summary.json can never silently
+    // publish an unchecked headline.
+    let skipped = cores < 8;
+    em.meta("speedup_check_skipped", Json::Bool(skipped));
+    if skipped {
+        eprintln!("[env] fewer than 8 cores ({cores}); skipping the ≥2x speedup check");
+    } else {
         assert!(
             wc_speedup_at_8 >= 2.0,
             "expected ≥2x word-count throughput at 8 threads, got {wc_speedup_at_8:.2}x"
         );
-    } else {
-        eprintln!("[env] fewer than 8 cores; skipping the ≥2x speedup check");
     }
     em.headline("word_count_speedup_at_8", wc_speedup_at_8);
     em.finish();

@@ -32,12 +32,12 @@ mod tasks;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use ntadoc_grammar::{deserialize_compressed, serialized_len, Compressed};
 use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::obs::MetricValue;
-use ntadoc_pmem::par::{lanes_makespan, par_map_timed, virtual_lanes};
+use ntadoc_pmem::par::{join_deferred, par_map_timed};
 use ntadoc_pmem::{
     AccessStats, AllocLedger, DeviceKind, DeviceProfile, Obs, PmemError, PmemPool, SimDevice,
     SpanNode, TxLog,
@@ -422,7 +422,7 @@ impl Engine {
             init_ns: 0,
             trav_ns: AtomicU64::new(0),
             engine_label: self.label.clone(),
-            interner: Mutex::new(Interner::default()),
+            interner: Interner::default(),
             image_bytes: self.image_bytes,
             retry: self.retry,
             obs: Arc::new(if self.trace { Obs::new() } else { Obs::disabled() }),
@@ -433,31 +433,82 @@ impl Engine {
     }
 }
 
-/// Host-side n-gram interner (CPU-side sequence dictionary; its DRAM
-/// footprint is ledger-tracked, which is why sequence tasks show the
-/// smallest DRAM savings in §VI-C).
+/// Number of shards in the [`Interner`] (a power of two). Ids carry the
+/// shard index in their low bits, so lookups go straight to the owning
+/// shard without consulting shared state.
+pub(crate) const INTERN_SHARDS: usize = 16;
+
+/// One shard of the interner: its own map and id list.
 #[derive(Default)]
-pub(crate) struct Interner {
+struct InternShard {
     map: HashMap<Vec<u32>, u32>,
     list: Vec<Vec<u32>>,
 }
 
+/// Host-side n-gram interner (CPU-side sequence dictionary; its DRAM
+/// footprint is ledger-tracked, which is why sequence tasks show the
+/// smallest DRAM savings in §VI-C).
+///
+/// Sharded and read-mostly: an n-gram hashes (deterministically) to one of
+/// [`INTERN_SHARDS`] independently-locked shards, and `intern` tries a
+/// shared-lock lookup before falling back to the exclusive insert path, so
+/// concurrent workers streaming mostly-repeated n-grams contend on neither
+/// one global mutex nor each other's shards. Ids encode the shard in their
+/// low bits; the *order* ids are assigned within a shard still depends on
+/// scheduling, which is fine because every consumer keys results on the
+/// interned strings, never on id order.
+#[derive(Default)]
+pub(crate) struct Interner {
+    shards: [RwLock<InternShard>; INTERN_SHARDS],
+}
+
 impl Interner {
-    /// Intern an n-gram, returning its dense id and whether it was new.
-    pub fn intern(&mut self, gram: &[u32]) -> (u32, bool) {
-        if let Some(&id) = self.map.get(gram) {
+    /// Deterministic shard for a gram (FNV-1a over its words).
+    fn shard_of(gram: &[u32]) -> usize {
+        let h = gram.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &w| {
+            (h ^ w as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        (h as usize) & (INTERN_SHARDS - 1)
+    }
+
+    /// Intern an n-gram, returning its id and whether it was new. Hits —
+    /// the overwhelmingly common case once the dictionary warms up — take
+    /// only the owning shard's read lock.
+    pub fn intern(&self, gram: &[u32]) -> (u32, bool) {
+        let s = Self::shard_of(gram);
+        let shard = &self.shards[s];
+        if let Some(&id) = rw_read(shard).map.get(gram) {
             return (id, false);
         }
-        let id = self.list.len() as u32;
-        self.list.push(gram.to_vec());
-        self.map.insert(gram.to_vec(), id);
+        let mut sh = rw_write(shard);
+        if let Some(&id) = sh.map.get(gram) {
+            return (id, false);
+        }
+        let id = ((sh.list.len() as u32) << INTERN_SHARDS.trailing_zeros()) | s as u32;
+        sh.list.push(gram.to_vec());
+        sh.map.insert(gram.to_vec(), id);
         (id, true)
     }
 
-    /// The n-gram behind `id`.
-    pub fn gram(&self, id: u32) -> &[u32] {
-        &self.list[id as usize]
+    /// The n-gram behind `id` (owned: the slot lives behind the shard
+    /// lock).
+    pub fn gram(&self, id: u32) -> Vec<u32> {
+        let s = (id as usize) & (INTERN_SHARDS - 1);
+        let idx = (id >> INTERN_SHARDS.trailing_zeros()) as usize;
+        rw_read(&self.shards[s]).list[idx].clone()
     }
+}
+
+/// Shared-lock an interner shard, riding through poisoning (reads never
+/// observe partial state: inserts under the write lock only publish the
+/// map entry after the list push).
+fn rw_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exclusively lock an interner shard, riding through poisoning.
+fn rw_write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A single task run: the device, pools and DAG built by the init phase.
@@ -481,7 +532,7 @@ pub struct Session {
     init_ns: u64,
     trav_ns: AtomicU64,
     engine_label: String,
-    pub(crate) interner: Mutex<Interner>,
+    pub(crate) interner: Interner,
     image_bytes: u64,
     retry: RetryPolicy,
     /// Span recorder + metric registry for this run. Spans are opened on
@@ -775,6 +826,18 @@ impl Session {
             } as f64),
         );
         metrics.insert(METRIC_HIT_RATE.to_string(), MetricValue::Gauge(stats.hit_rate()));
+        // Per-shard contention counters from the sharded read path. Each
+        // shard total is a sum of per-item deferred counters, attributed
+        // by line index — schedule-independent like the rest of the
+        // report. (Optimistic-read retries are deliberately excluded:
+        // they depend on writer interleaving.)
+        for (i, s) in self.dev.read_shard_stats().iter().enumerate() {
+            metrics.insert(format!("contention.shard{i:02}.reads"), MetricValue::Counter(s.reads));
+            metrics.insert(
+                format!("contention.shard{i:02}.line_misses"),
+                MetricValue::Counter(s.line_misses),
+            );
+        }
         let mut spans = if self.obs.enabled() {
             self.obs.tree("run")
         } else {
@@ -940,8 +1003,11 @@ impl ServeSession {
         let s = &self.session;
         let obs = s.obs.clone();
         let out: Result<Vec<TaskOutput>> = obs.span("serve-batch", &s.dev, || {
-            let (results, item_ns) = par_map_timed(tasks, |_, &t| s.serve_task(t));
-            s.dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
+            let (results, charges) = par_map_timed(tasks, |_, &t| s.serve_task(t));
+            // Barrier: merge each task's deferred read counters and join
+            // the clock before the span closes, so the span's stats delta
+            // covers every read this batch issued.
+            join_deferred(&s.dev, &charges);
             results.into_iter().collect()
         });
         let out = out?;

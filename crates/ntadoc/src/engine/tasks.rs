@@ -14,7 +14,7 @@ use crate::config::Traversal;
 use crate::result::{Task, TaskOutput};
 use crate::Result;
 
-use super::{lock, Session};
+use super::Session;
 
 /// One element of the stitched "junction stream" a rule is scanned as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,7 +238,7 @@ impl Session {
                 // thread; the level's parallel work joins the clock as the
                 // deterministic lane makespan before the span closes.
                 obs.span(&format!("wordlist-level-{depth}"), &self.dev, || -> Result<()> {
-                    let (merged, item_ns) = par::par_map_timed(&level, |_, &r| {
+                    let (merged, charges) = par::par_map_timed(&level, |_, &r| {
                         let extra: std::collections::BTreeMap<u32, u64> =
                             self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
                         let mut lists = Vec::new();
@@ -249,7 +249,7 @@ impl Session {
                         }
                         self.merge_counts(lists, extra)
                     });
-                    self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
+                    par::join_deferred(&self.dev, &charges);
                     for (&r, entries) in level.iter().zip(&merged) {
                         let (addr, len) = self.dag().store_wordlist(r, entries)?;
                         self.op_guard(addr, len)?;
@@ -551,7 +551,7 @@ impl Session {
                 }
             }
             if valid && crosses {
-                let (id, fresh) = lock(&self.interner).intern(&words);
+                let (id, fresh) = self.interner.intern(&words);
                 if fresh {
                     self.note_dram(words.len() as u64 * 8 + 64);
                 }
@@ -574,7 +574,7 @@ impl Session {
     pub(crate) fn build_seqlist_caches(&self) -> Result<()> {
         if self.cfg.pruned {
             for level in self.bottomup_levels() {
-                let (merged, item_ns) = par::par_map_timed(&level, |_, &r| -> Result<_> {
+                let (merged, charges) = par::par_map_timed(&level, |_, &r| -> Result<_> {
                     let body = self.dag().body(r);
                     let stream = self.junction_stream(&body);
                     // Junction windows into a small working map, children
@@ -592,7 +592,7 @@ impl Session {
                     }
                     Ok(self.merge_counts(lists, extra))
                 });
-                self.dev.charge_ns(par::lanes_makespan(&item_ns, par::virtual_lanes()));
+                par::join_deferred(&self.dev, &charges);
                 for (&r, entries) in level.iter().zip(merged) {
                     let (addr, len) = self.dag().store_wordlist(r, &entries?)?;
                     self.op_guard(addr, len)?;
@@ -679,11 +679,10 @@ impl Session {
         if self.cfg.persistence != crate::config::Persistence::None {
             result.persist();
         }
-        let interner = lock(&self.interner);
         let mut out = std::collections::BTreeMap::new();
         for (id, c) in totals {
             let gram: Vec<String> =
-                interner.gram(id).iter().map(|&w| self.dag().word_str(w)).collect();
+                self.interner.gram(id).iter().map(|&w| self.dag().word_str(w)).collect();
             out.insert(gram, c);
         }
         Ok(TaskOutput::SequenceCount(out))
@@ -740,13 +739,12 @@ impl Session {
         if self.cfg.persistence != crate::config::Persistence::None {
             triples.persist();
         }
-        let interner = lock(&self.interner);
         let mut out = std::collections::BTreeMap::new();
         for (sid, mut files) in acc {
             self.charge_sort(files.len() as u64);
             files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             let gram: Vec<String> =
-                interner.gram(sid).iter().map(|&w| self.dag().word_str(w)).collect();
+                self.interner.gram(sid).iter().map(|&w| self.dag().word_str(w)).collect();
             let ranked: Vec<(String, u64)> = files
                 .into_iter()
                 .map(|(fid, c)| (self.comp.file_names[fid as usize].clone(), c))

@@ -29,6 +29,10 @@ struct Entry {
 
 const EMPTY: u64 = u64::MAX;
 
+/// Number of line shards the cache tallies hit/miss counters for,
+/// mirroring [`crate::device::READ_SHARDS`]: shard = `line & 15`.
+pub const CACHE_SHARDS: usize = 16;
+
 /// Set-associative LRU over line indices (not bytes).
 #[derive(Debug)]
 pub struct LineCache {
@@ -36,6 +40,9 @@ pub struct LineCache {
     ways: usize,
     sets: usize,
     tick: u64,
+    /// Per-shard `(hits, misses)` tallies keyed by `line & (CACHE_SHARDS-1)`,
+    /// exposed for contention analysis ([`Self::shard_hits_misses`]).
+    shard_tallies: [(u64, u64); CACHE_SHARDS],
 }
 
 impl LineCache {
@@ -52,6 +59,7 @@ impl LineCache {
             ways,
             sets,
             tick: 0,
+            shard_tallies: [(0, 0); CACHE_SHARDS],
         }
     }
 
@@ -68,12 +76,16 @@ impl LineCache {
         let base = set * self.ways;
         let slots = &mut self.entries[base..base + self.ways];
 
+        let shard = (line as usize) & (CACHE_SHARDS - 1);
+
         // Hit path.
         if let Some(e) = slots.iter_mut().find(|e| e.line == line) {
             e.last_used = self.tick;
             e.dirty |= write;
+            self.shard_tallies[shard].0 += 1;
             return AccessOutcome::Hit;
         }
+        self.shard_tallies[shard].1 += 1;
 
         // Miss: pick an empty slot or the LRU victim.
         let victim = slots
@@ -127,6 +139,12 @@ impl LineCache {
     /// Total line capacity.
     pub fn capacity_lines(&self) -> usize {
         self.sets * self.ways
+    }
+
+    /// Per-shard `(hits, misses)` since construction, keyed by
+    /// `line & (CACHE_SHARDS - 1)`.
+    pub fn shard_hits_misses(&self) -> Vec<(u64, u64)> {
+        self.shard_tallies.to_vec()
     }
 }
 

@@ -33,7 +33,7 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::cache::{AccessOutcome, LineCache};
@@ -77,11 +77,64 @@ enum MediaFault {
 /// distinguish scheduled crashes from real bugs.
 pub const CRASH_PANIC: &str = "injected device fault";
 
+/// Number of line shards on the read path (a power of two). Deferred read
+/// counters and the data plane's seqlock versions are striped over this
+/// many shards by line index, so concurrent readers touching different
+/// lines never share a counter or a version word.
+pub const READ_SHARDS: usize = 16;
+
+/// The shard a line index maps to.
+#[inline]
+fn shard_of(line: u64) -> usize {
+    (line as usize) & (READ_SHARDS - 1)
+}
+
 thread_local! {
-    /// When set, virtual-time charges from this thread are routed to the
-    /// pointed-at sink instead of the device's global clock (see
-    /// [`with_deferred_charges`]).
-    static DEFERRED_SINK: Cell<*const AtomicU64> = const { Cell::new(std::ptr::null()) };
+    /// When set, virtual-time charges and read counters from this thread
+    /// are routed to the pointed-at sink instead of the device's global
+    /// state (see [`with_deferred_charges`]).
+    static DEFERRED_SINK: Cell<*const DeferredCharges> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-item accounting sink for a deferred (parallel) region: the item's
+/// virtual-time cost plus per-shard read counters.
+///
+/// A parallel runner allocates one sink per work item (see
+/// [`crate::par::par_map_timed`]). Because each sink is private to its
+/// item, the read hot path performs no shared-memory writes at all — the
+/// counters reach the device's per-shard totals only when the runner
+/// merges them at the batch barrier via [`SimDevice::absorb_deferred`],
+/// which is exactly the virtual-clock join point. Stats snapshots taken at
+/// span boundaries therefore see every read the span issued.
+#[derive(Default)]
+pub struct DeferredCharges {
+    ns: AtomicU64,
+    reads: [AtomicU64; READ_SHARDS],
+    bytes_read: [AtomicU64; READ_SHARDS],
+    line_misses: [AtomicU64; READ_SHARDS],
+    retries: [AtomicU64; READ_SHARDS],
+}
+
+impl DeferredCharges {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The captured virtual-time cost of this item.
+    pub fn ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Total reads captured, summed over shards.
+    pub fn reads(&self) -> u64 {
+        self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total line fetches captured, summed over shards.
+    pub fn line_misses(&self) -> u64 {
+        self.line_misses.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
 }
 
 /// Run `f` with every virtual-time charge issued by *this thread* routed
@@ -98,14 +151,14 @@ thread_local! {
 /// loads/stores; this keeps both the cost and the cache state independent
 /// of thread interleaving, so the reported virtual time is identical for
 /// any worker count.
-pub fn with_deferred_charges<R>(sink: &AtomicU64, f: impl FnOnce() -> R) -> R {
-    struct Restore(*const AtomicU64);
+pub fn with_deferred_charges<R>(sink: &DeferredCharges, f: impl FnOnce() -> R) -> R {
+    struct Restore(*const DeferredCharges);
     impl Drop for Restore {
         fn drop(&mut self) {
             DEFERRED_SINK.with(|c| c.set(self.0));
         }
     }
-    let prev = DEFERRED_SINK.with(|c| c.replace(sink as *const AtomicU64));
+    let prev = DEFERRED_SINK.with(|c| c.replace(sink as *const DeferredCharges));
     let _restore = Restore(prev);
     f()
 }
@@ -121,9 +174,45 @@ fn deferred_charge(ns: u64) -> bool {
             // SAFETY: the pointer was installed by `with_deferred_charges`,
             // whose sink reference outlives the closure (and therefore this
             // call); the guard restores the previous value on exit/unwind.
-            unsafe { (*p).fetch_add(ns, Ordering::Relaxed) };
+            unsafe { (*p).ns.fetch_add(ns, Ordering::Relaxed) };
             true
         }
+    })
+}
+
+/// Record one deferred read of `len` bytes covering `nlines` lines from
+/// `first_line` in the thread's sink, attributing line fetches to the
+/// shard of each line. Returns `false` when no sink is active.
+fn deferred_note_read(first_line: u64, nlines: u64, len: u64, retries: u64) -> bool {
+    DEFERRED_SINK.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            return false;
+        }
+        // SAFETY: as in `deferred_charge` — installed by
+        // `with_deferred_charges`, outlives this call.
+        let sink = unsafe { &*p };
+        let s0 = shard_of(first_line);
+        sink.reads[s0].fetch_add(1, Ordering::Relaxed);
+        sink.bytes_read[s0].fetch_add(len, Ordering::Relaxed);
+        if retries > 0 {
+            sink.retries[s0].fetch_add(retries, Ordering::Relaxed);
+        }
+        // Contiguous lines stripe round-robin over the shards: the first
+        // `nlines % READ_SHARDS` shards from `first_line` get one extra.
+        let base = nlines / READ_SHARDS as u64;
+        let rem = nlines % READ_SHARDS as u64;
+        if base == 0 {
+            for k in 0..rem {
+                sink.line_misses[shard_of(first_line + k)].fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            for k in 0..READ_SHARDS as u64 {
+                let n = base + u64::from(k < rem);
+                sink.line_misses[shard_of(first_line + k)].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        true
     })
 }
 
@@ -132,8 +221,142 @@ fn deferred_active() -> bool {
     DEFERRED_SINK.with(|c| !c.get().is_null())
 }
 
+/// Cache-line padded seqlock version counter for one line shard of the
+/// data plane (even = stable, odd = a writer is mid-mutation).
+#[repr(align(128))]
+#[derive(Default)]
+struct ShardVersion {
+    version: AtomicU64,
+}
+
+/// The byte store, kept *outside* the state lock so deferred readers never
+/// take it.
+///
+/// Bytes are `AtomicU8` so optimistic readers may race a writer without
+/// undefined behaviour; a seqlock version per line shard lets a reader
+/// detect the race and retry with a consistent copy. All mutation happens
+/// under the device's exclusive state lock, so writers never race each
+/// other and the version protocol stays simple: bump covered shards to odd
+/// before the stores, back to even after.
+struct DataPlane {
+    bytes: Box<[AtomicU8]>,
+    line_size: usize,
+    versions: Box<[ShardVersion]>,
+}
+
+impl DataPlane {
+    fn new(capacity: usize, line_size: usize) -> Self {
+        let mut bytes = Vec::with_capacity(capacity);
+        bytes.resize_with(capacity, || AtomicU8::new(0));
+        let mut versions = Vec::with_capacity(READ_SHARDS);
+        versions.resize_with(READ_SHARDS, ShardVersion::default);
+        DataPlane {
+            bytes: bytes.into_boxed_slice(),
+            line_size,
+            versions: versions.into_boxed_slice(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Bitmask of line shards covered by `[addr, addr+len)`.
+    fn shard_mask(&self, addr: u64, len: usize) -> u32 {
+        let first = addr / self.line_size as u64;
+        let last = (addr + len as u64 - 1) / self.line_size as u64;
+        if last - first + 1 >= READ_SHARDS as u64 {
+            return (1u32 << READ_SHARDS) - 1;
+        }
+        let mut mask = 0u32;
+        for line in first..=last {
+            mask |= 1 << shard_of(line);
+        }
+        mask
+    }
+
+    fn version_snapshot(&self, mask: u32) -> [u64; READ_SHARDS] {
+        let mut snap = [0u64; READ_SHARDS];
+        for (s, slot) in snap.iter_mut().enumerate() {
+            if mask & (1 << s) != 0 {
+                *slot = self.versions[s].version.load(Ordering::SeqCst);
+            }
+        }
+        snap
+    }
+
+    /// Copy out while the caller holds the state lock (shared or
+    /// exclusive): no writer can be mid-mutation, so plain loads suffice.
+    fn read_locked(&self, addr: usize, dst: &mut [u8]) {
+        for (i, b) in dst.iter_mut().enumerate() {
+            *b = self.bytes[addr + i].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Locked copy into a fresh buffer.
+    fn snapshot(&self, addr: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_locked(addr, &mut out);
+        out
+    }
+
+    /// Optimistic lock-free copy: snapshot the covered shard versions,
+    /// copy, re-validate; retry until no writer interleaved. Returns the
+    /// number of retries taken (0 on the contention-free path).
+    fn read_optimistic(&self, addr: usize, dst: &mut [u8]) -> u64 {
+        let mask = self.shard_mask(addr as u64, dst.len());
+        let mut retries = 0u64;
+        loop {
+            let before = self.version_snapshot(mask);
+            if before.iter().all(|&v| v & 1 == 0) {
+                for (i, b) in dst.iter_mut().enumerate() {
+                    *b = self.bytes[addr + i].load(Ordering::Relaxed);
+                }
+                if self.version_snapshot(mask) == before {
+                    return retries;
+                }
+            }
+            retries += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Mutate `[addr, addr+src.len())`. Caller must hold the exclusive
+    /// state lock; the covered shard versions are bumped around the stores
+    /// so optimistic readers retry instead of observing a torn copy.
+    fn write(&self, addr: usize, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        let mask = self.shard_mask(addr as u64, src.len());
+        self.bump(mask);
+        for (i, &b) in src.iter().enumerate() {
+            self.bytes[addr + i].store(b, Ordering::Relaxed);
+        }
+        self.bump(mask);
+    }
+
+    /// Zero the whole store (volatile-device crash). Caller must hold the
+    /// exclusive state lock.
+    fn fill_zero(&self) {
+        let mask = (1u32 << READ_SHARDS) - 1;
+        self.bump(mask);
+        for b in self.bytes.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.bump(mask);
+    }
+
+    fn bump(&self, mask: u32) {
+        for (s, v) in self.versions.iter().enumerate() {
+            if mask & (1 << s) != 0 {
+                v.version.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
 struct Inner {
-    data: Vec<u8>,
     cache: LineCache,
     stats: AccessStats,
     /// Pre-images of lines modified since they were last made durable:
@@ -183,18 +406,45 @@ struct Inner {
 pub struct SimDevice {
     profile: DeviceProfile,
     inner: RwLock<Inner>,
-    /// Read counters accumulated by the shared-lock deferred read path;
-    /// drained into [`AccessStats`] whenever the stats are observed.
-    deferred_reads: DeferredReadCounters,
+    /// The byte store + per-shard seqlock versions; deferred readers copy
+    /// from here without touching the state lock.
+    plane: DataPlane,
+    /// Per-shard totals for reads served by the deferred path, merged in
+    /// from per-item [`DeferredCharges`] sinks at batch barriers
+    /// ([`absorb_deferred`](Self::absorb_deferred)) and summed into
+    /// [`AccessStats`] on every [`stats`](Self::stats) snapshot.
+    read_shards: Box<[ReadShard]>,
+    /// Number of lines with an injected media fault; lets the lock-free
+    /// read path skip the fault table when it is empty (the common case).
+    fault_lines: AtomicU64,
+    /// Times a poisoned state lock was healed (cache residency reset).
+    poison_heals: AtomicU64,
 }
 
-/// Counters for reads served under the shared lock (deferred regions):
-/// those paths cannot mutate [`Inner::stats`], so they accumulate here.
+/// Cache-line padded per-shard totals for reads served by the deferred
+/// path.
+#[repr(align(128))]
 #[derive(Default)]
-struct DeferredReadCounters {
+struct ReadShard {
     reads: AtomicU64,
     bytes_read: AtomicU64,
     line_misses: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Snapshot of one read shard's counters
+/// ([`SimDevice::read_shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadShardStats {
+    /// Read operations whose first covered line mapped to this shard.
+    pub reads: u64,
+    /// Bytes read by those operations.
+    pub bytes_read: u64,
+    /// Line fetches attributed to this shard (each covered line charges
+    /// its own shard).
+    pub line_misses: u64,
+    /// Optimistic-read retries caused by a concurrent writer.
+    pub retries: u64,
 }
 
 impl SimDevice {
@@ -202,11 +452,16 @@ impl SimDevice {
     /// as zeroes).
     pub fn new(profile: DeviceProfile, capacity: usize) -> Self {
         let cache = LineCache::new(profile.cache_bytes, profile.line_size, profile.cache_ways);
+        let plane = DataPlane::new(capacity, profile.line_size);
+        let mut read_shards = Vec::with_capacity(READ_SHARDS);
+        read_shards.resize_with(READ_SHARDS, ReadShard::default);
         SimDevice {
             profile,
-            deferred_reads: DeferredReadCounters::default(),
+            plane,
+            read_shards: read_shards.into_boxed_slice(),
+            fault_lines: AtomicU64::new(0),
+            poison_heals: AtomicU64::new(0),
             inner: RwLock::new(Inner {
-                data: vec![0; capacity],
                 cache,
                 stats: AccessStats::default(),
                 undurable: HashMap::new(),
@@ -224,24 +479,56 @@ impl SimDevice {
         }
     }
 
-    /// Acquire the state lock, recovering from poisoning: an injected
+    /// Acquire the state lock exclusively, healing poisoning: an injected
     /// crash panic that unwound through a caller must leave the device
-    /// usable for the recovery path that catches the unwind.
+    /// usable for the recovery path that catches the unwind. A panicking
+    /// thread may have died mid-update of the line cache, so the cache's
+    /// residency cannot be trusted after poisoning — it is discarded and
+    /// rebuilt cold (dirty lines are charged as write-backs first, so no
+    /// writeback accounting is lost), rather than resurrecting a
+    /// half-written entry.
     fn lock(&self) -> RwLockWriteGuard<'_, Inner> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut inner = poisoned.into_inner();
+                self.inner.clear_poison();
+                self.heal_after_poison(&mut inner);
+                inner
+            }
+        }
     }
 
-    /// Acquire the state lock shared, recovering from poisoning. Used by
-    /// the deferred read path, which never mutates device state.
+    /// Acquire the state lock shared, healing poisoning first (healing
+    /// needs the exclusive guard). Used by fault-path deferred reads,
+    /// which never mutate device state.
     fn read_lock(&self) -> RwLockReadGuard<'_, Inner> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        loop {
+            let acquired = self.inner.read();
+            match acquired {
+                Ok(g) => return g,
+                Err(poisoned) => {
+                    // The error wraps a live *shared* guard; release it
+                    // before taking the exclusive lock to heal, or this
+                    // thread deadlocks against itself.
+                    drop(poisoned);
+                    drop(self.lock());
+                }
+            }
+        }
     }
 
-    /// Fold the shared-path read counters into the exclusive stats.
-    fn drain_deferred_reads(&self, inner: &mut Inner) {
-        inner.stats.reads += self.deferred_reads.reads.swap(0, Ordering::Relaxed);
-        inner.stats.bytes_read += self.deferred_reads.bytes_read.swap(0, Ordering::Relaxed);
-        inner.stats.line_misses += self.deferred_reads.line_misses.swap(0, Ordering::Relaxed);
+    /// Reset cache residency after lock poisoning: flush every dirty line
+    /// (charging the write-backs that eviction would have produced) and
+    /// start from a cold cache whose entries are all known-good.
+    fn heal_after_poison(&self, inner: &mut Inner) {
+        let dirty = inner.cache.flush_all();
+        inner.stats.write_backs += dirty;
+        let profile = &self.profile;
+        inner.cache = LineCache::new(profile.cache_bytes, profile.line_size, profile.cache_ways);
+        inner.last_miss_line = u64::MAX - 1;
+        inner.last_wb_line = u64::MAX - 1;
+        self.poison_heals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The cost profile this device was built with.
@@ -251,21 +538,98 @@ impl SimDevice {
 
     /// Device capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.lock().data.len() as u64
+        self.plane.len() as u64
     }
 
-    /// Snapshot of the accumulated counters.
+    /// Snapshot of the accumulated counters: the locked-path stats plus
+    /// the per-shard deferred read totals. The shard totals are summed in
+    /// (never drained), so any snapshot taken after an
+    /// [`absorb_deferred`](Self::absorb_deferred) barrier — e.g. at span
+    /// close — already attributes those reads to the issuing span.
     pub fn stats(&self) -> AccessStats {
-        let mut inner = self.lock();
-        self.drain_deferred_reads(&mut inner);
-        inner.stats
+        let inner = self.read_lock();
+        let mut stats = inner.stats;
+        drop(inner);
+        for shard in self.read_shards.iter() {
+            stats.reads += shard.reads.load(Ordering::Relaxed);
+            stats.bytes_read += shard.bytes_read.load(Ordering::Relaxed);
+            stats.line_misses += shard.line_misses.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Reset the counters (not the contents).
     pub fn reset_stats(&self) {
         let mut inner = self.lock();
-        self.drain_deferred_reads(&mut inner);
         inner.stats = AccessStats::default();
+        for shard in self.read_shards.iter() {
+            shard.reads.store(0, Ordering::Relaxed);
+            shard.bytes_read.store(0, Ordering::Relaxed);
+            shard.line_misses.store(0, Ordering::Relaxed);
+            shard.retries.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Merge per-item deferred read counters into the device's per-shard
+    /// totals. Parallel runners call this once per batch, at the virtual-
+    /// clock join — the single point where the deferred read path touches
+    /// shared state — so a [`stats`](Self::stats) snapshot taken at a
+    /// batch or span boundary sees every read the batch issued.
+    pub fn absorb_deferred(&self, charges: &[DeferredCharges]) {
+        for c in charges {
+            for (s, shard) in self.read_shards.iter().enumerate() {
+                let reads = c.reads[s].load(Ordering::Relaxed);
+                if reads > 0 {
+                    shard.reads.fetch_add(reads, Ordering::Relaxed);
+                }
+                let bytes = c.bytes_read[s].load(Ordering::Relaxed);
+                if bytes > 0 {
+                    shard.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                }
+                let misses = c.line_misses[s].load(Ordering::Relaxed);
+                if misses > 0 {
+                    shard.line_misses.fetch_add(misses, Ordering::Relaxed);
+                }
+                let retries = c.retries[s].load(Ordering::Relaxed);
+                if retries > 0 {
+                    shard.retries.fetch_add(retries, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Number of line shards on the read path.
+    pub fn read_shard_count(&self) -> usize {
+        READ_SHARDS
+    }
+
+    /// Per-shard totals for reads served by the deferred path.
+    pub fn read_shard_stats(&self) -> Vec<ReadShardStats> {
+        self.read_shards
+            .iter()
+            .map(|s| ReadShardStats {
+                reads: s.reads.load(Ordering::Relaxed),
+                bytes_read: s.bytes_read.load(Ordering::Relaxed),
+                line_misses: s.line_misses.load(Ordering::Relaxed),
+                retries: s.retries.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total optimistic-read retries absorbed so far (a writer was
+    /// mid-mutation while a lock-free reader copied).
+    pub fn optimistic_retries(&self) -> u64 {
+        self.read_shards.iter().map(|s| s.retries.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Times the state lock was healed after poisoning.
+    pub fn poison_heals(&self) -> u64 {
+        self.poison_heals.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard `(hits, misses)` of the front cache's cost model.
+    pub fn cache_shard_stats(&self) -> Vec<(u64, u64)> {
+        self.read_lock().cache.shard_hits_misses()
     }
 
     /// Charge extra model time, e.g. CPU work modeled by higher layers.
@@ -291,12 +655,17 @@ impl SimDevice {
     }
 
     /// Validate that `[addr, addr+len)` lies inside the device.
-    fn check_bounds(&self, inner: &Inner, addr: Addr, len: usize) -> Result<()> {
-        let capacity = inner.data.len() as u64;
+    fn check_bounds(&self, addr: Addr, len: usize) -> Result<()> {
+        let capacity = self.plane.len() as u64;
         match addr.checked_add(len as u64) {
             Some(end) if end <= capacity => Ok(()),
             _ => Err(PmemError::OutOfBounds { addr, len, capacity }),
         }
+    }
+
+    /// Keep the lock-free fault flag in sync with the fault table.
+    fn sync_fault_flag(&self, inner: &Inner) {
+        self.fault_lines.store(inner.faults.len() as u64, Ordering::Relaxed);
     }
 
     /// Fail a read covering an uncorrectable line.
@@ -360,7 +729,7 @@ impl SimDevice {
     fn touch(&self, inner: &mut Inner, addr: Addr, len: usize, write: bool) {
         debug_assert!(len > 0);
         let end = addr + len as u64;
-        debug_assert!(end <= inner.data.len() as u64);
+        debug_assert!(end <= self.plane.len() as u64);
         let first = self.line_of(addr);
         let last = self.line_of(end - 1);
         let line_size = self.profile.line_size;
@@ -378,13 +747,11 @@ impl SimDevice {
             let nlines = last - first + 1;
             if write {
                 for line in first..=last {
-                    if !inner.undurable.contains_key(&line) {
+                    inner.undurable.entry(line).or_insert_with(|| {
                         let start = (line as usize) * line_size;
-                        let stop = (start + line_size).min(inner.data.len());
-                        inner
-                            .undurable
-                            .insert(line, inner.data[start..stop].to_vec().into_boxed_slice());
-                    }
+                        let stop = (start + line_size).min(self.plane.len());
+                        self.plane.snapshot(start, stop - start).into_boxed_slice()
+                    });
                 }
                 inner.stats.write_backs += nlines;
                 Self::charge(inner, write_back + (nlines - 1) * write_seq);
@@ -397,8 +764,10 @@ impl SimDevice {
         for line in first..=last {
             if write && !inner.undurable.contains_key(&line) {
                 let start = (line as usize) * line_size;
-                let stop = (start + line_size).min(inner.data.len());
-                inner.undurable.insert(line, inner.data[start..stop].to_vec().into_boxed_slice());
+                let stop = (start + line_size).min(self.plane.len());
+                inner
+                    .undurable
+                    .insert(line, self.plane.snapshot(start, stop - start).into_boxed_slice());
             }
             match inner.cache.access(line, write) {
                 AccessOutcome::Hit => {
@@ -439,32 +808,34 @@ impl SimDevice {
             return Ok(());
         }
         if deferred_active() {
-            // Shared-lock fast path: deferred reads bypass the line cache
-            // and charge their cost to the thread's sink, so they mutate
-            // nothing under the lock — concurrent serve tasks stream reads
+            // Lock-free fast path: deferred reads bypass the line cache,
+            // charge their cost to the thread's private sink, and copy from
+            // the data plane under the seqlock protocol — no lock, no
+            // shared-memory write, so concurrent serve tasks stream reads
             // side by side instead of serialising on the device.
-            let inner = self.read_lock();
-            self.check_bounds(&inner, addr, buf.len())?;
-            self.check_read_faults(&inner, addr, buf.len())?;
-            let nlines = self.line_of(addr + buf.len() as u64 - 1) - self.line_of(addr) + 1;
+            self.check_bounds(addr, buf.len())?;
+            if self.fault_lines.load(Ordering::Relaxed) != 0 {
+                // Rare path: only consult the fault table (under the shared
+                // lock) when faults are actually injected.
+                let inner = self.read_lock();
+                self.check_read_faults(&inner, addr, buf.len())?;
+            }
+            let retries = self.plane.read_optimistic(addr as usize, buf);
+            let first = self.line_of(addr);
+            let nlines = self.line_of(addr + buf.len() as u64 - 1) - first + 1;
             deferred_charge(
                 self.profile.read_miss_ns() + (nlines - 1) * self.profile.read_seq_ns(),
             );
-            self.deferred_reads.reads.fetch_add(1, Ordering::Relaxed);
-            self.deferred_reads.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
-            self.deferred_reads.line_misses.fetch_add(nlines, Ordering::Relaxed);
-            let a = addr as usize;
-            buf.copy_from_slice(&inner.data[a..a + buf.len()]);
+            deferred_note_read(first, nlines, buf.len() as u64, retries);
             return Ok(());
         }
         let mut inner = self.lock();
-        self.check_bounds(&inner, addr, buf.len())?;
+        self.check_bounds(addr, buf.len())?;
         self.check_read_faults(&inner, addr, buf.len())?;
         self.touch(&mut inner, addr, buf.len(), false);
         inner.stats.reads += 1;
         inner.stats.bytes_read += buf.len() as u64;
-        let a = addr as usize;
-        buf.copy_from_slice(&inner.data[a..a + buf.len()]);
+        self.plane.read_locked(addr as usize, buf);
         Ok(())
     }
 
@@ -492,7 +863,7 @@ impl SimDevice {
             return Ok(());
         }
         let mut inner = self.lock();
-        self.check_bounds(&inner, addr, buf.len())?;
+        self.check_bounds(addr, buf.len())?;
         if let Some(left) = inner.trip_writes.as_mut() {
             if *left == 0 {
                 inner.trip_writes = None;
@@ -516,8 +887,7 @@ impl SimDevice {
         self.touch(&mut inner, addr, buf.len(), true);
         inner.stats.writes += 1;
         inner.stats.bytes_written += buf.len() as u64;
-        let a = addr as usize;
-        inner.data[a..a + buf.len()].copy_from_slice(buf);
+        self.plane.write(addr as usize, buf);
         // A successful overwrite re-programs the cells, healing any
         // uncorrectable-read fault on the covered lines.
         if !inner.faults.is_empty() {
@@ -528,6 +898,11 @@ impl SimDevice {
                     inner.faults.remove(&line);
                 }
             }
+        }
+        if self.fault_lines.load(Ordering::Relaxed) != 0 {
+            // Transient faults may have healed (here or in
+            // `check_write_faults`); keep the lock-free flag honest.
+            self.sync_fault_flag(&inner);
         }
         Ok(())
     }
@@ -726,7 +1101,7 @@ impl SimDevice {
     fn crash_with(&self, mode: CrashMode) {
         let mut inner = self.lock();
         if !self.profile.kind.is_persistent() {
-            inner.data.fill(0);
+            self.plane.fill_zero();
         } else {
             let line_size = self.profile.line_size;
             let undurable = std::mem::take(&mut inner.undurable);
@@ -734,7 +1109,7 @@ impl SimDevice {
                 CrashMode::Rewind => {
                     for (line, pre) in undurable {
                         let start = (line as usize) * line_size;
-                        inner.data[start..start + pre.len()].copy_from_slice(&pre);
+                        self.plane.write(start, &pre);
                     }
                 }
                 CrashMode::Torn { seed } => {
@@ -751,7 +1126,7 @@ impl SimDevice {
                         let survives = pending.contains(&line) && rng.next_u64() & 1 == 1;
                         if !survives {
                             let start = (line as usize) * line_size;
-                            inner.data[start..start + pre.len()].copy_from_slice(&pre);
+                            self.plane.write(start, &pre);
                         }
                     }
                     // The store interrupted by the crash reaches media as an
@@ -759,11 +1134,11 @@ impl SimDevice {
                     // floor) on top of whatever the lines reverted to.
                     if let Some((addr, buf)) = inner.inflight_write.take() {
                         let end = addr as usize + buf.len();
-                        if end <= inner.data.len() {
+                        if end <= self.plane.len() {
                             for (i, chunk) in buf.chunks(8).enumerate() {
                                 if rng.next_u64() & 1 == 1 {
                                     let off = addr as usize + i * 8;
-                                    inner.data[off..off + chunk.len()].copy_from_slice(chunk);
+                                    self.plane.write(off, chunk);
                                 }
                             }
                         }
@@ -817,7 +1192,9 @@ impl SimDevice {
     /// rewritten.
     pub fn inject_read_fault(&self, addr: Addr) {
         let line = self.line_of(addr);
-        self.lock().faults.insert(line, MediaFault::UncorrectableRead);
+        let mut inner = self.lock();
+        inner.faults.insert(line, MediaFault::UncorrectableRead);
+        self.sync_fault_flag(&inner);
     }
 
     /// Make the next `failures` write attempts covering the line at `addr`
@@ -826,12 +1203,16 @@ impl SimDevice {
     /// [`AccessStats::media_retries`]).
     pub fn inject_transient_write_fault(&self, addr: Addr, failures: u32) {
         let line = self.line_of(addr);
-        self.lock().faults.insert(line, MediaFault::TransientWrite { remaining: failures });
+        let mut inner = self.lock();
+        inner.faults.insert(line, MediaFault::TransientWrite { remaining: failures });
+        self.sync_fault_flag(&inner);
     }
 
     /// Remove every injected media fault.
     pub fn clear_faults(&self) {
-        self.lock().faults.clear();
+        let mut inner = self.lock();
+        inner.faults.clear();
+        self.sync_fault_flag(&inner);
     }
 
     /// Bound the number of retries a write spends on transient media
@@ -876,16 +1257,15 @@ impl SimDevice {
 
     /// Test/debug read that bypasses the cost model entirely.
     pub fn peek(&self, addr: Addr, len: usize) -> Vec<u8> {
-        let inner = self.lock();
-        inner.data[addr as usize..addr as usize + len].to_vec()
+        let _inner = self.lock();
+        self.plane.snapshot(addr as usize, len)
     }
 
     /// Test/debug write that bypasses the cost model and durability
     /// tracking (the written data is considered durable).
     pub fn poke(&self, addr: Addr, bytes: &[u8]) {
-        let mut inner = self.lock();
-        let a = addr as usize;
-        inner.data[a..a + bytes.len()].copy_from_slice(bytes);
+        let _inner = self.lock();
+        self.plane.write(addr as usize, bytes);
     }
 }
 
@@ -894,7 +1274,7 @@ impl std::fmt::Debug for SimDevice {
         let inner = self.lock();
         f.debug_struct("SimDevice")
             .field("profile", &self.profile.name)
-            .field("capacity", &inner.data.len())
+            .field("capacity", &self.plane.len())
             .field("stats", &inner.stats)
             .finish()
     }

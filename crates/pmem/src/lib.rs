@@ -53,7 +53,10 @@ pub mod profile;
 pub mod stats;
 
 pub use alloc::PmemPool;
-pub use device::{with_deferred_charges, Addr, CrashMode, SimDevice, CRASH_PANIC};
+pub use device::{
+    with_deferred_charges, Addr, CrashMode, DeferredCharges, ReadShardStats, SimDevice,
+    CRASH_PANIC, READ_SHARDS,
+};
 pub use error::PmemError;
 pub use faultsim::{
     panic_is_injected_crash, run_with_crash_at, CrashPoint, CrashRun, Prng, SweepOutcome,

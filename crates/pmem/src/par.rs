@@ -29,9 +29,9 @@
 //! channels rather than serializing it.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::device::with_deferred_charges;
+use crate::device::{with_deferred_charges, DeferredCharges, SimDevice};
 
 /// Virtual lanes used by the makespan join when `NTADOC_VIRTUAL_LANES` is
 /// not set. Models the parallelism of the simulated hardware, decoupled
@@ -130,19 +130,33 @@ where
 }
 
 /// [`par_map`] with each item executed under [`with_deferred_charges`]:
-/// returns the results plus each item's captured virtual-time cost. The
-/// single-worker path uses the same deferred accounting, so costs are
-/// identical for any worker count.
-pub fn par_map_timed<T, R, F>(items: &[T], f: F) -> (Vec<R>, Vec<u64>)
+/// returns the results plus each item's captured accounting sink (its
+/// virtual-time cost and per-shard read counters). The single-worker path
+/// uses the same deferred accounting, so costs are identical for any
+/// worker count. Callers merge the sinks back into the device at the
+/// barrier with [`join_deferred`].
+pub fn par_map_timed<T, R, F>(items: &[T], f: F) -> (Vec<R>, Vec<DeferredCharges>)
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let sinks: Vec<AtomicU64> = items.iter().map(|_| AtomicU64::new(0)).collect();
+    let sinks: Vec<DeferredCharges> = items.iter().map(|_| DeferredCharges::new()).collect();
     let results = par_map(items, |i, t| with_deferred_charges(&sinks[i], || f(i, t)));
-    let item_ns = sinks.iter().map(|s| s.load(Ordering::Relaxed)).collect();
-    (results, item_ns)
+    (results, sinks)
+}
+
+/// Barrier join for a [`par_map_timed`] batch: merge the per-item read
+/// counters into the device's per-shard totals
+/// ([`SimDevice::absorb_deferred`]) and advance the virtual clock by the
+/// deterministic lane-folded makespan of the per-item costs. This is the
+/// single point where a parallel batch touches the device's shared state,
+/// so a stats snapshot taken afterwards (e.g. at span close) attributes
+/// every read and nanosecond to the batch that issued it.
+pub fn join_deferred(dev: &SimDevice, charges: &[DeferredCharges]) {
+    dev.absorb_deferred(charges);
+    let item_ns: Vec<u64> = charges.iter().map(|c| c.ns()).collect();
+    dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
 }
 
 /// Deterministic makespan of `item_ns` over `lanes` virtual lanes: items
@@ -179,12 +193,12 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         let run = |threads: usize| {
             with_threads(threads, || {
-                let (_, ns) = par_map_timed(&items, |_, &i| {
+                let (_, charges) = par_map_timed(&items, |_, &i| {
                     let mut buf = vec![0u8; 1024];
                     dev.read_bytes(i * 4096, &mut buf);
                     dev.charge_ns(10 * (i + 1));
                 });
-                ns
+                charges.iter().map(|c| c.ns()).collect::<Vec<_>>()
             })
         };
         let one = run(1);
@@ -197,11 +211,30 @@ mod tests {
     fn deferred_items_do_not_advance_global_clock() {
         let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20);
         let items: Vec<u64> = (0..8).collect();
-        let (_, ns) = par_map_timed(&items, |_, &i| dev.write_u64(i * 256, i));
+        let (_, charges) = par_map_timed(&items, |_, &i| dev.write_u64(i * 256, i));
         assert_eq!(dev.stats().virtual_ns, 0, "cost must be deferred to sinks");
+        let ns: Vec<u64> = charges.iter().map(|c| c.ns()).collect();
         let makespan = lanes_makespan(&ns, 4);
         dev.charge_ns(makespan);
         assert_eq!(dev.stats().virtual_ns, makespan);
+    }
+
+    #[test]
+    fn join_deferred_merges_reads_and_advances_clock() {
+        let dev = SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20);
+        let items: Vec<u64> = (0..16).collect();
+        let (_, charges) = par_map_timed(&items, |_, &i| {
+            let mut buf = vec![0u8; 512];
+            dev.read_bytes(i * 4096, &mut buf);
+        });
+        assert_eq!(dev.stats().reads, 0, "reads must stay in the sinks until the barrier");
+        join_deferred(&dev, &charges);
+        let stats = dev.stats();
+        assert_eq!(stats.reads, 16);
+        assert_eq!(stats.bytes_read, 16 * 512);
+        assert!(stats.virtual_ns > 0);
+        let shard_total: u64 = dev.read_shard_stats().iter().map(|s| s.reads).sum();
+        assert_eq!(shard_total, 16);
     }
 
     #[test]

@@ -29,6 +29,10 @@ fn golden_fixture_deserializes() {
     assert_eq!(rep.metric_f64(METRIC_HIT_RATE), Some(0.75));
     assert_eq!(rep.metric_f64(METRIC_DRAM_PEAK), Some(8192.0));
     assert_eq!(rep.metric_u64("retry.media_attempts"), Some(0));
+    // Per-shard contention counters from the sharded read path.
+    assert_eq!(rep.metric_u64("contention.shard00.reads"), Some(5));
+    assert_eq!(rep.metric_u64("contention.shard00.line_misses"), Some(3));
+    assert_eq!(rep.metric_u64("contention.shard15.reads"), Some(0));
     assert_eq!(rep.stats.reads, 120);
     assert_eq!(rep.wear_top, vec![(0, 6), (64, 3), (128, 1)]);
 }
@@ -66,5 +70,15 @@ fn live_reports_match_the_golden_shape() {
             doc.get("metrics").and_then(|m| m.get(metric)).is_some(),
             "live report lost metric `{metric}`"
         );
+    }
+    // One pair of contention counters per read shard.
+    for i in 0..16 {
+        for kind in ["reads", "line_misses"] {
+            let metric = format!("contention.shard{i:02}.{kind}");
+            assert!(
+                doc.get("metrics").and_then(|m| m.get(&metric)).is_some(),
+                "live report lost metric `{metric}`"
+            );
+        }
     }
 }
