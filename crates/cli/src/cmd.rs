@@ -4,8 +4,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use ntadoc::{
-    Accessor, Engine, EngineConfig, Persistence, Task, TaskOutput, METRIC_DEVICE_PEAK,
-    METRIC_DRAM_PEAK,
+    ingest_corpus, Accessor, Engine, EngineConfig, IngestOptions, Persistence, Task, TaskOutput,
+    METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
 };
 use ntadoc_grammar::{
     deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder, TokenizerConfig,
@@ -14,7 +14,7 @@ use ntadoc_pmem::DeviceProfile;
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
-  ntadoc compress <file|dir>... -o <corpus.ntdc> [--coarsen N]
+  ntadoc compress <file|dir>... -o <corpus.ntdc> [--coarsen N] [--ingest-chunks W]
   ntadoc stats <corpus.ntdc>
   ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
              [--persistence phase|op] [--naive] [--top N] [--ngram N]
@@ -105,6 +105,7 @@ fn compress(args: &[String]) -> CmdResult {
     let mut inputs = Vec::new();
     let mut out = None;
     let mut coarsen = 12u64;
+    let mut chunks = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -120,6 +121,17 @@ fn compress(args: &[String]) -> CmdResult {
                     .map_err(|e| format!("--coarsen: {e}"))?;
                 i += 2;
             }
+            "--ingest-chunks" => {
+                chunks = args
+                    .get(i + 1)
+                    .ok_or("--ingest-chunks needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--ingest-chunks: {e}"))?;
+                if chunks == 0 {
+                    return Err("--ingest-chunks must be ≥ 1".into());
+                }
+                i += 2;
+            }
             p => {
                 inputs.push(PathBuf::from(p));
                 i += 1;
@@ -131,14 +143,34 @@ fn compress(args: &[String]) -> CmdResult {
         return Err("no input files".into());
     }
     let files = collect_inputs(&inputs)?;
-    let mut builder = CorpusBuilder::new(TokenizerConfig::default());
+    let mut comp;
     let mut raw_bytes = 0u64;
-    for f in &files {
-        let text = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
-        raw_bytes += text.len() as u64;
-        builder.add_file(f.display().to_string(), &text);
+    if chunks > 1 {
+        // Chunk-parallel ingest: same grammar contract as the serial
+        // builder (identical corpus, identical dictionary order), built
+        // concurrently and merged through the shared dictionary.
+        let mut texts = Vec::with_capacity(files.len());
+        for f in &files {
+            let text = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            raw_bytes += text.len() as u64;
+            texts.push((f.display().to_string(), text));
+        }
+        let (c, report) = ingest_corpus(&texts, &IngestOptions { chunks, ..Default::default() });
+        println!(
+            "ingested in {} chunks (modeled {:.1}x parallel speedup)",
+            report.chunks,
+            report.virtual_speedup()
+        );
+        comp = c;
+    } else {
+        let mut builder = CorpusBuilder::new(TokenizerConfig::default());
+        for f in &files {
+            let text = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            raw_bytes += text.len() as u64;
+            builder.add_file(f.display().to_string(), &text);
+        }
+        comp = builder.finish();
     }
-    let mut comp = builder.finish();
     comp.grammar = comp.grammar.coarsened(coarsen);
     let image = serialize_compressed(&comp);
     fs::write(&out, &image).map_err(|e| format!("{out}: {e}"))?;

@@ -35,6 +35,7 @@
 
 pub mod cfg;
 pub mod dict;
+pub mod merge;
 pub mod repair;
 pub mod sequitur;
 pub mod serialize;
@@ -44,6 +45,7 @@ pub mod tokenizer;
 pub use cfg::{Grammar, GrammarStats, Rule};
 // (CorpusBuilder is defined below in this module.)
 pub use dict::Dictionary;
+pub use merge::{build_chunk, merge_chunks, plan_chunks, ChunkGrammar, MergeOptions, Piece};
 pub use repair::repair;
 pub use sequitur::Sequitur;
 pub use serialize::{deserialize_compressed, serialize_compressed, serialized_len};
@@ -152,6 +154,27 @@ pub fn compress_corpus_repair(
         }
     }
     Compressed { grammar: repair::repair(&stream, min_freq), dict, file_names }
+}
+
+/// Like [`compress_corpus`] but via the chunk-parallel construction path,
+/// executed serially: tokenize, split into `chunks` deterministic spans,
+/// compress each span independently, and merge the sub-grammars
+/// ([`merge_chunks`]). With `chunks == 1` the output is byte-identical to
+/// [`compress_corpus`]; the `ntadoc` ingest pipeline runs the same stage
+/// functions with the chunk stage fanned out over worker threads.
+pub fn compress_corpus_chunked(
+    files: &[(String, String)],
+    cfg: &TokenizerConfig,
+    chunks: usize,
+    opts: &merge::MergeOptions,
+) -> Compressed {
+    let toks: Vec<Vec<String>> = files.iter().map(|(_, text)| tokenize(text, cfg)).collect();
+    let counts: Vec<usize> = toks.iter().map(|t| t.len()).collect();
+    let plan = merge::plan_chunks(&counts, chunks);
+    let built: Vec<merge::ChunkGrammar> =
+        plan.iter().map(|pieces| merge::build_chunk(&toks, pieces)).collect();
+    let (grammar, dict) = merge::merge_chunks(&built, opts);
+    Compressed { grammar, dict, file_names: files.iter().map(|(n, _)| n.clone()).collect() }
 }
 
 impl Compressed {

@@ -1,0 +1,423 @@
+//! Chunk-parallel grammar construction: planning, per-chunk compression,
+//! and the deterministic merge.
+//!
+//! G-TADOC-style parallel ingestion splits the tokenized corpus into `W`
+//! contiguous chunks, compresses each chunk independently (Sequitur over
+//! the chunk's span, interning into a chunk-local dictionary), and merges
+//! the sub-grammars into one grammar over one shared dictionary:
+//!
+//! 1. chunk-local word ids are re-interned into the shared dictionary in
+//!    chunk order — because chunks tile the stream left to right, the
+//!    shared dictionary assigns ids in global first-occurrence order,
+//!    exactly as a serial build would;
+//! 2. chunk-local rule indices are offset into one global rule space;
+//! 3. the chunk top-rules (each chunk's `R0` body) are spliced, in chunk
+//!    order, into a single global root rule;
+//! 4. optionally, digrams repeated across chunk seams are folded into
+//!    fresh rules ([`MergeOptions::seam_dedup`]), recovering sharing the
+//!    per-chunk passes could not see.
+//!
+//! Every step is a pure function of the token stream and the chunk count,
+//! so the merged grammar is identical for any worker count, and a
+//! single-chunk build reproduces the serial [`crate::compress_corpus`]
+//! grammar byte for byte.
+
+use std::collections::HashMap;
+
+use crate::cfg::{Grammar, Rule};
+use crate::dict::Dictionary;
+use crate::sequitur::Sequitur;
+use crate::symbol::Symbol;
+
+/// A contiguous run of tokens from one file, assigned to one chunk.
+///
+/// `start == 0` means the piece begins the file, so the piece also carries
+/// the file's leading separator (for every file but the first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Piece {
+    /// Index into the corpus file list.
+    pub file: usize,
+    /// First token of the run (inclusive), within the file.
+    pub start: usize,
+    /// One past the last token of the run, within the file.
+    pub end: usize,
+}
+
+/// Split a corpus of `file_tokens.len()` files (given per-file token
+/// counts) into `chunks` contiguous spans of near-equal token count.
+///
+/// The plan is a pure function of the token counts and the chunk count:
+/// chunk `k` covers global token positions `[k·T/W, (k+1)·T/W)`. Files
+/// straddling a boundary are split mid-file; empty files are attached to
+/// the chunk covering their position so their separator is not lost. Some
+/// chunks may be empty when there are fewer tokens than chunks.
+pub fn plan_chunks(file_tokens: &[usize], chunks: usize) -> Vec<Vec<Piece>> {
+    let w = chunks.max(1);
+    let total: usize = file_tokens.iter().sum();
+    let bounds: Vec<usize> = (0..=w).map(|k| k * total / w).collect();
+    let mut plan: Vec<Vec<Piece>> = vec![Vec::new(); w];
+    let mut off = 0usize;
+    for (file, &len) in file_tokens.iter().enumerate() {
+        if len == 0 {
+            // First chunk whose span ends past this position (or the last).
+            let k = (0..w).find(|&k| bounds[k + 1] > off).unwrap_or(w - 1);
+            plan[k].push(Piece { file, start: 0, end: 0 });
+            continue;
+        }
+        for (k, pair) in bounds.windows(2).enumerate() {
+            let lo = pair[0].max(off);
+            let hi = pair[1].min(off + len);
+            if lo < hi {
+                plan[k].push(Piece { file, start: lo - off, end: hi - off });
+            }
+        }
+        off += len;
+    }
+    plan
+}
+
+/// One chunk's compression result: a grammar whose `R0` spells the chunk's
+/// token span, over a chunk-local dictionary.
+#[derive(Debug, Clone)]
+pub struct ChunkGrammar {
+    /// Sequitur output for the chunk's span.
+    pub grammar: Grammar,
+    /// Chunk-local word interner (ids are chunk first-occurrence order).
+    pub dict: Dictionary,
+}
+
+/// Compress one chunk: feed its pieces through Sequitur, interning words
+/// into a fresh chunk-local dictionary. A piece that begins a file (other
+/// than file 0) first emits the file's leading separator symbol, so
+/// splicing the chunk top-rules reproduces the serial separator layout.
+pub fn build_chunk(file_tokens: &[Vec<String>], pieces: &[Piece]) -> ChunkGrammar {
+    let mut dict = Dictionary::new();
+    let mut seq = Sequitur::new();
+    for p in pieces {
+        if p.start == 0 && p.file > 0 {
+            seq.push(Symbol::file_sep(p.file as u32 - 1));
+        }
+        for tok in &file_tokens[p.file][p.start..p.end] {
+            seq.push(Symbol::word(dict.intern(tok.clone())));
+        }
+    }
+    ChunkGrammar { grammar: seq.into_grammar(), dict }
+}
+
+/// Knobs for [`merge_chunks`].
+#[derive(Debug, Clone)]
+pub struct MergeOptions {
+    /// Fold digrams repeated in the merged root rule (sharing across chunk
+    /// seams the per-chunk passes could not see) into fresh rules. Skipped
+    /// for single-chunk merges, which must stay byte-identical to the
+    /// serial build.
+    pub seam_dedup: bool,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        MergeOptions { seam_dedup: true }
+    }
+}
+
+/// Merge chunk sub-grammars into one grammar over one shared dictionary.
+///
+/// Deterministic: the output depends only on the chunk contents and their
+/// order. For a single chunk this is the identity transformation (modulo
+/// the shared-dictionary re-intern, which preserves ids).
+pub fn merge_chunks(chunks: &[ChunkGrammar], opts: &MergeOptions) -> (Grammar, Dictionary) {
+    let mut dict = Dictionary::new();
+    // Chunk-local id → shared id. Chunks tile the stream in order, so the
+    // shared dictionary ends up in global first-occurrence order.
+    let word_maps: Vec<Vec<u32>> = chunks
+        .iter()
+        .map(|c| c.dict.iter().map(|(_, w)| dict.intern(w.to_string())).collect())
+        .collect();
+
+    let mut rules: Vec<Rule> = vec![Rule { symbols: Vec::new() }]; // R0, filled below
+    let mut root: Vec<Symbol> = Vec::new();
+    for (c, chunk) in chunks.iter().enumerate() {
+        // Chunk-local rule `i` (i ≥ 1) lands at global `offset + i - 1`.
+        let offset = rules.len() as u32;
+        let remap = |s: Symbol| {
+            if s.is_word() {
+                Symbol::word(word_maps[c][s.payload() as usize])
+            } else if s.is_rule() {
+                Symbol::rule(offset + s.payload() - 1)
+            } else {
+                s
+            }
+        };
+        for (i, r) in chunk.grammar.rules.iter().enumerate() {
+            let body = r.symbols.iter().map(|&s| remap(s));
+            if i == 0 {
+                root.extend(body);
+            } else {
+                rules.push(Rule { symbols: body.collect() });
+            }
+        }
+    }
+
+    if opts.seam_dedup && chunks.len() > 1 {
+        let (deduped, extra) = dedup_root_digrams(root, rules.len() as u32);
+        root = deduped;
+        rules.extend(extra);
+    }
+    rules[0] = Rule { symbols: root };
+    (Grammar::new(rules), dict)
+}
+
+/// Non-overlapping, left-to-right digram counts of `body` ("aaa" is one
+/// occurrence of "aa", not two), with each digram's first position.
+/// Digrams touching a file separator are never counted.
+fn digram_counts(body: &[Symbol]) -> HashMap<(Symbol, Symbol), (u32, usize)> {
+    let mut counts: HashMap<(Symbol, Symbol), (u32, usize)> = HashMap::new();
+    let mut claimed: HashMap<(Symbol, Symbol), usize> = HashMap::new();
+    for i in 0..body.len().saturating_sub(1) {
+        let dg = (body[i], body[i + 1]);
+        if dg.0.is_sep() || dg.1.is_sep() {
+            continue;
+        }
+        if claimed.get(&dg).is_some_and(|&end| end > i) {
+            continue;
+        }
+        claimed.insert(dg, i + 2);
+        counts.entry(dg).or_insert((0, i)).0 += 1;
+    }
+    counts
+}
+
+/// Fold repeated digrams in the merged root body into fresh rules.
+///
+/// RePair-style recompression restricted to `R0`, batched so a round
+/// costs one pass over the body instead of one pass per digram: every
+/// round (1) counts non-overlapping digram occurrences, (2) walks the
+/// body left to right claiming occurrences of every digram that repeats,
+/// and (3) replaces each digram that still holds ≥ 2 claimed (mutually
+/// non-overlapping) occurrences with a fresh rule of body `[a, b]`.
+/// Digrams whose claims collided (a shared middle symbol went to an
+/// earlier digram) are left for the next round; if a round replaces
+/// nothing while a repeat survives, the round falls back to replacing
+/// the single most frequent digram (ties to the earliest first
+/// occurrence), which no collision can block — so the loop always
+/// terminates with no repeated non-separator digram in the root.
+/// Digrams touching a file separator are never folded, preserving the
+/// separators-stay-in-R0 invariant. Every choice is a pure left-to-right
+/// function of the body, so the pass is schedule-independent.
+fn dedup_root_digrams(mut body: Vec<Symbol>, first_free: u32) -> (Vec<Symbol>, Vec<Rule>) {
+    let mut extra = Vec::new();
+    let mut next = first_free;
+    loop {
+        let counts = digram_counts(&body);
+        if !counts.values().any(|&(n, _)| n >= 2) {
+            break;
+        }
+
+        // Claim sweep: left to right, each repeating digram occurrence
+        // claims its two positions unless an earlier claim took them.
+        let mut occs: HashMap<(Symbol, Symbol), Vec<usize>> = HashMap::new();
+        let mut i = 0;
+        while i + 1 < body.len() {
+            let dg = (body[i], body[i + 1]);
+            if counts.get(&dg).is_some_and(|&(n, _)| n >= 2) {
+                occs.entry(dg).or_default().push(i);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Replace every digram that kept ≥ 2 claims, numbering fresh
+        // rules by first claimed position (a pure function of the body).
+        let mut winners: Vec<(&(Symbol, Symbol), &Vec<usize>)> =
+            occs.iter().filter(|(_, pos)| pos.len() >= 2).collect();
+        winners.sort_by_key(|(_, pos)| pos[0]);
+
+        let mut fresh_at: HashMap<usize, Symbol> = HashMap::new();
+        if winners.is_empty() {
+            // Collisions starved every repeat below two claims: fall back
+            // to the unblockable single-best replacement for this round.
+            // (Distinct digrams cannot share a first position, so the
+            // choice is unique and hash-order-independent.)
+            let (&dg, _) = counts
+                .iter()
+                .filter(|&(_, &(n, _))| n >= 2)
+                .max_by_key(|&(_, &(n, first))| (n, std::cmp::Reverse(first)))
+                .expect("a repeat survives when the batch is empty");
+            let fresh = Symbol::rule(next);
+            next += 1;
+            extra.push(Rule { symbols: vec![dg.0, dg.1] });
+            let mut i = 0;
+            while i + 1 < body.len() {
+                if (body[i], body[i + 1]) == dg {
+                    fresh_at.insert(i, fresh);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else {
+            for (&dg, pos) in winners {
+                let fresh = Symbol::rule(next);
+                next += 1;
+                extra.push(Rule { symbols: vec![dg.0, dg.1] });
+                for &p in pos {
+                    fresh_at.insert(p, fresh);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(body.len());
+        let mut i = 0;
+        while i < body.len() {
+            if let Some(&fresh) = fresh_at.get(&i) {
+                out.push(fresh);
+                i += 2;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        body = out;
+    }
+    (body, extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{tokenize, TokenizerConfig};
+    use crate::{compress_corpus, compress_corpus_chunked};
+
+    fn corpus() -> Vec<(String, String)> {
+        vec![
+            ("a".into(), "the quick brown fox jumps over the lazy dog the quick brown fox".into()),
+            ("b".into(), "".into()),
+            ("c".into(), "pack my box with five dozen liquor jugs the quick brown fox".into()),
+            ("d".into(), "the quick brown fox jumps over the lazy dog again and again".into()),
+        ]
+    }
+
+    #[test]
+    fn plan_covers_every_token_once_in_order() {
+        for (lens, w) in [
+            (vec![10usize, 0, 7, 13], 4usize),
+            (vec![3, 3, 3], 8),
+            (vec![0, 0, 0], 2),
+            (vec![100], 3),
+            (vec![], 4),
+        ] {
+            let plan = plan_chunks(&lens, w);
+            assert_eq!(plan.len(), w);
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            let mut files_seen = Vec::new();
+            for chunk in &plan {
+                for p in chunk {
+                    assert!(p.end <= lens[p.file]);
+                    files_seen.push(p.file);
+                    seen.extend((p.start..p.end).map(|t| (p.file, t)));
+                }
+            }
+            let want: Vec<(usize, usize)> =
+                lens.iter().enumerate().flat_map(|(f, &l)| (0..l).map(move |t| (f, t))).collect();
+            assert_eq!(seen, want, "lens={lens:?} w={w}");
+            // Every file appears (zero-length files keep their separator).
+            let mut fs = files_seen;
+            fs.dedup();
+            assert_eq!(fs, (0..lens.len()).collect::<Vec<_>>(), "lens={lens:?} w={w}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_matches_serial_byte_for_byte() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let serial = compress_corpus(&files, &cfg);
+        let chunked = compress_corpus_chunked(&files, &cfg, 1, &MergeOptions::default());
+        assert_eq!(chunked.grammar, serial.grammar);
+        assert_eq!(chunked.dict.iter().collect::<Vec<_>>(), serial.dict.iter().collect::<Vec<_>>());
+        assert_eq!(chunked.file_names, serial.file_names);
+    }
+
+    #[test]
+    fn chunked_expansion_matches_serial_for_all_widths() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let serial = compress_corpus(&files, &cfg);
+        for w in [2, 3, 4, 8, 17] {
+            let chunked = compress_corpus_chunked(&files, &cfg, w, &MergeOptions::default());
+            chunked.grammar.validate().unwrap();
+            assert_eq!(
+                chunked.grammar.expand_text(&chunked.dict),
+                serial.grammar.expand_text(&serial.dict),
+                "w={w}"
+            );
+            // The shared dictionary is in global first-occurrence order,
+            // i.e. identical to the serial dictionary.
+            assert_eq!(
+                chunked.dict.iter().collect::<Vec<_>>(),
+                serial.dict.iter().collect::<Vec<_>>(),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn seam_dedup_folds_cross_chunk_repeats() {
+        // One phrase repeated in every file: per-chunk Sequitur catches
+        // repeats within a chunk; the seam pass catches the cross-chunk
+        // root-level repeats that are left behind.
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let plain = compress_corpus_chunked(&files, &cfg, 4, &MergeOptions { seam_dedup: false });
+        let deduped = compress_corpus_chunked(&files, &cfg, 4, &MergeOptions { seam_dedup: true });
+        assert_eq!(
+            plain.grammar.expand_text(&plain.dict),
+            deduped.grammar.expand_text(&deduped.dict)
+        );
+        deduped.grammar.validate().unwrap();
+        let plain_root = plain.grammar.rules[0].symbols.len();
+        let dedup_root = deduped.grammar.rules[0].symbols.len();
+        assert!(
+            dedup_root < plain_root,
+            "seam dedup should shrink the root ({dedup_root} vs {plain_root})"
+        );
+        // No digram may repeat in the deduped root (separators aside).
+        let body = &deduped.grammar.rules[0].symbols;
+        let mut seen = std::collections::HashSet::new();
+        let mut i = 0;
+        while i + 1 < body.len() {
+            let dg = (body[i], body[i + 1]);
+            if !dg.0.is_sep() && !dg.1.is_sep() && !seen.insert(dg) {
+                panic!("digram {dg:?} repeats in the deduped root");
+            }
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn separators_survive_chunking() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        for w in [1, 2, 4, 8] {
+            let c = compress_corpus_chunked(&files, &cfg, w, &MergeOptions::default());
+            let seps: Vec<u32> = c.grammar.rules[0]
+                .symbols
+                .iter()
+                .filter(|s| s.is_sep())
+                .map(|s| s.payload())
+                .collect();
+            assert_eq!(seps, vec![0, 1, 2], "w={w}");
+            assert_eq!(c.grammar.expand_files().len(), 4, "w={w}");
+        }
+    }
+
+    #[test]
+    fn build_chunk_mid_file_split_keeps_tokens() {
+        let toks: Vec<Vec<String>> = vec![tokenize("a b c d e f", &TokenizerConfig::default())];
+        let left = build_chunk(&toks, &[Piece { file: 0, start: 0, end: 3 }]);
+        let right = build_chunk(&toks, &[Piece { file: 0, start: 3, end: 6 }]);
+        let (g, d) = merge_chunks(&[left, right], &MergeOptions::default());
+        assert_eq!(g.expand_text(&d), vec!["a b c d e f".to_string()]);
+    }
+}

@@ -18,6 +18,25 @@
 //!
 //! All device traffic flows through `ntadoc-pmem`, so every structure's
 //! cost (including reconstruction storms) lands on the virtual clock.
+//!
+//! # Failure modes
+//!
+//! The structures fail loudly when the paper's sizing invariants are
+//! violated rather than corrupting state. [`PHashTable`] in particular
+//! (see its module docs for the full contract):
+//!
+//! * a probe over a 100%-full or status-corrupted table panics with
+//!   len/cap/fixed diagnostics instead of livelocking;
+//! * counter updates use checked arithmetic — a `u64` overflow panics in
+//!   release builds too, never wrapping silently;
+//! * a grow required while an undo-log transaction is open is refused
+//!   with [`PmemError::GrowDuringTransaction`](ntadoc_pmem::PmemError)
+//!   (reconstruction writes are not undo-logged, so a crash before commit
+//!   could not roll back); callers commit, grow, and retry;
+//! * buffers abandoned by reconstructions are tracked
+//!   ([`PHashTable::leaked_bytes`]) and surfaced as a
+//!   `{label}.leaked_bytes` gauge, so footprint metrics cannot
+//!   under-report NVM consumption after rehashes.
 
 pub mod headtail;
 pub mod phash;

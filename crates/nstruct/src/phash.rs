@@ -18,6 +18,31 @@
 //! When constructed from a bottom-up-summation upper bound the table never
 //! rehashes; otherwise exceeding the load factor triggers a full, fully
 //! charged reconstruction.
+//!
+//! # Failure modes
+//!
+//! The §IV-C invariant — "the bound never under-estimates, so containers
+//! never reconstruct" — is load-bearing, and this table fails loudly when
+//! it is violated rather than corrupting silently:
+//!
+//! * **Probe exhaustion.** The probe sequence is bounded; if it visits
+//!   every slot without finding the key or an empty slot (possible only
+//!   for an over-full or corrupted table — the load factor guarantees
+//!   empty slots otherwise), the table panics with len/cap/fixed
+//!   diagnostics instead of livelocking.
+//! * **Counter overflow.** `add`/`add_tx` use checked arithmetic; a count
+//!   crossing `u64::MAX` is a logic error and panics in release builds
+//!   too, never wrapping.
+//! * **Grow inside a transaction.** `add_tx` refuses to reconstruct while
+//!   the caller's undo log is open
+//!   ([`GrowDuringTransaction`](ntadoc_pmem::PmemError::GrowDuringTransaction)):
+//!   reconstruction writes are not undo-logged, so a crash between grow
+//!   and commit would be unrecoverable by rollback. Callers commit, call
+//!   [`PHashTable::reserve_for_insert`], and retry.
+//! * **Abandoned buffers.** Reconstruction leaks the old status/key/value
+//!   buffers (the pool is a bump allocator); the table tracks the leak in
+//!   [`PHashTable::leaked_bytes`] and reports it as a
+//!   `{label}.leaked_bytes` gauge so footprint metrics stay honest.
 
 use std::cell::Cell;
 use std::sync::Arc;
@@ -49,6 +74,9 @@ pub struct PHashTable {
     cap: Cell<usize>,
     len: Cell<usize>,
     reconstructions: Cell<u32>,
+    /// Bytes abandoned in the pool by reconstructions (old buffers are
+    /// never reclaimed — the pool is a bump allocator).
+    leaked_bytes: Cell<u64>,
     fixed: bool,
 }
 
@@ -79,6 +107,7 @@ impl PHashTable {
             cap: Cell::new(cap),
             len: Cell::new(0),
             reconstructions: Cell::new(0),
+            leaked_bytes: Cell::new(0),
             fixed,
         })
     }
@@ -113,25 +142,42 @@ impl PHashTable {
         self.reconstructions.get()
     }
 
+    /// Pool bytes abandoned by reconstructions. Zero for tables that never
+    /// rehashed — in particular, always zero on the fixed-capacity
+    /// (summation-bound) path.
+    pub fn leaked_bytes(&self) -> u64 {
+        self.leaked_bytes.get()
+    }
+
     /// Record this table's footprint and rehash count into `metrics`
     /// under `label` (`{label}.capacity_bytes` peak gauge — status + key +
-    /// value buffers — and `{label}.reconstructions` monotonic counter).
+    /// value buffers — `{label}.reconstructions` monotonic counter, and
+    /// `{label}.leaked_bytes` gauge for buffers abandoned by rehashes).
     /// Idempotent: safe to call at every snapshot point.
     pub fn observe(&self, metrics: &ntadoc_pmem::MetricRegistry, label: &str) {
         let bytes = self.cap.get() * (1 + 8 + 8);
         metrics.gauge_max(&format!("{label}.capacity_bytes"), bytes as f64);
         metrics.counter_max(&format!("{label}.reconstructions"), self.reconstructions.get() as u64);
+        metrics.gauge_max(&format!("{label}.leaked_bytes"), self.leaked_bytes.get() as f64);
     }
 
     /// Find the slot holding `key`, or the empty slot where it would go.
     /// Returns `(slot, occupied)`.
     fn probe(&self, key: u64) -> (usize, bool) {
-        let mask = (self.cap.get() - 1) as u64;
+        let cap = self.cap.get();
+        let mask = (cap - 1) as u64;
         let h = hash64(key);
         let mut i = h & mask;
         let mut perturb = h;
         let dev = self.pool.dev();
-        loop {
+        // Once `perturb` drains (after ⌈64/5⌉ = 13 steps) the recurrence
+        // degenerates to the full-period LCG `i = 5i + 1 mod cap`, which
+        // visits every slot of a power-of-two table within `cap` steps —
+        // so `cap + 16` probes provably cover the whole table. Running out
+        // means there is no empty slot and no matching key: the table is
+        // over-full or its status buffer is corrupt, and continuing would
+        // livelock. Fail loudly instead.
+        for _ in 0..cap + 16 {
             let status: u8 = dev.read_pod(self.status_base.get() + i);
             if status == 0 {
                 return (i as usize, false);
@@ -143,6 +189,14 @@ impl PHashTable {
             perturb >>= 5;
             i = (i.wrapping_mul(5).wrapping_add(1).wrapping_add(perturb)) & mask;
         }
+        panic!(
+            "PHashTable::probe exhausted all {cap} slots without a hit or an empty \
+             (len={}, cap={cap}, fixed={}): the table is over-full or its status \
+             buffer is corrupt — a violated summation bound fails loudly here \
+             instead of livelocking",
+            self.len.get(),
+            self.fixed,
+        );
     }
 
     /// Insert `key → value`, overwriting any previous value.
@@ -174,7 +228,7 @@ impl PHashTable {
         let value_at = self.value_base.get() + (slot * 8) as u64;
         if occupied {
             let cur: u64 = dev.read_pod(value_at);
-            dev.write_pod(value_at, cur + delta);
+            dev.write_pod(value_at, Self::checked_count(cur, delta, key));
         } else {
             dev.write_pod(self.status_base.get() + slot as u64, 1u8);
             dev.write_pod(self.key_base.get() + (slot * 8) as u64, key);
@@ -184,13 +238,39 @@ impl PHashTable {
         Ok(())
     }
 
+    /// `cur + delta` with overflow as a loud failure: counts are u64, so a
+    /// wrap can only come from a logic error upstream — silently wrapping
+    /// in release builds would corrupt every downstream aggregate.
+    #[inline]
+    fn checked_count(cur: u64, delta: u64, key: u64) -> u64 {
+        cur.checked_add(delta).unwrap_or_else(|| {
+            panic!(
+                "PHashTable counter overflow for key {key:#x}: {cur} + {delta} \
+                 exceeds u64::MAX — counts cannot legitimately wrap"
+            )
+        })
+    }
+
     /// Operation-level-persistence variant of [`add`](Self::add): the
     /// pre-images of the three touched slots are recorded in `tx`'s undo
     /// log before the write, exactly as a PMDK transaction would. The
     /// caller owns transaction begin/commit batching.
+    ///
+    /// If the insert would trigger a grow while `tx` is active, the call
+    /// fails with [`PmemError::GrowDuringTransaction`] instead of
+    /// reconstructing: none of the rebuild's bulk writes would be in the
+    /// undo log, so a crash between grow and commit could not be rolled
+    /// back. Commit, call [`reserve_for_insert`](Self::reserve_for_insert),
+    /// and retry.
     pub fn add_tx(&self, key: u64, delta: u64, tx: &mut ntadoc_pmem::TxLog) -> Result<()> {
         let (slot, occupied) = self.probe(key);
         if !occupied && self.needs_grow() {
+            if tx.is_active() {
+                return Err(ntadoc_pmem::PmemError::GrowDuringTransaction {
+                    len: self.len.get(),
+                    cap: self.cap.get(),
+                });
+            }
             self.grow()?;
             return self.add_tx(key, delta, tx);
         }
@@ -203,7 +283,7 @@ impl PHashTable {
         tx.log_range(value_at, 8)?;
         if occupied {
             let cur: u64 = dev.read_pod(value_at);
-            dev.write_pod(value_at, cur + delta);
+            dev.write_pod(value_at, Self::checked_count(cur, delta, key));
         } else {
             dev.write_pod(status_at, 1u8);
             dev.write_pod(key_at, key);
@@ -258,6 +338,18 @@ impl PHashTable {
         (self.len.get() + 1) * LOAD_DEN > self.cap.get() * LOAD_NUM
     }
 
+    /// Grow now, outside any transaction, if the next insert would exceed
+    /// the load factor. This is the recovery half of the
+    /// [`PmemError::GrowDuringTransaction`](ntadoc_pmem::PmemError::GrowDuringTransaction)
+    /// protocol: commit the open transaction, reserve, begin a fresh
+    /// transaction, retry the `add_tx`.
+    pub fn reserve_for_insert(&self) -> Result<()> {
+        if self.needs_grow() {
+            self.grow()?;
+        }
+        Ok(())
+    }
+
     fn grow(&self) -> Result<()> {
         assert!(
             !self.fixed,
@@ -270,7 +362,9 @@ impl PHashTable {
     /// the paper's summation technique exists to avoid.
     fn reconstruct(&self, new_cap: usize) -> Result<()> {
         let old = self.entries();
+        let abandoned = (self.cap.get() * (1 + 8 + 8)) as u64;
         let (status, keys, values) = Self::alloc_buffers(&self.pool, new_cap)?;
+        self.leaked_bytes.set(self.leaked_bytes.get() + abandoned);
         self.status_base.set(status);
         self.key_base.set(keys);
         self.value_base.set(values);
@@ -452,6 +546,106 @@ mod tests {
         let mut tx2 = TxLog::new(p.dev().clone(), (1 << 20) - 8192, 8192);
         assert!(!tx2.recover().unwrap());
         assert_eq!(t.get(7), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-full or its status buffer is corrupt")]
+    fn probe_on_corrupt_full_table_panics_instead_of_livelocking() {
+        // Blast the pool with nonzero bytes: every status slot claims
+        // occupancy and every key mismatches, the exact shape that used to
+        // spin probe() forever. The bounded probe must panic with
+        // diagnostics instead.
+        let p = pool(1 << 20);
+        let t = PHashTable::with_expected(p.clone(), 8, true).unwrap();
+        p.dev().write_bytes(0, &vec![0x5au8; 4096]);
+        let _ = t.get(0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn add_overflow_panics_instead_of_wrapping() {
+        let t = PHashTable::with_expected(pool(1 << 20), 16, true).unwrap();
+        t.add(1, u64::MAX).unwrap();
+        t.add(1, 1).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn add_tx_overflow_panics_instead_of_wrapping() {
+        use ntadoc_pmem::TxLog;
+        let p = pool(1 << 20);
+        let t = PHashTable::with_expected(p.clone(), 16, true).unwrap();
+        let mut tx = TxLog::new(p.dev().clone(), (1 << 20) - 8192, 8192);
+        tx.begin().unwrap();
+        t.add_tx(1, u64::MAX, &mut tx).unwrap();
+        t.add_tx(1, 1, &mut tx).unwrap();
+    }
+
+    #[test]
+    fn add_tx_refuses_to_grow_mid_transaction() {
+        use ntadoc_pmem::{PmemError, TxLog};
+        let p = pool(1 << 22);
+        let t = PHashTable::with_expected(p.clone(), 2, false).unwrap();
+        let mut tx = TxLog::new(p.dev().clone(), (1 << 22) - 65536, 65536);
+        tx.begin().unwrap();
+        let mut refused = None;
+        for k in 0..100u64 {
+            match t.add_tx(k, 1, &mut tx) {
+                Ok(()) => {}
+                Err(PmemError::GrowDuringTransaction { len, cap }) => {
+                    refused = Some((k, len, cap));
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let (k, len, cap) = refused.expect("a tiny growable table must hit the grow refusal");
+        assert!((len + 1) * 8 > cap * 7, "refusal must coincide with the load-factor trip");
+        // The documented protocol makes the insert succeed: commit, grow
+        // outside the transaction, begin fresh, retry.
+        tx.commit().unwrap();
+        t.reserve_for_insert().unwrap();
+        tx.begin().unwrap();
+        t.add_tx(k, 1, &mut tx).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(t.get(k), Some(1));
+        assert!(t.reconstructions() > 0);
+    }
+
+    #[test]
+    fn fixed_tables_never_leak_bytes() {
+        let reg = ntadoc_pmem::MetricRegistry::new();
+        let t = PHashTable::with_expected(pool(1 << 22), 500, true).unwrap();
+        for k in 0..500u64 {
+            t.add(k, 1).unwrap();
+        }
+        assert_eq!(t.leaked_bytes(), 0, "the fixed-capacity path must never abandon buffers");
+        t.observe(&reg, "fixed");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("fixed.leaked_bytes").and_then(|m| m.as_gauge()), Some(0.0));
+    }
+
+    #[test]
+    fn reconstruction_leak_is_accounted() {
+        let reg = ntadoc_pmem::MetricRegistry::new();
+        let t = PHashTable::with_expected(pool(1 << 24), 2, false).unwrap();
+        let cap0 = t.capacity();
+        for k in 0..2000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.reconstructions() > 0);
+        // Doubling from cap0 to the final capacity abandons every
+        // intermediate buffer: sum of cap·17 for cap0..final/2.
+        let mut expect = 0u64;
+        let mut cap = cap0;
+        while cap < t.capacity() {
+            expect += (cap * (1 + 8 + 8)) as u64;
+            cap *= 2;
+        }
+        assert_eq!(t.leaked_bytes(), expect);
+        t.observe(&reg, "grown");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("grown.leaked_bytes").and_then(|m| m.as_gauge()), Some(expect as f64));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use ntadoc_grammar::{deserialize_compressed, serialized_len, Compressed};
+use ntadoc_grammar::{deserialize_compressed, serialized_len, Compressed, TokenizerConfig};
 use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::obs::MetricValue;
 use ntadoc_pmem::par::{join_deferred, par_map_timed};
@@ -45,6 +45,7 @@ use ntadoc_pmem::{
 
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
+use crate::ingest::{ingest_corpus, IngestOptions, IngestReport};
 use crate::report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
@@ -95,18 +96,56 @@ pub enum RetryPolicy {
 /// assert_eq!(engine.label(), "N-TADOC");
 /// ```
 pub struct EngineBuilder {
-    comp: Arc<Compressed>,
+    source: BuildSource,
     cfg: EngineConfig,
     profile: Option<DeviceProfile>,
     label: Option<String>,
     retry: RetryPolicy,
     trace: bool,
+    ingest: IngestOptions,
+    /// Deferred SSD/HDD budget request (`Some(hdd)`), resolved at `build`
+    /// once the corpus exists (raw files are only compressed there).
+    block: Option<bool>,
+}
+
+/// What the builder starts from: an existing compressed corpus, or raw
+/// files to be ingested (serially or chunk-parallel) at `build`.
+enum BuildSource {
+    Corpus(Arc<Compressed>),
+    Files(Vec<(String, String)>),
 }
 
 impl EngineBuilder {
     /// Device profile to simulate. Defaults to Optane NVM.
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = Some(profile);
+        self.block = None;
+        self
+    }
+
+    /// Number of parallel ingest chunks when building from raw files
+    /// ([`Engine::builder_from_files`]). Default 1: a serial build,
+    /// byte-identical to [`ntadoc_grammar::compress_corpus`]. With `n > 1`
+    /// the token stream is split into `n` deterministic spans compressed
+    /// concurrently and merged (`ntadoc_grammar::merge`); outputs and
+    /// virtual time are identical for any worker count. No effect when the
+    /// builder starts from an already-compressed corpus.
+    pub fn ingest_chunks(mut self, n: usize) -> Self {
+        self.ingest.chunks = n.max(1);
+        self
+    }
+
+    /// Whether chunk-parallel ingest folds digrams repeated across chunk
+    /// seams into fresh rules (default `true`; ignored for serial builds).
+    pub fn seam_dedup(mut self, on: bool) -> Self {
+        self.ingest.seam_dedup = on;
+        self
+    }
+
+    /// Tokenizer used when building from raw files. Defaults to
+    /// [`TokenizerConfig::default`].
+    pub fn tokenizer(mut self, cfg: TokenizerConfig) -> Self {
+        self.ingest.tokenizer = cfg;
         self
     }
 
@@ -149,24 +188,41 @@ impl EngineBuilder {
     }
 
     fn block_device(mut self, hdd: bool) -> Self {
-        let budget = (Engine::uncompressed_bytes(&self.comp) / 5).max(1 << 20) as usize;
-        self.profile = Some(if hdd {
-            DeviceProfile::hdd_sas(budget)
-        } else {
-            DeviceProfile::ssd_optane(budget)
-        });
+        // The budget depends on the corpus, which for a raw-file source
+        // only exists after ingest — resolved in `build`.
+        self.block = Some(hdd);
+        self.profile = None;
         self
     }
 
-    /// Finish construction. Fails on an empty corpus.
+    /// Finish construction. Runs the ingest pipeline first when the
+    /// builder started from raw files ([`Engine::builder_from_files`]).
+    /// Fails on an empty corpus.
     pub fn build(self) -> Result<Engine> {
-        let EngineBuilder { comp, cfg, profile, label, retry, trace } = self;
+        let EngineBuilder { source, cfg, profile, label, retry, trace, ingest, block } = self;
+        let (comp, ingest_report) = match source {
+            BuildSource::Corpus(comp) => (comp, None),
+            BuildSource::Files(files) => {
+                let (comp, report) = ingest_corpus(&files, &ingest);
+                (Arc::new(comp), Some(report))
+            }
+        };
         if comp.file_names.is_empty() {
             return Err(PmemError::Unsupported(
                 "engines need a corpus with at least one file".into(),
             ));
         }
-        let profile = profile.unwrap_or_else(DeviceProfile::nvm_optane);
+        let profile = match block {
+            Some(hdd) => {
+                let budget = (Engine::uncompressed_bytes(&comp) / 5).max(1 << 20) as usize;
+                if hdd {
+                    DeviceProfile::hdd_sas(budget)
+                } else {
+                    DeviceProfile::ssd_optane(budget)
+                }
+            }
+            None => profile.unwrap_or_else(DeviceProfile::nvm_optane),
+        };
         let label = label.unwrap_or_else(|| {
             match profile.kind {
                 DeviceKind::Dram => "TADOC-DRAM",
@@ -199,7 +255,18 @@ impl EngineBuilder {
         // Accounted without materializing the image (it is streamed from
         // disk at init; the engine only needs its size).
         let image_bytes = serialized_len(&comp) as u64;
-        Ok(Engine { comp, cfg, profile, label, retry, trace, image_bytes, plan, last_report: None })
+        Ok(Engine {
+            comp,
+            cfg,
+            profile,
+            label,
+            retry,
+            trace,
+            image_bytes,
+            plan,
+            ingest_report,
+            last_report: None,
+        })
     }
 }
 
@@ -215,6 +282,9 @@ pub struct Engine {
     image_bytes: u64,
     /// Host-side grammar statistics used for capacity planning only.
     plan: CapacityPlan,
+    /// Measurement record of the ingest pipeline, when this engine was
+    /// built from raw files.
+    ingest_report: Option<IngestReport>,
     /// Report of the most recent `run`.
     pub last_report: Option<RunReport>,
 }
@@ -236,13 +306,41 @@ impl Engine {
     /// Start building an engine for `comp` (an owned corpus or a shared
     /// `Arc<Compressed>` — engines never clone the corpus).
     pub fn builder(comp: impl Into<Arc<Compressed>>) -> EngineBuilder {
+        Self::builder_from_source(BuildSource::Corpus(comp.into()))
+    }
+
+    /// Start building an engine from raw `(file name, contents)` pairs:
+    /// `build` runs the ingest pipeline (tokenize → chunk → Sequitur →
+    /// merge) first, honouring [`EngineBuilder::ingest_chunks`], and the
+    /// resulting engine exposes the build measurements via
+    /// [`Engine::ingest_report`].
+    ///
+    /// ```
+    /// use ntadoc::{Engine, Task};
+    ///
+    /// let files = vec![
+    ///     ("a.txt".to_string(), "to be or not to be".to_string()),
+    ///     ("b.txt".to_string(), "to be sure to be".to_string()),
+    /// ];
+    /// let mut engine = Engine::builder_from_files(files).ingest_chunks(4).build().unwrap();
+    /// let out = engine.run(Task::WordCount).unwrap();
+    /// assert_eq!(out.word_counts().unwrap().get("to"), Some(&4));
+    /// assert!(engine.ingest_report().unwrap().virtual_ns > 0);
+    /// ```
+    pub fn builder_from_files(files: Vec<(String, String)>) -> EngineBuilder {
+        Self::builder_from_source(BuildSource::Files(files))
+    }
+
+    fn builder_from_source(source: BuildSource) -> EngineBuilder {
         EngineBuilder {
-            comp: comp.into(),
+            source,
             cfg: EngineConfig::ntadoc(),
             profile: None,
             label: None,
             retry: RetryPolicy::Fail,
             trace: true,
+            ingest: IngestOptions::default(),
+            block: None,
         }
     }
 
@@ -278,6 +376,14 @@ impl Engine {
     /// The engine's media-error retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Measurement record of the ingest pipeline ([`IngestReport`]), when
+    /// this engine was built from raw files via
+    /// [`Engine::builder_from_files`]; `None` for engines built from an
+    /// already-compressed corpus.
+    pub fn ingest_report(&self) -> Option<&IngestReport> {
+        self.ingest_report.as_ref()
     }
 
     /// Run one benchmark end to end under the engine's [`RetryPolicy`];
@@ -1074,6 +1180,21 @@ impl TxCounter {
                         // retry in a fresh transaction (a fixed-size log
                         // region flushes on pressure).
                         tx.commit()?;
+                        tx.begin()?;
+                        self.table.add_tx(key, delta, &mut tx)?;
+                        self.pending.set(1);
+                        return Ok(());
+                    }
+                    Err(PmemError::GrowDuringTransaction { .. }) => {
+                        // Growable tables (summation off, or n-gram
+                        // spaces) may hit the load factor mid-batch. The
+                        // reconstruction's bulk writes are not undo-logged,
+                        // so it must happen between transactions: commit
+                        // the batch, grow, retry in a fresh transaction. A
+                        // crash in the gap re-runs the traversal from the
+                        // last checkpoint, so no rollback is needed there.
+                        tx.commit()?;
+                        self.table.reserve_for_insert()?;
                         tx.begin()?;
                         self.table.add_tx(key, delta, &mut tx)?;
                         self.pending.set(1);

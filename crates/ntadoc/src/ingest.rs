@@ -1,0 +1,248 @@
+//! Chunk-parallel ingest: tokenize → chunk → per-chunk Sequitur → merge,
+//! with wall-clock parallelism and a deterministic virtual clock.
+//!
+//! Time-to-first-query was dominated by a fully serial grammar build; this
+//! pipeline splits the work the way G-TADOC does — `W` deterministic
+//! chunks compressed concurrently, then merged through the shared
+//! dictionary (`ntadoc_grammar::merge`) — while keeping the PR-2 virtual
+//! time contract: every parallel stage runs under deferred cost sinks
+//! ([`par::par_map_timed`]) and joins the clock with the fixed-lane
+//! makespan, so `virtual_ns` is bit-identical for any `RAYON_NUM_THREADS`.
+//!
+//! Costs are charged from a schedule-independent host-work model (per
+//! byte tokenized, per symbol pushed through Sequitur, per symbol merged):
+//! ingest is CPU work over host memory, not device traffic, so the model
+//! prices the computation rather than simulated NVM accesses. The absolute
+//! constants are calibrated to the same order as the engines'
+//! [`CostModel::per_item_ns`](crate::config::CostModel); what matters for
+//! the experiments is that they are pure functions of the input.
+//!
+//! Observability: the build records an `ingest` span with `ingest.tokenize`
+//! and `ingest.merge` child spans plus one pre-measured `ingest.chunk{N}`
+//! leaf per chunk, all folded into the report returned alongside the
+//! compressed corpus.
+
+use ntadoc_grammar::{merge, tokenize, Compressed, TokenizerConfig};
+use ntadoc_pmem::obs::SpanNode;
+use ntadoc_pmem::{par, AccessStats, DeviceProfile, Obs, SimDevice};
+
+/// Host-work cost model for ingest (ns per unit, schedule-independent).
+const TOKENIZE_NS_PER_BYTE: u64 = 1;
+const SEQUITUR_NS_PER_TOKEN: u64 = 40;
+const MERGE_NS_PER_SYMBOL: u64 = 6;
+const INTERN_NS_PER_WORD: u64 = 20;
+
+/// Knobs for the chunk-parallel ingest pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Number of deterministic input chunks (`1` = serial build,
+    /// byte-identical to [`ntadoc_grammar::compress_corpus`]).
+    pub chunks: usize,
+    /// Fold digrams repeated across chunk seams in the merged root
+    /// (ignored for single-chunk builds). Default `true`.
+    pub seam_dedup: bool,
+    /// Tokenizer configuration.
+    pub tokenizer: TokenizerConfig,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { chunks: 1, seam_dedup: true, tokenizer: TokenizerConfig::default() }
+    }
+}
+
+/// Measurement record of one ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Chunk count the pipeline ran with.
+    pub chunks: usize,
+    /// Total deterministic virtual time of the build.
+    pub virtual_ns: u64,
+    /// Per-chunk compression cost (the `ingest.chunk{N}` leaves).
+    pub chunk_ns: Vec<u64>,
+    /// Span tree rooted at `ingest`.
+    pub spans: SpanNode,
+}
+
+impl IngestReport {
+    /// Virtual-time speedup of the chunked build over running the same
+    /// per-chunk work serially: (tokenize + Σ chunk + merge) / virtual_ns.
+    /// Deterministic — both terms come from the virtual clock.
+    pub fn virtual_speedup(&self) -> f64 {
+        let tree = &self.spans;
+        let serial: u64 = tree.child_ns("ingest.tokenize")
+            + self.chunk_ns.iter().sum::<u64>()
+            + tree.child_ns("ingest.merge");
+        if self.virtual_ns == 0 {
+            1.0
+        } else {
+            serial as f64 / self.virtual_ns as f64
+        }
+    }
+}
+
+/// Compress `files` through the chunk-parallel pipeline.
+///
+/// The three stages:
+///
+/// 1. **tokenize** — per-file, fanned out over worker threads;
+/// 2. **chunk** — [`merge::plan_chunks`] splits the token stream into
+///    `opts.chunks` near-equal spans, each compressed independently by
+///    [`merge::build_chunk`] on a worker;
+/// 3. **merge** — [`merge::merge_chunks`] re-interns chunk dictionaries
+///    (ids land in global first-occurrence order, identical to a serial
+///    build), offsets rule ids, splices chunk top-rules into one root,
+///    and optionally folds seam digrams.
+///
+/// The output grammar and dictionary are pure functions of `files` and
+/// `opts` — identical for any worker count — and with `opts.chunks == 1`
+/// byte-identical to [`ntadoc_grammar::compress_corpus`].
+pub fn ingest_corpus(
+    files: &[(String, String)],
+    opts: &IngestOptions,
+) -> (Compressed, IngestReport) {
+    let obs = Obs::new();
+    // The ingest clock: a DRAM-profile device used purely as a virtual
+    // timebase for the host-work cost model (ingest issues no simulated
+    // NVM traffic; the built corpus is charged to the engine's device at
+    // session init, as before).
+    let dev = SimDevice::new(DeviceProfile::dram(), 4096);
+    let mut chunk_ns: Vec<u64> = Vec::new();
+
+    let comp = obs.span("ingest", &dev, || {
+        let toks: Vec<Vec<String>> = obs.span("ingest.tokenize", &dev, || {
+            let (toks, charges) = par::par_map_timed(files, |_, (_, text)| {
+                let t = tokenize(text, &opts.tokenizer);
+                dev.charge_ns(text.len() as u64 * TOKENIZE_NS_PER_BYTE);
+                t
+            });
+            par::join_deferred(&dev, &charges);
+            toks
+        });
+
+        let counts: Vec<usize> = toks.iter().map(|t| t.len()).collect();
+        let plan = merge::plan_chunks(&counts, opts.chunks);
+        let (built, charges) = par::par_map_timed(&plan, |_, pieces| {
+            let tokens: u64 = pieces.iter().map(|p| (p.end - p.start) as u64).sum();
+            let cg = merge::build_chunk(&toks, pieces);
+            dev.charge_ns(tokens * SEQUITUR_NS_PER_TOKEN);
+            cg
+        });
+        // Chunk spans are recorded post-join from the captured sinks: the
+        // chunks ran concurrently, so they appear as pre-measured leaves
+        // rather than nested (serialized) spans.
+        for (i, c) in charges.iter().enumerate() {
+            chunk_ns.push(c.ns());
+            let delta = AccessStats { virtual_ns: c.ns(), ..AccessStats::default() };
+            obs.record_leaf(&format!("ingest.chunk{i}"), delta);
+        }
+        par::join_deferred(&dev, &charges);
+
+        obs.span("ingest.merge", &dev, || {
+            let spliced: u64 = built
+                .iter()
+                .flat_map(|c| c.grammar.rules.iter())
+                .map(|r| r.symbols.len() as u64)
+                .sum();
+            let words: u64 = built.iter().map(|c| c.dict.len() as u64).sum();
+            let (grammar, dict) =
+                merge::merge_chunks(&built, &merge::MergeOptions { seam_dedup: opts.seam_dedup });
+            dev.charge_ns(spliced * MERGE_NS_PER_SYMBOL + words * INTERN_NS_PER_WORD);
+            Compressed { grammar, dict, file_names: files.iter().map(|(n, _)| n.clone()).collect() }
+        })
+    });
+
+    let spans = obs.tree("ingest-root");
+    let report = IngestReport {
+        chunks: opts.chunks.max(1),
+        virtual_ns: dev.stats().virtual_ns,
+        chunk_ns,
+        spans: spans
+            .children
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| SpanNode::leaf("ingest", AccessStats::default())),
+    };
+    (comp, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc_grammar::compress_corpus;
+
+    fn corpus() -> Vec<(String, String)> {
+        (0..6)
+            .map(|i| {
+                let text = (0..200)
+                    .map(|j| format!("w{}", (i * 37 + j * 11) % 50))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                (format!("f{i}.txt"), text)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_chunk_matches_serial_compress() {
+        let files = corpus();
+        let serial = compress_corpus(&files, &TokenizerConfig::default());
+        let (comp, report) = ingest_corpus(&files, &IngestOptions::default());
+        assert_eq!(comp.grammar, serial.grammar);
+        assert_eq!(comp.dict.iter().collect::<Vec<_>>(), serial.dict.iter().collect::<Vec<_>>());
+        assert_eq!(report.chunks, 1);
+        assert_eq!(report.chunk_ns.len(), 1);
+    }
+
+    #[test]
+    fn virtual_time_is_identical_for_any_worker_count() {
+        let files = corpus();
+        let opts = IngestOptions { chunks: 8, ..IngestOptions::default() };
+        let runs: Vec<(u64, Vec<u64>, String)> = [1usize, 4, 8]
+            .into_iter()
+            .map(|threads| {
+                par::with_threads(threads, || {
+                    let (comp, r) = ingest_corpus(&files, &opts);
+                    (r.virtual_ns, r.chunk_ns, format!("{:?}", comp.grammar.stats()))
+                })
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert!(runs[0].0 > 0);
+    }
+
+    #[test]
+    fn spans_cover_all_stages() {
+        let files = corpus();
+        let (_, report) =
+            ingest_corpus(&files, &IngestOptions { chunks: 4, ..IngestOptions::default() });
+        assert_eq!(report.spans.name, "ingest");
+        assert!(report.spans.find("ingest.tokenize").is_some());
+        assert!(report.spans.find("ingest.merge").is_some());
+        for i in 0..4 {
+            assert!(
+                report.spans.find(&format!("ingest.chunk{i}")).is_some(),
+                "missing ingest.chunk{i}"
+            );
+        }
+        assert!(report.virtual_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn chunked_build_models_parallel_speedup() {
+        let files = corpus();
+        let (_, serial) = ingest_corpus(&files, &IngestOptions::default());
+        let (_, chunked) =
+            ingest_corpus(&files, &IngestOptions { chunks: 8, ..IngestOptions::default() });
+        // Eight near-equal chunks on eight virtual lanes: the chunk stage
+        // folds nearly 8x; tokenize and merge dilute it, but the modeled
+        // build must still come out well over 2x faster.
+        assert!(
+            (chunked.virtual_ns as f64) < serial.virtual_ns as f64 / 2.0,
+            "chunked {} vs serial {}",
+            chunked.virtual_ns,
+            serial.virtual_ns
+        );
+    }
+}

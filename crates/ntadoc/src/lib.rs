@@ -53,6 +53,7 @@ pub mod baseline;
 pub mod config;
 pub mod dag;
 pub mod engine;
+pub mod ingest;
 pub mod report;
 pub mod result;
 pub mod summation;
@@ -61,6 +62,7 @@ pub use access::Accessor;
 pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
 pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession};
+pub use ingest::{ingest_corpus, IngestOptions, IngestReport};
 pub use report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,

@@ -40,6 +40,17 @@ pub enum PmemError {
         /// First byte of the faulted media line.
         addr: u64,
     },
+    /// A structure needed to grow (bulk reconstruction into fresh buffers)
+    /// while an undo-log transaction was open. Reconstruction writes are
+    /// not undo-logged, so growing mid-transaction would make a crash
+    /// before commit unrecoverable by rollback; the caller must commit,
+    /// grow outside any transaction, and retry.
+    GrowDuringTransaction {
+        /// Live entries at the refused grow.
+        len: usize,
+        /// Slot capacity at the refused grow.
+        cap: usize,
+    },
     /// The requested operation is not available in the current mode or
     /// configuration (the message says what was asked and why it cannot
     /// be served).
@@ -70,6 +81,11 @@ impl fmt::Display for PmemError {
             PmemError::MediaError { addr } => {
                 write!(f, "uncorrectable media error at {addr:#x}")
             }
+            PmemError::GrowDuringTransaction { len, cap } => write!(
+                f,
+                "table must grow ({len} entries at capacity {cap}) but an undo-log \
+                 transaction is open; commit, grow, then retry"
+            ),
             PmemError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }

@@ -155,8 +155,16 @@ where
 /// every read and nanosecond to the batch that issued it.
 pub fn join_deferred(dev: &SimDevice, charges: &[DeferredCharges]) {
     dev.absorb_deferred(charges);
+    dev.charge_ns(deferred_makespan(charges));
+}
+
+/// The virtual time a [`par_map_timed`] batch will charge at its barrier:
+/// the [`lanes_makespan`] of the per-item costs over [`virtual_lanes`].
+/// Exposed so pipelines can report per-stage parallel cost (e.g. a build
+/// bench's modeled speedup) without double-charging the device.
+pub fn deferred_makespan(charges: &[DeferredCharges]) -> u64 {
     let item_ns: Vec<u64> = charges.iter().map(|c| c.ns()).collect();
-    dev.charge_ns(lanes_makespan(&item_ns, virtual_lanes()));
+    lanes_makespan(&item_ns, virtual_lanes())
 }
 
 /// Deterministic makespan of `item_ns` over `lanes` virtual lanes: items

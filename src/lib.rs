@@ -4,15 +4,16 @@
 //! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
 
 pub use ntadoc::{
-    Engine, EngineBuilder, EngineConfig, OutputMismatch, Persistence, RetryPolicy, RunReport,
-    ServeSession, Task, TaskOutput, Traversal, UncompressedEngine, UncompressedEngineBuilder,
-    METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE,
-    METRIC_SERVE_TASKS, REPORT_VERSION,
+    ingest_corpus, Engine, EngineBuilder, EngineConfig, IngestOptions, IngestReport,
+    OutputMismatch, Persistence, RetryPolicy, RunReport, ServeSession, Task, TaskOutput, Traversal,
+    UncompressedEngine, UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
+    METRIC_HIT_RATE, METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
-    compress_corpus, deserialize_compressed, serialize_compressed, serialized_len, Compressed,
-    Dictionary, Grammar, Symbol, TokenizerConfig,
+    compress_corpus, compress_corpus_chunked, deserialize_compressed, merge_chunks, plan_chunks,
+    serialize_compressed, serialized_len, ChunkGrammar, Compressed, Dictionary, Grammar,
+    MergeOptions, Symbol, TokenizerConfig,
 };
 pub use ntadoc_pmem::{
     crc64, panic_is_injected_crash, run_with_crash_at, AllocLedger, CrashMode, CrashPoint,

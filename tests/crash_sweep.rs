@@ -89,7 +89,12 @@ fn crash_recover_at_persist_point(
 
 /// The full sweep for one persistence strategy.
 fn sweep_strategy(cfg: &EngineConfig, label: &str) {
-    let comp = corpus();
+    sweep_strategy_over(&corpus(), cfg, label);
+}
+
+/// The full sweep for one persistence strategy over a given corpus.
+fn sweep_strategy_over(comp: &Compressed, cfg: &EngineConfig, label: &str) {
+    let comp = comp.clone();
     let task = Task::WordCount;
     let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let clean = clean_engine.run(task).unwrap();
@@ -128,6 +133,29 @@ fn every_persist_point_converges_phase_level() {
 #[test]
 fn every_persist_point_converges_operation_level() {
     sweep_strategy(&EngineConfig::ntadoc_oplevel(), "operation-level");
+}
+
+#[test]
+fn every_persist_point_converges_operation_level_with_growable_tables() {
+    // presize=false starts every counter at capacity 16, and this corpus
+    // has 20 distinct words — past the 7/8 load factor — so the result
+    // table must grow *while an operation-level undo-log transaction is
+    // open*. The grow is refused mid-transaction (GrowDuringTransaction)
+    // and retried as commit → grow → begin, and every persist point that
+    // ordering introduces must still converge after a torn-write crash.
+    let files = vec![
+        (
+            "a".to_string(),
+            "alpha bravo charlie delta echo foxtrot golf hotel india juliett alpha".repeat(12),
+        ),
+        (
+            "b".to_string(),
+            "kilo lima mike november oscar papa quebec romeo sierra tango kilo echo".repeat(12),
+        ),
+    ];
+    let comp = compress_corpus(&files, &TokenizerConfig::default());
+    let cfg = EngineConfig { presize: false, ..EngineConfig::ntadoc_oplevel() };
+    sweep_strategy_over(&comp, &cfg, "operation-level-growable");
 }
 
 #[test]

@@ -5,17 +5,20 @@
 
 use ntadoc_pmem::par;
 use ntadoc_repro::{
-    compress_corpus, Compressed, Engine, EngineConfig, PmemError, RunReport, Task, TaskOutput,
-    TokenizerConfig,
+    compress_corpus, ingest_corpus, Compressed, Engine, EngineConfig, IngestOptions, PmemError,
+    RunReport, Task, TaskOutput, TokenizerConfig,
 };
 
-fn corpus() -> Compressed {
-    let files = vec![
+fn raw_files() -> Vec<(String, String)> {
+    vec![
         ("a".to_string(), "the quick brown fox jumps over the lazy dog the end".repeat(40)),
         ("b".to_string(), "pack my box with five dozen liquor jugs the fox".repeat(40)),
         ("c".to_string(), "sphinx of black quartz judge my vow the quick judge".repeat(40)),
-    ];
-    compress_corpus(&files, &TokenizerConfig::default())
+    ]
+}
+
+fn corpus() -> Compressed {
+    compress_corpus(&raw_files(), &TokenizerConfig::default())
 }
 
 /// Run `task` under `threads` workers, returning output and total virtual
@@ -139,6 +142,70 @@ fn span_trees_and_metrics_are_identical_for_any_worker_count() {
                 base.to_json().pretty(),
                 "{task} serialized report diverged at {threads} threads"
             );
+        }
+    }
+}
+
+#[test]
+fn ingest_is_identical_for_any_worker_count() {
+    // The chunk-parallel build obeys the same contract as traversal: the
+    // produced grammar, dictionary, per-chunk costs, span tree, and total
+    // virtual time are bit-identical for any RAYON_NUM_THREADS.
+    let files = raw_files();
+    for chunks in [1usize, 4, 8] {
+        let opts = IngestOptions { chunks, ..IngestOptions::default() };
+        let build = |threads: usize| {
+            par::with_threads(threads, || {
+                let (comp, report) = ingest_corpus(&files, &opts);
+                (
+                    comp.grammar,
+                    comp.dict.iter().map(|(_, w)| w.to_string()).collect::<Vec<_>>(),
+                    report,
+                )
+            })
+        };
+        let (base_g, base_d, base_r) = build(1);
+        for threads in [4, 8] {
+            let (g, d, r) = build(threads);
+            assert_eq!(g, base_g, "grammar diverged at {threads} threads (chunks={chunks})");
+            assert_eq!(d, base_d, "dictionary diverged at {threads} threads (chunks={chunks})");
+            assert_eq!(
+                r.virtual_ns, base_r.virtual_ns,
+                "ingest virtual time diverged at {threads} threads (chunks={chunks})"
+            );
+            assert_eq!(r.chunk_ns, base_r.chunk_ns, "chunk costs diverged (chunks={chunks})");
+            assert_eq!(r.spans, base_r.spans, "ingest span tree diverged (chunks={chunks})");
+        }
+    }
+}
+
+#[test]
+fn chunked_engines_agree_with_serial_engines_for_any_worker_count() {
+    // End to end: an engine built from raw files with chunk-parallel
+    // ingest must produce the same task outputs as one built over the
+    // serial compression, for every worker count.
+    let files = raw_files();
+    let serial = {
+        let mut e = Engine::builder(corpus()).config(EngineConfig::ntadoc()).build().unwrap();
+        e.run(Task::WordCount).unwrap()
+    };
+    let mut reference_ns: Option<u64> = None;
+    for threads in [1usize, 4, 8] {
+        let (out, ingest_ns) = par::with_threads(threads, || {
+            let mut e = Engine::builder_from_files(files.clone())
+                .ingest_chunks(8)
+                .config(EngineConfig::ntadoc())
+                .build()
+                .unwrap();
+            let ns = e.ingest_report().unwrap().virtual_ns;
+            (e.run(Task::WordCount).unwrap(), ns)
+        });
+        assert_eq!(out, serial, "chunked-engine output diverged at {threads} threads");
+        match reference_ns {
+            None => reference_ns = Some(ingest_ns),
+            Some(r) => {
+                assert_eq!(ingest_ns, r, "ingest virtual time diverged at {threads} threads")
+            }
         }
     }
 }
