@@ -22,6 +22,7 @@ pub const USAGE: &str = "usage:
   ntadoc search <corpus.ntdc> <word>...
   ntadoc extract <corpus.ntdc> <file#> <offset> <len>
   ntadoc decompress <corpus.ntdc> [-d <outdir>]
+  ntadoc fsck <pool.ntdp>...
 
 tasks: wordcount | sort | termvector | invertedindex | sequencecount | rankedindex";
 
@@ -36,6 +37,7 @@ pub fn dispatch(args: &[String]) -> CmdResult {
         Some("search") => search(&args[1..]),
         Some("extract") => extract(&args[1..]),
         Some("decompress") => decompress(&args[1..]),
+        Some("fsck") => fsck(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -419,6 +421,63 @@ fn decompress(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+// ---- fsck -------------------------------------------------------------------
+
+/// Validate one or more on-disk pool files: header integrity, truncation,
+/// and the state of the embedded transaction log. Exits with an error (and
+/// a per-file verdict on stdout) if any pool is unrecoverable.
+fn fsck(args: &[String]) -> CmdResult {
+    if args.is_empty() {
+        return Err("fsck needs at least one pool path".into());
+    }
+    let mut bad = 0usize;
+    for path in args {
+        match ntadoc_pmem::fsck_pool(std::path::Path::new(path)) {
+            Ok(rep) => {
+                let h = &rep.header;
+                println!(
+                    "{path}: v{} line {} B, capacity {} B (main {} / scratch {} / log {})",
+                    h.version,
+                    h.line_size,
+                    h.layout.capacity,
+                    h.layout.main_len,
+                    h.layout.scratch_len,
+                    h.layout.log_len,
+                );
+                if rep.truncated {
+                    println!(
+                        "  file is short ({} B on disk); missing lines read as zero",
+                        rep.file_len
+                    );
+                }
+                if rep.log.needs_rollback() {
+                    println!(
+                        "  txlog: OPEN tx #{} with {} undo entries ({} B) — reopen will roll back",
+                        rep.log.active_tx, rep.log.valid_entries, rep.log.undo_bytes,
+                    );
+                } else {
+                    println!("  txlog: clean (last committed tx #{})", rep.log.last_tx_id);
+                }
+                match &rep.unrecoverable {
+                    None => println!("  verdict: recoverable"),
+                    Some(why) => {
+                        println!("  verdict: UNRECOVERABLE ({why})");
+                        bad += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("{path}: UNRECOVERABLE ({e})");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} pool(s) failed fsck"));
+    }
+    Ok(())
+}
+
 // ---- helpers for tests ------------------------------------------------------
 
 /// Compress the given named texts into an image (test helper and library
@@ -523,6 +582,32 @@ mod tests {
         .unwrap();
         let restored = fs::read_dir(&decomp).unwrap().count();
         assert_eq!(restored, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_passes_a_healthy_pool_and_rejects_garbage() {
+        use ntadoc_pmem::{FileDevice, PmemBackend, PoolLayout};
+        let dir = std::env::temp_dir().join(format!("ntadoc-cli-fsck-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+
+        let pool = dir.join("pool.ntdp");
+        let layout = PoolLayout {
+            capacity: 1 << 20,
+            main_len: (1 << 20) - 2 * (1 << 16),
+            scratch_len: 1 << 16,
+            log_len: 1 << 16,
+        };
+        let file = FileDevice::create(&pool, DeviceProfile::nvm_optane(), layout).unwrap();
+        file.write_u64(128, 0xFEED);
+        file.persist(128, 8);
+        drop(file);
+        dispatch(&["fsck".into(), pool.display().to_string()]).unwrap();
+
+        let junk = dir.join("junk.ntdp");
+        fs::write(&junk, b"definitely not a pool header").unwrap();
+        assert!(dispatch(&["fsck".into(), junk.display().to_string()]).is_err());
+
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,6 +31,7 @@ mod tasks;
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
@@ -39,8 +40,8 @@ use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::obs::MetricValue;
 use ntadoc_pmem::par::{join_deferred, par_map_timed};
 use ntadoc_pmem::{
-    AccessStats, AllocLedger, DeviceKind, DeviceProfile, Obs, PmemError, PmemPool, SimDevice,
-    SpanNode, TxLog,
+    AccessStats, AllocLedger, DeviceKind, DeviceProfile, FileDevice, Obs, PmemBackend, PmemError,
+    PmemPool, PoolLayout, SimDevice, SpanNode, TxLog,
 };
 
 use crate::config::{EngineConfig, Persistence, Traversal};
@@ -488,25 +489,121 @@ impl Engine {
         total as usize
     }
 
+    /// Region layout for a pool of `capacity` bytes serving `task`. Shared
+    /// by in-memory sessions and file-backed pools so a reopened pool file
+    /// reconstructs the exact same addresses.
+    fn plan_layout(&self, task: Task, capacity: usize) -> PoolLayout {
+        // Scratch scales with the device so capacity-doubling retries also
+        // relieve scratch exhaustion.
+        let scratch_len = self.scratch_bytes(task).max(capacity as u64 / 4);
+        let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
+        PoolLayout { capacity: capacity as u64, main_len, scratch_len, log_len: LOG_BYTES as u64 }
+    }
+
+    /// Open (or create) a file-backed pool at `path` and run the
+    /// initialization phase over it.
+    ///
+    /// * No file at `path` → a fresh pool file is created (sized by the
+    ///   capacity estimate, recreated at double capacity on exhaustion)
+    ///   and initialized.
+    /// * An existing file → its header is validated, the durable image is
+    ///   loaded, any operation-level transaction that was open at the
+    ///   crash is rolled back from the undo log **before** anything else
+    ///   touches the pool (the rollback writes flow through to the file),
+    ///   and the session then re-runs the deterministic init phase —
+    ///   §IV-E recovery against real on-disk bytes.
+    ///
+    /// Requires a persistent device profile; volatile profiles have no
+    /// durable image to back with a file.
+    pub fn open_pool(&self, path: &Path, task: Task) -> Result<Session> {
+        if !self.profile.kind.is_persistent() {
+            return Err(PmemError::Unsupported(format!(
+                "file-backed pools require a persistent profile; {} is volatile",
+                self.profile.name
+            )));
+        }
+        if path.exists() {
+            self.reopen_pool(path, task)
+        } else {
+            self.create_pool(path, task)
+        }
+    }
+
+    fn create_pool(&self, path: &Path, task: Task) -> Result<Session> {
+        let mut capacity = self.estimate_capacity(task);
+        loop {
+            let layout = self.plan_layout(task, capacity);
+            let file = FileDevice::create(path, self.profile.clone(), layout)?;
+            match self.session_on_device(task, file.twin().clone(), layout, false, Some(file)) {
+                Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
+                    // The undersized pool file is abandoned; recreate it
+                    // at double capacity (create truncates, but remove
+                    // eagerly so a failure between iterations never
+                    // leaves a stale-capacity file behind).
+                    let _ = std::fs::remove_file(path);
+                    capacity *= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn reopen_pool(&self, path: &Path, task: Task) -> Result<Session> {
+        let file = FileDevice::open(path, self.profile.clone())?;
+        let layout = file.layout();
+        // Roll back any transaction that was open at the crash *before*
+        // init touches the pool: recovery must see the bytes exactly as
+        // they survived on disk. The rollback's writes fence through the
+        // mirror, so the file stays in sync with what recovery decided.
+        if self.cfg.persistence == Persistence::OperationLevel {
+            let backend: Arc<dyn PmemBackend> = file.clone();
+            let mut tx = TxLog::new(backend, layout.log_base(), layout.log_len as usize);
+            tx.recover()?;
+        }
+        self.session_on_device(task, file.twin().clone(), layout, false, Some(file))
+    }
+
     fn session_with_capacity(
         &self,
         task: Task,
         capacity: usize,
         serve_mode: bool,
     ) -> Result<Session> {
-        let ledger = Arc::new(AllocLedger::new());
+        let layout = self.plan_layout(task, capacity);
         let dev = Arc::new(SimDevice::new(self.profile.clone(), capacity));
-        // Scratch scales with the device so capacity-doubling retries also
-        // relieve scratch exhaustion.
-        let scratch_len = self.scratch_bytes(task).max(capacity as u64 / 4);
-        let main_len = capacity as u64 - scratch_len - LOG_BYTES as u64;
-        let pool = Arc::new(PmemPool::new(dev.clone(), 0, main_len).with_ledger(ledger.clone()));
-        let scratch_base = main_len;
-        let log_base = main_len + scratch_len;
+        self.session_on_device(task, dev, layout, serve_mode, None)
+    }
+
+    /// Build a session over an existing device (in-memory, or the twin of
+    /// a file-backed pool) with a fixed region layout, and run init.
+    fn session_on_device(
+        &self,
+        task: Task,
+        dev: Arc<SimDevice>,
+        layout: PoolLayout,
+        serve_mode: bool,
+        backend: Option<Arc<FileDevice>>,
+    ) -> Result<Session> {
+        let ledger = Arc::new(AllocLedger::new());
+        let pool =
+            Arc::new(PmemPool::new(dev.clone(), 0, layout.main_len).with_ledger(ledger.clone()));
+        let scratch_base = layout.scratch_base();
+        let scratch_len = layout.scratch_len;
 
         let txlog = match self.cfg.persistence {
             Persistence::OperationLevel => {
-                Some(Arc::new(Mutex::new(TxLog::new(dev.clone(), log_base, LOG_BYTES))))
+                // The log talks to the backend trait: the file device when
+                // one is attached (exercising the same code path recovery
+                // uses), the simulator otherwise. Both charge identically.
+                let log_dev: Arc<dyn PmemBackend> = match &backend {
+                    Some(file) => file.clone(),
+                    None => dev.clone(),
+                };
+                Some(Arc::new(Mutex::new(TxLog::new(
+                    log_dev,
+                    layout.log_base(),
+                    layout.log_len as usize,
+                ))))
             }
             _ => None,
         };
@@ -516,6 +613,7 @@ impl Engine {
             cfg: self.cfg.clone(),
             task,
             dev,
+            backend,
             ledger,
             pool,
             scratch_base,
@@ -623,6 +721,10 @@ pub struct Session {
     pub(crate) cfg: EngineConfig,
     pub(crate) task: Task,
     pub(crate) dev: Arc<SimDevice>,
+    /// The file-backed device when this session came from
+    /// [`Engine::open_pool`]; `None` for purely in-memory sessions. `dev`
+    /// is always its twin, so consumers need no indirection.
+    backend: Option<Arc<FileDevice>>,
     pub(crate) ledger: Arc<AllocLedger>,
     pub(crate) pool: Arc<PmemPool>,
     scratch_base: u64,
@@ -650,9 +752,13 @@ pub struct Session {
 }
 
 impl Session {
-    /// The DAG pool (available after init).
-    pub(crate) fn dag(&self) -> &DagPool {
-        self.dag.as_ref().expect("session is initialized")
+    /// The DAG pool. Built by init; asking before then (or after a failed
+    /// init) is reported as a typed error, not a panic, so backend I/O
+    /// failures during init surface through the normal error path.
+    pub(crate) fn dag(&self) -> Result<&DagPool> {
+        self.dag.as_ref().ok_or_else(|| {
+            PmemError::Unsupported("session is not initialized: no DAG pool is resident".into())
+        })
     }
 
     /// Charge modeled CPU work for `n` items.
@@ -697,7 +803,9 @@ impl Session {
         }
         match self.cfg.traversal {
             Traversal::Auto => {
-                if self.task.is_file_oriented() && self.dag().nfiles() >= 64 {
+                if self.task.is_file_oriented()
+                    && self.dag.as_ref().is_some_and(|d| d.nfiles() >= 64)
+                {
                     Traversal::BottomUp
                 } else {
                     Traversal::TopDown
@@ -841,12 +949,13 @@ impl Session {
 
         // 8. Phase boundary: persist the pool; the staging buffer is
         // released at the end of the phase.
-        obs.span("persist", dev, || {
+        obs.span("persist", dev, || -> Result<()> {
             if self.cfg.persistence != Persistence::None {
-                self.dag().persist_all();
+                self.dag()?.persist_all();
             }
             self.drop_dram(staging);
-        });
+            Ok(())
+        })?;
         Ok(())
     }
 
@@ -866,6 +975,10 @@ impl Session {
                     // pinned on read-only data keeps failing and exhausts
                     // the attempts.
                     attempts += 1;
+                    // Bounded exponential backoff, charged to the virtual
+                    // clock: transient media faults get geometrically more
+                    // settle time per retry, deterministically.
+                    self.dev.charge_ns(self.dev.profile().write_back_ns() << attempts.min(16));
                     self.obs.metrics.counter_add(METRIC_MEDIA_RETRIES, 1);
                     self.recover()?;
                 }
@@ -983,8 +1096,16 @@ impl Session {
     }
 
     /// The session's device (stats inspection, fault injection in tests).
+    /// For file-backed sessions this is the cost-model twin of the pool
+    /// file — same stats, same crash behavior.
     pub fn device(&self) -> &Arc<SimDevice> {
         &self.dev
+    }
+
+    /// The file-backed device, when this session came from
+    /// [`Engine::open_pool`] (byte-identity checks, fsck after crash).
+    pub fn file_backend(&self) -> Option<&Arc<FileDevice>> {
+        self.backend.as_ref()
     }
 
     /// Simulate a power failure on the session's device (under the

@@ -37,28 +37,28 @@ impl Session {
 
     /// Rule `r`'s subrules as `(id, freq)`: the pruned view when pruning is
     /// on, otherwise one entry per occurrence (the naive access pattern).
-    pub(crate) fn subs_of(&self, r: u32) -> Vec<(u32, u32)> {
+    pub(crate) fn subs_of(&self, r: u32) -> Result<Vec<(u32, u32)>> {
         if self.cfg.pruned {
-            let v = self.dag().pruned_subs(r);
+            let v = self.dag()?.pruned_subs(r);
             self.charge_items(v.len() as u64);
-            v
+            Ok(v)
         } else {
-            let body = self.dag().body(r);
+            let body = self.dag()?.body(r);
             self.charge_items(body.len() as u64);
-            body.iter().filter(|s| s.is_rule()).map(|s| (s.payload(), 1)).collect()
+            Ok(body.iter().filter(|s| s.is_rule()).map(|s| (s.payload(), 1)).collect())
         }
     }
 
     /// Rule `r`'s words as `(id, freq)` under the same regime.
-    pub(crate) fn words_of(&self, r: u32) -> Vec<(u32, u32)> {
+    pub(crate) fn words_of(&self, r: u32) -> Result<Vec<(u32, u32)>> {
         if self.cfg.pruned {
-            let v = self.dag().pruned_words(r);
+            let v = self.dag()?.pruned_words(r);
             self.charge_items(v.len() as u64);
-            v
+            Ok(v)
         } else {
-            let body = self.dag().body(r);
+            let body = self.dag()?.body(r);
             self.charge_items(body.len() as u64);
-            body.iter().filter(|s| s.is_word()).map(|s| (s.payload(), 1)).collect()
+            Ok(body.iter().filter(|s| s.is_word()).map(|s| (s.payload(), 1)).collect())
         }
     }
 
@@ -72,7 +72,7 @@ impl Session {
         &self,
         mut visit: impl FnMut(u32, u64) -> Result<()>,
     ) -> Result<()> {
-        let dag = self.dag();
+        let dag = self.dag()?;
         let dev = dag.dev().clone();
         dag.reset_weights();
         dag.set_weight(0, 1);
@@ -88,7 +88,7 @@ impl Session {
             let w = dag.weight(r);
             self.charge_items(1);
             visit(r, w)?;
-            for (s, f) in self.subs_of(r) {
+            for (s, f) in self.subs_of(r)? {
                 dag.add_weight(s, w * f as u64);
                 let at = indeg_at + s as u64 * 4;
                 let d = dev.read_u32(at) - f;
@@ -107,31 +107,34 @@ impl Session {
     }
 
     /// `R0` split into per-file symbol segments (separators removed).
-    pub(crate) fn r0_segments(&self) -> Vec<Vec<Symbol>> {
-        let body = self.dag().body(0);
+    pub(crate) fn r0_segments(&self) -> Result<Vec<Vec<Symbol>>> {
+        let body = self.dag()?.body(0);
         self.charge_items(body.len() as u64);
         let mut segs = vec![Vec::new()];
         for s in body {
             if s.is_sep() {
                 segs.push(Vec::new());
             } else {
-                segs.last_mut().expect("non-empty").push(s);
+                match segs.last_mut() {
+                    Some(seg) => seg.push(s),
+                    None => segs.push(vec![s]),
+                }
             }
         }
-        segs
+        Ok(segs)
     }
 
     /// Per-file weight propagation over the sub-DAG reachable from `seg`
     /// (the top-down strategy's inner loop — pathological when files are
     /// many, which is the §VI-E measurement). Returns `(rule, weight)`
     /// with weights local to this file.
-    pub(crate) fn local_weights(&self, seg: &[Symbol]) -> Vec<(u32, u64)> {
+    pub(crate) fn local_weights(&self, seg: &[Symbol]) -> Result<Vec<(u32, u64)>> {
         // Faithful to the paper's top-down file processing: "the program is
         // required to traverse the DAG in order to retrieve the weight of
         // rules for each file" — the *whole* DAG is walked per file, using
         // the NVM-resident weight metadata. This is what makes top-down
         // pathological on many-file corpora (§VI-E).
-        let dag = self.dag();
+        let dag = self.dag()?;
         dag.reset_weights();
         self.charge_items(seg.len() as u64);
         for s in seg {
@@ -150,11 +153,11 @@ impl Session {
                 continue;
             }
             out.push((r, w));
-            for (s, f) in self.subs_of(r) {
+            for (s, f) in self.subs_of(r)? {
                 dag.add_weight(s, w * f as u64);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Merge id-sorted `(id, count)` lists (each scaled by a multiplier)
@@ -238,20 +241,20 @@ impl Session {
                 // thread; the level's parallel work joins the clock as the
                 // deterministic lane makespan before the span closes.
                 obs.span(&format!("wordlist-level-{depth}"), &self.dev, || -> Result<()> {
-                    let (merged, charges) = par::par_map_timed(&level, |_, &r| {
+                    let (merged, charges) = par::par_map_timed(&level, |_, &r| -> Result<_> {
                         let extra: std::collections::BTreeMap<u32, u64> =
-                            self.words_of(r).into_iter().map(|(w, f)| (w, f as u64)).collect();
+                            self.words_of(r)?.into_iter().map(|(w, f)| (w, f as u64)).collect();
                         let mut lists = Vec::new();
-                        for (s, f) in self.subs_of(r) {
-                            let sub_list = self.dag().wordlist(s);
+                        for (s, f) in self.subs_of(r)? {
+                            let sub_list = self.dag()?.wordlist(s);
                             self.charge_items(sub_list.len() as u64);
                             lists.push((sub_list, f as u64));
                         }
-                        self.merge_counts(lists, extra)
+                        Ok(self.merge_counts(lists, extra))
                     });
                     par::join_deferred(&self.dev, &charges);
-                    for (&r, entries) in level.iter().zip(&merged) {
-                        let (addr, len) = self.dag().store_wordlist(r, entries)?;
+                    for (&r, entries) in level.iter().zip(merged) {
+                        let (addr, len) = self.dag()?.store_wordlist(r, &entries?)?;
                         self.op_guard(addr, len)?;
                     }
                     Ok(())
@@ -263,13 +266,13 @@ impl Session {
             if r == 0 {
                 continue;
             }
-            let expected = if self.cfg.presize { self.dag().wl_bound(r) as usize } else { 8 };
+            let expected = if self.cfg.presize { self.dag()?.wl_bound(r) as usize } else { 8 };
             let table = self.scratch_counter(expected)?;
-            for (w, f) in self.words_of(r) {
+            for (w, f) in self.words_of(r)? {
                 table.add(w as u64, f as u64)?;
             }
-            for (s, f) in self.subs_of(r) {
-                let sub_list = self.dag().wordlist(s);
+            for (s, f) in self.subs_of(r)? {
+                let sub_list = self.dag()?.wordlist(s);
                 self.charge_items(sub_list.len() as u64);
                 for (wid, c) in sub_list {
                     table.add(wid as u64, c * f as u64)?;
@@ -278,7 +281,7 @@ impl Session {
             let mut entries: Vec<(u32, u64)> =
                 table.entries().into_iter().map(|(k, v)| (k as u32, v)).collect();
             entries.sort_unstable_by_key(|x| x.0);
-            let (addr, len) = self.dag().store_wordlist(r, &entries)?;
+            let (addr, len) = self.dag()?.store_wordlist(r, &entries)?;
             self.op_guard(addr, len)?;
             // Each per-rule scratch table is observed exactly once, so the
             // counter totals the naive path's reconstruction storm.
@@ -300,10 +303,10 @@ impl Session {
     /// fused into the queue-driven traversal (one pass over each pruned
     /// view covers both weight propagation and word counting).
     fn count_words(&self) -> Result<Vec<(u32, u64)>> {
-        let dag = self.dag();
+        let dag = self.dag()?;
         let counter = self.result_counter(dag.dict_len())?;
         self.traverse_topdown(|r, w| {
-            for (wid, f) in self.words_of(r) {
+            for (wid, f) in self.words_of(r)? {
                 counter.add(wid as u64, w * f as u64)?;
             }
             Ok(())
@@ -317,7 +320,7 @@ impl Session {
         let counts = self.count_words()?;
         let mut out = std::collections::BTreeMap::new();
         for (wid, c) in counts {
-            out.insert(self.dag().word_str(wid), c);
+            out.insert(self.dag()?.word_str(wid), c);
         }
         Ok(TaskOutput::WordCount(out))
     }
@@ -325,8 +328,9 @@ impl Session {
     pub(crate) fn task_sort(&self) -> Result<TaskOutput> {
         let counts = self.count_words()?;
         // Materialise strings (device reads), then sort alphabetically.
+        let dag = self.dag()?;
         let mut rows: Vec<(String, u64)> =
-            counts.into_iter().map(|(wid, c)| (self.dag().word_str(wid), c)).collect();
+            counts.into_iter().map(|(wid, c)| (dag.word_str(wid), c)).collect();
         self.charge_sort(rows.len() as u64);
         rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(TaskOutput::Sort(rows))
@@ -338,27 +342,28 @@ impl Session {
 
     /// Upper bound on the distinct words of one file segment (sizes the
     /// fixed per-file tables when the summation is on).
-    fn file_bound(&self, seg: &[Symbol]) -> usize {
-        let vocab = self.dag().dict_len();
+    fn file_bound(&self, seg: &[Symbol]) -> Result<usize> {
+        let dag = self.dag()?;
+        let vocab = dag.dict_len();
         let mut bound = 0u64;
         for s in seg {
             if s.is_word() {
                 bound += 1;
             } else if s.is_rule() {
-                bound += self.dag().wl_bound(s.payload());
+                bound += dag.wl_bound(s.payload());
             }
             if bound >= vocab as u64 {
-                return vocab;
+                return Ok(vocab);
             }
         }
-        bound as usize
+        Ok(bound as usize)
     }
 
     /// Per-file `(word, count)` tables, computed with the strategy the
     /// session selected (§VI-E).
     fn per_file_word_tables(&self) -> Result<Vec<Vec<(u32, u64)>>> {
         let strategy = self.strategy();
-        let segs = self.r0_segments();
+        let segs = self.r0_segments()?;
         let mut out = Vec::with_capacity(segs.len());
         for seg in &segs {
             if strategy == Traversal::BottomUp && self.cfg.pruned {
@@ -371,7 +376,7 @@ impl Session {
                     if s.is_word() {
                         *extra.entry(s.payload()).or_insert(0u64) += 1;
                     } else if s.is_rule() {
-                        let list = self.dag().wordlist(s.payload());
+                        let list = self.dag()?.wordlist(s.payload());
                         self.charge_items(list.len() as u64);
                         lists.push((list, 1));
                     }
@@ -379,7 +384,7 @@ impl Session {
                 out.push(self.merge_counts(lists, extra));
                 continue;
             }
-            let expected = if self.cfg.presize { self.file_bound(seg) } else { 8 };
+            let expected = if self.cfg.presize { self.file_bound(seg)? } else { 8 };
             let table = self.scratch_counter(expected)?;
             match strategy {
                 Traversal::BottomUp => {
@@ -389,7 +394,7 @@ impl Session {
                         if s.is_word() {
                             table.add(s.payload() as u64, 1)?;
                         } else if s.is_rule() {
-                            let list = self.dag().wordlist(s.payload());
+                            let list = self.dag()?.wordlist(s.payload());
                             self.charge_items(list.len() as u64);
                             for (wid, c) in list {
                                 table.add(wid as u64, c)?;
@@ -406,8 +411,8 @@ impl Session {
                             table.add(s.payload() as u64, 1)?;
                         }
                     }
-                    for (r, w) in self.local_weights(seg) {
-                        for (wid, f) in self.words_of(r) {
+                    for (r, w) in self.local_weights(seg)? {
+                        for (wid, f) in self.words_of(r)? {
                             table.add(wid as u64, w * f as u64)?;
                         }
                     }
@@ -421,6 +426,7 @@ impl Session {
     pub(crate) fn task_term_vector(&self) -> Result<TaskOutput> {
         let tables = self.per_file_word_tables()?;
         let k = self.cfg.top_k;
+        let dag = self.dag()?;
         let mut out = Vec::with_capacity(tables.len());
         for (fid, mut entries) in tables.into_iter().enumerate() {
             self.charge_sort(entries.len() as u64);
@@ -428,7 +434,7 @@ impl Session {
             entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             entries.truncate(k);
             let top: Vec<(String, u64)> =
-                entries.into_iter().map(|(wid, c)| (self.dag().word_str(wid), c)).collect();
+                entries.into_iter().map(|(wid, c)| (dag.word_str(wid), c)).collect();
             out.push((self.comp.file_names[fid].clone(), top));
         }
         Ok(TaskOutput::TermVector(out))
@@ -449,7 +455,7 @@ impl Session {
             self.charge_sort(entries.len() as u64);
             for (wid, _) in entries {
                 pairs.push((wid, fid as u32))?;
-                out.entry(self.dag().word_str(wid))
+                out.entry(self.dag()?.word_str(wid))
                     .or_default()
                     .push(self.comp.file_names[fid].clone());
             }
@@ -467,11 +473,15 @@ impl Session {
     /// Stitch a symbol slice into the junction stream: words stay words;
     /// long subrules contribute head + marker + tail; short subrules are
     /// reconstructed completely from head/tail.
-    fn junction_stream(&self, syms: &[Symbol]) -> Vec<Item> {
+    fn junction_stream(&self, syms: &[Symbol]) -> Result<Vec<Item>> {
         let n = self.cfg.ngram;
         let keep = n - 1;
-        let dag = self.dag();
-        let ht = dag.headtail.as_ref().expect("sequence task built head/tail buffers");
+        let dag = self.dag()?;
+        let ht = dag.headtail.as_ref().ok_or_else(|| {
+            PmemError::Unsupported(
+                "junction scan needs the head/tail buffers a sequence-task init builds".into(),
+            )
+        })?;
         let mut stream = Vec::with_capacity(syms.len() * 2);
         for (i, s) in syms.iter().enumerate() {
             let seg = i as u32;
@@ -512,7 +522,7 @@ impl Session {
             }
         }
         self.charge_items(stream.len() as u64);
-        stream
+        Ok(stream)
     }
 
     /// Slide an `n` window over the stream, yielding the interned id of
@@ -575,8 +585,8 @@ impl Session {
         if self.cfg.pruned {
             for level in self.bottomup_levels() {
                 let (merged, charges) = par::par_map_timed(&level, |_, &r| -> Result<_> {
-                    let body = self.dag().body(r);
-                    let stream = self.junction_stream(&body);
+                    let body = self.dag()?.body(r);
+                    let stream = self.junction_stream(&body)?;
                     // Junction windows into a small working map, children
                     // via sorted-list merge.
                     let mut extra = std::collections::BTreeMap::new();
@@ -585,8 +595,8 @@ impl Session {
                         Ok(())
                     })?;
                     let mut lists = Vec::new();
-                    for (s, f) in self.subs_of(r) {
-                        let list = self.dag().wordlist(s); // reused as seq list
+                    for (s, f) in self.subs_of(r)? {
+                        let list = self.dag()?.wordlist(s); // reused as seq list
                         self.charge_items(list.len() as u64);
                         lists.push((list, f as u64));
                     }
@@ -594,7 +604,7 @@ impl Session {
                 });
                 par::join_deferred(&self.dev, &charges);
                 for (&r, entries) in level.iter().zip(merged) {
-                    let (addr, len) = self.dag().store_wordlist(r, &entries?)?;
+                    let (addr, len) = self.dag()?.store_wordlist(r, &entries?)?;
                     self.op_guard(addr, len)?;
                 }
             }
@@ -604,14 +614,14 @@ impl Session {
             if r == 0 {
                 continue;
             }
-            let body = self.dag().body(r);
-            let stream = self.junction_stream(&body);
+            let body = self.dag()?.body(r);
+            let stream = self.junction_stream(&body)?;
             let entries: Vec<(u32, u64)> = {
                 // Naive: everything through a growable hash table.
                 let table = self.scratch_counter_soft(8)?;
                 self.scan_junction_windows(&stream, |id| table.add(id as u64, 1))?;
-                for (s, f) in self.subs_of(r) {
-                    let list = self.dag().wordlist(s);
+                for (s, f) in self.subs_of(r)? {
+                    let list = self.dag()?.wordlist(s);
                     self.charge_items(list.len() as u64);
                     for (sid, c) in list {
                         table.add(sid as u64, c * f as u64)?;
@@ -622,16 +632,18 @@ impl Session {
                 e.sort_unstable_by_key(|x| x.0);
                 e
             };
-            let (addr, len) = self.dag().store_wordlist(r, &entries)?;
+            let (addr, len) = self.dag()?.store_wordlist(r, &entries)?;
             self.op_guard(addr, len)?;
         }
         Ok(())
     }
 
     pub(crate) fn task_sequence_count(&self) -> Result<TaskOutput> {
-        assert!(self.cfg.ngram >= 2, "sequence count needs n >= 2");
+        if self.cfg.ngram < 2 {
+            return Err(PmemError::Unsupported("sequence count needs n >= 2".into()));
+        }
         self.propagate_weights()?;
-        let dag = self.dag();
+        let dag = self.dag()?;
         let totals: Vec<(u32, u64)> = if self.cfg.pruned {
             // N-TADOC: per-rule junction lists are written to the pool
             // sequentially, then k-way merged weighted by rule weight —
@@ -644,7 +656,7 @@ impl Session {
                     continue;
                 }
                 let body = dag.body(r);
-                let stream = self.junction_stream(&body);
+                let stream = self.junction_stream(&body)?;
                 let mut local = std::collections::BTreeMap::new();
                 self.scan_junction_windows(&stream, |id| {
                     *local.entry(id).or_insert(0u64) += 1;
@@ -658,7 +670,7 @@ impl Session {
             self.merge_counts(lists, std::collections::BTreeMap::new())
         } else {
             // Naive: one growable hash counter takes every update.
-            let counter = self.ngram_counter(self.dag().dict_len() * 2)?;
+            let counter = self.ngram_counter(dag.dict_len() * 2)?;
             for &r in &self.topo {
                 let w = dag.weight(r);
                 self.charge_items(1);
@@ -666,7 +678,7 @@ impl Session {
                     continue;
                 }
                 let body = dag.body(r);
-                let stream = self.junction_stream(&body);
+                let stream = self.junction_stream(&body)?;
                 self.scan_junction_windows(&stream, |id| counter.add(id as u64, w))?;
             }
             counter.finish()?;
@@ -682,22 +694,25 @@ impl Session {
         let mut out = std::collections::BTreeMap::new();
         for (id, c) in totals {
             let gram: Vec<String> =
-                self.interner.gram(id).iter().map(|&w| self.dag().word_str(w)).collect();
+                self.interner.gram(id).iter().map(|&w| dag.word_str(w)).collect();
             out.insert(gram, c);
         }
         Ok(TaskOutput::SequenceCount(out))
     }
 
     pub(crate) fn task_ranked_inverted_index(&self) -> Result<TaskOutput> {
-        assert!(self.cfg.ngram >= 2, "ranked inverted index needs n >= 2");
-        let segs = self.r0_segments();
+        if self.cfg.ngram < 2 {
+            return Err(PmemError::Unsupported("ranked inverted index needs n >= 2".into()));
+        }
+        let dag = self.dag()?;
+        let segs = self.r0_segments()?;
         // Result triples on the device.
         let triples: PVec<(u32, (u32, u64))> =
             PVec::with_capacity(self.pool.clone(), segs.len().max(16))?;
         let mut acc: std::collections::BTreeMap<u32, Vec<(u32, u64)>> =
             std::collections::BTreeMap::new();
         for (fid, seg) in segs.iter().enumerate() {
-            let stream = self.junction_stream(seg);
+            let stream = self.junction_stream(seg)?;
             let entries: Vec<(u32, u64)> = if self.cfg.pruned {
                 let mut extra = std::collections::BTreeMap::new();
                 self.scan_junction_windows(&stream, |id| {
@@ -707,7 +722,7 @@ impl Session {
                 let mut lists = Vec::new();
                 for s in seg {
                     if s.is_rule() {
-                        let list = self.dag().wordlist(s.payload());
+                        let list = dag.wordlist(s.payload());
                         self.charge_items(list.len() as u64);
                         lists.push((list, 1));
                     }
@@ -718,7 +733,7 @@ impl Session {
                 self.scan_junction_windows(&stream, |id| table.add(id as u64, 1))?;
                 for s in seg {
                     if s.is_rule() {
-                        let list = self.dag().wordlist(s.payload());
+                        let list = dag.wordlist(s.payload());
                         self.charge_items(list.len() as u64);
                         for (sid, c) in list {
                             table.add(sid as u64, c)?;
@@ -744,7 +759,7 @@ impl Session {
             self.charge_sort(files.len() as u64);
             files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             let gram: Vec<String> =
-                self.interner.gram(sid).iter().map(|&w| self.dag().word_str(w)).collect();
+                self.interner.gram(sid).iter().map(|&w| dag.word_str(w)).collect();
             let ranked: Vec<(String, u64)> = files
                 .into_iter()
                 .map(|(fid, c)| (self.comp.file_names[fid as usize].clone(), c))
@@ -787,14 +802,14 @@ impl Session {
 
     fn serve_word_count(&self) -> Result<TaskOutput> {
         let counts = self.serve_counts()?;
-        let words = self.dag().all_word_strs();
+        let words = self.dag()?.all_word_strs();
         let out = counts.into_iter().map(|(wid, c)| (words[wid as usize].clone(), c)).collect();
         Ok(TaskOutput::WordCount(out))
     }
 
     fn serve_sort(&self) -> Result<TaskOutput> {
         let counts = self.serve_counts()?;
-        let words = self.dag().all_word_strs();
+        let words = self.dag()?.all_word_strs();
         let mut rows: Vec<(String, u64)> =
             counts.into_iter().map(|(wid, c)| (words[wid as usize].clone(), c)).collect();
         self.charge_sort(rows.len() as u64);
@@ -804,7 +819,7 @@ impl Session {
 
     fn serve_term_vector(&self) -> Result<TaskOutput> {
         let tables = self.per_file_word_tables()?;
-        let words = self.dag().all_word_strs();
+        let words = self.dag()?.all_word_strs();
         let k = self.cfg.top_k;
         let mut out = Vec::with_capacity(tables.len());
         for (fid, mut entries) in tables.into_iter().enumerate() {
@@ -820,7 +835,7 @@ impl Session {
 
     fn serve_inverted_index(&self) -> Result<TaskOutput> {
         let tables = self.per_file_word_tables()?;
-        let words = self.dag().all_word_strs();
+        let words = self.dag()?.all_word_strs();
         let mut out: std::collections::BTreeMap<String, Vec<String>> =
             std::collections::BTreeMap::new();
         for (fid, mut entries) in tables.into_iter().enumerate() {

@@ -61,7 +61,7 @@ pub mod summation;
 pub use access::Accessor;
 pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
-pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession};
+pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession, Session};
 pub use ingest::{ingest_corpus, IngestOptions, IngestReport};
 pub use report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,

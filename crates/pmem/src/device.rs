@@ -34,11 +34,11 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::cache::{AccessOutcome, LineCache};
 use crate::error::PmemError;
-use crate::faultsim::Prng;
+use crate::faultsim::{torn_line_survives, torn_word_survives, Prng};
 use crate::pod::Pod;
 use crate::profile::DeviceProfile;
 use crate::stats::AccessStats;
@@ -76,6 +76,38 @@ enum MediaFault {
 /// Panic message used for injected crash faults; harnesses match on it to
 /// distinguish scheduled crashes from real bugs.
 pub const CRASH_PANIC: &str = "injected device fault";
+
+/// Observer of the device's *durable image*: the bytes that would survive
+/// a power failure right now. A mirror attached via
+/// [`SimDevice::attach_mirror`] is invoked at exactly the three events
+/// where the durable image changes, with the post-event contents of every
+/// affected line:
+///
+/// * [`on_fence`](DeviceMirror::on_fence) — a persistence fence landed;
+///   the flushed-pending lines' *current* contents became durable,
+/// * [`on_crash`](DeviceMirror::on_crash) — a (simulated) power failure
+///   resolved every undurable line to its crash outcome, including torn
+///   8-byte words of an interrupted store,
+/// * [`on_poke`](DeviceMirror::on_poke) — a debug store made `bytes`
+///   durable directly.
+///
+/// Flushes need no hook: a flush without a fence changes nothing durable
+/// (its effect surfaces either at the fence or in the crash outcome).
+/// Hooks run while the device's state lock is held, so implementations
+/// must not call back into the device; the file-backed backend only
+/// writes the reported lines through to its pool file, which is what
+/// keeps the on-disk bytes equal to the durable image at every instant —
+/// including after a crash genuinely tore them.
+pub trait DeviceMirror: Send + Sync {
+    /// `lines` just became durable with the given contents (one entry per
+    /// distinct media line, ascending line index).
+    fn on_fence(&self, lines: &[(u64, Vec<u8>)]);
+    /// A crash resolved; `lines` hold the post-crash durable contents of
+    /// every line the crash touched (ascending line index).
+    fn on_crash(&self, lines: &[(u64, Vec<u8>)]);
+    /// A debug poke made `bytes` durable at `addr`.
+    fn on_poke(&self, addr: Addr, bytes: &[u8]);
+}
 
 /// Number of line shards on the read path (a power of two). Deferred read
 /// counters and the data plane's seqlock versions are striped over this
@@ -419,6 +451,9 @@ pub struct SimDevice {
     fault_lines: AtomicU64,
     /// Times a poisoned state lock was healed (cache residency reset).
     poison_heals: AtomicU64,
+    /// Durable-image observer (the file-backed backend). Set at most once,
+    /// only for persistent profiles; hooks fire under the state lock.
+    mirror: OnceLock<Arc<dyn DeviceMirror>>,
 }
 
 /// Cache-line padded per-shard totals for reads served by the deferred
@@ -461,6 +496,7 @@ impl SimDevice {
             read_shards: read_shards.into_boxed_slice(),
             fault_lines: AtomicU64::new(0),
             poison_heals: AtomicU64::new(0),
+            mirror: OnceLock::new(),
             inner: RwLock::new(Inner {
                 cache,
                 stats: AccessStats::default(),
@@ -539,6 +575,40 @@ impl SimDevice {
     /// Device capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.plane.len() as u64
+    }
+
+    /// Attach a durable-image mirror (see [`DeviceMirror`]). At most one
+    /// mirror can ever be attached, and only to a persistent profile — a
+    /// volatile device has no durable image to observe.
+    ///
+    /// # Panics
+    /// Panics on a volatile profile or when a mirror is already attached.
+    pub fn attach_mirror(&self, mirror: Arc<dyn DeviceMirror>) {
+        assert!(
+            self.profile.kind.is_persistent(),
+            "cannot mirror a volatile device: {} has no durable image",
+            self.profile.name
+        );
+        assert!(self.mirror.set(mirror).is_ok(), "a device mirror is already attached");
+    }
+
+    /// Whether a durable-image mirror is attached.
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.get().is_some()
+    }
+
+    /// Full contents of `lines` (ascending, deduplicated by the caller)
+    /// for a mirror hook. Caller holds the state lock.
+    fn mirror_line_snapshots(&self, lines: &[u64]) -> Vec<(u64, Vec<u8>)> {
+        let line_size = self.profile.line_size;
+        lines
+            .iter()
+            .map(|&line| {
+                let start = (line as usize) * line_size;
+                let stop = (start + line_size).min(self.plane.len());
+                (line, self.plane.snapshot(start, stop - start))
+            })
+            .collect()
     }
 
     /// Snapshot of the accumulated counters: the locked-path stats plus
@@ -1068,8 +1138,19 @@ impl SimDevice {
         inner.stats.fences += 1;
         inner.stats.virtual_ns += self.profile.fence_ns;
         let pending = std::mem::take(&mut inner.flushed_pending_fence);
-        for line in pending {
-            inner.undurable.remove(&line);
+        for line in &pending {
+            inner.undurable.remove(line);
+        }
+        // Durability point: the pending lines' *current* contents are what
+        // became durable (stores issued after the flush ride along, because
+        // the pre-image is dropped wholesale) — mirror exactly that.
+        if let Some(mirror) = self.mirror.get() {
+            let mut lines = pending;
+            lines.sort_unstable();
+            lines.dedup();
+            if !lines.is_empty() {
+                mirror.on_fence(&self.mirror_line_snapshots(&lines));
+            }
         }
     }
 
@@ -1100,6 +1181,22 @@ impl SimDevice {
 
     fn crash_with(&self, mode: CrashMode) {
         let mut inner = self.lock();
+        // Every line the crash can touch (undurable pre-images plus the
+        // lines covered by an interrupted store), collected before the
+        // pre-image map is consumed: after the crash resolves, these are
+        // exactly the lines whose durable contents changed, and what a
+        // mirror must be told about.
+        let mut touched: Vec<u64> = Vec::new();
+        if self.mirror.get().is_some() && self.profile.kind.is_persistent() {
+            touched.extend(inner.undurable.keys().copied());
+            if let Some((addr, buf)) = &inner.inflight_write {
+                let first = self.line_of(*addr);
+                let last = self.line_of(addr + buf.len() as u64 - 1);
+                touched.extend(first..=last);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+        }
         if !self.profile.kind.is_persistent() {
             self.plane.fill_zero();
         } else {
@@ -1122,9 +1219,10 @@ impl SimDevice {
                     lines.sort_by_key(|(line, _)| *line);
                     for (line, pre) in lines {
                         // A flushed-but-unfenced line independently survives
-                        // or reverts; an unflushed line always reverts.
-                        let survives = pending.contains(&line) && rng.next_u64() & 1 == 1;
-                        if !survives {
+                        // or reverts; an unflushed line always reverts. The
+                        // decision (and its RNG consumption order) is shared
+                        // with every backend via `faultsim`.
+                        if !torn_line_survives(&mut rng, pending.contains(&line)) {
                             let start = (line as usize) * line_size;
                             self.plane.write(start, &pre);
                         }
@@ -1136,7 +1234,7 @@ impl SimDevice {
                         let end = addr as usize + buf.len();
                         if end <= self.plane.len() {
                             for (i, chunk) in buf.chunks(8).enumerate() {
-                                if rng.next_u64() & 1 == 1 {
+                                if torn_word_survives(&mut rng) {
                                     let off = addr as usize + i * 8;
                                     self.plane.write(off, chunk);
                                 }
@@ -1151,6 +1249,14 @@ impl SimDevice {
         inner.inflight_write = None;
         let profile = &self.profile;
         inner.cache = LineCache::new(profile.cache_bytes, profile.line_size, profile.cache_ways);
+        // The crash made everything durable at its post-crash contents;
+        // push the resolved bytes of every touched line out to the mirror
+        // so the on-disk image genuinely tears the same way.
+        if let Some(mirror) = self.mirror.get() {
+            if !touched.is_empty() {
+                mirror.on_crash(&self.mirror_line_snapshots(&touched));
+            }
+        }
     }
 
     /// Set the semantics applied by subsequent [`crash`](Self::crash)
@@ -1266,6 +1372,9 @@ impl SimDevice {
     pub fn poke(&self, addr: Addr, bytes: &[u8]) {
         let _inner = self.lock();
         self.plane.write(addr as usize, bytes);
+        if let Some(mirror) = self.mirror.get() {
+            mirror.on_poke(addr, bytes);
+        }
     }
 }
 

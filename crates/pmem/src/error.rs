@@ -55,6 +55,16 @@ pub enum PmemError {
     /// configuration (the message says what was asked and why it cannot
     /// be served).
     Unsupported(String),
+    /// A file-backed operation failed at the OS level (open, read, write,
+    /// sync). Carries the stringified `std::io::Error` so the error type
+    /// stays `Clone + Eq` across the substrate.
+    Io(String),
+}
+
+impl From<std::io::Error> for PmemError {
+    fn from(e: std::io::Error) -> Self {
+        PmemError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for PmemError {
@@ -87,6 +97,7 @@ impl fmt::Display for PmemError {
                  transaction is open; commit, grow, then retry"
             ),
             PmemError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            PmemError::Io(msg) => write!(f, "pool file I/O failed: {msg}"),
         }
     }
 }

@@ -56,6 +56,36 @@ impl Prng {
     }
 }
 
+/// The torn-crash survival decision for one media line, shared between
+/// [`crate::SimDevice`]'s in-memory crash model and any backend that must
+/// reproduce the exact same crash state on other storage (the file-backed
+/// device tears the *on-disk* bytes with this).
+///
+/// A flushed-but-unfenced line independently survives (coin flip) or
+/// reverts; an unflushed line always reverts. The RNG is consumed **only**
+/// for flushed-pending lines — callers must preserve that short-circuit or
+/// identical seeds stop producing identical crash states across backends.
+#[inline]
+pub fn torn_line_survives(rng: &mut Prng, flushed_pending: bool) -> bool {
+    flushed_pending && rng.next_u64() & 1 == 1
+}
+
+/// The torn-crash decision for one 8-byte word of an interrupted store:
+/// each word independently reaches media or not (PMDK's atomicity floor).
+/// Drawn *after* every line decision of the same crash, from the same RNG.
+#[inline]
+pub fn torn_word_survives(rng: &mut Prng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+/// Failure-message context for a crash sweep: carries the torn seed (and
+/// the swept point) so a CI log line alone is enough to replay the exact
+/// crash state (`NTADOC_SWEEP_SEEDS=<seed>`). Interpolate it into every
+/// sweep panic/assert message.
+pub fn sweep_ctx(label: &str, seed: u64, point: u64) -> String {
+    format!("{label} [torn seed {seed}, point {point}; replay with NTADOC_SWEEP_SEEDS={seed}]")
+}
+
 /// Where in a workload's operation stream to inject the crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashPoint {
@@ -191,6 +221,35 @@ mod tests {
     #[should_panic(expected = "genuine bug")]
     fn real_panics_propagate() {
         let _ = run_with_crash_at(CrashPoint::Write(0), |_| {}, || {}, || panic!("genuine bug"));
+    }
+
+    #[test]
+    fn torn_line_decision_consumes_rng_only_when_pending() {
+        // The short-circuit is load-bearing: a non-pending line must not
+        // advance the RNG, or cross-backend replays of the same seed
+        // diverge. Interleave pending and non-pending queries and check
+        // the stream matches a reference that skips non-pending draws.
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        let pattern = [true, false, false, true, true, false, true];
+        for &pending in &pattern {
+            let got = torn_line_survives(&mut a, pending);
+            if pending {
+                assert_eq!(got, b.next_u64() & 1 == 1);
+            } else {
+                assert!(!got);
+            }
+        }
+        // Word decisions continue from the same stream position.
+        assert_eq!(torn_word_survives(&mut a), b.next_u64() & 1 == 1);
+    }
+
+    #[test]
+    fn sweep_ctx_carries_the_seed() {
+        let msg = sweep_ctx("phase-level diverged", 7, 12);
+        assert!(msg.contains("seed 7"), "{msg}");
+        assert!(msg.contains("NTADOC_SWEEP_SEEDS=7"), "{msg}");
+        assert!(msg.contains("point 12"), "{msg}");
     }
 
     #[test]

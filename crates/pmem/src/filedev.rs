@@ -1,0 +1,700 @@
+//! File-backed pool storage: a real on-disk image under the simulator.
+//!
+//! [`FileDevice`] persists the pool to an ordinary file while keeping a
+//! full [`SimDevice`] *twin* in memory. Every operation forwards to the
+//! twin — so the cost model, access statistics, crash decisions, and
+//! fault injection are byte-for-byte identical to a pure-sim run — and a
+//! [`DeviceMirror`] hook installed in the twin writes the durable image
+//! through to the file at exactly the moments the durable image changes:
+//!
+//! * **fence** — the lines whose flushes the fence retired are written to
+//!   the file at their current (now durable) contents, preserving the
+//!   write-through journal order the persistence protocols rely on;
+//! * **crash** — an injected crash resolves the torn-write coin flips in
+//!   the twin, then the post-crash bytes of every affected line are
+//!   pushed to the file, so the *on-disk* image genuinely tears: unfenced
+//!   lines revert, flushed-but-unfenced lines survive or revert per the
+//!   seeded coin, and the interrupted store lands as an arbitrary subset
+//!   of its 8-byte words;
+//! * **poke** — debug writes pass straight through.
+//!
+//! Unfenced stores therefore never reach the file at all — they live only
+//! in the twin, exactly as dirty cache lines live only in the CPU cache
+//! on real hardware. Reopening a file after a crash sees precisely what a
+//! real machine would find on its DIMMs after power loss.
+//!
+//! By default the file is **not** `fsync`ed on each fence: the crash
+//! model injects failures *above* the OS (the process keeps running and
+//! rereads the file it just wrote), so page-cache durability is not what
+//! the harness tests. [`FileDevice::create_with_fsync`] opts into real
+//! fsync-per-fence for measuring that cost.
+//!
+//! # File layout
+//!
+//! ```text
+//! [0..64)   header: magic "NTDCPOOL", version, line size, capacity,
+//!           main/scratch/log region lengths, flags, CRC-64 seal
+//! [64..)    pool bytes (sparse; holes read as zero)
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::backend::PmemBackend;
+use crate::device::{Addr, DeviceMirror, SimDevice};
+use crate::error::PmemError;
+use crate::persist::{crc64, TxLog, TxLogInspection};
+use crate::profile::DeviceProfile;
+use crate::stats::AccessStats;
+use crate::Result;
+
+/// Magic bytes opening every pool file.
+pub const POOL_MAGIC: [u8; 8] = *b"NTDCPOOL";
+
+/// Current pool-file format version.
+pub const POOL_VERSION: u32 = 1;
+
+/// Byte offset where pool data begins (header size).
+pub const POOL_DATA_AT: u64 = 64;
+
+/// Region lengths of a pool, recorded in the file header so a reopen can
+/// reconstruct the engine layout without re-deriving it from the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayout {
+    /// Total pool capacity in bytes.
+    pub capacity: u64,
+    /// Bytes of the main (DAG + results) region, starting at 0.
+    pub main_len: u64,
+    /// Bytes of the scratch region, at `main_len`.
+    pub scratch_len: u64,
+    /// Bytes of the undo-log region, at `main_len + scratch_len`.
+    pub log_len: u64,
+}
+
+impl PoolLayout {
+    /// Base address of the scratch region.
+    pub fn scratch_base(&self) -> u64 {
+        self.main_len
+    }
+
+    /// Base address of the undo-log region.
+    pub fn log_base(&self) -> u64 {
+        self.main_len + self.scratch_len
+    }
+}
+
+/// The fixed 64-byte header at the front of every pool file:
+/// magic (8) ‖ version (4) ‖ line_size (4) ‖ capacity (8) ‖ main_len (8)
+/// ‖ scratch_len (8) ‖ log_len (8) ‖ flags (8) ‖ crc64 of the first 56
+/// bytes (8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolHeader {
+    /// Format version ([`POOL_VERSION`]).
+    pub version: u32,
+    /// Media line size the pool was created with.
+    pub line_size: u32,
+    /// Region layout.
+    pub layout: PoolLayout,
+    /// Reserved flag bits (zero in version 1).
+    pub flags: u64,
+}
+
+impl PoolHeader {
+    /// Header for a fresh pool.
+    pub fn new(line_size: usize, layout: PoolLayout) -> Self {
+        PoolHeader { version: POOL_VERSION, line_size: line_size as u32, layout, flags: 0 }
+    }
+
+    /// Serialize to the on-disk form, sealing with CRC-64.
+    pub fn to_bytes(&self) -> [u8; POOL_DATA_AT as usize] {
+        let mut buf = [0u8; POOL_DATA_AT as usize];
+        buf[..8].copy_from_slice(&POOL_MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.line_size.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.layout.capacity.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.layout.main_len.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.layout.scratch_len.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.layout.log_len.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.flags.to_le_bytes());
+        let seal = crc64(&buf[..56]);
+        buf[56..64].copy_from_slice(&seal.to_le_bytes());
+        buf
+    }
+
+    /// Parse and validate an on-disk header: magic, CRC seal, version,
+    /// and internal layout consistency.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        if buf.len() < POOL_DATA_AT as usize {
+            return Err(PmemError::CorruptImage(format!(
+                "pool file too short for a header: {} bytes",
+                buf.len()
+            )));
+        }
+        if buf[..8] != POOL_MAGIC {
+            return Err(PmemError::CorruptImage("bad pool magic".into()));
+        }
+        let seal = u64::from_le_bytes(buf[56..64].try_into().expect("8 bytes"));
+        if seal != crc64(&buf[..56]) {
+            return Err(PmemError::CorruptImage("pool header CRC mismatch".into()));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        if version != POOL_VERSION {
+            return Err(PmemError::CorruptImage(format!(
+                "pool version {version} (supported: {POOL_VERSION})"
+            )));
+        }
+        let line_size = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+        let layout = PoolLayout {
+            capacity: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+            main_len: u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")),
+            scratch_len: u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes")),
+            log_len: u64::from_le_bytes(buf[40..48].try_into().expect("8 bytes")),
+        };
+        if line_size == 0 || !line_size.is_power_of_two() {
+            return Err(PmemError::CorruptImage(format!("pool line size {line_size} invalid")));
+        }
+        if layout.main_len + layout.scratch_len + layout.log_len != layout.capacity {
+            return Err(PmemError::CorruptImage(format!(
+                "pool regions {} + {} + {} do not sum to capacity {}",
+                layout.main_len, layout.scratch_len, layout.log_len, layout.capacity
+            )));
+        }
+        let flags = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes"));
+        Ok(PoolHeader { version, line_size, layout, flags })
+    }
+}
+
+/// The [`DeviceMirror`] that writes the twin's durable image through to
+/// the file. Hook methods run under the twin's state lock and cannot
+/// return errors; an I/O failure here means the backing file is gone
+/// mid-run, which is unrecoverable write-through loss — it panics with
+/// the underlying OS error rather than silently diverging from the twin.
+struct FileMirror {
+    file: Mutex<File>,
+    line_size: u64,
+    fsync_each_fence: bool,
+}
+
+impl FileMirror {
+    fn write_lines(&self, lines: &[(u64, Vec<u8>)], fsync: bool) {
+        let file = self.file.lock().expect("pool file lock");
+        for (line, bytes) in lines {
+            let at = POOL_DATA_AT + line * self.line_size;
+            if let Err(e) = file.write_all_at(bytes, at) {
+                panic!("pool file write-through failed at line {line}: {e}");
+            }
+        }
+        if fsync {
+            if let Err(e) = file.sync_data() {
+                panic!("pool file fsync failed: {e}");
+            }
+        }
+    }
+}
+
+impl DeviceMirror for FileMirror {
+    fn on_fence(&self, lines: &[(u64, Vec<u8>)]) {
+        self.write_lines(lines, self.fsync_each_fence);
+    }
+
+    fn on_crash(&self, lines: &[(u64, Vec<u8>)]) {
+        // The crash already resolved what survived; always push the torn
+        // image out (and sync it if syncing at all) so the on-disk state
+        // is exactly the post-crash state.
+        self.write_lines(lines, self.fsync_each_fence);
+    }
+
+    fn on_poke(&self, addr: Addr, bytes: &[u8]) {
+        let file = self.file.lock().expect("pool file lock");
+        if let Err(e) = file.write_all_at(bytes, POOL_DATA_AT + addr) {
+            panic!("pool file poke write failed at {addr:#x}: {e}");
+        }
+    }
+}
+
+/// A pool persisted to a real file, with a [`SimDevice`] twin carrying
+/// the cost model. See the module docs for the write-through contract.
+pub struct FileDevice {
+    twin: Arc<SimDevice>,
+    path: PathBuf,
+    header: PoolHeader,
+}
+
+impl FileDevice {
+    /// Create a fresh pool file at `path` (truncating any existing file)
+    /// and return the device over it. The twin starts zeroed, matching
+    /// the sparse data region.
+    pub fn create(path: &Path, profile: DeviceProfile, layout: PoolLayout) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, false)
+    }
+
+    /// [`create`](Self::create), but `fsync` the file on every fence —
+    /// real OS durability at real OS cost.
+    pub fn create_with_fsync(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+    ) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+        fsync_each_fence: bool,
+    ) -> Result<Arc<Self>> {
+        if !profile.kind.is_persistent() {
+            return Err(PmemError::Unsupported(format!(
+                "file-backed pools require a persistent profile; {} is volatile",
+                profile.name
+            )));
+        }
+        let header = PoolHeader::new(profile.line_size, layout);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all_at(&header.to_bytes(), 0)?;
+        // Sparse data region: holes read back as zeros, so a fresh pool
+        // needs no eager zero-fill even at multi-GiB capacities.
+        file.set_len(POOL_DATA_AT + layout.capacity)?;
+        file.sync_all()?;
+        let twin = Arc::new(SimDevice::new(profile, layout.capacity as usize));
+        let mirror = FileMirror {
+            file: Mutex::new(file),
+            line_size: twin.profile().line_size as u64,
+            fsync_each_fence,
+        };
+        twin.attach_mirror(Arc::new(mirror));
+        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header }))
+    }
+
+    /// Open an existing pool file: validate the header, load the on-disk
+    /// image into a fresh twin, and attach the write-through mirror.
+    ///
+    /// The header's recorded line size and capacity override the caller's
+    /// profile — the on-disk image was torn at *its* line granularity and
+    /// must keep being interpreted that way. A file shorter than the
+    /// header claims (e.g. truncated by a failure mid-grow) is tolerated:
+    /// the missing tail reads as zeros, exactly like a sparse hole.
+    pub fn open(path: &Path, profile: DeviceProfile) -> Result<Arc<Self>> {
+        Self::open_inner(path, profile, false)
+    }
+
+    fn open_inner(
+        path: &Path,
+        profile: DeviceProfile,
+        fsync_each_fence: bool,
+    ) -> Result<Arc<Self>> {
+        if !profile.kind.is_persistent() {
+            return Err(PmemError::Unsupported(format!(
+                "file-backed pools require a persistent profile; {} is volatile",
+                profile.name
+            )));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut head = [0u8; POOL_DATA_AT as usize];
+        read_exact_or_zero(&file, &mut head, 0)?;
+        let header = PoolHeader::from_bytes(&head)?;
+        let mut profile = profile;
+        profile.line_size = header.line_size as usize;
+        let twin = Arc::new(SimDevice::new(profile, header.layout.capacity as usize));
+        // Load the durable image into the twin *before* attaching the
+        // mirror, so the load itself is not echoed back into the file.
+        let mut buf = vec![0u8; 1 << 20];
+        let mut at = 0u64;
+        while at < header.layout.capacity {
+            let n = ((header.layout.capacity - at) as usize).min(buf.len());
+            read_exact_or_zero(&file, &mut buf[..n], POOL_DATA_AT + at)?;
+            twin.poke(at, &buf[..n]);
+            at += n as u64;
+        }
+        let mirror = FileMirror {
+            file: Mutex::new(file),
+            line_size: header.line_size as u64,
+            fsync_each_fence,
+        };
+        twin.attach_mirror(Arc::new(mirror));
+        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header }))
+    }
+
+    /// The in-memory cost-model twin. High-bandwidth consumers (pools,
+    /// DAG structures) talk to this directly; the mirror keeps the file
+    /// coherent underneath them.
+    pub fn twin(&self) -> &Arc<SimDevice> {
+        &self.twin
+    }
+
+    /// The validated pool header.
+    pub fn header(&self) -> &PoolHeader {
+        &self.header
+    }
+
+    /// Region layout recorded in the header.
+    pub fn layout(&self) -> PoolLayout {
+        self.header.layout
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cross-backend ground truth: re-read the *file's* data region and
+    /// compare it byte-for-byte against the twin's durable image. Returns
+    /// the first divergence as [`PmemError::CorruptImage`].
+    ///
+    /// Unfenced twin state is, by design, not in the file — call this
+    /// only at durability points (after a fence, a crash, or a reopen),
+    /// where twin and file must agree exactly.
+    pub fn verify_file_matches_device(&self) -> Result<()> {
+        let file = File::open(&self.path)?;
+        let capacity = self.header.layout.capacity;
+        let mut disk = vec![0u8; 1 << 20];
+        let mut at = 0u64;
+        while at < capacity {
+            let n = ((capacity - at) as usize).min(disk.len());
+            read_exact_or_zero(&file, &mut disk[..n], POOL_DATA_AT + at)?;
+            let mem = self.twin.peek(at, n);
+            if disk[..n] != mem[..] {
+                let off = disk[..n].iter().zip(&mem).position(|(a, b)| a != b).unwrap_or(0);
+                return Err(PmemError::CorruptImage(format!(
+                    "file and device diverge at {:#x}: file {:#04x} vs device {:#04x}",
+                    at + off as u64,
+                    disk[off],
+                    mem[off]
+                )));
+            }
+            at += n as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Read `buf.len()` bytes at `offset`, zero-filling past EOF (short or
+/// truncated files behave like sparse holes).
+fn read_exact_or_zero(file: &File, buf: &mut [u8], offset: u64) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read_at(&mut buf[filled..], offset + filled as u64) {
+            Ok(0) => {
+                buf[filled..].fill(0);
+                return Ok(());
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Everything forwards to the twin: costs, stats, crash decisions, and
+/// trip arming are identical to a pure-sim run by construction, which is
+/// what makes the sim/file cross-check meaningful.
+impl PmemBackend for FileDevice {
+    fn capacity(&self) -> u64 {
+        self.twin.capacity()
+    }
+
+    fn try_read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<()> {
+        self.twin.try_read_bytes(addr, buf)
+    }
+
+    fn try_write_bytes(&self, addr: Addr, buf: &[u8]) -> Result<()> {
+        self.twin.try_write_bytes(addr, buf)
+    }
+
+    fn flush(&self, addr: Addr, len: usize) {
+        self.twin.flush(addr, len)
+    }
+
+    fn fence(&self) {
+        self.twin.fence()
+    }
+
+    fn charge_ns(&self, ns: u64) {
+        self.twin.charge_ns(ns)
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.twin.stats()
+    }
+
+    fn note_log_bytes(&self, n: u64) {
+        // pub(crate) on the twin; forwarded so log amplification ledgers
+        // stay identical across backends.
+        crate::device::SimDevice::note_log_bytes(&self.twin, n)
+    }
+
+    fn crash(&self) {
+        self.twin.crash()
+    }
+
+    fn crash_torn(&self, seed: u64) {
+        self.twin.crash_torn(seed)
+    }
+
+    fn trip_after_writes(&self, n: u64) {
+        self.twin.trip_after_writes(n)
+    }
+
+    fn trip_after_persists(&self, n: u64) {
+        self.twin.trip_after_persists(n)
+    }
+
+    fn clear_trip(&self) {
+        self.twin.clear_trip()
+    }
+}
+
+/// What `fsck` found in a pool file; see [`fsck_pool`].
+#[derive(Debug, Clone)]
+pub struct FsckReport {
+    /// The validated header.
+    pub header: PoolHeader,
+    /// Actual length of the file on disk.
+    pub file_len: u64,
+    /// Whether the file is shorter than the header claims (tolerated:
+    /// the tail reads as zeros).
+    pub truncated: bool,
+    /// Undo-log state as left on media.
+    pub log: TxLogInspection,
+    /// `None` when the pool is recoverable; otherwise why it is not.
+    pub unrecoverable: Option<String>,
+}
+
+impl FsckReport {
+    /// Whether a reopen would recover this pool.
+    pub fn recoverable(&self) -> bool {
+        self.unrecoverable.is_none()
+    }
+}
+
+/// Offline pool-file check: validate the header seal, load the image
+/// read-only, and walk the undo log the way recovery would — without
+/// modifying the file. Header corruption is an error ([`PmemError`]);
+/// a *valid* file whose log is beyond repair yields `Ok` with
+/// [`FsckReport::unrecoverable`] set, so callers can report both facts.
+pub fn fsck_pool(path: &Path) -> Result<FsckReport> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut head = [0u8; POOL_DATA_AT as usize];
+    read_exact_or_zero(&file, &mut head, 0)?;
+    let header = PoolHeader::from_bytes(&head)?;
+    let layout = header.layout;
+    let truncated = file_len < POOL_DATA_AT + layout.capacity;
+    // Load the image into a plain twin (no mirror: fsck never writes).
+    let mut profile = DeviceProfile::nvm_optane();
+    profile.line_size = header.line_size as usize;
+    let twin = Arc::new(SimDevice::new(profile, layout.capacity as usize));
+    let mut buf = vec![0u8; 1 << 20];
+    let mut at = 0u64;
+    while at < layout.capacity {
+        let n = ((layout.capacity - at) as usize).min(buf.len());
+        read_exact_or_zero(&file, &mut buf[..n], POOL_DATA_AT + at)?;
+        twin.poke(at, &buf[..n]);
+        at += n as u64;
+    }
+    let (log, unrecoverable) = if layout.log_len == 0 {
+        (TxLogInspection { active_tx: 0, last_tx_id: 0, valid_entries: 0, undo_bytes: 0 }, None)
+    } else {
+        let tx = TxLog::new(twin, layout.log_base(), layout.log_len as usize);
+        match tx.inspect() {
+            Ok(log) => (log, None),
+            Err(e) => (
+                TxLogInspection { active_tx: 0, last_tx_id: 0, valid_entries: 0, undo_bytes: 0 },
+                Some(e.to_string()),
+            ),
+        }
+    };
+    Ok(FsckReport { header, file_len, truncated, log, unrecoverable })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ntadoc-filedev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn small_layout() -> PoolLayout {
+        PoolLayout {
+            capacity: 1 << 20,
+            main_len: (1 << 20) - (1 << 16) - 4096,
+            scratch_len: 4096,
+            log_len: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_corruption() {
+        let h = PoolHeader::new(256, small_layout());
+        let bytes = h.to_bytes();
+        assert_eq!(PoolHeader::from_bytes(&bytes).unwrap(), h);
+        let mut bad = bytes;
+        bad[20] ^= 0xFF; // capacity byte — CRC must catch it
+        assert!(matches!(PoolHeader::from_bytes(&bad), Err(PmemError::CorruptImage(_))));
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert!(matches!(PoolHeader::from_bytes(&bad_magic), Err(PmemError::CorruptImage(_))));
+    }
+
+    #[test]
+    fn unfenced_stores_stay_out_of_the_file() {
+        let path = tmp("unfenced.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        fd.twin().write_u64(0, 0xAA);
+        // Not flushed, not fenced: the file must still read zero.
+        let file = File::open(&path).unwrap();
+        let mut buf = [0u8; 8];
+        file.read_exact_at(&mut buf, POOL_DATA_AT).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0);
+        // Fence it through and the file catches up.
+        fd.twin().persist(0, 8);
+        file.read_exact_at(&mut buf, POOL_DATA_AT).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0xAA);
+        fd.verify_file_matches_device().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_clean_shutdown_restores_the_image() {
+        let path = tmp("reopen.pool");
+        {
+            let fd =
+                FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+            fd.twin().write_u64(4096, 123);
+            fd.twin().write_u64(4104, 456);
+            fd.twin().persist(4096, 16);
+        } // drop = process exit; only fenced state is in the file
+        let fd = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd.twin().read_u64(4096), 123);
+        assert_eq!(fd.twin().read_u64(4104), 456);
+        fd.verify_file_matches_device().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_tears_the_on_disk_bytes() {
+        let path = tmp("torn.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        let d = fd.twin();
+        d.write_u64(0, 7);
+        d.persist(0, 8);
+        d.write_u64(0, 99); // unfenced overwrite
+        d.crash_torn(42);
+        // Twin reverted to 7; the file must agree without a reopen.
+        assert_eq!(d.read_u64(0), 7);
+        fd.verify_file_matches_device().unwrap();
+        // And a reopen from the real bytes sees the same state.
+        drop(fd);
+        let fd2 = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd2.twin().read_u64(0), 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flushed_but_unfenced_lines_tear_identically_on_both_backends() {
+        // The same seed must resolve the same survivors in a pure sim run
+        // and in a file-backed run — and the file must hold exactly the
+        // torn image.
+        let layout = small_layout();
+        for seed in [1u64, 7, 42, 1337] {
+            let sim =
+                Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), layout.capacity as usize));
+            let path = tmp(&format!("xcheck-{seed}.pool"));
+            let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), layout).unwrap();
+            for dev in [&sim, fd.twin()] {
+                for i in 0..16u64 {
+                    dev.write_u64(i * 256, i + 1); // one store per line
+                }
+                for i in 0..8u64 {
+                    dev.flush(i * 256, 8); // flush half, fence none
+                }
+                dev.crash_torn(seed);
+            }
+            for i in 0..16u64 {
+                assert_eq!(
+                    sim.read_u64(i * 256),
+                    fd.twin().read_u64(i * 256),
+                    "seed {seed} line {i}: sim and file twin diverge"
+                );
+            }
+            fd.verify_file_matches_device().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn fsck_reports_clean_and_interrupted_pools() {
+        let path = tmp("fsck.pool");
+        let layout = small_layout();
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), layout).unwrap();
+        let backend: Arc<dyn PmemBackend> = fd.clone();
+        let mut tx = TxLog::new(backend, layout.log_base(), layout.log_len as usize);
+        // Clean pool first.
+        let report = fsck_pool(&path).unwrap();
+        assert!(report.recoverable());
+        assert!(!report.log.needs_rollback());
+        // Open a transaction, log a range, crash mid-flight.
+        fd.twin().write_u64(0, 1);
+        fd.twin().persist(0, 8);
+        tx.begin().unwrap();
+        tx.log_range(0, 8).unwrap();
+        fd.twin().write_u64(0, 2);
+        fd.twin().persist(0, 8);
+        fd.crash_torn(7);
+        let report = fsck_pool(&path).unwrap();
+        assert!(report.recoverable());
+        assert!(report.log.needs_rollback(), "active tx must be visible in the file");
+        assert_eq!(report.log.valid_entries, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsck_rejects_a_smashed_header() {
+        let path = tmp("fsck-bad.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        drop(fd);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.write_all_at(&[0xFF; 8], 16).unwrap(); // smash capacity field
+        drop(file);
+        assert!(matches!(fsck_pool(&path), Err(PmemError::CorruptImage(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_zero_extends_on_open() {
+        let path = tmp("trunc.pool");
+        let layout = small_layout();
+        {
+            let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), layout).unwrap();
+            fd.twin().write_u64(0, 5);
+            fd.twin().write_u64(layout.capacity - 8, 9);
+            fd.twin().persist(0, 8);
+            fd.twin().persist(layout.capacity - 8, 8);
+        }
+        // Chop the file mid-image (e.g. a failure while growing the pool).
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(POOL_DATA_AT + layout.capacity / 2).unwrap();
+        drop(file);
+        let fd = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd.twin().read_u64(0), 5, "pre-truncation data survives");
+        assert_eq!(fd.twin().read_u64(layout.capacity - 8), 0, "chopped tail reads as zeros");
+        let report = fsck_pool(&path).unwrap();
+        assert!(report.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn volatile_profiles_are_rejected() {
+        let path = tmp("volatile.pool");
+        let err = FileDevice::create(&path, DeviceProfile::dram(), small_layout());
+        assert!(matches!(err, Err(PmemError::Unsupported(_))));
+    }
+}

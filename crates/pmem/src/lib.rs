@@ -39,10 +39,12 @@
 //! ```
 
 pub mod alloc;
+pub mod backend;
 pub mod cache;
 pub mod device;
 pub mod error;
 pub mod faultsim;
+pub mod filedev;
 pub mod json;
 pub mod ledger;
 pub mod obs;
@@ -53,18 +55,24 @@ pub mod profile;
 pub mod stats;
 
 pub use alloc::PmemPool;
+pub use backend::PmemBackend;
 pub use device::{
-    with_deferred_charges, Addr, CrashMode, DeferredCharges, ReadShardStats, SimDevice,
-    CRASH_PANIC, READ_SHARDS,
+    with_deferred_charges, Addr, CrashMode, DeferredCharges, DeviceMirror, ReadShardStats,
+    SimDevice, CRASH_PANIC, READ_SHARDS,
 };
 pub use error::PmemError;
 pub use faultsim::{
-    panic_is_injected_crash, run_with_crash_at, CrashPoint, CrashRun, Prng, SweepOutcome,
+    panic_is_injected_crash, run_with_crash_at, sweep_ctx, torn_line_survives, torn_word_survives,
+    CrashPoint, CrashRun, Prng, SweepOutcome,
+};
+pub use filedev::{
+    fsck_pool, FileDevice, FsckReport, PoolHeader, PoolLayout, POOL_DATA_AT, POOL_MAGIC,
+    POOL_VERSION,
 };
 pub use json::{Json, JsonError};
 pub use ledger::AllocLedger;
 pub use obs::{MetricRegistry, MetricValue, MetricsSnapshot, Obs, SpanNode};
-pub use persist::{crc64, PhasePersist, TxLog};
+pub use persist::{crc64, PhasePersist, TxLog, TxLogInspection};
 pub use pod::Pod;
 pub use profile::{DeviceKind, DeviceProfile};
 pub use stats::AccessStats;

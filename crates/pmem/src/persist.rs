@@ -32,7 +32,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use crate::device::{Addr, SimDevice};
+use crate::backend::PmemBackend;
+use crate::device::Addr;
 use crate::error::PmemError;
 use crate::Result;
 
@@ -84,8 +85,11 @@ fn entry_crc(tx_id: u64, addr: u64, len: u64, pre: &[u8]) -> u64 {
 }
 
 /// Undo-log transactions for operation-level persistence.
+///
+/// Generic over the storage backend: the same protocol runs against the
+/// in-memory simulator and the file-backed device (see [`PmemBackend`]).
 pub struct TxLog {
-    dev: Arc<SimDevice>,
+    dev: Arc<dyn PmemBackend>,
     log_base: Addr,
     log_capacity: usize,
     /// Write offset within the log region (valid while active).
@@ -107,7 +111,7 @@ pub struct TxLog {
 impl TxLog {
     /// Create a transaction log over `[log_base, log_base+log_capacity)`.
     /// The region must not overlap application data.
-    pub fn new(dev: Arc<SimDevice>, log_base: Addr, log_capacity: usize) -> Self {
+    pub fn new(dev: Arc<dyn PmemBackend>, log_base: Addr, log_capacity: usize) -> Self {
         assert!(log_capacity >= LOG_HEADER as usize + ENTRY_OVERHEAD, "log region too small");
         TxLog {
             dev,
@@ -246,6 +250,24 @@ impl TxLog {
         Ok(true)
     }
 
+    /// Read-only examination of the log region as left on media: what
+    /// [`recover`](Self::recover) *would* do, without applying anything.
+    /// This is what `fsck` reports. Returns [`PmemError::CorruptImage`]
+    /// when a sealed entry targets an impossible range — the one state
+    /// recovery cannot repair.
+    pub fn inspect(&self) -> Result<TxLogInspection> {
+        let active_tx = self.dev.try_read_u64(self.log_base)?;
+        let last_tx_id = self.dev.try_read_u64(self.log_base + 8)?;
+        let (valid_entries, undo_bytes) = if active_tx == 0 {
+            (0, 0)
+        } else {
+            let valid = self.scan_valid_entries(active_tx)?;
+            let bytes = valid.iter().map(|&(_, _, len)| len as u64).sum();
+            (valid.len(), bytes)
+        };
+        Ok(TxLogInspection { active_tx, last_tx_id, valid_entries, undo_bytes })
+    }
+
     /// Forward-walk the log, returning `(offset, addr, len)` for every
     /// entry whose seal validates against `tx_id`, stopping at the first
     /// that does not.
@@ -303,17 +325,38 @@ impl TxLog {
     }
 }
 
+/// What a read-only walk of the undo-log region found; see
+/// [`TxLog::inspect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxLogInspection {
+    /// Id of the transaction open at the crash (0 = log is clean).
+    pub active_tx: u64,
+    /// Last durably allocated transaction id.
+    pub last_tx_id: u64,
+    /// Sealed entries that validate and would roll back on recovery.
+    pub valid_entries: usize,
+    /// Total pre-image bytes those entries would restore.
+    pub undo_bytes: u64,
+}
+
+impl TxLogInspection {
+    /// Whether recovery has work to do (an interrupted transaction).
+    pub fn needs_rollback(&self) -> bool {
+        self.active_tx != 0
+    }
+}
+
 /// Phase-level persistence: plain stores during a phase, wholesale flush at
 /// the phase boundary.
 pub struct PhasePersist {
-    dev: Arc<SimDevice>,
+    dev: Arc<dyn PmemBackend>,
     /// Regions registered for end-of-phase flushing.
     regions: Vec<(Addr, usize)>,
 }
 
 impl PhasePersist {
     /// New phase-level persister for `dev`.
-    pub fn new(dev: Arc<SimDevice>) -> Self {
+    pub fn new(dev: Arc<dyn PmemBackend>) -> Self {
         PhasePersist { dev, regions: Vec::new() }
     }
 
@@ -360,6 +403,7 @@ impl PhasePersist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::SimDevice;
     use crate::profile::DeviceProfile;
 
     fn dev() -> Arc<SimDevice> {

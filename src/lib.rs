@@ -5,8 +5,8 @@
 
 pub use ntadoc::{
     ingest_corpus, Engine, EngineBuilder, EngineConfig, IngestOptions, IngestReport,
-    OutputMismatch, Persistence, RetryPolicy, RunReport, ServeSession, Task, TaskOutput, Traversal,
-    UncompressedEngine, UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
+    OutputMismatch, Persistence, RetryPolicy, RunReport, ServeSession, Session, Task, TaskOutput,
+    Traversal, UncompressedEngine, UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
     METRIC_HIT_RATE, METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
@@ -16,8 +16,10 @@ pub use ntadoc_grammar::{
     MergeOptions, Symbol, TokenizerConfig,
 };
 pub use ntadoc_pmem::{
-    crc64, panic_is_injected_crash, run_with_crash_at, AllocLedger, CrashMode, CrashPoint,
-    CrashRun, DeviceKind, DeviceProfile, Json, JsonError, MetricRegistry, MetricValue,
-    MetricsSnapshot, Obs, PhasePersist, PmemError, PmemPool, Prng, SimDevice, SpanNode,
-    SweepOutcome, TxLog, CRASH_PANIC,
+    crc64, fsck_pool, panic_is_injected_crash, run_with_crash_at, sweep_ctx, torn_line_survives,
+    torn_word_survives, AllocLedger, CrashMode, CrashPoint, CrashRun, DeviceKind, DeviceMirror,
+    DeviceProfile, FileDevice, FsckReport, Json, JsonError, MetricRegistry, MetricValue,
+    MetricsSnapshot, Obs, PhasePersist, PmemBackend, PmemError, PmemPool, PoolHeader, PoolLayout,
+    Prng, SimDevice, SpanNode, SweepOutcome, TxLog, TxLogInspection, CRASH_PANIC, POOL_DATA_AT,
+    POOL_MAGIC, POOL_VERSION,
 };

@@ -12,13 +12,55 @@
 //! `NTADOC_SWEEP_SEEDS=3,5,8` (the CI crash-sweep job pins one seed per
 //! matrix entry). `NTADOC_SWEEP_STRIDE=n` sweeps every n-th point for a
 //! cheaper smoke pass; the default sweeps all of them.
+//! `NTADOC_SWEEP_BACKEND=sim|file|both` selects whether crash states are
+//! enumerated on the in-memory simulator, on a real file-backed pool
+//! (where the torn bytes land on disk), or both (the default). In the
+//! default both-backend mode the file pass samples every 8th point to
+//! keep the suite's debug-build runtime close to the sim-only cost; an
+//! *explicit* `NTADOC_SWEEP_BACKEND` honors `NTADOC_SWEEP_STRIDE`
+//! verbatim, which is how the CI matrix sweeps the file backend at every
+//! persist point.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use ntadoc_repro::{
-    compress_corpus, panic_is_injected_crash, Compressed, Engine, EngineConfig, Prng, SweepOutcome,
-    Task, TaskOutput, TokenizerConfig,
+    compress_corpus, panic_is_injected_crash, sweep_ctx, Compressed, Engine, EngineConfig, Prng,
+    Session, SweepOutcome, Task, TaskOutput, TokenizerConfig,
 };
+
+/// Which storage backend a sweep enumerates crash states on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Backend {
+    /// In-memory simulator only.
+    Sim,
+    /// Real file-backed pool: the injected crash tears bytes on disk.
+    File,
+}
+
+fn sweep_backends() -> Vec<Backend> {
+    match std::env::var("NTADOC_SWEEP_BACKEND").as_deref() {
+        Ok("sim") => vec![Backend::Sim],
+        Ok("file") => vec![Backend::File],
+        _ => vec![Backend::Sim, Backend::File],
+    }
+}
+
+/// Fresh per-process pool path; callers remove it when done.
+fn tmp_pool(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ntadoc-sweep-{}-{name}.ntdp", std::process::id()))
+}
+
+/// Open a session on the chosen backend (file pools are recreated).
+fn session_on(engine: &Engine, task: Task, backend: Backend, pool: &PathBuf) -> Session {
+    match backend {
+        Backend::Sim => engine.session(task).unwrap(),
+        Backend::File => {
+            let _ = std::fs::remove_file(pool);
+            engine.open_pool(pool, task).unwrap()
+        }
+    }
+}
 
 fn corpus() -> Compressed {
     let files = vec![
@@ -59,32 +101,40 @@ fn count_traversal_persist_points(comp: &Compressed, cfg: &EngineConfig, task: T
 
 /// Crash at the `point`-th traversal persist point under a torn model,
 /// recover, re-traverse, and return the converged output (None if the
-/// workload finished before the armed point fired).
+/// workload finished before the armed point fired). On the file backend
+/// the torn bytes land in the pool file, and the durable on-disk image is
+/// asserted byte-identical to the simulator twin before recovery runs.
+#[allow(clippy::too_many_arguments)]
 fn crash_recover_at_persist_point(
     comp: &Compressed,
     cfg: &EngineConfig,
     task: Task,
     point: u64,
     seed: u64,
+    label: &str,
+    backend: Backend,
+    pool: &PathBuf,
 ) -> Option<TaskOutput> {
+    let ctx = sweep_ctx(label, seed, point);
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
-    let mut session = engine.session(task).unwrap();
+    let mut session = session_on(&engine, task, backend, pool);
     session.device().trip_after_persists(point);
     let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
     session.device().clear_trip();
     match attempt {
         Ok(Ok(_)) => return None, // finished before the armed point
-        Ok(Err(e)) => panic!("point {point}: unexpected engine error {e}"),
+        Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
         Err(payload) => {
-            assert!(
-                panic_is_injected_crash(&*payload),
-                "point {point}: a non-injected panic escaped"
-            );
+            assert!(panic_is_injected_crash(&*payload), "{ctx}: a non-injected panic escaped");
         }
     }
     session.crash_torn(seed ^ point);
-    session.recover().unwrap_or_else(|e| panic!("point {point}: recovery failed: {e}"));
-    Some(session.traverse().unwrap_or_else(|e| panic!("point {point}: re-run failed: {e}")))
+    if let Some(file) = session.file_backend() {
+        file.verify_file_matches_device()
+            .unwrap_or_else(|e| panic!("{ctx}: torn on-disk image diverged from the twin: {e}"));
+    }
+    session.recover().unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    Some(session.traverse().unwrap_or_else(|e| panic!("{ctx}: re-run failed: {e}")))
 }
 
 /// The full sweep for one persistence strategy.
@@ -92,7 +142,8 @@ fn sweep_strategy(cfg: &EngineConfig, label: &str) {
     sweep_strategy_over(&corpus(), cfg, label);
 }
 
-/// The full sweep for one persistence strategy over a given corpus.
+/// The full sweep for one persistence strategy over a given corpus, on
+/// every backend `NTADOC_SWEEP_BACKEND` selects.
 fn sweep_strategy_over(comp: &Compressed, cfg: &EngineConfig, label: &str) {
     let comp = comp.clone();
     let task = Task::WordCount;
@@ -102,26 +153,41 @@ fn sweep_strategy_over(comp: &Compressed, cfg: &EngineConfig, label: &str) {
     let total = count_traversal_persist_points(&comp, cfg, task);
     assert!(total > 0, "{label}: traversal must issue persist points");
     let stride = sweep_stride();
-    for seed in sweep_seeds() {
-        let mut outcome = SweepOutcome::default();
-        let mut point = 0;
-        while point < total {
-            match crash_recover_at_persist_point(&comp, cfg, task, point, seed) {
-                Some(out) => {
-                    assert_eq!(
-                        out, clean,
-                        "{label}: seed {seed} point {point}/{total} diverged after recovery"
-                    );
-                    outcome.converged += 1;
+    let backend_explicit = std::env::var("NTADOC_SWEEP_BACKEND").is_ok();
+    for backend in sweep_backends() {
+        // File sessions replay the whole trace per point against a real
+        // file; in the implicit both-backend mode, sample that pass.
+        let stride = match backend {
+            Backend::File if !backend_explicit => stride * 8,
+            _ => stride,
+        };
+        let pool = tmp_pool(label);
+        for seed in sweep_seeds() {
+            let mut outcome = SweepOutcome::default();
+            let mut point = 0;
+            while point < total {
+                match crash_recover_at_persist_point(
+                    &comp, cfg, task, point, seed, label, backend, &pool,
+                ) {
+                    Some(out) => {
+                        assert_eq!(
+                            out,
+                            clean,
+                            "{}: diverged after recovery on {backend:?}",
+                            sweep_ctx(label, seed, point)
+                        );
+                        outcome.converged += 1;
+                    }
+                    None => outcome.completed_early += 1,
                 }
-                None => outcome.completed_early += 1,
+                point += stride;
             }
-            point += stride;
+            assert!(
+                outcome.converged > 0,
+                "{label} [{backend:?}]: seed {seed}: no crash actually fired across {total} points"
+            );
         }
-        assert!(
-            outcome.converged > 0,
-            "{label}: seed {seed}: no crash actually fired across {total} points"
-        );
+        let _ = std::fs::remove_file(&pool);
     }
 }
 
@@ -186,19 +252,24 @@ fn random_mid_write_crash_points_converge_with_torn_stores() {
                 session.device().trip_after_writes(trip);
                 let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
                 session.device().clear_trip();
+                let ctx = sweep_ctx("mid-write", seed, trip);
                 match attempt {
                     Ok(Ok(out)) => {
-                        assert_eq!(out, clean, "write trip {trip}: completed run differs");
+                        assert_eq!(out, clean, "{ctx}: completed run differs");
                         continue;
                     }
-                    Ok(Err(e)) => panic!("write trip {trip}: unexpected engine error {e}"),
-                    Err(payload) => assert!(panic_is_injected_crash(&*payload)),
+                    Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
+                    Err(payload) => assert!(
+                        panic_is_injected_crash(&*payload),
+                        "{ctx}: a non-injected panic escaped"
+                    ),
                 }
                 fired += 1;
                 session.crash_torn(seed.wrapping_add(trip));
-                session.recover().unwrap();
-                let recovered = session.traverse().unwrap();
-                assert_eq!(recovered, clean, "seed {seed} write trip {trip} diverged");
+                session.recover().unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+                let recovered =
+                    session.traverse().unwrap_or_else(|e| panic!("{ctx}: re-run failed: {e}"));
+                assert_eq!(recovered, clean, "{ctx}: diverged");
             }
             assert!(fired > 0, "seed {seed}: no mid-write crash fired");
         }
@@ -223,17 +294,22 @@ fn repeated_crashes_at_the_same_point_still_converge() {
             let mut session = engine.session(Task::WordCount).unwrap();
             let mut crashes = 0u32;
             for round in 0..2u64 {
+                let torn_seed = 0xBAD5EED ^ point ^ (round << 32);
+                let ctx = sweep_ctx("repeated-crash", torn_seed, point);
                 session.device().trip_after_persists(point);
                 let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
                 session.device().clear_trip();
                 match attempt {
                     Ok(Ok(_)) => break, // finished before the point this round
-                    Ok(Err(e)) => panic!("point {point} round {round}: {e}"),
-                    Err(payload) => assert!(panic_is_injected_crash(&*payload)),
+                    Ok(Err(e)) => panic!("{ctx} round {round}: {e}"),
+                    Err(payload) => assert!(
+                        panic_is_injected_crash(&*payload),
+                        "{ctx} round {round}: a non-injected panic escaped"
+                    ),
                 }
                 crashes += 1;
-                session.crash_torn(0xBAD5EED ^ point ^ (round << 32));
-                session.recover().unwrap();
+                session.crash_torn(torn_seed);
+                session.recover().unwrap_or_else(|e| panic!("{ctx} round {round}: {e}"));
             }
             assert!(crashes > 0, "point {point}: no crash fired");
             assert_eq!(
@@ -242,5 +318,129 @@ fn repeated_crashes_at_the_same_point_still_converge() {
                 "point {point}: diverged after {crashes} crash(es)"
             );
         }
+    }
+}
+
+/// Compare two devices' full durable content byte-for-byte.
+fn assert_planes_identical(
+    sim: &ntadoc_repro::SimDevice,
+    twin: &ntadoc_repro::SimDevice,
+    ctx: &str,
+) {
+    assert_eq!(sim.capacity(), twin.capacity(), "{ctx}: pool capacities differ");
+    let cap = sim.capacity();
+    let chunk = 1usize << 20;
+    let mut at = 0u64;
+    while at < cap {
+        let len = chunk.min((cap - at) as usize);
+        assert_eq!(
+            sim.peek(at, len),
+            twin.peek(at, len),
+            "{ctx}: pool contents diverge in [{at}, {})",
+            at + len as u64
+        );
+        at += len as u64;
+    }
+}
+
+/// The cross-backend identity check the file backend is designed around:
+/// the same logical trace on the in-memory simulator and on a file-backed
+/// pool must crash identically (same trip firing), tear identically (the
+/// durable post-crash pools are byte-identical, and the *on-disk* bytes
+/// match them), recover to the same output, and charge the same virtual
+/// time at every stage. A final reopen from nothing but the torn file
+/// must also converge.
+#[test]
+fn sim_and_file_backends_agree_at_every_crash_point() {
+    let comp = corpus();
+    let task = Task::WordCount;
+    for (cfg, label) in
+        [(EngineConfig::ntadoc(), "xcheck-phase"), (EngineConfig::ntadoc_oplevel(), "xcheck-op")]
+    {
+        let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        let total = count_traversal_persist_points(&comp, &cfg, task);
+        assert!(total > 0, "{label}: traversal must issue persist points");
+        let pool = tmp_pool(label);
+        let seed = sweep_seeds()[0];
+        // A handful of points spread across the stream; the exhaustive
+        // per-backend sweeps above cover every point.
+        for point in [0, total / 3, total / 2, total - 1] {
+            let ctx = sweep_ctx(label, seed, point);
+            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+            let mut sim = session_on(&engine, task, Backend::Sim, &pool);
+            let mut file = session_on(&engine, task, Backend::File, &pool);
+
+            let mut fired = [false; 2];
+            for (i, s) in [&mut sim, &mut file].into_iter().enumerate() {
+                s.device().trip_after_persists(point);
+                let attempt = catch_unwind(AssertUnwindSafe(|| s.traverse()));
+                s.device().clear_trip();
+                match attempt {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
+                    Err(payload) => {
+                        assert!(
+                            panic_is_injected_crash(&*payload),
+                            "{ctx}: a non-injected panic escaped"
+                        );
+                        fired[i] = true;
+                    }
+                }
+            }
+            assert_eq!(fired[0], fired[1], "{ctx}: backends disagree on whether a crash fired");
+            assert_eq!(
+                sim.device().stats().virtual_ns,
+                file.device().stats().virtual_ns,
+                "{ctx}: virtual clocks diverge before the crash"
+            );
+            if !fired[0] {
+                continue;
+            }
+
+            // Identical torn decisions → byte-identical durable pools,
+            // and the real file carries exactly those bytes.
+            sim.crash_torn(seed ^ point);
+            file.crash_torn(seed ^ point);
+            assert_planes_identical(sim.device(), file.device(), &ctx);
+            file.file_backend()
+                .expect("file-backed session")
+                .verify_file_matches_device()
+                .unwrap_or_else(|e| panic!("{ctx}: on-disk bytes diverged from the twin: {e}"));
+
+            // Identical recovery outcome and cost.
+            sim.recover().unwrap_or_else(|e| panic!("{ctx}: sim recovery failed: {e}"));
+            file.recover().unwrap_or_else(|e| panic!("{ctx}: file recovery failed: {e}"));
+            let sim_out = sim.traverse().unwrap_or_else(|e| panic!("{ctx}: sim re-run: {e}"));
+            let file_out = file.traverse().unwrap_or_else(|e| panic!("{ctx}: file re-run: {e}"));
+            assert_eq!(sim_out, clean, "{ctx}: sim recovery diverged");
+            assert_eq!(file_out, clean, "{ctx}: file recovery diverged");
+            assert_eq!(
+                sim.device().stats().virtual_ns,
+                file.device().stats().virtual_ns,
+                "{ctx}: virtual clocks diverge after recovery"
+            );
+            drop(file);
+
+            // Recovery from nothing but the torn on-disk bytes: recreate
+            // the crash state, drop the session, reopen, and converge.
+            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+            let mut doomed = session_on(&engine, task, Backend::File, &pool);
+            doomed.device().trip_after_persists(point);
+            let attempt = catch_unwind(AssertUnwindSafe(|| doomed.traverse()));
+            doomed.device().clear_trip();
+            assert!(attempt.is_err(), "{ctx}: crash did not refire on a fresh session");
+            doomed.crash_torn(seed ^ point);
+            drop(doomed);
+            let mut reopened = engine
+                .open_pool(&pool, task)
+                .unwrap_or_else(|e| panic!("{ctx}: reopen-recovery failed: {e}"));
+            assert_eq!(
+                reopened.traverse().unwrap_or_else(|e| panic!("{ctx}: reopened re-run: {e}")),
+                clean,
+                "{ctx}: reopened pool diverged"
+            );
+        }
+        let _ = std::fs::remove_file(&pool);
     }
 }

@@ -1,0 +1,188 @@
+//! File-backed pool lifecycle: create, clean shutdown, reopen, torn-commit
+//! recovery, header validation, truncation robustness, and `fsck`.
+//!
+//! Everything here goes through `Engine::open_pool`, so the pool files on
+//! disk are the real product of the engine's init/traversal path — the
+//! tests then corrupt, truncate, or tear those files and assert the
+//! reopen path behaves exactly as §IV-E recovery promises.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use ntadoc_repro::{
+    compress_corpus, fsck_pool, panic_is_injected_crash, Compressed, DeviceProfile, Engine,
+    EngineConfig, PmemError, Task, TokenizerConfig, POOL_DATA_AT,
+};
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "one two three one two four five one".repeat(15)),
+        ("b".to_string(), "one two three six seven two".repeat(15)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+fn tmp_pool(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ntadoc-poolfile-{}-{name}.ntdp", std::process::id()))
+}
+
+fn engine(cfg: EngineConfig) -> Engine {
+    Engine::builder(corpus()).config(cfg).build().unwrap()
+}
+
+#[test]
+fn create_run_and_reopen_after_clean_shutdown_agree() {
+    let pool = tmp_pool("clean");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine(EngineConfig::ntadoc());
+
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    assert!(session.file_backend().is_some(), "open_pool must attach a file backend");
+    let first = session.traverse().unwrap();
+    let first_ns = session.device().stats().virtual_ns;
+    drop(session);
+    assert!(pool.exists(), "the pool file must persist past the session");
+
+    // Reopen: header is validated, the durable image loads, init re-runs
+    // deterministically — same output, same virtual cost as a fresh run.
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    let second = session.traverse().unwrap();
+    assert_eq!(first, second, "reopened pool diverged from the original run");
+    assert_eq!(
+        first_ns,
+        session.device().stats().virtual_ns,
+        "reopen changed the virtual cost of an identical run"
+    );
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn in_memory_sessions_have_no_file_backend() {
+    let eng = engine(EngineConfig::ntadoc());
+    let session = eng.session(Task::WordCount).unwrap();
+    assert!(session.file_backend().is_none());
+}
+
+#[test]
+fn open_pool_rejects_volatile_profiles() {
+    let pool = tmp_pool("volatile");
+    let _ = std::fs::remove_file(&pool);
+    let eng = Engine::builder(corpus())
+        .config(EngineConfig::ntadoc())
+        .profile(DeviceProfile::dram())
+        .build()
+        .unwrap();
+    match eng.open_pool(&pool, Task::WordCount) {
+        Err(PmemError::Unsupported(_)) => {}
+        Err(e) => panic!("expected Unsupported for a volatile profile, got {e}"),
+        Ok(_) => panic!("a volatile profile must not open a file-backed pool"),
+    }
+    assert!(!pool.exists(), "a rejected open must not leave a file behind");
+}
+
+#[test]
+fn reopen_after_torn_commit_rolls_back_and_converges() {
+    let pool = tmp_pool("torn");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine(EngineConfig::ntadoc_oplevel());
+    let mut clean_engine = engine(EngineConfig::ntadoc_oplevel());
+    let clean = clean_engine.run(Task::WordCount).unwrap();
+
+    // Crash mid-traversal with an open undo-log transaction, tear the
+    // on-disk bytes, and abandon the session entirely.
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    session.device().trip_after_persists(40);
+    let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+    session.device().clear_trip();
+    let payload = attempt.expect_err("the armed crash must fire");
+    assert!(panic_is_injected_crash(&*payload));
+    session.crash_torn(0xDEADD0C);
+    session.file_backend().unwrap().verify_file_matches_device().unwrap();
+    drop(session);
+    drop(eng);
+
+    // fsck sees the open transaction before recovery touches the file.
+    let report = fsck_pool(&pool).unwrap();
+    assert!(report.recoverable(), "a torn pool must still be recoverable");
+
+    // A brand-new engine reopens from nothing but the torn file: the
+    // undo log rolls the open transaction back, init re-runs, and the
+    // output converges to the crash-free result.
+    let eng = engine(EngineConfig::ntadoc_oplevel());
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    assert_eq!(session.traverse().unwrap(), clean, "torn-commit recovery diverged");
+
+    // After the clean re-run the log is quiescent again.
+    drop(session);
+    let report = fsck_pool(&pool).unwrap();
+    assert!(!report.log.needs_rollback(), "recovered pool still reports an open transaction");
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn corrupt_headers_are_rejected_not_misread() {
+    let pool = tmp_pool("header");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine(EngineConfig::ntadoc());
+    drop(eng.open_pool(&pool, Task::WordCount).unwrap());
+
+    // Flip one byte inside the sealed header region.
+    let mut bytes = std::fs::read(&pool).unwrap();
+    bytes[12] ^= 0xFF;
+    std::fs::write(&pool, &bytes).unwrap();
+    assert!(eng.open_pool(&pool, Task::WordCount).is_err(), "corrupt header must not open");
+    assert!(fsck_pool(&pool).is_err(), "fsck must reject a corrupt header");
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn truncated_pools_zero_extend_and_fsck_reports_it() {
+    let pool = tmp_pool("trunc");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine(EngineConfig::ntadoc());
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    let out = session.traverse().unwrap();
+    drop(session);
+
+    // Chop the file mid-data (simulating an interrupted copy or a hole
+    // at the tail); the header stays intact.
+    let full = std::fs::metadata(&pool).unwrap().len();
+    let cut = POOL_DATA_AT + (full - POOL_DATA_AT) / 3;
+    let f = std::fs::OpenOptions::new().write(true).open(&pool).unwrap();
+    f.set_len(cut).unwrap();
+    drop(f);
+
+    let report = fsck_pool(&pool).unwrap();
+    assert!(report.truncated, "fsck must flag the short file");
+    assert_eq!(report.file_len, cut);
+
+    // Reopen zero-extends the missing tail and the deterministic init
+    // rebuilds everything the truncation destroyed.
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    assert_eq!(session.traverse().unwrap(), out, "truncated pool diverged after reopen");
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn capacity_doubling_recreates_the_pool_file() {
+    // An engine whose first capacity estimate is too small must retry
+    // with a bigger file, and the final file's header must carry the
+    // capacity that actually fit (not the failed first guess).
+    let pool = tmp_pool("doubling");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine(EngineConfig::ntadoc());
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    session.traverse().unwrap();
+    let file = session.file_backend().unwrap();
+    assert_eq!(
+        file.header().layout.capacity,
+        file.twin().capacity(),
+        "header capacity must match the device the session actually ran on"
+    );
+    assert_eq!(
+        std::fs::metadata(&pool).unwrap().len(),
+        POOL_DATA_AT + file.header().layout.capacity,
+        "file length must cover header + full data region"
+    );
+    let _ = std::fs::remove_file(&pool);
+}

@@ -342,3 +342,139 @@ proptest! {
         }
     }
 }
+
+// File-backed pools are more expensive per case (each creates, tears, and
+// reopens a real file), so this block runs fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn txlog_recovery_round_trips_identically_on_both_backends(
+        writes in vec((0u64..64, 1u64..1000), 1..24),
+        crash_after in 0usize..24,
+        seed in 0u64..10000,
+    ) {
+        use ntadoc_repro::{FileDevice, PmemBackend, PoolLayout, TxLog};
+        let layout = PoolLayout {
+            capacity: 1 << 16,
+            main_len: (1 << 16) - 8192,
+            scratch_len: 4096,
+            log_len: 4096,
+        };
+        let path = std::env::temp_dir()
+            .join(format!("ntadoc-prop-txlog-{}.ntdp", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sim_dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
+        let sim: Arc<dyn PmemBackend> = sim_dev.clone();
+        let file_dev = FileDevice::create(&path, DeviceProfile::nvm_optane(), layout).unwrap();
+        let file: Arc<dyn PmemBackend> = file_dev.clone();
+        let mut sim_log =
+            TxLog::new(sim.clone(), layout.log_base(), layout.log_len as usize);
+        let mut file_log =
+            TxLog::new(file.clone(), layout.log_base(), layout.log_len as usize);
+
+        // Identical transactional trace on both backends; the tx at
+        // `crash_at` is torn open instead of committed.
+        let crash_at = crash_after % writes.len();
+        for (i, (slot, val)) in writes.iter().enumerate() {
+            let addr = (slot % 64) * 8;
+            for (log, dev) in [(&mut sim_log, &sim), (&mut file_log, &file)] {
+                log.begin().unwrap();
+                log.log_range(addr, 8).unwrap();
+                dev.write_u64(addr, *val);
+                if i != crash_at {
+                    log.commit().unwrap();
+                }
+            }
+            if i == crash_at {
+                break;
+            }
+        }
+        sim.crash_torn(seed);
+        file.crash_torn(seed);
+        // The torn on-disk bytes must match the file's twin exactly…
+        file_dev.verify_file_matches_device().unwrap();
+        // …and both backends must have torn identically.
+        prop_assert_eq!(
+            sim_dev.peek(0, 1 << 16),
+            file_dev.twin().peek(0, 1 << 16),
+            "post-crash pools diverge (torn seed {})", seed
+        );
+
+        // Recovery rolls the open transaction back the same way on both.
+        sim_log.recover().unwrap();
+        file_log.recover().unwrap();
+        prop_assert_eq!(
+            sim_dev.peek(0, 1 << 16),
+            file_dev.twin().peek(0, 1 << 16),
+            "post-recovery pools diverge (torn seed {})", seed
+        );
+        prop_assert_eq!(sim.stats().virtual_ns, file.stats().virtual_ns);
+
+        // Reopening from nothing but the file reaches the same state, and
+        // a second recovery pass is a no-op (recovery is idempotent).
+        drop(file_log);
+        drop(file);
+        drop(file_dev);
+        let reopened = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        let backend: Arc<dyn PmemBackend> = reopened.clone();
+        let mut log = TxLog::new(backend, layout.log_base(), layout.log_len as usize);
+        log.recover().unwrap();
+        prop_assert_eq!(
+            sim_dev.peek(0, 1 << 16),
+            reopened.twin().peek(0, 1 << 16),
+            "reopened pool diverges from the sim (torn seed {})", seed
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_pools_round_trip_and_recover_on_arbitrary_corpora(
+        files in corpus_strategy(),
+        point in 0u64..200,
+        seed in 0u64..10000,
+    ) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use ntadoc_repro::panic_is_injected_crash;
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        if comp.grammar.stats().expanded_words == 0 {
+            return Ok(());
+        }
+        let path = std::env::temp_dir()
+            .join(format!("ntadoc-prop-pool-{}.ntdp", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = EngineConfig::ntadoc_oplevel();
+        let mut clean_engine =
+            Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+        let clean = clean_engine.run(Task::WordCount).unwrap();
+        let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+
+        // Create + run + clean shutdown.
+        let mut session = engine.open_pool(&path, Task::WordCount).unwrap();
+        prop_assert_eq!(&session.traverse().unwrap(), &clean);
+        drop(session);
+
+        // Reopen after clean shutdown: the checksummed header validates
+        // and the deterministic re-init converges.
+        let mut session = engine.open_pool(&path, Task::WordCount).unwrap();
+        prop_assert_eq!(&session.traverse().unwrap(), &clean);
+
+        // Tear an arbitrary persist point (if the workload reaches it)
+        // and recover from nothing but the on-disk bytes.
+        session.device().trip_after_persists(point);
+        let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+        session.device().clear_trip();
+        if let Err(payload) = attempt {
+            prop_assert!(
+                panic_is_injected_crash(&*payload),
+                "a non-injected panic escaped (torn seed {})", seed
+            );
+            session.crash_torn(seed);
+            session.file_backend().unwrap().verify_file_matches_device().unwrap();
+            drop(session);
+            let mut session = engine.open_pool(&path, Task::WordCount).unwrap();
+            prop_assert_eq!(&session.traverse().unwrap(), &clean);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
