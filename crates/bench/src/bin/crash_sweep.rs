@@ -55,9 +55,9 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> Strategy
     // Count the traversal's persist points once.
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = engine.session(task).unwrap();
-    let before = session.device().stats();
+    let before = session.sim_device().stats();
     session.traverse().unwrap();
-    let total = session.device().stats().since(&before).persist_points();
+    let total = session.sim_device().stats().since(&before).persist_points();
 
     let stride = (total / MAX_POINTS_PER_SEED).max(1);
     if stride > 1 {
@@ -70,9 +70,9 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> Strategy
         for point in (0..total).step_by(stride as usize) {
             let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
             let mut session = engine.session(task).unwrap();
-            session.device().trip_after_persists(point);
+            session.sim_device().trip_after_persists(point);
             let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-            session.device().clear_trip();
+            session.sim_device().clear_trip();
             match attempt {
                 Ok(Ok(_)) => {
                     completed_early += 1;
@@ -84,12 +84,12 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> Strategy
                     "{label} point {point}: non-injected panic"
                 ),
             }
-            let before = session.device().stats();
+            let before = session.sim_device().stats();
             session.crash_torn(seed ^ point);
             session.recover().expect("recovery");
             let out = session.traverse().expect("post-recovery traversal");
             assert_eq!(out, clean, "{label} seed {seed} point {point}: diverged");
-            recovery_ns.push(session.device().stats().since(&before).virtual_ns as f64);
+            recovery_ns.push(session.sim_device().stats().since(&before).virtual_ns as f64);
             converged += 1;
         }
     }
@@ -110,9 +110,9 @@ fn mid_write_sample(comp: &Compressed, cfg: &EngineConfig, samples: u64) -> (u64
     let clean = clean_engine.run(task).unwrap();
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = engine.session(task).unwrap();
-    let before = session.device().stats();
+    let before = session.sim_device().stats();
     session.traverse().unwrap();
-    let writes = session.device().stats().since(&before).writes;
+    let writes = session.sim_device().stats().since(&before).writes;
 
     let mut fired = 0u64;
     let mut converged = 0u64;
@@ -122,9 +122,9 @@ fn mid_write_sample(comp: &Compressed, cfg: &EngineConfig, samples: u64) -> (u64
             let trip = rng.next_below(writes);
             let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
             let mut session = engine.session(task).unwrap();
-            session.device().trip_after_writes(trip);
+            session.sim_device().trip_after_writes(trip);
             let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-            session.device().clear_trip();
+            session.sim_device().clear_trip();
             match attempt {
                 Ok(_) => continue,
                 Err(payload) => assert!(panic_is_injected_crash(&*payload)),

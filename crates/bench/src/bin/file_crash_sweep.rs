@@ -61,7 +61,7 @@ fn clean_run(comp: &Compressed, cfg: &EngineConfig, pool: &Path) -> (TaskOutput,
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = engine.open_pool(pool, Task::WordCount).unwrap();
     let out = session.traverse().unwrap();
-    let ns = session.device().stats().virtual_ns;
+    let ns = session.sim_device().stats().virtual_ns;
     let _ = std::fs::remove_file(pool);
     (out, ns)
 }
@@ -77,9 +77,9 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> FileSwee
     let _ = std::fs::remove_file(&probe_pool);
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = engine.open_pool(&probe_pool, task).unwrap();
-    let before = session.device().stats();
+    let before = session.sim_device().stats();
     session.traverse().unwrap();
-    let total = session.device().stats().since(&before).persist_points();
+    let total = session.sim_device().stats().since(&before).persist_points();
     drop(session);
     let _ = std::fs::remove_file(&probe_pool);
 
@@ -100,9 +100,9 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> FileSwee
             let _ = std::fs::remove_file(&pool);
             let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
             let mut session = engine.open_pool(&pool, task).unwrap();
-            session.device().trip_after_persists(point);
+            session.sim_device().trip_after_persists(point);
             let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-            session.device().clear_trip();
+            session.sim_device().clear_trip();
             match attempt {
                 Ok(Ok(_)) => {
                     completed_early += 1;
@@ -118,7 +118,7 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> FileSwee
             // matches the simulator twin's post-crash plane.
             session.crash_torn(seed ^ point);
             session
-                .file_backend()
+                .pool_file()
                 .expect("file-backed session")
                 .verify_file_matches_device()
                 .unwrap_or_else(|e| panic!("{ctx}: torn file diverged from twin: {e}"));
@@ -132,7 +132,7 @@ fn sweep(comp: &Compressed, cfg: &EngineConfig, label: &'static str) -> FileSwee
                 .open_pool(&pool, task)
                 .unwrap_or_else(|e| panic!("{ctx}: reopen-recovery failed: {e}"));
             reopen_wall.push(wall.elapsed().as_nanos() as f64);
-            reopen_virtual.push(session.device().stats().virtual_ns as f64);
+            reopen_virtual.push(session.sim_device().stats().virtual_ns as f64);
             let out =
                 session.traverse().unwrap_or_else(|e| panic!("{ctx}: post-recovery re-run: {e}"));
             assert_eq!(out, clean, "{ctx}: recovered run diverged from the crash-free result");

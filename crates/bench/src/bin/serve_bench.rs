@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use ntadoc::{Engine, EngineConfig, Task, TaskOutput};
+use ntadoc::{Engine, EngineConfig, Query, Task, TaskOutput, TenantId};
 use ntadoc_bench::Emitter;
 use ntadoc_datagen::{generate_compressed, DatasetSpec};
 use ntadoc_pmem::{par, Json};
@@ -58,10 +58,17 @@ fn main() {
         let mut base_tps = 0.0;
         let mut base_virtual = 0;
         for &threads in &THREAD_COUNTS {
-            let v0 = serve.device().stats().virtual_ns;
+            let queries: Vec<Query> =
+                batch.iter().map(|&t| Query::new(TenantId::default(), t)).collect();
+            let v0 = serve.sim_device().stats().virtual_ns;
             let (outs, wall) = par::with_threads(threads, || {
                 let t = Instant::now();
-                let outs = serve.run_tasks(batch).unwrap();
+                let outs: Vec<TaskOutput> = serve
+                    .run_queries(&queries)
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| r.into_output())
+                    .collect();
                 (outs, t.elapsed())
             });
             for (out, &task) in outs.iter().zip(batch.iter()) {
@@ -75,7 +82,7 @@ fn main() {
             }
             // The session's virtual clock is cumulative across batches;
             // the per-batch delta is what must be schedule-independent.
-            let virtual_ns = serve.device().stats().virtual_ns - v0;
+            let virtual_ns = serve.sim_device().stats().virtual_ns - v0;
             let tps = batch.len() as f64 / wall.as_secs_f64();
             if threads == 1 {
                 base_tps = tps;

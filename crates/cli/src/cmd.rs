@@ -23,6 +23,9 @@ pub const USAGE: &str = "usage:
   ntadoc extract <corpus.ntdc> <file#> <offset> <len>
   ntadoc decompress <corpus.ntdc> [-d <outdir>]
   ntadoc fsck <pool.ntdp>...
+  ntadoc serve <corpus.ntdc> --socket <path> [--quota N] [--cache N] [--max-batch N]
+  ntadoc query --socket <path> <task> [--tenant N] [--top K] [--file F]
+  ntadoc query --socket <path> --shutdown
 
 tasks: wordcount | sort | termvector | invertedindex | sequencecount | rankedindex";
 
@@ -38,6 +41,8 @@ pub fn dispatch(args: &[String]) -> CmdResult {
         Some("extract") => extract(&args[1..]),
         Some("decompress") => decompress(&args[1..]),
         Some("fsck") => fsck(&args[1..]),
+        Some("serve") => crate::serve::serve(&args[1..]),
+        Some("query") => crate::serve::query(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -96,7 +101,7 @@ fn collect_inputs(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-fn load_corpus(path: &str) -> Result<Compressed, String> {
+pub(crate) fn load_corpus(path: &str) -> Result<Compressed, String> {
     let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     deserialize_compressed(&bytes).map_err(|e| format!("{path}: {e}"))
 }
@@ -346,7 +351,7 @@ fn search(args: &[String]) -> CmdResult {
         .build()
         .map_err(|e| e.to_string())?;
     let out = engine.run(Task::InvertedIndex).map_err(|e| e.to_string())?;
-    let index = out.inverted_index().expect("inverted index output");
+    let index = out.as_inverted_index().expect("inverted index output");
     for w in words {
         let q = w.to_lowercase();
         match index.get(&q) {

@@ -14,6 +14,7 @@
 //! tree, metric snapshot, access stats — as JSON).
 
 mod cmd;
+mod serve;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,341 @@
+//! `ntadoc serve` / `ntadoc query` — the multi-tenant daemon over a Unix
+//! socket.
+//!
+//! The wire protocol is line-delimited JSON, one request and one response
+//! per line:
+//!
+//! ```text
+//! → {"op":"query","task":"wordcount","tenant":3,"top":10}
+//! ← {"ok":true,"cache_hit":false,"snapshot":…,"task":"word count","output":{…}}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"shutdown":true}
+//! ```
+//!
+//! Admission rejections come back typed (`"kind":"quota_exceeded"` /
+//! `"queue_full"`), never as dropped connections. The socket front-end
+//! serves interactively (each request dispatches immediately, batch of
+//! one, through the shared snapshot-keyed cache); cross-tenant batch
+//! formation is exercised by the `serve_load` harness and the daemon's
+//! trace API, which this command shares all state machinery with.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+use ntadoc::{Engine, EngineConfig, Query, TenantId};
+use ntadoc_pmem::Json;
+use ntadoc_serve::{DaemonConfig, QueryDaemon, ServeError};
+
+use crate::cmd::{load_corpus, parse_task};
+
+type CmdResult = Result<(), String>;
+
+/// `ntadoc serve <corpus.ntdc> --socket <path> [--quota N] [--cache N]
+/// [--max-batch N]`: build the engine once, then answer queries on the
+/// socket until a shutdown request arrives.
+pub fn serve(args: &[String]) -> CmdResult {
+    let mut corpus = None;
+    let mut socket = None;
+    let mut cfg = DaemonConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.get(i + 1).ok_or("--socket needs a path")?));
+                i += 2;
+            }
+            "--quota" => {
+                cfg.tenant_quota = parse_num(args.get(i + 1), "--quota")?;
+                i += 2;
+            }
+            "--cache" => {
+                cfg.cache_capacity = parse_num(args.get(i + 1), "--cache")?;
+                i += 2;
+            }
+            "--max-batch" => {
+                cfg.max_batch = parse_num::<usize>(args.get(i + 1), "--max-batch")?.max(1);
+                i += 2;
+            }
+            p if corpus.is_none() => {
+                corpus = Some(p.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let corpus = corpus.ok_or("serve needs a corpus path")?;
+    let socket = socket.ok_or("serve needs --socket <path>")?;
+    let comp = load_corpus(&corpus)?;
+    let engine = Engine::builder(comp)
+        .config(EngineConfig::ntadoc())
+        .label("serve")
+        .build()
+        .map_err(|e| e.to_string())?;
+    let daemon = QueryDaemon::new(engine.serve().map_err(|e| e.to_string())?, cfg);
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    eprintln!(
+        "[serve] corpus {corpus} (snapshot {:#018x}) on {}",
+        daemon.snapshot_version(),
+        socket.display()
+    );
+    let result = serve_loop(&listener, daemon);
+    let _ = std::fs::remove_file(&socket);
+    result
+}
+
+/// Accept-loop: one connection at a time, one request per line. Returns
+/// after a shutdown request. Separated from [`serve`] so tests can drive
+/// it over a socketpair without spawning a process.
+pub fn serve_loop(listener: &UnixListener, mut daemon: QueryDaemon) -> CmdResult {
+    for stream in listener.incoming() {
+        let mut stream = stream.map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        for line in reader.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (reply, shutdown) = handle_request(&mut daemon, &line);
+            writeln!(stream, "{}", reply.compact()).map_err(|e| e.to_string())?;
+            if shutdown {
+                eprintln!(
+                    "[serve] shutdown after {} batches, cache hit rate {:.3}",
+                    daemon.batches_dispatched(),
+                    daemon.cache_hit_rate()
+                );
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode one request line, execute it, encode the response. The bool is
+/// the shutdown flag.
+fn handle_request(daemon: &mut QueryDaemon, line: &str) -> (Json, bool) {
+    let req = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => return (error_reply("bad_request", &format!("unparseable request: {e}")), false),
+    };
+    match req.get("op").and_then(Json::as_str) {
+        Some("shutdown") => {
+            (Json::object([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]), true)
+        }
+        Some("query") => {
+            let task = match req.get("task").and_then(Json::as_str).map(parse_task) {
+                Some(Ok(t)) => t,
+                Some(Err(e)) => return (error_reply("bad_request", &e), false),
+                None => return (error_reply("bad_request", "query needs a task"), false),
+            };
+            let tenant = TenantId(req.get("tenant").and_then(Json::as_u64).unwrap_or(0) as u32);
+            let mut query = Query::new(tenant, task);
+            if let Some(k) = req.get("top").and_then(Json::as_u64) {
+                query = query.top_k(k as usize);
+            }
+            if let Some(f) = req.get("file").and_then(Json::as_str) {
+                query = query.file_filter(f);
+            }
+            match daemon.execute(query) {
+                Ok(resp) => (
+                    Json::object([
+                        ("ok", Json::Bool(true)),
+                        ("cache_hit", Json::Bool(resp.cache_hit)),
+                        ("snapshot", Json::U64(resp.snapshot)),
+                        ("tenant", Json::U64(resp.tenant.0 as u64)),
+                        ("task", Json::from(resp.task.to_string())),
+                        ("output", resp.output().to_json()),
+                    ]),
+                    false,
+                ),
+                Err(e) => {
+                    let kind = match &e {
+                        ServeError::QuotaExceeded { .. } => "quota_exceeded",
+                        ServeError::QueueFull { .. } => "queue_full",
+                        ServeError::Engine(_) => "engine",
+                    };
+                    (error_reply(kind, &e.to_string()), false)
+                }
+            }
+        }
+        _ => (error_reply("bad_request", "op must be \"query\" or \"shutdown\""), false),
+    }
+}
+
+fn error_reply(kind: &str, message: &str) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("kind", Json::from(kind)),
+        ("error", Json::from(message)),
+    ])
+}
+
+/// `ntadoc query --socket <path> <task> [--tenant N] [--top K] [--file F]`
+/// or `ntadoc query --socket <path> --shutdown`: send one request to a
+/// running daemon and print the response.
+pub fn query(args: &[String]) -> CmdResult {
+    let mut socket = None;
+    let mut task = None;
+    let mut tenant = 0u64;
+    let mut top: Option<u64> = None;
+    let mut file: Option<String> = None;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.get(i + 1).ok_or("--socket needs a path")?));
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = parse_num(args.get(i + 1), "--tenant")?;
+                i += 2;
+            }
+            "--top" => {
+                top = Some(parse_num(args.get(i + 1), "--top")?);
+                i += 2;
+            }
+            "--file" => {
+                file = Some(args.get(i + 1).ok_or("--file needs a name")?.clone());
+                i += 2;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            t if task.is_none() && !t.starts_with('-') => {
+                task = Some(t.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("query needs --socket <path>")?;
+    let request = if shutdown {
+        Json::object([("op", Json::from("shutdown"))])
+    } else {
+        let task = task.ok_or("query needs a task (or --shutdown)")?;
+        parse_task(&task)?; // validate locally for a friendlier error
+        let mut pairs = vec![
+            ("op", Json::from("query")),
+            ("task", Json::from(task)),
+            ("tenant", Json::U64(tenant)),
+        ];
+        if let Some(k) = top {
+            pairs.push(("top", Json::U64(k)));
+        }
+        if let Some(f) = file {
+            pairs.push(("file", Json::from(f)));
+        }
+        Json::object(pairs)
+    };
+    let reply = roundtrip(&socket, &request)?;
+    match reply.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            if let Some(hit) = reply.get("cache_hit").and_then(Json::as_bool) {
+                eprintln!("[query] cache {}", if hit { "HIT (zero lines read)" } else { "miss" });
+            }
+            match reply.get("output") {
+                Some(out) => println!("{}", out.pretty()),
+                None => println!("{}", reply.pretty()),
+            }
+            Ok(())
+        }
+        _ => {
+            let kind = reply.get("kind").and_then(Json::as_str).unwrap_or("error");
+            let msg = reply.get("error").and_then(Json::as_str).unwrap_or("malformed reply");
+            Err(format!("{kind}: {msg}"))
+        }
+    }
+}
+
+/// Send one request line, read one response line.
+fn roundtrip(socket: &Path, request: &Json) -> Result<Json, String> {
+    let mut stream =
+        UnixStream::connect(socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    writeln!(stream, "{}", request.compact()).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    Json::parse(line.trim()).map_err(|e| format!("malformed reply: {e}"))
+}
+
+fn parse_num<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    arg.ok_or(format!("{flag} needs a number"))?.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc_grammar::{CorpusBuilder, TokenizerConfig};
+
+    fn test_daemon() -> QueryDaemon {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_file("a.txt".to_string(), "to be or not to be that is the question");
+        b.add_file("b.txt".to_string(), "to be sure the answer is out there");
+        let engine = Engine::builder(b.finish()).config(EngineConfig::ntadoc()).build().unwrap();
+        QueryDaemon::new(engine.serve().unwrap(), DaemonConfig::default())
+    }
+
+    #[test]
+    fn handle_request_serves_and_caches() {
+        let mut d = test_daemon();
+        let (cold, stop) =
+            handle_request(&mut d, r#"{"op":"query","task":"wordcount","tenant":1,"top":3}"#);
+        assert!(!stop);
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+        let counts = cold.get("output").unwrap();
+        assert_eq!(counts.get("to").and_then(Json::as_u64), Some(3));
+
+        let (warm, _) =
+            handle_request(&mut d, r#"{"op":"query","task":"wordcount","tenant":2,"top":3}"#);
+        assert_eq!(warm.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(warm.get("output").unwrap(), counts, "hit must be byte-identical");
+    }
+
+    #[test]
+    fn handle_request_rejects_garbage_and_unknown_ops() {
+        let mut d = test_daemon();
+        let (bad, stop) = handle_request(&mut d, "{not json");
+        assert!(!stop);
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        let (unknown, _) = handle_request(&mut d, r#"{"op":"reticulate"}"#);
+        assert_eq!(unknown.get("kind").and_then(Json::as_str), Some("bad_request"));
+        let (no_task, _) = handle_request(&mut d, r#"{"op":"query"}"#);
+        assert_eq!(no_task.get("kind").and_then(Json::as_str), Some("bad_request"));
+    }
+
+    #[test]
+    fn socket_round_trip_and_shutdown() {
+        let dir = std::env::temp_dir().join(format!("ntadoc-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("d.sock");
+        let _ = std::fs::remove_file(&sock);
+        let listener = UnixListener::bind(&sock).unwrap();
+        let daemon = test_daemon();
+        let server = std::thread::spawn(move || serve_loop(&listener, daemon));
+
+        let req = Json::object([
+            ("op", Json::from("query")),
+            ("task", Json::from("invertedindex")),
+            ("file", Json::from("a.txt")),
+        ]);
+        let reply = roundtrip(&sock, &req).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        let output = reply.get("output").unwrap();
+        // `question` appears only in a.txt; the filter keeps it.
+        assert!(output.get("question").is_some());
+        // `answer` appears only in b.txt; the filter drops its posting.
+        assert!(output.get("answer").is_none());
+
+        let bye = roundtrip(&sock, &Json::object([("op", Json::from("shutdown"))])).unwrap();
+        assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,9 +23,11 @@
 //! path for unabsorbed media errors.
 //!
 //! Beyond one-shot runs, [`Engine::serve`] initializes once and keeps the
-//! DAG pool resident; [`ServeSession::run_tasks`] then executes batches of
-//! read-only analytics tasks concurrently against it, joining their device
-//! time deterministically (see `ntadoc_pmem::par`).
+//! DAG pool resident; [`ServeSession::run_queries`] then executes batches
+//! of read-only typed queries concurrently against it, joining their
+//! device time deterministically (see `ntadoc_pmem::par`). The
+//! multi-tenant front-end (batch formation, admission control, result
+//! caching) lives above this in the `ntadoc-serve` crate.
 
 mod tasks;
 
@@ -47,6 +49,7 @@ use ntadoc_pmem::{
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
 use crate::ingest::{ingest_corpus, IngestOptions, IngestReport};
+use crate::query::{snapshot_fingerprint, Query, QueryResponse, TenantId};
 use crate::report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
@@ -69,6 +72,20 @@ const LOG_BYTES: usize = 4 << 20;
 /// carries no extra information here.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Largest exponent the media-retry backoff ever applies: beyond
+/// 2^16 × write-back latency (a few milliseconds of virtual settle time)
+/// more waiting buys nothing, and an uncapped `<<` would quietly shift
+/// the charge past 64 bits.
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// Virtual settle time charged before media-retry `attempt` (1-based):
+/// exponential in the attempt number, capped at [`MAX_BACKOFF_SHIFT`]
+/// doublings, and saturating so no profile/attempt combination can wrap
+/// the virtual clock silently.
+fn backoff_ns(write_back_ns: u64, attempt: u32) -> u64 {
+    write_back_ns.saturating_mul(1u64 << attempt.min(MAX_BACKOFF_SHIFT))
 }
 
 /// What [`Engine::run`] does when a traversal fails with an unabsorbed
@@ -256,6 +273,7 @@ impl EngineBuilder {
         // Accounted without materializing the image (it is streamed from
         // disk at init; the engine only needs its size).
         let image_bytes = serialized_len(&comp) as u64;
+        let snapshot = snapshot_fingerprint(&comp);
         Ok(Engine {
             comp,
             cfg,
@@ -265,6 +283,7 @@ impl EngineBuilder {
             trace,
             image_bytes,
             plan,
+            snapshot,
             ingest_report,
             last_report: None,
         })
@@ -283,6 +302,9 @@ pub struct Engine {
     image_bytes: u64,
     /// Host-side grammar statistics used for capacity planning only.
     plan: CapacityPlan,
+    /// Deterministic corpus fingerprint ([`snapshot_fingerprint`]) — the
+    /// grammar snapshot version that keys serve-layer result caches.
+    snapshot: u64,
     /// Measurement record of the ingest pipeline, when this engine was
     /// built from raw files.
     ingest_report: Option<IngestReport>,
@@ -379,6 +401,14 @@ impl Engine {
         self.retry
     }
 
+    /// The grammar snapshot version: a deterministic fingerprint of the
+    /// compressed corpus ([`snapshot_fingerprint`]). Result caches key on
+    /// `(snapshot version, query)`; two engines over the same corpus
+    /// agree on it, and any corpus change moves it.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot
+    }
+
     /// Measurement record of the ingest pipeline ([`IngestReport`]), when
     /// this engine was built from raw files via
     /// [`Engine::builder_from_files`]; `None` for engines built from an
@@ -404,13 +434,13 @@ impl Engine {
 
     fn try_run(&mut self, task: Task, capacity: usize) -> Result<TaskOutput> {
         let mut session = self.session_with_capacity(task, capacity, false)?;
-        let out = session.execute()?;
+        let out = session.run_query(&Query::new(TenantId::default(), task))?;
         self.last_report = Some(session.report());
-        Ok(out)
+        Ok(out.into_output())
     }
 
     /// Run only the initialization phase, returning the live [`Session`].
-    /// [`Session::execute`] then runs the traversal phase under the
+    /// [`Session::run_query`] then runs the traversal phase under the
     /// engine's retry policy (crash tests drive [`Session::traverse`] and
     /// [`Session::recover`] directly instead).
     pub fn session(&self, task: Task) -> Result<Session> {
@@ -419,8 +449,8 @@ impl Engine {
 
     /// Build-once/serve-many mode: run the initialization phase once,
     /// keeping the DAG pool and its per-rule word-list caches resident,
-    /// and return a handle that executes batches of read-only tasks
-    /// concurrently against them ([`ServeSession::run_tasks`]).
+    /// and return a handle that executes batches of read-only queries
+    /// concurrently against them ([`ServeSession::run_queries`]).
     ///
     /// Serving requires the pruned configuration: the read-only task paths
     /// are merges over the §IV-B per-rule word-list caches. Sequence tasks
@@ -608,12 +638,18 @@ impl Engine {
             _ => None,
         };
 
+        let backend_dyn: Arc<dyn PmemBackend> = match &backend {
+            Some(file) => file.clone(),
+            None => dev.clone(),
+        };
         let mut session = Session {
             comp: self.comp.clone(),
             cfg: self.cfg.clone(),
             task,
             dev,
             backend,
+            backend_dyn,
+            snapshot: self.snapshot,
             ledger,
             pool,
             scratch_base,
@@ -725,6 +761,12 @@ pub struct Session {
     /// [`Engine::open_pool`]; `None` for purely in-memory sessions. `dev`
     /// is always its twin, so consumers need no indirection.
     backend: Option<Arc<FileDevice>>,
+    /// The session's storage backend behind the object-safe trait: the
+    /// file device when one is attached, the simulator otherwise (what
+    /// [`Session::backend`] hands out).
+    backend_dyn: Arc<dyn PmemBackend>,
+    /// Grammar snapshot version of the corpus this session serves.
+    snapshot: u64,
     pub(crate) ledger: Arc<AllocLedger>,
     pub(crate) pool: Arc<PmemPool>,
     scratch_base: u64,
@@ -959,15 +1001,26 @@ impl Session {
         Ok(())
     }
 
-    /// The graph-traversal phase under the engine's [`RetryPolicy`]: the
-    /// unified entry point for an initialized session.
-    pub fn execute(&mut self) -> Result<TaskOutput> {
+    /// Run one typed [`Query`] through the graph-traversal phase under
+    /// the engine's [`RetryPolicy`]: the unified entry point for an
+    /// initialized session. The query's task must be the task this
+    /// session was initialized for; result shaping (`top_k`,
+    /// `file_filter`) is applied host-side after the traversal.
+    pub fn run_query(&mut self, query: &Query) -> Result<QueryResponse> {
+        query.validate()?;
+        if query.task != self.task {
+            return Err(PmemError::Unsupported(format!(
+                "session was initialized for '{}', not '{}' — open a session per task \
+                 or use a ServeSession",
+                self.task, query.task
+            )));
+        }
         let max = match self.retry {
             RetryPolicy::Fail => 0,
             RetryPolicy::MediaRetries(n) => n,
         };
         let mut attempts = 0u32;
-        loop {
+        let out = loop {
             match self.traverse() {
                 Err(PmemError::MediaError { .. }) if attempts < max => {
                     // Phase re-run: a successful rewrite re-programs the
@@ -978,13 +1031,27 @@ impl Session {
                     // Bounded exponential backoff, charged to the virtual
                     // clock: transient media faults get geometrically more
                     // settle time per retry, deterministically.
-                    self.dev.charge_ns(self.dev.profile().write_back_ns() << attempts.min(16));
+                    self.dev.charge_ns(backoff_ns(self.dev.profile().write_back_ns(), attempts));
                     self.obs.metrics.counter_add(METRIC_MEDIA_RETRIES, 1);
                     self.recover()?;
                 }
-                other => return other,
+                other => break other?,
             }
-        }
+        };
+        Ok(QueryResponse {
+            tenant: query.tenant,
+            task: query.task,
+            output: Arc::new(query.key().apply(out)),
+            cache_hit: false,
+            snapshot: self.snapshot,
+        })
+    }
+
+    /// The graph-traversal phase under the engine's [`RetryPolicy`].
+    #[deprecated(since = "0.1.0", note = "use `run_query` with a typed `Query`")]
+    pub fn execute(&mut self) -> Result<TaskOutput> {
+        let task = self.task;
+        self.run_query(&Query::new(TenantId::default(), task)).map(QueryResponse::into_output)
     }
 
     /// The graph-traversal phase, one attempt, recorded as a
@@ -1095,17 +1162,49 @@ impl Session {
         }
     }
 
-    /// The session's device (stats inspection, fault injection in tests).
-    /// For file-backed sessions this is the cost-model twin of the pool
-    /// file — same stats, same crash behavior.
-    pub fn device(&self) -> &Arc<SimDevice> {
+    /// The session's storage backend behind the object-safe
+    /// [`PmemBackend`] trait: the file device when this session came from
+    /// [`Engine::open_pool`], the simulator otherwise. The one accessor
+    /// that suffices for everything on the trait (stats, crash/trip
+    /// injection, capacity, raw reads).
+    pub fn backend(&self) -> &Arc<dyn PmemBackend> {
+        &self.backend_dyn
+    }
+
+    /// The simulator twin (always present — for file-backed sessions it
+    /// is the pool file's cost-model twin: same stats, same crash
+    /// behavior). This is deliberately *not* on the [`PmemBackend`]
+    /// trait: it carries the simulator-only instrumentation surface
+    /// (shard stats, fault injection, wear tracking, crash modes).
+    pub fn sim_device(&self) -> &Arc<SimDevice> {
         &self.dev
     }
 
-    /// The file-backed device, when this session came from
+    /// The file-backed pool device, when this session came from
     /// [`Engine::open_pool`] (byte-identity checks, fsck after crash).
-    pub fn file_backend(&self) -> Option<&Arc<FileDevice>> {
+    pub fn pool_file(&self) -> Option<&Arc<FileDevice>> {
         self.backend.as_ref()
+    }
+
+    /// The grammar snapshot version this session serves
+    /// ([`Engine::snapshot_version`]).
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// The session's device.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `backend` for the trait surface or `sim_device` for simulator instrumentation"
+    )]
+    pub fn device(&self) -> &Arc<SimDevice> {
+        self.sim_device()
+    }
+
+    /// The file-backed device, when one is attached.
+    #[deprecated(since = "0.1.0", note = "renamed to `pool_file`")]
+    pub fn file_backend(&self) -> Option<&Arc<FileDevice>> {
+        self.pool_file()
     }
 
     /// Simulate a power failure on the session's device (under the
@@ -1222,19 +1321,45 @@ pub struct ServeSession {
 }
 
 impl ServeSession {
-    /// Execute a batch of read-only tasks concurrently, returning outputs
-    /// in task order. Servable tasks: word count, sort, term vector,
-    /// inverted index; anything else fails with
-    /// [`PmemError::Unsupported`].
-    pub fn run_tasks(&self, tasks: &[Task]) -> Result<Vec<TaskOutput>> {
+    /// Execute a batch of typed queries concurrently, returning one
+    /// [`QueryResponse`] per query, in query order. Servable tasks: word
+    /// count, sort, term vector, inverted index; anything else fails with
+    /// [`PmemError::Unsupported`], as does a `file_filter` on a
+    /// corpus-global task.
+    ///
+    /// Each query runs the full DAG traversal for its key — batching
+    /// *across* identical queries (dedup, caching) is the serve daemon's
+    /// job (`ntadoc-serve`), which sits above this and calls in with the
+    /// already-deduplicated miss set. After the parallel barrier each
+    /// query's deferred device cost is recorded as a per-tenant leaf span
+    /// (`tenant:<id>`) under the batch span.
+    pub fn run_queries(&self, queries: &[Query]) -> Result<Vec<QueryResponse>> {
+        for q in queries {
+            q.validate()?;
+        }
         let s = &self.session;
         let obs = s.obs.clone();
         let out: Result<Vec<TaskOutput>> = obs.span("serve-batch", &s.dev, || {
-            let (results, charges) = par_map_timed(tasks, |_, &t| s.serve_task(t));
+            let (results, charges) =
+                par_map_timed(queries, |_, q| s.serve_task(q.task).map(|o| q.key().apply(o)));
             // Barrier: merge each task's deferred read counters and join
             // the clock before the span closes, so the span's stats delta
             // covers every read this batch issued.
             join_deferred(&s.dev, &charges);
+            // Attribute each query's deferred device cost to its tenant
+            // (controlling thread, inside the still-open batch span).
+            for (q, c) in queries.iter().zip(&charges) {
+                obs.record_leaf_labeled(
+                    "tenant",
+                    q.tenant,
+                    AccessStats {
+                        virtual_ns: c.ns(),
+                        reads: c.reads(),
+                        line_misses: c.line_misses(),
+                        ..Default::default()
+                    },
+                );
+            }
             results.into_iter().collect()
         });
         let out = out?;
@@ -1242,7 +1367,7 @@ impl ServeSession {
         // Serve throughput: tasks served so far per post-init virtual
         // second (deterministic — both terms derive from the virtual
         // clock, not the wall clock).
-        obs.metrics.counter_add(METRIC_SERVE_TASKS, tasks.len() as u64);
+        obs.metrics.counter_add(METRIC_SERVE_TASKS, queries.len() as u64);
         let served_ns = s.trav_ns.load(Ordering::Relaxed);
         if obs.enabled() && served_ns > 0 {
             let total = obs
@@ -1253,7 +1378,26 @@ impl ServeSession {
                 .unwrap_or(0);
             obs.metrics.gauge_set(METRIC_SERVE_RATE, total as f64 / (served_ns as f64 / 1e9));
         }
-        Ok(out)
+        Ok(out
+            .into_iter()
+            .zip(queries)
+            .map(|(o, q)| QueryResponse {
+                tenant: q.tenant,
+                task: q.task,
+                output: Arc::new(o),
+                cache_hit: false,
+                snapshot: s.snapshot,
+            })
+            .collect())
+    }
+
+    /// Execute a batch of read-only tasks concurrently, returning outputs
+    /// in task order.
+    #[deprecated(since = "0.1.0", note = "use `run_queries` with typed `Query` values")]
+    pub fn run_tasks(&self, tasks: &[Task]) -> Result<Vec<TaskOutput>> {
+        let queries: Vec<Query> =
+            tasks.iter().map(|&t| Query::new(TenantId::default(), t)).collect();
+        Ok(self.run_queries(&queries)?.into_iter().map(QueryResponse::into_output).collect())
     }
 
     /// Measurement report (init time plus all batches served so far).
@@ -1261,9 +1405,38 @@ impl ServeSession {
         self.session.report()
     }
 
-    /// The underlying device (stats inspection in tests and benches).
+    /// The grammar snapshot version this serve session answers for
+    /// ([`Engine::snapshot_version`]) — the cache-key half a serve daemon
+    /// pairs with each [`Query::key`].
+    pub fn snapshot_version(&self) -> u64 {
+        self.session.snapshot
+    }
+
+    /// The storage backend behind the object-safe [`PmemBackend`] trait.
+    pub fn backend(&self) -> &Arc<dyn PmemBackend> {
+        self.session.backend()
+    }
+
+    /// The simulator twin (stats inspection, fault injection in tests and
+    /// benches) — see [`Session::sim_device`].
+    pub fn sim_device(&self) -> &Arc<SimDevice> {
+        self.session.sim_device()
+    }
+
+    /// The session's observability handle: the serve daemon records its
+    /// queue/cache/admission metrics and per-tenant spans here so they
+    /// fold into [`ServeSession::report`] alongside the engine's own.
+    pub fn obs(&self) -> &Obs {
+        &self.session.obs
+    }
+
+    /// The underlying device.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `backend` for the trait surface or `sim_device` for simulator instrumentation"
+    )]
     pub fn device(&self) -> &Arc<SimDevice> {
-        self.session.device()
+        self.session.sim_device()
     }
 }
 
@@ -1344,5 +1517,30 @@ impl TxCounter {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_caps_the_exponent_and_saturates() {
+        // Exponential while under the cap…
+        assert_eq!(backoff_ns(100, 1), 200);
+        assert_eq!(backoff_ns(100, 4), 1600);
+        // …flat once past it: a huge attempt count (e.g. a long
+        // MediaRetries budget against a pinned fault) charges the same
+        // bounded settle time as attempt 16, instead of shifting the
+        // base out of the word.
+        assert_eq!(backoff_ns(100, MAX_BACKOFF_SHIFT), backoff_ns(100, 64));
+        assert_eq!(backoff_ns(100, u32::MAX), backoff_ns(100, MAX_BACKOFF_SHIFT));
+        // Pathological profile latencies saturate instead of wrapping the
+        // virtual clock. Pre-fix, `base << 16` silently dropped the top
+        // bits: u64::MAX << 16 wraps to ..FFFF0000, and larger bases
+        // could wrap to *small* charges.
+        assert_eq!(backoff_ns(u64::MAX, 20), u64::MAX);
+        assert_eq!(backoff_ns(u64::MAX / 2, 2), u64::MAX);
+        assert_eq!(backoff_ns(0, 63), 0);
     }
 }

@@ -40,13 +40,16 @@
 //! let comp = compress_corpus(&files, &TokenizerConfig::default());
 //! let mut engine = Engine::builder(comp).config(EngineConfig::ntadoc()).build().unwrap();
 //! let out = engine.run(Task::WordCount).unwrap();
-//! assert_eq!(out.word_counts().unwrap().get("be"), Some(&4));
+//! assert_eq!(out.as_word_counts().unwrap().get("be"), Some(&4));
 //! ```
 //!
 //! For repeated analytics over one corpus, build once and serve many:
 //! [`Engine::serve`] keeps the initialized DAG pool resident and
-//! [`engine::ServeSession::run_tasks`] executes batches of read-only tasks
-//! concurrently (wall-clock parallel, virtual time deterministic).
+//! [`engine::ServeSession::run_queries`] executes batches of read-only
+//! typed [`Query`]s concurrently (wall-clock parallel, virtual time
+//! deterministic). The multi-tenant front-end — batch formation across
+//! tenants, per-tenant admission control, and a snapshot-keyed result
+//! cache — is the `ntadoc-serve` crate, layered on top of this one.
 
 pub mod access;
 pub mod baseline;
@@ -54,6 +57,7 @@ pub mod config;
 pub mod dag;
 pub mod engine;
 pub mod ingest;
+pub mod query;
 pub mod report;
 pub mod result;
 pub mod summation;
@@ -63,6 +67,7 @@ pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
 pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession, Session};
 pub use ingest::{ingest_corpus, IngestOptions, IngestReport};
+pub use query::{snapshot_fingerprint, Query, QueryKey, QueryResponse, TenantId};
 pub use report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,

@@ -8,7 +8,9 @@
 use std::collections::BTreeMap;
 
 /// The six text-analytics benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Task {
     /// Total occurrences of each word across the corpus.
     WordCount,
@@ -129,8 +131,10 @@ impl TaskOutput {
         OutputMismatch { expected, got: self.task() }
     }
 
+    // ---- by-ref accessors (`as_*`) --------------------------------------
+
     /// Borrow as word counts; a descriptive [`OutputMismatch`] otherwise.
-    pub fn word_counts(&self) -> Result<&BTreeMap<String, u64>, OutputMismatch> {
+    pub fn as_word_counts(&self) -> Result<&BTreeMap<String, u64>, OutputMismatch> {
         match self {
             TaskOutput::WordCount(m) => Ok(m),
             other => Err(other.mismatch(Task::WordCount)),
@@ -138,7 +142,7 @@ impl TaskOutput {
     }
 
     /// Borrow as sorted counts.
-    pub fn sorted(&self) -> Result<&[(String, u64)], OutputMismatch> {
+    pub fn as_sorted(&self) -> Result<&[(String, u64)], OutputMismatch> {
         match self {
             TaskOutput::Sort(v) => Ok(v),
             other => Err(other.mismatch(Task::Sort)),
@@ -146,7 +150,7 @@ impl TaskOutput {
     }
 
     /// Borrow as term vectors.
-    pub fn term_vectors(&self) -> Result<&FileTermVectors, OutputMismatch> {
+    pub fn as_term_vectors(&self) -> Result<&FileTermVectors, OutputMismatch> {
         match self {
             TaskOutput::TermVector(v) => Ok(v),
             other => Err(other.mismatch(Task::TermVector)),
@@ -154,7 +158,7 @@ impl TaskOutput {
     }
 
     /// Borrow as an inverted index.
-    pub fn inverted_index(&self) -> Result<&BTreeMap<String, Vec<String>>, OutputMismatch> {
+    pub fn as_inverted_index(&self) -> Result<&BTreeMap<String, Vec<String>>, OutputMismatch> {
         match self {
             TaskOutput::InvertedIndex(m) => Ok(m),
             other => Err(other.mismatch(Task::InvertedIndex)),
@@ -162,7 +166,7 @@ impl TaskOutput {
     }
 
     /// Borrow as sequence counts.
-    pub fn sequence_counts(&self) -> Result<&BTreeMap<Vec<String>, u64>, OutputMismatch> {
+    pub fn as_sequence_counts(&self) -> Result<&BTreeMap<Vec<String>, u64>, OutputMismatch> {
         match self {
             TaskOutput::SequenceCount(m) => Ok(m),
             other => Err(other.mismatch(Task::SequenceCount)),
@@ -170,10 +174,137 @@ impl TaskOutput {
     }
 
     /// Borrow as a ranked inverted index.
-    pub fn ranked_inverted_index(&self) -> Result<&RankedPostings, OutputMismatch> {
+    pub fn as_ranked_inverted_index(&self) -> Result<&RankedPostings, OutputMismatch> {
         match self {
             TaskOutput::RankedInvertedIndex(m) => Ok(m),
             other => Err(other.mismatch(Task::RankedInvertedIndex)),
+        }
+    }
+
+    // ---- by-value accessors (`into_*`) ----------------------------------
+
+    /// Take the word counts by value.
+    pub fn into_word_counts(self) -> Result<BTreeMap<String, u64>, OutputMismatch> {
+        match self {
+            TaskOutput::WordCount(m) => Ok(m),
+            other => Err(other.mismatch(Task::WordCount)),
+        }
+    }
+
+    /// Take the sorted counts by value.
+    pub fn into_sorted(self) -> Result<Vec<(String, u64)>, OutputMismatch> {
+        match self {
+            TaskOutput::Sort(v) => Ok(v),
+            other => Err(other.mismatch(Task::Sort)),
+        }
+    }
+
+    /// Take the term vectors by value.
+    pub fn into_term_vectors(self) -> Result<Vec<(String, Vec<(String, u64)>)>, OutputMismatch> {
+        match self {
+            TaskOutput::TermVector(v) => Ok(v),
+            other => Err(other.mismatch(Task::TermVector)),
+        }
+    }
+
+    /// Take the inverted index by value.
+    pub fn into_inverted_index(self) -> Result<BTreeMap<String, Vec<String>>, OutputMismatch> {
+        match self {
+            TaskOutput::InvertedIndex(m) => Ok(m),
+            other => Err(other.mismatch(Task::InvertedIndex)),
+        }
+    }
+
+    /// Take the sequence counts by value.
+    pub fn into_sequence_counts(self) -> Result<BTreeMap<Vec<String>, u64>, OutputMismatch> {
+        match self {
+            TaskOutput::SequenceCount(m) => Ok(m),
+            other => Err(other.mismatch(Task::SequenceCount)),
+        }
+    }
+
+    /// Take the ranked inverted index by value.
+    pub fn into_ranked_inverted_index(self) -> Result<RankedPostings, OutputMismatch> {
+        match self {
+            TaskOutput::RankedInvertedIndex(m) => Ok(m),
+            other => Err(other.mismatch(Task::RankedInvertedIndex)),
+        }
+    }
+
+    // ---- deprecated pre-0.2 accessor names ------------------------------
+
+    /// Borrow as word counts.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_word_counts`")]
+    pub fn word_counts(&self) -> Result<&BTreeMap<String, u64>, OutputMismatch> {
+        self.as_word_counts()
+    }
+
+    /// Borrow as sorted counts.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_sorted`")]
+    pub fn sorted(&self) -> Result<&[(String, u64)], OutputMismatch> {
+        self.as_sorted()
+    }
+
+    /// Borrow as term vectors.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_term_vectors`")]
+    pub fn term_vectors(&self) -> Result<&FileTermVectors, OutputMismatch> {
+        self.as_term_vectors()
+    }
+
+    /// Borrow as an inverted index.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_inverted_index`")]
+    pub fn inverted_index(&self) -> Result<&BTreeMap<String, Vec<String>>, OutputMismatch> {
+        self.as_inverted_index()
+    }
+
+    /// Borrow as sequence counts.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_sequence_counts`")]
+    pub fn sequence_counts(&self) -> Result<&BTreeMap<Vec<String>, u64>, OutputMismatch> {
+        self.as_sequence_counts()
+    }
+
+    /// Borrow as a ranked inverted index.
+    #[deprecated(since = "0.1.0", note = "renamed to `as_ranked_inverted_index`")]
+    pub fn ranked_inverted_index(&self) -> Result<&RankedPostings, OutputMismatch> {
+        self.as_ranked_inverted_index()
+    }
+
+    /// Serialize the output as deterministic [`Json`] (the CLI serve
+    /// protocol's wire shape). Map-like results become objects keyed by
+    /// word (n-grams joined by spaces); list-like results become arrays.
+    pub fn to_json(&self) -> ntadoc_pmem::Json {
+        use ntadoc_pmem::Json;
+        fn pairs(ws: &[(String, u64)]) -> Json {
+            Json::Arr(
+                ws.iter()
+                    .map(|(w, c)| Json::Arr(vec![Json::Str(w.clone()), Json::U64(*c)]))
+                    .collect(),
+            )
+        }
+        match self {
+            TaskOutput::WordCount(m) => {
+                Json::object(m.iter().map(|(w, c)| (w.clone(), Json::U64(*c))))
+            }
+            TaskOutput::Sort(v) => pairs(v),
+            TaskOutput::TermVector(v) => Json::Arr(
+                v.iter()
+                    .map(|(f, ws)| {
+                        Json::object([
+                            ("file".to_string(), Json::Str(f.clone())),
+                            ("terms".to_string(), pairs(ws)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            TaskOutput::InvertedIndex(m) => Json::object(m.iter().map(|(w, fs)| {
+                (w.clone(), Json::Arr(fs.iter().map(|f| Json::Str(f.clone())).collect()))
+            })),
+            TaskOutput::SequenceCount(m) => {
+                Json::object(m.iter().map(|(g, c)| (g.join(" "), Json::U64(*c))))
+            }
+            TaskOutput::RankedInvertedIndex(m) => {
+                Json::object(m.iter().map(|(g, fs)| (g.join(" "), pairs(fs))))
+            }
         }
     }
 
@@ -232,10 +363,37 @@ mod tests {
     fn output_task_round_trips() {
         let out = TaskOutput::WordCount(BTreeMap::new());
         assert_eq!(out.task(), Task::WordCount);
-        assert!(out.word_counts().is_ok());
-        let err = out.sorted().unwrap_err();
+        assert!(out.as_word_counts().is_ok());
+        let err = out.as_sorted().unwrap_err();
         assert_eq!(err, OutputMismatch { expected: Task::Sort, got: Task::WordCount });
         assert_eq!(err.to_string(), "expected a 'sort' output but this run produced 'word count'");
+    }
+
+    #[test]
+    fn by_ref_and_by_value_accessors_agree() {
+        let mut m = BTreeMap::new();
+        m.insert("w".to_string(), 3u64);
+        let out = TaskOutput::WordCount(m.clone());
+        assert_eq!(out.as_word_counts().unwrap(), &m);
+        assert_eq!(out.clone().into_word_counts().unwrap(), m);
+        let err = out.into_sorted().unwrap_err();
+        assert_eq!(err, OutputMismatch { expected: Task::Sort, got: Task::WordCount });
+        // The deprecated names stay callable for one release.
+        #[allow(deprecated)]
+        let old = TaskOutput::WordCount(m.clone()).word_counts().cloned();
+        assert_eq!(old.unwrap(), m);
+    }
+
+    #[test]
+    fn output_json_is_deterministic() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let j = TaskOutput::WordCount(m).to_json().pretty();
+        // BTreeMap order: "a" before "b".
+        assert!(j.find("\"a\"").unwrap() < j.find("\"b\"").unwrap());
+        let sort = TaskOutput::Sort(vec![("x".into(), 9)]).to_json().pretty();
+        assert!(sort.contains('9'));
     }
 
     #[test]

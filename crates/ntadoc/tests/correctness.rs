@@ -145,26 +145,26 @@ fn check(out: &TaskOutput, comp: &Compressed, task: Task, label: &str) {
     let o = oracle(comp);
     match task {
         Task::WordCount => {
-            assert_eq!(out.word_counts().unwrap(), &o.word_count(), "{label}: word count")
+            assert_eq!(out.as_word_counts().unwrap(), &o.word_count(), "{label}: word count")
         }
-        Task::Sort => assert_eq!(out.sorted().unwrap(), o.sort().as_slice(), "{label}: sort"),
+        Task::Sort => assert_eq!(out.as_sorted().unwrap(), o.sort().as_slice(), "{label}: sort"),
         Task::TermVector => assert_eq!(
-            out.term_vectors().unwrap(),
+            out.as_term_vectors().unwrap(),
             o.term_vector(comp).as_slice(),
             "{label}: term vector"
         ),
         Task::InvertedIndex => assert_eq!(
-            out.inverted_index().unwrap(),
+            out.as_inverted_index().unwrap(),
             &o.inverted_index(),
             "{label}: inverted index"
         ),
         Task::SequenceCount => assert_eq!(
-            out.sequence_counts().unwrap(),
+            out.as_sequence_counts().unwrap(),
             &o.sequence_count(),
             "{label}: sequence count"
         ),
         Task::RankedInvertedIndex => assert_eq!(
-            out.ranked_inverted_index().unwrap(),
+            out.as_ranked_inverted_index().unwrap(),
             &o.ranked_inverted_index(comp),
             "{label}: ranked inverted index"
         ),

@@ -43,6 +43,27 @@ use crate::device::SimDevice;
 use crate::json::Json;
 use crate::stats::AccessStats;
 
+/// Metric name for the peak pending-queue depth gauge of a serve daemon.
+pub const METRIC_QUEUE_DEPTH_PEAK: &str = "serve.queue_depth_peak";
+/// Metric name for the result-cache hit counter of a serve daemon.
+pub const METRIC_CACHE_HITS: &str = "serve.cache.hits";
+/// Metric name for the result-cache miss counter of a serve daemon.
+pub const METRIC_CACHE_MISSES: &str = "serve.cache.misses";
+/// Metric name for the result-cache hit-rate gauge of a serve daemon.
+pub const METRIC_CACHE_HIT_RATE: &str = "serve.cache.hit_rate";
+/// Metric name for the admission-control rejection counter.
+pub const METRIC_ADMISSION_REJECTED: &str = "serve.admission.rejected";
+/// Metric name for the batches-dispatched counter of a serve daemon.
+pub const METRIC_BATCHES: &str = "serve.batches";
+
+/// Compose a labeled span or metric name as `kind:label` — the naming
+/// convention for dynamically keyed series (per-tenant serve spans,
+/// per-tenant counters). Keeping the separator in one place lets report
+/// consumers filter a whole family with a `starts_with("tenant:")`.
+pub fn labeled(kind: &str, label: impl std::fmt::Display) -> String {
+    format!("{kind}:{label}")
+}
+
 /// One recorded span: a named region of a run with its virtual-time and
 /// device-counter deltas, plus the spans that nested inside it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -384,6 +405,37 @@ impl Obs {
         f()
     }
 
+    /// Run `f` inside a span named `kind:label` ([`labeled`]): the
+    /// per-tenant (or otherwise dynamically keyed) variant of
+    /// [`Obs::span`]. Same determinism rule: controlling thread only.
+    pub fn span_labeled<R>(
+        &self,
+        kind: &str,
+        label: impl std::fmt::Display,
+        dev: &SimDevice,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        if !self.enabled {
+            return f();
+        }
+        self.span(&labeled(kind, label), dev, f)
+    }
+
+    /// Record an already-measured childless span named `kind:label` at the
+    /// current nesting level — how a serve batch attributes each query's
+    /// deferred device cost to its tenant after the parallel barrier.
+    pub fn record_leaf_labeled(
+        &self,
+        kind: &str,
+        label: impl std::fmt::Display,
+        delta: AccessStats,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.record_leaf(&labeled(kind, label), delta);
+    }
+
     /// Record an already-measured childless span at the current nesting
     /// level (for costs computed outside a closure).
     pub fn record_leaf(&self, name: &str, delta: AccessStats) {
@@ -516,6 +568,29 @@ mod tests {
         assert_eq!(snap["peak"], MetricValue::Gauge(10.0));
         assert_eq!(snap["hits"].as_counter(), Some(5));
         assert_eq!(snap["peak"].as_gauge(), Some(10.0));
+    }
+
+    #[test]
+    fn labeled_spans_compose_kind_and_label() {
+        assert_eq!(labeled("tenant", 7), "tenant:7");
+        let dev = dev();
+        let obs = Obs::new();
+        obs.span_labeled("tenant", 3, &dev, || {
+            dev.charge_ns(2);
+            obs.record_leaf_labeled(
+                "query",
+                "wc",
+                AccessStats { virtual_ns: 1, ..Default::default() },
+            );
+        });
+        let tree = obs.tree("run");
+        assert_eq!(tree.children[0].name, "tenant:3");
+        assert_eq!(tree.children[0].children[0].name, "query:wc");
+        // A disabled handle records neither form.
+        let off = Obs::disabled();
+        off.span_labeled("tenant", 1, &dev, || {});
+        off.record_leaf_labeled("tenant", 1, AccessStats::default());
+        assert!(off.tree("run").children.is_empty());
     }
 
     #[test]

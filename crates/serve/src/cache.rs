@@ -1,0 +1,148 @@
+//! Snapshot-keyed task-output cache.
+//!
+//! Entries are keyed by `(grammar snapshot fingerprint, QueryKey)`, so two
+//! tenants asking the same shaped question share one entry, and a newly
+//! installed snapshot can never serve stale bytes — its fingerprint differs,
+//! so old entries simply never match (and are swept on install).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use ntadoc::{QueryKey, TaskOutput};
+
+/// FIFO-evicting map from `(snapshot, query key)` to a shared task output.
+///
+/// FIFO rather than LRU keeps eviction order a pure function of the insert
+/// sequence — one less source of replay divergence, and the hot-entry reuse
+/// the daemon cares about (identical queries in one burst) is insensitive to
+/// the difference.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<(u64, QueryKey), Arc<TaskOutput>>,
+    order: VecDeque<(u64, QueryKey)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` outputs; `0` disables caching
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache { capacity, ..ResultCache::default() }
+    }
+
+    /// Look up a query under a snapshot, counting the hit or miss.
+    pub fn get(&mut self, snapshot: u64, key: &QueryKey) -> Option<Arc<TaskOutput>> {
+        let found = self.entries.get(&(snapshot, key.clone())).cloned();
+        match found {
+            Some(out) => {
+                self.hits += 1;
+                Some(out)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert an output, evicting the oldest entry when at capacity.
+    pub fn insert(&mut self, snapshot: u64, key: QueryKey, out: Arc<TaskOutput>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let full_key = (snapshot, key);
+        if self.entries.insert(full_key.clone(), out).is_some() {
+            return; // refreshed in place; insertion order unchanged
+        }
+        self.order.push_back(full_key);
+        while self.entries.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Drop every entry not belonging to `snapshot` — called when a new
+    /// grammar snapshot is installed, since old entries can never hit again.
+    pub fn retain_snapshot(&mut self, snapshot: u64) {
+        self.entries.retain(|(s, _), _| *s == snapshot);
+        self.order.retain(|(s, _)| *s == snapshot);
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Fraction of lookups served from cache; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntadoc::{Query, Task, TenantId};
+
+    fn key(task: Task, k: Option<usize>) -> QueryKey {
+        let q = Query::new(TenantId(0), task);
+        match k {
+            Some(k) => q.top_k(k).key(),
+            None => q.key(),
+        }
+    }
+
+    fn out(word: &str, n: u64) -> Arc<TaskOutput> {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(word.to_string(), n);
+        Arc::new(TaskOutput::WordCount(m))
+    }
+
+    #[test]
+    fn fifo_eviction_and_counters() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, key(Task::WordCount, None), out("a", 1));
+        c.insert(1, key(Task::WordCount, Some(3)), out("b", 2));
+        c.insert(1, key(Task::Sort, None), out("c", 3)); // evicts the first
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1, &key(Task::WordCount, None)).is_none());
+        assert!(c.get(1, &key(Task::Sort, None)).is_some());
+        assert_eq!(c.counters(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_isolates_entries() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, key(Task::WordCount, None), out("a", 1));
+        assert!(c.get(2, &key(Task::WordCount, None)).is_none());
+        c.retain_snapshot(2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, key(Task::WordCount, None), out("a", 1));
+        assert!(c.is_empty());
+        assert!(c.get(1, &key(Task::WordCount, None)).is_none());
+    }
+}

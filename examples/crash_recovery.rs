@@ -45,7 +45,7 @@ fn main() {
     // Recovery: the init-phase checkpoint survives; re-run the phase.
     session.recover().expect("recovery");
     let out = session.traverse().expect("re-run traversal after crash");
-    let counts = out.word_counts().expect("word counts");
+    let counts = out.as_word_counts().expect("word counts");
     println!(
         "[phase-level] recovered by re-running the traversal phase: `temp` counted {} times",
         counts["temp"]

@@ -42,7 +42,7 @@ fn main() {
     let mut engine =
         Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().expect("engine");
     let out = engine.run(Task::WordCount).expect("word count");
-    let counts = out.word_counts().expect("word count output");
+    let counts = out.as_word_counts().expect("word count output");
     let mut top: Vec<_> = counts.iter().collect();
     top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
     println!("\ntop words:");

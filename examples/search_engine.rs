@@ -26,7 +26,7 @@ fn main() {
 
     // Inverted index: word → documents.
     let out = engine.run(Task::InvertedIndex).expect("inverted index");
-    let index = out.inverted_index().expect("index output").clone();
+    let index = out.as_inverted_index().expect("index output").clone();
     println!(
         "inverted index over {} terms built in {:.2} ms (virtual)",
         index.len(),
@@ -45,7 +45,7 @@ fn main() {
 
     // Ranked inverted index: n-gram → documents ranked by frequency.
     let out = engine.run(Task::RankedInvertedIndex).expect("ranked index");
-    let ranked = out.ranked_inverted_index().expect("ranked output");
+    let ranked = out.as_ranked_inverted_index().expect("ranked output");
     println!(
         "\nranked n-gram index over {} sequences built in {:.2} ms (virtual)",
         ranked.len(),
@@ -61,7 +61,7 @@ fn main() {
 
     // Term vectors: per-document signature words.
     let out = engine.run(Task::TermVector).expect("term vector");
-    let tv = out.term_vectors().expect("term vector output");
+    let tv = out.as_term_vectors().expect("term vector output");
     println!("\nterm vectors (top-3 words of the first 2 documents):");
     for (doc, words) in tv.iter().take(2) {
         let sig: Vec<String> = words.iter().take(3).map(|(w, c)| format!("{w}:{c}")).collect();

@@ -4,10 +4,11 @@
 //! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
 
 pub use ntadoc::{
-    ingest_corpus, Engine, EngineBuilder, EngineConfig, IngestOptions, IngestReport,
-    OutputMismatch, Persistence, RetryPolicy, RunReport, ServeSession, Session, Task, TaskOutput,
-    Traversal, UncompressedEngine, UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
-    METRIC_HIT_RATE, METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
+    ingest_corpus, snapshot_fingerprint, Engine, EngineBuilder, EngineConfig, IngestOptions,
+    IngestReport, OutputMismatch, Persistence, Query, QueryKey, QueryResponse, RetryPolicy,
+    RunReport, ServeSession, Session, Task, TaskOutput, TenantId, Traversal, UncompressedEngine,
+    UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE,
+    METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
@@ -22,4 +23,8 @@ pub use ntadoc_pmem::{
     MetricsSnapshot, Obs, PhasePersist, PmemBackend, PmemError, PmemPool, PoolHeader, PoolLayout,
     Prng, SimDevice, SpanNode, SweepOutcome, TxLog, TxLogInspection, CRASH_PANIC, POOL_DATA_AT,
     POOL_MAGIC, POOL_VERSION,
+};
+pub use ntadoc_serve::{
+    percentile_ns, shard_reads_total, Completion, DaemonConfig, QueryDaemon, Rejection,
+    ResultCache, ServeError, TraceEvent, TraceOutcome, TraceSpec,
 };

@@ -94,9 +94,9 @@ fn sweep_stride() -> u64 {
 fn count_traversal_persist_points(comp: &Compressed, cfg: &EngineConfig, task: Task) -> u64 {
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = engine.session(task).unwrap();
-    let before = session.device().stats();
+    let before = session.sim_device().stats();
     session.traverse().unwrap();
-    session.device().stats().since(&before).persist_points()
+    session.sim_device().stats().since(&before).persist_points()
 }
 
 /// Crash at the `point`-th traversal persist point under a torn model,
@@ -118,9 +118,9 @@ fn crash_recover_at_persist_point(
     let ctx = sweep_ctx(label, seed, point);
     let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
     let mut session = session_on(&engine, task, backend, pool);
-    session.device().trip_after_persists(point);
+    session.sim_device().trip_after_persists(point);
     let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-    session.device().clear_trip();
+    session.sim_device().clear_trip();
     match attempt {
         Ok(Ok(_)) => return None, // finished before the armed point
         Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
@@ -129,7 +129,7 @@ fn crash_recover_at_persist_point(
         }
     }
     session.crash_torn(seed ^ point);
-    if let Some(file) = session.file_backend() {
+    if let Some(file) = session.pool_file() {
         file.verify_file_matches_device()
             .unwrap_or_else(|e| panic!("{ctx}: torn on-disk image diverged from the twin: {e}"));
     }
@@ -237,9 +237,9 @@ fn random_mid_write_crash_points_converge_with_torn_stores() {
         // Count the traversal's write operations once.
         let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
         let mut session = engine.session(task).unwrap();
-        let before = session.device().stats();
+        let before = session.sim_device().stats();
         session.traverse().unwrap();
-        let writes = session.device().stats().since(&before).writes;
+        let writes = session.sim_device().stats().since(&before).writes;
         assert!(writes > 0);
 
         for seed in sweep_seeds() {
@@ -249,9 +249,9 @@ fn random_mid_write_crash_points_converge_with_torn_stores() {
                 let trip = rng.next_below(writes);
                 let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
                 let mut session = engine.session(task).unwrap();
-                session.device().trip_after_writes(trip);
+                session.sim_device().trip_after_writes(trip);
                 let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-                session.device().clear_trip();
+                session.sim_device().clear_trip();
                 let ctx = sweep_ctx("mid-write", seed, trip);
                 match attempt {
                     Ok(Ok(out)) => {
@@ -296,9 +296,9 @@ fn repeated_crashes_at_the_same_point_still_converge() {
             for round in 0..2u64 {
                 let torn_seed = 0xBAD5EED ^ point ^ (round << 32);
                 let ctx = sweep_ctx("repeated-crash", torn_seed, point);
-                session.device().trip_after_persists(point);
+                session.sim_device().trip_after_persists(point);
                 let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-                session.device().clear_trip();
+                session.sim_device().clear_trip();
                 match attempt {
                     Ok(Ok(_)) => break, // finished before the point this round
                     Ok(Err(e)) => panic!("{ctx} round {round}: {e}"),
@@ -373,9 +373,9 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
 
             let mut fired = [false; 2];
             for (i, s) in [&mut sim, &mut file].into_iter().enumerate() {
-                s.device().trip_after_persists(point);
+                s.sim_device().trip_after_persists(point);
                 let attempt = catch_unwind(AssertUnwindSafe(|| s.traverse()));
-                s.device().clear_trip();
+                s.sim_device().clear_trip();
                 match attempt {
                     Ok(Ok(_)) => {}
                     Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
@@ -390,8 +390,8 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
             }
             assert_eq!(fired[0], fired[1], "{ctx}: backends disagree on whether a crash fired");
             assert_eq!(
-                sim.device().stats().virtual_ns,
-                file.device().stats().virtual_ns,
+                sim.sim_device().stats().virtual_ns,
+                file.sim_device().stats().virtual_ns,
                 "{ctx}: virtual clocks diverge before the crash"
             );
             if !fired[0] {
@@ -402,8 +402,8 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
             // and the real file carries exactly those bytes.
             sim.crash_torn(seed ^ point);
             file.crash_torn(seed ^ point);
-            assert_planes_identical(sim.device(), file.device(), &ctx);
-            file.file_backend()
+            assert_planes_identical(sim.sim_device(), file.sim_device(), &ctx);
+            file.pool_file()
                 .expect("file-backed session")
                 .verify_file_matches_device()
                 .unwrap_or_else(|e| panic!("{ctx}: on-disk bytes diverged from the twin: {e}"));
@@ -416,8 +416,8 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
             assert_eq!(sim_out, clean, "{ctx}: sim recovery diverged");
             assert_eq!(file_out, clean, "{ctx}: file recovery diverged");
             assert_eq!(
-                sim.device().stats().virtual_ns,
-                file.device().stats().virtual_ns,
+                sim.sim_device().stats().virtual_ns,
+                file.sim_device().stats().virtual_ns,
                 "{ctx}: virtual clocks diverge after recovery"
             );
             drop(file);
@@ -426,9 +426,9 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
             // the crash state, drop the session, reopen, and converge.
             let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
             let mut doomed = session_on(&engine, task, Backend::File, &pool);
-            doomed.device().trip_after_persists(point);
+            doomed.sim_device().trip_after_persists(point);
             let attempt = catch_unwind(AssertUnwindSafe(|| doomed.traverse()));
-            doomed.device().clear_trip();
+            doomed.sim_device().clear_trip();
             assert!(attempt.is_err(), "{ctx}: crash did not refire on a fresh session");
             doomed.crash_torn(seed ^ point);
             drop(doomed);

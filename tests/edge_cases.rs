@@ -35,7 +35,7 @@ fn ngram_width_sweep_matches_oracle() {
                 *oracle.entry(gram).or_insert(0) += 1;
             }
         }
-        assert_eq!(out.sequence_counts().unwrap(), &oracle, "n = {n}");
+        assert_eq!(out.as_sequence_counts().unwrap(), &oracle, "n = {n}");
         // Baseline agrees at every width too.
         let mut base = UncompressedEngine::builder(comp.clone()).config(cfg).build();
         assert_eq!(base.run(Task::SequenceCount).unwrap(), out, "baseline n = {n}");
@@ -50,7 +50,7 @@ fn top_k_sweep_truncates_consistently() {
         cfg.top_k = k;
         let mut engine = Engine::builder(comp.clone()).config(cfg).build().unwrap();
         let out = engine.run(Task::TermVector).unwrap();
-        for (f, words) in out.term_vectors().unwrap() {
+        for (f, words) in out.as_term_vectors().unwrap() {
             assert!(words.len() <= k, "{f} returned {} > {k} words", words.len());
             // Counts must be non-increasing.
             for pair in words.windows(2) {
@@ -80,8 +80,8 @@ fn zero_repetition_corpus_works() {
     assert_eq!(comp.grammar.stats().vocabulary, 500);
     let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let out = engine.run(Task::WordCount).unwrap();
-    assert_eq!(out.word_counts().unwrap().len(), 500);
-    assert!(out.word_counts().unwrap().values().all(|&c| c == 1));
+    assert_eq!(out.as_word_counts().unwrap().len(), 500);
+    assert!(out.as_word_counts().unwrap().values().all(|&c| c == 1));
 }
 
 #[test]
@@ -92,10 +92,10 @@ fn single_word_repeated_corpus_works() {
         let mut engine =
             Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(task).unwrap();
-        if let Ok(wc) = out.word_counts() {
+        if let Ok(wc) = out.as_word_counts() {
             assert_eq!(wc.get("echo"), Some(&5000));
         }
-        if let Ok(sc) = out.sequence_counts() {
+        if let Ok(sc) = out.as_sequence_counts() {
             assert_eq!(sc.get(&vec!["echo".to_string(); 3]), Some(&4998));
         }
     }
@@ -112,7 +112,7 @@ fn unicode_words_survive_the_whole_pipeline() {
     );
     let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let out = engine.run(Task::WordCount).unwrap();
-    let wc = out.word_counts().unwrap();
+    let wc = out.as_word_counts().unwrap();
     assert_eq!(wc.get("数据"), Some(&3));
     assert_eq!(wc.get("naïve"), Some(&2));
     // Serialization keeps UTF-8 intact.
@@ -128,7 +128,7 @@ fn very_long_words_round_trip() {
     let comp = compress_corpus(&[("l".to_string(), text)], &TokenizerConfig::default());
     let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let out = engine.run(Task::WordCount).unwrap();
-    assert_eq!(out.word_counts().unwrap().get(&long), Some(&2));
+    assert_eq!(out.as_word_counts().unwrap().get(&long), Some(&2));
 }
 
 #[test]
@@ -143,7 +143,7 @@ fn many_empty_files_between_content() {
     assert_eq!(comp.file_count(), 20);
     let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let out = engine.run(Task::InvertedIndex).unwrap();
-    let idx = out.inverted_index().unwrap();
+    let idx = out.as_inverted_index().unwrap();
     assert_eq!(idx.get("data").map(|f| f.len()), Some(7)); // files 0,3,6,9,12,15,18
 }
 

@@ -26,9 +26,9 @@ fn crash_at_many_points_inside_traversal_recovers() {
         let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let mut session = engine.session(Task::WordCount).unwrap();
         // Arm the fault: the Nth write during traversal panics.
-        session.device().trip_after_writes(trip);
+        session.sim_device().trip_after_writes(trip);
         let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-        session.device().clear_trip();
+        session.sim_device().clear_trip();
         match attempt {
             Ok(Ok(out)) => {
                 // Fault landed after traversal finished writing; the
@@ -59,9 +59,9 @@ fn crash_inside_file_task_traversal_recovers() {
     for &trip in &[3u64, 50, 700] {
         let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let mut session = engine.session(Task::InvertedIndex).unwrap();
-        session.device().trip_after_writes(trip);
+        session.sim_device().trip_after_writes(trip);
         let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-        session.device().clear_trip();
+        session.sim_device().clear_trip();
         if let Ok(Ok(out)) = attempt {
             assert_eq!(out, clean);
             continue;
@@ -99,7 +99,7 @@ fn wear_top_surfaces_in_run_reports() {
     let comp = corpus();
     let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let mut session = engine.session(Task::WordCount).unwrap();
-    session.device().enable_wear_tracking();
+    session.sim_device().enable_wear_tracking();
     session.traverse().unwrap();
     let report = session.report();
     assert!(!report.wear_top.is_empty(), "wear breakdown must reach the report");

@@ -6,8 +6,13 @@
 use ntadoc_pmem::par;
 use ntadoc_repro::{
     compress_corpus, ingest_corpus, Compressed, Engine, EngineConfig, IngestOptions, PmemError,
-    RunReport, Task, TaskOutput, TokenizerConfig,
+    Query, RunReport, Task, TaskOutput, TenantId, TokenizerConfig,
 };
+
+/// Wrap bare tasks as single-tenant typed queries.
+fn queries(tasks: &[Task]) -> Vec<Query> {
+    tasks.iter().map(|&t| Query::new(TenantId::default(), t)).collect()
+}
 
 fn raw_files() -> Vec<(String, String)> {
     vec![
@@ -53,7 +58,12 @@ fn serve_outputs_match_classic_runs() {
     let servable = [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex];
     let classic: Vec<TaskOutput> = servable.iter().map(|&t| engine.run(t).unwrap()).collect();
     let serve = engine.serve().unwrap();
-    let outs = serve.run_tasks(&servable).unwrap();
+    let outs: Vec<TaskOutput> = serve
+        .run_queries(&queries(&servable))
+        .unwrap()
+        .into_iter()
+        .map(|r| r.into_output())
+        .collect();
     assert_eq!(outs, classic);
 }
 
@@ -67,9 +77,13 @@ fn serve_batches_are_deterministic_across_worker_counts() {
         .collect();
     let mut reference: Option<(Vec<TaskOutput>, u64)> = None;
     for threads in [1, 2, 8, 1] {
-        let v0 = serve.device().stats().virtual_ns;
-        let outs = par::with_threads(threads, || serve.run_tasks(&batch).unwrap());
-        let delta = serve.device().stats().virtual_ns - v0;
+        let v0 = serve.sim_device().stats().virtual_ns;
+        let outs: Vec<TaskOutput> =
+            par::with_threads(threads, || serve.run_queries(&queries(&batch)).unwrap())
+                .into_iter()
+                .map(|r| r.into_output())
+                .collect();
+        let delta = serve.sim_device().stats().virtual_ns - v0;
         match &reference {
             None => reference = Some((outs, delta)),
             Some((ref_outs, ref_delta)) => {
@@ -85,7 +99,7 @@ fn serve_rejects_sequence_tasks() {
     let comp = corpus();
     let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let serve = engine.serve().unwrap();
-    let err = match serve.run_tasks(&[Task::WordCount, Task::SequenceCount]) {
+    let err = match serve.run_queries(&queries(&[Task::WordCount, Task::SequenceCount])) {
         Err(e) => e,
         Ok(_) => panic!("sequence task must not be servable"),
     };
@@ -219,7 +233,7 @@ fn serve_session_reports_are_identical_for_any_worker_count() {
     let serve_report = |threads: usize| {
         let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let serve = engine.serve().unwrap();
-        par::with_threads(threads, || serve.run_tasks(&batch).unwrap());
+        par::with_threads(threads, || serve.run_queries(&queries(&batch)).unwrap());
         serve.report()
     };
     let base = serve_report(1);

@@ -37,9 +37,9 @@ fn create_run_and_reopen_after_clean_shutdown_agree() {
     let eng = engine(EngineConfig::ntadoc());
 
     let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
-    assert!(session.file_backend().is_some(), "open_pool must attach a file backend");
+    assert!(session.pool_file().is_some(), "open_pool must attach a file backend");
     let first = session.traverse().unwrap();
-    let first_ns = session.device().stats().virtual_ns;
+    let first_ns = session.sim_device().stats().virtual_ns;
     drop(session);
     assert!(pool.exists(), "the pool file must persist past the session");
 
@@ -50,7 +50,7 @@ fn create_run_and_reopen_after_clean_shutdown_agree() {
     assert_eq!(first, second, "reopened pool diverged from the original run");
     assert_eq!(
         first_ns,
-        session.device().stats().virtual_ns,
+        session.sim_device().stats().virtual_ns,
         "reopen changed the virtual cost of an identical run"
     );
     let _ = std::fs::remove_file(&pool);
@@ -60,7 +60,7 @@ fn create_run_and_reopen_after_clean_shutdown_agree() {
 fn in_memory_sessions_have_no_file_backend() {
     let eng = engine(EngineConfig::ntadoc());
     let session = eng.session(Task::WordCount).unwrap();
-    assert!(session.file_backend().is_none());
+    assert!(session.pool_file().is_none());
 }
 
 #[test]
@@ -91,13 +91,13 @@ fn reopen_after_torn_commit_rolls_back_and_converges() {
     // Crash mid-traversal with an open undo-log transaction, tear the
     // on-disk bytes, and abandon the session entirely.
     let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
-    session.device().trip_after_persists(40);
+    session.sim_device().trip_after_persists(40);
     let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-    session.device().clear_trip();
+    session.sim_device().clear_trip();
     let payload = attempt.expect_err("the armed crash must fire");
     assert!(panic_is_injected_crash(&*payload));
     session.crash_torn(0xDEADD0C);
-    session.file_backend().unwrap().verify_file_matches_device().unwrap();
+    session.pool_file().unwrap().verify_file_matches_device().unwrap();
     drop(session);
     drop(eng);
 
@@ -173,7 +173,7 @@ fn capacity_doubling_recreates_the_pool_file() {
     let eng = engine(EngineConfig::ntadoc());
     let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
     session.traverse().unwrap();
-    let file = session.file_backend().unwrap();
+    let file = session.pool_file().unwrap();
     assert_eq!(
         file.header().layout.capacity,
         file.twin().capacity(),

@@ -74,7 +74,7 @@ proptest! {
         }
         let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::WordCount).unwrap();
-        prop_assert_eq!(out.word_counts().unwrap(), &oracle);
+        prop_assert_eq!(out.as_word_counts().unwrap(), &oracle);
     }
 
     #[test]
@@ -132,7 +132,7 @@ proptest! {
         }
         let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::WordCount).unwrap();
-        prop_assert_eq!(out.word_counts().unwrap(), &oracle);
+        prop_assert_eq!(out.as_word_counts().unwrap(), &oracle);
     }
 
     #[test]
@@ -152,7 +152,7 @@ proptest! {
         }
         let mut engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let out = engine.run(Task::SequenceCount).unwrap();
-        prop_assert_eq!(out.sequence_counts().unwrap(), &oracle);
+        prop_assert_eq!(out.as_sequence_counts().unwrap(), &oracle);
     }
 
     #[test]
@@ -461,16 +461,16 @@ proptest! {
 
         // Tear an arbitrary persist point (if the workload reaches it)
         // and recover from nothing but the on-disk bytes.
-        session.device().trip_after_persists(point);
+        session.sim_device().trip_after_persists(point);
         let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
-        session.device().clear_trip();
+        session.sim_device().clear_trip();
         if let Err(payload) = attempt {
             prop_assert!(
                 panic_is_injected_crash(&*payload),
                 "a non-injected panic escaped (torn seed {})", seed
             );
             session.crash_torn(seed);
-            session.file_backend().unwrap().verify_file_matches_device().unwrap();
+            session.pool_file().unwrap().verify_file_matches_device().unwrap();
             drop(session);
             let mut session = engine.open_pool(&path, Task::WordCount).unwrap();
             prop_assert_eq!(&session.traverse().unwrap(), &clean);

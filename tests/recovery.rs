@@ -89,7 +89,7 @@ fn configured_torn_mode_applies_to_plain_crash() {
     let comp = corpus();
     let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let mut session = engine.session(Task::WordCount).unwrap();
-    session.device().set_crash_mode(CrashMode::Torn { seed: 31337 });
+    session.sim_device().set_crash_mode(CrashMode::Torn { seed: 31337 });
     session.crash();
     session.recover().unwrap();
     let out = session.traverse().unwrap();
@@ -105,15 +105,15 @@ fn transient_write_faults_are_absorbed_and_charged() {
     let comp = corpus();
     let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     let mut session = engine.session(Task::WordCount).unwrap();
-    let cap = session.device().capacity();
+    let cap = session.sim_device().capacity();
     for i in 1..8u64 {
-        session.device().inject_transient_write_fault(cap / 8 * i, 2);
+        session.sim_device().inject_transient_write_fault(cap / 8 * i, 2);
     }
     let out = session.traverse().unwrap();
     let mut clean_engine =
         Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
     assert_eq!(out, clean_engine.run(Task::WordCount).unwrap());
-    let stats = session.device().stats();
+    let stats = session.sim_device().stats();
     assert!(stats.media_retries > 0, "at least one injected fault must have been hit");
 }
 
@@ -148,9 +148,9 @@ fn uncorrectable_faults_recover_by_phase_rerun_or_fail_cleanly() {
     let mut session = engine.session(Task::WordCount).unwrap();
     // Sprinkle read faults over the upper (result/scratch) half; lines the
     // traversal never rewrites simply keep their fault and are not read.
-    let cap = session.device().capacity();
+    let cap = session.sim_device().capacity();
     for i in 0..16u64 {
-        session.device().inject_read_fault(cap / 2 + (cap / 32) * i);
+        session.sim_device().inject_read_fault(cap / 2 + (cap / 32) * i);
     }
     let mut out = session.traverse();
     let mut attempts = 0;
@@ -159,7 +159,7 @@ fn uncorrectable_faults_recover_by_phase_rerun_or_fail_cleanly() {
         out = session.traverse();
         attempts += 1;
     }
-    session.device().clear_faults();
+    session.sim_device().clear_faults();
     match out {
         Ok(out) => assert_eq!(out, clean),
         // A fault may sit on a line the traversal reads but never

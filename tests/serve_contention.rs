@@ -6,7 +6,7 @@
 
 use ntadoc_pmem::par::{self, join_deferred, par_map_timed};
 use ntadoc_pmem::{with_deferred_charges, DeferredCharges, DeviceProfile, SimDevice};
-use ntadoc_repro::{compress_corpus, Engine, EngineConfig, Task, TokenizerConfig};
+use ntadoc_repro::{compress_corpus, Engine, EngineConfig, Query, Task, TenantId, TokenizerConfig};
 
 fn nvm(cap: usize) -> SimDevice {
     SimDevice::new(DeviceProfile::nvm_optane(), cap)
@@ -170,8 +170,10 @@ fn serve_sessions_report_identical_shard_totals_for_any_worker_count() {
     let shard_totals = |threads: usize| {
         let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
         let serve = engine.serve().unwrap();
-        par::with_threads(threads, || serve.run_tasks(&batch).unwrap());
-        serve.device().read_shard_stats()
+        let queries: Vec<Query> =
+            batch.iter().map(|&t| Query::new(TenantId::default(), t)).collect();
+        par::with_threads(threads, || serve.run_queries(&queries).unwrap());
+        serve.sim_device().read_shard_stats()
     };
     let base = shard_totals(1);
     assert!(base.iter().map(|s| s.reads).sum::<u64>() > 0, "serve must use the sharded path");

@@ -1,0 +1,210 @@
+//! Cross-crate integration tests for the multi-tenant serve daemon:
+//! cache correctness (byte-identical hits, zero device-line reads,
+//! snapshot invalidation), admission control (typed rejections, quota
+//! release), batching amortization (fewer total lines touched than
+//! unbatched serving), and trace determinism across worker counts.
+
+use ntadoc_pmem::par;
+use ntadoc_repro::{
+    compress_corpus, shard_reads_total, Compressed, DaemonConfig, Engine, EngineConfig, Query,
+    QueryDaemon, ServeError, Task, TenantId, TokenizerConfig, TraceSpec,
+};
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "the quick brown fox jumps over the lazy dog the end".repeat(25)),
+        ("b".to_string(), "pack my box with five dozen liquor jugs the fox".repeat(25)),
+        ("c".to_string(), "sphinx of black quartz judge my vow the quick judge".repeat(25)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+fn daemon_over(comp: &Compressed, cfg: DaemonConfig) -> QueryDaemon {
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    QueryDaemon::new(engine.serve().unwrap(), cfg)
+}
+
+#[test]
+fn cache_hit_is_byte_identical_and_touches_zero_lines() {
+    let comp = corpus();
+    let mut d = daemon_over(&comp, DaemonConfig::default());
+    for task in [Task::WordCount, Task::Sort, Task::TermVector, Task::InvertedIndex] {
+        let q = Query::new(TenantId(1), task).top_k(7);
+        let cold = d.execute(q.clone()).unwrap();
+        assert!(!cold.cache_hit, "{task}: first ask must miss");
+        let before = d.serve_session().sim_device().stats();
+        let warm = d.execute(q).unwrap();
+        let delta = d.serve_session().sim_device().stats().checked_since(&before).unwrap();
+        assert!(warm.cache_hit, "{task}: second ask must hit");
+        assert_eq!(cold.output(), warm.output(), "{task}: hit must be byte-identical");
+        assert_eq!(delta.reads, 0, "{task}: cache hit issued device reads");
+        assert_eq!(delta.line_misses, 0, "{task}: cache hit fetched media lines");
+    }
+}
+
+#[test]
+fn different_query_shapes_do_not_share_cache_entries() {
+    let comp = corpus();
+    let mut d = daemon_over(&comp, DaemonConfig::default());
+    let base = Query::new(TenantId(0), Task::WordCount);
+    d.execute(base.clone()).unwrap();
+    // Same task, different shaping — must all miss (and differ).
+    let top = d.execute(base.clone().top_k(2)).unwrap();
+    assert!(!top.cache_hit);
+    assert_eq!(top.output().as_word_counts().unwrap().len(), 2);
+    // Tenant is NOT part of the cache key: another tenant's identical
+    // query hits.
+    let other = d.execute(Query::new(TenantId(9), Task::WordCount)).unwrap();
+    assert!(other.cache_hit, "cache key must ignore the tenant");
+    assert_eq!(other.tenant, TenantId(9), "response still carries the asking tenant");
+}
+
+#[test]
+fn snapshot_install_invalidates_stale_results() {
+    let comp = corpus();
+    let mut d = daemon_over(&comp, DaemonConfig::default());
+    let q = Query::new(TenantId(0), Task::WordCount);
+    let old = d.execute(q.clone()).unwrap();
+    assert!(d.execute(q.clone()).unwrap().cache_hit);
+
+    let files = vec![("z".to_string(), "completely new words in a new corpus".repeat(10))];
+    let comp2 = compress_corpus(&files, &TokenizerConfig::default());
+    let engine2 = Engine::builder(comp2).config(EngineConfig::ntadoc()).build().unwrap();
+    assert_ne!(engine2.snapshot_version(), old.snapshot, "fingerprints must differ");
+    d.install(engine2.serve().unwrap()).unwrap();
+
+    let fresh = d.execute(q).unwrap();
+    assert!(!fresh.cache_hit, "stale entry must not survive the snapshot swap");
+    assert_eq!(fresh.snapshot, d.snapshot_version());
+    assert_ne!(old.output(), fresh.output());
+}
+
+#[test]
+fn quota_and_queue_rejections_are_typed_not_dropped() {
+    let comp = corpus();
+    let cfg = DaemonConfig {
+        tenant_quota: 1,
+        queue_limit: 3,
+        batch_window_ns: u64::MAX / 4,
+        max_batch: 64,
+        ..DaemonConfig::default()
+    };
+    let mut d = daemon_over(&comp, cfg);
+    d.submit(0, Query::new(TenantId(7), Task::WordCount)).unwrap();
+    let quota_err = d.submit(1, Query::new(TenantId(7), Task::Sort)).unwrap_err();
+    assert!(matches!(
+        quota_err,
+        ServeError::QuotaExceeded { tenant: TenantId(7), in_flight: 1, quota: 1 }
+    ));
+    d.submit(2, Query::new(TenantId(8), Task::Sort)).unwrap();
+    d.submit(3, Query::new(TenantId(9), Task::TermVector)).unwrap();
+    let queue_err = d.submit(4, Query::new(TenantId(10), Task::InvertedIndex)).unwrap_err();
+    assert!(matches!(queue_err, ServeError::QueueFull { depth: 3, limit: 3 }));
+    // Errors render for operators.
+    assert!(quota_err.to_string().contains("quota"));
+    assert!(queue_err.to_string().contains("queue full"));
+}
+
+#[test]
+fn trace_rejections_are_reported_and_counted() {
+    let comp = corpus();
+    let cfg = DaemonConfig {
+        tenant_quota: 1,
+        batch_window_ns: u64::MAX / 4, // only max_batch triggers dispatch
+        max_batch: 1000,
+        ..DaemonConfig::default()
+    };
+    let mut d = daemon_over(&comp, cfg);
+    // One tenant, back-to-back arrivals: everything past the first gets
+    // bounced while the first is still queued.
+    let trace =
+        TraceSpec { tenants: 1, queries: 8, mean_gap_ns: 10, hot_percent: 100, seed: 9 }.generate();
+    let outcome = d.run_trace(&trace).unwrap();
+    assert_eq!(
+        outcome.completions.len() + outcome.rejections.len(),
+        trace.len(),
+        "every arrival must be accounted for"
+    );
+    assert!(!outcome.rejections.is_empty(), "quota 1 must reject a burst");
+    for r in &outcome.rejections {
+        assert!(matches!(r.error, ServeError::QuotaExceeded { .. }));
+        assert_eq!(r.tenant, TenantId(0));
+    }
+    let report = d.report();
+    assert_eq!(
+        report.metric_u64(ntadoc_pmem::obs::METRIC_ADMISSION_REJECTED),
+        Some(outcome.rejections.len() as u64),
+        "rejections must surface in the metric snapshot"
+    );
+}
+
+#[test]
+fn batched_serving_touches_fewer_lines_than_unbatched() {
+    let comp = corpus();
+    let trace =
+        TraceSpec { tenants: 4, queries: 48, mean_gap_ns: 100_000, hot_percent: 80, seed: 0xbeef }
+            .generate();
+    let lift = |cfg: DaemonConfig| DaemonConfig {
+        tenant_quota: trace.len(),
+        queue_limit: 4 * trace.len(),
+        ..cfg
+    };
+    let mut batched = daemon_over(&comp, lift(DaemonConfig::default()));
+    let mut unbatched = daemon_over(&comp, lift(DaemonConfig::unbatched()));
+    let ob = batched.run_trace(&trace).unwrap();
+    let ou = unbatched.run_trace(&trace).unwrap();
+    assert_eq!(ob.completions.len(), trace.len(), "batched must admit everything");
+    assert_eq!(ou.completions.len(), trace.len(), "unbatched must admit everything");
+    let lines_batched = shard_reads_total(&batched.report());
+    let lines_unbatched = shard_reads_total(&unbatched.report());
+    assert!(
+        lines_batched < lines_unbatched,
+        "batching + caching must amortize traversals: {lines_batched} vs {lines_unbatched}"
+    );
+    assert!(batched.cache_hit_rate() > 0.0, "hot trace must produce cache hits");
+    assert!(
+        batched.batches_dispatched() < unbatched.batches_dispatched(),
+        "batch formation must coalesce arrivals"
+    );
+}
+
+#[test]
+fn trace_replay_is_bit_identical_across_worker_counts() {
+    let comp = corpus();
+    let trace = TraceSpec { queries: 48, ..TraceSpec::default() }.generate();
+    let replay = |threads: usize| {
+        let mut d = daemon_over(&comp, DaemonConfig::default());
+        let outcome = par::with_threads(threads, || d.run_trace(&trace).unwrap());
+        (outcome, d.report())
+    };
+    let (base, base_report) = replay(1);
+    for threads in [2, 8] {
+        let (outcome, report) = replay(threads);
+        assert_eq!(outcome.completions.len(), base.completions.len());
+        for (a, b) in outcome.completions.iter().zip(&base.completions) {
+            assert_eq!(a.query, b.query, "query order diverged at {threads} threads");
+            assert_eq!(a.start_ns, b.start_ns, "start diverged at {threads} threads");
+            assert_eq!(a.done_ns, b.done_ns, "completion diverged at {threads} threads");
+            assert_eq!(a.response, b.response, "response diverged at {threads} threads");
+        }
+        assert_eq!(
+            report.to_json().pretty(),
+            base_report.to_json().pretty(),
+            "serialized report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn deprecated_shims_still_work() {
+    // The one-release compatibility contract: old entry points keep
+    // returning the same answers as the typed API.
+    #![allow(deprecated)]
+    let comp = corpus();
+    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+    let serve = engine.serve().unwrap();
+    #[allow(deprecated)]
+    let old = serve.run_tasks(&[Task::WordCount]).unwrap();
+    let new = serve.run_queries(&[Query::new(TenantId::default(), Task::WordCount)]).unwrap();
+    assert_eq!(&old[0], new[0].output());
+}
