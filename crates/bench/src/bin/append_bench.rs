@@ -1,0 +1,132 @@
+//! Streaming append vs full rebuild: growing an already-compressed
+//! corpus through `Engine::append_files` must cost a fraction of
+//! re-ingesting the whole corpus from scratch.
+//!
+//! For growth deltas of 10/25/50% of the corpus (by file count) the
+//! bench builds the base, appends the delta as one group, and compares
+//! the append's deterministic virtual cost against a full rebuild's.
+//! Every appended engine is cross-checked against the rebuild oracle:
+//! the grammar spells the same corpus and word counts agree. The
+//! headline — the rebuild-to-append virtual-ns ratio at 10% growth —
+//! is asserted > 1.5x (a 10% delta must append for less than ⅔ of a
+//! rebuild) and re-gated from the emitted document in CI.
+//!
+//! ```text
+//! cargo run --release --bin append_bench
+//! NTADOC_SCALE=2.0 cargo run --release --bin append_bench
+//! ```
+
+use std::time::Instant;
+
+use ntadoc::{ingest_corpus, Engine, EngineBuilder, EngineConfig, IngestOptions, Task};
+use ntadoc_bench::Emitter;
+use ntadoc_datagen::{generate, DatasetSpec};
+use ntadoc_pmem::Json;
+
+const GROWTH_PCTS: [usize; 3] = [10, 25, 50];
+
+fn main() {
+    let mut em = Emitter::new("append_bench");
+    let scale = std::env::var("NTADOC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    // Dataset B: many small formulaic files with a steadily growing
+    // vocabulary, so a file-count delta is a realistic stream of new
+    // documents (fresh words to intern, seams to deduplicate) and the
+    // per-token Sequitur cost dominates the rebuild baseline.
+    let spec = DatasetSpec::b().scaled(scale);
+    eprintln!(
+        "[gen] dataset {} ({} files × ~{} words)…",
+        spec.name, spec.files, spec.tokens_per_file
+    );
+    let files = generate(&spec);
+    em.meta("files", Json::U64(files.len() as u64));
+
+    // The oracle and the baseline: one full from-scratch ingest of the
+    // grown corpus, its virtual cost being what an appender avoids.
+    let t0 = Instant::now();
+    let (full_comp, full_report) = ingest_corpus(&files, &IngestOptions::default());
+    let rebuild_wall = t0.elapsed();
+    let full_words = {
+        let mut e =
+            Engine::builder(full_comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+        e.run(Task::WordCount).unwrap()
+    };
+    eprintln!(
+        "[rebuild] {} rules in {:.1} ms wall, {} ns virtual",
+        full_comp.grammar.rules.len(),
+        rebuild_wall.as_secs_f64() * 1e3,
+        full_report.virtual_ns
+    );
+
+    println!("\n== streaming append vs full rebuild ==");
+    println!(
+        "{:>7} {:>7} {:>14} {:>14} {:>8} {:>10}",
+        "growth", "delta", "append_ns", "rebuild_ns", "ratio", "wall ms"
+    );
+    let mut ratio_at_10 = 0.0f64;
+    for &pct in &GROWTH_PCTS {
+        let delta_n = (files.len() * pct / 100).max(1);
+        let base_n = files.len() - delta_n;
+        let (base, delta) = files.split_at(base_n);
+
+        let mut engine = EngineBuilder::from_files(base.to_vec())
+            .config(EngineConfig::ntadoc())
+            .build()
+            .unwrap();
+        let t = Instant::now();
+        let report = engine.append_files(delta.to_vec()).unwrap();
+        let append_wall = t.elapsed();
+
+        // Correctness: the appended grammar spells exactly the grown
+        // corpus and answers analytics like the rebuild.
+        assert_eq!(
+            engine.compressed().grammar.expand_files(),
+            full_comp.grammar.expand_files(),
+            "append at {pct}% growth spells a different corpus than the rebuild"
+        );
+        assert_eq!(
+            engine.run(Task::WordCount).unwrap(),
+            full_words,
+            "append at {pct}% growth diverged from the rebuild's word counts"
+        );
+
+        let ratio = full_report.virtual_ns as f64 / report.virtual_ns as f64;
+        if pct == 10 {
+            ratio_at_10 = ratio;
+        }
+        println!(
+            "{:>6}% {:>7} {:>14} {:>14} {:>7.2}x {:>10.1}",
+            pct,
+            delta_n,
+            report.virtual_ns,
+            full_report.virtual_ns,
+            ratio,
+            append_wall.as_secs_f64() * 1e3
+        );
+        em.row([
+            ("growth_pct", Json::U64(pct as u64)),
+            ("delta_files", Json::U64(delta_n as u64)),
+            ("append_virtual_ns", Json::U64(report.virtual_ns)),
+            ("rebuild_virtual_ns", Json::U64(full_report.virtual_ns)),
+            ("new_words", Json::U64(report.new_words as u64)),
+            ("new_rules", Json::U64(report.new_rules as u64)),
+            ("dirty_rules", Json::U64(report.dirty_rules as u64)),
+            ("ratio", Json::F64(ratio)),
+            ("append_wall_ms", Json::F64(append_wall.as_secs_f64() * 1e3)),
+        ]);
+    }
+
+    println!("\nall appended engines matched the full-rebuild corpus and word counts");
+    // The headline is a ratio of deterministic virtual costs, so it is
+    // asserted on every host — a 10% delta must append for less than
+    // two thirds of a full rebuild.
+    assert!(
+        ratio_at_10 > 1.5,
+        "expected a 10% append to beat a rebuild by >1.5x (virtual), got {ratio_at_10:.2}x"
+    );
+    // Virtual-time headline: deterministic on any host, nothing to skip
+    // (recorded for the no-silent-skip convention the CI gates require).
+    em.meta("speedup_check_skipped", Json::Bool(false));
+    em.headline("append_speedup_at_10pct", ratio_at_10);
+    em.headline_u64("rebuild_virtual_ns", full_report.virtual_ns);
+    em.finish();
+}

@@ -15,6 +15,7 @@ use ntadoc_pmem::DeviceProfile;
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
   ntadoc compress <file|dir>... -o <corpus.ntdc> [--coarsen N] [--ingest-chunks W]
+  ntadoc append <corpus.ntdc> <file|dir>... [-o <out.ntdc>]
   ntadoc stats <corpus.ntdc>
   ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
              [--persistence phase|op] [--naive] [--top N] [--ngram N]
@@ -35,6 +36,7 @@ type CmdResult = Result<(), String>;
 pub fn dispatch(args: &[String]) -> CmdResult {
     match args.first().map(String::as_str) {
         Some("compress") => compress(&args[1..]),
+        Some("append") => append(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("search") => search(&args[1..]),
@@ -190,6 +192,71 @@ fn compress(args: &[String]) -> CmdResult {
         out,
         image.len(),
         comp.grammar.compression_ratio()
+    );
+    Ok(())
+}
+
+// ---- append ---------------------------------------------------------------
+
+/// Extend an existing corpus image through the streaming append path: the
+/// new files are compressed as one chunk, re-interned into the shared
+/// dictionary, spliced at the root, and only the dirtied rules are
+/// resummed — no full rebuild. Writes back in place unless `-o` names a
+/// different output, and moves the image's snapshot fingerprint.
+fn append(args: &[String]) -> CmdResult {
+    let corpus_path = args.first().ok_or("append needs a corpus path")?.clone();
+    let mut inputs = Vec::new();
+    let mut out = corpus_path.clone();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                out = args.get(i + 1).ok_or("-o needs a path")?.clone();
+                i += 2;
+            }
+            p => {
+                inputs.push(PathBuf::from(p));
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return Err("append needs at least one input file".into());
+    }
+    let files = collect_inputs(&inputs)?;
+    let mut texts = Vec::with_capacity(files.len());
+    for f in &files {
+        let text = fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        texts.push((f.display().to_string(), text));
+    }
+    let comp = load_corpus(&corpus_path)?;
+    let mut engine = Engine::builder(comp)
+        .config(EngineConfig::ntadoc())
+        .label("cli-append")
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = engine.append_files(texts).map_err(|e| e.to_string())?;
+    let image = serialize_compressed(engine.compressed());
+    fs::write(&out, &image).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "appended {} files / {} tokens ({} raw bytes) → {} ({} bytes)",
+        report.files_appended,
+        report.appended_tokens,
+        report.appended_bytes,
+        out,
+        image.len(),
+    );
+    println!(
+        "  {} new words, {} new rules, {} dirty rules resummed in {:.3} ms (virtual)",
+        report.new_words,
+        report.new_rules,
+        report.dirty_rules,
+        report.virtual_ns as f64 / 1e6,
+    );
+    println!(
+        "  snapshot {:016x} → {:016x}",
+        report.old_fingerprint,
+        report.snapshot.fingerprint()
     );
     Ok(())
 }
@@ -587,6 +654,51 @@ mod tests {
         .unwrap();
         let restored = fs::read_dir(&decomp).unwrap().count();
         assert_eq!(restored, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_extends_a_corpus_image_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("ntadoc-cli-append-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let f1 = dir.join("one.txt");
+        fs::write(&f1, "alpha beta gamma alpha beta gamma").unwrap();
+        let out = dir.join("corpus.ntdc");
+        dispatch(&[
+            "compress".into(),
+            f1.display().to_string(),
+            "-o".into(),
+            out.display().to_string(),
+        ])
+        .unwrap();
+        let before = load_corpus(&out.display().to_string()).unwrap();
+
+        // In-place append: the image gains the file and stays queryable.
+        let f2 = dir.join("two.txt");
+        fs::write(&f2, "gamma delta epsilon delta").unwrap();
+        dispatch(&["append".into(), out.display().to_string(), f2.display().to_string()])
+            .unwrap();
+        let after = load_corpus(&out.display().to_string()).unwrap();
+        assert_eq!(after.file_count(), before.file_count() + 1);
+        dispatch(&["search".into(), out.display().to_string(), "epsilon".into()]).unwrap();
+        dispatch(&["run".into(), "wordcount".into(), out.display().to_string()]).unwrap();
+
+        // `-o` writes elsewhere and leaves the original image untouched.
+        let f3 = dir.join("three.txt");
+        fs::write(&f3, "zeta eta theta").unwrap();
+        let out2 = dir.join("corpus2.ntdc");
+        dispatch(&[
+            "append".into(),
+            out.display().to_string(),
+            f3.display().to_string(),
+            "-o".into(),
+            out2.display().to_string(),
+        ])
+        .unwrap();
+        assert_eq!(load_corpus(&out.display().to_string()).unwrap().file_count(), 2);
+        assert_eq!(load_corpus(&out2.display().to_string()).unwrap().file_count(), 3);
+
+        assert!(dispatch(&["append".into(), out.display().to_string()]).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

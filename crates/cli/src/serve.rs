@@ -142,7 +142,7 @@ fn handle_request(daemon: &mut QueryDaemon, line: &str) -> (Json, bool) {
                     Json::object([
                         ("ok", Json::Bool(true)),
                         ("cache_hit", Json::Bool(resp.cache_hit)),
-                        ("snapshot", Json::U64(resp.snapshot)),
+                        ("snapshot", Json::U64(resp.snapshot.fingerprint())),
                         ("tenant", Json::U64(resp.tenant.0 as u64)),
                         ("task", Json::from(resp.task.to_string())),
                         ("output", resp.output().to_json()),

@@ -45,7 +45,10 @@ pub mod tokenizer;
 pub use cfg::{Grammar, GrammarStats, Rule};
 // (CorpusBuilder is defined below in this module.)
 pub use dict::Dictionary;
-pub use merge::{build_chunk, merge_chunks, plan_chunks, ChunkGrammar, MergeOptions, Piece};
+pub use merge::{
+    append_chunk, build_chunk, build_chunk_at, merge_chunks, plan_chunks, AppendOutcome,
+    ChunkGrammar, MergeOptions, Piece,
+};
 pub use repair::repair;
 pub use sequitur::Sequitur;
 pub use serialize::{deserialize_compressed, serialize_compressed, serialized_len};

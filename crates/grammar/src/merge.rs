@@ -91,11 +91,21 @@ pub struct ChunkGrammar {
 /// than file 0) first emits the file's leading separator symbol, so
 /// splicing the chunk top-rules reproduces the serial separator layout.
 pub fn build_chunk(file_tokens: &[Vec<String>], pieces: &[Piece]) -> ChunkGrammar {
+    build_chunk_at(file_tokens, pieces, 0)
+}
+
+/// [`build_chunk`] for a chunk whose files sit at global file indices
+/// `file_base + p.file` — the append path, where `file_tokens` holds only
+/// the *new* files of a corpus that already has `file_base` files. Every
+/// appended file (including the first, which follows an existing file)
+/// gets its leading separator.
+pub fn build_chunk_at(file_tokens: &[Vec<String>], pieces: &[Piece], file_base: usize) -> ChunkGrammar {
     let mut dict = Dictionary::new();
     let mut seq = Sequitur::new();
     for p in pieces {
-        if p.start == 0 && p.file > 0 {
-            seq.push(Symbol::file_sep(p.file as u32 - 1));
+        let global = file_base + p.file;
+        if p.start == 0 && global > 0 {
+            seq.push(Symbol::file_sep(global as u32 - 1));
         }
         for tok in &file_tokens[p.file][p.start..p.end] {
             seq.push(Symbol::word(dict.intern(tok.clone())));
@@ -165,6 +175,97 @@ pub fn merge_chunks(chunks: &[ChunkGrammar], opts: &MergeOptions) -> (Grammar, D
     }
     rules[0] = Rule { symbols: root };
     (Grammar::new(rules), dict)
+}
+
+/// What [`append_chunk`] changed: the information the incremental
+/// summation / capacity-planning layers need to re-derive only the facts
+/// that could have moved.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// Global ids of every rule added by the splice and the seam-dedup
+    /// pass, in id order.
+    pub new_rules: Vec<u32>,
+    /// Words the chunk introduced to the shared dictionary.
+    pub new_words: usize,
+    /// Symbols spliced onto the root before seam dedup (cost accounting).
+    pub spliced_symbols: usize,
+    /// Rules whose bodies changed or were created: always `{0}` (the root
+    /// absorbs the splice and the dedup rewrites) followed by
+    /// [`new_rules`](Self::new_rules). Every other rule's body — and hence
+    /// every bottom-up fact derived from it — is untouched.
+    pub dirty_rules: Vec<u32>,
+}
+
+/// Absorb one appended chunk into an existing grammar + dictionary, in
+/// place: re-intern the chunk's words into the shared dictionary (new
+/// words get the next ids, preserving global first-occurrence order),
+/// remap the chunk's rules into the global rule space, splice the chunk's
+/// top-rule body onto the end of the root, and (optionally) run the
+/// batched seam-dedup pass over the grown root so digrams repeated across
+/// the old/new seam fold into fresh rules.
+///
+/// The key invariant for incremental re-summation: **only the root body
+/// changes among pre-existing rules.** New rules are appended; old
+/// non-root bodies are never rewritten, so per-rule bottom-up facts
+/// (summation bounds, expansion lengths, head/tail buffers) stay valid for
+/// every rule outside the returned dirty set.
+///
+/// Deterministic: a pure function of `(grammar, dict, chunk, opts)` — the
+/// same fold of appends always yields byte-identical grammars.
+pub fn append_chunk(
+    grammar: &mut Grammar,
+    dict: &mut Dictionary,
+    chunk: &ChunkGrammar,
+    opts: &MergeOptions,
+) -> AppendOutcome {
+    let words_before = dict.len();
+    let word_map: Vec<u32> =
+        chunk.dict.iter().map(|(_, w)| dict.intern(w.to_string())).collect();
+
+    // Chunk-local rule `i` (i ≥ 1) lands at global `offset + i - 1`,
+    // exactly as in `merge_chunks`.
+    let offset = grammar.rules.len() as u32;
+    let remap = |s: Symbol| {
+        if s.is_word() {
+            Symbol::word(word_map[s.payload() as usize])
+        } else if s.is_rule() {
+            Symbol::rule(offset + s.payload() - 1)
+        } else {
+            s
+        }
+    };
+    let mut spliced_symbols = 0usize;
+    for (i, r) in chunk.grammar.rules.iter().enumerate() {
+        let body = r.symbols.iter().map(|&s| remap(s));
+        if i == 0 {
+            spliced_symbols = r.symbols.len();
+            grammar.rules[0].symbols.extend(body);
+        } else {
+            grammar.rules.push(Rule { symbols: body.collect() });
+        }
+    }
+
+    // Seam dedup over the whole root: the previous root had its repeats
+    // folded already, so any new repeat involves the appended span (either
+    // entirely inside it or straddling the old/new seam). Folding rewrites
+    // only the root and mints fresh rules — old bodies stay untouched.
+    if opts.seam_dedup {
+        let root = std::mem::take(&mut grammar.rules[0].symbols);
+        let (deduped, extra) = dedup_root_digrams(root, grammar.rules.len() as u32);
+        grammar.rules[0].symbols = deduped;
+        grammar.rules.extend(extra);
+    }
+
+    let new_rules: Vec<u32> = (offset..grammar.rules.len() as u32).collect();
+    let mut dirty_rules = Vec::with_capacity(new_rules.len() + 1);
+    dirty_rules.push(0);
+    dirty_rules.extend_from_slice(&new_rules);
+    AppendOutcome {
+        new_rules,
+        new_words: dict.len() - words_before,
+        spliced_symbols,
+        dirty_rules,
+    }
 }
 
 /// Non-overlapping, left-to-right digram counts of `body` ("aaa" is one
@@ -419,5 +520,96 @@ mod tests {
         let right = build_chunk(&toks, &[Piece { file: 0, start: 3, end: 6 }]);
         let (g, d) = merge_chunks(&[left, right], &MergeOptions::default());
         assert_eq!(g.expand_text(&d), vec!["a b c d e f".to_string()]);
+    }
+
+    /// Tokenize each of `files` and build one append chunk covering all of
+    /// them, with global file indices starting at `file_base`.
+    fn append_chunk_of(files: &[(String, String)], file_base: usize) -> ChunkGrammar {
+        let cfg = TokenizerConfig::default();
+        let toks: Vec<Vec<String>> = files.iter().map(|(_, t)| tokenize(t, &cfg)).collect();
+        let pieces: Vec<Piece> =
+            toks.iter().enumerate().map(|(f, t)| Piece { file: f, start: 0, end: t.len() }).collect();
+        build_chunk_at(&toks, &pieces, file_base)
+    }
+
+    #[test]
+    fn append_reproduces_full_corpus_text_and_separators() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let serial = compress_corpus(&files, &cfg);
+        // Build from file 0, then append files 1..4 one at a time.
+        let mut acc = compress_corpus(&files[..1], &cfg);
+        for (i, f) in files.iter().enumerate().skip(1) {
+            let chunk = append_chunk_of(std::slice::from_ref(f), i);
+            append_chunk(&mut acc.grammar, &mut acc.dict, &chunk, &MergeOptions::default());
+            acc.file_names.push(f.0.clone());
+        }
+        acc.grammar.validate().unwrap();
+        assert_eq!(acc.grammar.expand_text(&acc.dict), serial.grammar.expand_text(&serial.dict));
+        // Shared dictionary stays in global first-occurrence order.
+        assert_eq!(acc.dict.iter().collect::<Vec<_>>(), serial.dict.iter().collect::<Vec<_>>());
+        let seps: Vec<u32> =
+            acc.grammar.rules[0].symbols.iter().filter(|s| s.is_sep()).map(|s| s.payload()).collect();
+        assert_eq!(seps, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn append_dirties_only_root_and_new_rules() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let mut acc = compress_corpus(&files[..2], &cfg);
+        let before = acc.grammar.rules.clone();
+        let chunk = append_chunk_of(&files[2..], 2);
+        let out = append_chunk(&mut acc.grammar, &mut acc.dict, &chunk, &MergeOptions::default());
+        // Old non-root bodies are byte-identical.
+        for (r, old) in before.iter().enumerate().skip(1) {
+            assert_eq!(&acc.grammar.rules[r], old, "rule {r} body changed across append");
+        }
+        // The dirty set is exactly {root} ∪ new rules, and the new-rule ids
+        // tile the tail of the rule space.
+        assert_eq!(out.dirty_rules[0], 0);
+        assert_eq!(out.dirty_rules[1..], out.new_rules[..]);
+        let expect: Vec<u32> = (before.len() as u32..acc.grammar.rules.len() as u32).collect();
+        assert_eq!(out.new_rules, expect);
+        assert!(out.new_words > 0, "files c/d introduce fresh vocabulary");
+    }
+
+    #[test]
+    fn append_seam_dedup_leaves_no_repeated_root_digram() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let mut acc = compress_corpus(&files[..1], &cfg);
+        for (i, f) in files.iter().enumerate().skip(1) {
+            let chunk = append_chunk_of(std::slice::from_ref(f), i);
+            append_chunk(&mut acc.grammar, &mut acc.dict, &chunk, &MergeOptions::default());
+        }
+        let body = &acc.grammar.rules[0].symbols;
+        let mut seen = std::collections::HashSet::new();
+        let mut i = 0;
+        while i + 1 < body.len() {
+            let dg = (body[i], body[i + 1]);
+            if !dg.0.is_sep() && !dg.1.is_sep() && !seen.insert(dg) {
+                panic!("digram {dg:?} repeats in the appended root");
+            }
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn append_fold_is_deterministic() {
+        let files = corpus();
+        let cfg = TokenizerConfig::default();
+        let run = || {
+            let mut acc = compress_corpus(&files[..1], &cfg);
+            for (i, f) in files.iter().enumerate().skip(1) {
+                let chunk = append_chunk_of(std::slice::from_ref(f), i);
+                append_chunk(&mut acc.grammar, &mut acc.dict, &chunk, &MergeOptions::default());
+            }
+            acc
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.grammar, b.grammar);
+        assert_eq!(a.dict.iter().collect::<Vec<_>>(), b.dict.iter().collect::<Vec<_>>());
     }
 }

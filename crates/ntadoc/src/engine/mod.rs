@@ -48,14 +48,17 @@ use ntadoc_pmem::{
 
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
-use crate::ingest::{ingest_corpus, IngestOptions, IngestReport};
-use crate::query::{snapshot_fingerprint, Query, QueryResponse, TenantId};
+use crate::ingest::{ingest_append, ingest_corpus, AppendIngest, IngestOptions, IngestReport};
+use crate::query::{snapshot_fingerprint, Query, QueryResponse, Snapshot, TenantId};
 use crate::report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 use crate::result::{Task, TaskOutput};
-use crate::summation::{head_tail_info, upper_bounds};
+use crate::summation::{
+    head_tail_incremental, head_tail_info, upper_bounds, upper_bounds_incremental, HeadTailInfo,
+    SummationResult,
+};
 use crate::Result;
 
 /// How many counter updates share one undo-log transaction under
@@ -124,6 +127,10 @@ pub struct EngineBuilder {
     /// Deferred SSD/HDD budget request (`Some(hdd)`), resolved at `build`
     /// once the corpus exists (raw files are only compressed there).
     block: Option<bool>,
+    /// Optional streaming plan for a raw-file source: group sizes whose
+    /// first entry is ingested as the base corpus and every later entry
+    /// is folded through [`Engine::append_files`].
+    append_plan: Option<Vec<usize>>,
 }
 
 /// What the builder starts from: an existing compressed corpus, or raw
@@ -134,6 +141,28 @@ enum BuildSource {
 }
 
 impl EngineBuilder {
+    /// Start building an engine from raw `(file name, contents)` pairs:
+    /// `build` runs the ingest pipeline (tokenize → chunk → Sequitur →
+    /// merge) first, honouring [`EngineBuilder::ingest_chunks`], and the
+    /// resulting engine exposes the build measurements via
+    /// [`Engine::ingest_report`].
+    ///
+    /// ```
+    /// use ntadoc::{EngineBuilder, Task};
+    ///
+    /// let files = vec![
+    ///     ("a.txt".to_string(), "to be or not to be".to_string()),
+    ///     ("b.txt".to_string(), "to be sure to be".to_string()),
+    /// ];
+    /// let mut engine = EngineBuilder::from_files(files).ingest_chunks(4).build().unwrap();
+    /// let out = engine.run(Task::WordCount).unwrap();
+    /// assert_eq!(out.as_word_counts().unwrap().get("to"), Some(&4));
+    /// assert!(engine.ingest_report().unwrap().virtual_ns > 0);
+    /// ```
+    pub fn from_files(files: Vec<(String, String)>) -> EngineBuilder {
+        Engine::builder_from_source(BuildSource::Files(files))
+    }
+
     /// Device profile to simulate. Defaults to Optane NVM.
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = Some(profile);
@@ -142,7 +171,7 @@ impl EngineBuilder {
     }
 
     /// Number of parallel ingest chunks when building from raw files
-    /// ([`Engine::builder_from_files`]). Default 1: a serial build,
+    /// ([`EngineBuilder::from_files`]). Default 1: a serial build,
     /// byte-identical to [`ntadoc_grammar::compress_corpus`]. With `n > 1`
     /// the token stream is split into `n` deterministic spans compressed
     /// concurrently and merged (`ntadoc_grammar::merge`); outputs and
@@ -157,6 +186,22 @@ impl EngineBuilder {
     /// seams into fresh rules (default `true`; ignored for serial builds).
     pub fn seam_dedup(mut self, on: bool) -> Self {
         self.ingest.seam_dedup = on;
+        self
+    }
+
+    /// Streaming-corpus plan for a raw-file source: the files are split
+    /// into groups of the given sizes; the first group is ingested as the
+    /// base corpus and each later group is folded through the exact
+    /// [`Engine::append_files`] code path. The resulting engine is
+    /// byte-equivalent (grammar, dictionary, pool image, virtual time) to
+    /// building the base and issuing the same appends live — this is the
+    /// reference fold the append determinism tests compare against.
+    ///
+    /// Sizes must be non-zero and sum to the number of files; `build`
+    /// fails otherwise, and when the source is an already-compressed
+    /// corpus.
+    pub fn append_plan(mut self, groups: Vec<usize>) -> Self {
+        self.append_plan = Some(groups);
         self
     }
 
@@ -214,15 +259,47 @@ impl EngineBuilder {
     }
 
     /// Finish construction. Runs the ingest pipeline first when the
-    /// builder started from raw files ([`Engine::builder_from_files`]).
-    /// Fails on an empty corpus.
+    /// builder started from raw files ([`EngineBuilder::from_files`]),
+    /// then folds any [`EngineBuilder::append_plan`] groups through
+    /// [`Engine::append_files`]. Fails on an empty corpus.
     pub fn build(self) -> Result<Engine> {
-        let EngineBuilder { source, cfg, profile, label, retry, trace, ingest, block } = self;
-        let (comp, ingest_report) = match source {
-            BuildSource::Corpus(comp) => (comp, None),
-            BuildSource::Files(files) => {
+        let EngineBuilder { source, cfg, profile, label, retry, trace, ingest, block, append_plan } =
+            self;
+        let (comp, ingest_report, deferred) = match source {
+            BuildSource::Corpus(comp) => {
+                if append_plan.is_some() {
+                    return Err(PmemError::Unsupported(
+                        "append_plan needs a raw-file source; the corpus is already built".into(),
+                    ));
+                }
+                (comp, None, Vec::new())
+            }
+            BuildSource::Files(mut files) => {
+                // With an append plan, only the first group is the base
+                // build; later groups are replayed through the live
+                // append path below, after the engine exists.
+                let mut deferred: Vec<Vec<(String, String)>> = Vec::new();
+                if let Some(plan) = append_plan {
+                    if plan.is_empty()
+                        || plan.iter().any(|&n| n == 0)
+                        || plan.iter().sum::<usize>() != files.len()
+                    {
+                        return Err(PmemError::Unsupported(format!(
+                            "append_plan groups must be non-empty and sum to the file count \
+                             ({} files, plan {:?})",
+                            files.len(),
+                            plan
+                        )));
+                    }
+                    let mut rest = files.split_off(plan[0]);
+                    for &n in &plan[1..] {
+                        let tail = rest.split_off(n);
+                        deferred.push(rest);
+                        rest = tail;
+                    }
+                }
                 let (comp, report) = ingest_corpus(&files, &ingest);
-                (Arc::new(comp), Some(report))
+                (Arc::new(comp), Some(report), deferred)
             }
         };
         if comp.file_names.is_empty() {
@@ -256,25 +333,14 @@ impl EngineBuilder {
             }
             .to_string()
         });
-        let stats = comp.grammar.stats();
         let bounds = upper_bounds(&comp.grammar).bounds;
-        let vocab = comp.dict.len();
         let info = head_tail_info(&comp.grammar, 1);
-        let max_exp_nonroot = info.exp_len.iter().skip(1).copied().max().unwrap_or(0);
-        let plan = CapacityPlan {
-            nrules: stats.rule_count,
-            total_symbols: stats.total_symbols,
-            vocab,
-            expanded_words: stats.expanded_words,
-            dict_text: comp.dict.text_bytes(),
-            sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
-            max_exp_nonroot,
-        };
+        let plan = CapacityPlan::from_facts(&comp, &bounds, &info);
         // Accounted without materializing the image (it is streamed from
         // disk at init; the engine only needs its size).
         let image_bytes = serialized_len(&comp) as u64;
         let snapshot = snapshot_fingerprint(&comp);
-        Ok(Engine {
+        let mut engine = Engine {
             comp,
             cfg,
             profile,
@@ -283,10 +349,18 @@ impl EngineBuilder {
             trace,
             image_bytes,
             plan,
+            bounds,
+            info,
             snapshot,
+            ingest,
             ingest_report,
+            append_log: Vec::new(),
             last_report: None,
-        })
+        };
+        for group in deferred {
+            engine.append_files(group)?;
+        }
+        Ok(engine)
     }
 }
 
@@ -302,14 +376,53 @@ pub struct Engine {
     image_bytes: u64,
     /// Host-side grammar statistics used for capacity planning only.
     plan: CapacityPlan,
+    /// Per-rule expansion upper bounds, kept unclamped so appends can
+    /// re-derive only the dirty rules ([`upper_bounds_incremental`]).
+    bounds: Vec<u64>,
+    /// Width-1 head/tail facts, maintained incrementally across appends
+    /// for the same reason.
+    info: HeadTailInfo,
     /// Deterministic corpus fingerprint ([`snapshot_fingerprint`]) — the
     /// grammar snapshot version that keys serve-layer result caches.
     snapshot: u64,
+    /// Ingest options retained for [`Engine::append_files`] (tokenizer
+    /// and seam-dedup policy must match the base build).
+    ingest: IngestOptions,
     /// Measurement record of the ingest pipeline, when this engine was
     /// built from raw files.
     ingest_report: Option<IngestReport>,
+    /// One record per completed [`Engine::append_files`] call, oldest
+    /// first.
+    append_log: Vec<AppendReport>,
     /// Report of the most recent `run`.
     pub last_report: Option<RunReport>,
+}
+
+/// Outcome of one [`Engine::append_files`] call: what grew, what was
+/// dirtied, what the delta cost, and the snapshot transition it caused.
+#[derive(Debug, Clone)]
+pub struct AppendReport {
+    /// Files added by this append.
+    pub files_appended: usize,
+    /// Tokens in the appended files.
+    pub appended_tokens: u64,
+    /// Raw bytes in the appended files.
+    pub appended_bytes: u64,
+    /// Dictionary entries interned for the first time.
+    pub new_words: usize,
+    /// Grammar rules created by the splice + seam dedup.
+    pub new_rules: usize,
+    /// Rules whose summation facts had to be recomputed (root + new).
+    pub dirty_rules: usize,
+    /// Deterministic virtual cost of the append pipeline.
+    pub virtual_ns: u64,
+    /// Span tree of the append pipeline stages.
+    pub spans: SpanNode,
+    /// Fingerprint the engine served before this append.
+    pub old_fingerprint: u64,
+    /// Snapshot handle for the corpus after this append. Carries no pool
+    /// view: sessions opened later attach their own.
+    pub snapshot: Snapshot,
 }
 
 /// Host-side sizing facts (capacity planning, not part of the measured
@@ -325,6 +438,26 @@ struct CapacityPlan {
     max_exp_nonroot: u64,
 }
 
+impl CapacityPlan {
+    /// Derive the plan from the corpus plus the maintained summation
+    /// facts (unclamped bounds, width-1 head/tail info). Shared between
+    /// the base build and the incremental append path so both produce
+    /// identical plans for identical corpora.
+    fn from_facts(comp: &Compressed, bounds: &[u64], info: &HeadTailInfo) -> CapacityPlan {
+        let stats = comp.grammar.stats();
+        let vocab = comp.dict.len();
+        CapacityPlan {
+            nrules: stats.rule_count,
+            total_symbols: stats.total_symbols,
+            vocab,
+            expanded_words: stats.expanded_words,
+            dict_text: comp.dict.text_bytes(),
+            sum_bounds: bounds.iter().map(|&b| b.min(vocab as u64)).sum(),
+            max_exp_nonroot: info.exp_len.iter().skip(1).copied().max().unwrap_or(0),
+        }
+    }
+}
+
 impl Engine {
     /// Start building an engine for `comp` (an owned corpus or a shared
     /// `Arc<Compressed>` — engines never clone the corpus).
@@ -332,26 +465,11 @@ impl Engine {
         Self::builder_from_source(BuildSource::Corpus(comp.into()))
     }
 
-    /// Start building an engine from raw `(file name, contents)` pairs:
-    /// `build` runs the ingest pipeline (tokenize → chunk → Sequitur →
-    /// merge) first, honouring [`EngineBuilder::ingest_chunks`], and the
-    /// resulting engine exposes the build measurements via
-    /// [`Engine::ingest_report`].
-    ///
-    /// ```
-    /// use ntadoc::{Engine, Task};
-    ///
-    /// let files = vec![
-    ///     ("a.txt".to_string(), "to be or not to be".to_string()),
-    ///     ("b.txt".to_string(), "to be sure to be".to_string()),
-    /// ];
-    /// let mut engine = Engine::builder_from_files(files).ingest_chunks(4).build().unwrap();
-    /// let out = engine.run(Task::WordCount).unwrap();
-    /// assert_eq!(out.word_counts().unwrap().get("to"), Some(&4));
-    /// assert!(engine.ingest_report().unwrap().virtual_ns > 0);
-    /// ```
+    /// Renamed alias of [`EngineBuilder::from_files`], kept for one
+    /// release.
+    #[deprecated(since = "0.2.0", note = "renamed to `EngineBuilder::from_files`")]
     pub fn builder_from_files(files: Vec<(String, String)>) -> EngineBuilder {
-        Self::builder_from_source(BuildSource::Files(files))
+        EngineBuilder::from_files(files)
     }
 
     fn builder_from_source(source: BuildSource) -> EngineBuilder {
@@ -364,6 +482,7 @@ impl Engine {
             trace: true,
             ingest: IngestOptions::default(),
             block: None,
+            append_plan: None,
         }
     }
 
@@ -391,6 +510,12 @@ impl Engine {
         &self.cfg
     }
 
+    /// The compressed corpus this engine serves (moves on
+    /// [`Engine::append_files`]).
+    pub fn compressed(&self) -> &Arc<Compressed> {
+        &self.comp
+    }
+
     /// The engine's display label.
     pub fn label(&self) -> &str {
         &self.label
@@ -411,10 +536,74 @@ impl Engine {
 
     /// Measurement record of the ingest pipeline ([`IngestReport`]), when
     /// this engine was built from raw files via
-    /// [`Engine::builder_from_files`]; `None` for engines built from an
+    /// [`EngineBuilder::from_files`]; `None` for engines built from an
     /// already-compressed corpus.
     pub fn ingest_report(&self) -> Option<&IngestReport> {
         self.ingest_report.as_ref()
+    }
+
+    /// One [`AppendReport`] per completed [`Engine::append_files`] call,
+    /// oldest first.
+    pub fn append_log(&self) -> &[AppendReport] {
+        &self.append_log
+    }
+
+    /// Total deterministic ingest cost of this engine's corpus: the base
+    /// build (when raw files were ingested) plus every append delta.
+    pub fn ingest_total_ns(&self) -> u64 {
+        self.ingest_report.as_ref().map_or(0, |r| r.virtual_ns)
+            + self.append_log.iter().map(|r| r.virtual_ns).sum::<u64>()
+    }
+
+    /// Append `files` to the corpus without rebuilding it: the delta is
+    /// compressed as one chunk, re-interned into the shared dictionary,
+    /// spliced at the root, seam-deduplicated, and only the dirtied rules
+    /// (root + new) have their summation facts recomputed. The engine's
+    /// snapshot fingerprint moves; sessions and pools opened before the
+    /// append keep serving the old snapshot until re-opened.
+    ///
+    /// Appending files one group at a time is byte-equivalent — grammar,
+    /// dictionary, pool image, virtual time — to a single
+    /// [`EngineBuilder::append_plan`] build with the same grouping.
+    pub fn append_files(&mut self, files: Vec<(String, String)>) -> Result<AppendReport> {
+        if files.is_empty() {
+            return Err(PmemError::Unsupported("append_files needs at least one file".into()));
+        }
+        let step = ingest_append(&self.comp, &files, &self.ingest);
+        let AppendIngest {
+            comp,
+            outcome,
+            appended_tokens,
+            appended_bytes,
+            dirty_symbols: _,
+            virtual_ns,
+            spans,
+        } = step;
+        let old_fingerprint = self.snapshot;
+        // Host-side capacity facts are maintained incrementally: only the
+        // dirty rules (root + new) are re-derived, mirroring the charged
+        // `append.resum` span in the ingest cost model.
+        let prev = SummationResult { bounds: std::mem::take(&mut self.bounds) };
+        self.bounds = upper_bounds_incremental(&comp.grammar, &prev, &outcome.dirty_rules).bounds;
+        self.info = head_tail_incremental(&comp.grammar, &self.info, 1, &outcome.dirty_rules);
+        self.plan = CapacityPlan::from_facts(&comp, &self.bounds, &self.info);
+        self.image_bytes = serialized_len(&comp) as u64;
+        self.snapshot = snapshot_fingerprint(&comp);
+        self.comp = Arc::new(comp);
+        let report = AppendReport {
+            files_appended: files.len(),
+            appended_tokens,
+            appended_bytes,
+            new_words: outcome.new_words,
+            new_rules: outcome.new_rules.len(),
+            dirty_rules: outcome.dirty_rules.len(),
+            virtual_ns,
+            spans,
+            old_fingerprint,
+            snapshot: Snapshot::of(&self.comp),
+        };
+        self.append_log.push(report.clone());
+        Ok(report)
     }
 
     /// Run one benchmark end to end under the engine's [`RetryPolicy`];
@@ -553,6 +742,16 @@ impl Engine {
             )));
         }
         if path.exists() {
+            // A pool published for a different corpus (e.g. sealed before
+            // an append moved the fingerprint) is stale: recover nothing
+            // from it and rebuild. Zero means "never published" (crash
+            // before the first persist) and takes the recovery path.
+            let published =
+                ntadoc_pmem::fsck_pool(path).map(|r| r.header.snapshot).unwrap_or(0);
+            if published != 0 && published != self.snapshot {
+                let _ = std::fs::remove_file(path);
+                return self.create_pool(path, task);
+            }
             self.reopen_pool(path, task)
         } else {
             self.create_pool(path, task)
@@ -642,6 +841,12 @@ impl Engine {
             Some(file) => file.clone(),
             None => dev.clone(),
         };
+        // The session's snapshot handle pins the corpus identity *and* the
+        // pool it is served from; responses hand it out so callers can
+        // tell exactly which published state answered them.
+        let snapshot =
+            Arc::new(Snapshot::of(&self.comp).with_pool(backend_dyn.clone()));
+        debug_assert_eq!(snapshot.fingerprint(), self.snapshot);
         let mut session = Session {
             comp: self.comp.clone(),
             cfg: self.cfg.clone(),
@@ -649,7 +854,7 @@ impl Engine {
             dev,
             backend,
             backend_dyn,
-            snapshot: self.snapshot,
+            snapshot,
             ledger,
             pool,
             scratch_base,
@@ -765,8 +970,9 @@ pub struct Session {
     /// file device when one is attached, the simulator otherwise (what
     /// [`Session::backend`] hands out).
     backend_dyn: Arc<dyn PmemBackend>,
-    /// Grammar snapshot version of the corpus this session serves.
-    snapshot: u64,
+    /// Snapshot handle for the corpus this session serves: fingerprint
+    /// plus a view of the backing pool. Shared into every response.
+    snapshot: Arc<Snapshot>,
     pub(crate) ledger: Arc<AllocLedger>,
     pub(crate) pool: Arc<PmemPool>,
     scratch_base: u64,
@@ -989,12 +1195,15 @@ impl Session {
             }
         }
 
-        // 8. Phase boundary: persist the pool; the staging buffer is
-        // released at the end of the phase.
+        // 8. Phase boundary: persist the pool and publish the snapshot
+        // fingerprint into the backend (the pool header for file-backed
+        // pools), sealing which corpus this pool now serves; the staging
+        // buffer is released at the end of the phase.
         obs.span("persist", dev, || -> Result<()> {
             if self.cfg.persistence != Persistence::None {
                 self.dag()?.persist_all();
             }
+            self.backend_dyn.publish_snapshot(self.snapshot.fingerprint())?;
             self.drop_dram(staging);
             Ok(())
         })?;
@@ -1043,15 +1252,8 @@ impl Session {
             task: query.task,
             output: Arc::new(query.key().apply(out)),
             cache_hit: false,
-            snapshot: self.snapshot,
+            snapshot: self.snapshot.clone(),
         })
-    }
-
-    /// The graph-traversal phase under the engine's [`RetryPolicy`].
-    #[deprecated(since = "0.1.0", note = "use `run_query` with a typed `Query`")]
-    pub fn execute(&mut self) -> Result<TaskOutput> {
-        let task = self.task;
-        self.run_query(&Query::new(TenantId::default(), task)).map(QueryResponse::into_output)
     }
 
     /// The graph-traversal phase, one attempt, recorded as a
@@ -1186,25 +1388,18 @@ impl Session {
         self.backend.as_ref()
     }
 
+    /// The snapshot handle this session serves: corpus fingerprint plus
+    /// the backing pool view. Every response of this session references
+    /// the same handle.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
     /// The grammar snapshot version this session serves
-    /// ([`Engine::snapshot_version`]).
+    /// ([`Engine::snapshot_version`]); shorthand for
+    /// `session.snapshot().fingerprint()`.
     pub fn snapshot_version(&self) -> u64 {
-        self.snapshot
-    }
-
-    /// The session's device.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `backend` for the trait surface or `sim_device` for simulator instrumentation"
-    )]
-    pub fn device(&self) -> &Arc<SimDevice> {
-        self.sim_device()
-    }
-
-    /// The file-backed device, when one is attached.
-    #[deprecated(since = "0.1.0", note = "renamed to `pool_file`")]
-    pub fn file_backend(&self) -> Option<&Arc<FileDevice>> {
-        self.pool_file()
+        self.snapshot.fingerprint()
     }
 
     /// Simulate a power failure on the session's device (under the
@@ -1386,18 +1581,9 @@ impl ServeSession {
                 task: q.task,
                 output: Arc::new(o),
                 cache_hit: false,
-                snapshot: s.snapshot,
+                snapshot: s.snapshot.clone(),
             })
             .collect())
-    }
-
-    /// Execute a batch of read-only tasks concurrently, returning outputs
-    /// in task order.
-    #[deprecated(since = "0.1.0", note = "use `run_queries` with typed `Query` values")]
-    pub fn run_tasks(&self, tasks: &[Task]) -> Result<Vec<TaskOutput>> {
-        let queries: Vec<Query> =
-            tasks.iter().map(|&t| Query::new(TenantId::default(), t)).collect();
-        Ok(self.run_queries(&queries)?.into_iter().map(QueryResponse::into_output).collect())
     }
 
     /// Measurement report (init time plus all batches served so far).
@@ -1405,11 +1591,17 @@ impl ServeSession {
         self.session.report()
     }
 
+    /// The snapshot handle this serve session answers for: corpus
+    /// fingerprint plus the backing pool view — see [`Session::snapshot`].
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        self.session.snapshot()
+    }
+
     /// The grammar snapshot version this serve session answers for
     /// ([`Engine::snapshot_version`]) — the cache-key half a serve daemon
     /// pairs with each [`Query::key`].
     pub fn snapshot_version(&self) -> u64 {
-        self.session.snapshot
+        self.session.snapshot_version()
     }
 
     /// The storage backend behind the object-safe [`PmemBackend`] trait.
@@ -1428,15 +1620,6 @@ impl ServeSession {
     /// fold into [`ServeSession::report`] alongside the engine's own.
     pub fn obs(&self) -> &Obs {
         &self.session.obs
-    }
-
-    /// The underlying device.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `backend` for the trait surface or `sim_device` for simulator instrumentation"
-    )]
-    pub fn device(&self) -> &Arc<SimDevice> {
-        self.session.sim_device()
     }
 }
 

@@ -31,6 +31,9 @@ const TOKENIZE_NS_PER_BYTE: u64 = 1;
 const SEQUITUR_NS_PER_TOKEN: u64 = 40;
 const MERGE_NS_PER_SYMBOL: u64 = 6;
 const INTERN_NS_PER_WORD: u64 = 20;
+/// Re-summation of a dirty rule's body, per symbol — same order as the
+/// engines' `CostModel::per_item_ns`.
+const RESUM_NS_PER_SYMBOL: u64 = 3;
 
 /// Knobs for the chunk-parallel ingest pipeline.
 #[derive(Debug, Clone)]
@@ -166,6 +169,128 @@ pub fn ingest_corpus(
     (comp, report)
 }
 
+/// Measurement record of one [`ingest_append`] step.
+#[derive(Debug, Clone)]
+pub struct AppendIngest {
+    /// The grown corpus (base + appended files).
+    pub comp: Compressed,
+    /// What the grammar-level absorb changed (new rules, dirty set, …).
+    pub outcome: merge::AppendOutcome,
+    /// Tokens contributed by the appended files.
+    pub appended_tokens: u64,
+    /// Bytes of appended text.
+    pub appended_bytes: u64,
+    /// Symbols across the dirty rules' bodies after the absorb (the
+    /// incremental re-summation workload).
+    pub dirty_symbols: u64,
+    /// Total deterministic virtual time of the append step.
+    pub virtual_ns: u64,
+    /// Span tree rooted at `append`.
+    pub spans: SpanNode,
+}
+
+/// Absorb `files` into an already-compressed `base` corpus — the
+/// streaming-corpora ingest step behind [`crate::Engine::append_files`].
+///
+/// The delta is tokenized with the same fan-out pattern as
+/// [`ingest_corpus`], compressed as **one** append chunk (Sequitur over
+/// the new files only, each with its leading file separator), then
+/// absorbed via [`merge::append_chunk`]: re-intern into the shared
+/// dictionary, remap rule ids, splice at the root, batched seam dedup.
+/// Finally the incremental re-summation of the dirty rules ({root} ∪ new
+/// rules) is charged — the whole step's cost scales with the *delta*, not
+/// the corpus, which is exactly what a full rebuild cannot do.
+///
+/// Pure function of `(base, files, opts.tokenizer, opts.seam_dedup)`:
+/// both the grown corpus and `virtual_ns` are bit-identical for any
+/// `RAYON_NUM_THREADS`, so a fold of appends is replayable byte for byte.
+pub fn ingest_append(
+    base: &Compressed,
+    files: &[(String, String)],
+    opts: &IngestOptions,
+) -> AppendIngest {
+    let obs = Obs::new();
+    // Same pure virtual timebase as `ingest_corpus`.
+    let dev = SimDevice::new(DeviceProfile::dram(), 4096);
+    let mut appended_tokens = 0u64;
+    let appended_bytes: u64 = files.iter().map(|(_, t)| t.len() as u64).sum();
+
+    let (comp, outcome, dirty_symbols) = obs.span("append", &dev, || {
+        let toks: Vec<Vec<String>> = obs.span("append.tokenize", &dev, || {
+            let (toks, charges) = par::par_map_timed(files, |_, (_, text)| {
+                let t = tokenize(text, &opts.tokenizer);
+                dev.charge_ns(text.len() as u64 * TOKENIZE_NS_PER_BYTE);
+                t
+            });
+            par::join_deferred(&dev, &charges);
+            toks
+        });
+
+        let counts: Vec<usize> = toks.iter().map(|t| t.len()).collect();
+        appended_tokens = counts.iter().map(|&c| c as u64).sum();
+        // One chunk spanning every appended file, at global file indices
+        // past the existing corpus.
+        let plan = merge::plan_chunks(&counts, 1);
+        let file_base = base.file_names.len();
+        let (built, charges) = par::par_map_timed(&plan, |_, pieces| {
+            let tokens: u64 = pieces.iter().map(|p| (p.end - p.start) as u64).sum();
+            let cg = merge::build_chunk_at(&toks, pieces, file_base);
+            dev.charge_ns(tokens * SEQUITUR_NS_PER_TOKEN);
+            cg
+        });
+        let delta = AccessStats { virtual_ns: charges[0].ns(), ..AccessStats::default() };
+        obs.record_leaf("append.chunk0", delta);
+        par::join_deferred(&dev, &charges);
+
+        let (comp, outcome) = obs.span("append.absorb", &dev, || {
+            let chunk = &built[0];
+            let spliced: u64 =
+                chunk.grammar.rules.iter().map(|r| r.symbols.len() as u64).sum();
+            let words = chunk.dict.len() as u64;
+            let mut grammar = base.grammar.clone();
+            let mut dict = base.dict.clone();
+            let outcome = merge::append_chunk(
+                &mut grammar,
+                &mut dict,
+                chunk,
+                &merge::MergeOptions { seam_dedup: opts.seam_dedup },
+            );
+            dev.charge_ns(spliced * MERGE_NS_PER_SYMBOL + words * INTERN_NS_PER_WORD);
+            let mut file_names = base.file_names.clone();
+            file_names.extend(files.iter().map(|(n, _)| n.clone()));
+            (Compressed { grammar, dict, file_names }, outcome)
+        });
+
+        // Charge the incremental re-summation: only the dirty rules'
+        // bodies are re-walked (vs. every symbol in the grammar on a
+        // full build).
+        let dirty: u64 = outcome
+            .dirty_rules
+            .iter()
+            .map(|&r| comp.grammar.rules[r as usize].symbols.len() as u64)
+            .sum();
+        obs.span("append.resum", &dev, || {
+            dev.charge_ns(dirty * RESUM_NS_PER_SYMBOL);
+        });
+        (comp, outcome, dirty)
+    });
+
+    let spans = obs.tree("append-root");
+    AppendIngest {
+        comp,
+        outcome,
+        appended_tokens,
+        appended_bytes,
+        dirty_symbols,
+        virtual_ns: dev.stats().virtual_ns,
+        spans: spans
+            .children
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| SpanNode::leaf("append", AccessStats::default())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +352,52 @@ mod tests {
             );
         }
         assert!(report.virtual_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn append_fold_reproduces_full_corpus_for_any_worker_count() {
+        let files = corpus();
+        let serial = compress_corpus(&files, &TokenizerConfig::default());
+        let fold = || {
+            let (mut comp, base) = ingest_corpus(&files[..1], &IngestOptions::default());
+            let mut total_ns = base.virtual_ns;
+            for f in &files[1..] {
+                let step =
+                    ingest_append(&comp, std::slice::from_ref(f), &IngestOptions::default());
+                comp = step.comp;
+                total_ns += step.virtual_ns;
+            }
+            (comp, total_ns)
+        };
+        let (comp, ns) = fold();
+        comp.grammar.validate().unwrap();
+        assert_eq!(comp.grammar.expand_text(&comp.dict), serial.grammar.expand_text(&serial.dict));
+        assert_eq!(comp.dict.iter().collect::<Vec<_>>(), serial.dict.iter().collect::<Vec<_>>());
+        assert_eq!(comp.file_names, serial.file_names);
+        for threads in [1usize, 4, 8] {
+            let (c, n) = par::with_threads(threads, fold);
+            assert_eq!(c.grammar, comp.grammar, "grammar diverged at {threads} threads");
+            assert_eq!(n, ns, "virtual_ns diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn append_cost_scales_with_the_delta_not_the_corpus() {
+        let files = corpus();
+        let (comp, full) = ingest_corpus(&files, &IngestOptions::default());
+        let one_more = vec![("fresh.txt".to_string(), files[0].1.clone())];
+        let step = ingest_append(&comp, &one_more, &IngestOptions::default());
+        assert!(
+            step.virtual_ns * 3 < full.virtual_ns,
+            "append of one file ({} ns) should cost a small fraction of the full build ({} ns)",
+            step.virtual_ns,
+            full.virtual_ns
+        );
+        assert!(step.spans.find("append.tokenize").is_some());
+        assert!(step.spans.find("append.chunk0").is_some());
+        assert!(step.spans.find("append.absorb").is_some());
+        assert!(step.spans.find("append.resum").is_some());
+        assert!(step.dirty_symbols > 0 && step.appended_tokens > 0);
     }
 
     #[test]

@@ -65,15 +65,18 @@ pub mod summation;
 pub use access::Accessor;
 pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
-pub use engine::{Engine, EngineBuilder, RetryPolicy, ServeSession, Session};
-pub use ingest::{ingest_corpus, IngestOptions, IngestReport};
-pub use query::{snapshot_fingerprint, Query, QueryKey, QueryResponse, TenantId};
+pub use engine::{AppendReport, Engine, EngineBuilder, RetryPolicy, ServeSession, Session};
+pub use ingest::{ingest_append, ingest_corpus, AppendIngest, IngestOptions, IngestReport};
+pub use query::{snapshot_fingerprint, Query, QueryKey, QueryResponse, Snapshot, TenantId};
 pub use report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
     METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use result::{OutputMismatch, Task, TaskOutput};
-pub use summation::{head_tail_info, topo_levels, upper_bounds, SummationResult};
+pub use summation::{
+    head_tail_incremental, head_tail_info, topo_levels, upper_bounds, upper_bounds_incremental,
+    SummationResult,
+};
 
 /// Crate-level result alias; all fallible paths surface `ntadoc-pmem`
 /// errors (pool exhaustion, transaction misuse).

@@ -17,8 +17,99 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ntadoc_grammar::Compressed;
+use ntadoc_pmem::PmemBackend;
 
 use crate::result::{Task, TaskOutput};
+
+/// First-class handle to one published grammar snapshot: the corpus
+/// fingerprint plus the pool view serving it.
+///
+/// A `Snapshot` is minted when a session opens over a pool
+/// ([`crate::Engine::serve`]) or when an append publishes a grown corpus
+/// ([`crate::Engine::append_files`]); responses reference it so a caller
+/// can always tell *which* corpus state produced an answer, and caches can
+/// key on [`Snapshot::fingerprint`]. Identity (equality, hashing,
+/// ordering) is the fingerprint alone — two handles over the same corpus
+/// compare equal even when they view different pools (e.g. the Sim and
+/// File backends of one corpus).
+#[derive(Clone)]
+pub struct Snapshot {
+    fingerprint: u64,
+    files: usize,
+    rules: usize,
+    /// The pool the snapshot's sessions read from; `None` for a handle
+    /// minted before any pool exists (an engine without a session).
+    pool: Option<Arc<dyn PmemBackend>>,
+}
+
+impl Snapshot {
+    /// Mint a handle for `comp` with no pool view yet.
+    pub fn of(comp: &Compressed) -> Self {
+        Snapshot {
+            fingerprint: snapshot_fingerprint(comp),
+            files: comp.file_names.len(),
+            rules: comp.grammar.rule_count(),
+            pool: None,
+        }
+    }
+
+    /// Attach the pool backend this snapshot is served from.
+    pub fn with_pool(mut self, pool: Arc<dyn PmemBackend>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The deterministic corpus fingerprint ([`snapshot_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Files in the snapshot's corpus.
+    pub fn files(&self) -> usize {
+        self.files
+    }
+
+    /// Rules in the snapshot's grammar.
+    pub fn rules(&self) -> usize {
+        self.rules
+    }
+
+    /// The pool view serving this snapshot, when one exists.
+    pub fn pool(&self) -> Option<&Arc<dyn PmemBackend>> {
+        self.pool.as_ref()
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+    }
+}
+
+impl Eq for Snapshot {}
+
+impl std::hash::Hash for Snapshot {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.fingerprint.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("files", &self.files)
+            .field("rules", &self.rules)
+            .field("pool", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.fingerprint)
+    }
+}
 
 /// Identifies the tenant a query belongs to. Purely a routing/quota
 /// label: it never influences the answer (and is therefore absent from
@@ -184,9 +275,9 @@ pub struct QueryResponse {
     /// Whether this answer came from a result cache (zero device-line
     /// reads) rather than a DAG traversal.
     pub cache_hit: bool,
-    /// The grammar snapshot version the answer is valid for
-    /// ([`snapshot_fingerprint`]).
-    pub snapshot: u64,
+    /// The snapshot the answer is valid for. Shared: every response of a
+    /// batch references the same handle.
+    pub snapshot: Arc<Snapshot>,
 }
 
 impl QueryResponse {

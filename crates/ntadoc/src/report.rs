@@ -117,20 +117,6 @@ impl RunReport {
         self.spans.find(name)
     }
 
-    /// Peak bytes resident in DRAM during the run (RSS proxy).
-    #[deprecated(note = "read the mem.dram_peak_bytes gauge: report.metric_f64(METRIC_DRAM_PEAK)")]
-    pub fn dram_peak_bytes(&self) -> u64 {
-        self.metric_f64(METRIC_DRAM_PEAK).unwrap_or(0.0) as u64
-    }
-
-    /// Peak bytes resident on the persistent device during the run.
-    #[deprecated(
-        note = "read the mem.device_peak_bytes gauge: report.metric_f64(METRIC_DEVICE_PEAK)"
-    )]
-    pub fn device_peak_bytes(&self) -> u64 {
-        self.metric_f64(METRIC_DEVICE_PEAK).unwrap_or(0.0) as u64
-    }
-
     /// Serialize into the versioned JSON schema.
     pub fn to_json(&self) -> Json {
         Json::object([
@@ -271,11 +257,6 @@ mod tests {
         assert_eq!(r.metric_u64(METRIC_DRAM_PEAK), None); // gauge, not counter
         assert_eq!(r.metric_f64("nope"), None);
         assert_eq!(r.span("dag-build").unwrap().stats.writes, 3);
-        #[allow(deprecated)]
-        {
-            assert_eq!(r.dram_peak_bytes(), 10);
-            assert_eq!(r.device_peak_bytes(), 20);
-        }
     }
 
     #[test]

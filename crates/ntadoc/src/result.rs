@@ -231,44 +231,6 @@ impl TaskOutput {
         }
     }
 
-    // ---- deprecated pre-0.2 accessor names ------------------------------
-
-    /// Borrow as word counts.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_word_counts`")]
-    pub fn word_counts(&self) -> Result<&BTreeMap<String, u64>, OutputMismatch> {
-        self.as_word_counts()
-    }
-
-    /// Borrow as sorted counts.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_sorted`")]
-    pub fn sorted(&self) -> Result<&[(String, u64)], OutputMismatch> {
-        self.as_sorted()
-    }
-
-    /// Borrow as term vectors.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_term_vectors`")]
-    pub fn term_vectors(&self) -> Result<&FileTermVectors, OutputMismatch> {
-        self.as_term_vectors()
-    }
-
-    /// Borrow as an inverted index.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_inverted_index`")]
-    pub fn inverted_index(&self) -> Result<&BTreeMap<String, Vec<String>>, OutputMismatch> {
-        self.as_inverted_index()
-    }
-
-    /// Borrow as sequence counts.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_sequence_counts`")]
-    pub fn sequence_counts(&self) -> Result<&BTreeMap<Vec<String>, u64>, OutputMismatch> {
-        self.as_sequence_counts()
-    }
-
-    /// Borrow as a ranked inverted index.
-    #[deprecated(since = "0.1.0", note = "renamed to `as_ranked_inverted_index`")]
-    pub fn ranked_inverted_index(&self) -> Result<&RankedPostings, OutputMismatch> {
-        self.as_ranked_inverted_index()
-    }
-
     /// Serialize the output as deterministic [`Json`] (the CLI serve
     /// protocol's wire shape). Map-like results become objects keyed by
     /// word (n-grams joined by spaces); list-like results become arrays.
@@ -378,10 +340,6 @@ mod tests {
         assert_eq!(out.clone().into_word_counts().unwrap(), m);
         let err = out.into_sorted().unwrap_err();
         assert_eq!(err, OutputMismatch { expected: Task::Sort, got: Task::WordCount });
-        // The deprecated names stay callable for one release.
-        #[allow(deprecated)]
-        let old = TaskOutput::WordCount(m.clone()).word_counts().cloned();
-        assert_eq!(old.unwrap(), m);
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub trait PmemBackend: Send + Sync {
     /// Disarm any pending trip.
     fn clear_trip(&self);
 
+    /// Seal which corpus snapshot this pool now serves: record the
+    /// fingerprint durably (the pool header for file-backed devices) so a
+    /// reopen can tell a current pool from one superseded by an append.
+    /// Zero means "never published".
+    fn publish_snapshot(&self, fingerprint: u64) -> Result<()>;
+
+    /// The last fingerprint sealed by [`publish_snapshot`]
+    /// (`Self::publish_snapshot`), or zero if none was.
+    fn published_snapshot(&self) -> u64;
+
     /// Flush + fence over one range: the minimal durability unit.
     fn persist(&self, addr: Addr, len: usize) {
         self.flush(addr, len);
@@ -170,6 +180,15 @@ impl PmemBackend for SimDevice {
 
     fn clear_trip(&self) {
         SimDevice::clear_trip(self)
+    }
+
+    fn publish_snapshot(&self, fingerprint: u64) -> Result<()> {
+        SimDevice::publish_snapshot(self, fingerprint);
+        Ok(())
+    }
+
+    fn published_snapshot(&self) -> u64 {
+        SimDevice::published_snapshot(self)
     }
 
     // The native read_u64/write_u64 go through the typed fast path and

@@ -451,6 +451,10 @@ pub struct SimDevice {
     fault_lines: AtomicU64,
     /// Times a poisoned state lock was healed (cache residency reset).
     poison_heals: AtomicU64,
+    /// Last corpus-snapshot fingerprint published to this device
+    /// ([`SimDevice::publish_snapshot`]); zero until one is. Metadata for
+    /// the serve layer, outside the cost model.
+    published: AtomicU64,
     /// Durable-image observer (the file-backed backend). Set at most once,
     /// only for persistent profiles; hooks fire under the state lock.
     mirror: OnceLock<Arc<dyn DeviceMirror>>,
@@ -496,6 +500,7 @@ impl SimDevice {
             read_shards: read_shards.into_boxed_slice(),
             fault_lines: AtomicU64::new(0),
             poison_heals: AtomicU64::new(0),
+            published: AtomicU64::new(0),
             mirror: OnceLock::new(),
             inner: RwLock::new(Inner {
                 cache,
@@ -595,6 +600,20 @@ impl SimDevice {
     /// Whether a durable-image mirror is attached.
     pub fn has_mirror(&self) -> bool {
         self.mirror.get().is_some()
+    }
+
+    /// Record which corpus-snapshot fingerprint this device now serves.
+    /// Pure metadata: no bytes move and no virtual time is charged (the
+    /// file-backed device overrides the trait method to also seal its
+    /// pool header).
+    pub fn publish_snapshot(&self, fingerprint: u64) {
+        self.published.store(fingerprint, Ordering::Release);
+    }
+
+    /// The last fingerprint recorded by
+    /// [`publish_snapshot`](Self::publish_snapshot); zero if none was.
+    pub fn published_snapshot(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
     }
 
     /// Full contents of `lines` (ascending, deduplicated by the caller)

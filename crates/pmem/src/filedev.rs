@@ -33,7 +33,8 @@
 //!
 //! ```text
 //! [0..64)   header: magic "NTDCPOOL", version, line size, capacity,
-//!           main/scratch/log region lengths, flags, CRC-64 seal
+//!           main/scratch/log region lengths, published snapshot
+//!           fingerprint, CRC-64 seal
 //! [64..)    pool bytes (sparse; holes read as zero)
 //! ```
 
@@ -87,7 +88,7 @@ impl PoolLayout {
 
 /// The fixed 64-byte header at the front of every pool file:
 /// magic (8) ‖ version (4) ‖ line_size (4) ‖ capacity (8) ‖ main_len (8)
-/// ‖ scratch_len (8) ‖ log_len (8) ‖ flags (8) ‖ crc64 of the first 56
+/// ‖ scratch_len (8) ‖ log_len (8) ‖ snapshot (8) ‖ crc64 of the first 56
 /// bytes (8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolHeader {
@@ -97,14 +98,17 @@ pub struct PoolHeader {
     pub line_size: u32,
     /// Region layout.
     pub layout: PoolLayout,
-    /// Reserved flag bits (zero in version 1).
-    pub flags: u64,
+    /// Corpus-snapshot fingerprint published into this pool
+    /// ([`crate::PmemBackend::publish_snapshot`]); zero until the first
+    /// publish (and in pre-append pool files, which used these bytes as
+    /// reserved zero flags — the format version is unchanged).
+    pub snapshot: u64,
 }
 
 impl PoolHeader {
     /// Header for a fresh pool.
     pub fn new(line_size: usize, layout: PoolLayout) -> Self {
-        PoolHeader { version: POOL_VERSION, line_size: line_size as u32, layout, flags: 0 }
+        PoolHeader { version: POOL_VERSION, line_size: line_size as u32, layout, snapshot: 0 }
     }
 
     /// Serialize to the on-disk form, sealing with CRC-64.
@@ -117,7 +121,7 @@ impl PoolHeader {
         buf[24..32].copy_from_slice(&self.layout.main_len.to_le_bytes());
         buf[32..40].copy_from_slice(&self.layout.scratch_len.to_le_bytes());
         buf[40..48].copy_from_slice(&self.layout.log_len.to_le_bytes());
-        buf[48..56].copy_from_slice(&self.flags.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.snapshot.to_le_bytes());
         let seal = crc64(&buf[..56]);
         buf[56..64].copy_from_slice(&seal.to_le_bytes());
         buf
@@ -161,8 +165,8 @@ impl PoolHeader {
                 layout.main_len, layout.scratch_len, layout.log_len, layout.capacity
             )));
         }
-        let flags = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes"));
-        Ok(PoolHeader { version, line_size, layout, flags })
+        let snapshot = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes"));
+        Ok(PoolHeader { version, line_size, layout, snapshot })
     }
 }
 
@@ -310,6 +314,8 @@ impl FileDevice {
             twin.poke(at, &buf[..n]);
             at += n as u64;
         }
+        // A reopened pool resumes at the snapshot its header sealed.
+        twin.publish_snapshot(header.snapshot);
         let mirror = FileMirror {
             file: Mutex::new(file),
             line_size: header.line_size as u64,
@@ -326,7 +332,9 @@ impl FileDevice {
         &self.twin
     }
 
-    /// The validated pool header.
+    /// The validated pool header as of open/create. The `snapshot` field
+    /// reflects that moment; [`PmemBackend::published_snapshot`] tracks
+    /// publishes made since.
     pub fn header(&self) -> &PoolHeader {
         &self.header
     }
@@ -446,6 +454,23 @@ impl PmemBackend for FileDevice {
 
     fn clear_trip(&self) {
         self.twin.clear_trip()
+    }
+
+    /// Publishing seals the fingerprint into the on-disk pool header (a
+    /// single 64-byte rewrite-and-sync, below the data region so the twin
+    /// address space is untouched) and mirrors it into the twin.
+    fn publish_snapshot(&self, fingerprint: u64) -> Result<()> {
+        let mut header = self.header;
+        header.snapshot = fingerprint;
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.write_all_at(&header.to_bytes(), 0)?;
+        file.sync_data()?;
+        self.twin.publish_snapshot(fingerprint);
+        Ok(())
+    }
+
+    fn published_snapshot(&self) -> u64 {
+        self.twin.published_snapshot()
     }
 }
 
@@ -688,6 +713,25 @@ mod tests {
         assert_eq!(fd.twin().read_u64(layout.capacity - 8), 0, "chopped tail reads as zeros");
         let report = fsck_pool(&path).unwrap();
         assert!(report.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn published_snapshot_survives_reopen_and_shows_in_fsck() {
+        let path = tmp("publish.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        assert_eq!(fd.published_snapshot(), 0, "fresh pools are unpublished");
+        fd.publish_snapshot(0xABCD_EF01_2345_6789).unwrap();
+        assert_eq!(fd.published_snapshot(), 0xABCD_EF01_2345_6789);
+        // The seal is durable: fsck and a reopen both see it, and the
+        // resealed header still validates.
+        let report = fsck_pool(&path).unwrap();
+        assert!(report.recoverable());
+        assert_eq!(report.header.snapshot, 0xABCD_EF01_2345_6789);
+        drop(fd);
+        let fd2 = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd2.published_snapshot(), 0xABCD_EF01_2345_6789);
+        assert_eq!(fd2.header().snapshot, 0xABCD_EF01_2345_6789);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -67,8 +67,16 @@ impl ResultCache {
     /// Drop every entry not belonging to `snapshot` — called when a new
     /// grammar snapshot is installed, since old entries can never hit again.
     pub fn retain_snapshot(&mut self, snapshot: u64) {
-        self.entries.retain(|(s, _), _| *s == snapshot);
-        self.order.retain(|(s, _)| *s == snapshot);
+        self.retain_snapshots(&[snapshot]);
+    }
+
+    /// Drop every entry whose snapshot is not in `snapshots`. The daemon
+    /// keeps {draining, current} alive while an old lane drains, then
+    /// narrows to {current} the moment the drain lane empties — so exactly
+    /// the superseded entries are invalidated, no sooner and no later.
+    pub fn retain_snapshots(&mut self, snapshots: &[u64]) {
+        self.entries.retain(|(s, _), _| snapshots.contains(s));
+        self.order.retain(|(s, _)| snapshots.contains(s));
     }
 
     /// Entries currently resident.
@@ -136,6 +144,18 @@ mod tests {
         assert!(c.get(2, &key(Task::WordCount, None)).is_none());
         c.retain_snapshot(2);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn retain_snapshots_keeps_exactly_the_named_generations() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, key(Task::WordCount, None), out("a", 1));
+        c.insert(2, key(Task::WordCount, None), out("b", 2));
+        c.insert(3, key(Task::WordCount, None), out("c", 3));
+        c.retain_snapshots(&[2, 3]);
+        assert!(c.get(1, &key(Task::WordCount, None)).is_none());
+        assert!(c.get(2, &key(Task::WordCount, None)).is_some());
+        assert!(c.get(3, &key(Task::WordCount, None)).is_some());
     }
 
     #[test]

@@ -11,9 +11,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use ntadoc::engine::ServeSession;
-use ntadoc::{Query, QueryResponse, RunReport, TenantId};
+use ntadoc::{Query, QueryResponse, RunReport, Snapshot, TenantId};
 use ntadoc_pmem::obs::{
     labeled, METRIC_ADMISSION_REJECTED, METRIC_BATCHES, METRIC_CACHE_HITS, METRIC_CACHE_HIT_RATE,
     METRIC_CACHE_MISSES, METRIC_QUEUE_DEPTH_PEAK,
@@ -71,22 +72,65 @@ pub struct TraceOutcome {
     pub rejections: Vec<Rejection>,
 }
 
+/// One snapshot generation inside the daemon: its resident session, the
+/// snapshot handle it answers for, the queries admitted under it that
+/// have not dispatched yet, and its own device-occupancy horizon (each
+/// lane has its own simulated device, so an old lane draining never
+/// serializes against new-snapshot batches).
+struct Lane {
+    serve: ServeSession,
+    snapshot: Arc<Snapshot>,
+    pending: VecDeque<Pending>,
+    /// Virtual time this lane's device frees up after its last batch.
+    busy_until: u64,
+}
+
+impl Lane {
+    fn new(serve: ServeSession) -> Self {
+        let snapshot = serve.snapshot().clone();
+        Lane { serve, snapshot, pending: VecDeque::new(), busy_until: 0 }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.snapshot.fingerprint()
+    }
+
+    /// Virtual time the oldest pending query's batch window expires.
+    fn deadline(&self, window_ns: u64) -> Option<u64> {
+        self.pending.front().map(|p| p.arrival_ns.saturating_add(window_ns))
+    }
+}
+
+/// Which lane a dispatch targets. The draining lane always wins deadline
+/// ties: its work was admitted first.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LaneSel {
+    Draining,
+    Current,
+}
+
 /// Multi-tenant query daemon over one resident [`ServeSession`].
 ///
 /// See the [crate docs](crate) for the role split between this type, the
 /// [`ResultCache`], and the engine's `run_queries`.
+///
+/// [`QueryDaemon::install`] rotates in a new snapshot without stalling:
+/// queries admitted under the old snapshot move to a *drain lane* that
+/// keeps dispatching against the old session (and old pool) on its own
+/// deadlines, interleaved with new-snapshot admissions. The cache keeps
+/// both generations' entries until the drain lane empties, then sweeps
+/// exactly the superseded ones.
 pub struct QueryDaemon {
-    serve: ServeSession,
+    current: Lane,
+    /// The previous snapshot generation, while its admitted work drains.
+    /// At most one: a second `install` flushes this lane first.
+    draining: Option<Lane>,
     cfg: DaemonConfig,
     cache: ResultCache,
-    snapshot: u64,
-    pending: VecDeque<Pending>,
     /// Min-heap of `(done_ns, tenant)` quota releases not yet applied.
     releases: BinaryHeap<Reverse<(u64, u32)>>,
     /// Admitted-but-unfinished queries per tenant.
     tenant_load: HashMap<u32, usize>,
-    /// Virtual time the device frees up after the last dispatched batch.
-    busy_until: u64,
     /// Latest arrival timestamp seen (the daemon's notion of "now").
     clock_ns: u64,
     batches: u64,
@@ -97,17 +141,14 @@ pub struct QueryDaemon {
 impl QueryDaemon {
     /// Wrap a resident serve session with the given tuning knobs.
     pub fn new(serve: ServeSession, cfg: DaemonConfig) -> Self {
-        let snapshot = serve.snapshot_version();
         let cache = ResultCache::new(cfg.cache_capacity);
         QueryDaemon {
-            serve,
+            current: Lane::new(serve),
+            draining: None,
             cfg,
             cache,
-            snapshot,
-            pending: VecDeque::new(),
             releases: BinaryHeap::new(),
             tenant_load: HashMap::new(),
-            busy_until: 0,
             clock_ns: 0,
             batches: 0,
             queue_peak: 0,
@@ -115,19 +156,34 @@ impl QueryDaemon {
         }
     }
 
-    /// Grammar snapshot version all cache entries are keyed under.
+    /// Grammar snapshot version new admissions are keyed under.
     pub fn snapshot_version(&self) -> u64 {
-        self.snapshot
+        self.current.fingerprint()
     }
 
-    /// The wrapped serve session (device stats, obs, report plumbing).
+    /// Snapshot handle new admissions answer for.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.current.snapshot
+    }
+
+    /// The current serve session (device stats, obs, report plumbing).
     pub fn serve_session(&self) -> &ServeSession {
-        &self.serve
+        &self.current.serve
     }
 
-    /// Queries admitted but not yet dispatched.
+    /// The superseded serve session while its admitted work drains.
+    pub fn draining_session(&self) -> Option<&ServeSession> {
+        self.draining.as_ref().map(|l| &l.serve)
+    }
+
+    /// Queries admitted but not yet dispatched, across both lanes.
     pub fn queue_depth(&self) -> usize {
-        self.pending.len()
+        self.current.pending.len() + self.draining.as_ref().map_or(0, |l| l.pending.len())
+    }
+
+    /// Old-snapshot queries still waiting to dispatch.
+    pub fn draining_depth(&self) -> usize {
+        self.draining.as_ref().map_or(0, |l| l.pending.len())
     }
 
     /// Lifetime `(hits, misses)` of the result cache.
@@ -145,18 +201,34 @@ impl QueryDaemon {
         self.batches
     }
 
-    /// Swap in a session over a new (e.g. re-compressed) corpus snapshot.
+    /// Swap in a session over a new (e.g. appended or re-compressed)
+    /// corpus snapshot, without stalling in-flight work.
     ///
-    /// Pending queries are flushed against the *old* snapshot first — they
-    /// were admitted under it — and their completions returned. Cache
-    /// entries keyed under any other snapshot are swept; they could never
-    /// hit again, since lookups carry the new fingerprint.
+    /// Queries already admitted stay pinned to the old snapshot: the old
+    /// lane moves to *draining* and keeps dispatching against its own
+    /// session and device on its own batch deadlines, concurrently with
+    /// new-snapshot admissions. The cache retains both generations until
+    /// the drain lane empties, at which point exactly the superseded
+    /// entries are swept.
+    ///
+    /// At most one drain generation runs at a time: if a previous drain
+    /// lane still holds work, it is flushed to completion first and those
+    /// completions are returned.
     pub fn install(&mut self, serve: ServeSession) -> Result<Vec<Completion>, ServeError> {
         let mut flushed = Vec::new();
-        self.flush(&mut flushed)?;
-        self.snapshot = serve.snapshot_version();
-        self.cache.retain_snapshot(self.snapshot);
-        self.serve = serve;
+        while self.draining.is_some() {
+            let (deadline, sel) = self.due_deadline().expect("draining lane has a deadline");
+            debug_assert!(sel == LaneSel::Draining, "drain deadlines precede current ones");
+            self.dispatch(sel, deadline.min(self.clock_ns), &mut flushed)?;
+        }
+        let old = std::mem::replace(&mut self.current, Lane::new(serve));
+        if old.pending.is_empty() {
+            // Nothing pinned to the old snapshot: sweep it immediately.
+            self.cache.retain_snapshots(&[self.current.fingerprint()]);
+        } else {
+            self.cache.retain_snapshots(&[old.fingerprint(), self.current.fingerprint()]);
+            self.draining = Some(old);
+        }
         Ok(flushed)
     }
 
@@ -166,7 +238,7 @@ impl QueryDaemon {
     pub fn execute(&mut self, query: Query) -> Result<QueryResponse, ServeError> {
         // Interactive callers observe completions in order, so "now" is at
         // least the point where the previous batch finished.
-        let at = self.clock_ns.max(self.busy_until);
+        let at = self.clock_ns.max(self.current.busy_until);
         self.submit(at, query)?;
         let mut done = Vec::new();
         self.flush(&mut done)?;
@@ -177,16 +249,28 @@ impl QueryDaemon {
     /// pipeline. Deterministic: identical traces produce bit-identical
     /// outcomes for any `RAYON_NUM_THREADS` / worker count.
     pub fn run_trace(&mut self, trace: &[TraceEvent]) -> Result<TraceOutcome, ServeError> {
+        let mut outcome = self.feed(trace)?;
+        self.flush(&mut outcome.completions)?;
+        Ok(outcome)
+    }
+
+    /// [`run_trace`](Self::run_trace) without the final flush: arrivals
+    /// are admitted and due batches dispatch, but whatever is still inside
+    /// its batch window stays queued. Lets a caller interleave traces with
+    /// [`install`](Self::install) mid-stream and keep the event loop
+    /// deterministic.
+    pub fn feed(&mut self, trace: &[TraceEvent]) -> Result<TraceOutcome, ServeError> {
         let mut events: Vec<&TraceEvent> = trace.iter().collect();
         events.sort_by_key(|e| e.at_ns); // stable: ties keep trace order
         let mut completions = Vec::new();
         let mut rejections = Vec::new();
         for ev in events {
             // Any batch whose window deadline elapsed before this arrival
-            // has already launched in virtual time.
-            while let Some(deadline) = self.due_deadline() {
+            // has already launched in virtual time — in either lane, in
+            // deadline order (the drain lane wins ties: admitted first).
+            while let Some((deadline, sel)) = self.due_deadline() {
                 if deadline <= ev.at_ns {
-                    self.dispatch(deadline, &mut completions)?;
+                    self.dispatch(sel, deadline, &mut completions)?;
                 } else {
                     break;
                 }
@@ -195,27 +279,26 @@ impl QueryDaemon {
                 rejections.push(Rejection { at_ns: ev.at_ns, tenant: ev.query.tenant, error });
                 continue;
             }
-            if self.pending.len() >= self.cfg.max_batch {
-                self.dispatch(ev.at_ns, &mut completions)?;
+            if self.current.pending.len() >= self.cfg.max_batch {
+                self.dispatch(LaneSel::Current, ev.at_ns, &mut completions)?;
             }
         }
-        self.flush(&mut completions)?;
         Ok(TraceOutcome { completions, rejections })
     }
 
     /// Admit a query arriving at `at_ns`, or bounce it with a typed error.
-    /// Arrival times are clamped monotone to the daemon clock.
+    /// Arrival times are clamped monotone to the daemon clock. Admissions
+    /// always land in the *current* lane — the drain lane accepts no new
+    /// work.
     pub fn submit(&mut self, at_ns: u64, query: Query) -> Result<(), ServeError> {
         self.clock_ns = self.clock_ns.max(at_ns);
         self.release_until(self.clock_ns);
-        let obs = self.serve.obs();
-        if self.pending.len() >= self.cfg.queue_limit {
+        let depth = self.queue_depth();
+        let obs = self.current.serve.obs();
+        if depth >= self.cfg.queue_limit {
             self.rejected += 1;
             obs.metrics.counter_add(METRIC_ADMISSION_REJECTED, 1);
-            return Err(ServeError::QueueFull {
-                depth: self.pending.len(),
-                limit: self.cfg.queue_limit,
-            });
+            return Err(ServeError::QueueFull { depth, limit: self.cfg.queue_limit });
         }
         let in_flight = *self.tenant_load.get(&query.tenant.0).unwrap_or(&0);
         if in_flight >= self.cfg.tenant_quota {
@@ -229,8 +312,8 @@ impl QueryDaemon {
             });
         }
         *self.tenant_load.entry(query.tenant.0).or_insert(0) += 1;
-        self.pending.push_back(Pending { arrival_ns: self.clock_ns, query });
-        self.queue_peak = self.queue_peak.max(self.pending.len());
+        self.current.pending.push_back(Pending { arrival_ns: self.clock_ns, query });
+        self.queue_peak = self.queue_peak.max(self.queue_depth());
         Ok(())
     }
 
@@ -239,17 +322,17 @@ impl QueryDaemon {
     /// window already expired launches at its deadline, anything else
     /// launches now (the daemon clock) instead of waiting out its window.
     pub fn flush(&mut self, completions: &mut Vec<Completion>) -> Result<(), ServeError> {
-        while let Some(deadline) = self.due_deadline() {
-            self.dispatch(deadline.min(self.clock_ns), completions)?;
+        while let Some((deadline, sel)) = self.due_deadline() {
+            self.dispatch(sel, deadline.min(self.clock_ns), completions)?;
         }
         Ok(())
     }
 
-    /// Fold daemon metrics (cache, queue, admission) into the serve
-    /// session's observability and produce the combined run report.
+    /// Fold daemon metrics (cache, queue, admission) into the current
+    /// serve session's observability and produce the combined run report.
     /// Idempotent: daemon totals fold via max/set, not repeated adds.
     pub fn report(&self) -> RunReport {
-        let metrics = &self.serve.obs().metrics;
+        let metrics = &self.current.serve.obs().metrics;
         let (hits, misses) = self.cache.counters();
         metrics.counter_max(METRIC_CACHE_HITS, hits);
         metrics.counter_max(METRIC_CACHE_MISSES, misses);
@@ -257,12 +340,22 @@ impl QueryDaemon {
         metrics.counter_max(METRIC_BATCHES, self.batches);
         metrics.counter_max(METRIC_ADMISSION_REJECTED, self.rejected);
         metrics.gauge_max(METRIC_QUEUE_DEPTH_PEAK, self.queue_peak as f64);
-        self.serve.report()
+        self.current.serve.report()
     }
 
-    /// Virtual time the oldest pending query's batch window expires.
-    fn due_deadline(&self) -> Option<u64> {
-        self.pending.front().map(|p| p.arrival_ns.saturating_add(self.cfg.batch_window_ns))
+    /// Earliest batch-window expiry across the lanes, with the lane it
+    /// belongs to. The drain lane wins ties — its work was admitted first,
+    /// which keeps cross-lane dispatch order a pure function of the trace.
+    fn due_deadline(&self) -> Option<(u64, LaneSel)> {
+        let window = self.cfg.batch_window_ns;
+        let drain = self.draining.as_ref().and_then(|l| l.deadline(window));
+        let cur = self.current.deadline(window);
+        match (drain, cur) {
+            (Some(d), Some(c)) if c < d => Some((c, LaneSel::Current)),
+            (Some(d), _) => Some((d, LaneSel::Draining)),
+            (None, Some(c)) => Some((c, LaneSel::Current)),
+            (None, None) => None,
+        }
     }
 
     /// Apply quota releases for batches done at or before `now_ns`.
@@ -281,21 +374,30 @@ impl QueryDaemon {
         }
     }
 
-    /// Launch one batch at virtual time `at_ns` (or when the device frees
-    /// up, whichever is later): consult the cache, run the deduplicated
-    /// miss set as one `run_queries` call, and charge every query in the
-    /// batch the same completion time.
+    /// Launch one batch from the selected lane at virtual time `at_ns` (or
+    /// when that lane's device frees up, whichever is later): consult the
+    /// cache under the lane's snapshot, run the deduplicated miss set as
+    /// one `run_queries` call on the lane's session, and charge every query
+    /// in the batch the same completion time. When the drain lane runs dry
+    /// it is retired and the cache narrows to the current snapshot only.
     fn dispatch(
         &mut self,
+        sel: LaneSel,
         at_ns: u64,
         completions: &mut Vec<Completion>,
     ) -> Result<(), ServeError> {
-        let n = self.cfg.max_batch.max(1).min(self.pending.len());
+        let lane = match sel {
+            LaneSel::Draining => self.draining.as_mut().expect("drain dispatch needs a lane"),
+            LaneSel::Current => &mut self.current,
+        };
+        let n = self.cfg.max_batch.max(1).min(lane.pending.len());
         if n == 0 {
             return Ok(());
         }
-        let start_ns = at_ns.max(self.busy_until);
-        let taken: Vec<Pending> = self.pending.drain(..n).collect();
+        let snapshot = lane.snapshot.clone();
+        let fp = snapshot.fingerprint();
+        let start_ns = at_ns.max(lane.busy_until);
+        let taken: Vec<Pending> = lane.pending.drain(..n).collect();
 
         // Cache phase: zero device lines touched for hits. Misses group by
         // QueryKey (BTreeMap ⇒ deterministic group order) so identical
@@ -304,45 +406,45 @@ impl QueryDaemon {
         let mut miss_groups: BTreeMap<ntadoc::QueryKey, Vec<usize>> = BTreeMap::new();
         for (i, p) in taken.iter().enumerate() {
             let key = p.query.key();
-            if let Some(out) = self.cache.get(self.snapshot, &key) {
+            if let Some(out) = self.cache.get(fp, &key) {
                 responses[i] = Some(QueryResponse {
                     tenant: p.query.tenant,
                     task: p.query.task,
                     output: out,
                     cache_hit: true,
-                    snapshot: self.snapshot,
+                    snapshot: snapshot.clone(),
                 });
             } else {
                 miss_groups.entry(key).or_default().push(i);
             }
         }
 
-        let ns_before = self.serve.sim_device().stats().virtual_ns;
+        let ns_before = lane.serve.sim_device().stats().virtual_ns;
         if !miss_groups.is_empty() {
             let uniq: Vec<Query> =
                 miss_groups.values().map(|idxs| taken[idxs[0]].query.clone()).collect();
-            let served = self.serve.run_queries(&uniq)?;
+            let served = lane.serve.run_queries(&uniq)?;
             for ((key, idxs), resp) in miss_groups.into_iter().zip(served) {
-                self.cache.insert(self.snapshot, key, resp.output.clone());
+                self.cache.insert(fp, key, resp.output.clone());
                 for i in idxs {
                     responses[i] = Some(QueryResponse {
                         tenant: taken[i].query.tenant,
                         task: resp.task,
                         output: resp.output.clone(),
                         cache_hit: false,
-                        snapshot: self.snapshot,
+                        snapshot: snapshot.clone(),
                     });
                 }
             }
         }
-        let service_ns = self.serve.sim_device().stats().virtual_ns - ns_before;
+        let service_ns = lane.serve.sim_device().stats().virtual_ns - ns_before;
         let done_ns = start_ns + service_ns;
-        self.busy_until = done_ns;
+        lane.busy_until = done_ns;
         self.batches += 1;
 
         for (p, response) in taken.into_iter().zip(responses) {
             let response = response.expect("every batched query got a response");
-            self.serve.obs().metrics.counter_add(&served_metric(p.query.tenant), 1);
+            lane.serve.obs().metrics.counter_add(&served_metric(p.query.tenant), 1);
             self.releases.push(Reverse((done_ns, p.query.tenant.0)));
             completions.push(Completion {
                 arrival_ns: p.arrival_ns,
@@ -351,6 +453,14 @@ impl QueryDaemon {
                 query: p.query,
                 response,
             });
+        }
+
+        // The old generation's last pinned batch just left: retire the lane
+        // and invalidate exactly the superseded cache entries.
+        if sel == LaneSel::Draining && self.draining.as_ref().is_some_and(|l| l.pending.is_empty())
+        {
+            self.draining = None;
+            self.cache.retain_snapshots(&[self.current.fingerprint()]);
         }
         Ok(())
     }
@@ -478,14 +588,45 @@ mod tests {
         let comp = compress_corpus(&files, &TokenizerConfig::default());
         let engine = Engine::builder(comp).config(EngineConfig::ntadoc()).build().unwrap();
         let new_snapshot = engine.snapshot_version();
-        assert_ne!(old.snapshot, new_snapshot);
+        assert_ne!(old.snapshot.fingerprint(), new_snapshot);
         d.install(engine.serve().unwrap()).unwrap();
         assert_eq!(d.snapshot_version(), new_snapshot);
 
         let fresh = d.execute(q).unwrap();
         assert!(!fresh.cache_hit, "new snapshot must not serve stale bytes");
-        assert_eq!(fresh.snapshot, new_snapshot);
+        assert_eq!(fresh.snapshot.fingerprint(), new_snapshot);
         assert_ne!(old.output(), fresh.output());
+    }
+
+    #[test]
+    fn install_with_pending_work_drains_against_old_snapshot() {
+        let cfg = DaemonConfig {
+            batch_window_ns: u64::MAX / 4, // nothing dispatches on its own
+            max_batch: 16,
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(cfg);
+        let old_fp = d.snapshot_version();
+        d.submit(10, Query::new(TenantId(0), Task::WordCount)).unwrap();
+        d.submit(20, Query::new(TenantId(1), Task::Sort)).unwrap();
+
+        let files =
+            vec![("c.txt".to_string(), "entirely different words live here now".to_string())];
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        let engine = Engine::builder(comp).config(EngineConfig::ntadoc()).build().unwrap();
+        let flushed = d.install(engine.serve().unwrap()).unwrap();
+        assert!(flushed.is_empty(), "install must not flush in-window work");
+        assert_eq!(d.draining_depth(), 2, "old-snapshot work stays queued in the drain lane");
+
+        // New admissions land under the new snapshot while the old drains.
+        d.submit(30, Query::new(TenantId(2), Task::WordCount)).unwrap();
+        let mut done = Vec::new();
+        d.flush(&mut done).unwrap();
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].response.snapshot.fingerprint(), old_fp);
+        assert_eq!(done[1].response.snapshot.fingerprint(), old_fp);
+        assert_eq!(done[2].response.snapshot.fingerprint(), d.snapshot_version());
+        assert!(d.draining_session().is_none(), "drain lane retires once empty");
     }
 
     #[test]

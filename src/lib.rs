@@ -4,17 +4,18 @@
 //! crates (`ntadoc`, `ntadoc-grammar`, `ntadoc-pmem`, …) directly.
 
 pub use ntadoc::{
-    ingest_corpus, snapshot_fingerprint, Engine, EngineBuilder, EngineConfig, IngestOptions,
-    IngestReport, OutputMismatch, Persistence, Query, QueryKey, QueryResponse, RetryPolicy,
-    RunReport, ServeSession, Session, Task, TaskOutput, TenantId, Traversal, UncompressedEngine,
-    UncompressedEngineBuilder, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE,
-    METRIC_MEDIA_RETRIES, METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
+    ingest_append, ingest_corpus, snapshot_fingerprint, AppendIngest, AppendReport, Engine,
+    EngineBuilder, EngineConfig, IngestOptions, IngestReport, OutputMismatch, Persistence, Query,
+    QueryKey, QueryResponse, RetryPolicy, RunReport, ServeSession, Session, Snapshot, Task,
+    TaskOutput, TenantId, Traversal, UncompressedEngine, UncompressedEngineBuilder,
+    METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
+    METRIC_SERVE_RATE, METRIC_SERVE_TASKS, REPORT_VERSION,
 };
 pub use ntadoc_datagen::{generate, generate_compressed, DatasetSpec};
 pub use ntadoc_grammar::{
-    compress_corpus, compress_corpus_chunked, deserialize_compressed, merge_chunks, plan_chunks,
-    serialize_compressed, serialized_len, ChunkGrammar, Compressed, Dictionary, Grammar,
-    MergeOptions, Symbol, TokenizerConfig,
+    append_chunk, build_chunk_at, compress_corpus, compress_corpus_chunked, deserialize_compressed,
+    merge_chunks, plan_chunks, serialize_compressed, serialized_len, AppendOutcome, ChunkGrammar,
+    Compressed, Dictionary, Grammar, MergeOptions, Symbol, TokenizerConfig,
 };
 pub use ntadoc_pmem::{
     crc64, fsck_pool, panic_is_injected_crash, run_with_crash_at, sweep_ctx, torn_line_survives,

@@ -41,7 +41,7 @@ fn garbage_in_the_log_region_never_panics_recovery() {
         let mut rng = Prng::new(seed);
         let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
         scribble_log(&dev, &mut rng);
-        let mut log = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log = TxLog::new(dev.clone(), LOG_AT, LOG_CAP);
         // Recovery over garbage must be a clean verdict: either "nothing
         // to do" / rolled-back, or a typed corruption error.
         match log.recover() {
@@ -66,7 +66,7 @@ fn garbage_after_a_real_entry_truncates_not_corrupts() {
         dev.write_u64(128, 0xAAAA_BBBB_CCCC_DDDD);
         dev.persist(128, 8);
 
-        let mut log = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log = TxLog::new(dev.clone(), LOG_AT, LOG_CAP);
         log.begin().unwrap();
         log.log_range(128, 8).unwrap();
         // Mutate the data the entry covers, then scribble over the tail of
@@ -81,7 +81,7 @@ fn garbage_after_a_real_entry_truncates_not_corrupts() {
         }
         dev.write_bytes(tail, &garbage);
 
-        let mut log2 = TxLog::new(Arc::clone(&dev), LOG_AT, LOG_CAP);
+        let mut log2 = TxLog::new(dev.clone(), LOG_AT, LOG_CAP);
         let rolled_back = log2.recover().unwrap();
         assert!(rolled_back, "seed {seed}: the valid entry must roll back");
         assert_eq!(dev.read_u64(128), 0xAAAA_BBBB_CCCC_DDDD, "seed {seed}");

@@ -25,8 +25,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use ntadoc_repro::{
-    compress_corpus, panic_is_injected_crash, sweep_ctx, Compressed, Engine, EngineConfig, Prng,
-    Session, SweepOutcome, Task, TaskOutput, TokenizerConfig,
+    compress_corpus, panic_is_injected_crash, sweep_ctx, Compressed, Engine, EngineBuilder,
+    EngineConfig, Prng, Session, SweepOutcome, Task, TaskOutput, TokenizerConfig,
 };
 
 /// Which storage backend a sweep enumerates crash states on.
@@ -222,6 +222,28 @@ fn every_persist_point_converges_operation_level_with_growable_tables() {
     let comp = compress_corpus(&files, &TokenizerConfig::default());
     let cfg = EngineConfig { presize: false, ..EngineConfig::ntadoc_oplevel() };
     sweep_strategy_over(&comp, &cfg, "operation-level-growable");
+}
+
+#[test]
+fn every_persist_point_converges_after_an_append() {
+    // An appended grammar carries structure the from-scratch compressor
+    // never produces — a spliced root, seam-deduplicated rules, late-
+    // interned dictionary entries — and its pools publish the moved
+    // snapshot fingerprint. Crash states over such a pool must converge
+    // at every persist point, on whichever backend the matrix selects,
+    // under both persistence strategies.
+    let base = vec![
+        ("a".to_string(), "one two three one two four five one".repeat(12)),
+        ("b".to_string(), "one two three six seven two".repeat(12)),
+    ];
+    let mut engine =
+        EngineBuilder::from_files(base).config(EngineConfig::ntadoc()).build().unwrap();
+    engine
+        .append_files(vec![("c".to_string(), "eight nine one seven two eight".repeat(12))])
+        .unwrap();
+    let comp = (**engine.compressed()).clone();
+    sweep_strategy_over(&comp, &EngineConfig::ntadoc(), "append-phase-level");
+    sweep_strategy_over(&comp, &EngineConfig::ntadoc_oplevel(), "append-operation-level");
 }
 
 #[test]

@@ -12,7 +12,8 @@ use proptest::prelude::*;
 use ntadoc::{ingest_corpus, upper_bounds, IngestOptions};
 use ntadoc_pmem::par;
 use ntadoc_repro::{
-    compress_corpus, compress_corpus_chunked, Engine, EngineConfig, Grammar, MergeOptions, Task,
+    compress_corpus, compress_corpus_chunked, Engine, EngineBuilder, EngineConfig, Grammar,
+    MergeOptions, Task,
     TokenizerConfig,
 };
 
@@ -85,7 +86,7 @@ proptest! {
             (e.run(Task::WordCount).unwrap(), e.run(Task::TermVector).unwrap())
         };
         for w in [1usize, 2, 4, 8] {
-            let mut e = Engine::builder_from_files(files.clone())
+            let mut e = EngineBuilder::from_files(files.clone())
                 .ingest_chunks(w)
                 .config(EngineConfig::ntadoc())
                 .build()

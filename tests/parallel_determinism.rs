@@ -5,7 +5,8 @@
 
 use ntadoc_pmem::par;
 use ntadoc_repro::{
-    compress_corpus, ingest_corpus, Compressed, Engine, EngineConfig, IngestOptions, PmemError,
+    compress_corpus, ingest_corpus, Compressed, Engine, EngineBuilder, EngineConfig, IngestOptions,
+    PmemError,
     Query, RunReport, Task, TaskOutput, TenantId, TokenizerConfig,
 };
 
@@ -206,7 +207,7 @@ fn chunked_engines_agree_with_serial_engines_for_any_worker_count() {
     let mut reference_ns: Option<u64> = None;
     for threads in [1usize, 4, 8] {
         let (out, ingest_ns) = par::with_threads(threads, || {
-            let mut e = Engine::builder_from_files(files.clone())
+            let mut e = EngineBuilder::from_files(files.clone())
                 .ingest_chunks(8)
                 .config(EngineConfig::ntadoc())
                 .build()

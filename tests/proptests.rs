@@ -249,7 +249,7 @@ proptest! {
         let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 16));
         let log_at = 4096u64;
         dev.write_bytes(log_at + at, &garbage);
-        let mut log = TxLog::new(Arc::clone(&dev), log_at, 4096);
+        let mut log = TxLog::new(dev.clone(), log_at, 4096);
         // Any verdict is fine; panicking or corrupting unrelated memory
         // is not. A post-recovery transaction must also work.
         let _ = log.recover();

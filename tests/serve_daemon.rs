@@ -70,12 +70,12 @@ fn snapshot_install_invalidates_stale_results() {
     let files = vec![("z".to_string(), "completely new words in a new corpus".repeat(10))];
     let comp2 = compress_corpus(&files, &TokenizerConfig::default());
     let engine2 = Engine::builder(comp2).config(EngineConfig::ntadoc()).build().unwrap();
-    assert_ne!(engine2.snapshot_version(), old.snapshot, "fingerprints must differ");
+    assert_ne!(engine2.snapshot_version(), old.snapshot.fingerprint(), "fingerprints must differ");
     d.install(engine2.serve().unwrap()).unwrap();
 
     let fresh = d.execute(q).unwrap();
     assert!(!fresh.cache_hit, "stale entry must not survive the snapshot swap");
-    assert_eq!(fresh.snapshot, d.snapshot_version());
+    assert_eq!(fresh.snapshot.fingerprint(), d.snapshot_version());
     assert_ne!(old.output(), fresh.output());
 }
 
@@ -195,16 +195,99 @@ fn trace_replay_is_bit_identical_across_worker_counts() {
     }
 }
 
+fn fresh_corpus() -> Compressed {
+    let files = vec![("z".to_string(), "completely new words in a new corpus".repeat(10))];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
 #[test]
-fn deprecated_shims_still_work() {
-    // The one-release compatibility contract: old entry points keep
-    // returning the same answers as the typed API.
-    #![allow(deprecated)]
+fn drained_batches_read_the_old_pool_and_stay_byte_identical() {
     let comp = corpus();
-    let engine = Engine::builder(comp.clone()).config(EngineConfig::ntadoc()).build().unwrap();
-    let serve = engine.serve().unwrap();
-    #[allow(deprecated)]
-    let old = serve.run_tasks(&[Task::WordCount]).unwrap();
-    let new = serve.run_queries(&[Query::new(TenantId::default(), Task::WordCount)]).unwrap();
-    assert_eq!(&old[0], new[0].output());
+    // What the old snapshot answers, measured on an untouched daemon.
+    let expect = {
+        let mut r = daemon_over(&comp, DaemonConfig::default());
+        (
+            r.execute(Query::new(TenantId(0), Task::WordCount)).unwrap().output.clone(),
+            r.execute(Query::new(TenantId(1), Task::Sort)).unwrap().output.clone(),
+        )
+    };
+
+    let cfg = DaemonConfig {
+        batch_window_ns: u64::MAX / 4, // nothing dispatches until flush
+        max_batch: 1,                  // the two old queries dispatch as two batches
+        ..DaemonConfig::default()
+    };
+    let mut d = daemon_over(&comp, cfg);
+    let old_fp = d.snapshot_version();
+    d.submit(10, Query::new(TenantId(0), Task::WordCount)).unwrap();
+    d.submit(20, Query::new(TenantId(1), Task::Sort)).unwrap();
+
+    let engine2 = Engine::builder(fresh_corpus()).config(EngineConfig::ntadoc()).build().unwrap();
+    let flushed = d.install(engine2.serve().unwrap()).unwrap();
+    assert!(flushed.is_empty(), "in-window work must keep draining, not flush on install");
+    assert_eq!(d.draining_depth(), 2);
+
+    // Keep handles on both lanes' devices so the deltas survive lane
+    // retirement.
+    let old_dev = d.draining_session().unwrap().sim_device().clone();
+    let new_dev = d.serve_session().sim_device().clone();
+    let old_before = old_dev.stats();
+    let new_before = new_dev.stats();
+
+    // A new admission lands under the new snapshot while the old drains.
+    d.submit(30, Query::new(TenantId(2), Task::WordCount)).unwrap();
+    let mut done = Vec::new();
+    d.flush(&mut done).unwrap();
+    assert_eq!(done.len(), 3);
+
+    // The two drained completions are pinned to the old snapshot and are
+    // byte-identical to what the old snapshot always answered.
+    assert_eq!(done[0].response.snapshot.fingerprint(), old_fp);
+    assert_eq!(done[1].response.snapshot.fingerprint(), old_fp);
+    assert_eq!(done[0].response.output, expect.0);
+    assert_eq!(done[1].response.output, expect.1);
+    assert_eq!(done[2].response.snapshot.fingerprint(), d.snapshot_version());
+
+    // And they were served from the old pool: the old device did the
+    // drain-lane reads, the new device only the new-snapshot batch.
+    let old_delta = old_dev.stats().checked_since(&old_before).unwrap();
+    let new_delta = new_dev.stats().checked_since(&new_before).unwrap();
+    assert!(old_delta.reads > 0, "drained batches must read the old pool");
+    assert!(new_delta.reads > 0, "the new admission must read the new pool");
+    assert!(d.draining_session().is_none(), "drain lane retires once empty");
+}
+
+#[test]
+fn mid_trace_install_replays_bit_identically_across_worker_counts() {
+    let comp = corpus();
+    let comp2 = fresh_corpus();
+    let trace = TraceSpec { queries: 32, ..TraceSpec::default() }.generate();
+    let (head, tail) = trace.split_at(trace.len() / 2);
+    let replay = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut d = daemon_over(&comp, DaemonConfig::default());
+            let mut outcome = d.feed(head).unwrap();
+            let engine2 =
+                Engine::builder(comp2.clone()).config(EngineConfig::ntadoc()).build().unwrap();
+            outcome.completions.extend(d.install(engine2.serve().unwrap()).unwrap());
+            let rest = d.feed(tail).unwrap();
+            outcome.completions.extend(rest.completions);
+            outcome.rejections.extend(rest.rejections);
+            d.flush(&mut outcome.completions).unwrap();
+            outcome
+        })
+    };
+    let base = replay(1);
+    assert!(!base.completions.is_empty());
+    for threads in [4, 8] {
+        let outcome = replay(threads);
+        assert_eq!(outcome.completions.len(), base.completions.len());
+        assert_eq!(outcome.rejections.len(), base.rejections.len());
+        for (a, b) in outcome.completions.iter().zip(&base.completions) {
+            assert_eq!(a.query, b.query, "query order diverged at {threads} threads");
+            assert_eq!(a.start_ns, b.start_ns, "start diverged at {threads} threads");
+            assert_eq!(a.done_ns, b.done_ns, "completion diverged at {threads} threads");
+            assert_eq!(a.response, b.response, "response diverged at {threads} threads");
+        }
+    }
 }
