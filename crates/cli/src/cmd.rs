@@ -4,8 +4,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use ntadoc::{
-    ingest_corpus, Accessor, Engine, EngineConfig, IngestOptions, Persistence, Task, TaskOutput,
-    METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
+    ingest_corpus, Accessor, Engine, EngineConfig, IngestOptions, Persistence, PoolBackend, Task,
+    TaskOutput, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
 };
 use ntadoc_grammar::{
     deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder, TokenizerConfig,
@@ -19,12 +19,13 @@ pub const USAGE: &str = "usage:
   ntadoc stats <corpus.ntdc>
   ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
              [--persistence phase|op] [--naive] [--top N] [--ngram N]
-             [--trace-out <report.json>]
+             [--trace-out <report.json>] [--pool <pool.ntdp>] [--backend file|mmap]
   ntadoc search <corpus.ntdc> <word>...
   ntadoc extract <corpus.ntdc> <file#> <offset> <len>
   ntadoc decompress <corpus.ntdc> [-d <outdir>]
-  ntadoc fsck <pool.ntdp>...
+  ntadoc fsck <pool.ntdp>... [--backend file|mmap]
   ntadoc serve <corpus.ntdc> --socket <path> [--quota N] [--cache N] [--max-batch N]
+               [--pool <pool.ntdp>] [--backend file|mmap]
   ntadoc query --socket <path> <task> [--tenant N] [--top K] [--file F]
   ntadoc query --socket <path> --shutdown
 
@@ -253,11 +254,7 @@ fn append(args: &[String]) -> CmdResult {
         report.dirty_rules,
         report.virtual_ns as f64 / 1e6,
     );
-    println!(
-        "  snapshot {:016x} → {:016x}",
-        report.old_fingerprint,
-        report.snapshot.fingerprint()
-    );
+    println!("  snapshot {:016x} → {:016x}", report.old_fingerprint, report.snapshot.fingerprint());
     Ok(())
 }
 
@@ -286,9 +283,20 @@ fn run(args: &[String]) -> CmdResult {
     let mut cfg = EngineConfig::ntadoc();
     let mut top = 20usize;
     let mut trace_out: Option<PathBuf> = None;
+    let mut pool: Option<PathBuf> = None;
+    let mut backend = PoolBackend::File;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
+            "--pool" => {
+                pool = Some(PathBuf::from(args.get(i + 1).ok_or("--pool needs a path")?));
+                i += 2;
+            }
+            "--backend" => {
+                let name = args.get(i + 1).ok_or("--backend needs file|mmap")?;
+                backend = PoolBackend::parse(name).ok_or(format!("bad --backend `{name}`"))?;
+                i += 2;
+            }
             "--device" => {
                 profile = parse_device(args.get(i + 1).ok_or("--device needs a name")?)?;
                 i += 2;
@@ -335,9 +343,26 @@ fn run(args: &[String]) -> CmdResult {
     let mut engine = Engine::builder(comp.clone())
         .config(cfg)
         .profile(profile.clone())
+        .pool_backend(backend)
         .label("cli")
         .build()
         .map_err(|e| e.to_string())?;
+    if let Some(pool) = pool {
+        // Durable-pool mode: the session's DAG lives in (and persists to)
+        // the pool file, through the chosen backend.
+        let mut session = engine.open_pool(&pool, task).map_err(|e| e.to_string())?;
+        let out = session.traverse().map_err(|e| e.to_string())?;
+        print_output(&out, top);
+        let stats = session.sim_device().stats();
+        eprintln!(
+            "\n[{}] {:.3} ms (virtual) over pool {} ({} backend)",
+            profile.name,
+            stats.virtual_ns as f64 / 1e6,
+            pool.display(),
+            backend.name(),
+        );
+        return Ok(());
+    }
     let out = engine.run(task).map_err(|e| e.to_string())?;
     print_output(&out, top);
     let rep = engine.last_report.as_ref().expect("report");
@@ -496,14 +521,33 @@ fn decompress(args: &[String]) -> CmdResult {
 // ---- fsck -------------------------------------------------------------------
 
 /// Validate one or more on-disk pool files: header integrity, truncation,
-/// and the state of the embedded transaction log. Exits with an error (and
-/// a per-file verdict on stdout) if any pool is unrecoverable.
+/// and the state of the embedded transaction log. With `--backend
+/// file|mmap` the pool is additionally opened through that device (the
+/// mmap path maps it) and the on-disk bytes are verified against the
+/// reconstructed device image. Exits with an error (and a per-file
+/// verdict on stdout) if any pool is unrecoverable.
 fn fsck(args: &[String]) -> CmdResult {
-    if args.is_empty() {
+    let mut backend = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                let name = args.get(i + 1).ok_or("--backend needs file|mmap")?;
+                backend = Some(PoolBackend::parse(name).ok_or(format!("bad --backend `{name}`"))?);
+                i += 2;
+            }
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
         return Err("fsck needs at least one pool path".into());
     }
     let mut bad = 0usize;
-    for path in args {
+    for path in paths {
         match ntadoc_pmem::fsck_pool(std::path::Path::new(path)) {
             Ok(rep) => {
                 let h = &rep.header;
@@ -535,6 +579,31 @@ fn fsck(args: &[String]) -> CmdResult {
                     Some(why) => {
                         println!("  verdict: UNRECOVERABLE ({why})");
                         bad += 1;
+                    }
+                }
+                if let (Some(kind), None) = (backend, &rep.unrecoverable) {
+                    // Deep check: open through the requested device and
+                    // compare the file byte-for-byte against the image
+                    // the device reconstructed from it.
+                    let p = std::path::Path::new(path);
+                    let opened: ntadoc_pmem::Result<std::sync::Arc<dyn ntadoc_pmem::PoolDevice>> =
+                        (|| {
+                            let dev: std::sync::Arc<dyn ntadoc_pmem::PoolDevice> = match kind {
+                                PoolBackend::File => {
+                                    ntadoc_pmem::FileDevice::open(p, DeviceProfile::nvm_optane())?
+                                }
+                                PoolBackend::Mmap => {
+                                    ntadoc_pmem::MmapDevice::open(p, DeviceProfile::nvm_optane())?
+                                }
+                            };
+                            Ok(dev)
+                        })();
+                    match opened.and_then(|d| d.verify_file_matches_device().map(|()| d)) {
+                        Ok(_) => println!("  {}: open + byte-verify OK", kind.name()),
+                        Err(e) => {
+                            println!("  {}: open/verify FAILED ({e})", kind.name());
+                            bad += 1;
+                        }
                     }
                 }
             }
@@ -676,8 +745,7 @@ mod tests {
         // In-place append: the image gains the file and stays queryable.
         let f2 = dir.join("two.txt");
         fs::write(&f2, "gamma delta epsilon delta").unwrap();
-        dispatch(&["append".into(), out.display().to_string(), f2.display().to_string()])
-            .unwrap();
+        dispatch(&["append".into(), out.display().to_string(), f2.display().to_string()]).unwrap();
         let after = load_corpus(&out.display().to_string()).unwrap();
         assert_eq!(after.file_count(), before.file_count() + 1);
         dispatch(&["search".into(), out.display().to_string(), "epsilon".into()]).unwrap();

@@ -22,7 +22,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 
-use ntadoc::{Engine, EngineConfig, Query, TenantId};
+use ntadoc::{Engine, EngineConfig, PoolBackend, Query, TenantId};
 use ntadoc_pmem::Json;
 use ntadoc_serve::{DaemonConfig, QueryDaemon, ServeError};
 
@@ -31,17 +31,31 @@ use crate::cmd::{load_corpus, parse_task};
 type CmdResult = Result<(), String>;
 
 /// `ntadoc serve <corpus.ntdc> --socket <path> [--quota N] [--cache N]
-/// [--max-batch N]`: build the engine once, then answer queries on the
-/// socket until a shutdown request arrives.
+/// [--max-batch N] [--pool <pool.ntdp>] [--backend file|mmap]`: build the
+/// engine once, then answer queries on the socket until a shutdown
+/// request arrives. With `--pool` the serve session's DAG and word-list
+/// caches live in (and persist to) the pool file through the chosen
+/// backend instead of an anonymous in-memory device.
 pub fn serve(args: &[String]) -> CmdResult {
     let mut corpus = None;
     let mut socket = None;
     let mut cfg = DaemonConfig::default();
+    let mut pool: Option<PathBuf> = None;
+    let mut backend = PoolBackend::File;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--socket" => {
                 socket = Some(PathBuf::from(args.get(i + 1).ok_or("--socket needs a path")?));
+                i += 2;
+            }
+            "--pool" => {
+                pool = Some(PathBuf::from(args.get(i + 1).ok_or("--pool needs a path")?));
+                i += 2;
+            }
+            "--backend" => {
+                let name = args.get(i + 1).ok_or("--backend needs file|mmap")?;
+                backend = PoolBackend::parse(name).ok_or(format!("bad --backend `{name}`"))?;
                 i += 2;
             }
             "--quota" => {
@@ -68,10 +82,16 @@ pub fn serve(args: &[String]) -> CmdResult {
     let comp = load_corpus(&corpus)?;
     let engine = Engine::builder(comp)
         .config(EngineConfig::ntadoc())
+        .pool_backend(backend)
         .label("serve")
         .build()
         .map_err(|e| e.to_string())?;
-    let daemon = QueryDaemon::new(engine.serve().map_err(|e| e.to_string())?, cfg);
+    let serve_session = match &pool {
+        Some(path) => engine.serve_pool(path),
+        None => engine.serve(),
+    }
+    .map_err(|e| e.to_string())?;
+    let daemon = QueryDaemon::new(serve_session, cfg);
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(&socket);
     let listener = UnixListener::bind(&socket).map_err(|e| format!("{}: {e}", socket.display()))?;

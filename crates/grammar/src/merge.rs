@@ -99,7 +99,11 @@ pub fn build_chunk(file_tokens: &[Vec<String>], pieces: &[Piece]) -> ChunkGramma
 /// the *new* files of a corpus that already has `file_base` files. Every
 /// appended file (including the first, which follows an existing file)
 /// gets its leading separator.
-pub fn build_chunk_at(file_tokens: &[Vec<String>], pieces: &[Piece], file_base: usize) -> ChunkGrammar {
+pub fn build_chunk_at(
+    file_tokens: &[Vec<String>],
+    pieces: &[Piece],
+    file_base: usize,
+) -> ChunkGrammar {
     let mut dict = Dictionary::new();
     let mut seq = Sequitur::new();
     for p in pieces {
@@ -185,14 +189,20 @@ pub struct AppendOutcome {
     /// Global ids of every rule added by the splice and the seam-dedup
     /// pass, in id order.
     pub new_rules: Vec<u32>,
+    /// Pre-existing rules the reuse pass folded new root occurrences into
+    /// (id order). Their bodies are untouched, but their reference counts
+    /// grew, so usage-derived facts (pruned views of the root, frequency
+    /// tallies) must be re-derived over them.
+    pub reused_rules: Vec<u32>,
     /// Words the chunk introduced to the shared dictionary.
     pub new_words: usize,
     /// Symbols spliced onto the root before seam dedup (cost accounting).
     pub spliced_symbols: usize,
-    /// Rules whose bodies changed or were created: always `{0}` (the root
-    /// absorbs the splice and the dedup rewrites) followed by
-    /// [`new_rules`](Self::new_rules). Every other rule's body — and hence
-    /// every bottom-up fact derived from it — is untouched.
+    /// Rules to revisit: always `{0}` (the root absorbs the splice and
+    /// the dedup rewrites), then [`reused_rules`](Self::reused_rules),
+    /// then [`new_rules`](Self::new_rules). Every rule outside this set
+    /// has an unchanged body *and* unchanged references into it, so every
+    /// fact derived from it is still valid.
     pub dirty_rules: Vec<u32>,
 }
 
@@ -219,8 +229,7 @@ pub fn append_chunk(
     opts: &MergeOptions,
 ) -> AppendOutcome {
     let words_before = dict.len();
-    let word_map: Vec<u32> =
-        chunk.dict.iter().map(|(_, w)| dict.intern(w.to_string())).collect();
+    let word_map: Vec<u32> = chunk.dict.iter().map(|(_, w)| dict.intern(w.to_string())).collect();
 
     // Chunk-local rule `i` (i ≥ 1) lands at global `offset + i - 1`,
     // exactly as in `merge_chunks`.
@@ -245,11 +254,66 @@ pub fn append_chunk(
         }
     }
 
-    // Seam dedup over the whole root: the previous root had its repeats
-    // folded already, so any new repeat involves the appended span (either
-    // entirely inside it or straddling the old/new seam). Folding rewrites
-    // only the root and mints fresh rules — old bodies stay untouched.
+    // Reuse pass, then seam dedup. Digrams folded into a rule by the base
+    // build or an earlier append are invisible to `dedup_root_digrams` —
+    // they live as rule bodies, not as root repeats — so a digram
+    // recurring across appends would either sit raw in the root (one
+    // occurrence per append, never reaching the ≥ 2 fold threshold) or
+    // mint a duplicate `[a, b]` rule shadowing an existing one. Either
+    // way the pruning frontier drifts away from what a fresh build over
+    // the same corpus would produce. Fold every root occurrence of an
+    // existing two-symbol rule body into that rule first (left to right,
+    // first-minted rule wins, repeated until no occurrence remains so
+    // folds can cascade into enclosing digram rules), *then* hunt for new
+    // repeats among what is left.
+    let mut reused_rules: Vec<u32> = Vec::new();
     if opts.seam_dedup {
+        let mut by_digram: HashMap<(Symbol, Symbol), u32> = HashMap::new();
+        for (id, r) in grammar.rules.iter().enumerate().skip(1) {
+            if let [a, b] = r.symbols[..] {
+                if !a.is_sep() && !b.is_sep() {
+                    by_digram.entry((a, b)).or_insert(id as u32);
+                }
+            }
+        }
+        if !by_digram.is_empty() {
+            let mut body = std::mem::take(&mut grammar.rules[0].symbols);
+            loop {
+                let mut out = Vec::with_capacity(body.len());
+                let mut changed = false;
+                let mut i = 0;
+                while i < body.len() {
+                    if i + 1 < body.len() {
+                        if let Some(&id) = by_digram.get(&(body[i], body[i + 1])) {
+                            out.push(Symbol::rule(id));
+                            // Chunk-minted rules (id ≥ offset) are already
+                            // in the new/dirty sets; only record genuinely
+                            // pre-existing rules as reused.
+                            if id < offset && !reused_rules.contains(&id) {
+                                reused_rules.push(id);
+                            }
+                            changed = true;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    out.push(body[i]);
+                    i += 1;
+                }
+                body = out;
+                if !changed {
+                    break;
+                }
+            }
+            grammar.rules[0].symbols = body;
+        }
+        reused_rules.sort_unstable();
+
+        // Seam dedup over the whole root: the previous root had its
+        // repeats folded already, so any surviving repeat involves the
+        // appended span (entirely inside it or straddling the seam).
+        // Folding rewrites only the root and mints fresh rules — old
+        // bodies stay untouched.
         let root = std::mem::take(&mut grammar.rules[0].symbols);
         let (deduped, extra) = dedup_root_digrams(root, grammar.rules.len() as u32);
         grammar.rules[0].symbols = deduped;
@@ -257,11 +321,13 @@ pub fn append_chunk(
     }
 
     let new_rules: Vec<u32> = (offset..grammar.rules.len() as u32).collect();
-    let mut dirty_rules = Vec::with_capacity(new_rules.len() + 1);
+    let mut dirty_rules = Vec::with_capacity(new_rules.len() + reused_rules.len() + 1);
     dirty_rules.push(0);
+    dirty_rules.extend_from_slice(&reused_rules);
     dirty_rules.extend_from_slice(&new_rules);
     AppendOutcome {
         new_rules,
+        reused_rules,
         new_words: dict.len() - words_before,
         spliced_symbols,
         dirty_rules,
@@ -527,8 +593,11 @@ mod tests {
     fn append_chunk_of(files: &[(String, String)], file_base: usize) -> ChunkGrammar {
         let cfg = TokenizerConfig::default();
         let toks: Vec<Vec<String>> = files.iter().map(|(_, t)| tokenize(t, &cfg)).collect();
-        let pieces: Vec<Piece> =
-            toks.iter().enumerate().map(|(f, t)| Piece { file: f, start: 0, end: t.len() }).collect();
+        let pieces: Vec<Piece> = toks
+            .iter()
+            .enumerate()
+            .map(|(f, t)| Piece { file: f, start: 0, end: t.len() })
+            .collect();
         build_chunk_at(&toks, &pieces, file_base)
     }
 
@@ -548,8 +617,12 @@ mod tests {
         assert_eq!(acc.grammar.expand_text(&acc.dict), serial.grammar.expand_text(&serial.dict));
         // Shared dictionary stays in global first-occurrence order.
         assert_eq!(acc.dict.iter().collect::<Vec<_>>(), serial.dict.iter().collect::<Vec<_>>());
-        let seps: Vec<u32> =
-            acc.grammar.rules[0].symbols.iter().filter(|s| s.is_sep()).map(|s| s.payload()).collect();
+        let seps: Vec<u32> = acc.grammar.rules[0]
+            .symbols
+            .iter()
+            .filter(|s| s.is_sep())
+            .map(|s| s.payload())
+            .collect();
         assert_eq!(seps, vec![0, 1, 2]);
     }
 
@@ -565,13 +638,72 @@ mod tests {
         for (r, old) in before.iter().enumerate().skip(1) {
             assert_eq!(&acc.grammar.rules[r], old, "rule {r} body changed across append");
         }
-        // The dirty set is exactly {root} ∪ new rules, and the new-rule ids
-        // tile the tail of the rule space.
-        assert_eq!(out.dirty_rules[0], 0);
-        assert_eq!(out.dirty_rules[1..], out.new_rules[..]);
+        // The dirty set is exactly {root} ∪ reused ∪ new rules, and the
+        // new-rule ids tile the tail of the rule space.
+        let mut expect_dirty = vec![0u32];
+        expect_dirty.extend_from_slice(&out.reused_rules);
+        expect_dirty.extend_from_slice(&out.new_rules);
+        assert_eq!(out.dirty_rules, expect_dirty);
         let expect: Vec<u32> = (before.len() as u32..acc.grammar.rules.len() as u32).collect();
         assert_eq!(out.new_rules, expect);
         assert!(out.new_words > 0, "files c/d introduce fresh vocabulary");
+    }
+
+    #[test]
+    fn append_reuses_existing_digram_rules_instead_of_minting_duplicates() {
+        // "p q" repeats inside the base file (so the base build folds it
+        // into a rule), then recurs exactly once per appended file — one
+        // occurrence per append can never reach the ≥ 2 fold threshold,
+        // so pre-fix the seam pass either left it raw in the root or,
+        // once two appends accumulated, minted a duplicate [p, q] rule
+        // shadowing the base one. The reuse pass must fold each new
+        // occurrence into the existing rule instead.
+        let cfg = TokenizerConfig::default();
+        let base = vec![("f0".to_string(), "p q x p q".to_string())];
+        let serial_text = {
+            let c = compress_corpus(&base, &cfg);
+            c.grammar.expand_text(&c.dict)
+        };
+        let mut acc = compress_corpus(&base, &cfg);
+        let mut expect_text = serial_text;
+        for i in 1..=4usize {
+            let f = (format!("f{i}"), format!("u{i} p q v{i}"));
+            let chunk = append_chunk_of(std::slice::from_ref(&f), i);
+            let out =
+                append_chunk(&mut acc.grammar, &mut acc.dict, &chunk, &MergeOptions::default());
+            assert!(
+                !out.reused_rules.is_empty(),
+                "append {i}: the recurring \"p q\" must fold into the existing rule"
+            );
+            assert_eq!(out.dirty_rules[0], 0);
+            assert!(
+                out.reused_rules.iter().all(|r| out.dirty_rules.contains(r)),
+                "reused rules must be revisited by the incremental layers"
+            );
+            expect_text.push(f.1.clone());
+        }
+        acc.grammar.validate().unwrap();
+        assert_eq!(acc.grammar.expand_text(&acc.dict), expect_text);
+        // The frontier stayed deduplicated: no two rules share a body.
+        let mut bodies = std::collections::HashSet::new();
+        for (id, r) in acc.grammar.rules.iter().enumerate().skip(1) {
+            assert!(
+                bodies.insert(r.symbols.clone()),
+                "rule {id} duplicates an earlier rule body {:?}",
+                r.symbols
+            );
+        }
+        // And no raw "p q" digram survives in the root.
+        let pq: Vec<Symbol> = {
+            let p = acc.dict.iter().find(|(_, w)| *w == "p").unwrap().0;
+            let q = acc.dict.iter().find(|(_, w)| *w == "q").unwrap().0;
+            vec![Symbol::word(p), Symbol::word(q)]
+        };
+        let root = &acc.grammar.rules[0].symbols;
+        assert!(
+            !root.windows(2).any(|w| *w == pq[..]),
+            "raw \"p q\" digram left in the root after append"
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ use ntadoc_nstruct::PHashTable;
 use ntadoc_pmem::obs::MetricValue;
 use ntadoc_pmem::par::{join_deferred, par_map_timed};
 use ntadoc_pmem::{
-    AccessStats, AllocLedger, DeviceKind, DeviceProfile, FileDevice, Obs, PmemBackend, PmemError,
-    PmemPool, PoolLayout, SimDevice, SpanNode, TxLog,
+    AccessStats, AllocLedger, DeviceKind, DeviceProfile, FileDevice, MmapDevice, Obs, PmemBackend,
+    PmemError, PmemPool, PoolDevice, PoolLayout, SimDevice, SpanNode, TxLog,
 };
 
 use crate::config::{EngineConfig, Persistence, Traversal};
@@ -131,6 +131,8 @@ pub struct EngineBuilder {
     /// first entry is ingested as the base corpus and every later entry
     /// is folded through [`Engine::append_files`].
     append_plan: Option<Vec<usize>>,
+    /// Durable backend used by [`Engine::open_pool`].
+    pool_backend: PoolBackend,
 }
 
 /// What the builder starts from: an existing compressed corpus, or raw
@@ -138,6 +140,41 @@ pub struct EngineBuilder {
 enum BuildSource {
     Corpus(Arc<Compressed>),
     Files(Vec<(String, String)>),
+}
+
+/// Which durable backend [`Engine::open_pool`] attaches behind the
+/// simulated device. Both write the same pool-file format (magic,
+/// CRC-sealed header, data region) and are interchangeable on reopen and
+/// under `ntadoc fsck`; they differ only in the I/O path used to keep the
+/// file current (`pwrite`+`fsync` vs. a shared memory mapping +`msync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolBackend {
+    /// Write-through file I/O ([`FileDevice`]). The default.
+    #[default]
+    File,
+    /// Memory-mapped pool file ([`MmapDevice`]): stores land in the
+    /// mapping, fences `msync` — the closest stand-in for DAX-mapped
+    /// persistent memory this environment can express.
+    Mmap,
+}
+
+impl PoolBackend {
+    /// Parse a CLI/env spelling (`"file"` or `"mmap"`).
+    pub fn parse(s: &str) -> Option<PoolBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "file" => Some(PoolBackend::File),
+            "mmap" => Some(PoolBackend::Mmap),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`"file"` / `"mmap"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoolBackend::File => "file",
+            PoolBackend::Mmap => "mmap",
+        }
+    }
 }
 
 impl EngineBuilder {
@@ -167,6 +204,14 @@ impl EngineBuilder {
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = Some(profile);
         self.block = None;
+        self
+    }
+
+    /// Durable backend [`Engine::open_pool`] attaches: write-through file
+    /// I/O (default) or a memory-mapped pool file. Pool files written by
+    /// either reopen under the other.
+    pub fn pool_backend(mut self, backend: PoolBackend) -> Self {
+        self.pool_backend = backend;
         self
     }
 
@@ -263,8 +308,18 @@ impl EngineBuilder {
     /// then folds any [`EngineBuilder::append_plan`] groups through
     /// [`Engine::append_files`]. Fails on an empty corpus.
     pub fn build(self) -> Result<Engine> {
-        let EngineBuilder { source, cfg, profile, label, retry, trace, ingest, block, append_plan } =
-            self;
+        let EngineBuilder {
+            source,
+            cfg,
+            profile,
+            label,
+            retry,
+            trace,
+            ingest,
+            block,
+            append_plan,
+            pool_backend,
+        } = self;
         let (comp, ingest_report, deferred) = match source {
             BuildSource::Corpus(comp) => {
                 if append_plan.is_some() {
@@ -281,7 +336,7 @@ impl EngineBuilder {
                 let mut deferred: Vec<Vec<(String, String)>> = Vec::new();
                 if let Some(plan) = append_plan {
                     if plan.is_empty()
-                        || plan.iter().any(|&n| n == 0)
+                        || plan.contains(&0)
                         || plan.iter().sum::<usize>() != files.len()
                     {
                         return Err(PmemError::Unsupported(format!(
@@ -355,6 +410,7 @@ impl EngineBuilder {
             ingest,
             ingest_report,
             append_log: Vec::new(),
+            pool_backend,
             last_report: None,
         };
         for group in deferred {
@@ -394,6 +450,8 @@ pub struct Engine {
     /// One record per completed [`Engine::append_files`] call, oldest
     /// first.
     append_log: Vec<AppendReport>,
+    /// Durable backend [`Engine::open_pool`] attaches.
+    pool_backend: PoolBackend,
     /// Report of the most recent `run`.
     pub last_report: Option<RunReport>,
 }
@@ -483,6 +541,7 @@ impl Engine {
             ingest: IngestOptions::default(),
             block: None,
             append_plan: None,
+            pool_backend: PoolBackend::default(),
         }
     }
 
@@ -735,6 +794,25 @@ impl Engine {
     /// Requires a persistent device profile; volatile profiles have no
     /// durable image to back with a file.
     pub fn open_pool(&self, path: &Path, task: Task) -> Result<Session> {
+        self.open_pool_inner(path, task, false)
+    }
+
+    /// [`Engine::serve`] over a durable pool: open (or create) the pool
+    /// file at `path` with the configured [`PoolBackend`] and return a
+    /// serve handle whose DAG and word-list caches live in it — queries
+    /// are answered in place from the pool, the paper's NVM serving
+    /// story. Same pruned-configuration requirement as `serve`.
+    pub fn serve_pool(&self, path: &Path) -> Result<ServeSession> {
+        if !self.cfg.pruned {
+            return Err(PmemError::Unsupported(
+                "serve mode requires the pruned configuration (per-rule word-list caches)".into(),
+            ));
+        }
+        let session = self.open_pool_inner(path, Task::InvertedIndex, true)?;
+        Ok(ServeSession { session })
+    }
+
+    fn open_pool_inner(&self, path: &Path, task: Task, serve_mode: bool) -> Result<Session> {
         if !self.profile.kind.is_persistent() {
             return Err(PmemError::Unsupported(format!(
                 "file-backed pools require a persistent profile; {} is volatile",
@@ -746,24 +824,27 @@ impl Engine {
             // an append moved the fingerprint) is stale: recover nothing
             // from it and rebuild. Zero means "never published" (crash
             // before the first persist) and takes the recovery path.
-            let published =
-                ntadoc_pmem::fsck_pool(path).map(|r| r.header.snapshot).unwrap_or(0);
+            let published = ntadoc_pmem::fsck_pool(path).map(|r| r.header.snapshot).unwrap_or(0);
             if published != 0 && published != self.snapshot {
                 let _ = std::fs::remove_file(path);
-                return self.create_pool(path, task);
+                return self.create_pool(path, task, serve_mode);
             }
-            self.reopen_pool(path, task)
+            self.reopen_pool(path, task, serve_mode)
         } else {
-            self.create_pool(path, task)
+            self.create_pool(path, task, serve_mode)
         }
     }
 
-    fn create_pool(&self, path: &Path, task: Task) -> Result<Session> {
+    fn create_pool(&self, path: &Path, task: Task, serve_mode: bool) -> Result<Session> {
         let mut capacity = self.estimate_capacity(task);
         loop {
             let layout = self.plan_layout(task, capacity);
-            let file = FileDevice::create(path, self.profile.clone(), layout)?;
-            match self.session_on_device(task, file.twin().clone(), layout, false, Some(file)) {
+            let file: Arc<dyn PoolDevice> = match self.pool_backend {
+                PoolBackend::File => FileDevice::create(path, self.profile.clone(), layout)?,
+                PoolBackend::Mmap => MmapDevice::create(path, self.profile.clone(), layout)?,
+            };
+            match self.session_on_device(task, file.twin().clone(), layout, serve_mode, Some(file))
+            {
                 Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
                     // The undersized pool file is abandoned; recreate it
                     // at double capacity (create truncates, but remove
@@ -777,8 +858,11 @@ impl Engine {
         }
     }
 
-    fn reopen_pool(&self, path: &Path, task: Task) -> Result<Session> {
-        let file = FileDevice::open(path, self.profile.clone())?;
+    fn reopen_pool(&self, path: &Path, task: Task, serve_mode: bool) -> Result<Session> {
+        let file: Arc<dyn PoolDevice> = match self.pool_backend {
+            PoolBackend::File => FileDevice::open(path, self.profile.clone())?,
+            PoolBackend::Mmap => MmapDevice::open(path, self.profile.clone())?,
+        };
         let layout = file.layout();
         // Roll back any transaction that was open at the crash *before*
         // init touches the pool: recovery must see the bytes exactly as
@@ -789,7 +873,7 @@ impl Engine {
             let mut tx = TxLog::new(backend, layout.log_base(), layout.log_len as usize);
             tx.recover()?;
         }
-        self.session_on_device(task, file.twin().clone(), layout, false, Some(file))
+        self.session_on_device(task, file.twin().clone(), layout, serve_mode, Some(file))
     }
 
     fn session_with_capacity(
@@ -811,7 +895,7 @@ impl Engine {
         dev: Arc<SimDevice>,
         layout: PoolLayout,
         serve_mode: bool,
-        backend: Option<Arc<FileDevice>>,
+        backend: Option<Arc<dyn PoolDevice>>,
     ) -> Result<Session> {
         let ledger = Arc::new(AllocLedger::new());
         let pool =
@@ -844,8 +928,7 @@ impl Engine {
         // The session's snapshot handle pins the corpus identity *and* the
         // pool it is served from; responses hand it out so callers can
         // tell exactly which published state answered them.
-        let snapshot =
-            Arc::new(Snapshot::of(&self.comp).with_pool(backend_dyn.clone()));
+        let snapshot = Arc::new(Snapshot::of(&self.comp).with_pool(backend_dyn.clone()));
         debug_assert_eq!(snapshot.fingerprint(), self.snapshot);
         let mut session = Session {
             comp: self.comp.clone(),
@@ -962,10 +1045,11 @@ pub struct Session {
     pub(crate) cfg: EngineConfig,
     pub(crate) task: Task,
     pub(crate) dev: Arc<SimDevice>,
-    /// The file-backed device when this session came from
-    /// [`Engine::open_pool`]; `None` for purely in-memory sessions. `dev`
-    /// is always its twin, so consumers need no indirection.
-    backend: Option<Arc<FileDevice>>,
+    /// The durable pool device (file- or mmap-backed, per
+    /// [`PoolBackend`]) when this session came from [`Engine::open_pool`];
+    /// `None` for purely in-memory sessions. `dev` is always its twin, so
+    /// consumers need no indirection.
+    backend: Option<Arc<dyn PoolDevice>>,
     /// The session's storage backend behind the object-safe trait: the
     /// file device when one is attached, the simulator otherwise (what
     /// [`Session::backend`] hands out).
@@ -1382,9 +1466,10 @@ impl Session {
         &self.dev
     }
 
-    /// The file-backed pool device, when this session came from
-    /// [`Engine::open_pool`] (byte-identity checks, fsck after crash).
-    pub fn pool_file(&self) -> Option<&Arc<FileDevice>> {
+    /// The durable pool device (file- or mmap-backed), when this session
+    /// came from [`Engine::open_pool`] (byte-identity checks, host-crash
+    /// injection, fsck after crash).
+    pub fn pool_file(&self) -> Option<&Arc<dyn PoolDevice>> {
         self.backend.as_ref()
     }
 

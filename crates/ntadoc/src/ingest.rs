@@ -244,8 +244,7 @@ pub fn ingest_append(
 
         let (comp, outcome) = obs.span("append.absorb", &dev, || {
             let chunk = &built[0];
-            let spliced: u64 =
-                chunk.grammar.rules.iter().map(|r| r.symbols.len() as u64).sum();
+            let spliced: u64 = chunk.grammar.rules.iter().map(|r| r.symbols.len() as u64).sum();
             let words = chunk.dict.len() as u64;
             let mut grammar = base.grammar.clone();
             let mut dict = base.dict.clone();
@@ -362,8 +361,7 @@ mod tests {
             let (mut comp, base) = ingest_corpus(&files[..1], &IngestOptions::default());
             let mut total_ns = base.virtual_ns;
             for f in &files[1..] {
-                let step =
-                    ingest_append(&comp, std::slice::from_ref(f), &IngestOptions::default());
+                let step = ingest_append(&comp, std::slice::from_ref(f), &IngestOptions::default());
                 comp = step.comp;
                 total_ns += step.virtual_ns;
             }

@@ -65,7 +65,9 @@ pub mod summation;
 pub use access::Accessor;
 pub use baseline::{UncompressedEngine, UncompressedEngineBuilder};
 pub use config::{CostModel, EngineConfig, Persistence, Traversal};
-pub use engine::{AppendReport, Engine, EngineBuilder, RetryPolicy, ServeSession, Session};
+pub use engine::{
+    AppendReport, Engine, EngineBuilder, PoolBackend, RetryPolicy, ServeSession, Session,
+};
 pub use ingest::{ingest_append, ingest_corpus, AppendIngest, IngestOptions, IngestReport};
 pub use query::{snapshot_fingerprint, Query, QueryKey, QueryResponse, Snapshot, TenantId};
 pub use report::{

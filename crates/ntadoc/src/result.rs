@@ -75,6 +75,9 @@ impl std::fmt::Display for Task {
 /// `(file, top-k (word, count))` rows of a term-vector result.
 pub type FileTermVectors = [(String, Vec<(String, u64)>)];
 
+/// Owned `(file, top-k (word, count))` rows of a term-vector result.
+pub type FileTermVectorsVec = Vec<(String, Vec<(String, u64)>)>;
+
 /// Error returned by [`TaskOutput`]'s typed accessors when the output
 /// belongs to a different task than the accessor asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,7 +203,7 @@ impl TaskOutput {
     }
 
     /// Take the term vectors by value.
-    pub fn into_term_vectors(self) -> Result<Vec<(String, Vec<(String, u64)>)>, OutputMismatch> {
+    pub fn into_term_vectors(self) -> Result<FileTermVectorsVec, OutputMismatch> {
         match self {
             TaskOutput::TermVector(v) => Ok(v),
             other => Err(other.mismatch(Task::TermVector)),

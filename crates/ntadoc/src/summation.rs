@@ -195,8 +195,9 @@ pub fn head_tail_info(grammar: &Grammar, width: usize) -> HeadTailInfo {
     let mut heads: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut tails: Vec<Vec<u32>> = vec![Vec::new(); n];
     for level in topo_levels(grammar) {
-        let computed =
-            par::par_map(&level, |_, &r| head_tail_rule(grammar, r, width, &exp_len, &heads, &tails));
+        let computed = par::par_map(&level, |_, &r| {
+            head_tail_rule(grammar, r, width, &exp_len, &heads, &tails)
+        });
         for (&r, (len, head, tail)) in level.iter().zip(computed) {
             exp_len[r as usize] = len;
             heads[r as usize] = head;

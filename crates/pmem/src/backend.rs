@@ -53,6 +53,18 @@ pub trait PmemBackend: Send + Sync {
     /// issued before the fence) becomes durable.
     fn fence(&self);
 
+    /// A *seal* fence: like [`fence`](Self::fence), but the fenced bytes
+    /// are recovery-critical (a TxLog commit record, a header seal) and
+    /// the caller acknowledges the operation the moment this returns.
+    /// Backends that stage durable writes in a volatile tier (an OS page
+    /// cache, an un-msync'd mapping) must reach stable storage before
+    /// returning, regardless of any per-fence sync policy — a *host*
+    /// crash after a seal may not lose the sealed state or anything
+    /// ordered before it. Pure in-memory backends need no distinction.
+    fn fence_seal(&self) {
+        self.fence();
+    }
+
     /// Charge `ns` to the device's virtual clock without touching data.
     fn charge_ns(&self, ns: u64);
 
@@ -96,6 +108,14 @@ pub trait PmemBackend: Send + Sync {
     fn persist(&self, addr: Addr, len: usize) {
         self.flush(addr, len);
         self.fence();
+    }
+
+    /// Flush + [`fence_seal`](Self::fence_seal) over one range: persist a
+    /// recovery-critical range with an unconditional stable-storage
+    /// barrier.
+    fn persist_seal(&self, addr: Addr, len: usize) {
+        self.flush(addr, len);
+        self.fence_seal();
     }
 
     /// Fallible `u64` load (little-endian).
@@ -148,6 +168,10 @@ impl PmemBackend for SimDevice {
 
     fn fence(&self) {
         SimDevice::fence(self)
+    }
+
+    fn fence_seal(&self) {
+        SimDevice::fence_seal(self)
     }
 
     fn charge_ns(&self, ns: u64) {

@@ -1,0 +1,676 @@
+//! Persistent buffer manager with optimistic consistency: the DRAM tier
+//! of the three-tier design (Lersch et al., PAPERS.md).
+//!
+//! [`BufferManager`] layers behind any [`PmemBackend`] and caches pool
+//! lines in DRAM frames:
+//!
+//! * **reads** probe the frame table and, on residency, copy the line
+//!   out *optimistically* — snapshot the line shard's seqlock version,
+//!   copy, re-validate — taking no latch on the read path, exactly the
+//!   protocol the device's own `DataPlane` uses. A DRAM hit charges
+//!   [`BufMgrConfig::dram_hit_ns`] to the inner device's virtual clock
+//!   instead of the NVM read cost; a miss loads the line through the
+//!   inner backend (paying its price) and installs it in a frame.
+//! * **writes** are absorbed into resident frames and mark them dirty —
+//!   the inner device sees nothing until the line is written back.
+//! * **write-back** happens on [`flush`](PmemBackend::flush) (the dirty
+//!   frames covering the flushed range go down to the inner backend
+//!   before the inner flush, preserving persist-ordering semantics), on
+//!   eviction (like a CPU cache line falling out — the write reaches
+//!   the media but stays unfenced), and in full before a
+//!   [`publish_snapshot`](PmemBackend::publish_snapshot) seal.
+//! * **seal points** ([`fence_seal`](PmemBackend::fence_seal) /
+//!   [`persist_seal`](PmemBackend::persist_seal)) forward to the inner
+//!   backend's seal, so the fsync'd durability contract of the file and
+//!   mmap backends holds unchanged with the manager in front.
+//! * **crash** drops every frame (dirty included — unflushed DRAM state
+//!   is exactly what a power failure loses) before forwarding, so
+//!   post-crash reads see the inner device's recovered truth.
+//!
+//! The manager deliberately wraps the *backend trait*, not the engine's
+//! session data plane: the high-bandwidth DAG structures keep their
+//! direct `SimDevice` path (see `crates/ntadoc`), while log-structured
+//! and tool-level consumers (TxLog, fsck, benches) can interpose frames
+//! without a semantic change. `bufmgr_bench` measures the tiers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::backend::PmemBackend;
+use crate::device::Addr;
+use crate::stats::AccessStats;
+use crate::Result;
+
+/// Line shards for the frame seqlocks; matches the device's
+/// [`crate::READ_SHARDS`] striping (shard = line & 15) so the two tiers
+/// contend on the same distribution.
+pub const BUF_SHARDS: usize = 16;
+
+fn shard_of(line: u64) -> usize {
+    (line as usize) & (BUF_SHARDS - 1)
+}
+
+/// Tuning knobs for [`BufferManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufMgrConfig {
+    /// DRAM frames (each one line). Capacity in bytes is
+    /// `frames × line_size`.
+    pub frames: usize,
+    /// Virtual nanoseconds charged per line served from a DRAM frame
+    /// (replacing the inner device's read cost). Default is the DRAM
+    /// profile's 80 ns line read.
+    pub dram_hit_ns: u64,
+}
+
+impl Default for BufMgrConfig {
+    fn default() -> Self {
+        BufMgrConfig { frames: 1024, dram_hit_ns: 80 }
+    }
+}
+
+/// Lifetime counters; see [`BufferManager::stats_bufmgr`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufMgrStats {
+    /// Line reads served from a DRAM frame.
+    pub hits: u64,
+    /// Line reads that went to the inner backend (and installed a frame).
+    pub misses: u64,
+    /// Line writes absorbed into a frame (inner backend untouched).
+    pub writes_absorbed: u64,
+    /// Dirty lines written back to the inner backend (flush, eviction,
+    /// or publish).
+    pub writebacks: u64,
+    /// Frames recycled to hold a different line.
+    pub evictions: u64,
+    /// Optimistic read retries (a frame mutation interleaved).
+    pub retries: u64,
+}
+
+impl BufMgrStats {
+    /// Fraction of line reads served from DRAM; 0.0 before any read.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cache-line padded seqlock version for one line shard (even = stable,
+/// odd = a frame in the shard is mid-mutation).
+#[repr(align(128))]
+#[derive(Default)]
+struct ShardVersion {
+    version: AtomicU64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+struct FrameMeta {
+    /// Resident line id, [`EMPTY`] when free. Written only under the
+    /// mutate lock, inside the owning shard's version bump.
+    line: AtomicU64,
+    dirty: AtomicBool,
+}
+
+/// The DRAM frame tier over an inner [`PmemBackend`]. See module docs.
+pub struct BufferManager {
+    inner: Arc<dyn PmemBackend>,
+    cfg: BufMgrConfig,
+    line_size: usize,
+    /// frames × line_size bytes; `AtomicU8` so optimistic readers may
+    /// race a writer without UB, exactly like the device's data plane.
+    slab: Box<[AtomicU8]>,
+    meta: Box<[FrameMeta]>,
+    versions: Box<[ShardVersion]>,
+    /// line id → frame index. Read-locked on the lookup path (read-mostly;
+    /// the seqlock protects the *bytes*), write-locked under `mutate`.
+    map: RwLock<HashMap<u64, usize>>,
+    /// Serializes all frame mutation (installs, writes, write-back,
+    /// eviction). Readers never take it.
+    mutate: Mutex<()>,
+    clock: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    absorbed: AtomicU64,
+    writebacks: AtomicU64,
+    evictions: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl BufferManager {
+    /// Wrap `inner` with `cfg.frames` DRAM frames of its line size.
+    pub fn new(inner: Arc<dyn PmemBackend>, line_size: usize, cfg: BufMgrConfig) -> Arc<Self> {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        let frames = cfg.frames.max(1);
+        let mut slab = Vec::with_capacity(frames * line_size);
+        slab.resize_with(frames * line_size, || AtomicU8::new(0));
+        let mut meta = Vec::with_capacity(frames);
+        meta.resize_with(frames, || FrameMeta {
+            line: AtomicU64::new(EMPTY),
+            dirty: AtomicBool::new(false),
+        });
+        let mut versions = Vec::with_capacity(BUF_SHARDS);
+        versions.resize_with(BUF_SHARDS, ShardVersion::default);
+        Arc::new(BufferManager {
+            inner,
+            cfg: BufMgrConfig { frames, ..cfg },
+            line_size,
+            slab: slab.into_boxed_slice(),
+            meta: meta.into_boxed_slice(),
+            versions: versions.into_boxed_slice(),
+            map: RwLock::new(HashMap::with_capacity(frames * 2)),
+            mutate: Mutex::new(()),
+            clock: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            absorbed: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn PmemBackend> {
+        &self.inner
+    }
+
+    /// Frame-tier counters (the inner backend's [`stats`](PmemBackend::stats)
+    /// are separate and unchanged in meaning).
+    pub fn stats_bufmgr(&self) -> BufMgrStats {
+        BufMgrStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes_absorbed: self.absorbed.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Currently resident lines.
+    pub fn resident(&self) -> usize {
+        self.map.read().expect("frame map").len()
+    }
+
+    /// Configured frame count.
+    pub fn frames(&self) -> usize {
+        self.cfg.frames
+    }
+
+    fn line_len(&self, line: u64) -> usize {
+        let base = line * self.line_size as u64;
+        ((self.inner.capacity() - base) as usize).min(self.line_size)
+    }
+
+    /// Optimistic copy of `[off, off+dst.len())` within resident `line`'s
+    /// frame. Returns false (leaving `dst` unspecified) when the frame no
+    /// longer holds `line`.
+    fn read_frame_optimistic(&self, frame: usize, line: u64, off: usize, dst: &mut [u8]) -> bool {
+        let shard = &self.versions[shard_of(line)].version;
+        let base = frame * self.line_size + off;
+        loop {
+            let before = shard.load(Ordering::SeqCst);
+            if before & 1 == 0 {
+                for (i, b) in dst.iter_mut().enumerate() {
+                    *b = self.slab[base + i].load(Ordering::Relaxed);
+                }
+                let tag = self.meta[frame].line.load(Ordering::SeqCst);
+                if shard.load(Ordering::SeqCst) == before {
+                    return tag == line;
+                }
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Write back one dirty frame's bytes to the inner backend (no flush:
+    /// the write lands like any store, unfenced). Caller holds `mutate`.
+    fn write_back(&self, frame: usize, line: u64) -> Result<()> {
+        let len = self.line_len(line);
+        let base = frame * self.line_size;
+        let mut buf = vec![0u8; len];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.slab[base + i].load(Ordering::Relaxed);
+        }
+        self.inner.try_write_bytes(line * self.line_size as u64, &buf)?;
+        self.meta[frame].dirty.store(false, Ordering::SeqCst);
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Install `line` in a frame (evicting as needed) and return the frame
+    /// index. Caller holds `mutate`. Counts one miss.
+    fn install(&self, line: u64) -> Result<usize> {
+        // Victim: round-robin clock — deterministic, no per-access state.
+        let frame = self.clock.fetch_add(1, Ordering::Relaxed) % self.cfg.frames;
+        let old = self.meta[frame].line.load(Ordering::SeqCst);
+        if old != EMPTY {
+            if self.meta[frame].dirty.load(Ordering::SeqCst) {
+                self.write_back(frame, old)?;
+            }
+            // Retire the old residency under its shard's version bump so
+            // optimistic readers of the old line retry and miss.
+            let shard = &self.versions[shard_of(old)].version;
+            shard.fetch_add(1, Ordering::SeqCst);
+            self.meta[frame].line.store(EMPTY, Ordering::SeqCst);
+            shard.fetch_add(1, Ordering::SeqCst);
+            self.map.write().expect("frame map").remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let len = self.line_len(line);
+        let mut buf = vec![0u8; len];
+        self.inner.try_read_bytes(line * self.line_size as u64, &mut buf)?;
+        let shard = &self.versions[shard_of(line)].version;
+        let base = frame * self.line_size;
+        shard.fetch_add(1, Ordering::SeqCst);
+        for (i, &b) in buf.iter().enumerate() {
+            self.slab[base + i].store(b, Ordering::Relaxed);
+        }
+        for i in len..self.line_size {
+            self.slab[base + i].store(0, Ordering::Relaxed);
+        }
+        self.meta[frame].line.store(line, Ordering::SeqCst);
+        self.meta[frame].dirty.store(false, Ordering::SeqCst);
+        shard.fetch_add(1, Ordering::SeqCst);
+        self.map.write().expect("frame map").insert(line, frame);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    /// Write back (and clear) every dirty frame. Caller need not hold
+    /// `mutate`; taken inside. Returns lines written back.
+    fn write_back_all(&self) -> Result<u64> {
+        let _g = self.mutate.lock().expect("bufmgr mutate");
+        let mut n = 0;
+        for frame in 0..self.cfg.frames {
+            let line = self.meta[frame].line.load(Ordering::SeqCst);
+            if line != EMPTY && self.meta[frame].dirty.load(Ordering::SeqCst) {
+                self.write_back(frame, line)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Drop every frame, dirty or not, without writing anything back —
+    /// the crash path. Caller need not hold `mutate`; taken inside.
+    fn drop_all_frames(&self) {
+        let _g = self.mutate.lock().expect("bufmgr mutate");
+        for v in self.versions.iter() {
+            v.version.fetch_add(1, Ordering::SeqCst);
+        }
+        for frame in 0..self.cfg.frames {
+            self.meta[frame].line.store(EMPTY, Ordering::SeqCst);
+            self.meta[frame].dirty.store(false, Ordering::SeqCst);
+        }
+        for v in self.versions.iter() {
+            v.version.fetch_add(1, Ordering::SeqCst);
+        }
+        self.map.write().expect("frame map").clear();
+    }
+
+    /// Per-line segments of `[addr, addr + len)` as
+    /// `(line, offset_in_line, len)`.
+    fn segments(&self, addr: Addr, len: usize) -> impl Iterator<Item = (u64, usize, usize)> + '_ {
+        let line_size = self.line_size as u64;
+        let mut at = addr;
+        let end = addr + len as u64;
+        std::iter::from_fn(move || {
+            if at >= end {
+                return None;
+            }
+            let line = at / line_size;
+            let off = (at % line_size) as usize;
+            let n = ((end - at) as usize).min(self.line_size - off);
+            at += n as u64;
+            Some((line, off, n))
+        })
+    }
+
+    fn check_bounds(&self, addr: Addr, len: usize) -> Result<()> {
+        if addr + len as u64 > self.inner.capacity() {
+            return Err(crate::PmemError::OutOfBounds {
+                addr,
+                len,
+                capacity: self.inner.capacity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl PmemBackend for BufferManager {
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn try_read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check_bounds(addr, buf.len())?;
+        let mut done = 0usize;
+        for (line, off, n) in self.segments(addr, buf.len()) {
+            let dst = &mut buf[done..done + n];
+            done += n;
+            // Latch-free lookup + optimistic copy.
+            let resident = self.map.read().expect("frame map").get(&line).copied();
+            if let Some(frame) = resident {
+                if self.read_frame_optimistic(frame, line, off, dst) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.charge_ns(self.cfg.dram_hit_ns);
+                    continue;
+                }
+            }
+            // Miss (or the frame moved mid-copy): install under the
+            // mutate lock, re-checking residency first. (The lookup guard
+            // must drop before `install` takes the map write lock.)
+            let _g = self.mutate.lock().expect("bufmgr mutate");
+            let rechecked = self.map.read().expect("frame map").get(&line).copied();
+            let frame = match rechecked {
+                Some(f) => {
+                    // Raced with another installer: count it as a hit —
+                    // the line is in DRAM now.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.charge_ns(self.cfg.dram_hit_ns);
+                    f
+                }
+                None => self.install(line)?,
+            };
+            // Under the mutate lock no writer can interleave.
+            let base = frame * self.line_size + off;
+            for (i, b) in dst.iter_mut().enumerate() {
+                *b = self.slab[base + i].load(Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn try_write_bytes(&self, addr: Addr, buf: &[u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check_bounds(addr, buf.len())?;
+        let _g = self.mutate.lock().expect("bufmgr mutate");
+        let mut done = 0usize;
+        for (line, off, n) in self.segments(addr, buf.len()) {
+            let src = &buf[done..done + n];
+            done += n;
+            // Lookup guard must drop before `install` takes the map write
+            // lock on this same thread.
+            let resident = self.map.read().expect("frame map").get(&line).copied();
+            let frame = match resident {
+                Some(f) => f,
+                // Write-allocate: load the line (its untouched bytes must
+                // survive), then overlay.
+                None => self.install(line)?,
+            };
+            let shard = &self.versions[shard_of(line)].version;
+            let base = frame * self.line_size + off;
+            shard.fetch_add(1, Ordering::SeqCst);
+            for (i, &b) in src.iter().enumerate() {
+                self.slab[base + i].store(b, Ordering::Relaxed);
+            }
+            shard.fetch_add(1, Ordering::SeqCst);
+            self.meta[frame].dirty.store(true, Ordering::SeqCst);
+            self.absorbed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Write the dirty frames covering the range down to the inner
+    /// backend, then stage the range there — flush-then-fence keeps its
+    /// meaning with the frame tier in front.
+    fn flush(&self, addr: Addr, len: usize) {
+        if len > 0 && addr + len as u64 <= self.inner.capacity() {
+            let _g = self.mutate.lock().expect("bufmgr mutate");
+            for (line, _, _) in self.segments(addr, len) {
+                if let Some(frame) = self.map.read().expect("frame map").get(&line).copied() {
+                    if self.meta[frame].dirty.load(Ordering::SeqCst) {
+                        if let Err(e) = self.write_back(frame, line) {
+                            panic!("{e}");
+                        }
+                    }
+                }
+            }
+        }
+        self.inner.flush(addr, len)
+    }
+
+    fn fence(&self) {
+        self.inner.fence()
+    }
+
+    fn fence_seal(&self) {
+        self.inner.fence_seal()
+    }
+
+    fn charge_ns(&self, ns: u64) {
+        self.inner.charge_ns(ns)
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.inner.stats()
+    }
+
+    fn note_log_bytes(&self, n: u64) {
+        self.inner.note_log_bytes(n)
+    }
+
+    /// A crash loses every frame — unflushed DRAM state is gone, and
+    /// clean frames may now be stale against the recovered image.
+    fn crash(&self) {
+        self.drop_all_frames();
+        self.inner.crash()
+    }
+
+    fn crash_torn(&self, seed: u64) {
+        self.drop_all_frames();
+        self.inner.crash_torn(seed)
+    }
+
+    fn trip_after_writes(&self, n: u64) {
+        self.inner.trip_after_writes(n)
+    }
+
+    fn trip_after_persists(&self, n: u64) {
+        self.inner.trip_after_persists(n)
+    }
+
+    fn clear_trip(&self) {
+        self.inner.clear_trip()
+    }
+
+    /// Publishing acknowledges the pool as a whole: every dirty frame is
+    /// written back and staged first, so the inner backend's seal covers
+    /// the frame tier's absorbed writes too.
+    fn publish_snapshot(&self, fingerprint: u64) -> Result<()> {
+        {
+            let _g = self.mutate.lock().expect("bufmgr mutate");
+            for frame in 0..self.cfg.frames {
+                let line = self.meta[frame].line.load(Ordering::SeqCst);
+                if line != EMPTY && self.meta[frame].dirty.load(Ordering::SeqCst) {
+                    self.write_back(frame, line)?;
+                    let base = line * self.line_size as u64;
+                    self.inner.flush(base, self.line_len(line));
+                }
+            }
+        }
+        self.inner.publish_snapshot(fingerprint)
+    }
+
+    fn published_snapshot(&self) -> u64 {
+        self.inner.published_snapshot()
+    }
+}
+
+impl BufferManager {
+    /// Flush every dirty frame down to the inner backend (without a
+    /// fence): what a clean shutdown does before dropping the manager.
+    /// Returns the number of lines written back.
+    pub fn flush_all(&self) -> Result<u64> {
+        let n = self.write_back_all()?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+    use crate::persist::TxLog;
+    use crate::profile::DeviceProfile;
+
+    fn mgr(frames: usize) -> (Arc<SimDevice>, Arc<BufferManager>) {
+        let dev = Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), 1 << 20));
+        let line = dev.profile().line_size;
+        let m = BufferManager::new(dev.clone(), line, BufMgrConfig { frames, dram_hit_ns: 80 });
+        (dev, m)
+    }
+
+    #[test]
+    fn read_roundtrip_hits_dram_on_the_second_touch() {
+        let (_dev, m) = mgr(64);
+        m.write_u64(4096, 0xFEED);
+        assert_eq!(m.read_u64(4096), 0xFEED);
+        let s1 = m.stats_bufmgr();
+        assert_eq!(m.read_u64(4096), 0xFEED);
+        let s2 = m.stats_bufmgr();
+        assert_eq!(s2.hits, s1.hits + 1, "second touch must be a DRAM hit");
+        assert_eq!(s2.misses, s1.misses);
+    }
+
+    #[test]
+    fn absorbed_writes_reach_inner_only_on_flush() {
+        let (dev, m) = mgr(64);
+        m.write_u64(0, 77);
+        assert_eq!(dev.read_u64(0), 0, "absorbed write must not touch the inner device");
+        m.persist(0, 8);
+        assert_eq!(dev.read_u64(0), 77, "flush writes the frame back");
+        let s = m.stats_bufmgr();
+        assert!(s.writes_absorbed >= 1);
+        assert!(s.writebacks >= 1);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_frames_back() {
+        let (dev, m) = mgr(4);
+        // Touch more lines than frames; dirty them all.
+        for i in 0..16u64 {
+            m.write_u64(i * 256, i + 1);
+        }
+        // Every line must read back correctly whether resident or evicted.
+        for i in 0..16u64 {
+            assert_eq!(m.read_u64(i * 256), i + 1, "line {i}");
+        }
+        let s = m.stats_bufmgr();
+        assert!(s.evictions > 0, "4 frames cannot hold 16 lines");
+        assert!(s.writebacks > 0, "dirty victims must be written back");
+        // Evicted dirty lines reached the inner device (unfenced).
+        let mut reached = 0;
+        for i in 0..16u64 {
+            if dev.read_u64(i * 256) == i + 1 {
+                reached += 1;
+            }
+        }
+        assert!(reached >= 12, "evicted frames write through to the inner device");
+    }
+
+    #[test]
+    fn crash_drops_frames_and_exposes_recovered_truth() {
+        let (dev, m) = mgr(64);
+        m.write_u64(0, 1);
+        m.persist(0, 8); // durable 1
+        m.write_u64(0, 2); // absorbed, unflushed
+        m.crash();
+        assert_eq!(dev.read_u64(0), 1, "inner recovered to the durable value");
+        assert_eq!(m.read_u64(0), 1, "manager must not serve the pre-crash frame");
+    }
+
+    #[test]
+    fn txlog_commit_and_recovery_work_through_the_manager() {
+        let (dev, m) = mgr(64);
+        let backend: Arc<dyn PmemBackend> = m.clone();
+        let log_base = 1 << 19;
+        let mut tx = TxLog::new(backend.clone(), log_base, 1 << 16);
+        m.write_u64(0, 10);
+        m.persist(0, 8);
+        tx.begin().unwrap();
+        tx.log_range(0, 8).unwrap();
+        m.write_u64(0, 20);
+        m.persist(0, 8);
+        tx.commit().unwrap();
+        assert_eq!(m.read_u64(0), 20);
+        // Crash after commit: committed value survives recovery.
+        dev.crash();
+        m.drop_all_frames();
+        let mut tx2 = TxLog::new(backend, log_base, 1 << 16);
+        assert!(!tx2.recover().unwrap(), "committed log must be clean");
+        assert_eq!(m.read_u64(0), 20);
+    }
+
+    #[test]
+    fn publish_snapshot_writes_back_dirty_frames_first() {
+        let (dev, m) = mgr(64);
+        m.write_u64(0, 42); // absorbed only
+        m.publish_snapshot(0xABC).unwrap();
+        assert_eq!(dev.read_u64(0), 42, "publish must push absorbed writes down");
+        assert_eq!(m.published_snapshot(), 0xABC);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let (_dev, m) = mgr(8);
+        // Hot set smaller than the frame pool: everything after the first
+        // touch hits.
+        for _ in 0..32 {
+            for i in 0..4u64 {
+                let _ = m.read_u64(i * 256);
+            }
+        }
+        let s = m.stats_bufmgr();
+        assert!(s.hit_rate() > 0.9, "hot loop must hit DRAM: {s:?}");
+    }
+
+    #[test]
+    fn concurrent_readers_race_a_writer_without_torn_lines() {
+        let (_dev, m) = mgr(32);
+        // One line flips between two full-width patterns; readers must
+        // only ever observe one of them.
+        m.write_u64(0, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = m.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = m.read_u64(0);
+                        assert!(v == 0 || v == u64::MAX, "torn read: {v:#x}");
+                    }
+                })
+            })
+            .collect();
+        for i in 0..2000u64 {
+            m.write_u64(0, if i % 2 == 0 { u64::MAX } else { 0 });
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let (_dev, m) = mgr(8);
+        let cap = m.capacity();
+        assert!(m.try_write_u64(cap, 1).is_err());
+        assert!(m.try_read_u64(cap).is_err());
+    }
+}

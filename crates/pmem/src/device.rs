@@ -102,6 +102,18 @@ pub trait DeviceMirror: Send + Sync {
     /// `lines` just became durable with the given contents (one entry per
     /// distinct media line, ascending line index).
     fn on_fence(&self, lines: &[(u64, Vec<u8>)]);
+    /// A *seal* fence landed ([`SimDevice::fence_seal`]): recovery-critical
+    /// bytes (a TxLog commit record, a header seal) just became durable,
+    /// and the caller acknowledges the operation the moment this returns.
+    /// Mirrors that buffer writes in a volatile tier (an OS page cache, an
+    /// un-msync'd mapping) must push **everything written so far** to
+    /// stable storage before returning — a host crash after this hook may
+    /// not lose any of it. Called even when `lines` is empty: the sync
+    /// barrier applies to previously fenced-but-unsynced writes too.
+    /// Default: indistinguishable from a plain fence.
+    fn on_seal(&self, lines: &[(u64, Vec<u8>)]) {
+        self.on_fence(lines);
+    }
     /// A crash resolved; `lines` hold the post-crash durable contents of
     /// every line the crash touched (ascending line index).
     fn on_crash(&self, lines: &[(u64, Vec<u8>)]);
@@ -1145,6 +1157,21 @@ impl SimDevice {
     /// Persistence fence: everything flushed before this point becomes
     /// durable (its pre-image is dropped).
     pub fn fence(&self) {
+        self.fence_with(false);
+    }
+
+    /// A *seal* fence: like [`fence`](Self::fence), but the mirror is told
+    /// the fenced lines carry recovery-critical bytes via
+    /// [`DeviceMirror::on_seal`] — backends that buffer durable writes in a
+    /// volatile tier (page cache, un-msync'd mappings) must reach stable
+    /// storage before returning. Costs exactly what a plain fence costs in
+    /// the virtual model, so sim and file/mmap backends stay `virtual_ns`-
+    /// identical; the wall-clock fsync is the real price of the seal.
+    pub fn fence_seal(&self) {
+        self.fence_with(true);
+    }
+
+    fn fence_with(&self, seal: bool) {
         let mut inner = self.lock();
         if let Some(left) = inner.trip_persists.as_mut() {
             if *left == 0 {
@@ -1162,12 +1189,16 @@ impl SimDevice {
         }
         // Durability point: the pending lines' *current* contents are what
         // became durable (stores issued after the flush ride along, because
-        // the pre-image is dropped wholesale) — mirror exactly that.
+        // the pre-image is dropped wholesale) — mirror exactly that. A seal
+        // fence fires its hook even with no pending lines: the stable-
+        // storage barrier also covers earlier fenced-but-unsynced writes.
         if let Some(mirror) = self.mirror.get() {
             let mut lines = pending;
             lines.sort_unstable();
             lines.dedup();
-            if !lines.is_empty() {
+            if seal {
+                mirror.on_seal(&self.mirror_line_snapshots(&lines));
+            } else if !lines.is_empty() {
                 mirror.on_fence(&self.mirror_line_snapshots(&lines));
             }
         }
@@ -1177,6 +1208,13 @@ impl SimDevice {
     pub fn persist(&self, addr: Addr, len: usize) {
         self.flush(addr, len);
         self.fence();
+    }
+
+    /// `flush` + [`fence_seal`](Self::fence_seal): persist a recovery-
+    /// critical range with an unconditional stable-storage barrier.
+    pub fn persist_seal(&self, addr: Addr, len: usize) {
+        self.flush(addr, len);
+        self.fence_seal();
     }
 
     /// Account undo-log traffic (used by [`crate::TxLog`]).

@@ -38,6 +38,7 @@
 //! [64..)    pool bytes (sparse; holes read as zero)
 //! ```
 
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
@@ -46,6 +47,7 @@ use std::sync::{Arc, Mutex};
 use crate::backend::PmemBackend;
 use crate::device::{Addr, DeviceMirror, SimDevice};
 use crate::error::PmemError;
+use crate::faultsim::Prng;
 use crate::persist::{crc64, TxLog, TxLogInspection};
 use crate::profile::DeviceProfile;
 use crate::stats::AccessStats;
@@ -170,30 +172,126 @@ impl PoolHeader {
     }
 }
 
+/// The backing pool file plus the host-crash bookkeeping shared by the
+/// write-through mirror and the device handle.
+///
+/// Every write that has not yet been covered by an `fsync` is tracked
+/// with the *previous durable bytes* of its range: on a simulated host
+/// crash (power loss above the page cache) each such range independently
+/// keeps the new bytes or reverts to the pre-image, exactly as the OS
+/// may or may not have written the dirty page out. Any sync —
+/// per-fence (`fsync_each_fence`), a seal fence, or `publish_snapshot` —
+/// empties the tracking: synced writes can no longer be lost.
+pub(crate) struct DurableFile {
+    inner: Mutex<DurableInner>,
+}
+
+struct DurableInner {
+    file: File,
+    /// file offset → durable bytes the range held before its first
+    /// unsynced overwrite. `BTreeMap` so host-crash coin flips consume
+    /// the seeded RNG in a deterministic (offset) order.
+    unsynced: BTreeMap<u64, Vec<u8>>,
+}
+
+/// What a simulated host crash did to the backing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostCrashReport {
+    /// Unsynced ranges whose new bytes survived (page made it to disk).
+    pub kept: usize,
+    /// Unsynced ranges reverted to their pre-write durable bytes.
+    pub lost: usize,
+}
+
+impl DurableFile {
+    fn new(file: File) -> Arc<Self> {
+        Arc::new(DurableFile {
+            inner: Mutex::new(DurableInner { file, unsynced: BTreeMap::new() }),
+        })
+    }
+
+    /// Write `bytes` at `offset`, recording the range's prior durable
+    /// content first so a host crash can revert it.
+    fn write_tracked(&self, offset: u64, bytes: &[u8]) {
+        let mut inner = self.inner.lock().expect("pool file lock");
+        match inner.unsynced.get(&offset) {
+            Some(pre) if pre.len() >= bytes.len() => {}
+            _ => {
+                // First unsynced write of this range (or a longer rewrite):
+                // capture what is durable on disk right now.
+                let mut pre = vec![0u8; bytes.len()];
+                if let Err(e) = read_exact_or_zero(&inner.file, &mut pre, offset) {
+                    panic!("pool file pre-image read failed at {offset:#x}: {e}");
+                }
+                inner.unsynced.insert(offset, pre);
+            }
+        }
+        if let Err(e) = inner.file.write_all_at(bytes, offset) {
+            panic!("pool file write-through failed at {offset:#x}: {e}");
+        }
+    }
+
+    /// `fsync` the file; everything written so far is now beyond the
+    /// reach of a host crash.
+    fn sync(&self) {
+        let mut inner = self.inner.lock().expect("pool file lock");
+        if let Err(e) = inner.file.sync_data() {
+            panic!("pool file fsync failed: {e}");
+        }
+        inner.unsynced.clear();
+    }
+
+    /// Number of written-but-unsynced ranges a host crash could lose.
+    fn unsynced_ranges(&self) -> usize {
+        self.inner.lock().expect("pool file lock").unsynced.len()
+    }
+
+    /// Simulate a host crash: each unsynced range independently keeps its
+    /// new bytes or reverts to its pre-write durable content, decided by
+    /// a seeded coin per range (in offset order, so a seed is
+    /// reproducible). `lose_all` forces every range to revert — the
+    /// adversarial schedule. The file is then synced and tracking
+    /// cleared: the survivors *are* the durable state now.
+    fn host_crash(&self, seed: u64, lose_all: bool) -> HostCrashReport {
+        let mut inner = self.inner.lock().expect("pool file lock");
+        let mut rng = Prng::new(seed ^ 0x4855_4F53_5443_5253); // "HUOSTCRS"
+        let mut report = HostCrashReport::default();
+        let unsynced = std::mem::take(&mut inner.unsynced);
+        for (offset, pre) in unsynced {
+            if lose_all || rng.next_u64() & 1 == 0 {
+                if let Err(e) = inner.file.write_all_at(&pre, offset) {
+                    panic!("pool file host-crash revert failed at {offset:#x}: {e}");
+                }
+                report.lost += 1;
+            } else {
+                report.kept += 1;
+            }
+        }
+        if let Err(e) = inner.file.sync_data() {
+            panic!("pool file fsync failed: {e}");
+        }
+        report
+    }
+}
+
 /// The [`DeviceMirror`] that writes the twin's durable image through to
 /// the file. Hook methods run under the twin's state lock and cannot
 /// return errors; an I/O failure here means the backing file is gone
 /// mid-run, which is unrecoverable write-through loss — it panics with
 /// the underlying OS error rather than silently diverging from the twin.
 struct FileMirror {
-    file: Mutex<File>,
+    durable: Arc<DurableFile>,
     line_size: u64,
     fsync_each_fence: bool,
 }
 
 impl FileMirror {
     fn write_lines(&self, lines: &[(u64, Vec<u8>)], fsync: bool) {
-        let file = self.file.lock().expect("pool file lock");
         for (line, bytes) in lines {
-            let at = POOL_DATA_AT + line * self.line_size;
-            if let Err(e) = file.write_all_at(bytes, at) {
-                panic!("pool file write-through failed at line {line}: {e}");
-            }
+            self.durable.write_tracked(POOL_DATA_AT + line * self.line_size, bytes);
         }
         if fsync {
-            if let Err(e) = file.sync_data() {
-                panic!("pool file fsync failed: {e}");
-            }
+            self.durable.sync();
         }
     }
 }
@@ -201,6 +299,14 @@ impl FileMirror {
 impl DeviceMirror for FileMirror {
     fn on_fence(&self, lines: &[(u64, Vec<u8>)]) {
         self.write_lines(lines, self.fsync_each_fence);
+    }
+
+    fn on_seal(&self, lines: &[(u64, Vec<u8>)]) {
+        // Seal fences carry recovery-critical state (header seals, TxLog
+        // commit records): sync unconditionally, regardless of the
+        // per-fence policy, and even with no lines of their own — the
+        // barrier must also cover earlier fenced-but-unsynced writes.
+        self.write_lines(lines, true);
     }
 
     fn on_crash(&self, lines: &[(u64, Vec<u8>)]) {
@@ -211,10 +317,7 @@ impl DeviceMirror for FileMirror {
     }
 
     fn on_poke(&self, addr: Addr, bytes: &[u8]) {
-        let file = self.file.lock().expect("pool file lock");
-        if let Err(e) = file.write_all_at(bytes, POOL_DATA_AT + addr) {
-            panic!("pool file poke write failed at {addr:#x}: {e}");
-        }
+        self.durable.write_tracked(POOL_DATA_AT + addr, bytes);
     }
 }
 
@@ -224,6 +327,7 @@ pub struct FileDevice {
     twin: Arc<SimDevice>,
     path: PathBuf,
     header: PoolHeader,
+    durable: Arc<DurableFile>,
 }
 
 impl FileDevice {
@@ -265,13 +369,14 @@ impl FileDevice {
         file.set_len(POOL_DATA_AT + layout.capacity)?;
         file.sync_all()?;
         let twin = Arc::new(SimDevice::new(profile, layout.capacity as usize));
+        let durable = DurableFile::new(file);
         let mirror = FileMirror {
-            file: Mutex::new(file),
+            durable: durable.clone(),
             line_size: twin.profile().line_size as u64,
             fsync_each_fence,
         };
         twin.attach_mirror(Arc::new(mirror));
-        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header }))
+        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header, durable }))
     }
 
     /// Open an existing pool file: validate the header, load the on-disk
@@ -316,13 +421,14 @@ impl FileDevice {
         }
         // A reopened pool resumes at the snapshot its header sealed.
         twin.publish_snapshot(header.snapshot);
+        let durable = DurableFile::new(file);
         let mirror = FileMirror {
-            file: Mutex::new(file),
+            durable: durable.clone(),
             line_size: header.line_size as u64,
             fsync_each_fence,
         };
         twin.attach_mirror(Arc::new(mirror));
-        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header }))
+        Ok(Arc::new(FileDevice { twin, path: path.to_path_buf(), header, durable }))
     }
 
     /// The in-memory cost-model twin. High-bandwidth consumers (pools,
@@ -347,6 +453,32 @@ impl FileDevice {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Number of written-but-unsynced file ranges a host crash could
+    /// still lose. Zero right after any seal fence, `fsync`-per-fence
+    /// fence, or [`publish_snapshot`](PmemBackend::publish_snapshot).
+    pub fn unsynced_ranges(&self) -> usize {
+        self.durable.unsynced_ranges()
+    }
+
+    /// Simulate a **host** crash (power loss above the OS): every write
+    /// since the last `fsync` independently survives or reverts to its
+    /// pre-write durable bytes, decided by a seeded coin per range.
+    ///
+    /// This is strictly harsher than the process-crash model the twin
+    /// simulates — fenced lines the mirror wrote but never synced are
+    /// fair game. After this call the twin no longer matches the file;
+    /// drop the device and [`open`](Self::open) the path again, exactly
+    /// as a real restart would.
+    pub fn host_crash(&self, seed: u64) -> HostCrashReport {
+        self.durable.host_crash(seed, false)
+    }
+
+    /// [`host_crash`](Self::host_crash) under the adversarial schedule:
+    /// *every* unsynced range is lost.
+    pub fn host_crash_lose_all(&self) -> HostCrashReport {
+        self.durable.host_crash(0, true)
     }
 
     /// Cross-backend ground truth: re-read the *file's* data region and
@@ -382,7 +514,7 @@ impl FileDevice {
 
 /// Read `buf.len()` bytes at `offset`, zero-filling past EOF (short or
 /// truncated files behave like sparse holes).
-fn read_exact_or_zero(file: &File, buf: &mut [u8], offset: u64) -> Result<()> {
+pub(crate) fn read_exact_or_zero(file: &File, buf: &mut [u8], offset: u64) -> Result<()> {
     let mut filled = 0;
     while filled < buf.len() {
         match file.read_at(&mut buf[filled..], offset + filled as u64) {
@@ -422,6 +554,10 @@ impl PmemBackend for FileDevice {
         self.twin.fence()
     }
 
+    fn fence_seal(&self) {
+        self.twin.fence_seal()
+    }
+
     fn charge_ns(&self, ns: u64) {
         self.twin.charge_ns(ns)
     }
@@ -458,19 +594,91 @@ impl PmemBackend for FileDevice {
 
     /// Publishing seals the fingerprint into the on-disk pool header (a
     /// single 64-byte rewrite-and-sync, below the data region so the twin
-    /// address space is untouched) and mirrors it into the twin.
+    /// address space is untouched) and mirrors it into the twin. The sync
+    /// goes through the shared handle, so it also hardens every earlier
+    /// fenced-but-unsynced data write — a published pool is host-crash
+    /// consistent as a whole, not just its header.
     fn publish_snapshot(&self, fingerprint: u64) -> Result<()> {
         let mut header = self.header;
         header.snapshot = fingerprint;
-        let file = OpenOptions::new().write(true).open(&self.path)?;
-        file.write_all_at(&header.to_bytes(), 0)?;
-        file.sync_data()?;
+        self.durable.write_tracked(0, &header.to_bytes());
+        self.durable.sync();
         self.twin.publish_snapshot(fingerprint);
         Ok(())
     }
 
     fn published_snapshot(&self) -> u64 {
         self.twin.published_snapshot()
+    }
+}
+
+/// A [`PmemBackend`] whose pool lives in a real file on disk, with a
+/// [`SimDevice`] twin carrying the cost model: what the engine, the
+/// crash sweeps, and `fsck` need beyond raw byte access. Implemented by
+/// [`FileDevice`] (pwrite write-through) and
+/// [`crate::MmapDevice`](crate::mmapdev::MmapDevice) (memory-mapped
+/// image with `msync` fencing); the two are interchangeable behind this
+/// trait, which is what lets the backend matrix grow without forking the
+/// call sites.
+pub trait PoolDevice: PmemBackend {
+    /// The in-memory cost-model twin. High-bandwidth consumers talk to
+    /// this directly; the mirror keeps the file coherent underneath.
+    fn twin(&self) -> &Arc<SimDevice>;
+
+    /// The validated pool header as of open/create.
+    fn header(&self) -> &PoolHeader;
+
+    /// Region layout recorded in the header.
+    fn layout(&self) -> PoolLayout;
+
+    /// Path of the backing file.
+    fn path(&self) -> &Path;
+
+    /// Byte-for-byte cross-check of the file's data region against the
+    /// twin's durable image; call only at durability points.
+    fn verify_file_matches_device(&self) -> Result<()>;
+
+    /// Written-but-unsynced ranges a host crash could still lose.
+    fn unsynced_ranges(&self) -> usize;
+
+    /// Seeded host-crash injection; see [`FileDevice::host_crash`].
+    fn host_crash(&self, seed: u64) -> HostCrashReport;
+
+    /// Adversarial host crash: every unsynced range is lost.
+    fn host_crash_lose_all(&self) -> HostCrashReport;
+}
+
+impl PoolDevice for FileDevice {
+    fn twin(&self) -> &Arc<SimDevice> {
+        FileDevice::twin(self)
+    }
+
+    fn header(&self) -> &PoolHeader {
+        FileDevice::header(self)
+    }
+
+    fn layout(&self) -> PoolLayout {
+        FileDevice::layout(self)
+    }
+
+    fn path(&self) -> &Path {
+        FileDevice::path(self)
+    }
+
+    fn verify_file_matches_device(&self) -> Result<()> {
+        FileDevice::verify_file_matches_device(self)
+    }
+
+    fn unsynced_ranges(&self) -> usize {
+        FileDevice::unsynced_ranges(self)
+    }
+
+    fn host_crash(&self, seed: u64) -> HostCrashReport {
+        FileDevice::host_crash(self, seed)
+    }
+
+    fn host_crash_lose_all(&self) -> HostCrashReport {
+        FileDevice::host_crash_lose_all(self)
     }
 }
 
@@ -740,5 +948,83 @@ mod tests {
         let path = tmp("volatile.pool");
         let err = FileDevice::create(&path, DeviceProfile::dram(), small_layout());
         assert!(matches!(err, Err(PmemError::Unsupported(_))));
+    }
+
+    #[test]
+    fn host_crash_loses_plain_fences_but_never_sealed_ones() {
+        let path = tmp("hostcrash.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        let d = fd.twin().clone();
+        d.write_u64(0, 11);
+        d.persist(0, 8); // plain fence: written to the file, not synced
+        d.write_u64(256, 22);
+        d.persist_seal(256, 8); // seal: unconditional fsync, covers BOTH writes
+        assert_eq!(fd.unsynced_ranges(), 0, "a seal leaves nothing to lose");
+        d.write_u64(512, 33);
+        d.persist(512, 8); // plain again: exposed until the next sync
+        assert_eq!(fd.unsynced_ranges(), 1);
+        let report = fd.host_crash_lose_all();
+        assert_eq!(report, HostCrashReport { kept: 0, lost: 1 });
+        drop(fd);
+        let fd2 = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd2.twin().read_u64(0), 11, "the seal barrier hardened the earlier fence");
+        assert_eq!(fd2.twin().read_u64(256), 22, "sealed write survives the host crash");
+        assert_eq!(fd2.twin().read_u64(512), 0, "unsynced fenced write is lost");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn publish_snapshot_hardens_prior_fenced_writes() {
+        let path = tmp("hostcrash-publish.pool");
+        let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        fd.twin().write_u64(1024, 77);
+        fd.twin().persist(1024, 8);
+        fd.publish_snapshot(0xFEED).unwrap();
+        let report = fd.host_crash_lose_all();
+        assert_eq!(report.lost, 0, "publish synced the shared handle");
+        drop(fd);
+        let fd2 = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(fd2.twin().read_u64(1024), 77);
+        assert_eq!(fd2.published_snapshot(), 0xFEED);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_per_fence_leaves_nothing_for_a_host_crash() {
+        let path = tmp("hostcrash-fsync.pool");
+        let fd = FileDevice::create_with_fsync(&path, DeviceProfile::nvm_optane(), small_layout())
+            .unwrap();
+        for i in 0..4u64 {
+            fd.twin().write_u64(i * 256, i + 1);
+            fd.twin().persist(i * 256, 8);
+        }
+        assert_eq!(fd.unsynced_ranges(), 0);
+        assert_eq!(fd.host_crash(42), HostCrashReport::default());
+        drop(fd);
+        let fd2 = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(fd2.twin().read_u64(i * 256), i + 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn host_crash_coin_flips_are_seed_deterministic() {
+        let layout = small_layout();
+        let mut images = Vec::new();
+        for run in 0..2 {
+            let path = tmp(&format!("hostcrash-det-{run}.pool"));
+            let fd = FileDevice::create(&path, DeviceProfile::nvm_optane(), layout).unwrap();
+            for i in 0..8u64 {
+                fd.twin().write_u64(i * 256, 0x1000 + i);
+                fd.twin().persist(i * 256, 8);
+            }
+            let report = fd.host_crash(1337);
+            assert_eq!(report.kept + report.lost, 8);
+            drop(fd);
+            images.push(std::fs::read(&path).unwrap());
+            std::fs::remove_file(&path).unwrap();
+        }
+        assert_eq!(images[0], images[1], "same seed must resolve the same survivors");
     }
 }

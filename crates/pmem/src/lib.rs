@@ -40,6 +40,7 @@
 
 pub mod alloc;
 pub mod backend;
+pub mod bufmgr;
 pub mod cache;
 pub mod device;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod faultsim;
 pub mod filedev;
 pub mod json;
 pub mod ledger;
+pub mod mmapdev;
 pub mod obs;
 pub mod par;
 pub mod persist;
@@ -56,6 +58,7 @@ pub mod stats;
 
 pub use alloc::PmemPool;
 pub use backend::PmemBackend;
+pub use bufmgr::{BufMgrConfig, BufMgrStats, BufferManager};
 pub use device::{
     with_deferred_charges, Addr, CrashMode, DeferredCharges, DeviceMirror, ReadShardStats,
     SimDevice, CRASH_PANIC, READ_SHARDS,
@@ -66,11 +69,12 @@ pub use faultsim::{
     CrashPoint, CrashRun, Prng, SweepOutcome,
 };
 pub use filedev::{
-    fsck_pool, FileDevice, FsckReport, PoolHeader, PoolLayout, POOL_DATA_AT, POOL_MAGIC,
-    POOL_VERSION,
+    fsck_pool, FileDevice, FsckReport, HostCrashReport, PoolDevice, PoolHeader, PoolLayout,
+    POOL_DATA_AT, POOL_MAGIC, POOL_VERSION,
 };
 pub use json::{Json, JsonError};
 pub use ledger::AllocLedger;
+pub use mmapdev::MmapDevice;
 pub use obs::{MetricRegistry, MetricValue, MetricsSnapshot, Obs, SpanNode};
 pub use persist::{crc64, PhasePersist, TxLog, TxLogInspection};
 pub use pod::Pod;

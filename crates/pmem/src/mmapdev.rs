@@ -1,0 +1,748 @@
+//! Memory-mapped pool storage: the third backend-matrix entry.
+//!
+//! [`MmapDevice`] persists the pool to the same on-disk format as
+//! [`crate::FileDevice`] — one header, sparse data region, identical
+//! CRC-sealed layout, so `fsck` and either device can open a pool the
+//! other wrote — but the write-through path goes through a shared
+//! `MAP_SHARED` memory mapping instead of `pwrite`, and durability
+//! barriers are `msync(MS_SYNC)` instead of `fdatasync`. That is the
+//! NVM-style access model the paper assumes: loads and stores against
+//! mapped persistent memory, with explicit flush points.
+//!
+//! Everything else mirrors `FileDevice` exactly: a [`SimDevice`] twin
+//! carries the cost model (so `virtual_ns`, stats, and crash decisions
+//! are byte-for-byte identical across sim/file/mmap), a
+//! [`DeviceMirror`] pushes the durable image into the mapping at each
+//! fence, seal fences `msync` unconditionally, and the host-crash model
+//! tracks every store since the last `msync` with its pre-image so a
+//! seeded power loss can revert an arbitrary subset.
+//!
+//! On platforms without the raw `mmap`/`msync` syscalls (anything but
+//! Linux here — the workspace pins no libc crate, so the bindings are
+//! local `extern "C"` declarations resolved by the C runtime std already
+//! links), the device transparently falls back to `pwrite`/`fdatasync`
+//! with identical semantics; [`MmapDevice::is_mapped`] reports which
+//! path is live.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::backend::PmemBackend;
+use crate::device::{Addr, DeviceMirror, SimDevice};
+use crate::error::PmemError;
+use crate::faultsim::Prng;
+use crate::filedev::{
+    read_exact_or_zero, HostCrashReport, PoolDevice, PoolHeader, PoolLayout, POOL_DATA_AT,
+};
+use crate::profile::DeviceProfile;
+use crate::stats::AccessStats;
+use crate::Result;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+    pub const MS_SYNC: i32 = 4;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    // Declared locally instead of via a libc crate: std already links the
+    // C runtime, so these resolve at link time with no new dependency.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+    }
+}
+
+/// A live `MAP_SHARED` mapping of the whole pool file.
+struct MapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+/// The mapping (or its pwrite fallback) plus the host-crash bookkeeping,
+/// mirroring `filedev::DurableFile` for the mmap access model. All
+/// access is serialized by the mutex, which is what makes holding a raw
+/// mapping pointer across threads sound.
+struct MapFile {
+    inner: Mutex<MapInner>,
+}
+
+struct MapInner {
+    file: File,
+    map: Option<MapRegion>,
+    /// file offset → durable bytes the range held before its first
+    /// un-`msync`ed overwrite, in offset order for deterministic
+    /// host-crash coin flips.
+    unsynced: BTreeMap<u64, Vec<u8>>,
+}
+
+// SAFETY: the raw mapping pointer is only dereferenced under the mutex,
+// and the mapping stays valid for the life of `MapInner` (unmapped in
+// Drop, after which no access is possible).
+unsafe impl Send for MapInner {}
+
+impl Drop for MapInner {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Some(m) = self.map.take() {
+            unsafe { sys::munmap(m.ptr.cast(), m.len) };
+        }
+    }
+}
+
+impl MapInner {
+    fn write_at(&mut self, offset: u64, bytes: &[u8]) {
+        match &self.map {
+            Some(m) => {
+                assert!(offset as usize + bytes.len() <= m.len, "store past the mapping");
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        bytes.as_ptr(),
+                        m.ptr.add(offset as usize),
+                        bytes.len(),
+                    );
+                }
+            }
+            None => {
+                if let Err(e) = self.file.write_all_at(bytes, offset) {
+                    panic!("pool mapping fallback write failed at {offset:#x}: {e}");
+                }
+            }
+        }
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        match &self.map {
+            Some(m) => {
+                assert!(offset as usize + buf.len() <= m.len, "load past the mapping");
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        m.ptr.add(offset as usize),
+                        buf.as_mut_ptr(),
+                        buf.len(),
+                    );
+                }
+            }
+            None => {
+                if let Err(e) = read_exact_or_zero(&self.file, buf, offset) {
+                    panic!("pool mapping fallback read failed at {offset:#x}: {e}");
+                }
+            }
+        }
+    }
+
+    fn sync(&mut self) {
+        match &self.map {
+            #[cfg(target_os = "linux")]
+            Some(m) => {
+                if unsafe { sys::msync(m.ptr.cast(), m.len, sys::MS_SYNC) } != 0 {
+                    panic!("msync failed: {}", std::io::Error::last_os_error());
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            Some(_) => unreachable!("no mapping is ever created off Linux"),
+            None => {
+                if let Err(e) = self.file.sync_data() {
+                    panic!("pool mapping fallback fsync failed: {e}");
+                }
+            }
+        }
+        self.unsynced.clear();
+    }
+}
+
+impl MapFile {
+    /// Map `total_len` bytes of `file` read-write, falling back to the
+    /// pwrite path when mapping is unavailable or fails.
+    fn new(file: File, total_len: u64) -> Arc<Self> {
+        let map = Self::try_map(&file, total_len as usize);
+        Arc::new(MapFile { inner: Mutex::new(MapInner { file, map, unsynced: BTreeMap::new() }) })
+    }
+
+    #[cfg(target_os = "linux")]
+    fn try_map(file: &File, len: usize) -> Option<MapRegion> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            None
+        } else {
+            Some(MapRegion { ptr: ptr.cast(), len })
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn try_map(_file: &File, _len: usize) -> Option<MapRegion> {
+        None
+    }
+
+    fn write_tracked(&self, offset: u64, bytes: &[u8]) {
+        let mut inner = self.inner.lock().expect("pool mapping lock");
+        match inner.unsynced.get(&offset) {
+            Some(pre) if pre.len() >= bytes.len() => {}
+            _ => {
+                let mut pre = vec![0u8; bytes.len()];
+                inner.read_at(offset, &mut pre);
+                inner.unsynced.insert(offset, pre);
+            }
+        }
+        inner.write_at(offset, bytes);
+    }
+
+    fn sync(&self) {
+        self.inner.lock().expect("pool mapping lock").sync();
+    }
+
+    fn unsynced_ranges(&self) -> usize {
+        self.inner.lock().expect("pool mapping lock").unsynced.len()
+    }
+
+    fn host_crash(&self, seed: u64, lose_all: bool) -> HostCrashReport {
+        let mut inner = self.inner.lock().expect("pool mapping lock");
+        let mut rng = Prng::new(seed ^ 0x4855_4F53_5443_5253); // same stream as FileDevice
+        let mut report = HostCrashReport::default();
+        let unsynced = std::mem::take(&mut inner.unsynced);
+        for (offset, pre) in unsynced {
+            if lose_all || rng.next_u64() & 1 == 0 {
+                inner.write_at(offset, &pre);
+                report.lost += 1;
+            } else {
+                report.kept += 1;
+            }
+        }
+        inner.sync();
+        report
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.inner.lock().expect("pool mapping lock").map.is_some()
+    }
+}
+
+/// The [`DeviceMirror`] writing the twin's durable image into the
+/// mapping; the twin's state lock serializes hook calls, the `MapFile`
+/// mutex serializes the mapping itself.
+struct MmapMirror {
+    map: Arc<MapFile>,
+    line_size: u64,
+    fsync_each_fence: bool,
+}
+
+impl MmapMirror {
+    fn write_lines(&self, lines: &[(u64, Vec<u8>)], sync: bool) {
+        for (line, bytes) in lines {
+            self.map.write_tracked(POOL_DATA_AT + line * self.line_size, bytes);
+        }
+        if sync {
+            self.map.sync();
+        }
+    }
+}
+
+impl DeviceMirror for MmapMirror {
+    fn on_fence(&self, lines: &[(u64, Vec<u8>)]) {
+        self.write_lines(lines, self.fsync_each_fence);
+    }
+
+    fn on_seal(&self, lines: &[(u64, Vec<u8>)]) {
+        // Recovery-critical state: `msync` unconditionally, covering every
+        // earlier fenced-but-unsynced store as well.
+        self.write_lines(lines, true);
+    }
+
+    fn on_crash(&self, lines: &[(u64, Vec<u8>)]) {
+        self.write_lines(lines, self.fsync_each_fence);
+    }
+
+    fn on_poke(&self, addr: Addr, bytes: &[u8]) {
+        self.map.write_tracked(POOL_DATA_AT + addr, bytes);
+    }
+}
+
+/// A pool persisted through a shared memory mapping, with a [`SimDevice`]
+/// twin carrying the cost model. Same file format, write-through
+/// contract, and host-crash model as [`crate::FileDevice`]; see the
+/// module docs for what differs (the syscall surface).
+pub struct MmapDevice {
+    twin: Arc<SimDevice>,
+    path: PathBuf,
+    header: PoolHeader,
+    map: Arc<MapFile>,
+}
+
+impl MmapDevice {
+    /// Create a fresh pool file at `path` (truncating any existing file)
+    /// and map it. The data region is sparse; pages fault in zeroed.
+    pub fn create(path: &Path, profile: DeviceProfile, layout: PoolLayout) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, false)
+    }
+
+    /// [`create`](Self::create), but `msync` on every fence.
+    pub fn create_with_fsync(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+    ) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+        fsync_each_fence: bool,
+    ) -> Result<Arc<Self>> {
+        if !profile.kind.is_persistent() {
+            return Err(PmemError::Unsupported(format!(
+                "mmap-backed pools require a persistent profile; {} is volatile",
+                profile.name
+            )));
+        }
+        let header = PoolHeader::new(profile.line_size, layout);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all_at(&header.to_bytes(), 0)?;
+        file.set_len(POOL_DATA_AT + layout.capacity)?;
+        file.sync_all()?;
+        let twin = Arc::new(SimDevice::new(profile, layout.capacity as usize));
+        let map = MapFile::new(file, POOL_DATA_AT + layout.capacity);
+        let mirror = MmapMirror {
+            map: map.clone(),
+            line_size: twin.profile().line_size as u64,
+            fsync_each_fence,
+        };
+        twin.attach_mirror(Arc::new(mirror));
+        Ok(Arc::new(MmapDevice { twin, path: path.to_path_buf(), header, map }))
+    }
+
+    /// Open an existing pool file (either device may have written it):
+    /// validate the header, extend a truncated file back to its declared
+    /// capacity (mapping past EOF faults, so the sparse tail is made
+    /// explicit — it still reads as zeros), load the image into a fresh
+    /// twin, and map the file.
+    pub fn open(path: &Path, profile: DeviceProfile) -> Result<Arc<Self>> {
+        Self::open_inner(path, profile, false)
+    }
+
+    fn open_inner(
+        path: &Path,
+        profile: DeviceProfile,
+        fsync_each_fence: bool,
+    ) -> Result<Arc<Self>> {
+        if !profile.kind.is_persistent() {
+            return Err(PmemError::Unsupported(format!(
+                "mmap-backed pools require a persistent profile; {} is volatile",
+                profile.name
+            )));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut head = [0u8; POOL_DATA_AT as usize];
+        read_exact_or_zero(&file, &mut head, 0)?;
+        let header = PoolHeader::from_bytes(&head)?;
+        let total = POOL_DATA_AT + header.layout.capacity;
+        if file.metadata()?.len() < total {
+            file.set_len(total)?; // sparse zero tail, now mappable
+        }
+        let mut profile = profile;
+        profile.line_size = header.line_size as usize;
+        let twin = Arc::new(SimDevice::new(profile, header.layout.capacity as usize));
+        let mut buf = vec![0u8; 1 << 20];
+        let mut at = 0u64;
+        while at < header.layout.capacity {
+            let n = ((header.layout.capacity - at) as usize).min(buf.len());
+            read_exact_or_zero(&file, &mut buf[..n], POOL_DATA_AT + at)?;
+            twin.poke(at, &buf[..n]);
+            at += n as u64;
+        }
+        twin.publish_snapshot(header.snapshot);
+        let map = MapFile::new(file, total);
+        let mirror =
+            MmapMirror { map: map.clone(), line_size: header.line_size as u64, fsync_each_fence };
+        twin.attach_mirror(Arc::new(mirror));
+        Ok(Arc::new(MmapDevice { twin, path: path.to_path_buf(), header, map }))
+    }
+
+    /// The in-memory cost-model twin.
+    pub fn twin(&self) -> &Arc<SimDevice> {
+        &self.twin
+    }
+
+    /// The validated pool header as of open/create.
+    pub fn header(&self) -> &PoolHeader {
+        &self.header
+    }
+
+    /// Region layout recorded in the header.
+    pub fn layout(&self) -> PoolLayout {
+        self.header.layout
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the live path is a real `MAP_SHARED` mapping (true on
+    /// Linux unless `mmap` failed) or the pwrite fallback.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Written-but-un-`msync`ed ranges a host crash could lose.
+    pub fn unsynced_ranges(&self) -> usize {
+        self.map.unsynced_ranges()
+    }
+
+    /// Seeded host-crash injection; identical model (and, for the same
+    /// seed and write history, identical coin flips) to
+    /// [`crate::FileDevice::host_crash`].
+    pub fn host_crash(&self, seed: u64) -> HostCrashReport {
+        self.map.host_crash(seed, false)
+    }
+
+    /// Adversarial host crash: every unsynced range is lost.
+    pub fn host_crash_lose_all(&self) -> HostCrashReport {
+        self.map.host_crash(0, true)
+    }
+
+    /// Byte-for-byte cross-check of the file against the twin's durable
+    /// image (via the mapping, which is coherent with the file). Call
+    /// only at durability points.
+    pub fn verify_file_matches_device(&self) -> Result<()> {
+        let capacity = self.header.layout.capacity;
+        let inner = self.map.inner.lock().expect("pool mapping lock");
+        let mut disk = vec![0u8; 1 << 20];
+        let mut at = 0u64;
+        while at < capacity {
+            let n = ((capacity - at) as usize).min(disk.len());
+            inner.read_at(POOL_DATA_AT + at, &mut disk[..n]);
+            let mem = self.twin.peek(at, n);
+            if disk[..n] != mem[..] {
+                let off = disk[..n].iter().zip(&mem).position(|(a, b)| a != b).unwrap_or(0);
+                return Err(PmemError::CorruptImage(format!(
+                    "mapping and device diverge at {:#x}: file {:#04x} vs device {:#04x}",
+                    at + off as u64,
+                    disk[off],
+                    mem[off]
+                )));
+            }
+            at += n as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Everything forwards to the twin, exactly as [`crate::FileDevice`]
+/// does — which is what keeps sim/file/mmap `virtual_ns` and crash
+/// decisions identical by construction.
+impl PmemBackend for MmapDevice {
+    fn capacity(&self) -> u64 {
+        self.twin.capacity()
+    }
+
+    fn try_read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<()> {
+        self.twin.try_read_bytes(addr, buf)
+    }
+
+    fn try_write_bytes(&self, addr: Addr, buf: &[u8]) -> Result<()> {
+        self.twin.try_write_bytes(addr, buf)
+    }
+
+    fn flush(&self, addr: Addr, len: usize) {
+        self.twin.flush(addr, len)
+    }
+
+    fn fence(&self) {
+        self.twin.fence()
+    }
+
+    fn fence_seal(&self) {
+        self.twin.fence_seal()
+    }
+
+    fn charge_ns(&self, ns: u64) {
+        self.twin.charge_ns(ns)
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.twin.stats()
+    }
+
+    fn note_log_bytes(&self, n: u64) {
+        crate::device::SimDevice::note_log_bytes(&self.twin, n)
+    }
+
+    fn crash(&self) {
+        self.twin.crash()
+    }
+
+    fn crash_torn(&self, seed: u64) {
+        self.twin.crash_torn(seed)
+    }
+
+    fn trip_after_writes(&self, n: u64) {
+        self.twin.trip_after_writes(n)
+    }
+
+    fn trip_after_persists(&self, n: u64) {
+        self.twin.trip_after_persists(n)
+    }
+
+    fn clear_trip(&self) {
+        self.twin.clear_trip()
+    }
+
+    /// Header rewrite through the mapping, then an unconditional `msync`
+    /// — which also hardens every earlier fenced-but-unsynced store.
+    fn publish_snapshot(&self, fingerprint: u64) -> Result<()> {
+        let mut header = self.header;
+        header.snapshot = fingerprint;
+        self.map.write_tracked(0, &header.to_bytes());
+        self.map.sync();
+        self.twin.publish_snapshot(fingerprint);
+        Ok(())
+    }
+
+    fn published_snapshot(&self) -> u64 {
+        self.twin.published_snapshot()
+    }
+}
+
+impl PoolDevice for MmapDevice {
+    fn twin(&self) -> &Arc<SimDevice> {
+        MmapDevice::twin(self)
+    }
+
+    fn header(&self) -> &PoolHeader {
+        MmapDevice::header(self)
+    }
+
+    fn layout(&self) -> PoolLayout {
+        MmapDevice::layout(self)
+    }
+
+    fn path(&self) -> &Path {
+        MmapDevice::path(self)
+    }
+
+    fn verify_file_matches_device(&self) -> Result<()> {
+        MmapDevice::verify_file_matches_device(self)
+    }
+
+    fn unsynced_ranges(&self) -> usize {
+        MmapDevice::unsynced_ranges(self)
+    }
+
+    fn host_crash(&self, seed: u64) -> HostCrashReport {
+        MmapDevice::host_crash(self, seed)
+    }
+
+    fn host_crash_lose_all(&self) -> HostCrashReport {
+        MmapDevice::host_crash_lose_all(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filedev::{fsck_pool, FileDevice};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ntadoc-mmapdev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn small_layout() -> PoolLayout {
+        PoolLayout {
+            capacity: 1 << 20,
+            main_len: (1 << 20) - (1 << 16) - 4096,
+            scratch_len: 4096,
+            log_len: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn maps_for_real_on_linux() {
+        let path = tmp("mapped.pool");
+        let md = MmapDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(md.is_mapped(), "mmap must succeed on Linux");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfenced_stores_stay_out_of_the_mapping() {
+        let path = tmp("unfenced.pool");
+        let md = MmapDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        md.twin().write_u64(0, 0xAA);
+        let file = File::open(&path).unwrap();
+        let mut buf = [0u8; 8];
+        file.read_exact_at(&mut buf, POOL_DATA_AT).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0);
+        md.twin().persist(0, 8);
+        file.read_exact_at(&mut buf, POOL_DATA_AT).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0xAA);
+        md.verify_file_matches_device().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pools_interoperate_with_filedevice_and_fsck() {
+        // A pool written through the mapping must open cleanly under
+        // FileDevice (and vice versa): one format, two access paths.
+        let path = tmp("interop.pool");
+        {
+            let md =
+                MmapDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+            md.twin().write_u64(4096, 777);
+            md.twin().persist(4096, 8);
+            md.publish_snapshot(0xBEEF).unwrap();
+        }
+        let report = fsck_pool(&path).unwrap();
+        assert!(report.recoverable());
+        assert_eq!(report.header.snapshot, 0xBEEF);
+        {
+            let fd = FileDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+            assert_eq!(fd.twin().read_u64(4096), 777);
+            fd.twin().write_u64(8192, 888);
+            fd.twin().persist(8192, 8);
+            fd.publish_snapshot(0xBEE0).unwrap();
+        }
+        let md = MmapDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(md.twin().read_u64(4096), 777);
+        assert_eq!(md.twin().read_u64(8192), 888);
+        assert_eq!(md.published_snapshot(), 0xBEE0);
+        md.verify_file_matches_device().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_crash_resolves_identically_to_sim_and_file_backends() {
+        let layout = small_layout();
+        for seed in [1u64, 7, 42, 1337] {
+            let sim =
+                Arc::new(SimDevice::new(DeviceProfile::nvm_optane(), layout.capacity as usize));
+            let fpath = tmp(&format!("xchk-file-{seed}.pool"));
+            let mpath = tmp(&format!("xchk-mmap-{seed}.pool"));
+            let fd = FileDevice::create(&fpath, DeviceProfile::nvm_optane(), layout).unwrap();
+            let md = MmapDevice::create(&mpath, DeviceProfile::nvm_optane(), layout).unwrap();
+            for dev in [&sim, fd.twin(), md.twin()] {
+                for i in 0..16u64 {
+                    dev.write_u64(i * 256, i + 1);
+                }
+                for i in 0..8u64 {
+                    dev.flush(i * 256, 8);
+                }
+                dev.crash_torn(seed);
+            }
+            for i in 0..16u64 {
+                let want = sim.read_u64(i * 256);
+                assert_eq!(want, fd.twin().read_u64(i * 256), "seed {seed} line {i} (file)");
+                assert_eq!(want, md.twin().read_u64(i * 256), "seed {seed} line {i} (mmap)");
+            }
+            assert_eq!(
+                sim.stats().virtual_ns,
+                md.twin().stats().virtual_ns,
+                "seed {seed}: virtual time must not depend on the backend"
+            );
+            fd.verify_file_matches_device().unwrap();
+            md.verify_file_matches_device().unwrap();
+            std::fs::remove_file(&fpath).unwrap();
+            std::fs::remove_file(&mpath).unwrap();
+        }
+    }
+
+    #[test]
+    fn host_crash_model_matches_filedevice_for_the_same_history() {
+        // Same writes, same seed → the same ranges survive on both
+        // backends, so the recovered pools are byte-identical.
+        let layout = small_layout();
+        let fpath = tmp("hc-file.pool");
+        let mpath = tmp("hc-mmap.pool");
+        let fd = FileDevice::create(&fpath, DeviceProfile::nvm_optane(), layout).unwrap();
+        let md = MmapDevice::create(&mpath, DeviceProfile::nvm_optane(), layout).unwrap();
+        for dev in [fd.twin(), md.twin()] {
+            for i in 0..8u64 {
+                dev.write_u64(i * 256, 0xC0 + i);
+                dev.persist(i * 256, 8);
+            }
+        }
+        let fr = fd.host_crash(99);
+        let mr = md.host_crash(99);
+        assert_eq!(fr, mr, "identical histories must flip identical coins");
+        drop(fd);
+        drop(md);
+        let fbytes = std::fs::read(&fpath).unwrap();
+        let mbytes = std::fs::read(&mpath).unwrap();
+        assert_eq!(fbytes, mbytes, "host-crashed pools must be byte-identical");
+        std::fs::remove_file(&fpath).unwrap();
+        std::fs::remove_file(&mpath).unwrap();
+    }
+
+    #[test]
+    fn seal_fences_msync_so_host_crash_loses_nothing_sealed() {
+        let path = tmp("hc-seal.pool");
+        let md = MmapDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+        md.twin().write_u64(0, 5);
+        md.twin().persist(0, 8);
+        md.twin().write_u64(256, 6);
+        md.twin().persist_seal(256, 8);
+        assert_eq!(md.unsynced_ranges(), 0);
+        md.twin().write_u64(512, 7);
+        md.twin().persist(512, 8);
+        let report = md.host_crash_lose_all();
+        assert_eq!(report, HostCrashReport { kept: 0, lost: 1 });
+        drop(md);
+        let md2 = MmapDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(md2.twin().read_u64(0), 5);
+        assert_eq!(md2.twin().read_u64(256), 6);
+        assert_eq!(md2.twin().read_u64(512), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_clean_shutdown_restores_the_image() {
+        let path = tmp("reopen.pool");
+        {
+            let md =
+                MmapDevice::create(&path, DeviceProfile::nvm_optane(), small_layout()).unwrap();
+            md.twin().write_u64(4096, 123);
+            md.twin().persist(4096, 8);
+        }
+        let md = MmapDevice::open(&path, DeviceProfile::nvm_optane()).unwrap();
+        assert_eq!(md.twin().read_u64(4096), 123);
+        md.verify_file_matches_device().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn volatile_profiles_are_rejected() {
+        let path = tmp("volatile.pool");
+        let err = MmapDevice::create(&path, DeviceProfile::dram(), small_layout());
+        assert!(matches!(err, Err(PmemError::Unsupported(_))));
+    }
+}

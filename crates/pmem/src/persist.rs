@@ -184,7 +184,12 @@ impl TxLog {
         // One persist makes the whole sealed entry durable before the data
         // may change; if this tears, the seal fails to validate and
         // recovery truncates here — safe, because the data is untouched.
-        self.dev.persist(entry_at, needed);
+        // It is a *seal* persist: the caller's data write may reach the
+        // backing file (via any later fence) and survive a host crash, so
+        // the undo entry — and, transitively, the activation marker
+        // written before it — must be on stable storage first, or
+        // recovery could find surviving data with no entry to undo it.
+        self.dev.persist_seal(entry_at, needed);
         self.dev.note_log_bytes(needed as u64);
         self.entry_index.push((self.cursor, addr, len));
         self.cursor += needed as u64;
@@ -193,6 +198,13 @@ impl TxLog {
     }
 
     /// Commit: persist every modified range, then retire the log.
+    ///
+    /// The log-retire write is the commit record — the caller treats the
+    /// operation as durable the moment this returns — so it goes out
+    /// through a *seal* fence: backends staging durable writes in a
+    /// volatile tier (the page cache) must sync before acknowledging,
+    /// regardless of their per-fence policy. The seal barrier also
+    /// hardens the data fence just before it.
     pub fn commit(&mut self) -> Result<()> {
         if !self.active {
             return Err(PmemError::NoActiveTransaction);
@@ -202,7 +214,7 @@ impl TxLog {
         }
         self.dev.fence();
         self.dev.write_u64(self.log_base, 0);
-        self.dev.persist(self.log_base, 8);
+        self.dev.persist_seal(self.log_base, 8);
         self.active = false;
         Ok(())
     }
@@ -216,7 +228,8 @@ impl TxLog {
         let entries = std::mem::take(&mut self.entry_index);
         self.apply_undo(&entries)?;
         self.dev.write_u64(self.log_base, 0);
-        self.dev.persist(self.log_base, 8);
+        // Like commit, the retire record is acknowledged state: seal it.
+        self.dev.persist_seal(self.log_base, 8);
         self.active = false;
         Ok(())
     }
@@ -246,7 +259,10 @@ impl TxLog {
             valid.last().map_or(LOG_HEADER, |&(off, _, len)| off + (ENTRY_OVERHEAD + len) as u64);
         self.apply_undo(&valid)?;
         self.dev.try_write_u64(self.log_base, 0)?;
-        self.dev.persist(self.log_base, 8);
+        // Recovery's rollback must itself survive a host crash, or a
+        // second restart would replay stale undo over post-recovery
+        // writes: seal the retire record.
+        self.dev.persist_seal(self.log_base, 8);
         Ok(true)
     }
 

@@ -16,11 +16,17 @@ use ntadoc::{QueryKey, TaskOutput};
 /// sequence — one less source of replay divergence, and the hot-entry reuse
 /// the daemon cares about (identical queries in one burst) is insensitive to
 /// the difference.
+///
+/// Entries nest by snapshot (`snapshot → key → output`) so a lookup borrows
+/// the caller's [`QueryKey`]: the daemon hot path takes zero heap
+/// allocations on a hit — a `QueryKey` holds heap-owning fields, and the
+/// old flat `(u64, QueryKey)` key forced a clone per lookup just to probe.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     capacity: usize,
-    entries: HashMap<(u64, QueryKey), Arc<TaskOutput>>,
+    entries: HashMap<u64, HashMap<QueryKey, Arc<TaskOutput>>>,
     order: VecDeque<(u64, QueryKey)>,
+    resident: usize,
     hits: u64,
     misses: u64,
 }
@@ -32,9 +38,10 @@ impl ResultCache {
         ResultCache { capacity, ..ResultCache::default() }
     }
 
-    /// Look up a query under a snapshot, counting the hit or miss.
+    /// Look up a query under a snapshot, counting the hit or miss. Borrows
+    /// the key — no allocation on either outcome.
     pub fn get(&mut self, snapshot: u64, key: &QueryKey) -> Option<Arc<TaskOutput>> {
-        let found = self.entries.get(&(snapshot, key.clone())).cloned();
+        let found = self.entries.get(&snapshot).and_then(|m| m.get(key)).cloned();
         match found {
             Some(out) => {
                 self.hits += 1;
@@ -52,14 +59,21 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let full_key = (snapshot, key);
-        if self.entries.insert(full_key.clone(), out).is_some() {
+        let lane = self.entries.entry(snapshot).or_default();
+        if lane.insert(key.clone(), out).is_some() {
             return; // refreshed in place; insertion order unchanged
         }
-        self.order.push_back(full_key);
-        while self.entries.len() > self.capacity {
-            if let Some(oldest) = self.order.pop_front() {
-                self.entries.remove(&oldest);
+        self.resident += 1;
+        self.order.push_back((snapshot, key));
+        while self.resident > self.capacity {
+            let Some((s, k)) = self.order.pop_front() else { break };
+            if let Some(lane) = self.entries.get_mut(&s) {
+                if lane.remove(&k).is_some() {
+                    self.resident -= 1;
+                }
+                if lane.is_empty() {
+                    self.entries.remove(&s);
+                }
             }
         }
     }
@@ -75,18 +89,19 @@ impl ResultCache {
     /// narrows to {current} the moment the drain lane empties — so exactly
     /// the superseded entries are invalidated, no sooner and no later.
     pub fn retain_snapshots(&mut self, snapshots: &[u64]) {
-        self.entries.retain(|(s, _), _| snapshots.contains(s));
+        self.entries.retain(|s, _| snapshots.contains(s));
         self.order.retain(|(s, _)| snapshots.contains(s));
+        self.resident = self.entries.values().map(HashMap::len).sum();
     }
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.resident
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.resident == 0
     }
 
     /// Lifetime (hits, misses) counters.
@@ -156,6 +171,21 @@ mod tests {
         assert!(c.get(1, &key(Task::WordCount, None)).is_none());
         assert!(c.get(2, &key(Task::WordCount, None)).is_some());
         assert!(c.get(3, &key(Task::WordCount, None)).is_some());
+    }
+
+    #[test]
+    fn eviction_spans_snapshot_lanes_and_len_tracks_residency() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, key(Task::WordCount, None), out("a", 1));
+        c.insert(2, key(Task::WordCount, None), out("b", 2));
+        c.insert(3, key(Task::WordCount, None), out("c", 3)); // evicts snapshot 1's
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1, &key(Task::WordCount, None)).is_none());
+        assert!(c.get(2, &key(Task::WordCount, None)).is_some());
+        assert!(c.get(3, &key(Task::WordCount, None)).is_some());
+        c.retain_snapshots(&[3]);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
     }
 
     #[test]

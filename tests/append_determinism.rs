@@ -178,7 +178,8 @@ fn sessions_opened_before_an_append_keep_serving_the_old_snapshot() {
         ("a".to_string(), "alpha beta gamma alpha beta".repeat(10)),
         ("b".to_string(), "gamma delta alpha beta gamma".repeat(10)),
     ];
-    let mut engine = EngineBuilder::from_files(files).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut engine =
+        EngineBuilder::from_files(files).config(EngineConfig::ntadoc()).build().unwrap();
     let old_fp = engine.snapshot_version();
     let old_serve = engine.serve().unwrap();
     let q = vec![Query::new(TenantId(0), Task::WordCount)];
@@ -197,7 +198,10 @@ fn sessions_opened_before_an_append_keep_serving_the_old_snapshot() {
     let stats_before = old_serve.sim_device().stats();
     let after_append = old_serve.run_queries(&q).unwrap();
     let delta = old_serve.sim_device().stats().checked_since(&stats_before).unwrap();
-    assert_eq!(before_append[0].output, after_append[0].output, "old session must not see the append");
+    assert_eq!(
+        before_append[0].output, after_append[0].output,
+        "old session must not see the append"
+    );
     assert!(delta.reads > 0, "the pinned session reads its own old pool");
 
     // A fresh session serves the appended corpus under the new snapshot.
@@ -210,14 +214,15 @@ fn sessions_opened_before_an_append_keep_serving_the_old_snapshot() {
 
 #[test]
 fn stale_published_pools_are_recreated_on_open() {
-    let pool = std::env::temp_dir()
-        .join(format!("ntadoc-append-stale-{}.ntdp", std::process::id()));
+    let pool =
+        std::env::temp_dir().join(format!("ntadoc-append-stale-{}.ntdp", std::process::id()));
     let _ = std::fs::remove_file(&pool);
     let files = vec![
         ("a".to_string(), "one two three one two".repeat(10)),
         ("b".to_string(), "three four one five".repeat(10)),
     ];
-    let mut engine = EngineBuilder::from_files(files).config(EngineConfig::ntadoc()).build().unwrap();
+    let mut engine =
+        EngineBuilder::from_files(files).config(EngineConfig::ntadoc()).build().unwrap();
     let old_fp = engine.snapshot_version();
     {
         let mut s = engine.open_pool(&pool, Task::WordCount).unwrap();

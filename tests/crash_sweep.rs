@@ -12,21 +12,28 @@
 //! `NTADOC_SWEEP_SEEDS=3,5,8` (the CI crash-sweep job pins one seed per
 //! matrix entry). `NTADOC_SWEEP_STRIDE=n` sweeps every n-th point for a
 //! cheaper smoke pass; the default sweeps all of them.
-//! `NTADOC_SWEEP_BACKEND=sim|file|both` selects whether crash states are
-//! enumerated on the in-memory simulator, on a real file-backed pool
-//! (where the torn bytes land on disk), or both (the default). In the
-//! default both-backend mode the file pass samples every 8th point to
-//! keep the suite's debug-build runtime close to the sim-only cost; an
-//! *explicit* `NTADOC_SWEEP_BACKEND` honors `NTADOC_SWEEP_STRIDE`
-//! verbatim, which is how the CI matrix sweeps the file backend at every
-//! persist point.
+//! `NTADOC_SWEEP_BACKEND=sim|file|mmap|all` selects whether crash states
+//! are enumerated on the in-memory simulator, on a real file-backed pool
+//! (where the torn bytes land on disk), on a memory-mapped pool, or on
+//! all of them (the default). In the default all-backend mode the
+//! file/mmap passes sample every 8th point to keep the suite's
+//! debug-build runtime close to the sim-only cost; an *explicit*
+//! `NTADOC_SWEEP_BACKEND` honors `NTADOC_SWEEP_STRIDE` verbatim, which is
+//! how the CI matrix sweeps the durable backends at every persist point.
+//!
+//! On top of the torn-write model, the host-crash sweep additionally
+//! drops non-fsync'd writes (everything since the last `sync_data`/
+//! `msync`) before reopening — the power-failure model where the page
+//! cache dies with the host. Seal points (header seals,
+//! `publish_snapshot`, TxLog entry/commit records) are always fsync'd, so
+//! recovery must converge from the surviving bytes alone.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use ntadoc_repro::{
     compress_corpus, panic_is_injected_crash, sweep_ctx, Compressed, Engine, EngineBuilder,
-    EngineConfig, Prng, Session, SweepOutcome, Task, TaskOutput, TokenizerConfig,
+    EngineConfig, PoolBackend, Prng, Session, SweepOutcome, Task, TaskOutput, TokenizerConfig,
 };
 
 /// Which storage backend a sweep enumerates crash states on.
@@ -36,13 +43,26 @@ enum Backend {
     Sim,
     /// Real file-backed pool: the injected crash tears bytes on disk.
     File,
+    /// Memory-mapped pool file: stores land in the mapping, fences msync.
+    Mmap,
+}
+
+impl Backend {
+    /// The engine-level backend selector for durable variants.
+    fn pool_backend(self) -> PoolBackend {
+        match self {
+            Backend::Sim | Backend::File => PoolBackend::File,
+            Backend::Mmap => PoolBackend::Mmap,
+        }
+    }
 }
 
 fn sweep_backends() -> Vec<Backend> {
     match std::env::var("NTADOC_SWEEP_BACKEND").as_deref() {
         Ok("sim") => vec![Backend::Sim],
         Ok("file") => vec![Backend::File],
-        _ => vec![Backend::Sim, Backend::File],
+        Ok("mmap") => vec![Backend::Mmap],
+        _ => vec![Backend::Sim, Backend::File, Backend::Mmap],
     }
 }
 
@@ -51,11 +71,22 @@ fn tmp_pool(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("ntadoc-sweep-{}-{name}.ntdp", std::process::id()))
 }
 
-/// Open a session on the chosen backend (file pools are recreated).
+/// An engine whose `open_pool` attaches the chosen backend.
+fn engine_on(comp: &Compressed, cfg: &EngineConfig, backend: Backend) -> Engine {
+    Engine::builder(comp.clone())
+        .config(cfg.clone())
+        .pool_backend(backend.pool_backend())
+        .build()
+        .unwrap()
+}
+
+/// Open a session on the chosen backend (durable pools are recreated).
+/// The engine must have been built with the matching
+/// [`EngineBuilder::pool_backend`] (see [`engine_on`]).
 fn session_on(engine: &Engine, task: Task, backend: Backend, pool: &PathBuf) -> Session {
     match backend {
         Backend::Sim => engine.session(task).unwrap(),
-        Backend::File => {
+        Backend::File | Backend::Mmap => {
             let _ = std::fs::remove_file(pool);
             engine.open_pool(pool, task).unwrap()
         }
@@ -116,7 +147,7 @@ fn crash_recover_at_persist_point(
     pool: &PathBuf,
 ) -> Option<TaskOutput> {
     let ctx = sweep_ctx(label, seed, point);
-    let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+    let engine = engine_on(comp, cfg, backend);
     let mut session = session_on(&engine, task, backend, pool);
     session.sim_device().trip_after_persists(point);
     let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
@@ -155,10 +186,11 @@ fn sweep_strategy_over(comp: &Compressed, cfg: &EngineConfig, label: &str) {
     let stride = sweep_stride();
     let backend_explicit = std::env::var("NTADOC_SWEEP_BACKEND").is_ok();
     for backend in sweep_backends() {
-        // File sessions replay the whole trace per point against a real
-        // file; in the implicit both-backend mode, sample that pass.
+        // Durable sessions replay the whole trace per point against a
+        // real file; in the implicit all-backend mode, sample those
+        // passes.
         let stride = match backend {
-            Backend::File if !backend_explicit => stride * 8,
+            Backend::File | Backend::Mmap if !backend_explicit => stride * 8,
             _ => stride,
         };
         let pool = tmp_pool(label);
@@ -365,15 +397,16 @@ fn assert_planes_identical(
     }
 }
 
-/// The cross-backend identity check the file backend is designed around:
-/// the same logical trace on the in-memory simulator and on a file-backed
-/// pool must crash identically (same trip firing), tear identically (the
-/// durable post-crash pools are byte-identical, and the *on-disk* bytes
-/// match them), recover to the same output, and charge the same virtual
-/// time at every stage. A final reopen from nothing but the torn file
-/// must also converge.
+/// The cross-backend identity check the durable backends are designed
+/// around: the same logical trace on the in-memory simulator, on a
+/// file-backed pool, and on a memory-mapped pool must crash identically
+/// (same trip firing), tear identically (the durable post-crash pools are
+/// byte-identical, and the *on-disk* bytes match them), recover to the
+/// same output, and charge the same virtual time at every stage. A final
+/// reopen from nothing but the torn file must also converge, on both
+/// durable backends.
 #[test]
-fn sim_and_file_backends_agree_at_every_crash_point() {
+fn sim_file_and_mmap_backends_agree_at_every_crash_point() {
     let comp = corpus();
     let task = Task::WordCount;
     for (cfg, label) in
@@ -383,18 +416,22 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
         let clean = clean_engine.run(task).unwrap();
         let total = count_traversal_persist_points(&comp, &cfg, task);
         assert!(total > 0, "{label}: traversal must issue persist points");
-        let pool = tmp_pool(label);
+        let pool_file = tmp_pool(&format!("{label}-file"));
+        let pool_mmap = tmp_pool(&format!("{label}-mmap"));
         let seed = sweep_seeds()[0];
         // A handful of points spread across the stream; the exhaustive
         // per-backend sweeps above cover every point.
         for point in [0, total / 3, total / 2, total - 1] {
             let ctx = sweep_ctx(label, seed, point);
-            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
-            let mut sim = session_on(&engine, task, Backend::Sim, &pool);
-            let mut file = session_on(&engine, task, Backend::File, &pool);
+            let mut sim =
+                session_on(&engine_on(&comp, &cfg, Backend::Sim), task, Backend::Sim, &pool_file);
+            let mut file =
+                session_on(&engine_on(&comp, &cfg, Backend::File), task, Backend::File, &pool_file);
+            let mut mmap =
+                session_on(&engine_on(&comp, &cfg, Backend::Mmap), task, Backend::Mmap, &pool_mmap);
 
-            let mut fired = [false; 2];
-            for (i, s) in [&mut sim, &mut file].into_iter().enumerate() {
+            let mut fired = [false; 3];
+            for (i, s) in [&mut sim, &mut file, &mut mmap].into_iter().enumerate() {
                 s.sim_device().trip_after_persists(point);
                 let attempt = catch_unwind(AssertUnwindSafe(|| s.traverse()));
                 s.sim_device().clear_trip();
@@ -410,59 +447,208 @@ fn sim_and_file_backends_agree_at_every_crash_point() {
                     }
                 }
             }
-            assert_eq!(fired[0], fired[1], "{ctx}: backends disagree on whether a crash fired");
+            assert!(
+                fired[0] == fired[1] && fired[1] == fired[2],
+                "{ctx}: backends disagree on whether a crash fired ({fired:?})"
+            );
+            let ns = sim.sim_device().stats().virtual_ns;
             assert_eq!(
-                sim.sim_device().stats().virtual_ns,
+                ns,
                 file.sim_device().stats().virtual_ns,
-                "{ctx}: virtual clocks diverge before the crash"
+                "{ctx}: sim/file virtual clocks diverge before the crash"
+            );
+            assert_eq!(
+                ns,
+                mmap.sim_device().stats().virtual_ns,
+                "{ctx}: sim/mmap virtual clocks diverge before the crash"
             );
             if !fired[0] {
                 continue;
             }
 
             // Identical torn decisions → byte-identical durable pools,
-            // and the real file carries exactly those bytes.
+            // and the real files carry exactly those bytes.
             sim.crash_torn(seed ^ point);
             file.crash_torn(seed ^ point);
+            mmap.crash_torn(seed ^ point);
             assert_planes_identical(sim.sim_device(), file.sim_device(), &ctx);
-            file.pool_file()
-                .expect("file-backed session")
-                .verify_file_matches_device()
-                .unwrap_or_else(|e| panic!("{ctx}: on-disk bytes diverged from the twin: {e}"));
+            assert_planes_identical(sim.sim_device(), mmap.sim_device(), &ctx);
+            for (s, which) in [(&file, "file"), (&mmap, "mmap")] {
+                s.pool_file()
+                    .expect("durable session")
+                    .verify_file_matches_device()
+                    .unwrap_or_else(|e| {
+                        panic!("{ctx}: {which} on-disk bytes diverged from the twin: {e}")
+                    });
+            }
 
             // Identical recovery outcome and cost.
-            sim.recover().unwrap_or_else(|e| panic!("{ctx}: sim recovery failed: {e}"));
-            file.recover().unwrap_or_else(|e| panic!("{ctx}: file recovery failed: {e}"));
-            let sim_out = sim.traverse().unwrap_or_else(|e| panic!("{ctx}: sim re-run: {e}"));
-            let file_out = file.traverse().unwrap_or_else(|e| panic!("{ctx}: file re-run: {e}"));
-            assert_eq!(sim_out, clean, "{ctx}: sim recovery diverged");
-            assert_eq!(file_out, clean, "{ctx}: file recovery diverged");
+            let mut outs = Vec::new();
+            for (s, which) in [(&mut sim, "sim"), (&mut file, "file"), (&mut mmap, "mmap")] {
+                s.recover().unwrap_or_else(|e| panic!("{ctx}: {which} recovery failed: {e}"));
+                outs.push(s.traverse().unwrap_or_else(|e| panic!("{ctx}: {which} re-run: {e}")));
+                assert_eq!(outs.last().unwrap(), &clean, "{ctx}: {which} recovery diverged");
+            }
+            let ns = sim.sim_device().stats().virtual_ns;
             assert_eq!(
-                sim.sim_device().stats().virtual_ns,
+                ns,
                 file.sim_device().stats().virtual_ns,
-                "{ctx}: virtual clocks diverge after recovery"
+                "{ctx}: sim/file virtual clocks diverge after recovery"
+            );
+            assert_eq!(
+                ns,
+                mmap.sim_device().stats().virtual_ns,
+                "{ctx}: sim/mmap virtual clocks diverge after recovery"
             );
             drop(file);
+            drop(mmap);
 
             // Recovery from nothing but the torn on-disk bytes: recreate
-            // the crash state, drop the session, reopen, and converge.
-            let engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
-            let mut doomed = session_on(&engine, task, Backend::File, &pool);
-            doomed.sim_device().trip_after_persists(point);
-            let attempt = catch_unwind(AssertUnwindSafe(|| doomed.traverse()));
-            doomed.sim_device().clear_trip();
-            assert!(attempt.is_err(), "{ctx}: crash did not refire on a fresh session");
-            doomed.crash_torn(seed ^ point);
-            drop(doomed);
-            let mut reopened = engine
-                .open_pool(&pool, task)
-                .unwrap_or_else(|e| panic!("{ctx}: reopen-recovery failed: {e}"));
-            assert_eq!(
-                reopened.traverse().unwrap_or_else(|e| panic!("{ctx}: reopened re-run: {e}")),
-                clean,
-                "{ctx}: reopened pool diverged"
-            );
+            // the crash state, drop the session, reopen, and converge —
+            // on both durable backends.
+            for (backend, pool) in [(Backend::File, &pool_file), (Backend::Mmap, &pool_mmap)] {
+                let engine = engine_on(&comp, &cfg, backend);
+                let mut doomed = session_on(&engine, task, backend, pool);
+                doomed.sim_device().trip_after_persists(point);
+                let attempt = catch_unwind(AssertUnwindSafe(|| doomed.traverse()));
+                doomed.sim_device().clear_trip();
+                assert!(
+                    attempt.is_err(),
+                    "{ctx}: crash did not refire on a fresh {backend:?} session"
+                );
+                doomed.crash_torn(seed ^ point);
+                drop(doomed);
+                let mut reopened = engine
+                    .open_pool(pool, task)
+                    .unwrap_or_else(|e| panic!("{ctx}: {backend:?} reopen-recovery failed: {e}"));
+                assert_eq!(
+                    reopened
+                        .traverse()
+                        .unwrap_or_else(|e| { panic!("{ctx}: {backend:?} reopened re-run: {e}") }),
+                    clean,
+                    "{ctx}: reopened {backend:?} pool diverged"
+                );
+            }
         }
-        let _ = std::fs::remove_file(&pool);
+        let _ = std::fs::remove_file(&pool_file);
+        let _ = std::fs::remove_file(&pool_mmap);
+    }
+}
+
+/// Host-crash mode: on top of a torn process crash, every write that was
+/// not fsync'd by a seal point is at risk — a seeded coin flip loses or
+/// keeps each one, modelling the page cache dying with the host. Reopen
+/// from the surviving bytes alone must still converge, under both
+/// persistence strategies, on both durable backends. This is the sweep
+/// that fails pre-fix when seal points ride on unsynced plain fences.
+#[test]
+fn host_crash_at_sampled_points_converges_on_both_durable_backends() {
+    let comp = corpus();
+    let task = Task::WordCount;
+    let seed = sweep_seeds()[0];
+    for (cfg, label) in [
+        (EngineConfig::ntadoc(), "host-crash-phase"),
+        (EngineConfig::ntadoc_oplevel(), "host-crash-op"),
+    ] {
+        let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        let total = count_traversal_persist_points(&comp, &cfg, task);
+        for backend in [Backend::File, Backend::Mmap] {
+            let pool = tmp_pool(&format!("{label}-{backend:?}"));
+            let mut fired = 0u32;
+            for point in [0, total / 3, total / 2, total - 1] {
+                let ctx = sweep_ctx(label, seed, point);
+                let engine = engine_on(&comp, &cfg, backend);
+                let mut session = session_on(&engine, task, backend, &pool);
+                session.sim_device().trip_after_persists(point);
+                let attempt = catch_unwind(AssertUnwindSafe(|| session.traverse()));
+                session.sim_device().clear_trip();
+                match attempt {
+                    Ok(Ok(_)) => continue,
+                    Ok(Err(e)) => panic!("{ctx}: unexpected engine error {e}"),
+                    Err(payload) => assert!(
+                        panic_is_injected_crash(&*payload),
+                        "{ctx}: a non-injected panic escaped"
+                    ),
+                }
+                fired += 1;
+                session.crash_torn(seed ^ point);
+                // The host dies too: unsynced file ranges revert to their
+                // last-synced bytes (seeded coin flip per range).
+                let report = session.pool_file().expect("durable session").host_crash(seed ^ point);
+                drop(session);
+                // The surviving file must still be a recoverable pool…
+                let fsck = ntadoc_repro::fsck_pool(&pool)
+                    .unwrap_or_else(|e| panic!("{ctx} [{backend:?}]: fsck rejected: {e}"));
+                assert!(
+                    fsck.recoverable(),
+                    "{ctx} [{backend:?}]: host crash (kept {}, lost {}) left an unrecoverable pool",
+                    report.kept,
+                    report.lost
+                );
+                // …and reopening from nothing but those bytes converges.
+                let engine = engine_on(&comp, &cfg, backend);
+                let mut reopened = engine.open_pool(&pool, task).unwrap_or_else(|e| {
+                    panic!("{ctx} [{backend:?}]: reopen after host crash failed: {e}")
+                });
+                assert_eq!(
+                    reopened.traverse().unwrap_or_else(|e| {
+                        panic!("{ctx} [{backend:?}]: re-run after host crash: {e}")
+                    }),
+                    clean,
+                    "{ctx} [{backend:?}]: diverged after host crash (kept {}, lost {})",
+                    report.kept,
+                    report.lost
+                );
+                let _ = std::fs::remove_file(&pool);
+            }
+            assert!(fired > 0, "{label} [{backend:?}]: no crash fired");
+        }
+    }
+}
+
+/// The acknowledged-durability contract: once a run completes (its
+/// `publish_snapshot` seal is the acknowledgment), even a host crash that
+/// loses *every* non-fsync'd write must preserve the published snapshot
+/// and converge on reopen — zero acknowledged-but-lost seal points.
+#[test]
+fn acknowledged_runs_survive_a_total_host_crash() {
+    let comp = corpus();
+    let task = Task::WordCount;
+    for (cfg, label) in
+        [(EngineConfig::ntadoc(), "ack-phase"), (EngineConfig::ntadoc_oplevel(), "ack-op")]
+    {
+        let mut clean_engine = Engine::builder(comp.clone()).config(cfg.clone()).build().unwrap();
+        let clean = clean_engine.run(task).unwrap();
+        for backend in [Backend::File, Backend::Mmap] {
+            let pool = tmp_pool(&format!("{label}-{backend:?}"));
+            let _ = std::fs::remove_file(&pool);
+            let engine = engine_on(&comp, &cfg, backend);
+            let mut session = engine.open_pool(&pool, task).unwrap();
+            let out = session.traverse().unwrap();
+            assert_eq!(out, clean);
+            let published = session.backend().published_snapshot();
+            assert_ne!(published, 0, "{label}: a completed run must publish its snapshot");
+            // Worst-case host crash: every unsynced write is lost.
+            session.pool_file().expect("durable session").host_crash_lose_all();
+            drop(session);
+            let fsck = ntadoc_repro::fsck_pool(&pool).unwrap_or_else(|e| {
+                panic!("{label} [{backend:?}]: fsck after total host crash: {e}")
+            });
+            assert_eq!(
+                fsck.header.snapshot, published,
+                "{label} [{backend:?}]: the acknowledged publish was lost by the host crash"
+            );
+            let engine = engine_on(&comp, &cfg, backend);
+            let mut reopened = engine.open_pool(&pool, task).unwrap_or_else(|e| {
+                panic!("{label} [{backend:?}]: reopen after total host crash: {e}")
+            });
+            assert_eq!(
+                reopened.traverse().unwrap(),
+                clean,
+                "{label} [{backend:?}]: acknowledged state diverged after a total host crash"
+            );
+            let _ = std::fs::remove_file(&pool);
+        }
     }
 }

@@ -13,8 +13,7 @@ use ntadoc::{ingest_corpus, upper_bounds, IngestOptions};
 use ntadoc_pmem::par;
 use ntadoc_repro::{
     compress_corpus, compress_corpus_chunked, Engine, EngineBuilder, EngineConfig, Grammar,
-    MergeOptions, Task,
-    TokenizerConfig,
+    MergeOptions, Task, TokenizerConfig,
 };
 
 /// Arbitrary corpora: 1–5 files of small-alphabet words (some empty), so

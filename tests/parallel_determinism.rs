@@ -6,8 +6,7 @@
 use ntadoc_pmem::par;
 use ntadoc_repro::{
     compress_corpus, ingest_corpus, Compressed, Engine, EngineBuilder, EngineConfig, IngestOptions,
-    PmemError,
-    Query, RunReport, Task, TaskOutput, TenantId, TokenizerConfig,
+    PmemError, Query, RunReport, Task, TaskOutput, TenantId, TokenizerConfig,
 };
 
 /// Wrap bare tasks as single-tenant typed queries.

@@ -4,11 +4,50 @@
 //! release), batching amortization (fewer total lines touched than
 //! unbatched serving), and trace determinism across worker counts.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
 use ntadoc_pmem::par;
 use ntadoc_repro::{
     compress_corpus, shard_reads_total, Compressed, DaemonConfig, Engine, EngineConfig, Query,
     QueryDaemon, ServeError, Task, TenantId, TokenizerConfig, TraceSpec,
 };
+
+// ---------------------------------------------------------------------------
+// Per-thread allocation counting, so the cache-hit hot path can be held to a
+// hard allocation budget. Thread-local (not a global AtomicU64) so the other
+// tests in this binary, running concurrently, can't pollute the count.
+
+std::thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counter update cannot
+// allocate (const-initialized thread-local holding a Cell<u64> with no Drop).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 fn corpus() -> Compressed {
     let files = vec![
@@ -40,6 +79,35 @@ fn cache_hit_is_byte_identical_and_touches_zero_lines() {
         assert_eq!(delta.reads, 0, "{task}: cache hit issued device reads");
         assert_eq!(delta.line_misses, 0, "{task}: cache hit fetched media lines");
     }
+}
+
+#[test]
+fn cache_hits_stay_on_a_flat_allocation_budget() {
+    // The daemon hot path — admit, probe the result cache, build the
+    // response — must not heap-allocate per hit beyond a small constant:
+    // `ResultCache::get` borrows the caller's key (the old flat-keyed map
+    // forced a `QueryKey` clone per probe), and the output rides an `Arc`.
+    // A filtered query makes the key heap-owning, so any reintroduced
+    // per-probe clone shows up as allocation growth here.
+    let comp = corpus();
+    let mut d = daemon_over(&comp, DaemonConfig::default());
+    let q = Query::new(TenantId(1), Task::TermVector).file_filter("a").top_k(5);
+    assert!(!d.execute(q.clone()).unwrap().cache_hit, "first ask must miss");
+
+    let batch = |d: &mut QueryDaemon| {
+        let before = thread_allocs();
+        for _ in 0..64 {
+            assert!(d.execute(q.clone()).unwrap().cache_hit, "warm ask must hit");
+        }
+        thread_allocs() - before
+    };
+    // Warm every lazily-grown structure (queues, completion buffers).
+    batch(&mut d);
+    let first = batch(&mut d);
+    let second = batch(&mut d);
+    assert_eq!(second, first, "per-hit allocations must not grow between batches");
+    let per_hit = first as f64 / 64.0;
+    assert!(per_hit <= 16.0, "cache hits allocate too much: {per_hit:.1} allocations per hit");
 }
 
 #[test]
