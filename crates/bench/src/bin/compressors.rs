@@ -27,7 +27,8 @@ fn main() {
     );
     for (name, comp) in [("Sequitur", &seq), ("RePair", &rp)] {
         let s = comp.grammar.stats();
-        let image = ntadoc_grammar::serialize_compressed(comp).len();
+        let image =
+            ntadoc_grammar::serialize_compressed(comp).expect("image fits u32 fields").len();
         println!(
             "{:>10} {:>10} {:>12} {:>11.2}x {:>12}",
             name,

@@ -185,22 +185,15 @@ fn main() {
     println!("{md}");
     eprintln!("[report] wrote {EXPERIMENTS_DIR}/REPORT.md");
 
-    // Regenerate the summary from scratch out of the validated documents
-    // (the incremental merges in each binary's `finish` produce the same
-    // content; this makes the summary reproducible from the documents
-    // alone).
-    let mut experiments = BTreeMap::new();
-    for (name, doc) in &docs {
-        let mut entry = doc.get("headline").and_then(Json::as_obj).cloned().unwrap_or_default();
-        if let Some(scale) = doc.get("meta").and_then(|m| m.get("scale")) {
-            entry.insert("scale".to_string(), scale.clone());
-        }
-        experiments.insert(name.clone(), Json::Obj(entry));
-    }
-    let summary = Json::object([
-        ("schema_version", Json::U64(SCHEMA_VERSION as u64)),
-        ("experiments", Json::Obj(experiments)),
-    ]);
-    std::fs::write(SUMMARY_PATH, summary.pretty()).expect("write summary");
+    // Regenerate the summary entries for the validated documents (each
+    // binary's incremental `finish` merge produces the same content per
+    // entry). This is a *merge*, not a rebuild: experiments recorded in
+    // the existing summary whose documents are not currently on disk —
+    // e.g. after `cargo clean` plus a partial re-run of one binary —
+    // keep their previously published headlines.
+    ntadoc_bench::merge_summary_entries(
+        std::path::Path::new(SUMMARY_PATH),
+        docs.iter().map(|(name, doc)| (name.clone(), ntadoc_bench::summary_entry(doc))),
+    );
     eprintln!("[report] wrote {SUMMARY_PATH}");
 }

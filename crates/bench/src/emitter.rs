@@ -190,7 +190,42 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
 /// { "scale": …, <headline…> } } }`; a missing or unreadable existing
 /// file starts fresh rather than failing the run.
 fn merge_summary(name: &str, meta: &BTreeMap<String, Json>, headline: &BTreeMap<String, Json>) {
-    let mut summary = std::fs::read_to_string(SUMMARY_PATH)
+    let mut entry = headline.clone();
+    if let Some(scale) = meta.get("scale") {
+        entry.insert("scale".to_string(), scale.clone());
+    }
+    merge_summary_entries(Path::new(SUMMARY_PATH), [(name.to_string(), Json::Obj(entry))]);
+    eprintln!("[json] updated {SUMMARY_PATH}");
+}
+
+/// The summary entry a validated experiment document contributes: its
+/// headline members plus the run scale. This is the same shape each
+/// binary's [`Emitter::finish`] folds in incrementally, so regenerating
+/// an entry from the document on disk is idempotent.
+pub fn summary_entry(doc: &Json) -> Json {
+    let mut entry = doc.get("headline").and_then(Json::as_obj).cloned().unwrap_or_default();
+    if let Some(scale) = doc.get("meta").and_then(|m| m.get("scale")) {
+        entry.insert("scale".to_string(), scale.clone());
+    }
+    Json::Obj(entry)
+}
+
+/// Merge experiment entries into the summary file at `path` and return
+/// the written document.
+///
+/// Entries for experiments named in `entries` are replaced; entries
+/// already recorded in the file for experiments *not* named are kept.
+/// That preservation is load-bearing for the `report` binary: it only
+/// sees the documents currently under `target/experiments/`, so a
+/// partial re-run (one bench binary, then `report`) must not erase the
+/// headlines of experiments whose documents were cleaned away. A
+/// missing or unreadable existing file starts fresh rather than
+/// failing the run.
+pub fn merge_summary_entries(
+    path: &Path,
+    entries: impl IntoIterator<Item = (String, Json)>,
+) -> Json {
+    let mut summary = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| Json::parse(&s).ok())
         .and_then(|j| j.as_obj().cloned())
@@ -198,14 +233,13 @@ fn merge_summary(name: &str, meta: &BTreeMap<String, Json>, headline: &BTreeMap<
     summary.insert("schema_version".to_string(), Json::U64(SCHEMA_VERSION as u64));
     let mut experiments =
         summary.get("experiments").and_then(Json::as_obj).cloned().unwrap_or_default();
-    let mut entry = headline.clone();
-    if let Some(scale) = meta.get("scale") {
-        entry.insert("scale".to_string(), scale.clone());
+    for (name, entry) in entries {
+        experiments.insert(name, entry);
     }
-    experiments.insert(name.to_string(), Json::Obj(entry));
     summary.insert("experiments".to_string(), Json::Obj(experiments));
-    std::fs::write(SUMMARY_PATH, Json::Obj(summary).pretty()).expect("write BENCH_summary.json");
-    eprintln!("[json] updated {SUMMARY_PATH}");
+    let doc = Json::Obj(summary);
+    std::fs::write(path, doc.pretty()).expect("write bench summary");
+    doc
 }
 
 #[cfg(test)]
@@ -266,5 +300,59 @@ mod tests {
         let parsed = Json::parse(&d.pretty()).unwrap();
         assert_eq!(parsed, d);
         assert_eq!(validate_document(&parsed), Ok(()));
+    }
+
+    /// Regression: regenerating the summary from a subset of documents
+    /// (e.g. `report` run after only one bench binary) must keep the
+    /// previously recorded experiments, not rebuild from scratch.
+    #[test]
+    fn partial_regeneration_preserves_existing_experiments() {
+        let dir = std::env::temp_dir().join(format!("ntadoc-summary-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_summary.json");
+
+        // Seed the summary with two experiments' headlines.
+        merge_summary_entries(
+            &path,
+            [
+                ("fig5".to_string(), Json::object([("speedup_geomean", Json::F64(2.0))])),
+                ("fig6".to_string(), Json::object([("slowdown_geomean", Json::F64(1.5))])),
+            ],
+        );
+
+        // A later partial run re-records only fig5 (new value) plus a
+        // brand-new experiment; fig6's document was not regenerated.
+        let merged = merge_summary_entries(
+            &path,
+            [
+                ("fig5".to_string(), Json::object([("speedup_geomean", Json::F64(2.2))])),
+                ("layout_bench".to_string(), Json::object([("lines_saved", Json::F64(0.2))])),
+            ],
+        );
+
+        let exps = merged.get("experiments").and_then(Json::as_obj).unwrap();
+        assert_eq!(exps.len(), 3, "fig6 must survive the partial regeneration");
+        assert_eq!(
+            exps["fig5"].get("speedup_geomean").and_then(Json::as_f64),
+            Some(2.2),
+            "re-run experiments take the fresh value"
+        );
+        assert_eq!(exps["fig6"].get("slowdown_geomean").and_then(Json::as_f64), Some(1.5));
+        assert!(exps.contains_key("layout_bench"));
+        assert_eq!(merged.get("schema_version").and_then(Json::as_u64), Some(1));
+
+        // The on-disk file matches what was returned.
+        let reread = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(reread, merged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_entry_extracts_headline_and_scale() {
+        let mut em = doc();
+        em.meta("scale", Json::F64(0.5));
+        let entry = summary_entry(&em.document());
+        assert_eq!(entry.get("speedup_geomean").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(entry.get("scale").and_then(Json::as_f64), Some(0.5));
     }
 }

@@ -19,7 +19,10 @@ use ntadoc_pmem::{DeviceProfile, Json};
 
 mod emitter;
 
-pub use emitter::{validate_document, Emitter, EXPERIMENTS_DIR, SCHEMA_VERSION, SUMMARY_PATH};
+pub use emitter::{
+    merge_summary_entries, summary_entry, validate_document, Emitter, EXPERIMENTS_DIR,
+    SCHEMA_VERSION, SUMMARY_PATH,
+};
 
 /// Dataset + engine orchestration for one experiment binary.
 pub struct Harness {

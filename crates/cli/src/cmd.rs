@@ -4,8 +4,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use ntadoc::{
-    ingest_corpus, Accessor, Engine, EngineConfig, IngestOptions, Persistence, PoolBackend, Task,
-    TaskOutput, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
+    ingest_corpus, Accessor, Engine, EngineConfig, IngestOptions, Persistence, PoolBackend,
+    PoolLayoutConfig, Task, TaskOutput, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK,
 };
 use ntadoc_grammar::{
     deserialize_compressed, serialize_compressed, Compressed, CorpusBuilder, TokenizerConfig,
@@ -20,6 +20,7 @@ pub const USAGE: &str = "usage:
   ntadoc run <task> <corpus.ntdc> [--device nvm|dram|ssd|hdd|reram|pcm]
              [--persistence phase|op] [--naive] [--top N] [--ngram N]
              [--trace-out <report.json>] [--pool <pool.ntdp>] [--backend file|mmap]
+             [--layout fixed|fixed-pad|varint|split|packed]
   ntadoc search <corpus.ntdc> <word>...
   ntadoc extract <corpus.ntdc> <file#> <offset> <len>
   ntadoc decompress <corpus.ntdc> [-d <outdir>]
@@ -182,7 +183,7 @@ fn compress(args: &[String]) -> CmdResult {
         comp = builder.finish();
     }
     comp.grammar = comp.grammar.coarsened(coarsen);
-    let image = serialize_compressed(&comp);
+    let image = serialize_compressed(&comp).map_err(|e| e.to_string())?;
     fs::write(&out, &image).map_err(|e| format!("{out}: {e}"))?;
     let stats = comp.grammar.stats();
     println!(
@@ -237,7 +238,7 @@ fn append(args: &[String]) -> CmdResult {
         .build()
         .map_err(|e| e.to_string())?;
     let report = engine.append_files(texts).map_err(|e| e.to_string())?;
-    let image = serialize_compressed(engine.compressed());
+    let image = serialize_compressed(engine.compressed()).map_err(|e| e.to_string())?;
     fs::write(&out, &image).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "appended {} files / {} tokens ({} raw bytes) → {} ({} bytes)",
@@ -285,6 +286,7 @@ fn run(args: &[String]) -> CmdResult {
     let mut trace_out: Option<PathBuf> = None;
     let mut pool: Option<PathBuf> = None;
     let mut backend = PoolBackend::File;
+    let mut layout = PoolLayoutConfig::legacy();
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -295,6 +297,12 @@ fn run(args: &[String]) -> CmdResult {
             "--backend" => {
                 let name = args.get(i + 1).ok_or("--backend needs file|mmap")?;
                 backend = PoolBackend::parse(name).ok_or(format!("bad --backend `{name}`"))?;
+                i += 2;
+            }
+            "--layout" => {
+                let name =
+                    args.get(i + 1).ok_or("--layout needs fixed|fixed-pad|varint|split|packed")?;
+                layout = PoolLayoutConfig::parse(name).ok_or(format!("bad --layout `{name}`"))?;
                 i += 2;
             }
             "--device" => {
@@ -344,6 +352,7 @@ fn run(args: &[String]) -> CmdResult {
         .config(cfg)
         .profile(profile.clone())
         .pool_backend(backend)
+        .pool_layout(layout)
         .label("cli")
         .build()
         .map_err(|e| e.to_string())?;
@@ -631,7 +640,7 @@ pub fn compress_texts(files: &[(String, String)], coarsen: u64) -> Vec<u8> {
     }
     let mut comp = b.finish();
     comp.grammar = comp.grammar.coarsened(coarsen);
-    serialize_compressed(&comp)
+    serialize_compressed(&comp).expect("test corpus fits u32 image fields")
 }
 
 #[cfg(test)]

@@ -55,27 +55,39 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
+/// Checked narrowing for every host-side count written into a `u32` image
+/// field. A corpus whose dictionary, file table, rule table, or a single
+/// rule body outgrows 2³² entries must fail loudly at serialization time —
+/// a silent `as u32` wrap here would produce a checksummed-and-valid image
+/// that deserializes into a *different* corpus.
+fn len_u32(what: &'static str, len: usize) -> Result<u32, ImageError> {
+    u32::try_from(len).map_err(|_| ImageError::TooLarge { what, len: len as u64 })
 }
 
-/// Serialize a compressed corpus into its persistent image.
-pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
+fn put_str(out: &mut Vec<u8>, what: &'static str, s: &str) -> Result<(), ImageError> {
+    put_u32(out, len_u32(what, s.len())?);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Serialize a compressed corpus into its persistent image. Fails with
+/// [`ImageError::TooLarge`] if any count or string length does not fit its
+/// fixed-width `u32` image field.
+pub fn serialize_compressed(c: &Compressed) -> Result<Vec<u8>, ImageError> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&[0u8; 16]); // crc + paylen patched below
-    put_u32(&mut out, c.dict.len() as u32);
-    put_u32(&mut out, c.file_names.len() as u32);
-    put_u32(&mut out, c.grammar.rule_count() as u32);
+    put_u32(&mut out, len_u32("dictionary size", c.dict.len())?);
+    put_u32(&mut out, len_u32("file count", c.file_names.len())?);
+    put_u32(&mut out, len_u32("rule count", c.grammar.rule_count())?);
     for (_, w) in c.dict.iter() {
-        put_str(&mut out, w);
+        put_str(&mut out, "dictionary word length", w)?;
     }
     for name in &c.file_names {
-        put_str(&mut out, name);
+        put_str(&mut out, "file name length", name)?;
     }
     for r in &c.grammar.rules {
-        put_u32(&mut out, r.symbols.len() as u32);
+        put_u32(&mut out, len_u32("rule body length", r.symbols.len())?);
         for s in &r.symbols {
             put_u32(&mut out, s.raw());
         }
@@ -84,7 +96,7 @@ pub fn serialize_compressed(c: &Compressed) -> Vec<u8> {
     let paylen = (out.len() - HEADER_LEN) as u64;
     out[8..16].copy_from_slice(&crc.to_le_bytes());
     out[16..24].copy_from_slice(&paylen.to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// Byte length [`serialize_compressed`] would produce for `c`, computed
@@ -110,6 +122,15 @@ pub enum ImageError {
     BadChecksum,
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A host-side count or length does not fit its fixed-width `u32`
+    /// image field (serialization-time check; deserialization can never
+    /// produce this).
+    TooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The offending host-side value.
+        len: u64,
+    },
 }
 
 impl std::fmt::Display for ImageError {
@@ -119,6 +140,9 @@ impl std::fmt::Display for ImageError {
             ImageError::Truncated => write!(f, "image truncated"),
             ImageError::BadChecksum => write!(f, "image payload fails checksum"),
             ImageError::BadUtf8 => write!(f, "image contains invalid UTF-8"),
+            ImageError::TooLarge { what, len } => {
+                write!(f, "{what} {len} does not fit its u32 image field (max {})", u32::MAX)
+            }
         }
     }
 }
@@ -217,9 +241,27 @@ mod tests {
     }
 
     #[test]
+    fn oversized_counts_are_reported_as_too_large() {
+        // The narrowing guard itself (a corpus with 2³² dictionary entries
+        // cannot be materialized in a test, but every count funnels
+        // through `len_u32`).
+        let over = u32::MAX as usize + 1;
+        match len_u32("dictionary size", over) {
+            Err(ImageError::TooLarge { what: "dictionary size", len }) => {
+                assert_eq!(len, over as u64)
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(len_u32("rule count", u32::MAX as usize), Ok(u32::MAX));
+        // And the typed error renders the offending field.
+        let msg = ImageError::TooLarge { what: "rule count", len: 5_000_000_000 }.to_string();
+        assert!(msg.contains("rule count") && msg.contains("5000000000"), "{msg}");
+    }
+
+    #[test]
     fn image_round_trips() {
         let c = sample();
-        let img = serialize_compressed(&c);
+        let img = serialize_compressed(&c).unwrap();
         let back = deserialize_compressed(&img).unwrap();
         assert_eq!(back.grammar, c.grammar);
         assert_eq!(back.file_names, c.file_names);
@@ -230,19 +272,19 @@ mod tests {
     #[test]
     fn serialized_len_matches_actual_image() {
         let c = sample();
-        assert_eq!(serialized_len(&c), serialize_compressed(&c).len());
+        assert_eq!(serialized_len(&c), serialize_compressed(&c).unwrap().len());
     }
 
     #[test]
     fn bad_magic_detected() {
-        let mut img = serialize_compressed(&sample());
+        let mut img = serialize_compressed(&sample()).unwrap();
         img[0] = b'X';
         assert_eq!(deserialize_compressed(&img).unwrap_err(), ImageError::BadMagic);
     }
 
     #[test]
     fn truncation_detected() {
-        let img = serialize_compressed(&sample());
+        let img = serialize_compressed(&sample()).unwrap();
         for cut in [7, 12, 20, img.len() / 2, img.len() - 1] {
             assert_eq!(
                 deserialize_compressed(&img[..cut]).unwrap_err(),
@@ -254,7 +296,7 @@ mod tests {
 
     #[test]
     fn payload_bit_flip_fails_checksum() {
-        let clean = serialize_compressed(&sample());
+        let clean = serialize_compressed(&sample()).unwrap();
         // Flip one bit at a spread of payload positions: every one must be
         // caught by the checksum, none may parse (or panic).
         for pos in [24, 30, clean.len() / 2, clean.len() - 1] {
@@ -270,7 +312,7 @@ mod tests {
 
     #[test]
     fn header_crc_flip_fails_checksum() {
-        let mut img = serialize_compressed(&sample());
+        let mut img = serialize_compressed(&sample()).unwrap();
         img[9] ^= 0xFF; // inside the stored crc
         assert_eq!(deserialize_compressed(&img).unwrap_err(), ImageError::BadChecksum);
     }
@@ -294,7 +336,7 @@ mod tests {
     #[test]
     fn expanded_text_survives_round_trip() {
         let c = sample();
-        let img = serialize_compressed(&c);
+        let img = serialize_compressed(&c).unwrap();
         let back = deserialize_compressed(&img).unwrap();
         assert_eq!(back.grammar.expand_text(&back.dict), c.grammar.expand_text(&c.dict));
     }

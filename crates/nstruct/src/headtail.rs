@@ -9,7 +9,11 @@
 //!
 //! The store is laid out as two dense `u32` matrices (`rules × width`) plus
 //! per-rule lengths, all bump-allocated adjacently so a rule's head and
-//! tail live in the same few media lines.
+//! tail live in the same few media lines. Under the 16-byte-padded layout
+//! ([`HeadTailStore::with_padding`]) each row starts at a 16 B boundary and
+//! is sized in 16 B units, so assembly and traversal can move whole rows
+//! with wide-register copies; [`HeadTailStore::fill_rows`] then writes each
+//! matrix with a single bulk store instead of one write per rule.
 
 use std::sync::Arc;
 
@@ -20,6 +24,9 @@ pub struct HeadTailStore {
     pool: Arc<PmemPool>,
     /// Words kept at each end of each rule (= n − 1 for n-gram tasks).
     width: usize,
+    /// Row stride in `u32`s (= `width`, or `width` rounded up to a 16 B
+    /// multiple under padding).
+    stride: usize,
     rules: usize,
     heads: Addr,
     tails: Addr,
@@ -30,17 +37,47 @@ pub struct HeadTailStore {
 impl HeadTailStore {
     /// Allocate buffers for `rules` rules with `width` words per end.
     pub fn new(pool: Arc<PmemPool>, rules: usize, width: usize) -> Result<Self> {
+        Self::with_padding(pool, rules, width, false)
+    }
+
+    /// Row stride in `u32`s for `width`-word rows: `width` plain, or
+    /// rounded up to a whole number of 16 B units under padding.
+    pub fn stride_words(width: usize, pad16: bool) -> usize {
         let width = width.max(1);
-        let heads = pool.alloc_array(rules * width, 4)?;
-        let tails = pool.alloc_array(rules * width, 4)?;
+        if pad16 {
+            (width * 4).div_ceil(16) * 4
+        } else {
+            width
+        }
+    }
+
+    /// Like [`HeadTailStore::new`], optionally padding each row to a 16 B
+    /// boundary (start and size) so wide copies stay inside the
+    /// allocation.
+    pub fn with_padding(
+        pool: Arc<PmemPool>,
+        rules: usize,
+        width: usize,
+        pad16: bool,
+    ) -> Result<Self> {
+        let width = width.max(1);
+        let stride = Self::stride_words(width, pad16);
+        let align = if pad16 { 16 } else { 4 };
+        let heads = pool.alloc(rules * stride * 4, align)?;
+        let tails = pool.alloc(rules * stride * 4, align)?;
         let head_lens = pool.alloc_array(rules, 4)?;
         let tail_lens = pool.alloc_array(rules, 4)?;
-        Ok(HeadTailStore { pool, width, rules, heads, tails, head_lens, tail_lens })
+        Ok(HeadTailStore { pool, width, stride, rules, heads, tails, head_lens, tail_lens })
     }
 
     /// Words kept per end.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Row stride in `u32`s (≥ [`HeadTailStore::width`]).
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Number of rules the store covers.
@@ -52,7 +89,7 @@ impl HeadTailStore {
     pub fn set_head(&self, r: usize, words: &[u32]) {
         assert!(r < self.rules && words.len() <= self.width);
         let dev = self.pool.dev();
-        dev.write_u32_slice(self.heads + (r * self.width * 4) as u64, words);
+        dev.write_u32_slice(self.heads + (r * self.stride * 4) as u64, words);
         dev.write_u32(self.head_lens + (r * 4) as u64, words.len() as u32);
     }
 
@@ -60,8 +97,31 @@ impl HeadTailStore {
     pub fn set_tail(&self, r: usize, words: &[u32]) {
         assert!(r < self.rules && words.len() <= self.width);
         let dev = self.pool.dev();
-        dev.write_u32_slice(self.tails + (r * self.width * 4) as u64, words);
+        dev.write_u32_slice(self.tails + (r * self.stride * 4) as u64, words);
         dev.write_u32(self.tail_lens + (r * 4) as u64, words.len() as u32);
+    }
+
+    /// Bulk assembly: write both matrices and both length arrays with one
+    /// device store each. The flats are row-major `rules × stride` (pad
+    /// slots don't-care but must be present); lengths are per-rule word
+    /// counts `≤ width`.
+    pub fn fill_rows(
+        &self,
+        heads_flat: &[u32],
+        head_lens: &[u32],
+        tails_flat: &[u32],
+        tail_lens: &[u32],
+    ) {
+        assert_eq!(heads_flat.len(), self.rules * self.stride);
+        assert_eq!(tails_flat.len(), self.rules * self.stride);
+        assert_eq!(head_lens.len(), self.rules);
+        assert_eq!(tail_lens.len(), self.rules);
+        debug_assert!(head_lens.iter().chain(tail_lens).all(|&l| l as usize <= self.width));
+        let dev = self.pool.dev();
+        dev.write_u32_slice(self.heads, heads_flat);
+        dev.write_u32_slice(self.tails, tails_flat);
+        dev.write_u32_slice(self.head_lens, head_lens);
+        dev.write_u32_slice(self.tail_lens, tail_lens);
     }
 
     /// Rule `r`'s head words.
@@ -70,7 +130,7 @@ impl HeadTailStore {
         let dev = self.pool.dev();
         let len = dev.read_u32(self.head_lens + (r * 4) as u64) as usize;
         let mut out = vec![0u32; len];
-        dev.read_u32_slice(self.heads + (r * self.width * 4) as u64, &mut out);
+        dev.read_u32_slice(self.heads + (r * self.stride * 4) as u64, &mut out);
         out
     }
 
@@ -80,7 +140,7 @@ impl HeadTailStore {
         let dev = self.pool.dev();
         let len = dev.read_u32(self.tail_lens + (r * 4) as u64) as usize;
         let mut out = vec![0u32; len];
-        dev.read_u32_slice(self.tails + (r * self.width * 4) as u64, &mut out);
+        dev.read_u32_slice(self.tails + (r * self.stride * 4) as u64, &mut out);
         out
     }
 
@@ -88,15 +148,15 @@ impl HeadTailStore {
     /// (`{label}.capacity_bytes` peak gauge — both matrices plus the two
     /// length arrays). Idempotent: safe to call at every snapshot point.
     pub fn observe(&self, metrics: &ntadoc_pmem::MetricRegistry, label: &str) {
-        let bytes = 2 * self.rules * self.width * 4 + 2 * self.rules * 4;
+        let bytes = 2 * self.rules * self.stride * 4 + 2 * self.rules * 4;
         metrics.gauge_max(&format!("{label}.capacity_bytes"), bytes as f64);
     }
 
     /// Flush + fence the whole store (phase-level persistence).
     pub fn persist(&self) {
         let dev = self.pool.dev();
-        dev.flush(self.heads, self.rules * self.width * 4);
-        dev.flush(self.tails, self.rules * self.width * 4);
+        dev.flush(self.heads, self.rules * self.stride * 4);
+        dev.flush(self.tails, self.rules * self.stride * 4);
         dev.flush(self.head_lens, self.rules * 4);
         dev.flush(self.tail_lens, self.rules * 4);
         dev.fence();
@@ -108,6 +168,7 @@ impl std::fmt::Debug for HeadTailStore {
         f.debug_struct("HeadTailStore")
             .field("rules", &self.rules)
             .field("width", &self.width)
+            .field("stride", &self.stride)
             .finish()
     }
 }
@@ -177,5 +238,41 @@ mod tests {
         s.persist();
         pool.dev().crash();
         assert_eq!(s.head(0), vec![7, 8]);
+    }
+
+    #[test]
+    fn padded_store_rounds_rows_to_16_bytes() {
+        let pool = Arc::new(PmemPool::over_whole(Arc::new(SimDevice::new(
+            DeviceProfile::nvm_optane(),
+            1 << 20,
+        ))));
+        let s = HeadTailStore::with_padding(pool, 3, 3, true).unwrap();
+        assert_eq!(s.stride(), 4); // 3 words → 12 B → one 16 B unit
+        s.set_head(0, &[1, 2, 3]);
+        s.set_head(1, &[4]);
+        s.set_tail(2, &[5, 6]);
+        assert_eq!(s.head(0), vec![1, 2, 3]);
+        assert_eq!(s.head(1), vec![4]);
+        assert_eq!(s.tail(2), vec![5, 6]);
+        assert_eq!(HeadTailStore::stride_words(5, true), 8); // 20 B → 32 B
+        assert_eq!(HeadTailStore::stride_words(5, false), 5);
+    }
+
+    #[test]
+    fn bulk_fill_matches_per_rule_writes() {
+        let per_rule = store(3, 2);
+        per_rule.set_head(0, &[1, 2]);
+        per_rule.set_head(1, &[3]);
+        per_rule.set_head(2, &[]);
+        per_rule.set_tail(0, &[9]);
+        per_rule.set_tail(1, &[8, 7]);
+        per_rule.set_tail(2, &[6]);
+
+        let bulk = store(3, 2);
+        bulk.fill_rows(&[1, 2, 3, 0, 0, 0], &[2, 1, 0], &[9, 0, 8, 7, 6, 0], &[1, 2, 1]);
+        for r in 0..3 {
+            assert_eq!(bulk.head(r), per_rule.head(r), "head {r}");
+            assert_eq!(bulk.tail(r), per_rule.tail(r), "tail {r}");
+        }
     }
 }

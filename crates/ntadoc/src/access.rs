@@ -67,6 +67,7 @@ impl Accessor {
                 bounds: None,
                 head_tail: None,
                 alloc_overhead_ns: 0,
+                layout: Default::default(),
             },
         )?;
         // Read R0 once (charged) and build per-file prefix sums.

@@ -49,6 +49,7 @@ use ntadoc_pmem::{
 use crate::config::{EngineConfig, Persistence, Traversal};
 use crate::dag::{DagBuildOptions, DagPool};
 use crate::ingest::{ingest_append, ingest_corpus, AppendIngest, IngestOptions, IngestReport};
+use crate::layout::PoolLayoutConfig;
 use crate::query::{snapshot_fingerprint, Query, QueryResponse, Snapshot, TenantId};
 use crate::report::{
     RunReport, METRIC_DEVICE_PEAK, METRIC_DRAM_PEAK, METRIC_HIT_RATE, METRIC_MEDIA_RETRIES,
@@ -133,6 +134,8 @@ pub struct EngineBuilder {
     append_plan: Option<Vec<usize>>,
     /// Durable backend used by [`Engine::open_pool`].
     pool_backend: PoolBackend,
+    /// Id encoding + placement for the DAG pool ([`PoolLayoutConfig`]).
+    pool_layout: PoolLayoutConfig,
 }
 
 /// What the builder starts from: an existing compressed corpus, or raw
@@ -212,6 +215,19 @@ impl EngineBuilder {
     /// either reopen under the other.
     pub fn pool_backend(mut self, backend: PoolBackend) -> Self {
         self.pool_backend = backend;
+        self
+    }
+
+    /// DAG-pool layout: id encoding (fixed-width / varint / split), 16-byte
+    /// entry padding, and line-conscious placement. Defaults to
+    /// [`PoolLayoutConfig::legacy`] (fixed-width `u32`, no padding, plain
+    /// bump allocation). Every layout produces byte-identical task outputs;
+    /// they differ only in pool bytes and distinct media lines touched.
+    /// The choice is sealed into durable pool headers, so a reopened pool
+    /// is decoded with the layout it was written with, whatever the
+    /// reopening engine was configured for.
+    pub fn pool_layout(mut self, layout: PoolLayoutConfig) -> Self {
+        self.pool_layout = layout;
         self
     }
 
@@ -319,6 +335,7 @@ impl EngineBuilder {
             block,
             append_plan,
             pool_backend,
+            pool_layout,
         } = self;
         let (comp, ingest_report, deferred) = match source {
             BuildSource::Corpus(comp) => {
@@ -411,6 +428,7 @@ impl EngineBuilder {
             ingest_report,
             append_log: Vec::new(),
             pool_backend,
+            pool_layout,
             last_report: None,
         };
         for group in deferred {
@@ -452,6 +470,9 @@ pub struct Engine {
     append_log: Vec<AppendReport>,
     /// Durable backend [`Engine::open_pool`] attaches.
     pool_backend: PoolBackend,
+    /// DAG-pool layout new pools are built with. Reopened pools override
+    /// this with the layout sealed in their header.
+    pool_layout: PoolLayoutConfig,
     /// Report of the most recent `run`.
     pub last_report: Option<RunReport>,
 }
@@ -542,6 +563,7 @@ impl Engine {
             block: None,
             append_plan: None,
             pool_backend: PoolBackend::default(),
+            pool_layout: PoolLayoutConfig::default(),
         }
     }
 
@@ -760,6 +782,12 @@ impl Engine {
             // Junction/sequence caches + the global n-gram counter.
             bytes += p.expanded_words * 24 + (1 << 20);
         }
+        if self.pool_layout.pad16 {
+            bytes += p.nrules as u64 * 48; // 16 B group rounding (body + view halves)
+        }
+        if self.pool_layout.line_pack {
+            bytes += p.nrules as u64 * line; // worst-case line-boundary bumps
+        }
         bytes += p.vocab as u64 * 40 + (1 << 20); // result structures
         bytes += self.scratch_bytes(task);
         bytes += LOG_BYTES as u64;
@@ -839,12 +867,29 @@ impl Engine {
         let mut capacity = self.estimate_capacity(task);
         loop {
             let layout = self.plan_layout(task, capacity);
+            let dag_layout = self.pool_layout.id();
             let file: Arc<dyn PoolDevice> = match self.pool_backend {
-                PoolBackend::File => FileDevice::create(path, self.profile.clone(), layout)?,
-                PoolBackend::Mmap => MmapDevice::create(path, self.profile.clone(), layout)?,
+                PoolBackend::File => FileDevice::create_with_dag_layout(
+                    path,
+                    self.profile.clone(),
+                    layout,
+                    dag_layout,
+                )?,
+                PoolBackend::Mmap => MmapDevice::create_with_dag_layout(
+                    path,
+                    self.profile.clone(),
+                    layout,
+                    dag_layout,
+                )?,
             };
-            match self.session_on_device(task, file.twin().clone(), layout, serve_mode, Some(file))
-            {
+            match self.session_on_device(
+                task,
+                file.twin().clone(),
+                layout,
+                self.pool_layout,
+                serve_mode,
+                Some(file),
+            ) {
                 Err(PmemError::PoolExhausted { .. }) if capacity < (1 << 34) => {
                     // The undersized pool file is abandoned; recreate it
                     // at double capacity (create truncates, but remove
@@ -864,6 +909,12 @@ impl Engine {
             PoolBackend::Mmap => MmapDevice::open(path, self.profile.clone())?,
         };
         let layout = file.layout();
+        // Adopt the layout sealed in the header: the pool is decoded (and,
+        // since init deterministically rebuilds it, rewritten) with the
+        // layout it was created under, not whatever this engine is
+        // configured for. Unknown layout bits are refused here, before
+        // anything interprets pool bytes.
+        let pool_layout = PoolLayoutConfig::from_id(file.header().dag_layout)?;
         // Roll back any transaction that was open at the crash *before*
         // init touches the pool: recovery must see the bytes exactly as
         // they survived on disk. The rollback's writes fence through the
@@ -873,7 +924,14 @@ impl Engine {
             let mut tx = TxLog::new(backend, layout.log_base(), layout.log_len as usize);
             tx.recover()?;
         }
-        self.session_on_device(task, file.twin().clone(), layout, serve_mode, Some(file))
+        self.session_on_device(
+            task,
+            file.twin().clone(),
+            layout,
+            pool_layout,
+            serve_mode,
+            Some(file),
+        )
     }
 
     fn session_with_capacity(
@@ -884,7 +942,7 @@ impl Engine {
     ) -> Result<Session> {
         let layout = self.plan_layout(task, capacity);
         let dev = Arc::new(SimDevice::new(self.profile.clone(), capacity));
-        self.session_on_device(task, dev, layout, serve_mode, None)
+        self.session_on_device(task, dev, layout, self.pool_layout, serve_mode, None)
     }
 
     /// Build a session over an existing device (in-memory, or the twin of
@@ -894,6 +952,7 @@ impl Engine {
         task: Task,
         dev: Arc<SimDevice>,
         layout: PoolLayout,
+        pool_layout: PoolLayoutConfig,
         serve_mode: bool,
         backend: Option<Arc<dyn PoolDevice>>,
     ) -> Result<Session> {
@@ -955,6 +1014,7 @@ impl Engine {
             retry: self.retry,
             obs: Arc::new(if self.trace { Obs::new() } else { Obs::disabled() }),
             serve_mode,
+            pool_layout,
         };
         session.init()?;
         Ok(session)
@@ -1081,6 +1141,10 @@ pub struct Session {
     /// Serve sessions build word-list caches unconditionally and restrict
     /// traversal to the read-only cache-backed paths.
     pub(crate) serve_mode: bool,
+    /// DAG-pool layout this session builds (and decodes) the pool with:
+    /// the engine's configured layout for fresh pools, the header-sealed
+    /// layout for reopened pool files.
+    pool_layout: PoolLayoutConfig,
 }
 
 impl Session {
@@ -1124,6 +1188,20 @@ impl Session {
     /// hash tables; reset wholesale on each call).
     pub(crate) fn fresh_scratch(&self) -> Arc<PmemPool> {
         Arc::new(PmemPool::new(self.dev.clone(), self.scratch_base, self.scratch_len))
+    }
+
+    /// Allocate a device-resident result vector under the session's pool
+    /// layout: 16 B-aligned and -padded when the layout enables wide
+    /// copies, the legacy natural alignment otherwise.
+    pub(crate) fn result_pvec<T: ntadoc_pmem::Pod>(
+        &self,
+        cap: usize,
+    ) -> Result<ntadoc_nstruct::PVec<T>> {
+        if self.pool_layout.pad16 {
+            ntadoc_nstruct::PVec::with_capacity_aligned(self.pool.clone(), cap, 16)
+        } else {
+            ntadoc_nstruct::PVec::with_capacity(self.pool.clone(), cap)
+        }
     }
 
     /// Effective traversal strategy for this task (§VI-E's Auto policy:
@@ -1250,6 +1328,7 @@ impl Session {
                 } else {
                     self.cfg.cost.malloc_ns
                 },
+                layout: self.pool_layout,
             };
             let dag = DagPool::build(self.pool.clone(), &self.comp, info.as_ref(), &opts)?;
             self.dag = Some(dag);

@@ -1,0 +1,568 @@
+//! DAG-pool element layouts and id encodings (ROADMAP item 4).
+//!
+//! The cost model charges per distinct 256 B media line touched, so the
+//! representation of the per-rule pruned views and word-list caches — not
+//! just their placement — is a first-order term in traversal cost. This
+//! module defines the encoding menu the pool can be built with:
+//!
+//! * **fixed-width** (`IdEncoding::FixedU32`): every id/frequency is a
+//!   little-endian `u32`, exactly the legacy layout;
+//! * **varint** (`IdEncoding::Varint`): classic VBE/LEB128 — 7 payload
+//!   bits per byte with an embedded continuation bit. Densest decode
+//!   dependency chain (each byte must be inspected before the next);
+//! * **split** (`IdEncoding::Split`): the continuation bits are hoisted
+//!   out of the data bytes into a per-group control byte (2-bit length
+//!   codes for 4 values, stream-vbyte style), so data bytes carry full
+//!   8-bit payloads and a decoder can reconstruct 4 values from one
+//!   control byte with wide unaligned loads — the layout the
+//!   compression-benchmark results show beating embedded-continuation
+//!   varints by 2–4x on decode.
+//!
+//! Orthogonally, [`PoolLayoutConfig`] can request **16-byte padding**
+//! (entry groups start at 16 B boundaries and regions are sized in 16 B
+//! units, so a `_mm_loadu_si128`-style wide copy can slurp the tail
+//! without reading past the allocation) and the **line-conscious
+//! placement pass** (each rule's elements are placed to span the minimum
+//! number of media lines; see `PmemPool::alloc_in_lines`).
+//!
+//! All encodings decode to identical host-side values: the layout is a
+//! pure representation change, so task outputs are byte-identical across
+//! the whole menu — only the virtual line/time cost moves.
+
+use ntadoc_pmem::{PmemError, Result};
+
+/// How rule-element ids and frequencies are encoded on the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdEncoding {
+    /// Fixed-width little-endian `u32`s (the legacy layout).
+    #[default]
+    FixedU32,
+    /// VBE/LEB128 varints with embedded continuation bits.
+    Varint,
+    /// Separated continuation bits: 2-bit length codes for groups of 4
+    /// values in a control stream, full 8-bit payload bytes in the data
+    /// stream.
+    Split,
+}
+
+/// The DAG-pool layout an engine builds (and seals into the pool header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolLayoutConfig {
+    /// Id/frequency encoding for pruned views and word-list caches.
+    pub encoding: IdEncoding,
+    /// Start entry groups at 16 B boundaries and size regions in 16 B
+    /// units, enabling wide-register copies in traversal and head/tail
+    /// assembly.
+    pub pad16: bool,
+    /// Place each rule's elements to span the minimum number of media
+    /// lines (the placement pass; trades ≤ line−1 bytes of one-time slack
+    /// per object against a recurring per-traversal line charge).
+    pub line_pack: bool,
+}
+
+impl PoolLayoutConfig {
+    /// The legacy layout: fixed-width ids, natural alignment, plain bump
+    /// placement. Byte-identical to pools written before layouts existed.
+    pub fn legacy() -> Self {
+        PoolLayoutConfig::default()
+    }
+
+    /// The headline layout: split-encoded ids, line-conscious placement,
+    /// 16 B-padded groups.
+    pub fn packed() -> Self {
+        PoolLayoutConfig { encoding: IdEncoding::Split, pad16: true, line_pack: true }
+    }
+
+    /// Parse a CLI/env spelling. The menu is the ablation axis of
+    /// `layout_bench`: `fixed` (legacy), `fixed-pad`, `varint`, `split`,
+    /// `packed` (= split + pad + line placement).
+    pub fn parse(s: &str) -> Option<PoolLayoutConfig> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fixed" | "legacy" => Some(Self::legacy()),
+            "fixed-pad" => Some(PoolLayoutConfig {
+                encoding: IdEncoding::FixedU32,
+                pad16: true,
+                ..Self::legacy()
+            }),
+            "varint" => Some(PoolLayoutConfig { encoding: IdEncoding::Varint, ..Self::legacy() }),
+            "split" => Some(PoolLayoutConfig { encoding: IdEncoding::Split, ..Self::legacy() }),
+            "packed" => Some(Self::packed()),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this configuration (inverse of
+    /// [`parse`](Self::parse) for the named points; synthesized configs
+    /// fall back to the nearest named spelling).
+    pub fn name(&self) -> &'static str {
+        match (self.encoding, self.pad16, self.line_pack) {
+            (IdEncoding::FixedU32, false, _) => "fixed",
+            (IdEncoding::FixedU32, true, _) => "fixed-pad",
+            (IdEncoding::Varint, _, _) => "varint",
+            (IdEncoding::Split, true, true) => "packed",
+            (IdEncoding::Split, _, _) => "split",
+        }
+    }
+
+    /// The id sealed into the pool header (`PoolHeader::dag_layout`):
+    /// encoding in bits 0–1, padding in bit 2, placement in bit 3. Id 0
+    /// is the legacy layout, so pre-layout pool files decode correctly.
+    pub fn id(&self) -> u16 {
+        let enc = match self.encoding {
+            IdEncoding::FixedU32 => 0u16,
+            IdEncoding::Varint => 1,
+            IdEncoding::Split => 2,
+        };
+        enc | ((self.pad16 as u16) << 2) | ((self.line_pack as u16) << 3)
+    }
+
+    /// Decode a header id. Unknown bits mean the pool was written by a
+    /// newer layout this build cannot decode — refuse it loudly rather
+    /// than misread the pool.
+    pub fn from_id(id: u16) -> Result<PoolLayoutConfig> {
+        let encoding = match id & 0b11 {
+            0 => IdEncoding::FixedU32,
+            1 => IdEncoding::Varint,
+            2 => IdEncoding::Split,
+            _ => {
+                return Err(PmemError::CorruptImage(format!(
+                    "pool header declares unknown id encoding {} (layout id {id:#x})",
+                    id & 0b11
+                )))
+            }
+        };
+        if id & !0b1111 != 0 {
+            return Err(PmemError::CorruptImage(format!(
+                "pool header declares unsupported layout bits {id:#x}"
+            )));
+        }
+        Ok(PoolLayoutConfig { encoding, pad16: id & 0b100 != 0, line_pack: id & 0b1000 != 0 })
+    }
+
+    /// Alignment for entry-group allocations under this layout.
+    pub(crate) fn group_align(&self) -> u64 {
+        if self.pad16 {
+            16
+        } else {
+            4
+        }
+    }
+
+    /// Region size for `len` payload bytes under this layout (rounded up
+    /// to a 16 B multiple when padded, so wide copies stay in bounds).
+    pub(crate) fn group_size(&self, len: usize) -> usize {
+        if self.pad16 {
+            len.div_ceil(16) * 16
+        } else {
+            len
+        }
+    }
+
+    /// Modeled host-CPU cost (ns) of decoding `entries` values spanning
+    /// `bytes` encoded bytes, mirroring the relative decode speeds the
+    /// compression benchmark measured. Fixed-width decodes per value;
+    /// padding halves that via 16 B wide copies; varint pays per byte
+    /// (serial continuation-bit chain); split pays per 4-value group plus
+    /// a small per-byte shuffle term, cut further by padded wide loads.
+    pub(crate) fn decode_ns(&self, entries: u64, bytes: u64) -> u64 {
+        match self.encoding {
+            IdEncoding::FixedU32 => {
+                if self.pad16 {
+                    bytes.div_ceil(16)
+                } else {
+                    entries
+                }
+            }
+            IdEncoding::Varint => 2 * bytes,
+            IdEncoding::Split => {
+                let groups = entries.div_ceil(4);
+                if self.pad16 {
+                    groups + bytes.div_ceil(16)
+                } else {
+                    groups + bytes.div_ceil(8)
+                }
+            }
+        }
+    }
+}
+
+// ---- value-stream encoders/decoders ------------------------------------
+
+/// Minimal little-endian byte length of `v` (1..=4), the split encoding's
+/// per-value size.
+fn byte_len_u32(v: u32) -> usize {
+    (4 - (v.leading_zeros() as usize) / 8).max(1)
+}
+
+/// Append `v` as a VBE/LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read a varint at `at`, advancing it.
+fn get_varint(bytes: &[u8], at: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*at)
+            .ok_or_else(|| PmemError::CorruptImage("varint runs past its encoded region".into()))?;
+        *at += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(PmemError::CorruptImage("varint exceeds 64 bits".into()));
+        }
+    }
+}
+
+/// Encode a stream of `u64` values under `enc`. The stream is
+/// self-delimiting for `Varint` (values end where the bytes end); `Split`
+/// prefixes a varint count so the control stream's length is known.
+/// `FixedU32` callers must hold values < 2³² (checked) and recover the
+/// count from the byte length.
+pub(crate) fn encode_values(enc: IdEncoding, values: &[u64], out: &mut Vec<u8>) -> Result<()> {
+    match enc {
+        IdEncoding::FixedU32 => {
+            for &v in values {
+                let v = u32::try_from(v).map_err(|_| PmemError::TooLarge {
+                    what: "fixed-width encoded value",
+                    len: v,
+                    max: u32::MAX as u64,
+                })?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        IdEncoding::Varint => {
+            for &v in values {
+                put_varint(out, v);
+            }
+        }
+        IdEncoding::Split => {
+            put_varint(out, values.len() as u64);
+            // Control stream: one byte per 4 values, 2-bit codes = byte
+            // length − 1 (values ≥ 2³² spill into the next group slot as
+            // a (code 3, extension code) pair — word ids and counts are
+            // u32 in practice, but u64 counts must round-trip).
+            // To keep the format simple and strictly 4-values-per-byte,
+            // large values are split into low/high u32 halves with a
+            // sentinel: values < 2³² use one slot; larger values use the
+            // escape described in `decode_values`.
+            let mut slots: Vec<u32> = Vec::with_capacity(values.len());
+            for &v in values {
+                if v < SPLIT_ESCAPE as u64 {
+                    slots.push(v as u32);
+                } else {
+                    slots.push(SPLIT_ESCAPE);
+                    slots.push(v as u32);
+                    slots.push((v >> 32) as u32);
+                }
+            }
+            put_varint(out, slots.len() as u64);
+            let mut ctrl = vec![0u8; slots.len().div_ceil(4)];
+            let mut data = Vec::with_capacity(slots.len() * 2);
+            for (i, &s) in slots.iter().enumerate() {
+                let n = byte_len_u32(s);
+                ctrl[i / 4] |= ((n - 1) as u8) << ((i % 4) * 2);
+                data.extend_from_slice(&s.to_le_bytes()[..n]);
+            }
+            out.extend_from_slice(&ctrl);
+            out.extend_from_slice(&data);
+        }
+    }
+    Ok(())
+}
+
+/// The split encoding's escape slot: a slot equal to this value means the
+/// logical value did not fit one `u32` slot and is reconstructed from the
+/// following two slots (low, high). `u32::MAX` itself is representable —
+/// it goes through the escape.
+const SPLIT_ESCAPE: u32 = u32::MAX;
+
+/// Decode a stream written by [`encode_values`]. `FixedU32` derives the
+/// count from the byte length; the other encodings are self-describing.
+pub(crate) fn decode_values(enc: IdEncoding, bytes: &[u8]) -> Result<Vec<u64>> {
+    match enc {
+        IdEncoding::FixedU32 => {
+            if !bytes.len().is_multiple_of(4) {
+                return Err(PmemError::CorruptImage(format!(
+                    "fixed-width region of {} bytes is not a whole number of u32s",
+                    bytes.len()
+                )));
+            }
+            Ok(bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+                .collect())
+        }
+        IdEncoding::Varint => {
+            let mut at = 0;
+            let mut out = Vec::new();
+            while at < bytes.len() {
+                out.push(get_varint(bytes, &mut at)?);
+            }
+            Ok(out)
+        }
+        IdEncoding::Split => {
+            let mut at = 0;
+            let logical = get_varint(bytes, &mut at)? as usize;
+            let nslots = get_varint(bytes, &mut at)? as usize;
+            let ctrl_len = nslots.div_ceil(4);
+            let ctrl_end = at + ctrl_len;
+            if ctrl_end > bytes.len() {
+                return Err(PmemError::CorruptImage(
+                    "split control stream runs past its encoded region".into(),
+                ));
+            }
+            let (ctrl, mut data_at) = (&bytes[at..ctrl_end], ctrl_end);
+            let mut slots: Vec<u32> = Vec::with_capacity(nslots);
+            for i in 0..nslots {
+                let n = ((ctrl[i / 4] >> ((i % 4) * 2)) & 0b11) as usize + 1;
+                let end = data_at + n;
+                if end > bytes.len() {
+                    return Err(PmemError::CorruptImage(
+                        "split data stream runs past its encoded region".into(),
+                    ));
+                }
+                let mut le = [0u8; 4];
+                le[..n].copy_from_slice(&bytes[data_at..end]);
+                slots.push(u32::from_le_bytes(le));
+                data_at = end;
+            }
+            let mut out = Vec::with_capacity(logical);
+            let mut i = 0;
+            while i < slots.len() {
+                if slots[i] == SPLIT_ESCAPE {
+                    if i + 2 >= slots.len() {
+                        return Err(PmemError::CorruptImage(
+                            "split escape slot missing its extension".into(),
+                        ));
+                    }
+                    out.push(slots[i + 1] as u64 | ((slots[i + 2] as u64) << 32));
+                    i += 3;
+                } else {
+                    out.push(slots[i] as u64);
+                    i += 1;
+                }
+            }
+            if out.len() != logical {
+                return Err(PmemError::CorruptImage(format!(
+                    "split stream decoded {} values, header declared {logical}",
+                    out.len()
+                )));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Encode `(id, freq)` pairs (a pruned-view half) under `enc`.
+pub(crate) fn encode_pairs(enc: IdEncoding, pairs: &[(u32, u32)], out: &mut Vec<u8>) -> Result<()> {
+    let mut values = Vec::with_capacity(pairs.len() * 2);
+    for &(id, f) in pairs {
+        values.push(id as u64);
+        values.push(f as u64);
+    }
+    encode_values(enc, &values, out)
+}
+
+/// Decode a pruned-view half written by [`encode_pairs`].
+pub(crate) fn decode_pairs(enc: IdEncoding, bytes: &[u8]) -> Result<Vec<(u32, u32)>> {
+    let values = decode_values(enc, bytes)?;
+    if values.len() % 2 != 0 {
+        return Err(PmemError::CorruptImage(format!(
+            "pair region decoded to an odd number of values ({})",
+            values.len()
+        )));
+    }
+    values
+        .chunks_exact(2)
+        .map(|c| {
+            let id = u32::try_from(c[0])
+                .map_err(|_| PmemError::CorruptImage(format!("pair id {} exceeds u32", c[0])))?;
+            let f = u32::try_from(c[1]).map_err(|_| {
+                PmemError::CorruptImage(format!("pair frequency {} exceeds u32", c[1]))
+            })?;
+            Ok((id, f))
+        })
+        .collect()
+}
+
+/// Encode `(word, count)` word-list entries (counts are `u64`) under
+/// `enc`. The fixed layout is the legacy 12-byte packed form; the dense
+/// encodings interleave varint/split values.
+pub(crate) fn encode_wordlist(
+    enc: IdEncoding,
+    entries: &[(u32, u64)],
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    match enc {
+        IdEncoding::FixedU32 => {
+            for &(w, c) in entries {
+                out.extend_from_slice(&w.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            Ok(())
+        }
+        _ => {
+            let mut values = Vec::with_capacity(entries.len() * 2);
+            for &(w, c) in entries {
+                values.push(w as u64);
+                values.push(c);
+            }
+            encode_values(enc, &values, out)
+        }
+    }
+}
+
+/// Decode a word list written by [`encode_wordlist`].
+pub(crate) fn decode_wordlist(enc: IdEncoding, bytes: &[u8]) -> Result<Vec<(u32, u64)>> {
+    match enc {
+        IdEncoding::FixedU32 => {
+            if !bytes.len().is_multiple_of(12) {
+                return Err(PmemError::CorruptImage(format!(
+                    "word-list region of {} bytes is not a whole number of 12 B entries",
+                    bytes.len()
+                )));
+            }
+            Ok(bytes
+                .chunks_exact(12)
+                .map(|c| {
+                    (
+                        u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                        u64::from_le_bytes(c[4..].try_into().expect("8 bytes")),
+                    )
+                })
+                .collect())
+        }
+        _ => {
+            let values = decode_values(enc, bytes)?;
+            if values.len() % 2 != 0 {
+                return Err(PmemError::CorruptImage(format!(
+                    "word-list region decoded to an odd number of values ({})",
+                    values.len()
+                )));
+            }
+            values
+                .chunks_exact(2)
+                .map(|c| {
+                    let w = u32::try_from(c[0]).map_err(|_| {
+                        PmemError::CorruptImage(format!("word id {} exceeds u32", c[0]))
+                    })?;
+                    Ok((w, c[1]))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENCODINGS: [IdEncoding; 3] =
+        [IdEncoding::FixedU32, IdEncoding::Varint, IdEncoding::Split];
+
+    #[test]
+    fn values_round_trip_across_encodings() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 127, 128, 255, 256, 1 << 14, (1 << 21) - 1, u32::MAX as u64 - 1],
+            (0..100).map(|i| i * 37 % 1024).collect(),
+        ];
+        for enc in ENCODINGS {
+            for case in &cases {
+                let mut bytes = Vec::new();
+                encode_values(enc, case, &mut bytes).unwrap();
+                assert_eq!(&decode_values(enc, &bytes).unwrap(), case, "{enc:?} {case:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_counts_round_trip_in_dense_encodings() {
+        let case = vec![0u64, u32::MAX as u64, u32::MAX as u64 + 1, 1 << 45, u64::MAX];
+        for enc in [IdEncoding::Varint, IdEncoding::Split] {
+            let mut bytes = Vec::new();
+            encode_values(enc, &case, &mut bytes).unwrap();
+            assert_eq!(decode_values(enc, &bytes).unwrap(), case, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_encoding_rejects_oversized_values() {
+        let mut bytes = Vec::new();
+        let err = encode_values(IdEncoding::FixedU32, &[u32::MAX as u64 + 1], &mut bytes);
+        assert!(matches!(err, Err(PmemError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn pairs_and_wordlists_round_trip() {
+        let pairs = vec![(0u32, 1u32), (300, 2), (u32::MAX, 7), (9, 100_000)];
+        let wl = vec![(3u32, 7u64), (9, 1_000_000_000_000), (u32::MAX, u64::MAX)];
+        for enc in ENCODINGS {
+            let mut b = Vec::new();
+            encode_pairs(enc, &pairs, &mut b).unwrap();
+            assert_eq!(decode_pairs(enc, &b).unwrap(), pairs, "{enc:?}");
+            let mut b = Vec::new();
+            encode_wordlist(enc, &wl, &mut b).unwrap();
+            assert_eq!(decode_wordlist(enc, &b).unwrap(), wl, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn dense_encodings_are_denser_on_small_ids() {
+        let pairs: Vec<(u32, u32)> = (0..64).map(|i| (i * 3, 1 + i % 4)).collect();
+        let mut fixed = Vec::new();
+        encode_pairs(IdEncoding::FixedU32, &pairs, &mut fixed).unwrap();
+        for enc in [IdEncoding::Varint, IdEncoding::Split] {
+            let mut dense = Vec::new();
+            encode_pairs(enc, &pairs, &mut dense).unwrap();
+            assert!(
+                dense.len() * 2 < fixed.len(),
+                "{enc:?}: {} vs fixed {}",
+                dense.len(),
+                fixed.len()
+            );
+        }
+    }
+
+    #[test]
+    fn header_ids_round_trip_and_refuse_unknown_bits() {
+        for name in ["fixed", "fixed-pad", "varint", "split", "packed"] {
+            let cfg = PoolLayoutConfig::parse(name).unwrap();
+            assert_eq!(PoolLayoutConfig::from_id(cfg.id()).unwrap(), cfg, "{name}");
+            assert_eq!(cfg.name(), name);
+        }
+        assert_eq!(PoolLayoutConfig::from_id(0).unwrap(), PoolLayoutConfig::legacy());
+        assert!(PoolLayoutConfig::from_id(0b11).is_err());
+        assert!(PoolLayoutConfig::from_id(1 << 5).is_err());
+        assert!(PoolLayoutConfig::parse("mystery").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_streams() {
+        // The last value is multi-byte in both encodings, so dropping one
+        // byte truncates mid-value (a varint stream that loses a *whole*
+        // trailing value is indistinguishable from a shorter stream).
+        for enc in [IdEncoding::Varint, IdEncoding::Split] {
+            let mut bytes = Vec::new();
+            encode_values(enc, &[77, 1 << 20], &mut bytes).unwrap();
+            bytes.pop();
+            assert!(decode_values(enc, &bytes).is_err(), "{enc:?}");
+        }
+        assert!(decode_values(IdEncoding::FixedU32, &[1, 2, 3]).is_err());
+    }
+}

@@ -51,6 +51,18 @@ pub enum PmemError {
         /// Slot capacity at the refused grow.
         cap: usize,
     },
+    /// A host-side length or count did not fit the fixed-width field the
+    /// on-pool format stores it in (`u32` length tables, etc.). Raised by
+    /// checked conversions at the write sites instead of letting an
+    /// `as u32` cast wrap silently on huge corpora.
+    TooLarge {
+        /// Which field overflowed (e.g. `"rule body length"`).
+        what: &'static str,
+        /// The value that did not fit.
+        len: u64,
+        /// The largest value the field can hold.
+        max: u64,
+    },
     /// The requested operation is not available in the current mode or
     /// configuration (the message says what was asked and why it cannot
     /// be served).
@@ -96,6 +108,9 @@ impl fmt::Display for PmemError {
                 "table must grow ({len} entries at capacity {cap}) but an undo-log \
                  transaction is open; commit, grow, then retry"
             ),
+            PmemError::TooLarge { what, len, max } => {
+                write!(f, "{what} {len} does not fit its on-pool field (max {max})")
+            }
             PmemError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             PmemError::Io(msg) => write!(f, "pool file I/O failed: {msg}"),
         }

@@ -92,6 +92,13 @@ impl PoolLayout {
 /// magic (8) ‖ version (4) ‖ line_size (4) ‖ capacity (8) ‖ main_len (8)
 /// ‖ scratch_len (8) ‖ log_len (8) ‖ snapshot (8) ‖ crc64 of the first 56
 /// bytes (8).
+///
+/// The version word carries the format version in its low 16 bits and the
+/// DAG-layout id (`dag_layout`) in its high 16 bits: the id rides inside
+/// the CRC seal without growing the header, pools written before layouts
+/// existed read back as id 0 (the legacy fixed-width encoding), and a
+/// pre-layout binary handed a non-zero id refuses the pool loudly (it sees
+/// an unsupported version) instead of misdecoding it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolHeader {
     /// Format version ([`POOL_VERSION`]).
@@ -100,6 +107,11 @@ pub struct PoolHeader {
     pub line_size: u32,
     /// Region layout.
     pub layout: PoolLayout,
+    /// DAG-pool layout/encoding id sealed at create (0 = legacy
+    /// fixed-width). The engine maps it to a decoder on reopen; the ids
+    /// themselves are defined by the engine crate, the header only
+    /// persists them.
+    pub dag_layout: u16,
     /// Corpus-snapshot fingerprint published into this pool
     /// ([`crate::PmemBackend::publish_snapshot`]); zero until the first
     /// publish (and in pre-append pool files, which used these bytes as
@@ -110,14 +122,27 @@ pub struct PoolHeader {
 impl PoolHeader {
     /// Header for a fresh pool.
     pub fn new(line_size: usize, layout: PoolLayout) -> Self {
-        PoolHeader { version: POOL_VERSION, line_size: line_size as u32, layout, snapshot: 0 }
+        PoolHeader {
+            version: POOL_VERSION,
+            line_size: line_size as u32,
+            layout,
+            dag_layout: 0,
+            snapshot: 0,
+        }
+    }
+
+    /// Header for a fresh pool whose DAG region uses layout `id`.
+    pub fn with_dag_layout(mut self, id: u16) -> Self {
+        self.dag_layout = id;
+        self
     }
 
     /// Serialize to the on-disk form, sealing with CRC-64.
     pub fn to_bytes(&self) -> [u8; POOL_DATA_AT as usize] {
         let mut buf = [0u8; POOL_DATA_AT as usize];
         buf[..8].copy_from_slice(&POOL_MAGIC);
-        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        let vword = (self.version & 0xFFFF) | ((self.dag_layout as u32) << 16);
+        buf[8..12].copy_from_slice(&vword.to_le_bytes());
         buf[12..16].copy_from_slice(&self.line_size.to_le_bytes());
         buf[16..24].copy_from_slice(&self.layout.capacity.to_le_bytes());
         buf[24..32].copy_from_slice(&self.layout.main_len.to_le_bytes());
@@ -145,7 +170,9 @@ impl PoolHeader {
         if seal != crc64(&buf[..56]) {
             return Err(PmemError::CorruptImage("pool header CRC mismatch".into()));
         }
-        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let vword = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let version = vword & 0xFFFF;
+        let dag_layout = (vword >> 16) as u16;
         if version != POOL_VERSION {
             return Err(PmemError::CorruptImage(format!(
                 "pool version {version} (supported: {POOL_VERSION})"
@@ -168,7 +195,7 @@ impl PoolHeader {
             )));
         }
         let snapshot = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes"));
-        Ok(PoolHeader { version, line_size, layout, snapshot })
+        Ok(PoolHeader { version, line_size, layout, dag_layout, snapshot })
     }
 }
 
@@ -335,7 +362,18 @@ impl FileDevice {
     /// and return the device over it. The twin starts zeroed, matching
     /// the sparse data region.
     pub fn create(path: &Path, profile: DeviceProfile, layout: PoolLayout) -> Result<Arc<Self>> {
-        Self::create_inner(path, profile, layout, false)
+        Self::create_inner(path, profile, layout, 0, false)
+    }
+
+    /// [`create`](Self::create) with a DAG-layout id sealed into the
+    /// header (see [`PoolHeader::dag_layout`]).
+    pub fn create_with_dag_layout(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+        dag_layout: u16,
+    ) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, dag_layout, false)
     }
 
     /// [`create`](Self::create), but `fsync` the file on every fence —
@@ -345,13 +383,14 @@ impl FileDevice {
         profile: DeviceProfile,
         layout: PoolLayout,
     ) -> Result<Arc<Self>> {
-        Self::create_inner(path, profile, layout, true)
+        Self::create_inner(path, profile, layout, 0, true)
     }
 
     fn create_inner(
         path: &Path,
         profile: DeviceProfile,
         layout: PoolLayout,
+        dag_layout: u16,
         fsync_each_fence: bool,
     ) -> Result<Arc<Self>> {
         if !profile.kind.is_persistent() {
@@ -360,7 +399,7 @@ impl FileDevice {
                 profile.name
             )));
         }
-        let header = PoolHeader::new(profile.line_size, layout);
+        let header = PoolHeader::new(profile.line_size, layout).with_dag_layout(dag_layout);
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         file.write_all_at(&header.to_bytes(), 0)?;

@@ -296,7 +296,18 @@ impl MmapDevice {
     /// Create a fresh pool file at `path` (truncating any existing file)
     /// and map it. The data region is sparse; pages fault in zeroed.
     pub fn create(path: &Path, profile: DeviceProfile, layout: PoolLayout) -> Result<Arc<Self>> {
-        Self::create_inner(path, profile, layout, false)
+        Self::create_inner(path, profile, layout, 0, false)
+    }
+
+    /// [`create`](Self::create) with a DAG-layout id sealed into the
+    /// header (see [`PoolHeader::dag_layout`]).
+    pub fn create_with_dag_layout(
+        path: &Path,
+        profile: DeviceProfile,
+        layout: PoolLayout,
+        dag_layout: u16,
+    ) -> Result<Arc<Self>> {
+        Self::create_inner(path, profile, layout, dag_layout, false)
     }
 
     /// [`create`](Self::create), but `msync` on every fence.
@@ -305,13 +316,14 @@ impl MmapDevice {
         profile: DeviceProfile,
         layout: PoolLayout,
     ) -> Result<Arc<Self>> {
-        Self::create_inner(path, profile, layout, true)
+        Self::create_inner(path, profile, layout, 0, true)
     }
 
     fn create_inner(
         path: &Path,
         profile: DeviceProfile,
         layout: PoolLayout,
+        dag_layout: u16,
         fsync_each_fence: bool,
     ) -> Result<Arc<Self>> {
         if !profile.kind.is_persistent() {
@@ -320,7 +332,7 @@ impl MmapDevice {
                 profile.name
             )));
         }
-        let header = PoolHeader::new(profile.line_size, layout);
+        let header = PoolHeader::new(profile.line_size, layout).with_dag_layout(dag_layout);
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         file.write_all_at(&header.to_bytes(), 0)?;

@@ -152,7 +152,7 @@ fn claim_nvm_sits_between_dram_and_block_devices() {
 #[test]
 fn claim_compressed_image_is_much_smaller_than_raw() {
     let comp = corpus();
-    let image = ntadoc_repro::serialize_compressed(&comp).len() as u64;
+    let image = ntadoc_repro::serialize_compressed(&comp).unwrap().len() as u64;
     let raw = Engine::uncompressed_bytes(&comp);
     assert!(image * 2 < raw, "compressed image {image} should be well below raw {raw}");
 }

@@ -91,7 +91,7 @@ fn garbage_after_a_real_entry_truncates_not_corrupts() {
 #[test]
 fn mutated_serialized_images_never_panic_deserialization() {
     let comp = small_corpus();
-    let clean = serialize_compressed(&comp);
+    let clean = serialize_compressed(&comp).unwrap();
     assert!(deserialize_compressed(&clean).is_ok());
 
     for seed in 0..128u64 {
@@ -113,7 +113,7 @@ fn mutated_serialized_images_never_panic_deserialization() {
 #[test]
 fn truncated_and_garbage_images_never_panic_deserialization() {
     let comp = small_corpus();
-    let clean = serialize_compressed(&comp);
+    let clean = serialize_compressed(&comp).unwrap();
     for cut in 0..clean.len().min(64) {
         let _ = deserialize_compressed(&clean[..cut]);
     }
@@ -131,7 +131,7 @@ fn truncated_and_garbage_images_never_panic_deserialization() {
 #[test]
 fn engine_rejects_corrupt_images_with_a_typed_error() {
     let comp = small_corpus();
-    let clean = serialize_compressed(&comp);
+    let clean = serialize_compressed(&comp).unwrap();
 
     // The pristine image round-trips into a working engine.
     let mut engine = Engine::builder_from_image(&clean)

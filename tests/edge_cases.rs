@@ -116,7 +116,7 @@ fn unicode_words_survive_the_whole_pipeline() {
     assert_eq!(wc.get("数据"), Some(&3));
     assert_eq!(wc.get("naïve"), Some(&2));
     // Serialization keeps UTF-8 intact.
-    let img = ntadoc_repro::serialize_compressed(&comp);
+    let img = ntadoc_repro::serialize_compressed(&comp).unwrap();
     let back = ntadoc_repro::deserialize_compressed(&img).unwrap();
     assert_eq!(back.dict.id_of("数据"), comp.dict.id_of("数据"));
 }

@@ -1,0 +1,231 @@
+//! The pool-layout contract: id encoding, entry padding, and line-packed
+//! placement change *where bytes live and what they cost* — never what a
+//! task computes. Every layout variant must produce byte-identical task
+//! outputs at any worker count, with a virtual clock that is a pure
+//! function of (corpus, task, layout). Persisted pools carry their layout
+//! in the sealed header: reopening adopts the on-media layout regardless
+//! of the engine's configured one, and an unknown layout id refuses to
+//! open instead of misdecoding.
+
+use std::path::PathBuf;
+
+use ntadoc_pmem::par;
+use ntadoc_repro::{
+    compress_corpus, Compressed, DeviceProfile, Engine, FileDevice, PoolLayout, PoolLayoutConfig,
+    Task, TaskOutput, TokenizerConfig,
+};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The five named layout points of the ablation.
+const LAYOUT_NAMES: [&str; 5] = ["fixed", "fixed-pad", "varint", "split", "packed"];
+
+fn layouts() -> Vec<PoolLayoutConfig> {
+    LAYOUT_NAMES
+        .iter()
+        .map(|n| PoolLayoutConfig::parse(n).unwrap_or_else(|| panic!("layout name {n}")))
+        .collect()
+}
+
+fn corpus() -> Compressed {
+    let files = vec![
+        ("a".to_string(), "the quick brown fox jumps over the lazy dog the end".repeat(30)),
+        ("b".to_string(), "pack my box with five dozen liquor jugs the fox".repeat(30)),
+        ("c".to_string(), "sphinx of black quartz judge my vow the quick judge".repeat(30)),
+    ];
+    compress_corpus(&files, &TokenizerConfig::default())
+}
+
+fn engine_with(comp: &Compressed, layout: PoolLayoutConfig) -> Engine {
+    Engine::builder(comp.clone())
+        .config(ntadoc_repro::EngineConfig::ntadoc())
+        .pool_layout(layout)
+        .build()
+        .unwrap()
+}
+
+/// Run `task` under `layout` with `threads` workers: output + virtual_ns.
+fn run_with(
+    comp: &Compressed,
+    layout: PoolLayoutConfig,
+    task: Task,
+    threads: usize,
+) -> (TaskOutput, u64) {
+    par::with_threads(threads, || {
+        let mut e = engine_with(comp, layout);
+        let out = e.run(task).unwrap();
+        (out, e.last_report.as_ref().unwrap().total_ns())
+    })
+}
+
+#[test]
+fn every_layout_is_deterministic_and_output_identical() {
+    let comp = corpus();
+    for task in Task::ALL {
+        let mut reference: Option<TaskOutput> = None;
+        for layout in layouts() {
+            let (base_out, base_ns) = run_with(&comp, layout, task, 1);
+            // Worker count must not change the output or the virtual clock
+            // under any layout.
+            for threads in [4, 8] {
+                let (out, ns) = run_with(&comp, layout, task, threads);
+                assert_eq!(
+                    out,
+                    base_out,
+                    "{task} output diverged at {threads} threads under {}",
+                    layout.name()
+                );
+                assert_eq!(
+                    ns,
+                    base_ns,
+                    "{task} virtual time diverged at {threads} threads under {}",
+                    layout.name()
+                );
+            }
+            // Layout must not change the output either (only the cost).
+            match &reference {
+                None => reference = Some(base_out),
+                Some(r) => assert_eq!(
+                    &base_out,
+                    r,
+                    "{task} output under layout {} diverged from the fixed layout",
+                    layout.name()
+                ),
+            }
+        }
+    }
+}
+
+fn tmp_pool(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ntadoc-layoutdet-{}-{name}.ntdp", std::process::id()))
+}
+
+#[test]
+fn reopen_adopts_the_header_sealed_layout() {
+    let comp = corpus();
+    let packed = PoolLayoutConfig::packed();
+    let legacy = PoolLayoutConfig::legacy();
+
+    // Create a pool under the packed layout and record its answers.
+    let pool = tmp_pool("adopt");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine_with(&comp, packed);
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    let out = session.traverse().unwrap();
+    let packed_ns = session.sim_device().stats().virtual_ns;
+    assert_eq!(session.pool_file().unwrap().header().dag_layout, packed.id());
+    drop(session);
+    drop(eng);
+
+    // An engine *configured* for the legacy layout reopens the file: the
+    // sealed header wins, so the run replays the packed layout exactly —
+    // same output, same virtual cost, same header id.
+    let eng = engine_with(&comp, legacy);
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    assert_eq!(session.traverse().unwrap(), out, "adopted layout diverged");
+    assert_eq!(
+        session.sim_device().stats().virtual_ns,
+        packed_ns,
+        "reopen under a different configured layout must replay the sealed layout's cost"
+    );
+    assert_eq!(
+        session.pool_file().unwrap().header().dag_layout,
+        packed.id(),
+        "reopen must not reseal the pool with the engine's configured layout"
+    );
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn legacy_pools_reopen_as_fixed_layout() {
+    // Pools written before the layout header existed carry dag_layout 0,
+    // which must decode as the legacy fixed-u32 layout.
+    assert_eq!(PoolLayoutConfig::from_id(0).unwrap(), PoolLayoutConfig::legacy());
+
+    let comp = corpus();
+    let pool = tmp_pool("legacy");
+    let _ = std::fs::remove_file(&pool);
+    let eng = engine_with(&comp, PoolLayoutConfig::legacy());
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    let out = session.traverse().unwrap();
+    assert_eq!(session.pool_file().unwrap().header().dag_layout, 0);
+    drop(session);
+
+    let mut session = eng.open_pool(&pool, Task::WordCount).unwrap();
+    assert_eq!(session.traverse().unwrap(), out);
+    let _ = std::fs::remove_file(&pool);
+}
+
+#[test]
+fn unknown_layout_ids_refuse_to_open() {
+    // A pool sealed by some future binary with a layout this build does
+    // not know must refuse loudly — decoding id streams with the wrong
+    // decoder would silently produce a different DAG.
+    let pool = tmp_pool("unknown");
+    let _ = std::fs::remove_file(&pool);
+    let cap: u64 = 1 << 20;
+    let layout = PoolLayout {
+        capacity: cap,
+        main_len: cap - 2 * (64 << 10),
+        scratch_len: 64 << 10,
+        log_len: 64 << 10,
+    };
+    let dev =
+        FileDevice::create_with_dag_layout(&pool, DeviceProfile::nvm_optane(), layout, 0xFFFF)
+            .unwrap();
+    drop(dev);
+
+    let eng = engine_with(&corpus(), PoolLayoutConfig::legacy());
+    match eng.open_pool(&pool, Task::WordCount) {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("layout id 0xffff"), "refusal must name the layout id: {msg}");
+        }
+        Ok(_) => panic!("a pool with an unknown layout id must not open"),
+    }
+    let _ = std::fs::remove_file(&pool);
+}
+
+/// Arbitrary corpora: 1-3 files of small-alphabet words (the shape that
+/// makes grammars share rules and the pruned views non-trivial).
+fn corpus_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    vec(vec(0u32..15, 1..120), 1..3).prop_map(|files| {
+        files
+            .into_iter()
+            .enumerate()
+            .map(|(i, words)| {
+                let text = words.iter().map(|w| format!("w{w}")).collect::<Vec<_>>().join(" ");
+                (format!("f{i}"), text)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the contract: for arbitrary corpora, every dense
+    /// layout agrees with the fixed layout on every servable task shape,
+    /// and parallelism does not perturb either.
+    #[test]
+    fn arbitrary_corpora_are_layout_invariant(files in corpus_strategy()) {
+        let comp = compress_corpus(&files, &TokenizerConfig::default());
+        if comp.grammar.rule_count() == 0 {
+            return Ok(());
+        }
+        for task in [Task::WordCount, Task::InvertedIndex, Task::SequenceCount] {
+            let (base_out, _) = run_with(&comp, PoolLayoutConfig::legacy(), task, 1);
+            for layout in layouts() {
+                let (out, ns1) = run_with(&comp, layout, task, 1);
+                prop_assert_eq!(
+                    &out, &base_out,
+                    "{} output diverged under {}", task, layout.name()
+                );
+                let (out4, ns4) = run_with(&comp, layout, task, 4);
+                prop_assert_eq!(&out4, &base_out);
+                prop_assert_eq!(ns1, ns4, "{} virtual time diverged under {}", task, layout.name());
+            }
+        }
+    }
+}

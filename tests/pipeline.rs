@@ -11,7 +11,7 @@ fn generated_corpora_survive_serialization() {
     for spec in DatasetSpec::all() {
         let spec = spec.scaled(0.02);
         let comp = ntadoc_repro::generate_compressed(&spec);
-        let img = serialize_compressed(&comp);
+        let img = serialize_compressed(&comp).unwrap();
         let back = deserialize_compressed(&img).unwrap();
         assert_eq!(back.grammar, comp.grammar, "dataset {}", spec.name);
         assert_eq!(back.file_names, comp.file_names);

@@ -272,7 +272,7 @@ proptest! {
         flip_bit in 0u8..8
     ) {
         let comp = compress_corpus(&files, &TokenizerConfig::default());
-        let mut image = ntadoc_repro::serialize_compressed(&comp);
+        let mut image = ntadoc_repro::serialize_compressed(&comp).unwrap();
         let at = flip_at % image.len();
         image[at] ^= 1 << flip_bit;
         // Every single-bit flip lands inside the checksummed envelope, so
